@@ -1,0 +1,101 @@
+//! Ablations for the static-caching design choices of Section 5:
+//!
+//! * greedy vs. the two-pass *optimal* in-block code generator (the
+//!   BURS-style scheme the paper sketches),
+//! * resetting to the canonical state at every block boundary vs. letting
+//!   branches carry the state to single-predecessor targets
+//!   ("threaded joins").
+
+use stackcache_core::CostModel;
+use stackcache_workloads::Scale;
+
+use crate::fig24::{best_per_registers, run_with};
+use crate::table::{f3, Table};
+
+/// Net overhead per original instruction under each variant.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationRow {
+    /// Cache registers.
+    pub registers: u8,
+    /// Greedy planner, canonical-state joins (the paper's measured setup).
+    pub greedy: f64,
+    /// Two-pass optimal planner.
+    pub optimal: f64,
+    /// Greedy planner with threaded joins.
+    pub threaded: f64,
+    /// Optimal planner with threaded joins.
+    pub optimal_threaded: f64,
+}
+
+/// Run all four variants for `registers = 1..=max_regs` (best canonical
+/// state each).
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale, max_regs: u8) -> Vec<AblationRow> {
+    let base = best_per_registers(&run_with(scale, max_regs, false, false));
+    let optimal = best_per_registers(&run_with(scale, max_regs, true, false));
+    let threaded = best_per_registers(&run_with(scale, max_regs, false, true));
+    let both = best_per_registers(&run_with(scale, max_regs, true, true));
+    let model = CostModel::paper();
+    (0..base.len())
+        .map(|i| AblationRow {
+            registers: base[i].registers,
+            greedy: base[i].counts.net_overhead_per_inst(&model),
+            optimal: optimal[i].counts.net_overhead_per_inst(&model),
+            threaded: threaded[i].counts.net_overhead_per_inst(&model),
+            optimal_threaded: both[i].counts.net_overhead_per_inst(&model),
+        })
+        .collect()
+}
+
+/// Render the ablation.
+#[must_use]
+pub fn table(rows: &[AblationRow]) -> Table {
+    let mut t =
+        Table::new(&["registers", "greedy", "optimal", "threaded joins", "optimal+threaded"]);
+    for r in rows {
+        t.row(&[
+            r.registers.to_string(),
+            f3(r.greedy),
+            f3(r.optimal),
+            f3(r.threaded),
+            f3(r.optimal_threaded),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinements_never_hurt() {
+        let rows = run(Scale::Small, 3);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.optimal <= r.greedy + 1e-9,
+                "regs {}: optimal {} vs greedy {}",
+                r.registers,
+                r.optimal,
+                r.greedy
+            );
+            // threaded joins usually help (they remove reconciliations)
+            // but inheriting a state is not guaranteed optimal for the
+            // successor, so allow a small regression margin.
+            assert!(
+                r.threaded <= r.greedy + 0.05,
+                "regs {}: threaded {} vs greedy {}",
+                r.registers,
+                r.threaded,
+                r.greedy
+            );
+            assert!(r.optimal_threaded <= r.optimal + 0.05);
+        }
+        assert_eq!(table(&rows).len(), 3);
+    }
+}

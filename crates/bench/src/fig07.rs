@@ -1,0 +1,113 @@
+//! Fig. 7: the cost of instruction dispatch.
+//!
+//! The paper reports MIPS R3000/R4000 cycle counts for direct threading,
+//! switch dispatch and direct call threading. We measure wall-clock
+//! nanoseconds per executed instruction for the closest stable-Rust
+//! analogues (see `stackcache_vm::dispatch`) and print the paper's cycle
+//! ranges alongside.
+
+use std::time::Instant;
+
+use stackcache_vm::dispatch::{
+    arith_mix, countdown, executed_count, run_direct, run_switch, run_token, MicroInst,
+    PAPER_CYCLES,
+};
+
+use crate::table::{f2, Table};
+
+/// Measured dispatch costs for one technique.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Technique name.
+    pub technique: &'static str,
+    /// ns per instruction on the countdown loop.
+    pub ns_countdown: f64,
+    /// ns per instruction on the mixed loop.
+    pub ns_mix: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn time_engine(engine: fn(&[MicroInst]) -> i64, program: &[MicroInst], reps: usize) -> f64 {
+    let insts = executed_count(program);
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let r = engine(program);
+            let ns = t.elapsed().as_nanos() as f64;
+            std::hint::black_box(r);
+            ns / insts as f64
+        })
+        .collect();
+    median(samples)
+}
+
+/// Measure the three dispatch techniques.
+#[must_use]
+pub fn run(iters: u32) -> Vec<Fig7Row> {
+    let cd = countdown(iters);
+    let mix = arith_mix(iters);
+    let reps = 7;
+    vec![
+        Fig7Row {
+            technique: "pre-decoded (direct threading analogue)",
+            ns_countdown: time_engine(run_direct, &cd, reps),
+            ns_mix: time_engine(run_direct, &mix, reps),
+        },
+        Fig7Row {
+            technique: "switch (match)",
+            ns_countdown: time_engine(run_switch, &cd, reps),
+            ns_mix: time_engine(run_switch, &mix, reps),
+        },
+        Fig7Row {
+            technique: "token/call threading",
+            ns_countdown: time_engine(run_token, &cd, reps),
+            ns_mix: time_engine(run_token, &mix, reps),
+        },
+    ]
+}
+
+/// Render measurements plus the paper's cycle ranges.
+#[must_use]
+pub fn table(rows: &[Fig7Row]) -> Table {
+    let mut t = Table::new(&["technique", "ns/inst (countdown)", "ns/inst (mix)"]);
+    for r in rows {
+        t.row(&[r.technique.to_string(), f2(r.ns_countdown), f2(r.ns_mix)]);
+    }
+    t
+}
+
+/// The paper's Fig. 7 as a table (cycles, R3000 and R4000).
+#[must_use]
+pub fn paper_table() -> Table {
+    let mut t = Table::new(&["technique (paper)", "R3000 cycles", "R4000 cycles"]);
+    for (name, r3, r4) in PAPER_CYCLES {
+        t.row(&[(*name).to_string(), format!("{}-{}", r3.0, r3.1), format!("{}-{}", r4.0, r4.1)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_positive_and_sane() {
+        let rows = run(200_000);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.ns_countdown > 0.0 && r.ns_countdown < 1_000.0, "{r:?}");
+            assert!(r.ns_mix > 0.0 && r.ns_mix < 1_000.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        assert_eq!(paper_table().len(), 3);
+        let rows = run(50_000);
+        assert_eq!(table(&rows).len(), 3);
+    }
+}

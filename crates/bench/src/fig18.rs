@@ -1,0 +1,86 @@
+//! Fig. 18: the number of cache states of each organization.
+
+use stackcache_core::Org;
+
+use crate::table::Table;
+
+/// One row of Fig. 18: state counts for registers 1..=`max_n`.
+#[derive(Debug, Clone)]
+pub struct Fig18Row {
+    /// Organization name.
+    pub organization: &'static str,
+    /// State counts per register count (index 0 = 1 register).
+    pub counts: Vec<usize>,
+}
+
+/// Fig. 18 values as printed in the paper (registers 1..=8; `n+1 stack
+/// items` only up to 5 registers — the larger entries are impractical to
+/// enumerate, as the paper itself notes, and the paper's value for n=4 is
+/// a typo: 1,356 for 1,365).
+pub const PAPER: &[(&str, &[usize])] = &[
+    ("minimal", &[2, 3, 4, 5, 6, 7, 8, 9]),
+    ("overflow move opt.", &[2, 5, 10, 17, 26, 37, 50, 65]),
+    ("arbitrary shuffles", &[2, 5, 16, 65, 326, 1957, 13700, 109_601]),
+    ("n + 1 stack items", &[3, 15, 121, 1365, 19_531]),
+    ("one duplication", &[3, 7, 14, 25, 41, 63, 92, 129]),
+    ("two stacks", &[3, 6, 9, 12, 15, 18, 21, 24]),
+];
+
+/// Enumerate every organization and count its states.
+#[must_use]
+pub fn run() -> Vec<Fig18Row> {
+    let count = |f: &dyn Fn(u8) -> Org, max: u8| -> Vec<usize> {
+        (1..=max).map(|n| f(n).state_count()).collect()
+    };
+    vec![
+        Fig18Row { organization: "minimal", counts: count(&Org::minimal, 8) },
+        Fig18Row { organization: "overflow move opt.", counts: count(&Org::overflow_opt, 8) },
+        Fig18Row {
+            organization: "arbitrary shuffles",
+            counts: count(&Org::arbitrary_shuffles, 8),
+        },
+        Fig18Row { organization: "n + 1 stack items", counts: count(&Org::n_plus_one, 5) },
+        Fig18Row { organization: "one duplication", counts: count(&Org::one_dup, 8) },
+        Fig18Row { organization: "two stacks", counts: count(&Org::two_stacks, 8) },
+    ]
+}
+
+/// Render the rows as a table in the paper's layout.
+#[must_use]
+pub fn table(rows: &[Fig18Row]) -> Table {
+    let mut t = Table::new(&["registers", "1", "2", "3", "4", "5", "6", "7", "8"]);
+    for row in rows {
+        let mut cells: Vec<String> = vec![row.organization.to_string()];
+        for i in 0..8 {
+            cells.push(row.counts.get(i).map_or_else(String::new, |c| c.to_string()));
+        }
+        t.row(&cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper_exactly() {
+        let rows = run();
+        for (paper_name, paper_counts) in PAPER {
+            let row = rows
+                .iter()
+                .find(|r| r.organization == *paper_name)
+                .unwrap_or_else(|| panic!("missing row {paper_name}"));
+            assert_eq!(&row.counts[..], *paper_counts, "{paper_name}");
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = table(&run());
+        assert_eq!(t.len(), 6);
+        let s = t.to_string();
+        assert!(s.contains("109601"));
+        assert!(s.contains("one duplication"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Fig. 20: the measured programs and their baseline characteristics.
+
+use stackcache_core::regime::SimpleRegime;
+use stackcache_workloads::Scale;
+
+use crate::table::{f2, Table};
+use crate::workloads;
+
+/// One row of Fig. 20.
+#[derive(Debug, Clone)]
+pub struct Fig20Row {
+    /// Program name.
+    pub program: String,
+    /// Executed virtual-machine instructions.
+    pub insts: u64,
+    /// Loads from (= stores to) the data stack, per instruction.
+    pub loads: f64,
+    /// Data-stack-pointer updates per instruction.
+    pub updates: f64,
+    /// Return-stack loads per instruction.
+    pub rloads: f64,
+    /// Return-stack-pointer updates per instruction.
+    pub rupdates: f64,
+    /// Calls per instruction.
+    pub calls: f64,
+}
+
+/// The paper's Fig. 20 rows (for side-by-side reporting).
+pub const PAPER: &[(&str, u64, f64, f64, f64, f64, f64)] = &[
+    ("compile", 11_562_172, 0.76, 0.55, 0.17, 0.32, 0.13),
+    ("gray", 1_588_545, 0.69, 0.43, 0.21, 0.39, 0.17),
+    ("prims2x", 5_766_854, 0.75, 0.43, 0.18, 0.34, 0.16),
+    ("cross", 4_914_610, 0.74, 0.51, 0.19, 0.33, 0.14),
+];
+
+/// Measure the four workloads with the uncached baseline.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<Fig20Row> {
+    workloads(scale)
+        .iter()
+        .map(|w| {
+            let mut r = SimpleRegime::new();
+            w.run_with_observer(&mut r).expect("workloads are trap-free");
+            let c = &r.counts;
+            let per = |x: u64| x as f64 / c.insts as f64;
+            Fig20Row {
+                program: w.name.to_string(),
+                insts: c.insts,
+                // the paper reports the load rate (= store rate over a run)
+                loads: per(c.loads.midpoint(c.stores)),
+                updates: per(c.updates),
+                rloads: per(c.rloads.midpoint(c.rstores)),
+                rupdates: per(c.rupdates),
+                calls: per(c.calls),
+            }
+        })
+        .collect()
+}
+
+/// Render measured rows plus the paper's values.
+#[must_use]
+pub fn table(rows: &[Fig20Row]) -> Table {
+    let mut t = Table::new(&["program", "insts", "loads", "updates", "rloads", "rupdates", "calls"]);
+    for r in rows {
+        t.row(&[
+            r.program.clone(),
+            r.insts.to_string(),
+            f2(r.loads),
+            f2(r.updates),
+            f2(r.rloads),
+            f2(r.rupdates),
+            f2(r.calls),
+        ]);
+    }
+    for (name, insts, loads, updates, rloads, rupdates, calls) in PAPER {
+        t.row(&[
+            format!("{name} (paper)"),
+            insts.to_string(),
+            f2(*loads),
+            f2(*updates),
+            f2(*rloads),
+            f2(*rupdates),
+            f2(*calls),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_in_the_papers_region() {
+        let rows = run(Scale::Small);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.insts > 10_000, "{}: {}", r.program, r.insts);
+            assert!(r.loads > 0.4 && r.loads < 1.1, "{}: loads {}", r.program, r.loads);
+            assert!(r.updates > 0.3 && r.updates < 0.9, "{}: updates {}", r.program, r.updates);
+            assert!(r.calls > 0.01 && r.calls < 0.3, "{}: calls {}", r.program, r.calls);
+            assert!(r.rupdates >= r.calls, "{}: rupdates at least cover calls", r.program);
+        }
+    }
+
+    #[test]
+    fn table_includes_paper_rows() {
+        let t = table(&run(Scale::Small));
+        assert_eq!(t.len(), 8);
+        assert!(t.to_string().contains("compile (paper)"));
+    }
+}

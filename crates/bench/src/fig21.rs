@@ -1,0 +1,122 @@
+//! Fig. 21: keeping a constant number of stack items in registers.
+
+use stackcache_core::regime::{ConstantKRegime, SimpleRegime};
+use stackcache_core::{CostModel, Counts};
+use stackcache_vm::ExecObserver;
+use stackcache_workloads::Scale;
+
+use crate::table::{f3, Table};
+use crate::workloads;
+
+/// One point of Fig. 21 (summed over the four workloads, like the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig21Row {
+    /// Number of items kept in registers.
+    pub k: u8,
+    /// Memory accesses (loads + stores) per instruction.
+    pub mem: f64,
+    /// Register moves per instruction.
+    pub moves: f64,
+    /// Stack-pointer updates per instruction.
+    pub updates: f64,
+    /// Weighted argument-access cycles per instruction.
+    pub cycles: f64,
+    /// Raw counts.
+    pub counts: Counts,
+}
+
+/// Measure the constant-k regimes for `k = 0..=max_k`.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale, max_k: u8) -> Vec<Fig21Row> {
+    let mut simple = SimpleRegime::new();
+    let mut ks: Vec<ConstantKRegime> = (1..=max_k).map(ConstantKRegime::new).collect();
+    for w in workloads(scale) {
+        let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut simple];
+        for sim in &mut ks {
+            obs.push(sim);
+        }
+        w.run_with_observer(&mut obs).expect("workloads are trap-free");
+    }
+    let model = CostModel::paper();
+    let mut rows = Vec::with_capacity(usize::from(max_k) + 1);
+    let mut push = |k: u8, c: Counts| {
+        rows.push(Fig21Row {
+            k,
+            mem: c.mem_per_inst(),
+            moves: c.moves_per_inst(),
+            updates: c.updates_per_inst(),
+            cycles: c.access_per_inst(&model),
+            counts: c,
+        });
+    };
+    push(0, simple.counts);
+    for sim in &ks {
+        push(sim.k(), sim.counts);
+    }
+    rows
+}
+
+/// Render as the figure's series.
+#[must_use]
+pub fn table(rows: &[Fig21Row]) -> Table {
+    let mut t = Table::new(&["k", "loads+stores/inst", "moves/inst", "updates/inst", "cycles/inst"]);
+    for r in rows {
+        t.row(&[r.k.to_string(), f3(r.mem), f3(r.moves), f3(r.updates), f3(r.cycles)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig21_shape_matches_the_paper() {
+        let rows = run(Scale::Small, 4);
+        assert_eq!(rows.len(), 5);
+
+        // memory accesses decrease monotonically with k
+        for w in rows.windows(2) {
+            assert!(
+                w[1].mem <= w[0].mem + 1e-9,
+                "mem should fall: k={} {} -> k={} {}",
+                w[0].k,
+                w[0].mem,
+                w[1].k,
+                w[1].mem
+            );
+        }
+        // k=1 gives a large drop in memory accesses
+        assert!(rows[1].mem < 0.75 * rows[0].mem, "{} vs {}", rows[1].mem, rows[0].mem);
+        // k=0 and k=1 cause no moves; deeper caches do
+        assert_eq!(rows[0].moves, 0.0);
+        assert_eq!(rows[1].moves, 0.0);
+        assert!(rows[3].moves > 0.0);
+        // sp updates cannot be reduced by this technique (constant line)
+        for r in &rows {
+            assert!(
+                (r.updates - rows[0].updates).abs() < 0.02,
+                "updates must stay constant: k={} {} vs {}",
+                r.k,
+                r.updates,
+                rows[0].updates
+            );
+        }
+        // the paper's headline: k = 1 is the best choice
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.cycles.partial_cmp(&b.cycles).unwrap())
+            .unwrap();
+        assert_eq!(best.k, 1, "cycles: {:?}", rows.iter().map(|r| r.cycles).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(Scale::Small, 2));
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Figs. 24 and 25: static stack caching.
+//!
+//! The sweep follows the paper's setup: organizations are the minimal
+//! organization extended with one-stack-manipulation states
+//! ([`Org::static_shuffle`]), combined with the control-flow-convention
+//! approach; every state of the minimal organization serves as the
+//! canonical state (which is also the overflow followup state).
+
+use stackcache_core::staticcache::{compile, StaticOptions, StaticRegime};
+use stackcache_core::{CostModel, Counts, Org};
+use stackcache_workloads::Scale;
+
+use crate::table::{f3, Table};
+use crate::workloads;
+
+/// One configuration of the Fig. 24 sweep (summed over the workloads).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig24Point {
+    /// Cache registers.
+    pub registers: u8,
+    /// Canonical state depth.
+    pub canonical: u8,
+    /// Raw counts (`insts` are original instructions; `dispatches` exclude
+    /// statically eliminated sites).
+    pub counts: Counts,
+}
+
+impl Fig24Point {
+    /// Net overhead per original instruction: access cycles minus saved
+    /// dispatches (paper weights). Can be negative.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.counts.net_overhead_per_inst(&CostModel::paper())
+    }
+}
+
+/// Run the sweep for `registers = 1..=max_regs`, `canonical = 0..=registers`.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale, max_regs: u8) -> Vec<Fig24Point> {
+    run_with(scale, max_regs, false, false)
+}
+
+/// Like [`run`] but selecting the optimal planner and/or threaded joins.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run_with(scale: Scale, max_regs: u8, optimal: bool, threaded_joins: bool) -> Vec<Fig24Point> {
+    let orgs: Vec<Org> = (1..=max_regs).map(Org::static_shuffle).collect();
+    let mut totals: Vec<(u8, u8, Counts)> = Vec::new();
+    for n in 1..=max_regs {
+        for c in 0..=n {
+            totals.push((n, c, Counts::new()));
+        }
+    }
+    for w in workloads(scale) {
+        // Compile the workload for every configuration, then count each
+        // configuration's dynamic cost with one run per configuration.
+        for (n, c, acc) in &mut totals {
+            let mut opts = StaticOptions::with_canonical(*c);
+            opts.optimal = optimal;
+            opts.threaded_joins = threaded_joins;
+            let sp = compile(&w.image.program, &orgs[usize::from(*n) - 1], &opts);
+            let mut reg = StaticRegime::new(&sp);
+            w.run_with_observer(&mut reg).expect("workloads are trap-free");
+            *acc += reg.counts;
+        }
+    }
+    totals
+        .into_iter()
+        .map(|(registers, canonical, counts)| Fig24Point { registers, canonical, counts })
+        .collect()
+}
+
+/// For each register count, the canonical state with the least overhead.
+#[must_use]
+pub fn best_per_registers(points: &[Fig24Point]) -> Vec<Fig24Point> {
+    let max_regs = points.iter().map(|p| p.registers).max().unwrap_or(0);
+    (1..=max_regs)
+        .filter_map(|n| {
+            points
+                .iter()
+                .filter(|p| p.registers == n)
+                .min_by(|a, b| a.overhead().partial_cmp(&b.overhead()).unwrap())
+                .copied()
+        })
+        .collect()
+}
+
+/// Fig. 24 as a table: rows = canonical state, columns = register counts.
+#[must_use]
+pub fn table(points: &[Fig24Point]) -> Table {
+    let max_regs = points.iter().map(|p| p.registers).max().unwrap_or(0);
+    let mut headers: Vec<String> = vec!["canonical".to_string()];
+    headers.extend((1..=max_regs).map(|n| format!("{n} regs")));
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr_refs);
+    for c in 0..=max_regs {
+        let mut cells = vec![c.to_string()];
+        for n in 1..=max_regs {
+            let cell = points
+                .iter()
+                .find(|p| p.registers == n && p.canonical == c)
+                .map_or_else(String::new, |p| f3(p.overhead()));
+            cells.push(cell);
+        }
+        t.row(&cells);
+    }
+    t
+}
+
+/// One row of Fig. 25: components for an `n`-register static cache.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig25Row {
+    /// Canonical state depth.
+    pub canonical: u8,
+    /// Loads + stores per original instruction.
+    pub mem: f64,
+    /// Moves per original instruction.
+    pub moves: f64,
+    /// Stack-pointer updates per original instruction.
+    pub updates: f64,
+    /// Dispatches per original instruction (< 1 when stack manipulations
+    /// were eliminated).
+    pub dispatches: f64,
+}
+
+/// Extract Fig. 25 (components vs. canonical state) for `registers`.
+#[must_use]
+pub fn fig25(points: &[Fig24Point], registers: u8) -> Vec<Fig25Row> {
+    points
+        .iter()
+        .filter(|p| p.registers == registers)
+        .map(|p| Fig25Row {
+            canonical: p.canonical,
+            mem: p.counts.mem_per_inst(),
+            moves: p.counts.moves_per_inst(),
+            updates: p.counts.updates_per_inst(),
+            dispatches: p.counts.dispatches_per_inst(),
+        })
+        .collect()
+}
+
+/// Render Fig. 25.
+#[must_use]
+pub fn fig25_table(rows: &[Fig25Row]) -> Table {
+    let mut t = Table::new(&[
+        "canonical",
+        "loads+stores/inst",
+        "moves/inst",
+        "updates/inst",
+        "dispatches/inst",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.canonical.to_string(),
+            f3(r.mem),
+            f3(r.moves),
+            f3(r.updates),
+            f3(r.dispatches),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig24_shape_matches_the_paper() {
+        let points = run(Scale::Small, 4);
+        let best = best_per_registers(&points);
+        assert_eq!(best.len(), 4);
+        // more registers never hurt
+        for w in best.windows(2) {
+            assert!(w[1].overhead() <= w[0].overhead() + 1e-9);
+        }
+        // "the best canonical state (for organizations with more than
+        // three registers) is the two-register state" — allow 1..=3.
+        let b4 = best.iter().find(|p| p.registers == 4).unwrap();
+        assert!(
+            (1..=3).contains(&b4.canonical),
+            "best canonical for 4 regs is {}",
+            b4.canonical
+        );
+    }
+
+    #[test]
+    fn fig25_dispatches_drop_below_one() {
+        let points = run(Scale::Small, 4);
+        let rows = fig25(&points, 4);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.dispatches < 1.0,
+                "static caching eliminates some dispatches: {}",
+                r.dispatches
+            );
+        }
+    }
+
+    #[test]
+    fn static_beats_dynamic_when_dispatch_is_free_to_remove() {
+        // With the paper's weights the static line subtracts eliminated
+        // dispatches; verify it lands below the plain access overhead.
+        let points = run(Scale::Small, 3);
+        let best = best_per_registers(&points);
+        for p in &best {
+            assert!(
+                p.overhead() < p.counts.access_per_inst(&CostModel::paper()),
+                "net overhead must subtract eliminated dispatches"
+            );
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let points = run(Scale::Small, 2);
+        assert!(!table(&points).is_empty());
+        assert!(!fig25_table(&fig25(&points, 2)).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Fig. 26: comparison of the three approaches.
+//!
+//! For each register count: the constant-k regime (k = registers), the
+//! best dynamic-caching organization, and the best static-caching
+//! organization — argument-access overhead in cycles per (original)
+//! instruction. The paper notes the comparison is sensitive to the
+//! dispatch weight; [`run`] takes the [`CostModel`] so the sensitivity
+//! analysis (dispatch = 5, 6) can be re-run.
+
+use stackcache_core::CostModel;
+use crate::fig21::Fig21Row;
+use crate::fig22::Fig22Point;
+use crate::fig24::Fig24Point;
+use crate::table::{f3, Table};
+
+/// One row of Fig. 26.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig26Row {
+    /// Number of registers used for caching.
+    pub registers: u8,
+    /// Constant-k overhead (k = registers), if measured.
+    pub constant_k: Option<f64>,
+    /// Best dynamic-caching overhead.
+    pub dynamic: Option<f64>,
+    /// Best static-caching net overhead (eliminated dispatches credited).
+    pub static_net: Option<f64>,
+}
+
+/// Combine the Fig. 21/22/24 measurements into the comparison figure.
+#[must_use]
+pub fn run(
+    fig21: &[Fig21Row],
+    fig22: &[Fig22Point],
+    fig24: &[Fig24Point],
+    model: &CostModel,
+) -> Vec<Fig26Row> {
+    let max_regs = fig22
+        .iter()
+        .map(|p| p.registers)
+        .chain(fig24.iter().map(|p| p.registers))
+        .max()
+        .unwrap_or(0);
+    (1..=max_regs)
+        .map(|n| {
+            let constant_k = fig21
+                .iter()
+                .find(|r| r.k == n)
+                .map(|r| r.counts.access_per_inst(model));
+            let dynamic = fig22
+                .iter()
+                .filter(|p| p.registers == n)
+                .map(|p| p.counts.access_per_inst(model))
+                .min_by(|a, b| a.partial_cmp(b).unwrap());
+            let static_net = fig24
+                .iter()
+                .filter(|p| p.registers == n)
+                .map(|p| p.counts.net_overhead_per_inst(model))
+                .min_by(|a, b| a.partial_cmp(b).unwrap());
+            Fig26Row { registers: n, constant_k, dynamic, static_net }
+        })
+        .collect()
+}
+
+/// Render Fig. 26.
+#[must_use]
+pub fn table(rows: &[Fig26Row]) -> Table {
+    let mut t = Table::new(&["registers", "constant-k", "dynamic", "static (net)"]);
+    let cell = |v: Option<f64>| v.map_or_else(String::new, f3);
+    for r in rows {
+        t.row(&[
+            r.registers.to_string(),
+            cell(r.constant_k),
+            cell(r.dynamic),
+            cell(r.static_net),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fig21, fig22, fig24};
+    use stackcache_workloads::Scale;
+
+    #[test]
+    fn comparison_shape_matches_the_paper() {
+        let f21 = fig21::run(Scale::Small, 4);
+        let f22 = fig22::run(Scale::Small, 4);
+        let f24 = fig24::run(Scale::Small, 4);
+        let model = CostModel::paper();
+        let rows = run(&f21, &f22, &f24, &model);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            let ck = r.constant_k.unwrap();
+            let dy = r.dynamic.unwrap();
+            // on-demand caching dominates constant-k at equal registers
+            assert!(dy <= ck + 1e-9, "regs {}: dynamic {dy} vs constant-k {ck}", r.registers);
+        }
+        // with a heavier dispatch weight, static improves relative to
+        // dynamic (the paper's sensitivity note)
+        let heavy = CostModel { dispatch: 6, ..model };
+        let rows_heavy = run(&f21, &f22, &f24, &heavy);
+        for (a, b) in rows.iter().zip(&rows_heavy) {
+            let gap_normal = a.dynamic.unwrap() - a.static_net.unwrap();
+            let gap_heavy = b.dynamic.unwrap() - b.static_net.unwrap();
+            assert!(
+                gap_heavy >= gap_normal - 1e-9,
+                "static should gain with costlier dispatch"
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let f21 = fig21::run(Scale::Small, 2);
+        let f22 = fig22::run(Scale::Small, 2);
+        let f24 = fig24::run(Scale::Small, 2);
+        let t = table(&run(&f21, &f22, &f24, &CostModel::paper()));
+        assert_eq!(t.len(), 2);
+    }
+}

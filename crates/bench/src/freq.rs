@@ -1,0 +1,100 @@
+//! Section 6's frequency note: "the distribution of the execution
+//! frequency of the instructions (10% account for 90% of the executed
+//! instructions) makes us believe that vast reductions [in the number of
+//! instruction instances] are possible" — the argument for leaving out
+//! rarely used instruction versions in static caching.
+
+use stackcache_vm::{ExecEvent, ExecObserver, Inst};
+use stackcache_workloads::Scale;
+
+use crate::table::{f2, Table};
+use crate::workloads;
+
+/// Per-opcode execution counts.
+#[derive(Debug, Clone)]
+pub struct FreqReport {
+    /// `(name, executed count)`, most frequent first.
+    pub by_opcode: Vec<(&'static str, u64)>,
+    /// Total executed instructions.
+    pub total: u64,
+}
+
+impl FreqReport {
+    /// Fraction of executed instructions covered by the most frequent
+    /// `frac` of the *used* opcodes (the paper's 10%/90% statement).
+    #[must_use]
+    pub fn coverage_of_top(&self, frac: f64) -> f64 {
+        let used = self.by_opcode.iter().filter(|(_, c)| *c > 0).count();
+        let k = ((used as f64 * frac).ceil() as usize).max(1);
+        let top: u64 = self.by_opcode.iter().take(k).map(|(_, c)| c).sum();
+        top as f64 / self.total as f64
+    }
+}
+
+struct FreqObserver {
+    counts: Vec<u64>,
+}
+
+impl ExecObserver for FreqObserver {
+    fn event(&mut self, ev: &ExecEvent) {
+        self.counts[ev.inst.opcode() as usize] += 1;
+    }
+}
+
+/// Measure the dynamic opcode frequency distribution over the workloads.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale) -> FreqReport {
+    let mut obs = FreqObserver { counts: vec![0; Inst::OPCODE_COUNT] };
+    for w in workloads(scale) {
+        w.run_with_observer(&mut obs).expect("workloads are trap-free");
+    }
+    let mut by_opcode: Vec<(&'static str, u64)> = Inst::all()
+        .map(|i| (i.name(), obs.counts[i.opcode() as usize]))
+        .collect();
+    by_opcode.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let total = by_opcode.iter().map(|(_, c)| c).sum();
+    FreqReport { by_opcode, total }
+}
+
+/// Render the most frequent opcodes and the coverage statistic.
+#[must_use]
+pub fn table(report: &FreqReport) -> Table {
+    let mut t = Table::new(&["opcode", "executed", "% of total", "cumulative %"]);
+    let mut cum = 0u64;
+    for (name, count) in report.by_opcode.iter().take(15) {
+        cum += count;
+        t.row(&[
+            (*name).to_string(),
+            count.to_string(),
+            f2(100.0 * *count as f64 / report.total as f64),
+            f2(100.0 * cum as f64 / report.total as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_distribution_is_strongly_biased() {
+        let r = run(Scale::Small);
+        assert!(r.total > 100_000);
+        // the paper: 10% of the instructions cover 90% of executions; our
+        // instruction set is a bit leaner, so allow a band.
+        let cov = r.coverage_of_top(0.10);
+        assert!(cov > 0.35, "top 10% of opcodes cover only {cov}");
+        let cov25 = r.coverage_of_top(0.25);
+        assert!(cov25 > 0.6, "top 25% of opcodes cover only {cov25}");
+        // ordering is descending
+        for w in r.by_opcode.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(table(&r).len(), 15);
+    }
+}

@@ -1,0 +1,126 @@
+//! Section 4 extension: dynamic caching across cache organizations.
+//!
+//! The paper's Fig. 22 measures only minimal organizations and argues in
+//! prose that dynamic caching should use "the minimal organization, maybe
+//! with a few frills like … one duplication" and that the overflow-move
+//! states of Section 3.3 remove overflow moves. The generic transition
+//! engine makes those variants measurable: this experiment runs dynamic
+//! caching over minimal, one-duplication, overflow-move-optimized and
+//! one-shuffle organizations at equal register counts.
+
+use stackcache_core::regime::CachedRegime;
+use stackcache_core::{CostModel, Counts, Org};
+use stackcache_workloads::Scale;
+
+use crate::table::{f3, Table};
+use crate::workloads;
+
+/// Results for one organization at one register count.
+#[derive(Debug, Clone)]
+pub struct OrgRow {
+    /// Organization name.
+    pub organization: String,
+    /// Register count.
+    pub registers: u8,
+    /// Number of cache states.
+    pub states: usize,
+    /// Raw counts (summed over the workloads).
+    pub counts: Counts,
+}
+
+impl OrgRow {
+    /// Argument-access overhead in cycles per instruction (paper weights).
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.counts.access_per_inst(&CostModel::paper())
+    }
+}
+
+/// Run dynamic caching over the four organization families at
+/// `registers`, with a near-full overflow followup.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale, registers: u8) -> Vec<OrgRow> {
+    let orgs = [
+        Org::minimal(registers),
+        Org::one_dup(registers),
+        Org::overflow_opt(registers),
+        Org::static_shuffle(registers),
+    ];
+    let followup = registers.saturating_sub(1).max(1);
+    let mut sims: Vec<CachedRegime> =
+        orgs.iter().map(|o| CachedRegime::new(o, followup)).collect();
+    for w in workloads(scale) {
+        for sim in &mut sims {
+            sim.reset_state();
+        }
+        w.run_with_observer(&mut sims).expect("workloads are trap-free");
+    }
+    orgs.iter()
+        .zip(&sims)
+        .map(|(org, sim)| OrgRow {
+            organization: org.name().to_string(),
+            registers,
+            states: org.state_count(),
+            counts: sim.counts,
+        })
+        .collect()
+}
+
+/// Render the comparison.
+#[must_use]
+pub fn table(rows: &[OrgRow]) -> Table {
+    let mut t = Table::new(&[
+        "organization",
+        "states",
+        "loads+stores/inst",
+        "moves/inst",
+        "updates/inst",
+        "cycles/inst",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.organization.clone(),
+            r.states.to_string(),
+            f3(r.counts.mem_per_inst()),
+            f3(r.counts.moves_per_inst()),
+            f3(r.counts.updates_per_inst()),
+            f3(r.overhead()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn richer_organizations_reduce_overhead() {
+        let rows = run(Scale::Small, 4);
+        assert_eq!(rows.len(), 4);
+        let minimal = rows[0].overhead();
+        // one-dup and one-shuffle states remove duplication/shuffle moves
+        let one_dup = rows[1].overhead();
+        let shuffle = rows[3].overhead();
+        assert!(one_dup <= minimal + 1e-9, "one-dup {one_dup} vs minimal {minimal}");
+        assert!(shuffle <= minimal + 1e-9, "one-shuffle {shuffle} vs minimal {minimal}");
+        // overflow-move optimization cannot increase moves
+        let oopt = &rows[2];
+        assert!(
+            oopt.counts.moves_per_inst() <= rows[0].counts.moves_per_inst() + 1e-9,
+            "overflow-opt moves must not exceed minimal's"
+        );
+        // state counts ordered as in Fig. 18
+        assert!(rows[1].states > rows[0].states);
+        assert!(rows[2].states > rows[0].states);
+    }
+
+    #[test]
+    fn table_renders() {
+        assert_eq!(table(&run(Scale::Small, 3)).len(), 4);
+    }
+}

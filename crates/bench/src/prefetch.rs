@@ -1,0 +1,93 @@
+//! Section 3.6 extension: stack-item prefetching.
+//!
+//! "If stack item prefetching is desired, states with too few stack items
+//! in registers should be forbidden. This will cause slightly higher
+//! memory traffic" — this experiment quantifies that traffic cost across
+//! prefetch thresholds (the latency-hiding *benefit* of prefetching is a
+//! pipeline effect outside this cost model, as the paper notes).
+
+use stackcache_core::regime::PrefetchRegime;
+use stackcache_core::{CostModel, Counts};
+use stackcache_workloads::Scale;
+
+use crate::table::{f3, Table};
+use crate::workloads;
+
+/// Results for one prefetch threshold (summed over the workloads).
+#[derive(Debug, Clone)]
+pub struct PrefetchRow {
+    /// Minimum cached items.
+    pub min_items: u8,
+    /// Raw counts.
+    pub counts: Counts,
+}
+
+/// Sweep prefetch thresholds 0..=`max_min` on a `registers`-register cache.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale, registers: u8, max_min: u8) -> Vec<PrefetchRow> {
+    let mut sims: Vec<PrefetchRegime> =
+        (0..=max_min).map(|m| PrefetchRegime::new(registers, m)).collect();
+    for w in workloads(scale) {
+        w.run_with_observer(&mut sims).expect("workloads are trap-free");
+    }
+    sims.into_iter()
+        .map(|s| PrefetchRow { min_items: s.min_items(), counts: s.counts })
+        .collect()
+}
+
+/// Render the sweep.
+#[must_use]
+pub fn table(rows: &[PrefetchRow]) -> Table {
+    let model = CostModel::paper();
+    let mut t = Table::new(&[
+        "min cached",
+        "loads+stores/inst",
+        "updates/inst",
+        "underflows/inst",
+        "cycles/inst",
+    ]);
+    for r in rows {
+        let c = &r.counts;
+        t.row(&[
+            r.min_items.to_string(),
+            f3(c.mem_per_inst()),
+            f3(c.updates_per_inst()),
+            f3(c.underflows as f64 / c.insts as f64),
+            f3(c.access_per_inst(&model)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetching_trades_traffic_for_fewer_underflows() {
+        let rows = run(Scale::Small, 6, 3);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            // higher thresholds never reduce memory traffic...
+            assert!(
+                w[1].counts.mem_per_inst() >= w[0].counts.mem_per_inst() - 1e-9,
+                "traffic must not fall with prefetching: {} vs {}",
+                w[1].counts.mem_per_inst(),
+                w[0].counts.mem_per_inst()
+            );
+            // ...and never increase underflow events
+            assert!(w[1].counts.underflows <= w[0].counts.underflows);
+        }
+        assert!(rows[3].counts.mem_per_inst() > rows[0].counts.mem_per_inst());
+        assert!(rows[3].counts.underflows < rows[0].counts.underflows);
+    }
+
+    #[test]
+    fn table_renders() {
+        assert_eq!(table(&run(Scale::Small, 4, 2)).len(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Section 6's random-walk analysis.
+//!
+//! The paper closes its evaluation by testing the `[HS85]` random-walk
+//! model against measured behaviour: with a 10-register cache, making the
+//! overflow followup state less full (from state 7 downward) does *not*
+//! reduce the number of overflows in `cross` and `compile` — after an
+//! overflow, real programs almost never push several more items before
+//! underflowing ("a very strong tendency to go down after going up"). The
+//! random-walk model, where each step is independent, predicts the
+//! opposite. This experiment measures overflow counts for both.
+
+use stackcache_core::regime::CachedRegime;
+use stackcache_core::Org;
+use stackcache_vm::{exec, Machine};
+use stackcache_workloads::{random_walk_program, RandomWalkConfig, Scale};
+
+use crate::table::Table;
+use crate::workloads;
+
+/// Overflow counts for one trace across followup states.
+#[derive(Debug, Clone)]
+pub struct RandomWalkRow {
+    /// Trace name (workload or `random-walk`).
+    pub trace: String,
+    /// Overflow counts indexed by followup state (`followups[i]` =
+    /// overflows with followup state `min_followup + i`).
+    pub overflows: Vec<u64>,
+}
+
+/// Followup states swept (for the paper's 10-register cache).
+pub const FOLLOWUPS: std::ops::RangeInclusive<u8> = 4..=10;
+
+/// Number of cache registers used in the analysis.
+pub const REGISTERS: u8 = 10;
+
+/// Measure overflows of a 10-register minimal cache on the four workloads
+/// and on an equally long random-walk trace.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<RandomWalkRow> {
+    let org = Org::minimal(REGISTERS);
+    let mut rows = Vec::new();
+    let mut total_insts: u64 = 0;
+    for w in workloads(scale) {
+        let mut sims: Vec<CachedRegime> =
+            FOLLOWUPS.map(|f| CachedRegime::new(&org, f)).collect();
+        w.run_with_observer(&mut sims).expect("workloads are trap-free");
+        total_insts = total_insts.max(sims[0].counts.insts);
+        rows.push(RandomWalkRow {
+            trace: w.name.to_string(),
+            overflows: sims.iter().map(|s| s.counts.overflows).collect(),
+        });
+    }
+    // A random walk of comparable length.
+    let steps = usize::try_from(total_insts).unwrap_or(1_000_000).min(4_000_000);
+    let program = random_walk_program(&RandomWalkConfig { steps, ..RandomWalkConfig::default() });
+    let mut sims: Vec<CachedRegime> = FOLLOWUPS.map(|f| CachedRegime::new(&org, f)).collect();
+    let mut m = Machine::with_memory(64);
+    exec::run_with_observer(&program, &mut m, u64::MAX, &mut sims).expect("walk runs");
+    rows.push(RandomWalkRow {
+        trace: "random-walk".to_string(),
+        overflows: sims.iter().map(|s| s.counts.overflows).collect(),
+    });
+    rows
+}
+
+/// Render overflow counts per followup state.
+#[must_use]
+pub fn table(rows: &[RandomWalkRow]) -> Table {
+    let mut headers: Vec<String> = vec!["trace".to_string()];
+    headers.extend(FOLLOWUPS.map(|f| format!("f={f}")));
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr_refs);
+    for r in rows {
+        let mut cells = vec![r.trace.clone()];
+        cells.extend(r.overflows.iter().map(u64::to_string));
+        t.row(&cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_programs_defy_the_random_walk_model() {
+        let rows = run(Scale::Small);
+        assert_eq!(rows.len(), 5);
+        let walk = rows.last().unwrap();
+        // The random walk overflows often and reacts to the followup state:
+        // a fuller followup state means many more overflows.
+        let first = walk.overflows[0]; // f = 4
+        let last = *walk.overflows.last().unwrap(); // f = 10 (full)
+        assert!(
+            last > 4 * first.max(1),
+            "random walk should be followup-sensitive: {:?}",
+            walk.overflows
+        );
+        // Real workloads overflow rarely with a 10-register cache, per the
+        // paper (1110 overflows over ~16M instructions in two programs).
+        for r in &rows[..4] {
+            let max = *r.overflows.iter().max().unwrap();
+            let insts_scale = 200_000u64; // small-scale runs
+            assert!(
+                max < insts_scale / 20,
+                "{}: overflows {:?} are not rare",
+                r.trace,
+                r.overflows
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(Scale::Small));
+        assert_eq!(t.len(), 5);
+    }
+}

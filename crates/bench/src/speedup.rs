@@ -1,0 +1,141 @@
+//! Section 6 speedups: wall-clock comparison of the real interpreters.
+//!
+//! The paper reports that keeping one stack item in a register speeds up
+//! `prims2x` by 11% and `cross` by 7% on a DecStation R3000. This module
+//! times the whole interpreter ladder on the host machine: baseline
+//! (Fig. 11), top-of-stack (Fig. 12), dynamically cached (Section 4,
+//! 3 registers) and statically cached (Section 5, compiled code).
+
+use std::time::Instant;
+
+use stackcache_core::interp::{compile_static, run_dyncache, run_staticcache};
+use stackcache_vm::interp::{run_baseline, run_tos};
+use stackcache_workloads::{Scale, Workload};
+
+use crate::table::{f2, Table};
+use crate::workloads;
+
+/// Wall-clock results for one workload (milliseconds, medians).
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Baseline interpreter time.
+    pub baseline_ms: f64,
+    /// Top-of-stack interpreter time.
+    pub tos_ms: f64,
+    /// Dynamically cached interpreter time.
+    pub dyncache_ms: f64,
+    /// Statically cached interpreter time (canonical state 1).
+    pub static_ms: f64,
+}
+
+impl SpeedupRow {
+    /// Speedup of the top-of-stack interpreter over the baseline
+    /// (the paper's 11%/7% metric), as a percentage.
+    #[must_use]
+    pub fn tos_speedup_pct(&self) -> f64 {
+        (self.baseline_ms / self.tos_ms - 1.0) * 100.0
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    median(samples)
+}
+
+fn measure(w: &Workload, reps: usize) -> SpeedupRow {
+    let p = &w.image.program;
+    let fuel = w.fuel();
+    let exe = compile_static(p, 1);
+    SpeedupRow {
+        workload: w.name,
+        baseline_ms: time_ms(reps, || {
+            let mut m = w.image.machine();
+            run_baseline(p, &mut m, fuel).expect("runs");
+            std::hint::black_box(m.output().len());
+        }),
+        tos_ms: time_ms(reps, || {
+            let mut m = w.image.machine();
+            run_tos(p, &mut m, fuel).expect("runs");
+            std::hint::black_box(m.output().len());
+        }),
+        dyncache_ms: time_ms(reps, || {
+            let mut m = w.image.machine();
+            run_dyncache(p, &mut m, fuel).expect("runs");
+            std::hint::black_box(m.output().len());
+        }),
+        static_ms: time_ms(reps, || {
+            let mut m = w.image.machine();
+            run_staticcache(&exe, &mut m, fuel).expect("runs");
+            std::hint::black_box(m.output().len());
+        }),
+    }
+}
+
+/// Time all four workloads on every interpreter.
+///
+/// # Panics
+///
+/// Panics if a workload traps (a bug).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<SpeedupRow> {
+    let reps = match scale {
+        Scale::Small => 3,
+        Scale::Full => 5,
+    };
+    workloads(scale).iter().map(|w| measure(w, reps)).collect()
+}
+
+/// Render the timings and the TOS speedup.
+#[must_use]
+pub fn table(rows: &[SpeedupRow]) -> Table {
+    let mut t = Table::new(&[
+        "workload",
+        "baseline ms",
+        "tos ms",
+        "dyncache ms",
+        "static ms",
+        "tos speedup %",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.workload.to_string(),
+            f2(r.baseline_ms),
+            f2(r.tos_ms),
+            f2(r.dyncache_ms),
+            f2(r.static_ms),
+            f2(r.tos_speedup_pct()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_positive() {
+        let rows = run(Scale::Small);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.baseline_ms > 0.0);
+            assert!(r.tos_ms > 0.0);
+            assert!(r.dyncache_ms > 0.0);
+            assert!(r.static_ms > 0.0);
+        }
+        assert_eq!(table(&rows).len(), 4);
+    }
+}

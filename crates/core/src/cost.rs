@@ -1,0 +1,227 @@
+//! Cost model and event counters (Section 6).
+//!
+//! The paper weighs the components of interpreter overhead as: loads,
+//! stores, moves and stack-pointer updates cost one cycle each, instruction
+//! dispatch costs four. [`CostModel`] makes the weights explicit (Fig. 26's
+//! sensitivity discussion re-runs the comparison with dispatch at 5 and 6
+//! cycles); [`Counts`] accumulates the raw event counts that every regime
+//! simulator produces.
+
+use std::ops::{Add, AddAssign};
+
+/// Cycle weights for the overhead components.
+///
+/// # Examples
+///
+/// ```
+/// use stackcache_core::CostModel;
+///
+/// let m = CostModel::paper();
+/// assert_eq!(m.dispatch, 4);
+/// let slow_dispatch = CostModel { dispatch: 6, ..CostModel::paper() };
+/// assert_eq!(slow_dispatch.load, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of a load from the stack in memory.
+    pub load: u32,
+    /// Cost of a store to the stack in memory.
+    pub store: u32,
+    /// Cost of a register-to-register move.
+    pub mv: u32,
+    /// Cost of a stack-pointer update.
+    pub update: u32,
+    /// Cost of an instruction dispatch.
+    pub dispatch: u32,
+}
+
+impl CostModel {
+    /// The paper's weights: 1/1/1/1 and dispatch = 4 (Section 6).
+    #[must_use]
+    pub const fn paper() -> Self {
+        CostModel { load: 1, store: 1, mv: 1, update: 1, dispatch: 4 }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Raw event counts accumulated over a program run (or several).
+///
+/// `insts` counts *executed virtual-machine instructions*; for static stack
+/// caching `dispatches` can be smaller than `insts` because statically
+/// eliminated stack manipulations execute no dispatch (Section 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Executed VM instructions (original program instructions).
+    pub insts: u64,
+    /// Loads from the data stack in memory.
+    pub loads: u64,
+    /// Stores to the data stack in memory.
+    pub stores: u64,
+    /// Register-to-register moves.
+    pub moves: u64,
+    /// Data-stack-pointer updates.
+    pub updates: u64,
+    /// Instruction dispatches executed.
+    pub dispatches: u64,
+    /// Loads from the return stack in memory.
+    pub rloads: u64,
+    /// Stores to the return stack in memory.
+    pub rstores: u64,
+    /// Return-stack-pointer updates.
+    pub rupdates: u64,
+    /// Calls executed (static calls and `execute`).
+    pub calls: u64,
+    /// Cache underflow events.
+    pub underflows: u64,
+    /// Cache overflow events.
+    pub overflows: u64,
+}
+
+impl Counts {
+    /// An all-zero counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Data-stack *argument access* overhead in cycles under `model`:
+    /// loads + stores + moves + updates, weighted. Dispatches are not
+    /// included (they are reported separately, as in Figs. 21-25).
+    #[must_use]
+    pub fn access_cycles(&self, model: &CostModel) -> u64 {
+        self.loads * u64::from(model.load)
+            + self.stores * u64::from(model.store)
+            + self.moves * u64::from(model.mv)
+            + self.updates * u64::from(model.update)
+    }
+
+    /// Argument access overhead per executed instruction.
+    #[must_use]
+    pub fn access_per_inst(&self, model: &CostModel) -> f64 {
+        ratio(self.access_cycles(model), self.insts)
+    }
+
+    /// Net overhead per instruction for static caching (Fig. 24): access
+    /// cycles *minus* the dispatch cycles saved by eliminated instructions,
+    /// per original instruction. Can be negative.
+    #[must_use]
+    pub fn net_overhead_per_inst(&self, model: &CostModel) -> f64 {
+        let saved = (self.insts - self.dispatches) * u64::from(model.dispatch);
+        let access = self.access_cycles(model);
+        if self.insts == 0 {
+            return 0.0;
+        }
+        (access as f64 - saved as f64) / self.insts as f64
+    }
+
+    /// Memory accesses (loads + stores) per instruction.
+    #[must_use]
+    pub fn mem_per_inst(&self) -> f64 {
+        ratio(self.loads + self.stores, self.insts)
+    }
+
+    /// Moves per instruction.
+    #[must_use]
+    pub fn moves_per_inst(&self) -> f64 {
+        ratio(self.moves, self.insts)
+    }
+
+    /// Stack-pointer updates per instruction.
+    #[must_use]
+    pub fn updates_per_inst(&self) -> f64 {
+        ratio(self.updates, self.insts)
+    }
+
+    /// Dispatches per instruction (1.0 unless statically eliminated).
+    #[must_use]
+    pub fn dispatches_per_inst(&self) -> f64 {
+        ratio(self.dispatches, self.insts)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Add for Counts {
+    type Output = Counts;
+    fn add(mut self, rhs: Counts) -> Counts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Counts {
+    fn add_assign(&mut self, rhs: Counts) {
+        self.insts += rhs.insts;
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.moves += rhs.moves;
+        self.updates += rhs.updates;
+        self.dispatches += rhs.dispatches;
+        self.rloads += rhs.rloads;
+        self.rstores += rhs.rstores;
+        self.rupdates += rhs.rupdates;
+        self.calls += rhs.calls;
+        self.underflows += rhs.underflows;
+        self.overflows += rhs.overflows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weights() {
+        let m = CostModel::paper();
+        assert_eq!((m.load, m.store, m.mv, m.update, m.dispatch), (1, 1, 1, 1, 4));
+        assert_eq!(CostModel::default(), m);
+    }
+
+    #[test]
+    fn access_cycles_weighted() {
+        let c = Counts { insts: 10, loads: 3, stores: 2, moves: 4, updates: 5, ..Counts::new() };
+        let m = CostModel::paper();
+        assert_eq!(c.access_cycles(&m), 14);
+        assert!((c.access_per_inst(&m) - 1.4).abs() < 1e-12);
+        let m2 = CostModel { mv: 2, ..m };
+        assert_eq!(c.access_cycles(&m2), 18);
+    }
+
+    #[test]
+    fn net_overhead_subtracts_saved_dispatches() {
+        let c = Counts { insts: 100, dispatches: 80, loads: 10, ..Counts::new() };
+        let m = CostModel::paper();
+        // access = 10, saved = 20 * 4 = 80 => (10 - 80)/100 = -0.7
+        assert!((c.net_overhead_per_inst(&m) + 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let a = Counts { insts: 1, loads: 2, calls: 3, ..Counts::new() };
+        let b = Counts { insts: 10, loads: 20, overflows: 1, ..Counts::new() };
+        let c = a + b;
+        assert_eq!(c.insts, 11);
+        assert_eq!(c.loads, 22);
+        assert_eq!(c.calls, 3);
+        assert_eq!(c.overflows, 1);
+    }
+
+    #[test]
+    fn ratios_handle_zero_instructions() {
+        let c = Counts::new();
+        assert_eq!(c.access_per_inst(&CostModel::paper()), 0.0);
+        assert_eq!(c.net_overhead_per_inst(&CostModel::paper()), 0.0);
+        assert_eq!(c.mem_per_inst(), 0.0);
+    }
+}

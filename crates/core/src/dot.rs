@@ -1,0 +1,139 @@
+//! Graphviz export of cache state machines (Figs. 13, 16 and 17).
+//!
+//! The paper illustrates organizations as state-transition diagrams:
+//! Fig. 13 is the three-state machine of a two-register minimal cache,
+//! Fig. 17 a two-register organization allowing one duplication. Those
+//! diagrams are regenerated here for *any* [`Org`] and [`Policy`]:
+//! [`state_machine_dot`] renders the states and, for a chosen set of
+//! stack effects, the transitions with their costs.
+
+use std::fmt::Write as _;
+
+use crate::engine::{compute_transition, OpSig, Policy, SigKind};
+use crate::org::Org;
+use crate::state::StateId;
+
+/// A labelled stack effect to draw transitions for.
+///
+/// The paper labels edges `w--`, `--w`, `ww--w` and by the names of the
+/// stack-manipulation words.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeSpec {
+    /// Edge label (e.g. `"--w"` for a push, `"dup"`).
+    pub label: &'static str,
+    /// The operation.
+    pub sig: OpSig,
+}
+
+/// The edge set of Fig. 13: pushes, pops and a two-to-one operation.
+#[must_use]
+pub fn fig13_edges() -> Vec<EdgeSpec> {
+    vec![
+        EdgeSpec { label: "--w", sig: OpSig::normal(0, 1) },
+        EdgeSpec { label: "w--", sig: OpSig::normal(1, 0) },
+        EdgeSpec { label: "ww--w", sig: OpSig::normal(2, 1) },
+    ]
+}
+
+/// The edge set of Fig. 17: the classic stack-manipulation words.
+#[must_use]
+pub fn fig17_edges() -> Vec<EdgeSpec> {
+    use stackcache_vm::perm;
+    vec![
+        EdgeSpec { label: "dup", sig: OpSig::shuffle(1, perm::DUP) },
+        EdgeSpec { label: "over", sig: OpSig::shuffle(2, perm::OVER) },
+        EdgeSpec { label: "swap", sig: OpSig::shuffle(2, perm::SWAP) },
+        EdgeSpec { label: "drop", sig: OpSig::shuffle(1, perm::DROP) },
+    ]
+}
+
+/// Render `org`'s state machine as Graphviz `dot`, with one edge per
+/// state × [`EdgeSpec`].
+///
+/// Edges that move no data and execute as pure state changes (statically
+/// eliminable shuffles) are drawn bold; edges that touch memory are
+/// dashed and annotated with their load/store counts.
+#[must_use]
+pub fn state_machine_dot(org: &Org, policy: &Policy, edges: &[EdgeSpec]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", org.name());
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [shape=box, fontname=\"monospace\"];");
+    for (i, state) in org.states().iter().enumerate() {
+        let label = if state.depth() == 0 { "empty".to_string() } else { state.to_string() };
+        let _ = writeln!(out, "    s{i} [label=\"{label}\"];");
+    }
+    for i in 0..org.state_count() {
+        let from = StateId(i as u32);
+        for e in edges {
+            // shuffles need their inputs; skip edges that cannot fire
+            if matches!(e.sig.kind, SigKind::Shuffle(_))
+                && org.state(from).depth() < e.sig.pops
+            {
+                continue;
+            }
+            let t = compute_transition(org, policy, from, &e.sig, 8);
+            let mut label = e.label.to_string();
+            let mut style = "solid";
+            if t.eliminated {
+                style = "bold";
+            }
+            if t.loads + t.stores > 0 {
+                style = "dashed";
+                let _ = write!(label, " ({}L/{}S)", t.loads, t.stores);
+            } else if t.moves > 0 {
+                let _ = write!(label, " ({}M)", t.moves);
+            }
+            let _ = writeln!(
+                out,
+                "    s{i} -> s{} [label=\"{label}\", style={style}];",
+                t.next.index()
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_machine_has_three_states_and_push_pop_edges() {
+        let org = Org::minimal(2);
+        let dot = state_machine_dot(&org, &Policy::on_demand(2), &fig13_edges());
+        assert!(dot.contains("digraph"));
+        // three states: empty, [r0], [r0 r1]
+        assert!(dot.contains("s0"));
+        assert!(dot.contains("s2"));
+        assert!(dot.contains("empty"));
+        assert!(dot.contains("[r0 r1]"));
+        // pushes from the full state spill (dashed, 1 store)
+        assert!(dot.contains("1S"), "{dot}");
+        // well-formed: one closing brace at the end
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn fig17_machine_marks_free_shuffles_bold() {
+        let org = Org::one_dup(2);
+        let dot = state_machine_dot(&org, &Policy::on_demand(2), &fig17_edges());
+        assert!(dot.contains("style=bold"), "some shuffles are pure state changes:\n{dot}");
+        assert!(dot.contains("dup"));
+        assert!(dot.contains("swap"));
+    }
+
+    #[test]
+    fn every_edge_points_at_a_real_state() {
+        let org = Org::minimal(3);
+        let dot = state_machine_dot(&org, &Policy::on_demand(3), &fig13_edges());
+        for line in dot.lines() {
+            if let Some(arrow) = line.find("->") {
+                let dst = line[arrow + 2..].trim().split(' ').next().unwrap();
+                let idx: usize = dst.trim_start_matches('s').parse().unwrap();
+                assert!(idx < org.state_count());
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Stack caching for interpreters — the core of the reproduction of
+//! M. Anton Ertl's PLDI 1995 paper.
+//!
+//! A virtual stack machine's interpreter spends much of its time loading
+//! instruction operands from the stack in memory. *Stack caching* keeps
+//! the top of the stack in machine registers instead; every mapping of
+//! stack items to registers is a [`CacheState`], the allowed set of states
+//! is an [`Org`]anization (Fig. 18 of the paper), and executing an
+//! instruction is a state transition with a cost in loads, stores,
+//! register moves and stack-pointer updates — computed by the
+//! [transition engine](engine).
+//!
+//! On top of the engine sit:
+//!
+//! * [`regime`] — the instrumentation simulators of the paper's Section 6
+//!   (no caching, constant-k, dynamic caching over any organization,
+//!   return-stack and two-stacks caching, prefetching), which observe a
+//!   program execution and accumulate [`Counts`],
+//! * [`staticcache`] — the *static* method of Section 5: a compiler pass
+//!   that tracks the cache state through every basic block, compiles pure
+//!   stack manipulations to nothing, and reconciles to a canonical state
+//!   at control-flow joins and calls — with both greedy and two-pass
+//!   optimal (BURS-style) code generation,
+//! * [`interp`] — *real* wall-clock interpreters: dynamically cached
+//!   (Section 4) and statically compiled (Section 5), cross-validated
+//!   against the reference interpreter of `stackcache-vm`,
+//! * [`parcopy`] — parallel-copy sequentialization, the classic register
+//!   shuffling algorithm behind every move-cost in the model.
+//!
+//! # Examples
+//!
+//! Count what a 3-register cache saves on a small program:
+//!
+//! ```
+//! use stackcache_core::regime::{CachedRegime, SimpleRegime};
+//! use stackcache_core::{CostModel, Org};
+//! use stackcache_vm::{exec, program_of, Inst, Machine};
+//!
+//! let program = program_of(&[Inst::Lit(6), Inst::Lit(7), Inst::Mul, Inst::Dot]);
+//! let mut uncached = SimpleRegime::new();
+//! let mut cached = CachedRegime::new(&Org::minimal(3), 3);
+//! let mut m = Machine::new();
+//! exec::run_with_observer(&program, &mut m, 1_000, &mut uncached)?;
+//! let mut m = Machine::new();
+//! exec::run_with_observer(&program, &mut m, 1_000, &mut cached)?;
+//!
+//! let model = CostModel::paper();
+//! assert!(cached.counts.access_per_inst(&model) < uncached.counts.access_per_inst(&model));
+//! # Ok::<(), stackcache_vm::VmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cost;
+pub mod dot;
+pub mod engine;
+pub mod interp;
+pub mod org;
+pub mod parcopy;
+pub mod regime;
+pub mod staticcache;
+pub mod state;
+
+pub use cost::{CostModel, Counts};
+pub use engine::{
+    compute_transition, compute_transition_all, reconcile, sig_slot_for_event, sig_slots, OpSig,
+    Policy, ReconcileCost, SigKind, Trans, TransitionTable, QDUP_ZERO_SLOT, SIG_SLOTS,
+};
+pub use org::Org;
+pub use state::{CacheState, Reg, StateId};

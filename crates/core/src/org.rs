@@ -1,0 +1,474 @@
+//! Cache organizations: the allowed sets of cache states (Section 3, Fig. 18).
+//!
+//! An *organization* fixes the finite set of cache states an interpreter or
+//! compiler may use, for a given number of cache registers. The paper
+//! discusses six (Fig. 18); all are provided here as constructors on
+//! [`Org`], and the unit tests reproduce the Fig. 18 state counts exactly.
+//!
+//! | organization | states (n registers) |
+//! |---|---|
+//! | [`Org::minimal`] | `n + 1` |
+//! | [`Org::overflow_opt`] | `n² + 1` |
+//! | [`Org::arbitrary_shuffles`] | `Σ_{i=0..n} n!/i!` |
+//! | [`Org::n_plus_one`] | `Σ_{d=0..n+1} n^d` |
+//! | [`Org::one_dup`] | `n(n+1)(n+2)/6 + n + 1` |
+//! | [`Org::two_stacks`] | `3n` |
+//!
+//! (The printed formula for *one duplication* in the ACM scan is garbled;
+//! the closed form above reproduces the paper's table row
+//! `3 7 14 25 41 63 92 129` exactly.)
+
+use std::collections::HashMap;
+
+use crate::state::{CacheState, Reg, StateId};
+
+/// A cache organization: a named, enumerated set of [`CacheState`]s over a
+/// fixed number of registers.
+///
+/// # Examples
+///
+/// ```
+/// use stackcache_core::Org;
+///
+/// let org = Org::minimal(4);
+/// assert_eq!(org.state_count(), 5);
+/// assert_eq!(org.registers(), 4);
+///
+/// // Fig. 18, row "one duplication", 8 registers:
+/// assert_eq!(Org::one_dup(8).state_count(), 129);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Org {
+    name: String,
+    registers: u8,
+    states: Vec<CacheState>,
+    index: HashMap<CacheState, StateId>,
+    by_depth: Vec<Vec<StateId>>,
+}
+
+impl Org {
+    fn build(name: String, registers: u8, mut states: Vec<CacheState>) -> Self {
+        states.sort();
+        states.dedup();
+        // Stable, readable ordering: by depth, then lexicographic word.
+        states.sort_by(|a, b| {
+            (a.depth(), a.rdepth(), a.word()).cmp(&(b.depth(), b.rdepth(), b.word()))
+        });
+        let mut index = HashMap::with_capacity(states.len());
+        let max_depth = states.iter().map(|s| s.depth() as usize).max().unwrap_or(0);
+        let mut by_depth = vec![Vec::new(); max_depth + 1];
+        for (i, s) in states.iter().enumerate() {
+            let id = StateId(i as u32);
+            index.insert(s.clone(), id);
+            by_depth[s.depth() as usize].push(id);
+        }
+        Org { name, registers, states, index, by_depth }
+    }
+
+    /// The *minimal* organization: one state per number of cached items,
+    /// canonical register assignment (Section 3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is 0 or greater than 32.
+    #[must_use]
+    pub fn minimal(registers: u8) -> Self {
+        assert!((1..=32).contains(&registers), "1..=32 registers supported");
+        let states = (0..=registers).map(CacheState::canonical).collect();
+        Org::build(format!("minimal({registers})"), registers, states)
+    }
+
+    /// Minimal organization extended so overflow never moves registers:
+    /// the bottom of the cache may start at any register, wrapping around
+    /// (Section 3.3, "overflow move optimization").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is 0 or greater than 32.
+    #[must_use]
+    pub fn overflow_opt(registers: u8) -> Self {
+        assert!((1..=32).contains(&registers), "1..=32 registers supported");
+        let n = registers;
+        let mut states = vec![CacheState::empty()];
+        for d in 1..=n {
+            for start in 0..n {
+                let word: Vec<Reg> = (0..d).map(|i| Reg((start + i) % n)).collect();
+                states.push(CacheState::from_word(word));
+            }
+        }
+        Org::build(format!("overflow-opt({n})"), n, states)
+    }
+
+    /// All injective assignments of distinct stack items to registers:
+    /// stack-shuffling instructions never cost a move (Section 3.4,
+    /// "arbitrary shuffles").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is 0 or greater than 8 (the state count grows
+    /// as `Σ n!/i!`).
+    #[must_use]
+    pub fn arbitrary_shuffles(registers: u8) -> Self {
+        assert!((1..=8).contains(&registers), "1..=8 registers supported");
+        let n = registers;
+        let mut states = Vec::new();
+        // Enumerate injective words of each length 0..=n.
+        fn rec(n: u8, word: &mut Vec<Reg>, used: &mut Vec<bool>, out: &mut Vec<CacheState>) {
+            out.push(CacheState::from_word(word.clone()));
+            if word.len() == n as usize {
+                return;
+            }
+            for r in 0..n {
+                if !used[r as usize] {
+                    used[r as usize] = true;
+                    word.push(Reg(r));
+                    rec(n, word, used, out);
+                    word.pop();
+                    used[r as usize] = false;
+                }
+            }
+        }
+        rec(n, &mut Vec::new(), &mut vec![false; n as usize], &mut states);
+        Org::build(format!("arbitrary-shuffles({n})"), n, states)
+    }
+
+    /// Up to `n + 1` stack items in `n` registers, in any order and with
+    /// any duplication (Section 3.5, "n + 1 stack items").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is 0 or greater than 6 (the state count grows
+    /// as `Σ n^d`).
+    #[must_use]
+    pub fn n_plus_one(registers: u8) -> Self {
+        assert!((1..=6).contains(&registers), "1..=6 registers supported");
+        let n = registers;
+        let mut states = Vec::new();
+        // All words of length 0..=n+1 over n registers.
+        let mut stack: Vec<Vec<Reg>> = vec![Vec::new()];
+        while let Some(word) = stack.pop() {
+            states.push(CacheState::from_word(word.clone()));
+            if word.len() < (n as usize) + 1 {
+                for r in 0..n {
+                    let mut w = word.clone();
+                    w.push(Reg(r));
+                    stack.push(w);
+                }
+            }
+        }
+        Org::build(format!("n-plus-one({n})"), n, states)
+    }
+
+    /// The minimal organization extended with states representing one
+    /// duplication of a cached stack item (Section 3.4/3.5, Fig. 17).
+    ///
+    /// A duplication state is a canonical word `r0 .. r(k-1)` with one
+    /// extra occurrence of some `r_i` inserted above its original
+    /// position. State count: `n(n+1)(n+2)/6 + n + 1`, matching Fig. 18.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is 0 or greater than 32.
+    #[must_use]
+    pub fn one_dup(registers: u8) -> Self {
+        assert!((1..=32).contains(&registers), "1..=32 registers supported");
+        let n = registers;
+        let mut states: Vec<CacheState> =
+            (0..=n).map(CacheState::canonical).collect();
+        for k in 1..=n {
+            // canonical word of k distinct registers + one duplicate of r_i
+            // inserted at position p, i < p <= k.
+            for i in 0..k {
+                for p in (i + 1)..=k {
+                    let mut word: Vec<Reg> = (0..k).map(Reg).collect();
+                    word.insert(p as usize, Reg(i));
+                    states.push(CacheState::from_word(word));
+                }
+            }
+        }
+        Org::build(format!("one-dup({n})"), n, states)
+    }
+
+    /// Minimal data-stack caching combined with caching up to two items of
+    /// the return stack in the same register file (Section 3.4,
+    /// "two stacks"). Return-stack items occupy the top registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is 0 or greater than 32.
+    #[must_use]
+    pub fn two_stacks(registers: u8) -> Self {
+        assert!((1..=32).contains(&registers), "1..=32 registers supported");
+        let n = registers;
+        let mut states = Vec::new();
+        for r in 0..=2u8.min(n) {
+            for d in 0..=(n - r) {
+                states.push(CacheState::canonical(d).with_rdepth(r));
+            }
+        }
+        Org::build(format!("two-stacks({n})"), n, states)
+    }
+
+    /// The organization used for the paper's static-caching measurements
+    /// (Section 6): the minimal organization plus every state reachable by
+    /// applying one stack-manipulation word to a minimal state when its
+    /// arguments are already in registers.
+    ///
+    /// Concretely: all words obtained from a canonical word by applying one
+    /// of the shuffle permutations of the instruction set to its top slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is 0 or greater than 16.
+    #[must_use]
+    pub fn static_shuffle(registers: u8) -> Self {
+        assert!((1..=16).contains(&registers), "1..=16 registers supported");
+        let n = registers;
+        let mut states: Vec<CacheState> = (0..=n).map(CacheState::canonical).collect();
+        for inst in stackcache_vm::Inst::all() {
+            let eff = inst.effect();
+            if let stackcache_vm::EffectKind::Shuffle(perm) = eff.kind {
+                let x = eff.pops;
+                for d in x..=n {
+                    let base: Vec<Reg> = (0..d).map(Reg).collect();
+                    let keep = (d - x) as usize;
+                    let mut word: Vec<Reg> = base[..keep].to_vec();
+                    for &src in perm {
+                        word.push(base[keep + src as usize]);
+                    }
+                    if word.len() <= n as usize + 1 {
+                        states.push(CacheState::from_word(word));
+                    }
+                }
+            }
+        }
+        Org::build(format!("static-shuffle({n})"), n, states)
+    }
+
+    /// The organization's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cache registers.
+    #[must_use]
+    pub fn registers(&self) -> u8 {
+        self.registers
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// All states, ordered by depth then word.
+    #[must_use]
+    pub fn states(&self) -> &[CacheState] {
+        &self.states
+    }
+
+    /// The state with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn state(&self, id: StateId) -> &CacheState {
+        &self.states[id.index()]
+    }
+
+    /// Look up a state's id.
+    #[must_use]
+    pub fn lookup(&self, state: &CacheState) -> Option<StateId> {
+        self.index.get(state).copied()
+    }
+
+    /// Ids of all states with the given cached depth.
+    #[must_use]
+    pub fn states_of_depth(&self, depth: u8) -> &[StateId] {
+        self.by_depth
+            .get(depth as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Greatest cached depth any state supports.
+    #[must_use]
+    pub fn max_depth(&self) -> u8 {
+        (self.by_depth.len() - 1) as u8
+    }
+
+    /// The canonical state of the given depth, if this organization has it.
+    #[must_use]
+    pub fn canonical_of_depth(&self, depth: u8) -> Option<StateId> {
+        self.lookup(&CacheState::canonical(depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 18: number of cache states per organization and register count.
+    #[test]
+    fn fig18_minimal() {
+        for (n, want) in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)] {
+            assert_eq!(Org::minimal(n).state_count(), want, "minimal({n})");
+        }
+    }
+
+    #[test]
+    fn fig18_overflow_opt() {
+        for (n, want) in [(1, 2), (2, 5), (3, 10), (4, 17), (5, 26), (6, 37), (7, 50), (8, 65)] {
+            assert_eq!(Org::overflow_opt(n).state_count(), want, "overflow-opt({n})");
+        }
+    }
+
+    #[test]
+    fn fig18_arbitrary_shuffles() {
+        for (n, want) in
+            [(1, 2), (2, 5), (3, 16), (4, 65), (5, 326), (6, 1957), (7, 13700), (8, 109_601)]
+        {
+            assert_eq!(Org::arbitrary_shuffles(n).state_count(), want, "shuffles({n})");
+        }
+    }
+
+    #[test]
+    fn fig18_n_plus_one() {
+        for (n, want) in [(1, 3), (2, 15), (3, 121), (4, 1365), (5, 19_531)] {
+            assert_eq!(Org::n_plus_one(n).state_count(), want, "n-plus-one({n})");
+        }
+        // Fig. 18 prints 1,356 for n=4 and 6,725,601/153,391,689 beyond; the
+        // printed 1,356 is inconsistent with the generating rule (words of
+        // length <= n+1 over n registers, a geometric sum): for n=4 the sum
+        // 1+4+16+64+256+1024 = 1365. n in {1,2,3,5} match the paper exactly,
+        // so we take 1,356 to be a typo for 1,365.
+    }
+
+    #[test]
+    fn fig18_one_dup() {
+        for (n, want) in [(1, 3), (2, 7), (3, 14), (4, 25), (5, 41), (6, 63), (7, 92), (8, 129)] {
+            assert_eq!(Org::one_dup(n).state_count(), want, "one-dup({n})");
+        }
+        // closed form
+        for n in 1..=8u32 {
+            let want = n * (n + 1) * (n + 2) / 6 + n + 1;
+            assert_eq!(Org::one_dup(n as u8).state_count(), want as usize);
+        }
+    }
+
+    #[test]
+    fn fig18_two_stacks() {
+        for (n, want) in [(1, 3), (2, 6), (3, 9), (4, 12), (5, 15), (6, 18), (7, 21), (8, 24)] {
+            assert_eq!(Org::two_stacks(n).state_count(), want, "two-stacks({n})");
+        }
+    }
+
+    #[test]
+    fn states_are_within_register_budget() {
+        for org in [
+            Org::minimal(4),
+            Org::overflow_opt(4),
+            Org::arbitrary_shuffles(4),
+            Org::n_plus_one(4),
+            Org::one_dup(4),
+            Org::two_stacks(4),
+            Org::static_shuffle(4),
+        ] {
+            for s in org.states() {
+                assert!(
+                    s.regs_used() <= org.registers(),
+                    "{}: state {s} uses too many registers",
+                    org.name()
+                );
+                for r in s.word() {
+                    assert!(r.0 < org.registers(), "{}: register out of range in {s}", org.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrips() {
+        for org in [Org::minimal(5), Org::one_dup(4), Org::overflow_opt(3), Org::static_shuffle(4)]
+        {
+            for (i, s) in org.states().iter().enumerate() {
+                assert_eq!(org.lookup(s), Some(StateId(i as u32)), "{}", org.name());
+                assert_eq!(org.state(StateId(i as u32)), s);
+            }
+            assert_eq!(org.lookup(&CacheState::from_regs(&[7, 7, 7, 7, 7, 7, 7])), None);
+        }
+    }
+
+    #[test]
+    fn states_of_depth_partitions_states() {
+        for org in [Org::minimal(5), Org::one_dup(4), Org::n_plus_one(3), Org::static_shuffle(5)] {
+            let total: usize =
+                (0..=org.max_depth()).map(|d| org.states_of_depth(d).len()).sum();
+            assert_eq!(total, org.state_count(), "{}", org.name());
+            for d in 0..=org.max_depth() {
+                for &id in org.states_of_depth(d) {
+                    assert_eq!(org.state(id).depth(), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_of_depth_exists_in_all_orgs() {
+        for org in [
+            Org::minimal(4),
+            Org::overflow_opt(4),
+            Org::arbitrary_shuffles(4),
+            Org::n_plus_one(4),
+            Org::one_dup(4),
+            Org::two_stacks(4),
+            Org::static_shuffle(4),
+        ] {
+            for d in 0..=org.registers() {
+                assert!(
+                    org.canonical_of_depth(d).is_some(),
+                    "{} lacks canonical depth {d}",
+                    org.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_dup_contains_fig17_like_states() {
+        // With 2 registers: minimal states plus [r0 r0], [r0 r1 r0], [r0 r1 r1], [r0 r0 r1]
+        let org = Org::one_dup(2);
+        assert_eq!(org.state_count(), 7);
+        assert!(org.lookup(&CacheState::from_regs(&[0, 0])).is_some());
+        assert!(org.lookup(&CacheState::from_regs(&[0, 1, 0])).is_some());
+        assert!(org.lookup(&CacheState::from_regs(&[0, 1, 1])).is_some());
+        assert!(org.lookup(&CacheState::from_regs(&[0, 0, 1])).is_some());
+        // but not arbitrary shuffles:
+        assert!(org.lookup(&CacheState::from_regs(&[1, 0])).is_none());
+    }
+
+    #[test]
+    fn static_shuffle_contains_swap_results() {
+        let org = Org::static_shuffle(3);
+        // swap applied to canonical depth 2: [r1 r0]
+        assert!(org.lookup(&CacheState::from_regs(&[1, 0])).is_some());
+        // rot applied to canonical depth 3: [r1 r2 r0]
+        assert!(org.lookup(&CacheState::from_regs(&[1, 2, 0])).is_some());
+        // dup applied to canonical depth 1: [r0 r0]
+        assert!(org.lookup(&CacheState::from_regs(&[0, 0])).is_some());
+        // over applied to depth 2: [r0 r1 r0]
+        assert!(org.lookup(&CacheState::from_regs(&[0, 1, 0])).is_some());
+    }
+
+    #[test]
+    fn two_stacks_respects_budget() {
+        let org = Org::two_stacks(2);
+        // (d, r): (0,0) (1,0) (2,0) (0,1) (1,1) (0,2) = 6 states
+        assert_eq!(org.state_count(), 6);
+        assert!(org.lookup(&CacheState::canonical(2).with_rdepth(0)).is_some());
+        assert!(org.lookup(&CacheState::canonical(2).with_rdepth(1)).is_none());
+    }
+}

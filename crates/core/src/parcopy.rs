@@ -1,0 +1,294 @@
+//! Parallel-copy sequentialization (register shuffling).
+//!
+//! Every transition between two cache states boils down to a *parallel
+//! assignment*: each destination register must receive the value currently
+//! held by some source register. Sequentializing such an assignment into
+//! individual moves — using at most one scratch register for cycles — is a
+//! classic compiler problem; the number of emitted moves is exactly the
+//! *move cost* the paper charges for stack-manipulation instructions and
+//! cache reorganizations (Sections 3.3, 3.4).
+//!
+//! The algorithm: repeatedly emit moves whose destination is not read by
+//! any pending move (tree edges), then break each remaining cycle by saving
+//! one register to the scratch. A cycle of length `L ≥ 2` costs `L + 1`
+//! moves; trees cost one move per edge; self-moves cost nothing.
+
+use std::fmt;
+
+/// One register-to-register move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move<R> {
+    /// Destination register.
+    pub dst: R,
+    /// Source register.
+    pub src: R,
+}
+
+impl<R: fmt::Display> fmt::Display for Move<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <- {}", self.dst, self.src)
+    }
+}
+
+/// Sequentialize the parallel assignment `dst[i] <- src[i]`.
+///
+/// Each destination must appear at most once in `assignment`; sources may
+/// repeat (fan-out / duplication is allowed). `scratch` must be distinct
+/// from every destination and source; it is only used when the assignment
+/// contains cycles.
+///
+/// Returns the move sequence; executing it in order realizes the parallel
+/// assignment.
+///
+/// # Panics
+///
+/// Panics if a destination appears twice, or if `scratch` collides with a
+/// destination or source.
+///
+/// # Examples
+///
+/// ```
+/// use stackcache_core::parcopy::{sequentialize, Move};
+///
+/// // swap r0 and r1 with scratch r2: three moves
+/// let moves = sequentialize(&[(0u8, 1u8), (1, 0)], 2);
+/// assert_eq!(moves.len(), 3);
+///
+/// // a simple copy chain needs no scratch
+/// let moves = sequentialize(&[(2u8, 1u8), (1, 0)], 9);
+/// assert_eq!(moves, vec![Move { dst: 2, src: 1 }, Move { dst: 1, src: 0 }]);
+/// ```
+pub fn sequentialize<R: Copy + Eq + fmt::Debug>(
+    assignment: &[(R, R)],
+    scratch: R,
+) -> Vec<Move<R>> {
+    // Validate.
+    for (i, &(dst, src)) in assignment.iter().enumerate() {
+        assert!(
+            dst != scratch && src != scratch,
+            "scratch {scratch:?} collides with assignment"
+        );
+        for &(dst2, _) in &assignment[i + 1..] {
+            assert!(dst != dst2, "destination {dst:?} assigned twice");
+        }
+    }
+
+    let mut pending: Vec<(R, R)> =
+        assignment.iter().copied().filter(|&(d, s)| d != s).collect();
+    let mut out = Vec::with_capacity(pending.len() + 1);
+
+    loop {
+        // Emit every move whose destination no pending move reads.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let mut i = 0;
+            while i < pending.len() {
+                let (dst, _) = pending[i];
+                let is_read = pending.iter().any(|&(_, s)| s == dst);
+                if is_read {
+                    i += 1;
+                } else {
+                    let (dst, src) = pending.swap_remove(i);
+                    out.push(Move { dst, src });
+                    progressed = true;
+                    // restart scan: earlier moves may have become leaves
+                    i = 0;
+                }
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        // Every remaining destination is read by another pending move:
+        // pure cycles. Break one by saving a destination to scratch.
+        let (dst, _) = pending[0];
+        out.push(Move { dst: scratch, src: dst });
+        for (_, src) in pending.iter_mut() {
+            if *src == dst {
+                *src = scratch;
+            }
+        }
+    }
+}
+
+/// The number of moves [`sequentialize`] would emit, without materializing
+/// the sequence.
+///
+/// This is the move-cost function used throughout the cost model:
+/// non-trivial edges plus one extra move per cycle.
+///
+/// # Panics
+///
+/// Panics if a destination appears twice.
+#[must_use]
+pub fn move_count<R: Copy + Eq + fmt::Debug>(assignment: &[(R, R)]) -> usize {
+    for (i, &(dst, _)) in assignment.iter().enumerate() {
+        for &(dst2, _) in &assignment[i + 1..] {
+            assert!(dst != dst2, "destination {dst:?} assigned twice");
+        }
+    }
+    let nontrivial: Vec<(R, R)> =
+        assignment.iter().copied().filter(|&(d, s)| d != s).collect();
+    let mut count = nontrivial.len();
+
+    // Count cycles: a register is *in a cycle* if following the unique
+    // source chain from it returns to it. Cycles are disjoint; each one of
+    // length >= 2 costs one extra move.
+    // An edge (d, s) is part of a cycle iff s is also a destination and the
+    // chain d -> s -> src(s) -> ... returns to d.
+    let src_of = |r: R| nontrivial.iter().find(|&&(d, _)| d == r).map(|&(_, s)| s);
+    let mut visited: Vec<R> = Vec::new();
+    for &(d, _) in &nontrivial {
+        if visited.contains(&d) {
+            continue;
+        }
+        // Walk the chain from d, detecting a return to d.
+        let mut cur = d;
+        let mut chain = vec![d];
+        let cycle = loop {
+            match src_of(cur) {
+                Some(s) => {
+                    if s == d {
+                        break true;
+                    }
+                    if chain.contains(&s) {
+                        // joined a cycle not through d
+                        break false;
+                    }
+                    chain.push(s);
+                    cur = s;
+                }
+                None => break false,
+            }
+        };
+        if cycle {
+            count += 1;
+            visited.extend(chain);
+        } else {
+            visited.push(d);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Execute a move sequence over a register file and return it.
+    fn apply(moves: &[Move<u8>], init: &HashMap<u8, i32>) -> HashMap<u8, i32> {
+        let mut regs = init.clone();
+        for m in moves {
+            let v = regs[&m.src];
+            regs.insert(m.dst, v);
+        }
+        regs
+    }
+
+    fn check(assignment: &[(u8, u8)], scratch: u8) {
+        // Initialize each register with a unique value.
+        let mut init = HashMap::new();
+        for r in 0..16u8 {
+            init.insert(r, i32::from(r) * 100);
+        }
+        let moves = sequentialize(assignment, scratch);
+        assert_eq!(moves.len(), move_count(assignment), "count matches for {assignment:?}");
+        let after = apply(&moves, &init);
+        for &(dst, src) in assignment {
+            assert_eq!(
+                after[&dst], init[&src],
+                "dst {dst} should hold old value of {src} for {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_is_free() {
+        check(&[(0, 0), (1, 1)], 9);
+        assert_eq!(move_count(&[(0u8, 0u8), (1, 1)]), 0);
+    }
+
+    #[test]
+    fn chain() {
+        check(&[(2, 1), (1, 0)], 9);
+        assert_eq!(move_count(&[(2u8, 1u8), (1, 0)]), 2);
+    }
+
+    #[test]
+    fn swap_costs_three() {
+        check(&[(0, 1), (1, 0)], 9);
+        assert_eq!(move_count(&[(0u8, 1u8), (1, 0)]), 3);
+    }
+
+    #[test]
+    fn rotate_three_costs_four() {
+        check(&[(0, 1), (1, 2), (2, 0)], 9);
+        assert_eq!(move_count(&[(0u8, 1u8), (1, 2), (2, 0)]), 4);
+    }
+
+    #[test]
+    fn duplication_fan_out() {
+        check(&[(1, 0), (2, 0)], 9);
+        assert_eq!(move_count(&[(1u8, 0u8), (2, 0)]), 2);
+    }
+
+    #[test]
+    fn fan_out_plus_overwrite() {
+        // r1 and r2 get r0's value while r0 gets r3's: tree, 3 moves.
+        check(&[(1, 0), (2, 0), (0, 3)], 9);
+        assert_eq!(move_count(&[(1u8, 0u8), (2, 0), (0, 3)]), 3);
+    }
+
+    #[test]
+    fn cycle_plus_tree() {
+        // swap r0,r1 and also copy r0's old value to r2
+        check(&[(0, 1), (1, 0), (2, 0)], 9);
+        assert_eq!(move_count(&[(0u8, 1u8), (1, 0), (2, 0)]), 4);
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        check(&[(0, 1), (1, 0), (2, 3), (3, 2)], 9);
+        assert_eq!(move_count(&[(0u8, 1u8), (1, 0), (2, 3), (3, 2)]), 6);
+    }
+
+    #[test]
+    fn long_cycle() {
+        let a: Vec<(u8, u8)> = vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        check(&a, 9);
+        assert_eq!(move_count(&a), 6);
+    }
+
+    #[test]
+    fn tail_into_cycle() {
+        // r4 <- r0 (tail), and 0 -> 1 -> 0 cycle
+        check(&[(4, 0), (0, 1), (1, 0)], 9);
+        assert_eq!(move_count(&[(4u8, 0u8), (0, 1), (1, 0)]), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_destination_panics() {
+        let _ = sequentialize(&[(0u8, 1u8), (0, 2)], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn scratch_collision_panics() {
+        let _ = sequentialize(&[(0u8, 1u8)], 1);
+    }
+
+    #[test]
+    fn exhaustive_small_permutations() {
+        // All functions from 3 destinations to 3 sources.
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                for c in 0..3u8 {
+                    check(&[(0, a), (1, b), (2, c)], 9);
+                }
+            }
+        }
+    }
+}

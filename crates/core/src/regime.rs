@@ -1,0 +1,892 @@
+//! Counting regimes: instrumentation observers that measure the argument
+//! access overhead of a program run under each caching discipline.
+//!
+//! Each regime implements [`ExecObserver`] and accumulates [`Counts`] while
+//! the reference interpreter executes a workload — exactly the methodology
+//! of the paper's Section 6 ("We instrumented a Forth system to collect
+//! data about the behaviour of various stack caching organizations"):
+//!
+//! * [`SimpleRegime`] — no caching: the baseline characteristics of
+//!   Fig. 20,
+//! * [`ConstantKRegime`] — a fixed number of items in registers (Fig. 21),
+//! * [`CachedRegime`] — on-demand (dynamic) stack caching over any
+//!   organization and overflow-followup policy (Figs. 22 and 23),
+//! * [`RStackRegime`] — return-stack caching with one register (the
+//!   Section 6 note that it has virtually no effect),
+//! * [`TwoStacksRegime`] — both stacks sharing one register file (the
+//!   *two stacks* organization of Section 3.4).
+//!
+//! Several regimes can observe one execution simultaneously (see the
+//! blanket `ExecObserver` impls for slices in `stackcache-vm`), which is
+//! how the harness sweeps dozens of configurations in a single run.
+
+use std::collections::HashMap;
+
+use stackcache_vm::{EffectKind, ExecEvent, ExecObserver};
+
+use crate::cost::Counts;
+use crate::engine::{
+    compute_transition, sig_slot_for_event, sig_slots, OpSig, Policy, TransitionTable,
+};
+use crate::org::Org;
+use crate::state::StateId;
+
+fn is_call(kind: EffectKind) -> bool {
+    matches!(kind, EffectKind::Call)
+}
+
+/// The uncached baseline: every operand access is a memory access and the
+/// stack pointer is updated whenever the depth changes (Fig. 11 / Fig. 20).
+#[derive(Debug, Clone, Default)]
+pub struct SimpleRegime {
+    /// Accumulated counts.
+    pub counts: Counts,
+}
+
+impl SimpleRegime {
+    /// A fresh baseline counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ExecObserver for SimpleRegime {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        let c = &mut self.counts;
+        c.insts += 1;
+        c.dispatches += 1;
+        c.loads += u64::from(e.pops);
+        c.stores += u64::from(e.pushes);
+        if e.pops != e.pushes {
+            c.updates += 1;
+        }
+        c.rloads += u64::from(e.rloads);
+        c.rstores += u64::from(e.rstores);
+        if e.rnet != 0 {
+            c.rupdates += 1;
+        }
+        if is_call(e.kind) {
+            c.calls += 1;
+        }
+    }
+}
+
+/// On-demand stack caching (the *dynamic* method, Section 4): the cache
+/// state machine of `org` advances with every executed instruction.
+///
+/// The `overflow_depth` of the [`Policy`] selects the overflow followup
+/// state (Fig. 22's x-axis); the underflow followup holds exactly the
+/// underflowing instruction's results, as in the paper.
+#[derive(Debug, Clone)]
+pub struct CachedRegime {
+    /// Accumulated counts.
+    pub counts: Counts,
+    org_name: String,
+    registers: u8,
+    overflow_depth: u8,
+    table: TransitionTable,
+    state: StateId,
+    start: StateId,
+}
+
+impl CachedRegime {
+    /// Create a dynamic-caching counter for `org` with the given overflow
+    /// followup depth.
+    #[must_use]
+    pub fn new(org: &Org, overflow_depth: u8) -> Self {
+        let policy = Policy::on_demand(overflow_depth);
+        let start = org.canonical_of_depth(0).expect("empty state exists");
+        CachedRegime {
+            counts: Counts::new(),
+            org_name: org.name().to_string(),
+            registers: org.registers(),
+            overflow_depth,
+            table: TransitionTable::build(org, &policy),
+            state: start,
+            start,
+        }
+    }
+
+    /// The organization's name.
+    #[must_use]
+    pub fn org_name(&self) -> &str {
+        &self.org_name
+    }
+
+    /// Number of cache registers.
+    #[must_use]
+    pub fn registers(&self) -> u8 {
+        self.registers
+    }
+
+    /// The overflow followup depth this regime uses.
+    #[must_use]
+    pub fn overflow_depth(&self) -> u8 {
+        self.overflow_depth
+    }
+
+    /// Reset the cache state (e.g. between workloads).
+    pub fn reset_state(&mut self) {
+        self.state = self.start;
+    }
+}
+
+impl ExecObserver for CachedRegime {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        let c = &mut self.counts;
+        c.insts += 1;
+        c.dispatches += 1;
+        let slot = sig_slot_for_event(ev);
+        let t = self.table.get(self.state, slot);
+        c.loads += u64::from(t.loads);
+        c.stores += u64::from(t.stores);
+        c.moves += u64::from(t.moves);
+        c.updates += u64::from(t.updates);
+        c.underflows += u64::from(t.underflow);
+        c.overflows += u64::from(t.overflow);
+        self.state = t.next;
+        c.rloads += u64::from(e.rloads);
+        c.rstores += u64::from(e.rstores);
+        if e.rnet != 0 {
+            c.rupdates += 1;
+        }
+        if is_call(e.kind) {
+            c.calls += 1;
+        }
+    }
+}
+
+/// A constant number of top-of-stack items kept in registers (Section 2.3,
+/// Fig. 21): the cache always holds exactly `min(k, depth)` items, so the
+/// stack pointer tracks every depth change and refills/spills keep the
+/// register file full.
+#[derive(Debug, Clone)]
+pub struct ConstantKRegime {
+    /// Accumulated counts.
+    pub counts: Counts,
+    k: u8,
+    org: Org,
+    policy: Policy,
+    sigs: Vec<OpSig>,
+    state: StateId,
+    /// true data-stack depth (tracked from events)
+    depth: u64,
+    memo: HashMap<(StateId, usize, u8), crate::engine::Trans>,
+}
+
+impl ConstantKRegime {
+    /// Keep exactly `k >= 1` items in registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 (use [`SimpleRegime`]) or greater than 32.
+    #[must_use]
+    pub fn new(k: u8) -> Self {
+        assert!(k >= 1, "k = 0 is the SimpleRegime");
+        let org = Org::minimal(k);
+        ConstantKRegime {
+            counts: Counts::new(),
+            k,
+            state: org.canonical_of_depth(0).expect("empty state"),
+            org,
+            policy: Policy::constant_k(k),
+            sigs: sig_slots(),
+            depth: 0,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The `k` this regime maintains.
+    #[must_use]
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+}
+
+impl ExecObserver for ConstantKRegime {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        let c = &mut self.counts;
+        c.insts += 1;
+        c.dispatches += 1;
+        let slot = sig_slot_for_event(ev);
+        let cached = u64::from(self.org.state(self.state).depth());
+        let deeper = self.depth.saturating_sub(cached);
+        // The transition only depends on availability up to k + max pops.
+        let deeper_clamped = deeper.min(u64::from(self.k) + 8) as u8;
+        let key = (self.state, slot, deeper_clamped);
+        let t = match self.memo.get(&key) {
+            Some(t) => *t,
+            None => {
+                let t = compute_transition(
+                    &self.org,
+                    &self.policy,
+                    self.state,
+                    &self.sigs[slot],
+                    deeper_clamped,
+                );
+                self.memo.insert(key, t);
+                t
+            }
+        };
+        c.loads += u64::from(t.loads);
+        c.stores += u64::from(t.stores);
+        c.moves += u64::from(t.moves);
+        c.updates += u64::from(t.updates);
+        c.underflows += u64::from(t.underflow);
+        c.overflows += u64::from(t.overflow);
+        self.state = t.next;
+        self.depth = (self.depth as i64 + i64::from(e.pushes) - i64::from(e.pops)) as u64;
+        c.rloads += u64::from(e.rloads);
+        c.rstores += u64::from(e.rstores);
+        if e.rnet != 0 {
+            c.rupdates += 1;
+        }
+        if is_call(e.kind) {
+            c.calls += 1;
+        }
+    }
+}
+
+/// Return-stack caching with a single register holding the top return-stack
+/// item (Section 6: "always keeping one return stack item in a register has
+/// virtually no effect").
+///
+/// Counts return-stack loads and stores under the k=1 discipline into
+/// `counts.rloads` / `counts.rstores`; compare with [`SimpleRegime`]'s
+/// uncached numbers.
+#[derive(Debug, Clone, Default)]
+pub struct RStackRegime {
+    /// Accumulated counts (`rloads`/`rstores`/`rupdates` are the cached
+    /// numbers; data-stack fields stay zero).
+    pub counts: Counts,
+    /// whether the cache register currently holds the top item
+    warm: bool,
+}
+
+impl RStackRegime {
+    /// A fresh return-stack k=1 counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ExecObserver for RStackRegime {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        let c = &mut self.counts;
+        c.insts += 1;
+        // Model: the top return-stack item lives in a register once the
+        // stack is non-empty.
+        //
+        // pushes (rnet > 0): the old cached top is stored to memory
+        //   (if warm), pushed items beyond the last land in memory too;
+        //   the newest stays in the register.
+        // pops (rnet < 0): the cached top is consumed for free; the new
+        //   top must be reloaded if any instruction later reads it — we
+        //   charge the reload eagerly (keep-1 discipline).
+        // reads without net change (r@, i, j, (loop)): top reads are free,
+        //   deeper reads load from memory.
+        if e.rnet > 0 {
+            let pushed = e.rnet as u64;
+            let mut stores = pushed - 1; // all but the newest go to memory
+            if self.warm {
+                stores += 1; // previous cached top displaced
+            }
+            c.rstores += stores;
+            self.warm = true;
+            c.rupdates += 1;
+        } else if e.rnet < 0 {
+            let popped = (-e.rnet) as u64;
+            // The cached top covers one popped item; the rest were in
+            // memory. Loads: the instruction *read* e.rloads items; one of
+            // them (the top) was cached.
+            let reads = u64::from(e.rloads);
+            c.rloads += reads.saturating_sub(1);
+            // Refill the register with the new top.
+            c.rloads += 1;
+            let _ = popped;
+            self.warm = true;
+            c.rupdates += 1;
+        } else if e.rloads > 0 || e.rstores > 0 {
+            // Reads/writes without depth change: top access free, deeper
+            // accesses from memory.
+            c.rloads += u64::from(e.rloads).saturating_sub(1);
+            c.rstores += u64::from(e.rstores).saturating_sub(1);
+        }
+        if is_call(e.kind) {
+            c.calls += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::{exec, program_of, Inst, Machine, ProgramBuilder};
+
+    fn run_with<O: ExecObserver>(insts: &[Inst], obs: &mut O) {
+        let p = program_of(insts);
+        let mut m = Machine::with_memory(4096);
+        exec::run_with_observer(&p, &mut m, 1_000_000, obs).expect("runs");
+    }
+
+    #[test]
+    fn simple_counts_operand_traffic() {
+        let mut r = SimpleRegime::new();
+        // lit lit add: stores 1+1+1, loads 2, updates 3 (+halt: 0)
+        run_with(&[Inst::Lit(1), Inst::Lit(2), Inst::Add], &mut r);
+        assert_eq!(r.counts.insts, 4); // + halt
+        assert_eq!(r.counts.loads, 2);
+        assert_eq!(r.counts.stores, 3);
+        assert_eq!(r.counts.updates, 3);
+        assert_eq!(r.counts.dispatches, 4);
+    }
+
+    #[test]
+    fn simple_counts_calls_and_rstack() {
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.call(w);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let mut m = Machine::with_memory(64);
+        let mut r = SimpleRegime::new();
+        exec::run_with_observer(&p, &mut m, 1000, &mut r).unwrap();
+        assert_eq!(r.counts.calls, 1);
+        assert_eq!(r.counts.rstores, 1);
+        assert_eq!(r.counts.rloads, 1);
+        assert_eq!(r.counts.rupdates, 2);
+    }
+
+    #[test]
+    fn cached_regime_avoids_traffic_for_balanced_code() {
+        // lit lit add with a 3-register cache: everything stays in
+        // registers; only the final halt leaves the value cached.
+        let org = Org::minimal(3);
+        let mut r = CachedRegime::new(&org, 3);
+        run_with(&[Inst::Lit(1), Inst::Lit(2), Inst::Add], &mut r);
+        assert_eq!(r.counts.loads, 0);
+        assert_eq!(r.counts.stores, 0);
+        assert_eq!(r.counts.updates, 0);
+        assert_eq!(r.counts.overflows, 0);
+        assert_eq!(r.counts.underflows, 0);
+    }
+
+    #[test]
+    fn cached_regime_overflows_when_pushing_past_capacity() {
+        let org = Org::minimal(2);
+        let mut r = CachedRegime::new(&org, 2);
+        run_with(
+            &[Inst::Lit(1), Inst::Lit(2), Inst::Lit(3), Inst::Lit(4)],
+            &mut r,
+        );
+        assert_eq!(r.counts.overflows, 2);
+        assert_eq!(r.counts.stores, 2);
+    }
+
+    #[test]
+    fn cached_regime_underflow_policy_keeps_results() {
+        // Start empty; add underflows (2 loads), leaves result cached; a
+        // following drop is then free.
+        let org = Org::minimal(3);
+        let mut r = CachedRegime::new(&org, 3);
+        let p = program_of(&[Inst::Add, Inst::Drop]);
+        let mut m = Machine::with_memory(64);
+        m.push(1);
+        m.push(2);
+        exec::run_with_observer(&p, &mut m, 1000, &mut r).unwrap();
+        assert_eq!(r.counts.loads, 2);
+        assert_eq!(r.counts.underflows, 1);
+        assert_eq!(r.counts.stores, 0);
+        assert_eq!(r.counts.moves, 0);
+    }
+
+    #[test]
+    fn constant_k_matches_paper_add_example() {
+        // Deep stack, then add: k=1 keeps the top in a register, so add
+        // loads one operand (Fig. 12), instead of two loads + a store.
+        let mut r1 = ConstantKRegime::new(1);
+        let p = program_of(&[Inst::Lit(5), Inst::Lit(6), Inst::Lit(7), Inst::Add]);
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 1000, &mut r1).unwrap();
+        // lit(5): cache it (store nothing: depth 0 -> 1, reg holds it).
+        // lit(6): displaced 5 stored (1 store). lit(7): 6 stored (1 store).
+        // add: operand 6 loaded (1 load), result in reg.
+        assert_eq!(r1.counts.stores, 2);
+        assert_eq!(r1.counts.loads, 1);
+        // sp updates on every net change: 4 instructions
+        assert_eq!(r1.counts.updates, 4);
+    }
+
+    #[test]
+    fn constant_k_moves_grow_with_k() {
+        // swap-heavy code: with k=3 a swap shuffles registers (3 moves);
+        // with k=1 it touches memory instead.
+        let prog = &[Inst::Lit(1), Inst::Lit(2), Inst::Swap, Inst::Swap, Inst::Swap];
+        let mut r1 = ConstantKRegime::new(1);
+        run_with(prog, &mut r1);
+        let mut r3 = ConstantKRegime::new(3);
+        run_with(prog, &mut r3);
+        assert!(r3.counts.moves > r1.counts.moves);
+        assert!(r3.counts.loads + r3.counts.stores < r1.counts.loads + r1.counts.stores);
+    }
+
+    #[test]
+    fn rstack_k1_saves_rfetch_only() {
+        // >r r@ r@ r>: uncached: 1 store + 3 loads. k=1: push free-ish,
+        // r@ free, pop refill.
+        let mut simple = SimpleRegime::new();
+        let mut cached = RStackRegime::new();
+        let prog = &[Inst::Lit(5), Inst::ToR, Inst::RFetch, Inst::RFetch, Inst::FromR];
+        run_with(prog, &mut simple);
+        run_with(prog, &mut cached);
+        assert_eq!(simple.counts.rloads, 3);
+        assert_eq!(simple.counts.rstores, 1);
+        // cached: >r costs 0 (register), r@ free twice, r> reads cached
+        // top free but refills: 1 load.
+        assert!(cached.counts.rloads + cached.counts.rstores
+            < simple.counts.rloads + simple.counts.rstores);
+    }
+
+    #[test]
+    fn rstack_k1_no_effect_on_call_return() {
+        // pure call/return traffic: k=1 saves nothing.
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        for _ in 0..5 {
+            b.call(w);
+        }
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+
+        let mut simple = SimpleRegime::new();
+        let mut cached = RStackRegime::new();
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 1000, &mut simple).unwrap();
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 1000, &mut cached).unwrap();
+        // call: store return address; return: load it. k=1 converts the
+        // store into a displaced-store on the 2nd..5th call and adds a
+        // refill per return: no improvement.
+        assert!(
+            cached.counts.rloads + cached.counts.rstores + 1
+                >= simple.counts.rloads + simple.counts.rstores,
+            "k=1 should not help pure call/return: cached {} vs simple {}",
+            cached.counts.rloads + cached.counts.rstores,
+            simple.counts.rloads + simple.counts.rstores
+        );
+    }
+
+    #[test]
+    fn regimes_can_share_one_execution() {
+        let mut sims: Vec<CachedRegime> = (1..=4u8)
+            .map(|n| CachedRegime::new(&Org::minimal(n), n))
+            .collect();
+        let p = program_of(&[Inst::Lit(1), Inst::Lit(2), Inst::Add, Inst::Dup, Inst::Mul]);
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 1000, &mut sims).unwrap();
+        for s in &sims {
+            assert_eq!(s.counts.insts, 6);
+        }
+        // more registers never increase memory traffic
+        for w in sims.windows(2) {
+            assert!(w[1].counts.loads + w[1].counts.stores <= w[0].counts.loads + w[0].counts.stores);
+        }
+    }
+}
+
+/// Data- and return-stack caching sharing one register file (the *two
+/// stacks* organization of Section 3.4 / Fig. 18): minimal data-stack
+/// discipline plus up to two cached return-stack items, with the data
+/// stack taking priority when registers run short.
+///
+/// Policy (documented, on-demand):
+/// * data-stack transitions follow the minimal organization with a
+///   near-full overflow followup, over the registers not holding cached
+///   return-stack items;
+/// * a return-stack push is cached when a register is free (at most two),
+///   otherwise it goes to memory; pops and top reads hit the cache;
+/// * when the data stack needs a register and none is free, the deepest
+///   cached return-stack item is evicted to memory.
+#[derive(Debug, Clone)]
+pub struct TwoStacksRegime {
+    /// Accumulated counts (data-stack fields + rloads/rstores/rupdates).
+    pub counts: Counts,
+    registers: u8,
+    /// transition tables for the minimal organization at each capacity
+    /// `registers - r` (index = r)
+    tables: Vec<TransitionTable>,
+    /// cached data items (top of data stack); doubles as the state id in
+    /// the minimal organization (states are ordered by depth)
+    d: u8,
+    /// cached return items (top of return stack)
+    r: u8,
+}
+
+impl TwoStacksRegime {
+    /// A two-stacks cache over `registers` shared registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is less than 3 (two return-stack slots plus
+    /// at least one data slot).
+    #[must_use]
+    pub fn new(registers: u8) -> Self {
+        assert!(registers >= 3, "at least three shared registers");
+        let tables = (0..=2u8)
+            .map(|r| {
+                let cap = registers - r;
+                TransitionTable::build(&Org::minimal(cap), &Policy::on_demand(cap))
+            })
+            .collect();
+        TwoStacksRegime { counts: Counts::new(), registers, tables, d: 0, r: 0 }
+    }
+
+    /// Number of shared registers.
+    #[must_use]
+    pub fn registers(&self) -> u8 {
+        self.registers
+    }
+
+
+    /// Run the data-stack side of one instruction through the engine's
+    /// minimal-organization tables at the current capacity, evicting
+    /// cached return items when the data stack would otherwise spill.
+    fn data_event(&mut self, ev: &ExecEvent) {
+        let slot = sig_slot_for_event(ev);
+        loop {
+            let t = *self.tables[self.r as usize].get(StateId(u32::from(self.d)), slot);
+            if t.overflow && self.r > 0 {
+                // give the data stack the register instead of spilling
+                self.r -= 1;
+                self.counts.rstores += 1;
+                self.counts.rupdates += 1;
+                continue;
+            }
+            self.counts.loads += u64::from(t.loads);
+            self.counts.stores += u64::from(t.stores);
+            self.counts.moves += u64::from(t.moves);
+            self.counts.updates += u64::from(t.updates);
+            self.counts.underflows += u64::from(t.underflow);
+            self.counts.overflows += u64::from(t.overflow);
+            self.d = t.next.0 as u8; // minimal org: state id == depth
+            break;
+        }
+    }
+
+    fn rpush(&mut self, n: u8) {
+        for _ in 0..n {
+            if self.r < 2 && self.d + self.r < self.registers {
+                self.r += 1; // cached, no traffic
+            } else {
+                // no free register (or the return cache is full): the new
+                // item (or the displaced deepest one) goes to memory
+                self.counts.rstores += 1;
+            }
+        }
+        self.counts.rupdates += 1;
+    }
+
+    fn rpop(&mut self, n: u8, reads: u8) {
+        // reads beyond the cached top items come from memory
+        let cached_reads = reads.min(self.r);
+        self.counts.rloads += u64::from(reads - cached_reads);
+        let cached_pops = n.min(self.r);
+        self.r -= cached_pops;
+        self.counts.rupdates += 1;
+    }
+}
+
+impl ExecObserver for TwoStacksRegime {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        self.counts.insts += 1;
+        self.counts.dispatches += 1;
+        self.data_event(ev);
+        // return-stack side
+        if e.rnet > 0 {
+            self.rpush(e.rnet as u8);
+        } else if e.rnet < 0 {
+            self.rpop((-e.rnet) as u8, e.rloads);
+        } else if e.rloads > 0 || e.rstores > 0 {
+            // reads/writes without a depth change (r@, i, j, (loop))
+            let cached = e.rloads.min(self.r);
+            self.counts.rloads += u64::from(e.rloads - cached);
+            self.counts.rstores += u64::from(e.rstores.saturating_sub(self.r.min(1)));
+        }
+        if is_call(e.kind) {
+            self.counts.calls += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod two_stacks_tests {
+    use super::*;
+    use stackcache_vm::{exec, Inst, Machine, ProgramBuilder};
+
+    fn run_with<O: ExecObserver>(p: &stackcache_vm::Program, obs: &mut O) {
+        let mut m = Machine::with_memory(4096);
+        exec::run_with_observer(p, &mut m, 1_000_000, obs).expect("runs");
+    }
+
+    fn call_heavy_program() -> stackcache_vm::Program {
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(5));
+        for _ in 0..10 {
+            b.call(w);
+        }
+        b.push(Inst::Drop);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        b.push(Inst::OnePlus);
+        b.push(Inst::Return);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn caches_call_return_pairs() {
+        let p = call_heavy_program();
+        let mut shared = TwoStacksRegime::new(4);
+        let mut simple = SimpleRegime::new();
+        let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut shared, &mut simple];
+        run_with(&p, &mut obs);
+        // calls push a return address that the matching return pops while
+        // still cached: shared caching must beat the uncached baseline on
+        // return-stack traffic.
+        assert!(
+            shared.counts.rloads + shared.counts.rstores
+                < simple.counts.rloads + simple.counts.rstores,
+            "shared {} vs simple {}",
+            shared.counts.rloads + shared.counts.rstores,
+            simple.counts.rloads + simple.counts.rstores
+        );
+        // and data traffic must not exceed the baseline either
+        assert!(shared.counts.loads + shared.counts.stores
+            <= simple.counts.loads + simple.counts.stores);
+    }
+
+    #[test]
+    fn data_stack_evicts_return_items_under_pressure() {
+        // fill the data cache; return items must yield
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Lit(1));
+        b.push(Inst::ToR); // cache a return item
+        for i in 0..4 {
+            b.push(Inst::Lit(i)); // data pressure on a 3-register file
+        }
+        b.push(Inst::FromR);
+        b.extend([Inst::Add, Inst::Add, Inst::Add, Inst::Add]);
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let mut shared = TwoStacksRegime::new(3);
+        run_with(&p, &mut shared);
+        // the cached return item was displaced to memory (one rstore) and
+        // read back (one rload)
+        assert!(shared.counts.rstores >= 1);
+        assert!(shared.counts.rloads >= 1);
+    }
+
+    #[test]
+    fn never_worse_than_uncached_on_workload_like_mix() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Lit(6));
+        b.push(Inst::Lit(0));
+        b.push(Inst::DoSetup);
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::LoopI);
+        b.push(Inst::Dup);
+        b.push(Inst::Mul);
+        b.push(Inst::Drop);
+        b.loop_inc(top);
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let mut shared = TwoStacksRegime::new(4);
+        let mut simple = SimpleRegime::new();
+        let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut shared, &mut simple];
+        run_with(&p, &mut obs);
+        let model = crate::CostModel::paper();
+        let total = |c: &Counts| c.access_cycles(&model) + c.rloads + c.rstores;
+        assert!(total(&shared.counts) <= total(&simple.counts));
+    }
+}
+
+/// Prefetching stack cache (Section 3.6): on-demand caching over the
+/// minimal organization, but states with fewer than `min_items` cached
+/// are forbidden — the cache eagerly refills from memory after popping
+/// below the threshold.
+///
+/// The paper notes this trades slightly higher memory traffic (useless
+/// prefetches before pushes, extra spills on overflow) for the
+/// latency-hiding benefit of having operands loaded early; only the
+/// traffic side is measurable in this cost model.
+#[derive(Debug, Clone)]
+pub struct PrefetchRegime {
+    /// Accumulated counts.
+    pub counts: Counts,
+    registers: u8,
+    min_items: u8,
+    org: Org,
+    policy: Policy,
+    sigs: Vec<OpSig>,
+    state: StateId,
+    /// true data-stack depth (tracked from events)
+    depth: u64,
+    memo: HashMap<(StateId, usize, u8), crate::engine::Trans>,
+}
+
+impl PrefetchRegime {
+    /// Prefetch at least `min_items` of `registers` cache registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_items > registers` or `registers` is zero.
+    #[must_use]
+    pub fn new(registers: u8, min_items: u8) -> Self {
+        assert!(registers >= 1, "at least one register");
+        assert!(min_items <= registers, "cannot prefetch past the register file");
+        let org = Org::minimal(registers);
+        PrefetchRegime {
+            counts: Counts::new(),
+            registers,
+            min_items,
+            state: org.canonical_of_depth(0).expect("empty state"),
+            org,
+            policy: Policy::prefetch(min_items, registers),
+            sigs: sig_slots(),
+            depth: 0,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The prefetch threshold.
+    #[must_use]
+    pub fn min_items(&self) -> u8 {
+        self.min_items
+    }
+
+    /// Number of cache registers.
+    #[must_use]
+    pub fn registers(&self) -> u8 {
+        self.registers
+    }
+}
+
+impl ExecObserver for PrefetchRegime {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        let c = &mut self.counts;
+        c.insts += 1;
+        c.dispatches += 1;
+        let slot = sig_slot_for_event(ev);
+        let cached = u64::from(self.org.state(self.state).depth());
+        let deeper = self.depth.saturating_sub(cached);
+        let deeper_clamped = deeper.min(u64::from(self.registers) + 8) as u8;
+        let key = (self.state, slot, deeper_clamped);
+        let t = match self.memo.get(&key) {
+            Some(t) => *t,
+            None => {
+                let t = compute_transition(
+                    &self.org,
+                    &self.policy,
+                    self.state,
+                    &self.sigs[slot],
+                    deeper_clamped,
+                );
+                self.memo.insert(key, t);
+                t
+            }
+        };
+        c.loads += u64::from(t.loads);
+        c.stores += u64::from(t.stores);
+        c.moves += u64::from(t.moves);
+        c.updates += u64::from(t.updates);
+        c.underflows += u64::from(t.underflow);
+        c.overflows += u64::from(t.overflow);
+        self.state = t.next;
+        self.depth = (self.depth as i64 + i64::from(e.pushes) - i64::from(e.pops)) as u64;
+        c.rloads += u64::from(e.rloads);
+        c.rstores += u64::from(e.rstores);
+        if e.rnet != 0 {
+            c.rupdates += 1;
+        }
+        if is_call(e.kind) {
+            c.calls += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use stackcache_vm::{exec, program_of, Inst, Machine};
+
+    fn run_all(insts: &[Inst]) -> (Counts, Counts, Counts) {
+        let p = program_of(insts);
+        let org = Org::minimal(4);
+        let mut on_demand = CachedRegime::new(&org, 4);
+        let mut pf0 = PrefetchRegime::new(4, 0);
+        let mut pf2 = PrefetchRegime::new(4, 2);
+        let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut on_demand, &mut pf0, &mut pf2];
+        let mut m = Machine::with_memory(4096);
+        m.push(1);
+        m.push(2);
+        m.push(3);
+        m.push(4);
+        exec::run_with_observer(&p, &mut m, 1_000_000, &mut obs).expect("runs");
+        (on_demand.counts, pf0.counts, pf2.counts)
+    }
+
+    #[test]
+    fn prefetch_zero_equals_on_demand() {
+        let (od, pf0, _) = run_all(&[
+            Inst::Add,
+            Inst::Lit(7),
+            Inst::Mul,
+            Inst::Drop,
+            Inst::Swap,
+            Inst::Sub,
+        ]);
+        assert_eq!(od, pf0);
+    }
+
+    #[test]
+    fn prefetch_loads_eagerly() {
+        // popping below the threshold triggers refills even before any
+        // instruction needs the items
+        let (od, _, pf2) = run_all(&[Inst::Add, Inst::Drop, Inst::Drop]);
+        assert!(pf2.loads > od.loads, "prefetch {} vs on-demand {}", pf2.loads, od.loads);
+        // but later consumers then find their operands cached: underflows
+        // cannot be more frequent than on demand
+        assert!(pf2.underflows <= od.underflows);
+    }
+
+    #[test]
+    fn prefetch_traffic_is_never_below_on_demand() {
+        let (od, _, pf2) = run_all(&[
+            Inst::Add,
+            Inst::Add,
+            Inst::Lit(1),
+            Inst::Lit(2),
+            Inst::Swap,
+            Inst::Drop,
+            Inst::Drop,
+            Inst::Add,
+        ]);
+        assert!(pf2.loads + pf2.stores >= od.loads + od.stores);
+    }
+}

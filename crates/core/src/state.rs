@@ -1,0 +1,219 @@
+//! Cache states: mappings of stack items to machine registers.
+
+use std::fmt;
+
+/// A cache register (one of the real-machine registers dedicated to stack
+/// caching). Registers are numbered `0..n` within an organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a cache state within an [`Org`](crate::org::Org).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A cache state: which register holds each cached stack slot.
+///
+/// `word[i]` is the register holding the cached data-stack slot `i`,
+/// counted *bottom-first* (slot 0 is the deepest cached item, the last slot
+/// is the top of stack). Two slots may name the same register — that
+/// represents a *duplication*: the stack logically holds the value twice
+/// but it is stored once (Section 3.4).
+///
+/// `rdepth` is the number of return-stack items cached (only non-zero in
+/// the *two stacks* organization, Section 3.4); return-stack slots occupy
+/// the highest-numbered registers, growing downward.
+///
+/// The stack pointer kept in memory differs from the true stack pointer by
+/// exactly `depth()` items (stack-pointer update minimization,
+/// Section 3.1).
+///
+/// # Examples
+///
+/// ```
+/// use stackcache_core::{CacheState, Reg};
+///
+/// let s = CacheState::canonical(3);          // r0 r1 r2, top in r2
+/// assert_eq!(s.depth(), 3);
+/// assert_eq!(s.top(), Some(Reg(2)));
+/// assert!(!s.has_duplication());
+///
+/// let dup = CacheState::from_regs(&[0, 1, 1]); // top two share r1
+/// assert!(dup.has_duplication());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CacheState {
+    word: Vec<Reg>,
+    rdepth: u8,
+}
+
+impl CacheState {
+    /// The empty cache state.
+    #[must_use]
+    pub fn empty() -> Self {
+        CacheState::default()
+    }
+
+    /// The canonical state of depth `d`: slot `i` in register `i`.
+    #[must_use]
+    pub fn canonical(d: u8) -> Self {
+        CacheState { word: (0..d).map(Reg).collect(), rdepth: 0 }
+    }
+
+    /// A state from raw register numbers, bottom-first.
+    #[must_use]
+    pub fn from_regs(regs: &[u8]) -> Self {
+        CacheState { word: regs.iter().copied().map(Reg).collect(), rdepth: 0 }
+    }
+
+    /// A state from a register word, bottom-first.
+    #[must_use]
+    pub fn from_word(word: Vec<Reg>) -> Self {
+        CacheState { word, rdepth: 0 }
+    }
+
+    /// This state with `rdepth` cached return-stack items.
+    #[must_use]
+    pub fn with_rdepth(mut self, rdepth: u8) -> Self {
+        self.rdepth = rdepth;
+        self
+    }
+
+    /// Number of cached data-stack slots.
+    #[must_use]
+    pub fn depth(&self) -> u8 {
+        self.word.len() as u8
+    }
+
+    /// Number of cached return-stack items.
+    #[must_use]
+    pub fn rdepth(&self) -> u8 {
+        self.rdepth
+    }
+
+    /// The register word, bottom-first.
+    #[must_use]
+    pub fn word(&self) -> &[Reg] {
+        &self.word
+    }
+
+    /// The register holding slot `i` (bottom-first).
+    #[must_use]
+    pub fn slot(&self, i: usize) -> Option<Reg> {
+        self.word.get(i).copied()
+    }
+
+    /// The register holding the top of stack.
+    #[must_use]
+    pub fn top(&self) -> Option<Reg> {
+        self.word.last().copied()
+    }
+
+    /// Number of *distinct* registers used by data slots.
+    #[must_use]
+    pub fn distinct_regs(&self) -> u8 {
+        let mut seen = 0u64;
+        for r in &self.word {
+            seen |= 1 << r.0;
+        }
+        seen.count_ones() as u8
+    }
+
+    /// `true` if two slots share a register (a duplicated stack item).
+    #[must_use]
+    pub fn has_duplication(&self) -> bool {
+        self.distinct_regs() < self.depth()
+    }
+
+    /// `true` if this is the canonical prefix state of its depth.
+    #[must_use]
+    pub fn is_canonical(&self) -> bool {
+        self.word.iter().enumerate().all(|(i, r)| r.0 as usize == i)
+    }
+
+    /// Total registers occupied, counting cached return-stack items.
+    #[must_use]
+    pub fn regs_used(&self) -> u8 {
+        self.distinct_regs() + self.rdepth
+    }
+}
+
+impl fmt::Display for CacheState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, r) in self.word.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")?;
+        if self.rdepth > 0 {
+            write!(f, "+R{}", self.rdepth)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_states() {
+        let s = CacheState::canonical(0);
+        assert_eq!(s, CacheState::empty());
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.top(), None);
+        assert!(s.is_canonical());
+
+        let s = CacheState::canonical(4);
+        assert_eq!(s.depth(), 4);
+        assert_eq!(s.top(), Some(Reg(3)));
+        assert_eq!(s.slot(0), Some(Reg(0)));
+        assert!(s.is_canonical());
+        assert!(!s.has_duplication());
+        assert_eq!(s.distinct_regs(), 4);
+    }
+
+    #[test]
+    fn duplication_detection() {
+        let s = CacheState::from_regs(&[0, 1, 0]);
+        assert!(s.has_duplication());
+        assert_eq!(s.distinct_regs(), 2);
+        assert!(!s.is_canonical());
+    }
+
+    #[test]
+    fn rdepth_counts_toward_regs_used() {
+        let s = CacheState::canonical(2).with_rdepth(1);
+        assert_eq!(s.regs_used(), 3);
+        assert_eq!(s.rdepth(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(CacheState::empty().to_string(), "[]");
+        assert_eq!(CacheState::canonical(2).to_string(), "[r0 r1]");
+        assert_eq!(CacheState::canonical(1).with_rdepth(2).to_string(), "[r0]+R2");
+    }
+}

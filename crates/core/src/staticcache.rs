@@ -1,0 +1,683 @@
+//! Static stack caching (Section 5): the *compiler* tracks the cache state.
+//!
+//! The compiler walks every basic block with a finite state machine over
+//! the cache organization. Each instruction is compiled in a known cache
+//! state, so:
+//!
+//! * pure stack manipulations whose result assignment is itself a state of
+//!   the organization compile to *nothing* — not even a dispatch,
+//! * there is no per-state interpreter copy and no dispatch-time state
+//!   tracking (direct threading stays fast),
+//! * at basic-block boundaries the code *reconciles* the cache to a
+//!   canonical state (the control-flow convention), and calls/returns use
+//!   the same state as a calling convention.
+//!
+//! [`compile`] produces a [`StaticProgram`]: a per-instruction cost table
+//! (plus static statistics). Because each original program point is
+//! compiled in exactly one cache state, the *dynamic* cost of the
+//! statically cached program is obtained by executing the original program
+//! and summing the per-point costs — that is what [`StaticRegime`] does,
+//! mirroring the paper's measurement setup for Figs. 24 and 25.
+//!
+//! [`StaticOptions::optimal`] enables the linear-time two-pass optimal code
+//! generator the paper sketches (a dynamic program over cache states within
+//! each basic block, BURS-style) instead of the greedy state walk.
+
+use std::collections::HashMap;
+
+use stackcache_vm::{Cfg, EffectKind, ExecEvent, ExecObserver, Inst, Program};
+
+use crate::cost::Counts;
+use crate::engine::{
+    compute_transition, compute_transition_all, reconcile, OpSig, Policy, Trans,
+};
+use crate::org::Org;
+use crate::state::StateId;
+
+/// Options for the static-caching compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticOptions {
+    /// Depth of the canonical state used at basic-block boundaries and as
+    /// the calling convention (Fig. 24's x-axis).
+    pub canonical: u8,
+    /// Overflow followup depth for in-block transitions. The paper's
+    /// experiments use the canonical state for this as well.
+    pub overflow_depth: u8,
+    /// Use the two-pass optimal code generator instead of the greedy walk.
+    pub optimal: bool,
+    /// Let a block with a unique predecessor inherit that predecessor's
+    /// exit state instead of resetting to canonical (the paper's "branch
+    /// performs the transition to the state at the branch target").
+    pub threaded_joins: bool,
+}
+
+impl StaticOptions {
+    /// Canonical and overflow followup depth `c`, greedy codegen.
+    #[must_use]
+    pub fn with_canonical(c: u8) -> Self {
+        StaticOptions { canonical: c, overflow_depth: c, optimal: false, threaded_joins: false }
+    }
+}
+
+impl Default for StaticOptions {
+    fn default() -> Self {
+        StaticOptions::with_canonical(2)
+    }
+}
+
+/// Compile-time cost of one original instruction site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstCost {
+    /// Whether the instruction still executes a dispatch (false for
+    /// statically eliminated stack manipulations).
+    pub dispatched: bool,
+    /// Loads from the stack in memory (operation + reconciliation).
+    pub loads: u16,
+    /// Stores to the stack in memory.
+    pub stores: u16,
+    /// Register moves.
+    pub moves: u16,
+    /// Stack-pointer updates.
+    pub updates: u16,
+    /// Cache state this site was compiled in.
+    pub state_in: StateId,
+}
+
+impl InstCost {
+    fn add_trans(&mut self, t: &Trans) {
+        self.loads += t.loads;
+        self.stores += t.stores;
+        self.moves += t.moves;
+        self.updates += t.updates;
+    }
+
+    fn add_reconcile(&mut self, c: &crate::engine::ReconcileCost) {
+        self.loads += c.loads;
+        self.stores += c.stores;
+        self.moves += c.moves;
+        self.updates += c.updates;
+    }
+}
+
+/// Static compilation statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Number of basic blocks compiled.
+    pub blocks: usize,
+    /// Instruction sites compiled away entirely (no dispatch).
+    pub eliminated_sites: usize,
+    /// Instruction sites that still dispatch.
+    pub emitted_sites: usize,
+    /// Block boundaries that reconciled to the canonical state.
+    pub reconciled_edges: usize,
+    /// Block boundaries that inherited a predecessor state
+    /// (`threaded_joins`).
+    pub inherited_edges: usize,
+}
+
+/// A statically compiled program: per-site costs for the original program.
+#[derive(Debug, Clone)]
+pub struct StaticProgram {
+    costs: Vec<InstCost>,
+    /// `?dup`-on-zero alternative costs.
+    alt: HashMap<usize, InstCost>,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+impl StaticProgram {
+    /// The compiled cost of the instruction at `ip` for an execution with
+    /// the given resolved event.
+    #[must_use]
+    pub fn cost_for(&self, ev: &ExecEvent) -> &InstCost {
+        if matches!(ev.inst, Inst::QDup)
+            && ev.effect.kind == EffectKind::Shuffle(stackcache_vm::perm::QDUP_ZERO)
+        {
+            if let Some(c) = self.alt.get(&ev.ip) {
+                return c;
+            }
+        }
+        &self.costs[ev.ip]
+    }
+
+    /// The compiled cost table, indexed by original instruction index.
+    #[must_use]
+    pub fn costs(&self) -> &[InstCost] {
+        &self.costs
+    }
+}
+
+/// One compilation step: an instruction's cache-relevant signature.
+fn step_sig(inst: &Inst) -> StepKind {
+    let eff = inst.effect();
+    match eff.kind {
+        EffectKind::Normal => StepKind::Op(OpSig::normal(eff.pops, eff.pushes)),
+        EffectKind::Shuffle(p) => StepKind::Op(OpSig::shuffle(eff.pops, p)),
+        EffectKind::DynamicShuffle => StepKind::QDup,
+        EffectKind::Opaque => StepKind::Op(OpSig::opaque(eff.pops, eff.pushes)),
+        // Control flow: only the data-stack consumption matters here; the
+        // reconciliation is handled at the block boundary.
+        EffectKind::Branch
+        | EffectKind::CondBranch
+        | EffectKind::Call
+        | EffectKind::Return
+        | EffectKind::Halt => StepKind::Op(OpSig::normal(eff.pops, 0)),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum StepKind {
+    Op(OpSig),
+    /// `?dup`: compiled as a cache flush so both outcomes end in the same
+    /// (empty) state; the zero variant gets an alternative cost entry.
+    QDup,
+}
+
+/// Weight of a transition for the optimal planner: access cycles plus the
+/// dispatch unless eliminated (paper weights, dispatch = 4).
+fn trans_weight(t: &Trans) -> u32 {
+    let access =
+        u32::from(t.loads) + u32::from(t.stores) + u32::from(t.moves) + u32::from(t.updates);
+    access + if t.eliminated { 0 } else { 4 }
+}
+
+/// Compile `program` for static stack caching over `org`.
+///
+/// # Panics
+///
+/// Panics if `org` lacks the canonical state of depth `opts.canonical`.
+#[must_use]
+pub fn compile(program: &Program, org: &Org, opts: &StaticOptions) -> StaticProgram {
+    let canonical = org
+        .canonical_of_depth(opts.canonical)
+        .expect("organization must contain the canonical state");
+    let policy = Policy::on_demand(opts.overflow_depth);
+    let insts = program.insts();
+    let cfg = Cfg::build(program);
+    let blocks = cfg.blocks();
+
+    let mut costs = vec![InstCost::default(); insts.len()];
+    let mut alt: HashMap<usize, InstCost> = HashMap::new();
+    let mut stats = CompileStats { blocks: blocks.len(), ..CompileStats::default() };
+
+    // ---- entry-state assignment (threaded joins) -------------------------
+    // A block may inherit its unique predecessor's exit state if: it is not
+    // the program entry, not a call target, not a call-return point, and
+    // exactly one block branches/falls through to it — and that predecessor
+    // has exactly one successor and appears earlier in program order.
+    let mut call_targets: Vec<usize> = Vec::new();
+    for inst in insts {
+        if let Inst::Call(t) = inst {
+            call_targets.push(*t as usize);
+        }
+    }
+    // predecessor lists by block leader
+    let mut preds: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (bi, b) in blocks.iter().enumerate() {
+        for &s in &b.successors {
+            preds.entry(s).or_default().push(bi);
+        }
+    }
+    let leader_of = |ip: usize| -> usize {
+        blocks.partition_point(|b| b.end <= ip)
+    };
+    let mut inherits_from: HashMap<usize, usize> = HashMap::new(); // block idx -> pred block idx
+    if opts.threaded_joins {
+        for (bi, b) in blocks.iter().enumerate() {
+            let start = b.start;
+            if start == program.entry() || call_targets.contains(&start) {
+                continue;
+            }
+            // call-return points get the calling-convention state anyway,
+            // which equals canonical; treat them as canonical entries.
+            let Some(ps) = preds.get(&start) else { continue };
+            if ps.len() != 1 {
+                continue;
+            }
+            let p = ps[0];
+            if p >= bi {
+                continue; // back edge: keep canonical
+            }
+            // predecessor must have this block as its only successor and
+            // must not be a call block (call returns in canonical state).
+            if blocks[p].successors.len() == 1 && blocks[p].call_target.is_none() {
+                // The predecessor terminator must not be a call-return edge.
+                inherits_from.insert(bi, p);
+            }
+        }
+    }
+
+    // exit states of processed blocks (state after last step, before any
+    // reconcile), for inheritance.
+    let mut exit_state: HashMap<usize, StateId> = HashMap::new();
+
+    for (bi, b) in blocks.iter().enumerate() {
+        let entry = match inherits_from.get(&bi) {
+            Some(p) => *exit_state.get(p).unwrap_or(&canonical),
+            None => canonical,
+        };
+
+        // Build the step list.
+        let steps: Vec<(usize, StepKind)> =
+            (b.start..b.end).map(|ip| (ip, step_sig(&insts[ip]))).collect();
+
+        // Plan transitions (greedy or optimal DP).
+        let last_inst = insts[b.end - 1];
+        let inherited_exit = blocks
+            .iter()
+            .enumerate()
+            .any(|(ci, _)| inherits_from.get(&ci) == Some(&bi));
+        // A block needs a final reconcile unless it ends in halt, or its
+        // unique successor inherits its exit state.
+        let needs_reconcile = !matches!(last_inst, Inst::Halt) && !inherited_exit;
+        let final_target = if needs_reconcile { Some(canonical) } else { None };
+
+        let plan = if opts.optimal {
+            plan_optimal(org, &policy, entry, &steps, final_target)
+        } else {
+            plan_greedy(org, &policy, entry, &steps)
+        };
+
+        // Attribute costs.
+        let mut state = entry;
+        for ((ip, kind), t) in steps.iter().zip(&plan) {
+            let mut c = InstCost {
+                dispatched: !t.eliminated,
+                state_in: state,
+                ..InstCost::default()
+            };
+            c.add_trans(t);
+            if t.eliminated {
+                stats.eliminated_sites += 1;
+            } else {
+                stats.emitted_sites += 1;
+            }
+            if let StepKind::QDup = kind {
+                // Alternative cost for the zero outcome.
+                let tz = compute_transition(org, &policy, state, &OpSig::opaque(1, 1), 0);
+                debug_assert_eq!(tz.next, t.next, "?dup variants must agree on the next state");
+                let mut cz = InstCost { dispatched: true, state_in: state, ..InstCost::default() };
+                cz.add_trans(&tz);
+                alt.insert(*ip, cz);
+            }
+            state = t.next;
+            costs[*ip] = c;
+        }
+
+        // Final reconcile, charged to the block's last instruction.
+        if needs_reconcile {
+            let rc = reconcile(org.state(state), org.state(canonical));
+            costs[b.end - 1].add_reconcile(&rc);
+            // ?dup as terminator would need its alt reconciled too, but
+            // ?dup never ends a block (it is not a block-ender).
+            stats.reconciled_edges += 1;
+            state = canonical;
+        } else if inherited_exit {
+            stats.inherited_edges += 1;
+        }
+        exit_state.insert(bi, state);
+        let _ = leader_of;
+    }
+
+    StaticProgram { costs, alt, stats }
+}
+
+/// Greedy plan: locally cheapest transition per step.
+fn plan_greedy(
+    org: &Org,
+    policy: &Policy,
+    entry: StateId,
+    steps: &[(usize, StepKind)],
+) -> Vec<Trans> {
+    let mut state = entry;
+    let mut plan = Vec::with_capacity(steps.len());
+    for (_, kind) in steps {
+        let t = match kind {
+            StepKind::Op(sig) => compute_transition(org, policy, state, sig, 0),
+            StepKind::QDup => compute_transition(org, policy, state, &OpSig::opaque(1, 2), 0),
+        };
+        state = t.next;
+        plan.push(t);
+    }
+    plan
+}
+
+/// Optimal plan: dynamic program over cache states within the block,
+/// minimizing total weighted cost including the final reconciliation —
+/// the two-pass (cost pass + emit pass) scheme of Section 5.
+fn plan_optimal(
+    org: &Org,
+    policy: &Policy,
+    entry: StateId,
+    steps: &[(usize, StepKind)],
+    final_target: Option<StateId>,
+) -> Vec<Trans> {
+    // frontier: state -> (cost so far, step index chain)
+    #[derive(Clone, Copy)]
+    struct Entry {
+        cost: u32,
+        prev: StateId,
+        trans: Trans,
+    }
+    let mut frontiers: Vec<HashMap<StateId, Entry>> = Vec::with_capacity(steps.len());
+    let mut cur: HashMap<StateId, u32> = HashMap::new();
+    cur.insert(entry, 0);
+
+    for (_, kind) in steps {
+        let mut next_front: HashMap<StateId, Entry> = HashMap::new();
+        for (&s, &c) in &cur {
+            let cands = match kind {
+                StepKind::Op(sig) => compute_transition_all(org, policy, s, sig, 0),
+                StepKind::QDup => {
+                    vec![compute_transition(org, policy, s, &OpSig::opaque(1, 2), 0)]
+                }
+            };
+            for t in cands {
+                let nc = c + trans_weight(&t);
+                let e = next_front.entry(t.next).or_insert(Entry { cost: u32::MAX, prev: s, trans: t });
+                if nc < e.cost {
+                    *e = Entry { cost: nc, prev: s, trans: t };
+                }
+            }
+        }
+        cur = next_front.iter().map(|(&s, e)| (s, e.cost)).collect();
+        frontiers.push(next_front);
+    }
+
+    // Pick the best final state.
+    let (mut state, _) = cur
+        .iter()
+        .map(|(&s, &c)| {
+            let fin = match final_target {
+                Some(t) => reconcile(org.state(s), org.state(t)).total(),
+                None => 0,
+            };
+            (s, c + fin)
+        })
+        .min_by_key(|&(s, c)| (c, s))
+        .expect("frontier is never empty");
+
+    // Backtrack.
+    let mut plan = vec![Trans::default(); steps.len()];
+    for i in (0..steps.len()).rev() {
+        let e = frontiers[i][&state];
+        plan[i] = e.trans;
+        state = e.prev;
+    }
+    plan
+}
+
+/// Execution-counting observer for a statically compiled program: executes
+/// the *original* program and charges each site its compiled cost
+/// (Figs. 24, 25).
+#[derive(Debug, Clone)]
+pub struct StaticRegime<'a> {
+    /// Accumulated counts.
+    pub counts: Counts,
+    prog: &'a StaticProgram,
+}
+
+impl<'a> StaticRegime<'a> {
+    /// Count executions of `prog`'s sites.
+    #[must_use]
+    pub fn new(prog: &'a StaticProgram) -> Self {
+        StaticRegime { counts: Counts::new(), prog }
+    }
+}
+
+impl ExecObserver for StaticRegime<'_> {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        let c = &mut self.counts;
+        let site = self.prog.cost_for(ev);
+        c.insts += 1;
+        if site.dispatched {
+            c.dispatches += 1;
+        }
+        c.loads += u64::from(site.loads);
+        c.stores += u64::from(site.stores);
+        c.moves += u64::from(site.moves);
+        c.updates += u64::from(site.updates);
+        c.rloads += u64::from(e.rloads);
+        c.rstores += u64::from(e.rstores);
+        if e.rnet != 0 {
+            c.rupdates += 1;
+        }
+        if matches!(e.kind, EffectKind::Call) {
+            c.calls += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::regime::SimpleRegime;
+    use stackcache_vm::{exec, program_of, Machine, ProgramBuilder};
+
+    fn org4() -> Org {
+        Org::static_shuffle(4)
+    }
+
+    fn count_static(p: &Program, org: &Org, opts: &StaticOptions) -> Counts {
+        let sp = compile(p, org, opts);
+        let mut reg = StaticRegime::new(&sp);
+        let mut m = Machine::with_memory(4096);
+        exec::run_with_observer(p, &mut m, 1_000_000, &mut reg).expect("program runs");
+        reg.counts
+    }
+
+    #[test]
+    fn shuffles_are_eliminated() {
+        // swap and dup applied in canonical states compile to nothing; a
+        // shuffle applied in an already-shuffled state is not free (the
+        // organization only has one-shuffle states, as in the paper).
+        let p = program_of(&[
+            Inst::Lit(1),
+            Inst::Lit(2),
+            Inst::Swap,
+            Inst::Add,
+            Inst::Lit(2),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Add,
+        ]);
+        let org = org4();
+        let sp = compile(&p, &org, &StaticOptions::with_canonical(0));
+        assert!(sp.stats.eliminated_sites >= 2, "stats: {:?}", sp.stats);
+        let counts = count_static(&p, &org, &StaticOptions::with_canonical(0));
+        assert!(counts.dispatches < counts.insts);
+        // one straight-line block: no branches, everything stays cached
+        assert_eq!(counts.loads, 0);
+        assert_eq!(counts.moves, 0);
+    }
+
+    #[test]
+    fn net_overhead_can_be_negative() {
+        // Eliminated dispatches (4 cycles each) can outweigh access costs.
+        let p = program_of(&[
+            Inst::Lit(1),
+            Inst::Lit(2),
+            Inst::Swap,
+            Inst::Swap,
+            Inst::Swap,
+            Inst::Swap,
+            Inst::Add,
+        ]);
+        let counts = count_static(&p, &org4(), &StaticOptions::with_canonical(0));
+        assert!(counts.net_overhead_per_inst(&CostModel::paper()) < 0.0);
+    }
+
+    #[test]
+    fn branches_reconcile_to_canonical() {
+        // if/else: both arms end reconciled, so costs are consistent.
+        let mut b = ProgramBuilder::new();
+        let else_l = b.new_label();
+        let end_l = b.new_label();
+        b.push(Inst::Lit(1));
+        b.push(Inst::Lit(0));
+        b.branch_if_zero(else_l);
+        b.push(Inst::OnePlus);
+        b.branch(end_l);
+        b.bind(else_l).unwrap();
+        b.push(Inst::OneMinus);
+        b.bind(end_l).unwrap();
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let org = org4();
+        let sp = compile(&p, &org, &StaticOptions::with_canonical(1));
+        assert!(sp.stats.reconciled_edges >= 2);
+        // Execute both paths and ensure the cost model is well-defined.
+        let mut reg = StaticRegime::new(&sp);
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 1000, &mut reg).unwrap();
+        // lit, lit, ?branch (taken), 1-, halt
+        assert_eq!(reg.counts.insts, 5);
+    }
+
+    #[test]
+    fn calls_use_the_calling_convention() {
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(3));
+        b.call(w);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        b.push(Inst::Dup);
+        b.push(Inst::Mul);
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let org = org4();
+        for c in 0..=3u8 {
+            let counts = count_static(&p, &org, &StaticOptions::with_canonical(c));
+            assert_eq!(counts.insts, 6, "canonical {c}");
+        }
+    }
+
+    #[test]
+    fn qdup_variants_agree_on_state() {
+        let p = program_of(&[Inst::Lit(0), Inst::QDup, Inst::Drop, Inst::Lit(2), Inst::QDup, Inst::Add]);
+        let counts = count_static(&p, &org4(), &StaticOptions::with_canonical(2));
+        assert_eq!(counts.insts, 7);
+    }
+
+    #[test]
+    fn optimal_never_worse_than_greedy() {
+        let model = CostModel::paper();
+        let org = org4();
+        let programs = [
+            program_of(&[
+                Inst::Lit(1),
+                Inst::Lit(2),
+                Inst::Swap,
+                Inst::Over,
+                Inst::Rot,
+                Inst::Add,
+                Inst::Sub,
+            ]),
+            program_of(&[
+                Inst::Lit(5),
+                Inst::Dup,
+                Inst::Dup,
+                Inst::Mul,
+                Inst::Swap,
+                Inst::Tuck,
+                Inst::Add,
+                Inst::Sub,
+            ]),
+        ];
+        for p in &programs {
+            for c in 0..=3u8 {
+                let greedy = count_static(p, &org, &StaticOptions::with_canonical(c));
+                let mut o = StaticOptions::with_canonical(c);
+                o.optimal = true;
+                let optimal = count_static(p, &org, &o);
+                let g = greedy.access_cycles(&model) as i64
+                    + 4 * (greedy.dispatches as i64);
+                let ob = optimal.access_cycles(&model) as i64
+                    + 4 * (optimal.dispatches as i64);
+                assert!(ob <= g, "optimal {ob} worse than greedy {g} at canonical {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_joins_reduce_reconciliations() {
+        // An unconditional branch to a target with no other predecessors:
+        // the branch can carry the cache state to the target.
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.push(Inst::Lit(1));
+        b.push(Inst::Lit(2));
+        b.branch(l);
+        b.bind(l).unwrap();
+        b.push(Inst::Add);
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let org = org4();
+        let plain = compile(&p, &org, &StaticOptions::with_canonical(2));
+        let mut o = StaticOptions::with_canonical(2);
+        o.threaded_joins = true;
+        let threaded = compile(&p, &org, &o);
+        assert!(threaded.stats.inherited_edges >= 1);
+        assert!(threaded.stats.reconciled_edges < plain.stats.reconciled_edges);
+    }
+
+    #[test]
+    fn static_beats_simple_on_shuffle_heavy_code() {
+        let insts: Vec<Inst> = std::iter::repeat_n(
+            [
+                Inst::Lit(1),
+                Inst::Lit(2),
+                Inst::Swap,
+                Inst::Over,
+                Inst::Add,
+                Inst::Add,
+                Inst::Drop,
+            ],
+            10,
+        )
+        .flatten()
+        .collect();
+        let p = program_of(&insts);
+        let org = org4();
+        let stat = count_static(&p, &org, &StaticOptions::with_canonical(2));
+
+        let mut simple = SimpleRegime::new();
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 10_000, &mut simple).unwrap();
+
+        let model = CostModel::paper();
+        assert!(
+            stat.net_overhead_per_inst(&model) < simple.counts.access_per_inst(&model),
+            "static {} vs simple {}",
+            stat.net_overhead_per_inst(&model),
+            simple.counts.access_per_inst(&model)
+        );
+    }
+
+    #[test]
+    fn deep_canonical_states_cost_more_on_call_heavy_code() {
+        // every call/return reconciles; with canonical=0 reconciliation is
+        // cheap on call-heavy code with shallow stacks.
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        for _ in 0..20 {
+            b.call(w);
+        }
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        b.push(Inst::Lit(1));
+        b.push(Inst::Drop);
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let org = org4();
+        let c0 = count_static(&p, &org, &StaticOptions::with_canonical(0));
+        let c3 = count_static(&p, &org, &StaticOptions::with_canonical(3));
+        let model = CostModel::paper();
+        assert!(c0.access_cycles(&model) <= c3.access_cycles(&model));
+    }
+}

@@ -1,0 +1,1025 @@
+//! The Forth outer interpreter and colon compiler.
+//!
+//! [`Forth`] implements the classic two-mode Forth text interpreter:
+//!
+//! * **interpret mode** executes words immediately at *load time* against
+//!   the system's [`Machine`] (numbers push, `variable`/`constant`/
+//!   `create`/`allot`/`,` build the data image, colon words run on the
+//!   code compiled so far),
+//! * **compile mode** (between `:` and `;`) appends virtual-machine
+//!   instructions to the growing code area, with the usual immediate
+//!   control-structure words (`if…else…then`, `begin…until/while…repeat/
+//!   again`, `do…loop/+loop` with `i j leave unloop`, `exit`, `recurse`).
+//!
+//! The result of a load is an [`Image`]: a [`Program`] whose entry calls a
+//! designated colon word, plus the data-space snapshot produced by
+//! load-time execution. This mirrors how real Forth systems separate load
+//! time from run time, and it is how the benchmark workloads in
+//! `stackcache-workloads` are built.
+
+use std::collections::HashMap;
+
+use stackcache_vm::{exec, Cell, Inst, Machine, Program, ProgramBuilder, CELL_BYTES};
+
+use crate::error::{ForthError, ForthErrorKind};
+use crate::lexer::{parse_number, tokenize, Token};
+
+/// Dictionary entry.
+#[derive(Debug, Clone)]
+enum Entry {
+    /// A primitive: compiles to (and executes as) one instruction.
+    Prim(Inst),
+    /// A colon definition with its entry instruction index.
+    Colon(usize),
+    /// A constant (also used for variables/created words, holding the
+    /// data-space address).
+    Constant(Cell),
+    /// A deferred word: a data-space cell holding the execution token.
+    Deferred(Cell),
+}
+
+/// Open control structures during compilation.
+#[derive(Debug)]
+enum Ctrl {
+    If { patch: usize },
+    Begin { target: usize },
+    While { target: usize, patch: usize },
+    Do { qdo_patch: Option<usize>, target: usize, leaves: Vec<usize> },
+}
+
+/// A compiled Forth system image: program plus initialized data space.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// The program; its entry point calls the chosen entry word and halts.
+    pub program: Program,
+    /// The data space produced by load-time execution.
+    pub memory: Vec<u8>,
+}
+
+impl Image {
+    /// A machine initialized with this image's data space.
+    #[must_use]
+    pub fn machine(&self) -> Machine {
+        let mut m = Machine::with_memory(self.memory.len());
+        m.memory_mut().copy_from_slice(&self.memory);
+        m
+    }
+
+    /// Run the image on the reference interpreter and return the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`stackcache_vm::VmError`] on any trap.
+    pub fn run(&self, fuel: u64) -> Result<Machine, stackcache_vm::VmError> {
+        let mut m = self.machine();
+        exec::run(&self.program, &mut m, fuel)?;
+        Ok(m)
+    }
+}
+
+/// The Forth system: dictionary, code area, data space and load-time
+/// machine.
+///
+/// # Examples
+///
+/// ```
+/// use stackcache_forth::Forth;
+///
+/// let mut forth = Forth::new();
+/// forth.interpret(": square dup * ;  : main 7 square . ;")?;
+/// let image = forth.image("main")?;
+/// let machine = image.run(10_000)?;
+/// assert_eq!(machine.output_string(), "49 ");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Forth {
+    code: Vec<Inst>,
+    dict: HashMap<String, Entry>,
+    machine: Machine,
+    here: Cell,
+    compiling: Option<(String, usize)>,
+    ctrl: Vec<Ctrl>,
+    load_fuel: u64,
+}
+
+/// Default data-space size in bytes.
+pub const DEFAULT_DATA_SPACE: usize = 1 << 20;
+/// First data-space address handed out (address 0 is left unused so that a
+/// zero address is recognizably invalid).
+const DATA_START: Cell = 64;
+
+const PRIMS: &[(&str, Inst)] = &[
+    ("+", Inst::Add),
+    ("-", Inst::Sub),
+    ("*", Inst::Mul),
+    ("/", Inst::Div),
+    ("mod", Inst::Mod),
+    ("and", Inst::And),
+    ("or", Inst::Or),
+    ("xor", Inst::Xor),
+    ("lshift", Inst::Lshift),
+    ("rshift", Inst::Rshift),
+    ("min", Inst::Min),
+    ("max", Inst::Max),
+    ("=", Inst::Eq),
+    ("<>", Inst::Ne),
+    ("<", Inst::Lt),
+    (">", Inst::Gt),
+    ("<=", Inst::Le),
+    (">=", Inst::Ge),
+    ("u<", Inst::ULt),
+    ("u>", Inst::UGt),
+    ("negate", Inst::Negate),
+    ("invert", Inst::Invert),
+    ("abs", Inst::Abs),
+    ("1+", Inst::OnePlus),
+    ("1-", Inst::OneMinus),
+    ("2*", Inst::TwoStar),
+    ("2/", Inst::TwoSlash),
+    ("0=", Inst::ZeroEq),
+    ("0<>", Inst::ZeroNe),
+    ("0<", Inst::ZeroLt),
+    ("0>", Inst::ZeroGt),
+    ("cell+", Inst::CellPlus),
+    ("cells", Inst::Cells),
+    ("char+", Inst::CharPlus),
+    ("dup", Inst::Dup),
+    ("drop", Inst::Drop),
+    ("swap", Inst::Swap),
+    ("over", Inst::Over),
+    ("rot", Inst::Rot),
+    ("-rot", Inst::MinusRot),
+    ("nip", Inst::Nip),
+    ("tuck", Inst::Tuck),
+    ("2dup", Inst::TwoDup),
+    ("2drop", Inst::TwoDrop),
+    ("2swap", Inst::TwoSwap),
+    ("2over", Inst::TwoOver),
+    ("?dup", Inst::QDup),
+    ("pick", Inst::Pick),
+    ("depth", Inst::Depth),
+    (">r", Inst::ToR),
+    ("r>", Inst::FromR),
+    ("r@", Inst::RFetch),
+    ("2>r", Inst::TwoToR),
+    ("2r>", Inst::TwoFromR),
+    ("2r@", Inst::TwoRFetch),
+    ("@", Inst::Fetch),
+    ("!", Inst::Store),
+    ("c@", Inst::CFetch),
+    ("c!", Inst::CStore),
+    ("+!", Inst::PlusStore),
+    ("emit", Inst::Emit),
+    (".", Inst::Dot),
+    ("type", Inst::Type),
+    ("cr", Inst::Cr),
+    ("i", Inst::LoopI),
+    ("j", Inst::LoopJ),
+    ("unloop", Inst::Unloop),
+    ("execute", Inst::Execute),
+];
+
+/// Words defined in Forth itself and loaded into every fresh system.
+const PRELUDE: &str = "
+: space bl emit ;
+: spaces begin dup 0> while space 1- repeat drop ;
+: count ( c-addr -- addr u ) dup char+ swap c@ ;
+: within ( n lo hi -- flag ) over - >r - r> u< ;
+: digit? ( c -- flag ) dup 47 > swap 58 < and ;
+";
+
+impl Forth {
+    /// A fresh system with the default data space and the standard
+    /// prelude.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in prelude fails to load (a bug).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_data_space(DEFAULT_DATA_SPACE)
+    }
+
+    /// A fresh system with `bytes` of data space.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in prelude fails to load (a bug).
+    #[must_use]
+    pub fn with_data_space(bytes: usize) -> Self {
+        let mut dict = HashMap::new();
+        for (name, inst) in PRIMS {
+            dict.insert((*name).to_string(), Entry::Prim(*inst));
+        }
+        dict.insert("bl".to_string(), Entry::Constant(32));
+        dict.insert("true".to_string(), Entry::Constant(-1));
+        dict.insert("false".to_string(), Entry::Constant(0));
+        dict.insert("cell".to_string(), Entry::Constant(CELL_BYTES as Cell));
+        let mut forth = Forth {
+            code: Vec::new(),
+            dict,
+            machine: Machine::with_memory(bytes),
+            here: DATA_START,
+            compiling: None,
+            ctrl: Vec::new(),
+            load_fuel: 200_000_000,
+        };
+        forth.interpret(PRELUDE).expect("prelude loads");
+        forth
+    }
+
+    /// Set the load-time execution budget (instructions).
+    pub fn set_load_fuel(&mut self, fuel: u64) {
+        self.load_fuel = fuel;
+    }
+
+    /// The next free data-space address.
+    #[must_use]
+    pub fn here(&self) -> Cell {
+        self.here
+    }
+
+    /// The load-time machine (data stack, memory, output so far).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The instruction index of a defined colon word.
+    #[must_use]
+    pub fn entry_of(&self, name: &str) -> Option<usize> {
+        match self.dict.get(&name.to_ascii_lowercase()) {
+            Some(Entry::Colon(e)) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// The value of a constant (including the address of a `variable` or
+    /// `create`d region), for host-side data injection.
+    #[must_use]
+    pub fn constant_value(&self, name: &str) -> Option<Cell> {
+        match self.dict.get(&name.to_ascii_lowercase()) {
+            Some(Entry::Constant(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Write raw bytes into the data space (host-side input injection).
+    /// Returns `false` when out of bounds.
+    pub fn poke_bytes(&mut self, addr: Cell, bytes: &[u8]) -> bool {
+        let Ok(a) = usize::try_from(addr) else { return false };
+        let Some(end) = a.checked_add(bytes.len()) else { return false };
+        if end > self.machine.memory().len() {
+            return false;
+        }
+        self.machine.memory_mut()[a..end].copy_from_slice(bytes);
+        true
+    }
+
+    /// Write one cell into the data space. Returns `false` when out of
+    /// bounds.
+    pub fn poke_cell(&mut self, addr: Cell, value: Cell) -> bool {
+        self.machine.store_cell(addr, value)
+    }
+
+    fn err(&self, line: usize, kind: ForthErrorKind) -> ForthError {
+        ForthError { line, kind }
+    }
+
+    /// Interpret (load) Forth source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForthError`] on lexical, compilation or load-time
+    /// execution errors.
+    pub fn interpret(&mut self, src: &str) -> Result<(), ForthError> {
+        let tokens = tokenize(src)
+            .map_err(|line| self.err(line, ForthErrorKind::Unterminated))?;
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            i += 1;
+            let lower = tok.text.to_ascii_lowercase();
+            if self.compiling.is_some() {
+                self.compile_word(&lower, tok, &tokens, &mut i)?;
+            } else {
+                self.interpret_word(&lower, tok, &tokens, &mut i)?;
+            }
+        }
+        if let Some((name, _)) = &self.compiling {
+            return Err(self.err(0, ForthErrorKind::UnexpectedEof(format!("definition of {name}"))));
+        }
+        if !self.ctrl.is_empty() {
+            return Err(self.err(0, ForthErrorKind::UnexpectedEof("control structure".into())));
+        }
+        Ok(())
+    }
+
+    /// Produce the runnable [`Image`] whose entry calls `entry_word`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForthErrorKind::NoSuchEntry`] if `entry_word` is not a
+    /// colon definition.
+    pub fn image(&self, entry_word: &str) -> Result<Image, ForthError> {
+        let Some(entry) = self.entry_of(entry_word) else {
+            return Err(self.err(0, ForthErrorKind::NoSuchEntry(entry_word.to_string())));
+        };
+        let mut b = ProgramBuilder::new();
+        b.extend(self.code.iter().copied());
+        b.set_entry(b.here());
+        b.name_here("(boot)");
+        b.push(Inst::Call(entry as u32));
+        b.push(Inst::Halt);
+        let program = b.finish().expect("compiled code has valid targets");
+        Ok(Image { program, memory: self.machine.memory().to_vec() })
+    }
+
+    // ---- data space -----------------------------------------------------
+
+    fn align(&mut self) {
+        let rem = self.here % CELL_BYTES as Cell;
+        if rem != 0 {
+            self.here += CELL_BYTES as Cell - rem;
+        }
+    }
+
+    fn reserve(&mut self, bytes: Cell, line: usize) -> Result<Cell, ForthError> {
+        let addr = self.here;
+        let new = self.here + bytes;
+        if new < 0 || new as usize > self.machine.memory().len() {
+            return Err(self.err(line, ForthErrorKind::DataSpaceOverflow));
+        }
+        self.here = new;
+        Ok(addr)
+    }
+
+    /// Copy a string into data space, returning its address.
+    fn store_string(&mut self, s: &str, line: usize) -> Result<Cell, ForthError> {
+        let addr = self.reserve(s.len() as Cell, line)?;
+        self.machine.memory_mut()[addr as usize..addr as usize + s.len()]
+            .copy_from_slice(s.as_bytes());
+        Ok(addr)
+    }
+
+    // ---- load-time execution ---------------------------------------------
+
+    fn pop_loadtime(&mut self, word: &str, line: usize) -> Result<Cell, ForthError> {
+        self.machine
+            .pop()
+            .ok_or_else(|| self.err(line, ForthErrorKind::LoadTimeUnderflow(word.to_string())))
+    }
+
+    /// Execute a single primitive at load time.
+    fn exec_prim(&mut self, inst: Inst, line: usize) -> Result<(), ForthError> {
+        if matches!(inst, Inst::Execute) {
+            let xt = self.pop_loadtime("execute", line)?;
+            return self.exec_colon(xt as usize, line);
+        }
+        let mut b = ProgramBuilder::new();
+        b.push(inst);
+        b.push(Inst::Halt);
+        let p = b.finish().expect("two-instruction program");
+        exec::run(&p, &mut self.machine, 1_000_000)
+            .map_err(|e| self.err(line, ForthErrorKind::LoadTime(e)))?;
+        Ok(())
+    }
+
+    /// Execute a colon word at load time against the code compiled so far.
+    fn exec_colon(&mut self, entry: usize, line: usize) -> Result<(), ForthError> {
+        let mut b = ProgramBuilder::new();
+        b.extend(self.code.iter().copied());
+        let halt_ip = b.here();
+        b.push(Inst::Halt);
+        b.set_entry(entry);
+        let p = b
+            .finish()
+            .map_err(|_| self.err(line, ForthErrorKind::NoSuchEntry(format!("xt {entry}"))))?;
+        // sentinel return address: returning from the word halts
+        self.machine.rpush(halt_ip as Cell);
+        exec::run(&p, &mut self.machine, self.load_fuel)
+            .map_err(|e| self.err(line, ForthErrorKind::LoadTime(e)))?;
+        Ok(())
+    }
+
+    fn take_name(
+        &self,
+        word: &str,
+        tokens: &[Token],
+        i: &mut usize,
+        line: usize,
+    ) -> Result<String, ForthError> {
+        let Some(tok) = tokens.get(*i) else {
+            return Err(self.err(line, ForthErrorKind::MissingName(word.to_string())));
+        };
+        *i += 1;
+        Ok(tok.text.to_ascii_lowercase())
+    }
+
+    /// Like [`Self::take_name`] but preserving the original spelling
+    /// (needed by `char`/`[char]`).
+    fn take_name_raw(
+        &self,
+        word: &str,
+        tokens: &[Token],
+        i: &mut usize,
+        line: usize,
+    ) -> Result<String, ForthError> {
+        let Some(tok) = tokens.get(*i) else {
+            return Err(self.err(line, ForthErrorKind::MissingName(word.to_string())));
+        };
+        *i += 1;
+        Ok(tok.text.clone())
+    }
+
+    // ---- interpret mode ---------------------------------------------------
+
+    fn interpret_word(
+        &mut self,
+        word: &str,
+        tok: &Token,
+        tokens: &[Token],
+        i: &mut usize,
+    ) -> Result<(), ForthError> {
+        let line = tok.line;
+        match word {
+            ":" => {
+                let name = self.take_name(":", tokens, i, line)?;
+                self.compiling = Some((name, self.code.len()));
+            }
+            ";" => return Err(self.err(line, ForthErrorKind::DefinitionNesting)),
+            "variable" => {
+                let name = self.take_name("variable", tokens, i, line)?;
+                self.align();
+                let addr = self.reserve(CELL_BYTES as Cell, line)?;
+                self.dict.insert(name, Entry::Constant(addr));
+            }
+            "constant" => {
+                let name = self.take_name("constant", tokens, i, line)?;
+                let v = self.pop_loadtime("constant", line)?;
+                self.dict.insert(name, Entry::Constant(v));
+            }
+            "create" => {
+                let name = self.take_name("create", tokens, i, line)?;
+                self.align();
+                let addr = self.here;
+                self.dict.insert(name, Entry::Constant(addr));
+            }
+            "allot" => {
+                let n = self.pop_loadtime("allot", line)?;
+                self.reserve(n, line)?;
+            }
+            "," => {
+                let v = self.pop_loadtime(",", line)?;
+                self.align();
+                let addr = self.reserve(CELL_BYTES as Cell, line)?;
+                self.machine.store_cell(addr, v);
+            }
+            "c," => {
+                let v = self.pop_loadtime("c,", line)?;
+                let addr = self.reserve(1, line)?;
+                self.machine.store_byte(addr, v);
+            }
+            "here" => self.machine.push(self.here),
+            "align" => self.align(),
+            "char" => {
+                let name = self.take_name_raw("char", tokens, i, line)?;
+                self.machine.push(Cell::from(name.as_bytes()[0]));
+            }
+            "'" => {
+                let name = self.take_name("'", tokens, i, line)?;
+                match self.dict.get(&name) {
+                    Some(Entry::Colon(e)) => {
+                        let e = *e;
+                        self.machine.push(e as Cell);
+                    }
+                    _ => return Err(self.err(line, ForthErrorKind::NoSuchEntry(name))),
+                }
+            }
+            "defer" => {
+                let name = self.take_name("defer", tokens, i, line)?;
+                self.align();
+                let addr = self.reserve(CELL_BYTES as Cell, line)?;
+                self.machine.store_cell(addr, -1);
+                self.dict.insert(name, Entry::Deferred(addr));
+            }
+            "is" => {
+                let name = self.take_name("is", tokens, i, line)?;
+                let Some(Entry::Deferred(addr)) = self.dict.get(&name).cloned() else {
+                    return Err(self.err(line, ForthErrorKind::NoSuchEntry(name)));
+                };
+                let xt = self.pop_loadtime("is", line)?;
+                self.machine.store_cell(addr, xt);
+            }
+            "s\"" => {
+                let s = tok.string.clone().unwrap_or_default();
+                let addr = self.store_string(&s, line)?;
+                self.machine.push(addr);
+                self.machine.push(s.len() as Cell);
+            }
+            ".s" => {
+                // load-time stack display (handy in examples/REPLs)
+                let items: Vec<Cell> = self.machine.stack().to_vec();
+                self.machine.push_output_byte(b'<');
+                for v in items {
+                    self.machine.push_output_byte(b' ');
+                    for byte in v.to_string().bytes() {
+                        self.machine.push_output_byte(byte);
+                    }
+                }
+                self.machine.push_output_byte(b' ');
+                self.machine.push_output_byte(b'>');
+            }
+            "if" | "else" | "then" | "begin" | "until" | "again" | "while" | "repeat" | "do"
+            | "?do" | "loop" | "+loop" | "leave" | "exit" | "recurse" | "[char]" | "[']"
+            | ".\"" => {
+                return Err(self.err(line, ForthErrorKind::CompileOnly(word.to_string())))
+            }
+            _ => {
+                if let Some(n) = parse_number(word) {
+                    self.machine.push(n);
+                } else {
+                    match self.dict.get(word).cloned() {
+                        Some(Entry::Prim(inst)) => self.exec_prim(inst, line)?,
+                        Some(Entry::Colon(e)) => self.exec_colon(e, line)?,
+                        Some(Entry::Constant(v)) => self.machine.push(v),
+                        Some(Entry::Deferred(addr)) => {
+                            let xt = self.machine.load_cell(addr).unwrap_or(-1);
+                            if xt < 0 {
+                                return Err(self.err(
+                                    line,
+                                    ForthErrorKind::NoSuchEntry(tok.text.clone()),
+                                ));
+                            }
+                            self.exec_colon(xt as usize, line)?;
+                        }
+                        None => {
+                            return Err(
+                                self.err(line, ForthErrorKind::UnknownWord(tok.text.clone()))
+                            )
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- compile mode ------------------------------------------------------
+
+    fn emit(&mut self, inst: Inst) {
+        self.code.push(inst);
+    }
+
+    fn compile_word(
+        &mut self,
+        word: &str,
+        tok: &Token,
+        tokens: &[Token],
+        i: &mut usize,
+    ) -> Result<(), ForthError> {
+        let line = tok.line;
+        let here = self.code.len();
+        match word {
+            ";" => {
+                if !self.ctrl.is_empty() {
+                    return Err(self.err(line, ForthErrorKind::UnexpectedEof(
+                        "control structure".into(),
+                    )));
+                }
+                self.emit(Inst::Return);
+                let (name, entry) = self.compiling.take().expect("in compile mode");
+                self.dict.insert(name, Entry::Colon(entry));
+            }
+            ":" => return Err(self.err(line, ForthErrorKind::DefinitionNesting)),
+            "variable" | "constant" | "create" | "allot" | "," | "c," | "here" | "char" | "'"
+            | "align" | ".s" | "defer" | "is" => {
+                return Err(self.err(line, ForthErrorKind::InterpretOnly(word.to_string())))
+            }
+
+            "if" => {
+                self.emit(Inst::BranchIfZero(u32::MAX));
+                self.ctrl.push(Ctrl::If { patch: here });
+            }
+            "else" => {
+                let Some(Ctrl::If { patch }) = self.ctrl.pop() else {
+                    return Err(self.err(line, ForthErrorKind::ControlMismatch("else".into())));
+                };
+                self.emit(Inst::Branch(u32::MAX));
+                self.patch(patch, here + 1);
+                self.ctrl.push(Ctrl::If { patch: here });
+            }
+            "then" => {
+                let Some(Ctrl::If { patch }) = self.ctrl.pop() else {
+                    return Err(self.err(line, ForthErrorKind::ControlMismatch("then".into())));
+                };
+                self.patch(patch, here);
+            }
+            "begin" => self.ctrl.push(Ctrl::Begin { target: here }),
+            "until" => {
+                let Some(Ctrl::Begin { target }) = self.ctrl.pop() else {
+                    return Err(self.err(line, ForthErrorKind::ControlMismatch("until".into())));
+                };
+                self.emit(Inst::BranchIfZero(target as u32));
+            }
+            "again" => {
+                let Some(Ctrl::Begin { target }) = self.ctrl.pop() else {
+                    return Err(self.err(line, ForthErrorKind::ControlMismatch("again".into())));
+                };
+                self.emit(Inst::Branch(target as u32));
+            }
+            "while" => {
+                let Some(Ctrl::Begin { target }) = self.ctrl.pop() else {
+                    return Err(self.err(line, ForthErrorKind::ControlMismatch("while".into())));
+                };
+                self.emit(Inst::BranchIfZero(u32::MAX));
+                self.ctrl.push(Ctrl::While { target, patch: here });
+            }
+            "repeat" => {
+                let Some(Ctrl::While { target, patch }) = self.ctrl.pop() else {
+                    return Err(self.err(line, ForthErrorKind::ControlMismatch("repeat".into())));
+                };
+                self.emit(Inst::Branch(target as u32));
+                self.patch(patch, here + 1);
+            }
+            "do" => {
+                self.emit(Inst::DoSetup);
+                self.ctrl.push(Ctrl::Do { qdo_patch: None, target: here + 1, leaves: Vec::new() });
+            }
+            "?do" => {
+                self.emit(Inst::QDoSetup(u32::MAX));
+                self.ctrl
+                    .push(Ctrl::Do { qdo_patch: Some(here), target: here + 1, leaves: Vec::new() });
+            }
+            "loop" | "+loop" => {
+                let Some(Ctrl::Do { qdo_patch, target, leaves }) = self.ctrl.pop() else {
+                    return Err(self.err(line, ForthErrorKind::ControlMismatch(word.to_string())));
+                };
+                if word == "loop" {
+                    self.emit(Inst::LoopInc(target as u32));
+                } else {
+                    self.emit(Inst::PlusLoopInc(target as u32));
+                }
+                let after = self.code.len();
+                if let Some(p) = qdo_patch {
+                    self.patch(p, after);
+                }
+                for p in leaves {
+                    self.patch(p, after);
+                }
+            }
+            "leave" => {
+                self.emit(Inst::Unloop);
+                self.emit(Inst::Branch(u32::MAX));
+                let Some(Ctrl::Do { leaves, .. }) = self
+                    .ctrl
+                    .iter_mut()
+                    .rev()
+                    .find(|c| matches!(c, Ctrl::Do { .. }))
+                else {
+                    return Err(self.err(line, ForthErrorKind::ControlMismatch("leave".into())));
+                };
+                leaves.push(here + 1);
+            }
+            "exit" => self.emit(Inst::Return),
+            "recurse" => {
+                let entry = self.compiling.as_ref().expect("in compile mode").1;
+                self.emit(Inst::Call(entry as u32));
+            }
+            "[char]" => {
+                let name = self.take_name_raw("[char]", tokens, i, line)?;
+                self.emit(Inst::Lit(Cell::from(name.as_bytes()[0])));
+            }
+            "[']" => {
+                let name = self.take_name("[']", tokens, i, line)?;
+                match self.dict.get(&name) {
+                    Some(Entry::Colon(e)) => {
+                        let e = *e;
+                        self.emit(Inst::Lit(e as Cell));
+                    }
+                    _ => return Err(self.err(line, ForthErrorKind::NoSuchEntry(name))),
+                }
+            }
+            "s\"" => {
+                let s = tok.string.clone().unwrap_or_default();
+                let addr = self.store_string(&s, line)?;
+                self.emit(Inst::Lit(addr));
+                self.emit(Inst::Lit(s.len() as Cell));
+            }
+            ".\"" => {
+                let s = tok.string.clone().unwrap_or_default();
+                let addr = self.store_string(&s, line)?;
+                self.emit(Inst::Lit(addr));
+                self.emit(Inst::Lit(s.len() as Cell));
+                self.emit(Inst::Type);
+            }
+            _ => {
+                if let Some(n) = parse_number(word) {
+                    self.emit(Inst::Lit(n));
+                } else {
+                    match self.dict.get(word) {
+                        Some(Entry::Prim(inst)) => {
+                            let inst = *inst;
+                            self.emit(inst);
+                        }
+                        Some(Entry::Colon(e)) => {
+                            let e = *e;
+                            self.emit(Inst::Call(e as u32));
+                        }
+                        Some(Entry::Constant(v)) => {
+                            let v = *v;
+                            self.emit(Inst::Lit(v));
+                        }
+                        Some(Entry::Deferred(addr)) => {
+                            let addr = *addr;
+                            self.emit(Inst::Lit(addr));
+                            self.emit(Inst::Fetch);
+                            self.emit(Inst::Execute);
+                        }
+                        None => {
+                            return Err(
+                                self.err(line, ForthErrorKind::UnknownWord(tok.text.clone()))
+                            )
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        self.code[at] = self.code[at].with_target(target as u32);
+    }
+}
+
+impl Default for Forth {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Compile `source` and produce an image entered at `entry_word`.
+///
+/// One-call convenience over [`Forth::interpret`] + [`Forth::image`].
+///
+/// # Errors
+///
+/// Returns a [`ForthError`] on any front-end or load-time error.
+pub fn compile_source(source: &str, entry_word: &str) -> Result<Image, ForthError> {
+    let mut forth = Forth::new();
+    forth.interpret(source)?;
+    forth.image(entry_word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_main(src: &str) -> Machine {
+        let image = compile_source(src, "main").expect("compiles");
+        image.run(10_000_000).expect("runs")
+    }
+
+    fn out(src: &str) -> String {
+        run_main(src).output_string()
+    }
+
+    fn stack(src: &str) -> Vec<Cell> {
+        run_main(src).stack().to_vec()
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        assert_eq!(out(": main 2 3 + . ;"), "5 ");
+        assert_eq!(out(": main 10 3 - 4 * . ;"), "28 ");
+        assert_eq!(out(": main 7 2 / . 7 2 mod . ;"), "3 1 ");
+        assert_eq!(out(": main -7 abs negate . ;"), "-7 ");
+    }
+
+    #[test]
+    fn definitions_compose() {
+        assert_eq!(out(": square dup * ; : cube dup square * ; : main 3 cube . ;"), "27 ");
+    }
+
+    #[test]
+    fn if_else_then() {
+        let src = ": sign dup 0< if drop -1 else 0> if 1 else 0 then then ;
+                   : main 5 sign . -5 sign . 0 sign . ;";
+        assert_eq!(out(src), "1 -1 0 ");
+    }
+
+    #[test]
+    fn begin_until() {
+        assert_eq!(out(": main 5 begin dup . 1- dup 0= until drop ;"), "5 4 3 2 1 ");
+    }
+
+    #[test]
+    fn begin_while_repeat() {
+        assert_eq!(out(": main 0 begin dup 5 < while dup . 1+ repeat drop ;"), "0 1 2 3 4 ");
+    }
+
+    #[test]
+    fn do_loop_and_indices() {
+        assert_eq!(out(": main 4 0 do i . loop ;"), "0 1 2 3 ");
+        assert_eq!(out(": main 3 1 do 2 0 do j 10 * i + . loop loop ;"), "10 11 20 21 ");
+        assert_eq!(out(": main 10 0 do i . 3 +loop ;"), "0 3 6 9 ");
+        // ?do skips an empty range
+        assert_eq!(out(": main 0 0 ?do i . loop 99 . ;"), "99 ");
+    }
+
+    #[test]
+    fn leave_exits_loop() {
+        assert_eq!(out(": main 10 0 do i dup 3 = if drop leave then . loop 42 . ;"), "0 1 2 42 ");
+    }
+
+    #[test]
+    fn exit_returns_early() {
+        assert_eq!(out(": f dup 0= if exit then 1- recurse ; : main 5 f . ;"), "0 ");
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let src = ": fact dup 1 <= if drop 1 else dup 1- recurse * then ;
+                   : main 6 fact . ;";
+        assert_eq!(out(src), "720 ");
+    }
+
+    #[test]
+    fn variables_and_constants() {
+        let src = "variable counter
+                   42 constant answer
+                   : main answer counter ! counter @ . counter @ 1+ counter ! counter @ . ;";
+        assert_eq!(out(src), "42 43 ");
+    }
+
+    #[test]
+    fn load_time_computation_bakes_data() {
+        // the table is filled at load time by a colon word
+        let src = "create table 10 cells allot
+                   : fill-table 10 0 do i i * table i cells + ! loop ;
+                   fill-table
+                   : main 10 0 do table i cells + @ . loop ;";
+        assert_eq!(out(src), "0 1 4 9 16 25 36 49 64 81 ");
+    }
+
+    #[test]
+    fn comma_compiles_data() {
+        let src = "create primes 2 , 3 , 5 , 7 ,
+                   : main 4 0 do primes i cells + @ . loop ;";
+        assert_eq!(out(src), "2 3 5 7 ");
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(out(": main s\" hi\" type ;"), "hi");
+        assert_eq!(out(": main .\" hello, world\" cr ;"), "hello, world\n");
+        assert_eq!(out(": main [char] A emit ;"), "A");
+        let src = "char Z constant z : main z emit ;";
+        assert_eq!(out(src), "Z");
+    }
+
+    #[test]
+    fn tick_and_execute() {
+        let src = ": double 2* ;
+                   : main 21 ['] double execute . ;";
+        assert_eq!(out(src), "42 ");
+    }
+
+    #[test]
+    fn prelude_words() {
+        assert_eq!(out(": main 3 spaces [char] x emit space [char] y emit ;"), "   x y");
+        assert_eq!(stack(": main 5 1 10 within 15 1 10 within ;"), vec![-1, 0]);
+    }
+
+    #[test]
+    fn rstack_words() {
+        assert_eq!(stack(": main 1 2 3 2>r 2r@ 2r> ;"), vec![1, 2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn load_time_stack_feeds_constants() {
+        assert_eq!(out("3 4 * constant twelve : main twelve . ;"), "12 ");
+    }
+
+    #[test]
+    fn unknown_word_error() {
+        let e = compile_source(": main frobnicate ;", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::UnknownWord(_)));
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn compile_only_errors() {
+        let e = compile_source("1 if 2 then", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::CompileOnly(_)));
+    }
+
+    #[test]
+    fn interpret_only_errors() {
+        let e = compile_source(": main variable x ;", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::InterpretOnly(_)));
+    }
+
+    #[test]
+    fn control_mismatch_errors() {
+        let e = compile_source(": main then ;", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::ControlMismatch(_)));
+        let e = compile_source(": main begin ;", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    fn unterminated_definition_errors() {
+        let e = compile_source(": main 1 2 +", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    fn missing_entry_word_errors() {
+        let e = compile_source(": helper 1 ;", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::NoSuchEntry(_)));
+    }
+
+    #[test]
+    fn constant_without_value_errors() {
+        let e = compile_source("constant nothing", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::LoadTimeUnderflow(_)));
+    }
+
+    #[test]
+    fn load_time_trap_is_reported() {
+        let e = compile_source(": boom 1 0 / ; boom : main ;", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::LoadTime(_)));
+    }
+
+    #[test]
+    fn image_memory_snapshot_includes_stores() {
+        let mut forth = Forth::new();
+        forth.interpret("variable v 99 v ! : main v @ . ;").unwrap();
+        let image = forth.image("main").unwrap();
+        let m = image.run(1000).unwrap();
+        assert_eq!(m.output_string(), "99 ");
+    }
+
+    #[test]
+    fn qdup_compiles() {
+        assert_eq!(stack(": main 0 ?dup 7 ?dup ;"), vec![0, 7, 7]);
+    }
+
+    #[test]
+    fn nested_control_structures() {
+        let src = ": main 3 0 do 3 0 do i j + 2 mod if [char] x emit else [char] o emit then loop cr loop ;";
+        assert_eq!(out(src), "oxo\nxox\noxo\n");
+    }
+
+    #[test]
+    fn deep_recursion_fibonacci() {
+        let src = ": fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ;
+                   : main 15 fib . ;";
+        assert_eq!(out(src), "610 ");
+    }
+}
+
+#[cfg(test)]
+mod defer_tests {
+    use super::*;
+
+    #[test]
+    fn defer_enables_mutual_recursion() {
+        let src = "defer even?
+                   : odd? ( n -- flag ) dup 0= if drop false else 1- even? then ;
+                   : even?? ( n -- flag ) dup 0= if drop true else 1- odd? then ;
+                   ' even?? is even?
+                   : main 7 odd? . 8 even? . ;";
+        let image = compile_source(src, "main").unwrap();
+        assert_eq!(image.run(100_000).unwrap().output_string(), "-1 -1 ");
+    }
+
+    #[test]
+    fn unset_deferred_word_errors_at_load_time() {
+        let e = compile_source("defer f f : main ;", "main").unwrap_err();
+        assert!(matches!(e.kind, ForthErrorKind::NoSuchEntry(_)));
+    }
+
+    #[test]
+    fn poke_injects_host_data() {
+        let mut forth = Forth::new();
+        forth.interpret("create buf 16 allot variable len : main buf len @ type ;").unwrap();
+        let addr = forth.constant_value("buf").unwrap();
+        let len_addr = forth.constant_value("len").unwrap();
+        assert!(forth.poke_bytes(addr, b"hello"));
+        assert!(forth.poke_cell(len_addr, 5));
+        let image = forth.image("main").unwrap();
+        assert_eq!(image.run(1000).unwrap().output_string(), "hello");
+    }
+
+    #[test]
+    fn poke_rejects_out_of_bounds() {
+        let mut forth = Forth::with_data_space(128);
+        assert!(!forth.poke_bytes(120, b"toolongdata"));
+        assert!(!forth.poke_bytes(-1, b"x"));
+        assert!(!forth.poke_cell(125, 1));
+    }
+}

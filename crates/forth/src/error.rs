@@ -1,0 +1,96 @@
+//! Forth front-end errors.
+
+use std::error::Error;
+use std::fmt;
+
+use stackcache_vm::VmError;
+
+/// An error raised while interpreting/compiling Forth source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForthError {
+    /// 1-based source line of the offending word (0 when not applicable).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ForthErrorKind,
+}
+
+/// The kinds of front-end errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForthErrorKind {
+    /// A word that is neither defined nor a number.
+    UnknownWord(String),
+    /// A compile-only word used in interpret mode.
+    CompileOnly(String),
+    /// An interpret-only (defining) word used inside a definition.
+    InterpretOnly(String),
+    /// Unbalanced control structure (`if` without `then`, …).
+    ControlMismatch(String),
+    /// `:` inside a definition, or `;` outside one.
+    DefinitionNesting,
+    /// A definition or control structure left unterminated at end of input.
+    UnexpectedEof(String),
+    /// Unterminated string or comment.
+    Unterminated,
+    /// The data space is exhausted.
+    DataSpaceOverflow,
+    /// A word name was expected (after `:`/`variable`/…).
+    MissingName(String),
+    /// Load-time execution trapped.
+    LoadTime(VmError),
+    /// Load-time stack underflow for a defining word (`constant` with an
+    /// empty stack, …).
+    LoadTimeUnderflow(String),
+    /// The requested entry word does not exist or is not a colon word.
+    NoSuchEntry(String),
+}
+
+impl fmt::Display for ForthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            ForthErrorKind::UnknownWord(w) => write!(f, "unknown word `{w}`"),
+            ForthErrorKind::CompileOnly(w) => {
+                write!(f, "`{w}` is compile-only (use it inside a definition)")
+            }
+            ForthErrorKind::InterpretOnly(w) => {
+                write!(f, "`{w}` cannot be used inside a definition")
+            }
+            ForthErrorKind::ControlMismatch(w) => {
+                write!(f, "control structure mismatch at `{w}`")
+            }
+            ForthErrorKind::DefinitionNesting => {
+                write!(f, "`:` inside a definition or `;` outside one")
+            }
+            ForthErrorKind::UnexpectedEof(what) => {
+                write!(f, "unexpected end of input ({what} left open)")
+            }
+            ForthErrorKind::Unterminated => write!(f, "unterminated string or comment"),
+            ForthErrorKind::DataSpaceOverflow => write!(f, "data space exhausted"),
+            ForthErrorKind::MissingName(w) => write!(f, "`{w}` expects a name"),
+            ForthErrorKind::LoadTime(e) => write!(f, "load-time execution failed: {e}"),
+            ForthErrorKind::LoadTimeUnderflow(w) => {
+                write!(f, "`{w}` needs a value on the load-time stack")
+            }
+            ForthErrorKind::NoSuchEntry(w) => {
+                write!(f, "entry word `{w}` is not a defined colon word")
+            }
+        }
+    }
+}
+
+impl Error for ForthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ForthError { line: 7, kind: ForthErrorKind::UnknownWord("frob".into()) };
+        assert_eq!(e.to_string(), "line 7: unknown word `frob`");
+        let e = ForthError { line: 0, kind: ForthErrorKind::Unterminated };
+        assert_eq!(e.to_string(), "unterminated string or comment");
+    }
+}

@@ -1,0 +1,204 @@
+//! Tokenizer for Forth source text.
+//!
+//! Forth's lexical structure is minimal: whitespace-separated words, plus
+//! three token-level constructs the lexer must know about — line comments
+//! (`\ …`), inline comments (`( … )`), and string words (`S" …"`,
+//! `." …"`, `ABORT" …"`) whose payload runs to the next `"`.
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The word text, original case preserved.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// For string words: the text up to the closing quote.
+    pub string: Option<String>,
+}
+
+/// Words that consume a `"`-terminated string payload.
+const STRING_WORDS: &[&str] = &["s\"", ".\"", "abort\""];
+
+/// Tokenize Forth source.
+///
+/// # Errors
+///
+/// Returns `Err(line)` for an unterminated string or inline comment
+/// starting on `line`.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, usize> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+
+    loop {
+        // skip whitespace
+        while let Some(&c) = chars.peek() {
+            if c == '\n' {
+                line += 1;
+                chars.next();
+            } else if c.is_whitespace() {
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let start_line = line;
+        let mut word = String::new();
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() {
+                break;
+            }
+            word.push(c);
+            chars.next();
+        }
+        if word.is_empty() {
+            return Ok(tokens);
+        }
+
+        // line comment
+        if word == "\\" {
+            for c in chars.by_ref() {
+                if c == '\n' {
+                    line += 1;
+                    break;
+                }
+            }
+            continue;
+        }
+        // inline comment: `( ... )`
+        if word == "(" {
+            let mut closed = false;
+            for c in chars.by_ref() {
+                if c == '\n' {
+                    line += 1;
+                } else if c == ')' {
+                    closed = true;
+                    break;
+                }
+            }
+            if !closed {
+                return Err(start_line);
+            }
+            continue;
+        }
+        // string words: payload runs to the next `"`
+        let lower = word.to_ascii_lowercase();
+        if STRING_WORDS.contains(&lower.as_str()) {
+            // skip exactly one leading space (conventional)
+            if chars.peek() == Some(&' ') {
+                chars.next();
+            }
+            let mut s = String::new();
+            let mut closed = false;
+            for c in chars.by_ref() {
+                if c == '"' {
+                    closed = true;
+                    break;
+                }
+                if c == '\n' {
+                    line += 1;
+                }
+                s.push(c);
+            }
+            if !closed {
+                return Err(start_line);
+            }
+            tokens.push(Token { text: word, line: start_line, string: Some(s) });
+            continue;
+        }
+
+        tokens.push(Token { text: word, line: start_line, string: None });
+    }
+}
+
+/// Parse a Forth number: decimal (optionally signed), `$hex`, `%binary`,
+/// or a character literal `'c'`.
+#[must_use]
+pub fn parse_number(word: &str) -> Option<i64> {
+    if let Some(hex) = word.strip_prefix('$') {
+        return i64::from_str_radix(hex, 16)
+            .or_else(|_| u64::from_str_radix(hex, 16).map(|u| u as i64))
+            .ok();
+    }
+    if let Some(bin) = word.strip_prefix('%') {
+        return i64::from_str_radix(bin, 2).ok();
+    }
+    let bytes = word.as_bytes();
+    if bytes.len() == 3 && bytes[0] == b'\'' && bytes[2] == b'\'' {
+        return Some(i64::from(bytes[1]));
+    }
+    word.parse::<i64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<String> {
+        tokenize(src).unwrap().into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(words("1 2 +\n  dup *"), vec!["1", "2", "+", "dup", "*"]);
+    }
+
+    #[test]
+    fn line_comments() {
+        assert_eq!(words("1 \\ a comment\n2"), vec!["1", "2"]);
+        assert_eq!(words("1 \\ trailing comment"), vec!["1"]);
+    }
+
+    #[test]
+    fn inline_comments() {
+        assert_eq!(words(": sq ( n -- n^2 ) dup * ;"), vec![":", "sq", "dup", "*", ";"]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert_eq!(tokenize("1 ( never closed"), Err(1));
+    }
+
+    #[test]
+    fn string_words_capture_payload() {
+        let toks = tokenize("s\" hello world\" type").unwrap();
+        assert_eq!(toks[0].text, "s\"");
+        assert_eq!(toks[0].string.as_deref(), Some("hello world"));
+        assert_eq!(toks[1].text, "type");
+
+        let toks = tokenize(".\" hi\"").unwrap();
+        assert_eq!(toks[0].string.as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert_eq!(tokenize("\n s\" oops"), Err(2));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = tokenize("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse_number("42"), Some(42));
+        assert_eq!(parse_number("-17"), Some(-17));
+        assert_eq!(parse_number("$ff"), Some(255));
+        assert_eq!(parse_number("$FF"), Some(255));
+        assert_eq!(parse_number("%1010"), Some(10));
+        assert_eq!(parse_number("'A'"), Some(65));
+        assert_eq!(parse_number("abc"), None);
+        assert_eq!(parse_number(""), None);
+        assert_eq!(parse_number("1.5"), None);
+    }
+
+    #[test]
+    fn empty_source() {
+        assert!(words("").is_empty());
+        assert!(words("  \n\t ").is_empty());
+        assert!(words("( only a comment )").is_empty());
+    }
+}

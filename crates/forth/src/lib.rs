@@ -1,0 +1,38 @@
+//! A Forth front end for the stack-caching virtual machine.
+//!
+//! This crate is the substrate that stands in for the Forth system the
+//! paper instrumented: a lexer, a dictionary, an outer interpreter with
+//! genuine load-time execution, and a colon compiler producing
+//! [`stackcache_vm::Program`]s. The benchmark workloads of
+//! `stackcache-workloads` are written in this Forth dialect.
+//!
+//! Supported: colon definitions, `if/else/then`, `begin/until/again/
+//! while/repeat`, `do/?do/loop/+loop` with `i j leave unloop`, `exit`,
+//! `recurse`, `variable/constant/create/allot/,/c,`, strings (`s" ."`),
+//! `char/[char]`, tick/`execute`, comments, and the full primitive set of
+//! the VM. Not supported (out of scope for the reproduction):
+//! `does>`, user-defined immediate words, and input parsing words.
+//!
+//! # Examples
+//!
+//! ```
+//! use stackcache_forth::compile_source;
+//!
+//! let image = compile_source(
+//!     ": fact dup 1 <= if drop 1 else dup 1- recurse * then ;
+//!      : main 5 fact . ;",
+//!     "main",
+//! )?;
+//! assert_eq!(image.run(100_000)?.output_string(), "120 ");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod compiler;
+mod error;
+pub mod lexer;
+
+pub use compiler::{compile_source, Forth, Image, DEFAULT_DATA_SPACE};
+pub use error::{ForthError, ForthErrorKind};

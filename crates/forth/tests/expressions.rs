@@ -1,0 +1,129 @@
+//! Property-based validation of the Forth compiler: random arithmetic
+//! expression trees are rendered to Forth source, compiled, executed on
+//! the VM, and compared against a direct Rust evaluation.
+
+use proptest::prelude::*;
+use stackcache_forth::compile_source;
+
+/// A tiny expression AST with Forth-representable operations.
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    Abs(Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self) -> i64 {
+        match self {
+            Expr::Num(n) => *n,
+            Expr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Expr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            Expr::Min(a, b) => a.eval().min(b.eval()),
+            Expr::Max(a, b) => a.eval().max(b.eval()),
+            Expr::Neg(a) => a.eval().wrapping_neg(),
+            Expr::Abs(a) => a.eval().wrapping_abs(),
+        }
+    }
+
+    /// Postfix (Forth) rendering.
+    fn to_forth(&self, out: &mut String) {
+        match self {
+            Expr::Num(n) => {
+                out.push_str(&n.to_string());
+                out.push(' ');
+            }
+            Expr::Add(a, b) => Self::binary(a, b, "+", out),
+            Expr::Sub(a, b) => Self::binary(a, b, "-", out),
+            Expr::Mul(a, b) => Self::binary(a, b, "*", out),
+            Expr::Min(a, b) => Self::binary(a, b, "min", out),
+            Expr::Max(a, b) => Self::binary(a, b, "max", out),
+            Expr::Neg(a) => {
+                a.to_forth(out);
+                out.push_str("negate ");
+            }
+            Expr::Abs(a) => {
+                a.to_forth(out);
+                out.push_str("abs ");
+            }
+        }
+    }
+
+    fn binary(a: &Expr, b: &Expr, op: &str, out: &mut String) {
+        a.to_forth(out);
+        b.to_forth(out);
+        out.push_str(op);
+        out.push(' ');
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (-10_000i64..10_000).prop_map(Expr::Num);
+    leaf.prop_recursive(6, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Min(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Max(a.into(), b.into())),
+            inner.clone().prop_map(|a| Expr::Neg(a.into())),
+            inner.prop_map(|a| Expr::Abs(a.into())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forth_evaluates_expressions_like_rust(expr in arb_expr()) {
+        let mut body = String::new();
+        expr.to_forth(&mut body);
+        let src = format!(": main {body} ;");
+        let image = compile_source(&src, "main").expect("expression compiles");
+        let machine = image.run(10_000_000).expect("expression runs");
+        prop_assert_eq!(machine.stack(), &[expr.eval()], "source: {}", src);
+    }
+
+    #[test]
+    fn load_time_and_run_time_agree(expr in arb_expr()) {
+        // evaluating at load time (interpret mode) must give the same
+        // value as compiling into a word and running on the VM
+        let mut body = String::new();
+        expr.to_forth(&mut body);
+        let mut forth = stackcache_forth::Forth::new();
+        forth.interpret(&body).expect("interprets");
+        let loadtime = *forth.machine().stack().last().expect("value");
+        prop_assert_eq!(loadtime, expr.eval());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer never panics and never loses non-comment words.
+    #[test]
+    fn lexer_is_total(src in "[ -~\n\t]{0,200}") {
+        match stackcache_forth::lexer::tokenize(&src) {
+            Ok(tokens) => {
+                for t in tokens {
+                    prop_assert!(!t.text.is_empty());
+                    prop_assert!(t.line >= 1);
+                }
+            }
+            Err(line) => prop_assert!(line >= 1),
+        }
+    }
+
+    /// Number parsing agrees with Rust's on plain decimals.
+    #[test]
+    fn parse_number_decimal(n in any::<i64>()) {
+        prop_assert_eq!(stackcache_forth::lexer::parse_number(&n.to_string()), Some(n));
+    }
+}

@@ -1,0 +1,398 @@
+//! A textual assembly format for VM programs.
+//!
+//! [`assemble`] parses a line-oriented assembly source into a
+//! [`Program`]; [`disassemble`] renders a program back into assemblable
+//! text. The two round-trip: `assemble(&disassemble(p))` reproduces `p`'s
+//! instructions and entry point exactly.
+//!
+//! # Format
+//!
+//! * one instruction per line, written with its Forth name
+//!   (`dup`, `+`, `c@`, `(loop)`, …),
+//! * `lit <number>` pushes a literal (decimal, `$hex` or `'c'`),
+//! * control transfers take a label: `branch loop`, `?branch done`,
+//!   `call square`, `(do)`-family likewise,
+//! * `name:` defines a label; `entry:` marks the entry point,
+//! * `;` starts a comment; blank lines are ignored.
+//!
+//! # Examples
+//!
+//! ```
+//! use stackcache_vm::asm::assemble;
+//! use stackcache_vm::{exec, Machine};
+//!
+//! let program = assemble(
+//!     "entry:
+//!         lit 6
+//!         call square
+//!         .
+//!         halt
+//!      square:
+//!         dup
+//!         *
+//!         exit",
+//! )?;
+//! let mut m = Machine::new();
+//! exec::run(&program, &mut m, 1_000)?;
+//! assert_eq!(m.output_string(), "36 ");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::inst::{Cell, Inst};
+use crate::program::{Program, ProgramBuilder};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line of the offending text (0 for whole-program errors).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// Kinds of assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// An unknown mnemonic.
+    UnknownMnemonic(String),
+    /// A mnemonic that needs an operand did not get one (or vice versa).
+    BadOperand(String),
+    /// A label used but never defined.
+    UndefinedLabel(String),
+    /// A label defined twice.
+    DuplicateLabel(String),
+    /// The assembled program failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadOperand(m) => write!(f, "bad operand for `{m}`"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::Invalid(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, kind: AsmErrorKind) -> AsmError {
+    AsmError { line, kind }
+}
+
+/// Mnemonics that take a label operand, with their instruction builders.
+fn branch_like(mnemonic: &str) -> Option<fn(u32) -> Inst> {
+    Some(match mnemonic {
+        "branch" => Inst::Branch,
+        "?branch" => Inst::BranchIfZero,
+        "call" => Inst::Call,
+        "(?do)" => Inst::QDoSetup,
+        "(loop)" => Inst::LoopInc,
+        "(+loop)" => Inst::PlusLoopInc,
+        _ => return None,
+    })
+}
+
+/// Parse assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] for unknown mnemonics, malformed operands,
+/// undefined or duplicate labels, or an invalid resulting program.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // mnemonic table from the instruction set itself
+    let mut plain: HashMap<&'static str, Inst> = HashMap::new();
+    for inst in Inst::all() {
+        if inst.target().is_none() && !matches!(inst, Inst::Lit(_)) {
+            plain.insert(inst.name(), inst);
+        }
+    }
+
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<String, crate::program::Label> = HashMap::new();
+    let mut defined: HashMap<String, usize> = HashMap::new();
+    let mut label_of = |b: &mut ProgramBuilder, name: &str| {
+        labels.entry(name.to_string()).or_insert_with(|| b.new_label()).to_owned()
+    };
+    let mut first_use: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        // label definitions (possibly several on one line)
+        let mut rest = text;
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.contains(char::is_whitespace) {
+                break; // `:` belongs to an operand, not a label
+            }
+            if name == "entry" {
+                b.entry_here();
+            } else {
+                if defined.contains_key(name) {
+                    return Err(err(line_no, AsmErrorKind::DuplicateLabel(name.to_string())));
+                }
+                defined.insert(name.to_string(), line_no);
+                let l = label_of(&mut b, name);
+                b.bind(l)
+                    .map_err(|_| err(line_no, AsmErrorKind::DuplicateLabel(name.to_string())))?;
+            }
+            rest = tail[1..].trim_start();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty");
+        let operand = parts.next();
+        if parts.next().is_some() {
+            return Err(err(line_no, AsmErrorKind::BadOperand(mnemonic.to_string())));
+        }
+
+        if mnemonic == "lit" {
+            let Some(op) = operand else {
+                return Err(err(line_no, AsmErrorKind::BadOperand("lit".into())));
+            };
+            let n = parse_literal(op)
+                .ok_or_else(|| err(line_no, AsmErrorKind::BadOperand("lit".into())))?;
+            b.push(Inst::Lit(n));
+        } else if let Some(make) = branch_like(mnemonic) {
+            let Some(op) = operand else {
+                return Err(err(line_no, AsmErrorKind::BadOperand(mnemonic.to_string())));
+            };
+            first_use.entry(op.to_string()).or_insert(line_no);
+            let l = label_of(&mut b, op);
+            // emit a placeholder through the builder's fixup machinery
+            match make(0) {
+                Inst::Branch(_) => b.branch(l),
+                Inst::BranchIfZero(_) => b.branch_if_zero(l),
+                Inst::Call(_) => b.call(l),
+                Inst::QDoSetup(_) => b.qdo(l),
+                Inst::LoopInc(_) => b.loop_inc(l),
+                Inst::PlusLoopInc(_) => b.plus_loop_inc(l),
+                _ => unreachable!(),
+            };
+        } else if let Some(inst) = plain.get(mnemonic) {
+            if operand.is_some() {
+                return Err(err(line_no, AsmErrorKind::BadOperand(mnemonic.to_string())));
+            }
+            b.push(*inst);
+        } else {
+            return Err(err(line_no, AsmErrorKind::UnknownMnemonic(mnemonic.to_string())));
+        }
+    }
+
+    b.finish().map_err(|e| match e {
+        crate::program::BuildError::UnboundLabel { .. } => {
+            // find which named label is missing
+            let missing = labels
+                .keys()
+                .find(|name| !defined.contains_key(*name))
+                .cloned()
+                .unwrap_or_default();
+            let line = first_use.get(&missing).copied().unwrap_or(0);
+            err(line, AsmErrorKind::UndefinedLabel(missing))
+        }
+        other => err(0, AsmErrorKind::Invalid(other.to_string())),
+    })
+}
+
+fn parse_literal(s: &str) -> Option<Cell> {
+    if let Some(hex) = s.strip_prefix('$') {
+        return i64::from_str_radix(hex, 16)
+            .or_else(|_| u64::from_str_radix(hex, 16).map(|u| u as i64))
+            .ok();
+    }
+    let bytes = s.as_bytes();
+    if bytes.len() == 3 && bytes[0] == b'\'' && bytes[2] == b'\'' {
+        return Some(Cell::from(bytes[1]));
+    }
+    s.parse().ok()
+}
+
+/// Render a program as assemblable text.
+///
+/// Branch targets become `L<index>` labels; the entry point gets an
+/// `entry:` marker. The output assembles back to an identical program.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    let mut targets: Vec<usize> = program
+        .insts()
+        .iter()
+        .filter_map(|i| i.target().map(|t| t as usize))
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_for = |ip: usize| format!("L{ip}");
+
+    let mut out = String::new();
+    for (ip, inst) in program.insts().iter().enumerate() {
+        if targets.binary_search(&ip).is_ok() {
+            let _ = writeln!(out, "{}:", label_for(ip));
+        }
+        if ip == program.entry() {
+            let _ = writeln!(out, "entry:");
+        }
+        match inst {
+            Inst::Lit(n) => {
+                let _ = writeln!(out, "    lit {n}");
+            }
+            _ => match inst.target() {
+                Some(t) => {
+                    let _ = writeln!(out, "    {} {}", inst.name(), label_for(t as usize));
+                }
+                None => {
+                    let _ = writeln!(out, "    {}", inst.name());
+                }
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec;
+    use crate::machine::Machine;
+    use crate::program::program_of;
+
+    #[test]
+    fn assembles_and_runs() {
+        let p = assemble(
+            "entry:
+                lit 6
+                call square
+                .
+                halt
+             square:
+                dup
+                *
+                exit",
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        exec::run(&p, &mut m, 1_000).unwrap();
+        assert_eq!(m.output_string(), "36 ");
+    }
+
+    #[test]
+    fn loops_and_comments() {
+        let p = assemble(
+            "; countdown
+             entry:
+                lit 3
+             top:
+                1-         ; decrement
+                dup
+                0<>
+                ?branch done
+                branch top
+             done:
+                .
+                halt",
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        exec::run(&p, &mut m, 1_000).unwrap();
+        assert_eq!(m.output_string(), "0 ");
+    }
+
+    #[test]
+    fn literal_forms() {
+        let p = assemble("lit $ff\nlit 'A'\nlit -9\nhalt").unwrap();
+        assert_eq!(
+            &p.insts()[..3],
+            &[Inst::Lit(255), Inst::Lit(65), Inst::Lit(-9)]
+        );
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = assemble("dup\nfrobnicate\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+
+        let e = assemble("lit\nhalt").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadOperand(_)));
+
+        let e = assemble("branch nowhere\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(matches!(e.kind, AsmErrorKind::UndefinedLabel(_)));
+
+        let e = assemble("a:\nhalt\na:\nhalt").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::DuplicateLabel(_)));
+
+        let e = assemble("dup 5\nhalt").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadOperand(_)));
+    }
+
+    #[test]
+    fn every_plain_instruction_has_a_unique_mnemonic() {
+        // assemble a program containing every non-operand instruction
+        let mut src = String::new();
+        for inst in Inst::all() {
+            if inst.target().is_none() && !matches!(inst, Inst::Lit(_)) {
+                src.push_str("    ");
+                src.push_str(inst.name());
+                src.push('\n');
+            }
+        }
+        let p = assemble(&src).unwrap();
+        let plain_count = Inst::all()
+            .filter(|i| i.target().is_none() && !matches!(i, Inst::Lit(_)))
+            .count();
+        assert_eq!(p.len(), plain_count);
+    }
+
+    #[test]
+    fn roundtrip_through_disassembly() {
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(0));
+        b.push(Inst::Lit(10));
+        b.push(Inst::Lit(0));
+        b.push(Inst::DoSetup);
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::LoopI);
+        b.call(w);
+        b.push(Inst::Add);
+        b.loop_inc(top);
+        b.push(Inst::Dot);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        b.push(Inst::Dup);
+        b.push(Inst::Mul);
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+
+        let text = disassemble(&p);
+        let q = assemble(&text).unwrap();
+        assert_eq!(p.insts(), q.insts());
+        assert_eq!(p.entry(), q.entry());
+    }
+
+    #[test]
+    fn roundtrip_straight_line() {
+        let p = program_of(&[Inst::Lit(1), Inst::Lit(2), Inst::Swap, Inst::Sub, Inst::Dot]);
+        let q = assemble(&disassemble(&p)).unwrap();
+        assert_eq!(p.insts(), q.insts());
+    }
+}

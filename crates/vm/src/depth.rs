@@ -1,0 +1,378 @@
+//! Interprocedural stack-depth analysis.
+//!
+//! Static stack caching leans on a property that well-formed stack code
+//! has anyway: every program point is reached with a consistent stack
+//! discipline. This module checks that property ahead of time — it
+//! computes, for every *word* (call target) of a program, the net
+//! data-stack effect of calling it, verifies that all control-flow paths
+//! agree, and reports the most negative relative depth each word reaches
+//! (how many cells it consumes from its caller).
+//!
+//! The analysis is a fixpoint over the call graph: a word's effect is
+//! `Unknown` until every word it calls has resolved (directly or mutually
+//! recursive words stay `Unknown` — their effect is not derivable without
+//! solving path equations); paths that disagree make the word
+//! `Inconsistent`, which usually indicates a stack bug in the source
+//! program.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::inst::{EffectKind, Inst};
+use crate::program::Program;
+
+/// The derived stack effect of one word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordEffect {
+    /// All paths agree: calling the word changes the depth by `net`, and
+    /// it reads at most `consumes` cells belonging to the caller.
+    Net {
+        /// Net depth change of a call.
+        net: i32,
+        /// Deepest relative reach below the entry depth.
+        consumes: u32,
+    },
+    /// Not derivable (recursion, `execute`, `?dup`, or an unresolved
+    /// callee).
+    Unknown,
+    /// Control-flow paths disagree on the depth. Either a stack bug, or
+    /// the deliberate Forth variable-arity idiom (`( x -- y true | false )`)
+    /// — callers of such words inherit the flag.
+    Inconsistent,
+}
+
+/// Analysis result for a program.
+#[derive(Debug, Clone)]
+pub struct DepthAnalysis {
+    /// Effect per word entry point (instruction index), sorted.
+    pub words: BTreeMap<usize, WordEffect>,
+}
+
+impl DepthAnalysis {
+    /// `true` if no word is [`WordEffect::Inconsistent`].
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        !self.words.values().any(|e| matches!(e, WordEffect::Inconsistent))
+    }
+
+    /// The effect of the word starting at `entry`.
+    #[must_use]
+    pub fn effect_of(&self, entry: usize) -> Option<WordEffect> {
+        self.words.get(&entry).copied()
+    }
+}
+
+/// Per-instruction net effect, or `None` when it is data-dependent.
+fn inst_net(inst: &Inst) -> Option<i32> {
+    let eff = inst.effect();
+    match eff.kind {
+        EffectKind::DynamicShuffle => None, // ?dup
+        _ => Some(eff.net()),
+    }
+}
+
+/// Analyze every word of `program` (call targets plus the entry point).
+///
+/// Words are analyzed over the blocks reachable from their entry without
+/// following call edges; `execute` and `?dup` make a word `Unknown`.
+#[must_use]
+pub fn analyze(program: &Program) -> DepthAnalysis {
+    let insts = program.insts();
+    let mut entries: Vec<usize> = insts
+        .iter()
+        .filter_map(|i| match i {
+            Inst::Call(t) => Some(*t as usize),
+            _ => None,
+        })
+        .collect();
+    entries.push(program.entry());
+    entries.sort_unstable();
+    entries.dedup();
+
+    let mut effects: HashMap<usize, WordEffect> =
+        entries.iter().map(|&e| (e, WordEffect::Unknown)).collect();
+
+    // fixpoint: effects only move Unknown -> Net/Inconsistent
+    for _ in 0..=entries.len() {
+        let mut changed = false;
+        for &entry in &entries {
+            if !matches!(effects[&entry], WordEffect::Unknown) {
+                continue;
+            }
+            let resolved = analyze_word(insts, entry, &effects);
+            if !matches!(resolved, WordEffect::Unknown) {
+                effects.insert(entry, resolved);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    DepthAnalysis { words: effects.into_iter().collect() }
+}
+
+/// Walk one word with a depth-propagating worklist.
+fn analyze_word(
+    insts: &[Inst],
+    entry: usize,
+    effects: &HashMap<usize, WordEffect>,
+) -> WordEffect {
+    // relative depth at each visited instruction
+    let mut depth_at: HashMap<usize, i32> = HashMap::new();
+    let mut work: Vec<(usize, i32)> = vec![(entry, 0)];
+    let mut returns: Vec<i32> = Vec::new();
+    let mut min_depth: i32 = 0;
+
+    while let Some((mut ip, mut depth)) = work.pop() {
+        loop {
+            if ip >= insts.len() {
+                return WordEffect::Inconsistent; // ran off the end
+            }
+            match depth_at.get(&ip) {
+                Some(&d) if d == depth => break, // already visited, consistent
+                Some(_) => return WordEffect::Inconsistent,
+                None => {
+                    depth_at.insert(ip, depth);
+                }
+            }
+            let inst = insts[ip];
+            match inst {
+                Inst::Execute => return WordEffect::Unknown,
+                Inst::Call(t) => {
+                    match effects.get(&(t as usize)).copied().unwrap_or(WordEffect::Unknown) {
+                        WordEffect::Net { net, consumes } => {
+                            min_depth = min_depth.min(depth - consumes as i32);
+                            depth += net;
+                            ip += 1;
+                        }
+                        WordEffect::Unknown => return WordEffect::Unknown,
+                        WordEffect::Inconsistent => return WordEffect::Inconsistent,
+                    }
+                }
+                Inst::Return => {
+                    returns.push(depth);
+                    break;
+                }
+                Inst::Halt => break,
+                Inst::Branch(t) => {
+                    ip = t as usize;
+                }
+                Inst::BranchIfZero(t) => {
+                    depth -= 1;
+                    min_depth = min_depth.min(depth);
+                    work.push((t as usize, depth));
+                    ip += 1;
+                }
+                Inst::QDoSetup(t) => {
+                    depth -= 2;
+                    min_depth = min_depth.min(depth);
+                    work.push((t as usize, depth));
+                    ip += 1;
+                }
+                Inst::LoopInc(t) => {
+                    work.push((t as usize, depth));
+                    ip += 1;
+                    if ip >= insts.len() {
+                        break;
+                    }
+                }
+                Inst::PlusLoopInc(t) => {
+                    depth -= 1;
+                    min_depth = min_depth.min(depth);
+                    work.push((t as usize, depth));
+                    ip += 1;
+                }
+                other => match inst_net(&other) {
+                    Some(net) => {
+                        // consumption happens before production
+                        min_depth =
+                            min_depth.min(depth - i32::from(other.effect().pops));
+                        depth += net;
+                        ip += 1;
+                    }
+                    None => return WordEffect::Unknown,
+                },
+            }
+        }
+    }
+
+    returns.sort_unstable();
+    returns.dedup();
+    match returns.len() {
+        0 => {
+            // a word that only halts (the boot stub): treat as net 0
+            WordEffect::Net { net: 0, consumes: min_depth.unsigned_abs() }
+        }
+        1 => WordEffect::Net { net: returns[0], consumes: min_depth.unsigned_abs() },
+        _ => WordEffect::Inconsistent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn square_program() -> (Program, usize) {
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(3));
+        b.call(w);
+        b.push(Inst::Dot);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        let entry = b.here();
+        b.push(Inst::Dup);
+        b.push(Inst::Mul);
+        b.push(Inst::Return);
+        (b.finish().unwrap(), entry)
+    }
+
+    #[test]
+    fn simple_word_effect() {
+        let (p, w) = square_program();
+        let a = analyze(&p);
+        assert!(a.is_consistent());
+        // square: ( n -- n^2 ): net 0, reads one caller cell
+        assert_eq!(a.effect_of(w), Some(WordEffect::Net { net: 0, consumes: 1 }));
+        // main consumes nothing from "its caller"
+        assert_eq!(a.effect_of(p.entry()), Some(WordEffect::Net { net: 0, consumes: 0 }));
+    }
+
+    #[test]
+    fn word_with_branches_is_consistent() {
+        // : sign 0< if -1 else 1 then ;  net 0
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(-5));
+        b.call(w);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        let entry = b.here();
+        b.push(Inst::ZeroLt);
+        let else_l = b.new_label();
+        let end_l = b.new_label();
+        b.branch_if_zero(else_l);
+        b.push(Inst::Lit(-1));
+        b.branch(end_l);
+        b.bind(else_l).unwrap();
+        b.push(Inst::Lit(1));
+        b.bind(end_l).unwrap();
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.is_consistent());
+        assert_eq!(a.effect_of(entry), Some(WordEffect::Net { net: 0, consumes: 1 }));
+    }
+
+    #[test]
+    fn unbalanced_arms_are_flagged() {
+        // if-arm pushes two, else-arm pushes one: inconsistent join
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(1));
+        b.call(w);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        let entry = b.here();
+        let else_l = b.new_label();
+        let end_l = b.new_label();
+        b.branch_if_zero(else_l);
+        b.push(Inst::Lit(1));
+        b.push(Inst::Lit(2));
+        b.branch(end_l);
+        b.bind(else_l).unwrap();
+        b.push(Inst::Lit(1));
+        b.bind(end_l).unwrap();
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let a = analyze(&p);
+        assert!(!a.is_consistent());
+        assert_eq!(a.effect_of(entry), Some(WordEffect::Inconsistent));
+    }
+
+    #[test]
+    fn calls_compose_transitively() {
+        // : a 1 ; : b a a + ; : c b b * drop ;
+        let mut b = ProgramBuilder::new();
+        let (wa, wb, wc) = (b.new_label(), b.new_label(), b.new_label());
+        b.entry_here();
+        b.call(wc);
+        b.push(Inst::Halt);
+        b.bind(wa).unwrap();
+        let ea = b.here();
+        b.push(Inst::Lit(1));
+        b.push(Inst::Return);
+        b.bind(wb).unwrap();
+        let eb = b.here();
+        b.call(wa);
+        b.call(wa);
+        b.push(Inst::Add);
+        b.push(Inst::Return);
+        b.bind(wc).unwrap();
+        let ec = b.here();
+        b.call(wb);
+        b.call(wb);
+        b.push(Inst::Mul);
+        b.push(Inst::Drop);
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.is_consistent());
+        assert_eq!(a.effect_of(ea), Some(WordEffect::Net { net: 1, consumes: 0 }));
+        assert_eq!(a.effect_of(eb), Some(WordEffect::Net { net: 1, consumes: 0 }));
+        assert_eq!(a.effect_of(ec), Some(WordEffect::Net { net: 0, consumes: 0 }));
+    }
+
+    #[test]
+    fn recursion_is_unknown() {
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(5));
+        b.call(w);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        let entry = b.here();
+        b.push(Inst::OneMinus);
+        b.push(Inst::Dup);
+        let done = b.new_label();
+        b.branch_if_zero(done);
+        b.call(w); // recursive
+        b.bind(done).unwrap();
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.effect_of(entry), Some(WordEffect::Unknown));
+    }
+
+    #[test]
+    fn loops_are_depth_neutral() {
+        // : sum 0 10 0 (do) i + (loop) ;  -- net +1
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.call(w);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        let entry = b.here();
+        b.push(Inst::Lit(0));
+        b.push(Inst::Lit(10));
+        b.push(Inst::Lit(0));
+        b.push(Inst::DoSetup);
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::LoopI);
+        b.push(Inst::Add);
+        b.loop_inc(top);
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.is_consistent());
+        assert_eq!(a.effect_of(entry), Some(WordEffect::Net { net: 1, consumes: 0 }));
+    }
+}

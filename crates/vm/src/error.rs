@@ -1,0 +1,146 @@
+//! Virtual machine error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime trap raised by the virtual machine.
+///
+/// Every variant records the instruction index (`ip`) at which the trap was
+/// raised, so traps can be reported against a program listing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The data stack held fewer cells than an instruction required.
+    StackUnderflow {
+        /// Instruction index of the faulting instruction.
+        ip: usize,
+    },
+    /// The data stack exceeded the configured maximum depth.
+    StackOverflow {
+        /// Instruction index of the faulting instruction.
+        ip: usize,
+    },
+    /// The return stack held fewer cells than an instruction required.
+    ReturnStackUnderflow {
+        /// Instruction index of the faulting instruction.
+        ip: usize,
+    },
+    /// The return stack exceeded the configured maximum depth.
+    ReturnStackOverflow {
+        /// Instruction index of the faulting instruction.
+        ip: usize,
+    },
+    /// A memory access was outside the allocated data space.
+    MemoryOutOfBounds {
+        /// Instruction index of the faulting instruction.
+        ip: usize,
+        /// The offending byte address.
+        addr: i64,
+    },
+    /// Division or remainder by zero.
+    DivisionByZero {
+        /// Instruction index of the faulting instruction.
+        ip: usize,
+    },
+    /// `pick` with an index not inside the stack.
+    PickOutOfRange {
+        /// Instruction index of the faulting instruction.
+        ip: usize,
+        /// The requested pick depth.
+        index: i64,
+    },
+    /// `execute` with a token that is not a valid instruction index.
+    InvalidExecutionToken {
+        /// Instruction index of the faulting instruction.
+        ip: usize,
+        /// The offending token value.
+        token: i64,
+    },
+    /// Control transferred outside the program.
+    InstructionOutOfBounds {
+        /// The offending instruction index.
+        ip: usize,
+    },
+    /// The instruction budget was exhausted before the program halted.
+    FuelExhausted {
+        /// Instruction index at which execution stopped.
+        ip: usize,
+    },
+}
+
+impl VmError {
+    /// Instruction index at which the trap was raised.
+    #[must_use]
+    pub fn ip(&self) -> usize {
+        match *self {
+            VmError::StackUnderflow { ip }
+            | VmError::StackOverflow { ip }
+            | VmError::ReturnStackUnderflow { ip }
+            | VmError::ReturnStackOverflow { ip }
+            | VmError::MemoryOutOfBounds { ip, .. }
+            | VmError::DivisionByZero { ip }
+            | VmError::PickOutOfRange { ip, .. }
+            | VmError::InvalidExecutionToken { ip, .. }
+            | VmError::InstructionOutOfBounds { ip }
+            | VmError::FuelExhausted { ip } => ip,
+        }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow { ip } => write!(f, "data stack underflow at instruction {ip}"),
+            VmError::StackOverflow { ip } => write!(f, "data stack overflow at instruction {ip}"),
+            VmError::ReturnStackUnderflow { ip } => {
+                write!(f, "return stack underflow at instruction {ip}")
+            }
+            VmError::ReturnStackOverflow { ip } => {
+                write!(f, "return stack overflow at instruction {ip}")
+            }
+            VmError::MemoryOutOfBounds { ip, addr } => {
+                write!(f, "memory access at address {addr} out of bounds at instruction {ip}")
+            }
+            VmError::DivisionByZero { ip } => write!(f, "division by zero at instruction {ip}"),
+            VmError::PickOutOfRange { ip, index } => {
+                write!(f, "pick index {index} out of range at instruction {ip}")
+            }
+            VmError::InvalidExecutionToken { ip, token } => {
+                write!(f, "invalid execution token {token} at instruction {ip}")
+            }
+            VmError::InstructionOutOfBounds { ip } => {
+                write!(f, "control transferred to invalid instruction index {ip}")
+            }
+            VmError::FuelExhausted { ip } => {
+                write!(f, "instruction budget exhausted at instruction {ip}")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_mentions_ip() {
+        let errors = [
+            VmError::StackUnderflow { ip: 3 },
+            VmError::StackOverflow { ip: 3 },
+            VmError::ReturnStackUnderflow { ip: 3 },
+            VmError::ReturnStackOverflow { ip: 3 },
+            VmError::MemoryOutOfBounds { ip: 3, addr: -1 },
+            VmError::DivisionByZero { ip: 3 },
+            VmError::PickOutOfRange { ip: 3, index: 9 },
+            VmError::InvalidExecutionToken { ip: 3, token: -2 },
+            VmError::InstructionOutOfBounds { ip: 3 },
+            VmError::FuelExhausted { ip: 3 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(s.contains('3'), "{s}");
+            assert_eq!(e.ip(), 3);
+        }
+    }
+}

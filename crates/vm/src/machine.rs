@@ -1,0 +1,266 @@
+//! Machine state: stacks, memory and output.
+
+use crate::inst::{Cell, CELL_BYTES};
+
+/// Default data-space size in bytes.
+pub const DEFAULT_MEMORY: usize = 1 << 20;
+/// Default maximum data-stack depth in cells.
+pub const DEFAULT_STACK_LIMIT: usize = 1 << 16;
+/// Default maximum return-stack depth in cells.
+pub const DEFAULT_RSTACK_LIMIT: usize = 1 << 16;
+
+/// The mutable state of a virtual machine: data stack, return stack,
+/// byte-addressable data space and an output buffer.
+///
+/// The same `Machine` type is shared by every interpreter in the workspace
+/// (reference, baseline, top-of-stack, dynamically cached, statically
+/// cached), which is what makes their observable behaviour directly
+/// comparable in tests.
+///
+/// # Examples
+///
+/// ```
+/// use stackcache_vm::Machine;
+///
+/// let mut m = Machine::new();
+/// m.push(2);
+/// m.push(3);
+/// assert_eq!(m.depth(), 2);
+/// assert_eq!(m.stack(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub(crate) stack: Vec<Cell>,
+    pub(crate) rstack: Vec<Cell>,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) out: Vec<u8>,
+    pub(crate) stack_limit: usize,
+    pub(crate) rstack_limit: usize,
+}
+
+impl Machine {
+    /// A machine with default memory and stack limits.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_memory(DEFAULT_MEMORY)
+    }
+
+    /// A machine with `bytes` of data space and default stack limits.
+    #[must_use]
+    pub fn with_memory(bytes: usize) -> Self {
+        Machine {
+            stack: Vec::with_capacity(256),
+            rstack: Vec::with_capacity(256),
+            mem: vec![0; bytes],
+            out: Vec::new(),
+            stack_limit: DEFAULT_STACK_LIMIT,
+            rstack_limit: DEFAULT_RSTACK_LIMIT,
+        }
+    }
+
+    /// Current data-stack contents, bottom first.
+    #[must_use]
+    pub fn stack(&self) -> &[Cell] {
+        &self.stack
+    }
+
+    /// Current return-stack contents, bottom first.
+    #[must_use]
+    pub fn rstack(&self) -> &[Cell] {
+        &self.rstack
+    }
+
+    /// Current data-stack depth in cells.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Bytes written by output instructions (`emit`, `.`, `type`, `cr`).
+    #[must_use]
+    pub fn output(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Output interpreted as UTF-8 (lossily).
+    #[must_use]
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.out).into_owned()
+    }
+
+    /// The data space.
+    #[must_use]
+    pub fn memory(&self) -> &[u8] {
+        &self.mem
+    }
+
+    /// Mutable access to the data space (for loading initial data).
+    pub fn memory_mut(&mut self) -> &mut [u8] {
+        &mut self.mem
+    }
+
+    /// Push a cell onto the data stack.
+    ///
+    /// Test/setup convenience; interpreters use their own inlined accessors.
+    pub fn push(&mut self, x: Cell) {
+        self.stack.push(x);
+    }
+
+    /// Pop a cell from the data stack, if present.
+    pub fn pop(&mut self) -> Option<Cell> {
+        self.stack.pop()
+    }
+
+    /// Push a cell onto the return stack.
+    pub fn rpush(&mut self, x: Cell) {
+        self.rstack.push(x);
+    }
+
+    /// Maximum data-stack depth in cells.
+    #[must_use]
+    pub fn stack_limit(&self) -> usize {
+        self.stack_limit
+    }
+
+    /// Maximum return-stack depth in cells.
+    #[must_use]
+    pub fn rstack_limit(&self) -> usize {
+        self.rstack_limit
+    }
+
+    /// Replace the data-stack contents (bottom-first). Used by alternative
+    /// interpreters to publish their final stack.
+    pub fn set_stack(&mut self, items: &[Cell]) {
+        self.stack.clear();
+        self.stack.extend_from_slice(items);
+    }
+
+    /// Replace the return-stack contents (bottom-first).
+    pub fn set_rstack(&mut self, items: &[Cell]) {
+        self.rstack.clear();
+        self.rstack.extend_from_slice(items);
+    }
+
+    /// Append one byte to the output buffer (the `emit` primitive).
+    pub fn push_output_byte(&mut self, b: u8) {
+        self.out.push(b);
+    }
+
+    /// Append a number in Forth `.` format (decimal followed by a space).
+    pub fn push_output_number(&mut self, n: Cell) {
+        self.out.extend_from_slice(n.to_string().as_bytes());
+        self.out.push(b' ');
+    }
+
+    /// Clear stacks and output, keep memory contents.
+    pub fn reset_stacks(&mut self) {
+        self.stack.clear();
+        self.rstack.clear();
+        self.out.clear();
+    }
+
+    /// Read the cell at byte address `addr`, or `None` when out of bounds.
+    ///
+    /// Cells are stored little-endian; `addr` need not be aligned.
+    #[must_use]
+    pub fn load_cell(&self, addr: i64) -> Option<Cell> {
+        let a = usize::try_from(addr).ok()?;
+        let end = a.checked_add(CELL_BYTES)?;
+        let bytes = self.mem.get(a..end)?;
+        Some(Cell::from_le_bytes(bytes.try_into().expect("slice length is CELL_BYTES")))
+    }
+
+    /// Write the cell at byte address `addr`. Returns `false` when out of
+    /// bounds.
+    pub fn store_cell(&mut self, addr: i64, x: Cell) -> bool {
+        let Ok(a) = usize::try_from(addr) else { return false };
+        let Some(end) = a.checked_add(CELL_BYTES) else { return false };
+        match self.mem.get_mut(a..end) {
+            Some(slot) => {
+                slot.copy_from_slice(&x.to_le_bytes());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Read the byte at `addr`, zero-extended.
+    #[must_use]
+    pub fn load_byte(&self, addr: i64) -> Option<Cell> {
+        let a = usize::try_from(addr).ok()?;
+        self.mem.get(a).map(|&b| Cell::from(b))
+    }
+
+    /// Write the low byte of `x` at `addr`. Returns `false` when out of
+    /// bounds.
+    pub fn store_byte(&mut self, addr: i64, x: Cell) -> bool {
+        let Ok(a) = usize::try_from(addr) else { return false };
+        match self.mem.get_mut(a) {
+            Some(slot) => {
+                *slot = x as u8;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_roundtrip_little_endian() {
+        let mut m = Machine::with_memory(64);
+        assert!(m.store_cell(8, -123456789));
+        assert_eq!(m.load_cell(8), Some(-123456789));
+        assert_eq!(m.memory()[8], (-123456789i64).to_le_bytes()[0]);
+    }
+
+    #[test]
+    fn unaligned_cell_access_works() {
+        let mut m = Machine::with_memory(64);
+        assert!(m.store_cell(3, 0x0102030405060708));
+        assert_eq!(m.load_cell(3), Some(0x0102030405060708));
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let mut m = Machine::with_memory(16);
+        assert_eq!(m.load_cell(9), None); // 9 + 8 > 16
+        assert_eq!(m.load_cell(-1), None);
+        assert!(!m.store_cell(9, 1));
+        assert!(!m.store_cell(i64::MAX, 1));
+        assert_eq!(m.load_byte(16), None);
+        assert!(!m.store_byte(16, 1));
+        assert!(m.store_byte(15, 0xAB));
+        assert_eq!(m.load_byte(15), Some(0xAB));
+    }
+
+    #[test]
+    fn bytes_are_zero_extended() {
+        let mut m = Machine::with_memory(16);
+        assert!(m.store_byte(0, -1));
+        assert_eq!(m.load_byte(0), Some(255));
+    }
+
+    #[test]
+    fn reset_keeps_memory() {
+        let mut m = Machine::with_memory(16);
+        m.push(1);
+        m.rpush(2);
+        m.out.extend_from_slice(b"x");
+        m.store_cell(0, 42);
+        m.reset_stacks();
+        assert!(m.stack().is_empty());
+        assert!(m.rstack().is_empty());
+        assert!(m.output().is_empty());
+        assert_eq!(m.load_cell(0), Some(42));
+    }
+}

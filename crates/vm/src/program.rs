@@ -1,0 +1,456 @@
+//! Programs, the label-based program builder, and basic-block analysis.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::Inst;
+
+/// A compiled virtual-machine program: a flat instruction vector with an
+/// entry point and optional symbolic names for word entry points.
+///
+/// Programs are immutable once built; construct them with a
+/// [`ProgramBuilder`] (or the Forth front end in `stackcache-forth`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    entry: usize,
+    names: BTreeMap<usize, String>,
+}
+
+impl Program {
+    /// The instruction vector.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Index of the first instruction to execute.
+    #[must_use]
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// The symbolic name attached to instruction index `ip`, if any.
+    #[must_use]
+    pub fn name_at(&self, ip: usize) -> Option<&str> {
+        self.names.get(&ip).map(String::as_str)
+    }
+
+    /// All `(entry index, name)` pairs, ordered by index.
+    pub fn names(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().map(|(&ip, name)| (ip, name.as_str()))
+    }
+
+    /// Compute the basic-block leaders of this program.
+    ///
+    /// A leader is the entry point, any branch/call target, or any
+    /// instruction following a block-ending instruction (branch, call,
+    /// return, halt). The result is sorted and deduplicated.
+    #[must_use]
+    pub fn leaders(&self) -> Vec<usize> {
+        let mut leaders = vec![self.entry, 0];
+        for (ip, inst) in self.insts.iter().enumerate() {
+            if let Some(t) = inst.target() {
+                leaders.push(t as usize);
+            }
+            if inst.ends_block() && ip + 1 < self.insts.len() {
+                leaders.push(ip + 1);
+            }
+        }
+        leaders.sort_unstable();
+        leaders.dedup();
+        leaders.retain(|&l| l < self.insts.len());
+        leaders
+    }
+
+    /// Compute the half-open basic blocks `[start, end)` of this program.
+    ///
+    /// Every instruction belongs to exactly one block; blocks are returned
+    /// in program order.
+    #[must_use]
+    pub fn basic_blocks(&self) -> Vec<(usize, usize)> {
+        let leaders = self.leaders();
+        let mut blocks = Vec::with_capacity(leaders.len());
+        for (i, &start) in leaders.iter().enumerate() {
+            let end = leaders.get(i + 1).copied().unwrap_or(self.insts.len());
+            blocks.push((start, end));
+        }
+        blocks
+    }
+
+    /// A human-readable listing of the program.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        for (ip, inst) in self.insts.iter().enumerate() {
+            if let Some(name) = self.name_at(ip) {
+                let _ = writeln!(s, "{name}:");
+            }
+            let marker = if ip == self.entry { ">" } else { " " };
+            let _ = writeln!(s, "{marker}{ip:5}  {inst}");
+        }
+        s
+    }
+}
+
+/// A forward-reference label used by [`ProgramBuilder`].
+///
+/// Labels are created with [`ProgramBuilder::new_label`], referenced by
+/// branch-emitting methods, and bound to the current position with
+/// [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An error produced while finishing a [`ProgramBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound.
+    UnboundLabel {
+        /// The unbound label.
+        label: Label,
+        /// Instruction index of the (first) reference.
+        ip: usize,
+    },
+    /// A label was bound twice.
+    DuplicateBind {
+        /// The label bound twice.
+        label: Label,
+    },
+    /// The entry point does not refer to an instruction.
+    InvalidEntry {
+        /// The offending entry index.
+        entry: usize,
+    },
+    /// An explicit (non-label) branch target is out of range.
+    InvalidTarget {
+        /// Instruction index of the branch.
+        ip: usize,
+        /// The offending target.
+        target: u32,
+    },
+    /// The program is longer than `u32::MAX` instructions.
+    TooLong,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { label, ip } => {
+                write!(f, "label {label:?} referenced at instruction {ip} was never bound")
+            }
+            BuildError::DuplicateBind { label } => write!(f, "label {label:?} bound twice"),
+            BuildError::InvalidEntry { entry } => write!(f, "entry point {entry} out of range"),
+            BuildError::InvalidTarget { ip, target } => {
+                write!(f, "branch target {target} at instruction {ip} out of range")
+            }
+            BuildError::TooLong => write!(f, "program exceeds u32::MAX instructions"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builds [`Program`]s with symbolic labels and automatic back-patching.
+///
+/// # Examples
+///
+/// Compute `|x|` with a conditional branch:
+///
+/// ```
+/// use stackcache_vm::{Inst, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new();
+/// let done = b.new_label();
+/// b.push(Inst::Dup);
+/// b.push(Inst::ZeroLt);
+/// b.branch_if_zero(done);
+/// b.push(Inst::Negate);
+/// b.bind(done)?;
+/// b.push(Inst::Halt);
+/// let program = b.finish()?;
+/// assert_eq!(program.len(), 5);
+/// # Ok::<(), stackcache_vm::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    entry: usize,
+    names: BTreeMap<usize, String>,
+    /// label -> bound position
+    bound: Vec<Option<usize>>,
+    /// (instruction index, label) pairs awaiting patching
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder with entry point 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current position: the index the next pushed instruction will get.
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Append an instruction; returns its index.
+    pub fn push(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// Append several instructions.
+    pub fn extend<I: IntoIterator<Item = Inst>>(&mut self, insts: I) {
+        self.insts.extend(insts);
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateBind`] if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), BuildError> {
+        let slot = &mut self.bound[label.0];
+        if slot.is_some() {
+            return Err(BuildError::DuplicateBind { label });
+        }
+        *slot = Some(self.insts.len());
+        Ok(())
+    }
+
+    /// Append `branch` to `label` (patched when the label is bound).
+    pub fn branch(&mut self, label: Label) -> usize {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::Branch(u32::MAX))
+    }
+
+    /// Append `?branch` to `label`.
+    pub fn branch_if_zero(&mut self, label: Label) -> usize {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::BranchIfZero(u32::MAX))
+    }
+
+    /// Append `call` to `label`.
+    pub fn call(&mut self, label: Label) -> usize {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::Call(u32::MAX))
+    }
+
+    /// Append `(?do)` branching to `label` when the loop is skipped.
+    pub fn qdo(&mut self, label: Label) -> usize {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::QDoSetup(u32::MAX))
+    }
+
+    /// Append `(loop)` branching back to `label`.
+    pub fn loop_inc(&mut self, label: Label) -> usize {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::LoopInc(u32::MAX))
+    }
+
+    /// Append `(+loop)` branching back to `label`.
+    pub fn plus_loop_inc(&mut self, label: Label) -> usize {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::PlusLoopInc(u32::MAX))
+    }
+
+    /// Set the entry point to the current position.
+    pub fn entry_here(&mut self) {
+        self.entry = self.insts.len();
+    }
+
+    /// Set the entry point to an explicit index.
+    pub fn set_entry(&mut self, entry: usize) {
+        self.entry = entry;
+    }
+
+    /// Attach a symbolic name to the current position (word entry point).
+    pub fn name_here(&mut self, name: impl Into<String>) {
+        self.names.insert(self.insts.len(), name.into());
+    }
+
+    /// Resolve labels and produce the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if a referenced label is unbound, the entry
+    /// point or an explicit target is out of range, or the program is too
+    /// long.
+    pub fn finish(mut self) -> Result<Program, BuildError> {
+        if u32::try_from(self.insts.len()).is_err() {
+            return Err(BuildError::TooLong);
+        }
+        for (ip, label) in &self.fixups {
+            let Some(pos) = self.bound[label.0] else {
+                return Err(BuildError::UnboundLabel { label: *label, ip: *ip });
+            };
+            let target =
+                u32::try_from(pos).map_err(|_| BuildError::TooLong)?;
+            self.insts[*ip] = self.insts[*ip].with_target(target);
+        }
+        // Validate all targets, including explicitly provided ones.
+        for (ip, inst) in self.insts.iter().enumerate() {
+            if let Some(t) = inst.target() {
+                if t as usize >= self.insts.len() {
+                    return Err(BuildError::InvalidTarget { ip, target: t });
+                }
+            }
+        }
+        if self.entry >= self.insts.len() && !(self.entry == 0 && self.insts.is_empty()) {
+            return Err(BuildError::InvalidEntry { entry: self.entry });
+        }
+        Ok(Program { insts: self.insts, entry: self.entry, names: self.names })
+    }
+}
+
+/// Build a straight-line program from instructions, appending `halt`.
+///
+/// Convenience for tests and examples.
+///
+/// # Panics
+///
+/// Panics if the instructions contain invalid branch targets (they are
+/// validated by the builder).
+#[must_use]
+pub fn program_of(insts: &[Inst]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.extend(insts.iter().copied());
+    b.push(Inst::Halt);
+    b.finish().expect("straight-line program is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        let out = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::Dup);
+        b.branch_if_zero(out);
+        b.push(Inst::OneMinus);
+        b.branch(top);
+        b.bind(out).unwrap();
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.insts()[1], Inst::BranchIfZero(4));
+        assert_eq!(p.insts()[3], Inst::Branch(0));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.branch(l);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, BuildError::UnboundLabel { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn duplicate_bind_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l).unwrap();
+        assert!(matches!(b.bind(l), Err(BuildError::DuplicateBind { .. })));
+    }
+
+    #[test]
+    fn invalid_explicit_target_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Branch(10));
+        b.push(Inst::Halt);
+        assert!(matches!(b.finish(), Err(BuildError::InvalidTarget { ip: 0, target: 10 })));
+    }
+
+    #[test]
+    fn invalid_entry_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Halt);
+        b.set_entry(5);
+        assert!(matches!(b.finish(), Err(BuildError::InvalidEntry { entry: 5 })));
+    }
+
+    #[test]
+    fn basic_blocks_partition_the_program() {
+        // 0: lit 1
+        // 1: ?branch -> 4
+        // 2: lit 2
+        // 3: branch -> 5
+        // 4: lit 3
+        // 5: halt
+        let mut b = ProgramBuilder::new();
+        let else_l = b.new_label();
+        let end_l = b.new_label();
+        b.push(Inst::Lit(1));
+        b.branch_if_zero(else_l);
+        b.push(Inst::Lit(2));
+        b.branch(end_l);
+        b.bind(else_l).unwrap();
+        b.push(Inst::Lit(3));
+        b.bind(end_l).unwrap();
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.basic_blocks(), vec![(0, 2), (2, 4), (4, 5), (5, 6)]);
+        // blocks tile the program
+        let blocks = p.basic_blocks();
+        assert_eq!(blocks.first().unwrap().0, 0);
+        assert_eq!(blocks.last().unwrap().1, p.len());
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn names_and_listing() {
+        let mut b = ProgramBuilder::new();
+        b.name_here("main");
+        b.push(Inst::Lit(42));
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.name_at(0), Some("main"));
+        assert_eq!(p.names().count(), 1);
+        let listing = p.listing();
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("lit 42"));
+    }
+
+    #[test]
+    fn program_of_appends_halt() {
+        let p = program_of(&[Inst::Lit(1), Inst::Lit(2), Inst::Add]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.insts()[3], Inst::Halt);
+        assert_eq!(p.entry(), 0);
+    }
+
+    #[test]
+    fn empty_program_is_allowed() {
+        let p = ProgramBuilder::new().finish().unwrap();
+        assert!(p.is_empty());
+    }
+}

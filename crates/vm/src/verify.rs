@@ -1,0 +1,287 @@
+//! Bytecode verification and control-flow-graph construction.
+//!
+//! The static stack-caching compiler (in `stackcache-core`) needs to reason
+//! about basic blocks and their successors; [`Cfg`] provides that structure.
+//! [`verify`] performs the checks that make the rest of the toolchain safe
+//! to run without per-instruction target validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::program::Program;
+
+/// A verification failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program is empty.
+    Empty,
+    /// The entry point is out of range.
+    BadEntry {
+        /// The offending entry index.
+        entry: usize,
+    },
+    /// A branch or call target is out of range.
+    BadTarget {
+        /// Instruction index of the branch.
+        ip: usize,
+        /// The offending target.
+        target: u32,
+    },
+    /// Execution can fall off the end of the program.
+    FallsOffEnd,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "program is empty"),
+            VerifyError::BadEntry { entry } => write!(f, "entry point {entry} out of range"),
+            VerifyError::BadTarget { ip, target } => {
+                write!(f, "branch target {target} at instruction {ip} out of range")
+            }
+            VerifyError::FallsOffEnd => {
+                write!(f, "last instruction does not end a basic block; execution can fall off the end")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Check that a program is structurally sound.
+///
+/// Verifies that the program is non-empty, the entry point and every branch
+/// target are in range, and the final instruction ends a basic block (so
+/// control can never run past the end of the instruction vector).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+///
+/// # Examples
+///
+/// ```
+/// use stackcache_vm::{program_of, verify, Inst};
+///
+/// let p = program_of(&[Inst::Lit(1), Inst::Lit(2), Inst::Add]);
+/// verify(&p)?;
+/// # Ok::<(), stackcache_vm::VerifyError>(())
+/// ```
+pub fn verify(program: &Program) -> Result<(), VerifyError> {
+    let insts = program.insts();
+    if insts.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if program.entry() >= insts.len() {
+        return Err(VerifyError::BadEntry { entry: program.entry() });
+    }
+    for (ip, inst) in insts.iter().enumerate() {
+        if let Some(t) = inst.target() {
+            if t as usize >= insts.len() {
+                return Err(VerifyError::BadTarget { ip, target: t });
+            }
+        }
+    }
+    if !insts[insts.len() - 1].ends_block() {
+        return Err(VerifyError::FallsOffEnd);
+    }
+    Ok(())
+}
+
+/// A basic block of a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Instruction indices control may transfer to after this block
+    /// (branch targets and fall-through; for calls, the return point).
+    pub successors: Vec<usize>,
+    /// If the block ends in a static call, the callee entry point.
+    pub call_target: Option<usize>,
+}
+
+impl Block {
+    /// Index of the block's terminating instruction.
+    #[must_use]
+    pub fn terminator(&self) -> usize {
+        self.end - 1
+    }
+}
+
+/// The control-flow graph of a program: its basic blocks in program order.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// Build the CFG of a verified program.
+    ///
+    /// Call [`verify`] first; this function assumes targets are in range.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let insts = program.insts();
+        let blocks = program
+            .basic_blocks()
+            .into_iter()
+            .map(|(start, end)| {
+                let term = insts[end - 1];
+                let mut successors = Vec::new();
+                let mut call_target = None;
+                match term {
+                    Inst::Branch(t) => successors.push(t as usize),
+                    Inst::BranchIfZero(t)
+                    | Inst::QDoSetup(t)
+                    | Inst::LoopInc(t)
+                    | Inst::PlusLoopInc(t) => {
+                        successors.push(t as usize);
+                        if end < insts.len() {
+                            successors.push(end);
+                        }
+                    }
+                    Inst::Call(t) => {
+                        call_target = Some(t as usize);
+                        if end < insts.len() {
+                            successors.push(end);
+                        }
+                    }
+                    Inst::Execute => {
+                        if end < insts.len() {
+                            successors.push(end);
+                        }
+                    }
+                    Inst::Return | Inst::Halt => {}
+                    // Block ended because the *next* instruction is a leader.
+                    _ => {
+                        if end < insts.len() {
+                            successors.push(end);
+                        }
+                    }
+                }
+                Block { start, end, successors, call_target }
+            })
+            .collect();
+        Cfg { blocks }
+    }
+
+    /// The blocks in program order.
+    #[must_use]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing instruction index `ip`, if any.
+    #[must_use]
+    pub fn block_of(&self, ip: usize) -> Option<&Block> {
+        let idx = self
+            .blocks
+            .partition_point(|b| b.end <= ip);
+        self.blocks.get(idx).filter(|b| b.start <= ip && ip < b.end)
+    }
+
+    /// Instruction indices that start a block.
+    pub fn leaders(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().map(|b| b.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{program_of, ProgramBuilder};
+
+    #[test]
+    fn verify_accepts_valid_programs() {
+        let p = program_of(&[Inst::Lit(1), Inst::Dup, Inst::Add]);
+        assert!(verify(&p).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_empty() {
+        let p = ProgramBuilder::new().finish().unwrap();
+        assert_eq!(verify(&p), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn verify_rejects_fall_off_end() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Lit(1));
+        let p = b.finish().unwrap();
+        assert_eq!(verify(&p), Err(VerifyError::FallsOffEnd));
+    }
+
+    #[test]
+    fn cfg_successors() {
+        // 0: lit 1
+        // 1: ?branch -> 4
+        // 2: lit 2
+        // 3: branch -> 5
+        // 4: lit 3
+        // 5: halt
+        let mut b = ProgramBuilder::new();
+        let else_l = b.new_label();
+        let end_l = b.new_label();
+        b.push(Inst::Lit(1));
+        b.branch_if_zero(else_l);
+        b.push(Inst::Lit(2));
+        b.branch(end_l);
+        b.bind(else_l).unwrap();
+        b.push(Inst::Lit(3));
+        b.bind(end_l).unwrap();
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let blocks = cfg.blocks();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].successors, vec![4, 2]);
+        assert_eq!(blocks[1].successors, vec![5]);
+        assert_eq!(blocks[2].successors, vec![5]);
+        assert!(blocks[3].successors.is_empty());
+    }
+
+    #[test]
+    fn cfg_call_blocks() {
+        let mut b = ProgramBuilder::new();
+        let w = b.new_label();
+        b.entry_here();
+        b.call(w);
+        b.push(Inst::Halt);
+        b.bind(w).unwrap();
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let call_block = cfg.block_of(0).unwrap();
+        assert_eq!(call_block.call_target, Some(2));
+        assert_eq!(call_block.successors, vec![1]);
+    }
+
+    #[test]
+    fn block_of_finds_containing_block() {
+        let p = program_of(&[Inst::Lit(1), Inst::Lit(2), Inst::Add]);
+        let cfg = Cfg::build(&p);
+        let b = cfg.block_of(1).unwrap();
+        assert!(b.start <= 1 && 1 < b.end);
+        assert!(cfg.block_of(999).is_none());
+    }
+
+    #[test]
+    fn implicit_fallthrough_block_has_successor() {
+        // A block split by a branch target in the middle of straight-line code.
+        let mut b = ProgramBuilder::new();
+        let mid = b.new_label();
+        b.push(Inst::Lit(0));
+        b.branch_if_zero(mid);
+        b.push(Inst::Lit(1));
+        b.bind(mid).unwrap(); // lands mid-straight-line
+        b.push(Inst::Lit(2));
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        // Block [2,3) falls through to block starting at 3.
+        let blk = cfg.block_of(2).unwrap();
+        assert_eq!(blk.successors, vec![3]);
+    }
+}

@@ -1,0 +1,112 @@
+\ `compile` workload: a Forth-in-Forth mini-compiler.
+\
+\ Stands in for the paper's `compile` benchmark (interpreting/compiling a
+\ 1800-line program): it tokenizes a source text, looks every token up in
+\ a dictionary with linear search and string comparison, recognizes
+\ numbers, and emits threaded code into an object buffer. The input text
+\ is injected by the host into `src` / `src-len`. Factored into small
+\ words, as idiomatic Forth is — the call/return density matters for the
+\ measurements (Fig. 20).
+
+create src 262144 allot
+variable src-len
+create obj 262144 allot
+variable obj-ptr
+variable n-tokens
+variable n-numbers
+variable n-unknown
+
+\ dictionary: [name-addr name-len code] triplets, built at load time
+create dicttab 96 cells allot
+variable n-words
+: add-word ( addr u code -- )
+  n-words @ 3 * cells dicttab +
+  dup >r 2 cells + ! r>
+  dup >r cell+ ! r> !
+  n-words @ 1+ n-words ! ;
+
+s" dup"    1 add-word
+s" drop"   2 add-word
+s" swap"   3 add-word
+s" over"   4 add-word
+s" rot"    5 add-word
+s" +"      6 add-word
+s" -"      7 add-word
+s" *"      8 add-word
+s" /"      9 add-word
+s" @"     10 add-word
+s" !"     11 add-word
+s" if"    12 add-word
+s" then"  13 add-word
+s" else"  14 add-word
+s" begin" 15 add-word
+s" until" 16 add-word
+s" :"     17 add-word
+s" ;"     18 add-word
+s" emit"  19 add-word
+s" ."     20 add-word
+
+: src-char ( i -- c ) src + c@ ;
+: in-src? ( i -- flag ) src-len @ < ;
+: blank? ( c -- flag ) 33 < ;
+: blank-at? ( i -- flag ) dup in-src? if src-char blank? else drop false then ;
+: token-at? ( i -- flag ) dup in-src? if src-char blank? 0= else drop false then ;
+
+: skip-blanks ( i -- i' ) begin dup blank-at? while 1+ repeat ;
+: scan-end ( i -- j ) begin dup token-at? while 1+ repeat ;
+
+: nth-differ? ( a1 a2 i -- a1 a2 flag )
+  >r over r@ + c@ over r> + c@ <> ;
+: str= ( a1 u1 a2 u2 -- flag )
+  rot over <> if 2drop drop false exit then
+  ( a1 a2 u )
+  0 ?do
+    i nth-differ? if 2drop false unloop exit then
+  loop 2drop true ;
+
+: entry ( n -- eb ) 3 * cells dicttab + ;
+: entry-name ( eb -- addr u ) dup @ swap cell+ @ ;
+: entry-code ( eb -- code ) 2 cells + @ ;
+: match? ( addr u n -- flag ) entry entry-name str= ;
+
+: lookup ( addr u -- code flag )
+  n-words @ 0 ?do
+    2dup i match? if 2drop i entry entry-code true unloop exit then
+  loop 2drop 0 false ;
+
+: accumulate ( acc c -- acc' ) 48 - swap 10 * + ;
+: number? ( addr u -- n flag | -- flag )
+  0 -rot
+  dup 0= if 2drop drop false exit then
+  begin dup 0> while
+    over c@ dup digit? 0= if drop 2drop drop false exit then
+    >r rot r> accumulate -rot
+    1- swap char+ swap
+  repeat 2drop true ;
+
+: emit-code ( x -- ) obj-ptr @ obj + ! obj-ptr @ cell+ obj-ptr ! ;
+: note-word ( code -- ) emit-code 1 n-tokens +! ;
+: note-number ( n -- ) 1000 + emit-code 1 n-numbers +! ;
+: note-unknown ( -- ) 1 n-unknown +! ;
+
+: compile-token ( addr u -- )
+  2dup lookup if >r 2drop r> note-word exit then drop
+  2dup number? if >r 2drop r> note-number exit then
+  2drop note-unknown ;
+
+variable tok-start
+: token-bounds ( i -- j addr u )
+  dup tok-start ! scan-end dup tok-start @ - tok-start @ src + swap ;
+: compile-src ( -- )
+  0 obj-ptr ! 0 n-tokens ! 0 n-numbers ! 0 n-unknown !
+  0
+  begin skip-blanks dup in-src? while
+    token-bounds compile-token
+  repeat drop ;
+
+: obj-checksum ( -- x )
+  0 obj-ptr @ 8 / 0 ?do obj i cells + @ xor loop ;
+
+: main
+  compile-src
+  n-tokens @ . n-numbers @ . n-unknown @ . obj-checksum . ;

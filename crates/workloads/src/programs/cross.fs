@@ -1,0 +1,39 @@
+\ `cross` workload: a cross-compiler image generator.
+\
+\ Stands in for the paper's `cross` benchmark (a cross-compiler producing
+\ a Forth image for a machine with different byte order): it byte-swaps
+\ every cell of a source image into a target image, applies a relocation
+\ pass, and prints a checksum. Factored into small words like a real
+\ cross-compiler's code generator would be. The host injects the source
+\ cells into `imgsrc` and the cell count into `n-items`.
+
+create imgsrc 131072 allot
+create imgdst 131072 allot
+variable n-items
+variable checksum
+
+: src-cell ( i -- addr ) cells imgsrc + ;
+: dst-cell ( i -- addr ) cells imgdst + ;
+: get-byte ( addr i -- c ) + c@ ;
+: mirror ( i -- j ) 7 swap - ;
+: put-mirrored ( c addr i -- ) mirror + c! ;
+: move-byte ( a1 a2 i -- a1 a2 )
+  >r over r@ get-byte over r> put-mirrored ;
+: bswap-cell ( a1 a2 -- )
+  8 0 do i move-byte loop 2drop ;
+: cross-cell ( i -- ) dup src-cell swap dst-cell bswap-cell ;
+: byteswap-pass ( -- )
+  n-items @ 0 ?do i cross-cell loop ;
+
+: biased ( x -- x' ) dup 1 and if 4096 + then ;
+: note ( x -- x ) dup checksum @ xor checksum ! ;
+: reloc-cell ( i -- )
+  dst-cell dup @ biased note swap ! ;
+: relocate-pass ( -- )
+  n-items @ 0 ?do i reloc-cell loop ;
+
+: main
+  0 checksum !
+  byteswap-pass
+  relocate-pass
+  checksum @ . n-items @ . ;

@@ -1,0 +1,63 @@
+\ `gray` workload: a recursive-descent expression parser/evaluator.
+\
+\ Stands in for the paper's `gray` benchmark (a parser generator run on an
+\ Oberon grammar): like the original it "performs a graph walk using
+\ recursion" — every grammar node is a (mutually recursive) call, so the
+\ call/return density is high. The host injects an expression text of the
+\ grammar  expr := term (('+'|'-') term)* ; term := factor ('*' factor)* ;
+\ factor := number | '(' expr ')'  into `src` / `src-len`, with
+\ expressions separated by ';'.
+
+create src 262144 allot
+variable src-len
+variable pos
+variable n-nodes
+
+: peek ( -- c ) pos @ dup src-len @ < if src + c@ else drop 0 then ;
+: advance ( -- ) pos @ 1+ pos ! ;
+
+defer expr
+
+: number ( -- n )
+  0
+  begin peek digit? while
+    peek 48 - swap 10 * +
+    advance
+  repeat
+  1 n-nodes +! ;
+
+: factor ( -- n )
+  peek 40 = if            \ '('
+    advance expr advance  \ skip ')'
+  else
+    number
+  then
+  1 n-nodes +! ;
+
+: term ( -- n )
+  factor
+  begin peek 42 = while   \ '*'
+    advance factor *
+    1 n-nodes +!
+  repeat ;
+
+: more? ( -- c flag ) peek dup 43 = over 45 = or ;  \ '+' or '-'
+
+: expr-impl ( -- n )
+  term
+  begin more? while       \ ( n c )
+    advance term          \ ( n c m )
+    swap 43 = if + else - then
+    1 n-nodes +!
+  repeat drop ;
+
+' expr-impl is expr
+
+: main
+  0 pos ! 0 n-nodes !
+  0
+  begin pos @ src-len @ < while
+    expr +
+    peek 59 = if advance then  \ ';'
+  repeat
+  . n-nodes @ . ;

@@ -1,0 +1,66 @@
+\ `prims2x` workload: a text filter generating C code from a primitive
+\ specification.
+\
+\ Stands in for the paper's `prims2x` benchmark (the filter that turns
+\ Forth primitive specifications into C). The host injects spec lines of
+\ the form  `name <inputs> <outputs>\n`  into `src` / `src-len`; for each
+\ line the filter emits a C function skeleton, upper-casing the name —
+\ character-at-a-time input scanning and output generation dominate.
+
+create src 262144 allot
+variable src-len
+variable pos
+variable n-prims
+variable in-n
+variable out-n
+
+: peek ( -- c ) pos @ dup src-len @ < if src + c@ else drop 0 then ;
+: advance ( -- ) pos @ 1+ pos ! ;
+: at-end? ( -- flag ) pos @ src-len @ >= ;
+: take ( -- c ) peek advance ;
+
+: upper ( c -- C )
+  dup 97 >= over 122 <= and if 32 - then ;
+: emit-upper ( c -- ) upper emit ;
+: emit-name ( addr u -- )
+  0 ?do dup i + c@ emit-upper loop drop ;
+
+: wordchar? ( -- flag )
+  at-end? if false exit then
+  peek dup 32 <> swap 10 <> and ;
+: scan-word ( -- addr u )
+  pos @ src + 0
+  begin wordchar? while advance 1+ repeat ;
+: skip-spaces ( -- ) begin peek 32 = while advance repeat ;
+: skip-line-end ( -- ) peek 10 = if advance then ;
+
+: accumulate ( acc c -- acc' ) 48 - swap 10 * + ;
+: read-num ( -- n )
+  0 begin peek digit? while take accumulate repeat ;
+
+: header ( addr u -- )
+  s" void prim_" type emit-name s" (void) {" type cr ;
+: arg-line ( i -- )
+  s"   int a" type dup . s" = sp[" type . s" ];" type cr ;
+: sp-line ( -- )
+  s"   sp += " type in-n @ out-n @ - . s" ;" type cr ;
+: result-line ( i -- )
+  s"   sp[" type . s" ] = a0;" type cr ;
+: footer ( -- ) s" }" type cr ;
+
+: gen-prim ( -- )
+  scan-word                 ( addr u )
+  skip-spaces read-num in-n !
+  skip-spaces read-num out-n !
+  skip-line-end
+  header
+  in-n @ 0 ?do i arg-line loop
+  sp-line
+  out-n @ 0 ?do i result-line loop
+  footer
+  1 n-prims +! ;
+
+: main
+  0 pos ! 0 n-prims !
+  begin at-end? 0= while gen-prim repeat
+  n-prims @ . ;

@@ -1,0 +1,114 @@
+//! The Hasegawa–Shigei random-walk model `[HS85]`.
+//!
+//! The paper's Section 6 contrasts measured overflow behaviour with the
+//! random-walk model of stack activity, "where pushes and pops occur
+//! equally likely irrespective of previous events", and finds that real
+//! programs violate it ("there's a very strong tendency to go down after
+//! going up"). [`random_walk_program`] generates an actual VM program whose
+//! data-stack depth performs that random walk, so the same instrumentation
+//! pipeline can be run on model traces and on real workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stackcache_vm::{Inst, Program, ProgramBuilder};
+
+/// Configuration of a random-walk trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalkConfig {
+    /// Number of push/pop steps.
+    pub steps: usize,
+    /// Probability of a push at each step (the classic model uses 0.5).
+    pub push_probability: f64,
+    /// RNG seed (traces are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for RandomWalkConfig {
+    fn default() -> Self {
+        RandomWalkConfig { steps: 100_000, push_probability: 0.5, seed: 0x4157_4B4C }
+    }
+}
+
+/// Generate a straight-line program whose stack depth performs the `[HS85]`
+/// random walk: each step pushes (a literal) or pops (`drop`) with the
+/// configured probability, reflecting at depth 0.
+///
+/// The program drains the stack and halts at the end, so it runs cleanly on
+/// every interpreter in the workspace.
+///
+/// # Panics
+///
+/// Panics if `push_probability` is outside `[0, 1]`.
+#[must_use]
+pub fn random_walk_program(config: &RandomWalkConfig) -> Program {
+    assert!(
+        (0.0..=1.0).contains(&config.push_probability),
+        "push_probability must be within [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = ProgramBuilder::new();
+    let mut depth: u64 = 0;
+    for i in 0..config.steps {
+        if depth == 0 || rng.gen_bool(config.push_probability) {
+            b.push(Inst::Lit(i as i64));
+            depth += 1;
+        } else {
+            b.push(Inst::Drop);
+            depth -= 1;
+        }
+    }
+    for _ in 0..depth {
+        b.push(Inst::Drop);
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("straight-line program is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::{exec, Machine};
+
+    #[test]
+    fn walk_runs_and_drains() {
+        let p = random_walk_program(&RandomWalkConfig {
+            steps: 10_000,
+            ..RandomWalkConfig::default()
+        });
+        let mut m = Machine::with_memory(64);
+        let out = exec::run(&p, &mut m, 1_000_000).unwrap();
+        assert!(out.executed >= 10_000);
+        assert!(m.stack().is_empty());
+    }
+
+    #[test]
+    fn walk_is_deterministic() {
+        let c = RandomWalkConfig { steps: 5_000, ..RandomWalkConfig::default() };
+        assert_eq!(random_walk_program(&c), random_walk_program(&c));
+        let c2 = RandomWalkConfig { seed: 7, ..c };
+        assert_ne!(random_walk_program(&c), random_walk_program(&c2));
+    }
+
+    #[test]
+    fn push_probability_shapes_the_walk() {
+        // a pushier walk produces a longer program (more drains at the end
+        // is not the point; same length) — instead check instruction mix
+        let heavy = random_walk_program(&RandomWalkConfig {
+            steps: 10_000,
+            push_probability: 0.9,
+            seed: 1,
+        });
+        let pushes = heavy.insts().iter().filter(|i| matches!(i, Inst::Lit(_))).count();
+        assert!(pushes > 8_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_probability")]
+    fn invalid_probability_panics() {
+        let _ = random_walk_program(&RandomWalkConfig {
+            steps: 10,
+            push_probability: 1.5,
+            seed: 0,
+        });
+    }
+}

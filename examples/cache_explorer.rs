@@ -1,0 +1,57 @@
+//! Explore cache organizations: enumerate states and trace transitions.
+//!
+//! ```text
+//! cargo run --example cache_explorer -- one-dup 3
+//! ```
+//!
+//! Organizations: minimal, overflow-opt, shuffles, n-plus-one, one-dup,
+//! two-stacks, static-shuffle.
+
+use stack_caching::core::{compute_transition, sig_slots, Org, Policy};
+use stack_caching::vm::Inst;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "one-dup".to_string());
+    let regs: u8 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let org = match name.as_str() {
+        "minimal" => Org::minimal(regs),
+        "overflow-opt" => Org::overflow_opt(regs),
+        "shuffles" => Org::arbitrary_shuffles(regs),
+        "n-plus-one" => Org::n_plus_one(regs),
+        "one-dup" => Org::one_dup(regs),
+        "two-stacks" => Org::two_stacks(regs),
+        "static-shuffle" => Org::static_shuffle(regs),
+        other => {
+            eprintln!("unknown organization `{other}`");
+            std::process::exit(1);
+        }
+    };
+
+    println!("{} — {} states:", org.name(), org.state_count());
+    for (i, s) in org.states().iter().enumerate() {
+        println!("  s{i}: {s}");
+    }
+
+    // Trace a little instruction sequence through the state machine.
+    let policy = Policy::on_demand(regs);
+    let sigs = sig_slots();
+    let seq = [Inst::Lit(0), Inst::Lit(0), Inst::Dup, Inst::Swap, Inst::Add, Inst::Drop];
+    let mut state = org.canonical_of_depth(0).expect("empty state");
+    println!("\ntransitions from the empty state:");
+    for inst in seq {
+        let t = compute_transition(&org, &policy, state, &sigs[inst.opcode() as usize], 0);
+        println!(
+            "  {:6} {} -> {}   loads={} stores={} moves={}{}",
+            inst.name(),
+            org.state(state),
+            org.state(t.next),
+            t.loads,
+            t.stores,
+            t.moves,
+            if t.eliminated { "  [eliminated]" } else { "" },
+        );
+        state = t.next;
+    }
+}

@@ -1,0 +1,39 @@
+//! A Forth calculator driven by the stack-caching pipeline.
+//!
+//! Pass a Forth expression (default shown below); it is compiled to VM
+//! code, statically stack-cached, and executed:
+//!
+//! ```text
+//! cargo run --example forth_calculator -- "2 3 + 4 * ."
+//! ```
+
+use stack_caching::core::interp::{compile_static, run_staticcache};
+use stack_caching::forth::Forth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let expr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "1 2 3 4 5 dup * swap dup * + + + + .".to_string());
+
+    let mut forth = Forth::new();
+    forth.interpret(&format!(": main {expr} ;"))?;
+    let image = forth.image("main")?;
+
+    println!("source:   {expr}");
+    println!("compiled: {} VM instructions", image.program.len());
+    println!("{}", image.program.listing());
+
+    let exe = compile_static(&image.program, 2);
+    println!(
+        "statically cached: {} dispatching instructions ({} eliminated)",
+        exe.stats.compiled, exe.stats.eliminated
+    );
+
+    let mut machine = image.machine();
+    run_staticcache(&exe, &mut machine, 10_000_000)?;
+    println!("result:   {}", machine.output_string());
+    if !machine.stack().is_empty() {
+        println!("stack:    {:?}", machine.stack());
+    }
+    Ok(())
+}

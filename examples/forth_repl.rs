@@ -1,0 +1,57 @@
+//! An interactive Forth REPL on top of the stack-caching pipeline.
+//!
+//! ```text
+//! cargo run --example forth_repl
+//! > : square dup * ;
+//! > 7 square .
+//! 49  ok
+//! > .s
+//! < > ok
+//! > bye
+//! ```
+//!
+//! Words are interpreted/compiled by the `stackcache-forth` outer
+//! interpreter; load-time output (from `.`/`emit`/`.s`) is shown after
+//! each line, Forth-style.
+
+use std::io::{BufRead, Write};
+
+use stack_caching::forth::Forth;
+
+fn main() {
+    let mut forth = Forth::new();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let mut shown = 0usize; // output bytes already printed
+
+    println!("stack-caching Forth — type `bye` to quit, `.s` to see the stack");
+    loop {
+        print!("> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.eq_ignore_ascii_case("bye") {
+            break;
+        }
+        match forth.interpret(&line) {
+            Ok(()) => {
+                let output = forth.machine().output();
+                if output.len() > shown {
+                    print!("{}", String::from_utf8_lossy(&output[shown..]));
+                    shown = output.len();
+                }
+                println!(" ok");
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

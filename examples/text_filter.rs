@@ -1,0 +1,55 @@
+//! Run the `prims2x`-style text filter end to end on the whole interpreter
+//! ladder and compare wall-clock times — the scenario behind the paper's
+//! "keeping one item in a register gives 11% on prims2x".
+//!
+//! ```text
+//! cargo run --release --example text_filter
+//! ```
+
+use std::time::Instant;
+
+use stack_caching::core::interp::{compile_static, run_dyncache, run_staticcache};
+use stack_caching::vm::interp::{run_baseline, run_tos};
+use stack_caching::workloads::{prims2x_workload, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = prims2x_workload(Scale::Small);
+    let p = &w.image.program;
+    let fuel = w.fuel();
+    let (m, out) = w.run_reference()?;
+    println!(
+        "prims2x: {} VM instructions, {} bytes of generated C",
+        out.executed,
+        m.output().len()
+    );
+    println!("first generated function:\n");
+    for line in m.output_string().lines().take(5) {
+        println!("  {line}");
+    }
+    println!();
+
+    let time = |name: &str, f: &dyn Fn()| {
+        let t = Instant::now();
+        f();
+        println!("  {name:<22} {:8.2} ms", t.elapsed().as_secs_f64() * 1e3);
+    };
+    println!("interpreter ladder:");
+    time("baseline (fig. 11)", &|| {
+        let mut m = w.image.machine();
+        run_baseline(p, &mut m, fuel).expect("runs");
+    });
+    time("top-of-stack (fig. 12)", &|| {
+        let mut m = w.image.machine();
+        run_tos(p, &mut m, fuel).expect("runs");
+    });
+    time("dynamic cache (sec. 4)", &|| {
+        let mut m = w.image.machine();
+        run_dyncache(p, &mut m, fuel).expect("runs");
+    });
+    let exe = compile_static(p, 1);
+    time("static cache (sec. 5)", &|| {
+        let mut m = w.image.machine();
+        run_staticcache(&exe, &mut m, fuel).expect("runs");
+    });
+    Ok(())
+}

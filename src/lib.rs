@@ -1,0 +1,55 @@
+//! **Stack caching for interpreters** — a from-scratch Rust reproduction of
+//! M. Anton Ertl's PLDI 1995 paper.
+//!
+//! Virtual stack machines spend much of their time loading instruction
+//! operands from the stack in memory and storing results back. *Stack
+//! caching* keeps a varying number of top-of-stack items in machine
+//! registers instead, driven by a finite state machine over *cache
+//! states*. The paper develops two methods: **dynamic** caching, where the
+//! interpreter tracks the state (one specialized interpreter copy per
+//! state), and **static** caching, where the compiler tracks it — common
+//! instructions exist in several specialized versions and pure stack
+//! manipulations compile to nothing at all.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`vm`] — the virtual stack machine substrate (ISA, machine,
+//!   reference interpreter, verifier, dispatch techniques),
+//! * [`core`] — the paper's contribution: cache states and organizations,
+//!   the transition engine, counting regimes, the static-caching compiler,
+//!   and real cached interpreters,
+//! * [`forth`] — a Forth front end producing VM programs,
+//! * [`workloads`] — the benchmark suite of the paper's evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stack_caching::forth::compile_source;
+//! use stack_caching::core::interp::{compile_static, run_staticcache};
+//!
+//! // Compile a Forth program...
+//! let image = compile_source(
+//!     ": sum-squares ( n -- sum ) 0 swap 1+ 1 ?do i dup * + loop ;
+//!      : main 100 sum-squares . ;",
+//!     "main",
+//! )?;
+//!
+//! // ...then statically stack-cache it and run it: stack manipulations
+//! // have been compiled away and the top of stack lives in registers.
+//! let exe = compile_static(&image.program, 1);
+//! let mut machine = image.machine();
+//! run_staticcache(&exe, &mut machine, 1_000_000)?;
+//! assert_eq!(machine.output_string(), "338350 ");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use stackcache_core as core;
+pub use stackcache_forth as forth;
+pub use stackcache_vm as vm;
+pub use stackcache_workloads as workloads;

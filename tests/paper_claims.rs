@@ -1,0 +1,74 @@
+//! The paper's headline claims, checked end-to-end at small scale.
+
+use stack_caching::core::interp::compile_static;
+use stack_caching::core::regime::{CachedRegime, ConstantKRegime, SimpleRegime};
+use stack_caching::core::{CostModel, Org};
+use stack_caching::vm::ExecObserver;
+use stackcache_bench::fig18;
+use stackcache_workloads::{all_workloads, Scale};
+
+/// Fig. 18 is reproduced exactly (the one hard-number table in the paper).
+#[test]
+fn fig18_table_is_exact() {
+    let rows = fig18::run();
+    for (name, counts) in fig18::PAPER {
+        let row = rows.iter().find(|r| r.organization == *name).expect(name);
+        assert_eq!(&row.counts[..], *counts, "{name}");
+    }
+}
+
+/// Section 2.3 / Fig. 21: keeping one item in a register is always a win;
+/// keeping more introduces moves that eat the savings.
+#[test]
+fn keeping_one_item_is_the_sweet_spot() {
+    let model = CostModel::paper();
+    let mut simple = SimpleRegime::new();
+    let mut k1 = ConstantKRegime::new(1);
+    let mut k3 = ConstantKRegime::new(3);
+    for w in all_workloads(Scale::Small) {
+        let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut simple, &mut k1, &mut k3];
+        w.run_with_observer(&mut obs).expect("runs");
+    }
+    let c0 = simple.counts.access_per_inst(&model);
+    let c1 = k1.counts.access_per_inst(&model);
+    let c3 = k3.counts.access_per_inst(&model);
+    assert!(c1 < c0, "k=1 must beat uncached: {c1} vs {c0}");
+    assert!(c1 < c3, "k=1 must beat k=3: {c1} vs {c3}");
+}
+
+/// Section 3/4: on-demand caching cuts memory traffic far below the
+/// uncached baseline, and more registers keep helping.
+#[test]
+fn dynamic_caching_scales_with_registers() {
+    let orgs: Vec<Org> = (1..=6).map(Org::minimal).collect();
+    let mut sims: Vec<CachedRegime> =
+        orgs.iter().map(|o| CachedRegime::new(o, o.registers())).collect();
+    for w in all_workloads(Scale::Small) {
+        w.run_with_observer(&mut sims).expect("runs");
+    }
+    let model = CostModel::paper();
+    let overheads: Vec<f64> = sims.iter().map(|s| s.counts.access_per_inst(&model)).collect();
+    for w in overheads.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9, "more registers must not hurt: {overheads:?}");
+    }
+    assert!(
+        overheads[5] < 0.5 * overheads[0],
+        "six registers should cut the one-register overhead by far: {overheads:?}"
+    );
+}
+
+/// Section 5: static caching eliminates stack-manipulation dispatches in
+/// real programs.
+#[test]
+fn static_caching_eliminates_dispatches_on_real_programs() {
+    for w in all_workloads(Scale::Small) {
+        let exe = compile_static(&w.image.program, 1);
+        assert!(
+            exe.stats.eliminated > 0,
+            "{}: no eliminated instructions out of {}",
+            w.name,
+            exe.stats.original
+        );
+        assert!(exe.stats.compiled < exe.stats.original, "{}", w.name);
+    }
+}

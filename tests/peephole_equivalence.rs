@@ -1,0 +1,83 @@
+//! Property-based validation of the peephole optimizer: on arbitrary
+//! stack-safe programs the optimized code is observably equivalent and
+//! never longer.
+
+use proptest::prelude::*;
+use stack_caching::vm::{exec, peephole, verify, Inst, Machine, Program, ProgramBuilder};
+
+/// Build a stack-safe straight-line program biased toward peephole fodder.
+fn build_program(choices: &[(u8, i64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut depth: u32 = 0;
+    for &(c, lit) in choices {
+        match c % 12 {
+            0 | 1 => {
+                b.push(Inst::Lit(lit));
+                depth += 1;
+            }
+            2 if depth >= 2 => {
+                b.push(Inst::Add);
+                depth -= 1;
+            }
+            3 if depth >= 2 => {
+                b.push(Inst::Sub);
+                depth -= 1;
+            }
+            4 if depth >= 1 => {
+                b.push(Inst::Drop);
+                depth -= 1;
+            }
+            5 if depth >= 2 => {
+                b.push(Inst::Swap);
+            }
+            6 if depth >= 1 => {
+                b.push(Inst::Dup);
+                depth += 1;
+            }
+            7 if depth >= 1 => {
+                b.push(Inst::Negate);
+            }
+            8 if depth >= 1 => {
+                b.push(Inst::Invert);
+            }
+            9 if depth >= 2 => {
+                b.push(Inst::Mul);
+                depth -= 1;
+            }
+            10 if depth >= 1 => {
+                b.push(Inst::ZeroEq);
+            }
+            _ => {
+                b.push(Inst::Lit(1));
+                depth += 1;
+            }
+        }
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn optimized_programs_are_equivalent(choices in prop::collection::vec((any::<u8>(), -64i64..64), 1..250)) {
+        let p = build_program(&choices);
+        let (q, stats) = peephole::optimize(&p);
+        prop_assert!(verify(&q).is_ok());
+        prop_assert!(q.len() <= p.len());
+        prop_assert_eq!(stats.after, q.len());
+
+        let mut m1 = Machine::with_memory(256);
+        exec::run(&p, &mut m1, 1_000_000).expect("original runs");
+        let mut m2 = Machine::with_memory(256);
+        exec::run(&q, &mut m2, 1_000_000).expect("optimized runs");
+        prop_assert_eq!(m1.stack(), m2.stack());
+        prop_assert_eq!(m1.output(), m2.output());
+
+        // idempotence: a second pass finds nothing new
+        let (r, stats2) = peephole::optimize(&q);
+        prop_assert_eq!(r.insts(), q.insts());
+        prop_assert_eq!(stats2.rewrites, 0);
+    }
+}

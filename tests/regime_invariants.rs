@@ -1,0 +1,85 @@
+//! Property-based invariants of the counting regimes: whatever the
+//! program, the cache accounting must balance.
+
+use proptest::prelude::*;
+use stack_caching::core::regime::{CachedRegime, ConstantKRegime, SimpleRegime};
+use stack_caching::core::Org;
+use stack_caching::vm::{exec, ExecObserver, Inst, Machine, Program, ProgramBuilder};
+
+fn build_program(choices: &[(u8, i64)]) -> Program {
+    // pushes, pops, shuffles and arithmetic; always stack-safe
+    let mut b = ProgramBuilder::new();
+    let mut depth: u32 = 0;
+    for &(c, lit) in choices {
+        match c % 7 {
+            0 | 1 => {
+                b.push(Inst::Lit(lit));
+                depth += 1;
+            }
+            2 if depth >= 2 => {
+                b.push(Inst::Add);
+                depth -= 1;
+            }
+            3 if depth >= 1 => {
+                b.push(Inst::Drop);
+                depth -= 1;
+            }
+            4 if depth >= 2 => {
+                b.push(Inst::Swap);
+            }
+            5 if depth >= 1 => {
+                b.push(Inst::Dup);
+                depth += 1;
+            }
+            6 if depth >= 3 => {
+                b.push(Inst::Rot);
+            }
+            _ => {
+                b.push(Inst::Lit(lit));
+                depth += 1;
+            }
+        }
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cache_accounting_balances(choices in prop::collection::vec((any::<u8>(), -50i64..50), 1..300)) {
+        let p = build_program(&choices);
+        let mut simple = SimpleRegime::new();
+        let org3 = Org::minimal(3);
+        let org6 = Org::one_dup(4);
+        let mut dyn3 = CachedRegime::new(&org3, 3);
+        let mut dyn6 = CachedRegime::new(&org6, 2);
+        let mut k2 = ConstantKRegime::new(2);
+        {
+            let mut obs: Vec<&mut dyn ExecObserver> =
+                vec![&mut simple, &mut dyn3, &mut dyn6, &mut k2];
+            let mut m = Machine::with_memory(256);
+            exec::run_with_observer(&p, &mut m, 1_000_000, &mut obs).expect("runs");
+        }
+
+        for cached in [&dyn3.counts, &dyn6.counts, &k2.counts] {
+            // a cache never makes more memory traffic than no cache
+            prop_assert!(cached.loads <= simple.counts.loads,
+                "loads {} > uncached {}", cached.loads, simple.counts.loads);
+            prop_assert!(cached.stores <= simple.counts.stores,
+                "stores {} > uncached {}", cached.stores, simple.counts.stores);
+            // sp-update minimization never increases updates
+            prop_assert!(cached.updates <= simple.counts.updates);
+            // every value stored by the cache is eventually... at least:
+            // traffic is conservative: what is loaded must have been
+            // stored by this program (the stack starts empty), modulo the
+            // items still cached at halt.
+            prop_assert!(cached.loads <= cached.stores + 8,
+                "loads {} stores {}", cached.loads, cached.stores);
+            prop_assert_eq!(cached.insts, simple.counts.insts);
+        }
+        // the uncached baseline has zero moves; caching may move
+        prop_assert_eq!(simple.counts.moves, 0);
+    }
+}
