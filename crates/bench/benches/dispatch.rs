@@ -1,26 +1,27 @@
 //! Fig. 7 benchmark: dispatch techniques (switch / token / pre-decoded).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use stackcache_vm::dispatch::{arith_mix, countdown, executed_count, run_direct, run_switch, run_token};
+use stackcache_bench::timing::bench_throughput;
+use stackcache_vm::dispatch::{
+    arith_mix, countdown, executed_count, run_direct, run_switch, run_token,
+};
 
-fn bench_dispatch(c: &mut Criterion) {
-    let programs = [("countdown", countdown(100_000)), ("arith_mix", arith_mix(30_000))];
-    let mut g = c.benchmark_group("dispatch");
+fn main() {
+    let programs = [
+        ("countdown", countdown(100_000)),
+        ("arith_mix", arith_mix(30_000)),
+    ];
     for (name, program) in &programs {
         let insts = executed_count(program);
-        g.throughput(Throughput::Elements(insts));
-        g.bench_with_input(BenchmarkId::new("switch", name), program, |b, p| {
-            b.iter(|| run_switch(p));
+        bench_throughput(&format!("dispatch/switch/{name}"), insts, || {
+            run_switch(program)
         });
-        g.bench_with_input(BenchmarkId::new("token_call_threading", name), program, |b, p| {
-            b.iter(|| run_token(p));
-        });
-        g.bench_with_input(BenchmarkId::new("predecoded_direct", name), program, |b, p| {
-            b.iter(|| run_direct(p));
+        bench_throughput(
+            &format!("dispatch/token_call_threading/{name}"),
+            insts,
+            || run_token(program),
+        );
+        bench_throughput(&format!("dispatch/predecoded_direct/{name}"), insts, || {
+            run_direct(program)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_dispatch);
-criterion_main!(benches);

@@ -3,51 +3,37 @@
 //! baseline (Fig. 11) -> top-of-stack (Fig. 12) -> dynamically cached
 //! (Section 4) -> statically cached (Section 5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stackcache_bench::timing::bench_throughput;
 use stackcache_core::interp::{compile_static, run_dyncache, run_staticcache};
 use stackcache_vm::interp::{run_baseline, run_tos};
 use stackcache_workloads::{all_workloads, Scale};
 
-fn bench_interpreters(c: &mut Criterion) {
-    let workloads = all_workloads(Scale::Small);
-    let mut g = c.benchmark_group("interpreters");
-    for w in &workloads {
+fn main() {
+    for w in all_workloads(Scale::Small) {
         let (_, out) = w.run_reference().expect("workload runs");
-        g.throughput(Throughput::Elements(out.executed));
+        let insts = out.executed;
         let p = &w.image.program;
         let fuel = w.fuel();
-        g.bench_with_input(BenchmarkId::new("baseline", w.name), &w, |b, w| {
-            b.iter(|| {
-                let mut m = w.image.machine();
-                run_baseline(p, &mut m, fuel).expect("runs");
-                m.output().len()
-            });
+        bench_throughput(&format!("interpreters/baseline/{}", w.name), insts, || {
+            let mut m = w.image.machine();
+            run_baseline(p, &mut m, fuel).expect("runs");
+            m.output().len()
         });
-        g.bench_with_input(BenchmarkId::new("tos", w.name), &w, |b, w| {
-            b.iter(|| {
-                let mut m = w.image.machine();
-                run_tos(p, &mut m, fuel).expect("runs");
-                m.output().len()
-            });
+        bench_throughput(&format!("interpreters/tos/{}", w.name), insts, || {
+            let mut m = w.image.machine();
+            run_tos(p, &mut m, fuel).expect("runs");
+            m.output().len()
         });
-        g.bench_with_input(BenchmarkId::new("dyncache3", w.name), &w, |b, w| {
-            b.iter(|| {
-                let mut m = w.image.machine();
-                run_dyncache(p, &mut m, fuel).expect("runs");
-                m.output().len()
-            });
+        bench_throughput(&format!("interpreters/dyncache3/{}", w.name), insts, || {
+            let mut m = w.image.machine();
+            run_dyncache(p, &mut m, fuel).expect("runs");
+            m.output().len()
         });
         let exe = compile_static(p, 1);
-        g.bench_with_input(BenchmarkId::new("static_c1", w.name), &w, |b, w| {
-            b.iter(|| {
-                let mut m = w.image.machine();
-                run_staticcache(&exe, &mut m, fuel).expect("runs");
-                m.output().len()
-            });
+        bench_throughput(&format!("interpreters/static_c1/{}", w.name), insts, || {
+            let mut m = w.image.machine();
+            run_staticcache(&exe, &mut m, fuel).expect("runs");
+            m.output().len()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_interpreters);
-criterion_main!(benches);

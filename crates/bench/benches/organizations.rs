@@ -1,58 +1,56 @@
 //! Core-machinery benchmarks: organization enumeration, transition-table
 //! construction, and per-event dynamic-cache simulation cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stackcache_bench::timing::{bench, bench_throughput};
 use stackcache_core::regime::CachedRegime;
 use stackcache_core::{Org, Policy, TransitionTable};
 use stackcache_vm::exec;
 use stackcache_workloads::{gray_workload, Scale};
 
-fn bench_enumeration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("org_enumeration");
-    g.bench_function("minimal_8", |b| b.iter(|| Org::minimal(8).state_count()));
-    g.bench_function("one_dup_8", |b| b.iter(|| Org::one_dup(8).state_count()));
-    g.bench_function("overflow_opt_8", |b| b.iter(|| Org::overflow_opt(8).state_count()));
-    g.bench_function("arbitrary_shuffles_6", |b| {
-        b.iter(|| Org::arbitrary_shuffles(6).state_count())
+fn main() {
+    bench("org_enumeration/minimal_8", || {
+        Org::minimal(8).state_count()
     });
-    g.bench_function("static_shuffle_6", |b| b.iter(|| Org::static_shuffle(6).state_count()));
-    g.finish();
-}
+    bench("org_enumeration/one_dup_8", || {
+        Org::one_dup(8).state_count()
+    });
+    bench("org_enumeration/overflow_opt_8", || {
+        Org::overflow_opt(8).state_count()
+    });
+    bench("org_enumeration/arbitrary_shuffles_6", || {
+        Org::arbitrary_shuffles(6).state_count()
+    });
+    bench("org_enumeration/static_shuffle_6", || {
+        Org::static_shuffle(6).state_count()
+    });
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transition_tables");
     for n in [4u8, 8] {
-        g.bench_with_input(BenchmarkId::new("minimal", n), &n, |b, &n| {
-            let org = Org::minimal(n);
-            b.iter(|| TransitionTable::build(&org, &Policy::on_demand(n)));
+        let org = Org::minimal(n);
+        bench(&format!("transition_tables/minimal/{n}"), || {
+            TransitionTable::build(&org, &Policy::on_demand(n))
         });
     }
-    g.bench_function("static_shuffle_6", |b| {
+    {
         let org = Org::static_shuffle(6);
-        b.iter(|| TransitionTable::build(&org, &Policy::on_demand(2)));
-    });
-    g.finish();
-}
+        bench("transition_tables/static_shuffle_6", || {
+            TransitionTable::build(&org, &Policy::on_demand(2))
+        });
+    }
 
-fn bench_simulation(c: &mut Criterion) {
     let w = gray_workload(Scale::Small);
     let (_, out) = w.run_reference().expect("runs");
-    let mut g = c.benchmark_group("dynamic_simulation");
-    g.throughput(Throughput::Elements(out.executed));
     for n in [2u8, 6] {
-        g.bench_with_input(BenchmarkId::new("minimal", n), &n, |b, &n| {
-            let org = Org::minimal(n);
-            b.iter(|| {
+        let org = Org::minimal(n);
+        bench_throughput(
+            &format!("dynamic_simulation/minimal/{n}"),
+            out.executed,
+            || {
                 let mut sim = CachedRegime::new(&org, n);
                 let mut m = w.image.machine();
                 exec::run_with_observer(&w.image.program, &mut m, w.fuel(), &mut sim)
                     .expect("runs");
                 sim.counts.loads
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_enumeration, bench_tables, bench_simulation);
-criterion_main!(benches);

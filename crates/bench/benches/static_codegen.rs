@@ -1,32 +1,26 @@
 //! Section 5 benchmark: static-caching compilation (greedy vs. the
 //! two-pass optimal planner) and state reconciliation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stackcache_bench::timing::{bench, bench_throughput};
 use stackcache_core::staticcache::{compile, StaticOptions};
 use stackcache_core::{reconcile, CacheState, Org};
 use stackcache_workloads::{compile_workload, Scale};
 
-fn bench_compile(c: &mut Criterion) {
+fn main() {
     let w = compile_workload(Scale::Small);
     let org = Org::static_shuffle(4);
     let insts = w.image.program.len() as u64;
-    let mut g = c.benchmark_group("static_compile");
-    g.throughput(Throughput::Elements(insts));
     for (name, optimal) in [("greedy", false), ("optimal", true)] {
-        g.bench_with_input(BenchmarkId::new(name, "compile.fs"), &optimal, |b, &optimal| {
-            let mut opts = StaticOptions::with_canonical(2);
-            opts.optimal = optimal;
-            b.iter(|| compile(&w.image.program, &org, &opts).stats.eliminated_sites);
+        let mut opts = StaticOptions::with_canonical(2);
+        opts.optimal = optimal;
+        bench_throughput(&format!("static_compile/{name}/compile.fs"), insts, || {
+            compile(&w.image.program, &org, &opts)
+                .stats
+                .eliminated_sites
         });
     }
-    g.finish();
-}
 
-fn bench_reconcile(c: &mut Criterion) {
     let a = CacheState::from_regs(&[1, 0, 2]);
     let b_state = CacheState::from_regs(&[0, 1]);
-    c.bench_function("reconcile_3_to_2", |bch| bch.iter(|| reconcile(&a, &b_state).total()));
+    bench("reconcile_3_to_2", || reconcile(&a, &b_state).total());
 }
-
-criterion_group!(benches, bench_compile, bench_reconcile);
-criterion_main!(benches);

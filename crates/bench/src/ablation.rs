@@ -54,8 +54,13 @@ pub fn run(scale: Scale, max_regs: u8) -> Vec<AblationRow> {
 /// Render the ablation.
 #[must_use]
 pub fn table(rows: &[AblationRow]) -> Table {
-    let mut t =
-        Table::new(&["registers", "greedy", "optimal", "threaded joins", "optimal+threaded"]);
+    let mut t = Table::new(&[
+        "registers",
+        "greedy",
+        "optimal",
+        "threaded joins",
+        "optimal+threaded",
+    ]);
     for r in rows {
         t.row(&[
             r.registers.to_string(),

@@ -25,8 +25,25 @@ fn main() {
     let mut wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "fig7", "fig13", "fig18", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
-            "speedup", "randomwalk", "rstack", "ablation", "orgs", "freq", "twostacks", "prefetch", "semantic",
+            "fig7",
+            "fig13",
+            "fig18",
+            "fig20",
+            "fig21",
+            "fig22",
+            "fig23",
+            "fig24",
+            "fig25",
+            "fig26",
+            "speedup",
+            "randomwalk",
+            "rstack",
+            "ablation",
+            "orgs",
+            "freq",
+            "twostacks",
+            "prefetch",
+            "semantic",
         ]
         .iter()
         .map(|s| (*s).to_string())
@@ -44,9 +61,15 @@ fn main() {
     if want("fig13") {
         use stackcache_core::{dot, Org, Policy};
         println!("## Fig. 13 — the two-register minimal cache state machine (Graphviz)\n");
-        println!("{}", dot::state_machine_dot(&Org::minimal(2), &Policy::on_demand(2), &dot::fig13_edges()));
+        println!(
+            "{}",
+            dot::state_machine_dot(&Org::minimal(2), &Policy::on_demand(2), &dot::fig13_edges())
+        );
         println!("## Fig. 17 — two registers, one duplication allowed (Graphviz)\n");
-        println!("{}", dot::state_machine_dot(&Org::one_dup(2), &Policy::on_demand(2), &dot::fig17_edges()));
+        println!(
+            "{}",
+            dot::state_machine_dot(&Org::one_dup(2), &Policy::on_demand(2), &dot::fig17_edges())
+        );
     }
     if want("fig18") {
         println!("## Fig. 18 — number of cache states\n");
@@ -84,7 +107,10 @@ fn main() {
     }
     if want("fig23") {
         println!("## Fig. 23 — dynamic caching components, 6 registers\n");
-        println!("{}", fig22::fig23_table(&fig22::fig23(f22.as_ref().unwrap(), 6)));
+        println!(
+            "{}",
+            fig22::fig23_table(&fig22::fig23(f22.as_ref().unwrap(), 6))
+        );
     }
     if want("fig24") {
         println!("## Fig. 24 — static caching: net overhead per original inst\n");
@@ -102,7 +128,10 @@ fn main() {
     }
     if want("fig25") {
         println!("## Fig. 25 — static caching components, 6 registers\n");
-        println!("{}", fig24::fig25_table(&fig24::fig25(f24.as_ref().unwrap(), 6)));
+        println!(
+            "{}",
+            fig24::fig25_table(&fig24::fig25(f24.as_ref().unwrap(), 6))
+        );
     }
     if want("fig26") {
         let model = CostModel::paper();
@@ -115,7 +144,10 @@ fn main() {
         );
         println!("{}", fig26::table(&rows));
         for d in [5u32, 6] {
-            let m = CostModel { dispatch: d, ..model };
+            let m = CostModel {
+                dispatch: d,
+                ..model
+            };
             println!("### sensitivity: dispatch = {d} cycles\n");
             let rows = fig26::run(
                 f21.as_ref().unwrap(),

@@ -85,7 +85,11 @@ pub fn table(rows: &[Fig7Row]) -> Table {
 pub fn paper_table() -> Table {
     let mut t = Table::new(&["technique (paper)", "R3000 cycles", "R4000 cycles"]);
     for (name, r3, r4) in PAPER_CYCLES {
-        t.row(&[(*name).to_string(), format!("{}-{}", r3.0, r3.1), format!("{}-{}", r4.0, r4.1)]);
+        t.row(&[
+            (*name).to_string(),
+            format!("{}-{}", r3.0, r3.1),
+            format!("{}-{}", r4.0, r4.1),
+        ]);
     }
     t
 }

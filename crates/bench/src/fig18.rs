@@ -20,7 +20,10 @@ pub struct Fig18Row {
 pub const PAPER: &[(&str, &[usize])] = &[
     ("minimal", &[2, 3, 4, 5, 6, 7, 8, 9]),
     ("overflow move opt.", &[2, 5, 10, 17, 26, 37, 50, 65]),
-    ("arbitrary shuffles", &[2, 5, 16, 65, 326, 1957, 13700, 109_601]),
+    (
+        "arbitrary shuffles",
+        &[2, 5, 16, 65, 326, 1957, 13700, 109_601],
+    ),
     ("n + 1 stack items", &[3, 15, 121, 1365, 19_531]),
     ("one duplication", &[3, 7, 14, 25, 41, 63, 92, 129]),
     ("two stacks", &[3, 6, 9, 12, 15, 18, 21, 24]),
@@ -33,15 +36,30 @@ pub fn run() -> Vec<Fig18Row> {
         (1..=max).map(|n| f(n).state_count()).collect()
     };
     vec![
-        Fig18Row { organization: "minimal", counts: count(&Org::minimal, 8) },
-        Fig18Row { organization: "overflow move opt.", counts: count(&Org::overflow_opt, 8) },
+        Fig18Row {
+            organization: "minimal",
+            counts: count(&Org::minimal, 8),
+        },
+        Fig18Row {
+            organization: "overflow move opt.",
+            counts: count(&Org::overflow_opt, 8),
+        },
         Fig18Row {
             organization: "arbitrary shuffles",
             counts: count(&Org::arbitrary_shuffles, 8),
         },
-        Fig18Row { organization: "n + 1 stack items", counts: count(&Org::n_plus_one, 5) },
-        Fig18Row { organization: "one duplication", counts: count(&Org::one_dup, 8) },
-        Fig18Row { organization: "two stacks", counts: count(&Org::two_stacks, 8) },
+        Fig18Row {
+            organization: "n + 1 stack items",
+            counts: count(&Org::n_plus_one, 5),
+        },
+        Fig18Row {
+            organization: "one duplication",
+            counts: count(&Org::one_dup, 8),
+        },
+        Fig18Row {
+            organization: "two stacks",
+            counts: count(&Org::two_stacks, 8),
+        },
     ]
 }
 
@@ -52,7 +70,11 @@ pub fn table(rows: &[Fig18Row]) -> Table {
     for row in rows {
         let mut cells: Vec<String> = vec![row.organization.to_string()];
         for i in 0..8 {
-            cells.push(row.counts.get(i).map_or_else(String::new, |c| c.to_string()));
+            cells.push(
+                row.counts
+                    .get(i)
+                    .map_or_else(String::new, |c| c.to_string()),
+            );
         }
         t.row(&cells);
     }

@@ -44,7 +44,8 @@ pub fn run(scale: Scale) -> Vec<Fig20Row> {
         .iter()
         .map(|w| {
             let mut r = SimpleRegime::new();
-            w.run_with_observer(&mut r).expect("workloads are trap-free");
+            w.run_with_observer(&mut r)
+                .expect("workloads are trap-free");
             let c = &r.counts;
             let per = |x: u64| x as f64 / c.insts as f64;
             Fig20Row {
@@ -64,7 +65,9 @@ pub fn run(scale: Scale) -> Vec<Fig20Row> {
 /// Render measured rows plus the paper's values.
 #[must_use]
 pub fn table(rows: &[Fig20Row]) -> Table {
-    let mut t = Table::new(&["program", "insts", "loads", "updates", "rloads", "rupdates", "calls"]);
+    let mut t = Table::new(&[
+        "program", "insts", "loads", "updates", "rloads", "rupdates", "calls",
+    ]);
     for r in rows {
         t.row(&[
             r.program.clone(),
@@ -100,10 +103,29 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.insts > 10_000, "{}: {}", r.program, r.insts);
-            assert!(r.loads > 0.4 && r.loads < 1.1, "{}: loads {}", r.program, r.loads);
-            assert!(r.updates > 0.3 && r.updates < 0.9, "{}: updates {}", r.program, r.updates);
-            assert!(r.calls > 0.01 && r.calls < 0.3, "{}: calls {}", r.program, r.calls);
-            assert!(r.rupdates >= r.calls, "{}: rupdates at least cover calls", r.program);
+            assert!(
+                r.loads > 0.4 && r.loads < 1.1,
+                "{}: loads {}",
+                r.program,
+                r.loads
+            );
+            assert!(
+                r.updates > 0.3 && r.updates < 0.9,
+                "{}: updates {}",
+                r.program,
+                r.updates
+            );
+            assert!(
+                r.calls > 0.01 && r.calls < 0.3,
+                "{}: calls {}",
+                r.program,
+                r.calls
+            );
+            assert!(
+                r.rupdates >= r.calls,
+                "{}: rupdates at least cover calls",
+                r.program
+            );
         }
     }
 

@@ -39,7 +39,8 @@ pub fn run(scale: Scale, max_k: u8) -> Vec<Fig21Row> {
         for sim in &mut ks {
             obs.push(sim);
         }
-        w.run_with_observer(&mut obs).expect("workloads are trap-free");
+        w.run_with_observer(&mut obs)
+            .expect("workloads are trap-free");
     }
     let model = CostModel::paper();
     let mut rows = Vec::with_capacity(usize::from(max_k) + 1);
@@ -63,9 +64,21 @@ pub fn run(scale: Scale, max_k: u8) -> Vec<Fig21Row> {
 /// Render as the figure's series.
 #[must_use]
 pub fn table(rows: &[Fig21Row]) -> Table {
-    let mut t = Table::new(&["k", "loads+stores/inst", "moves/inst", "updates/inst", "cycles/inst"]);
+    let mut t = Table::new(&[
+        "k",
+        "loads+stores/inst",
+        "moves/inst",
+        "updates/inst",
+        "cycles/inst",
+    ]);
     for r in rows {
-        t.row(&[r.k.to_string(), f3(r.mem), f3(r.moves), f3(r.updates), f3(r.cycles)]);
+        t.row(&[
+            r.k.to_string(),
+            f3(r.mem),
+            f3(r.moves),
+            f3(r.updates),
+            f3(r.cycles),
+        ]);
     }
     t
 }
@@ -91,7 +104,12 @@ mod tests {
             );
         }
         // k=1 gives a large drop in memory accesses
-        assert!(rows[1].mem < 0.75 * rows[0].mem, "{} vs {}", rows[1].mem, rows[0].mem);
+        assert!(
+            rows[1].mem < 0.75 * rows[0].mem,
+            "{} vs {}",
+            rows[1].mem,
+            rows[0].mem
+        );
         // k=0 and k=1 cause no moves; deeper caches do
         assert_eq!(rows[0].moves, 0.0);
         assert_eq!(rows[1].moves, 0.0);
@@ -111,7 +129,12 @@ mod tests {
             .iter()
             .min_by(|a, b| a.cycles.partial_cmp(&b.cycles).unwrap())
             .unwrap();
-        assert_eq!(best.k, 1, "cycles: {:?}", rows.iter().map(|r| r.cycles).collect::<Vec<_>>());
+        assert_eq!(
+            best.k,
+            1,
+            "cycles: {:?}",
+            rows.iter().map(|r| r.cycles).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub fn run(scale: Scale, max_regs: u8) -> Vec<Fig22Point> {
         for sim in &mut sims {
             sim.reset_state();
         }
-        w.run_with_observer(&mut sims).expect("workloads are trap-free");
+        w.run_with_observer(&mut sims)
+            .expect("workloads are trap-free");
     }
     sims.iter()
         .map(|s| Fig22Point {
@@ -187,12 +188,16 @@ mod tests {
         // "the optimal overflow followup states are rather full" — our
         // workloads agree for most register counts (ties can flip single
         // points at small scale).
-        let near_full =
-            best[2..].iter().filter(|b| b.followup + 2 >= b.registers).count();
+        let near_full = best[2..]
+            .iter()
+            .filter(|b| b.followup + 2 >= b.registers)
+            .count();
         assert!(
             2 * near_full >= best[2..].len(),
             "most best followup states should be near-full: {:?}",
-            best.iter().map(|b| (b.registers, b.followup)).collect::<Vec<_>>()
+            best.iter()
+                .map(|b| (b.registers, b.followup))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -50,7 +50,12 @@ pub fn run(scale: Scale, max_regs: u8) -> Vec<Fig24Point> {
 ///
 /// Panics if a workload traps (a bug).
 #[must_use]
-pub fn run_with(scale: Scale, max_regs: u8, optimal: bool, threaded_joins: bool) -> Vec<Fig24Point> {
+pub fn run_with(
+    scale: Scale,
+    max_regs: u8,
+    optimal: bool,
+    threaded_joins: bool,
+) -> Vec<Fig24Point> {
     let orgs: Vec<Org> = (1..=max_regs).map(Org::static_shuffle).collect();
     let mut totals: Vec<(u8, u8, Counts)> = Vec::new();
     for n in 1..=max_regs {
@@ -67,13 +72,18 @@ pub fn run_with(scale: Scale, max_regs: u8, optimal: bool, threaded_joins: bool)
             opts.threaded_joins = threaded_joins;
             let sp = compile(&w.image.program, &orgs[usize::from(*n) - 1], &opts);
             let mut reg = StaticRegime::new(&sp);
-            w.run_with_observer(&mut reg).expect("workloads are trap-free");
+            w.run_with_observer(&mut reg)
+                .expect("workloads are trap-free");
             *acc += reg.counts;
         }
     }
     totals
         .into_iter()
-        .map(|(registers, canonical, counts)| Fig24Point { registers, canonical, counts })
+        .map(|(registers, canonical, counts)| Fig24Point {
+            registers,
+            canonical,
+            counts,
+        })
         .collect()
 }
 

@@ -7,11 +7,11 @@
 //! dispatch weight; [`run`] takes the [`CostModel`] so the sensitivity
 //! analysis (dispatch = 5, 6) can be re-run.
 
-use stackcache_core::CostModel;
 use crate::fig21::Fig21Row;
 use crate::fig22::Fig22Point;
 use crate::fig24::Fig24Point;
 use crate::table::{f3, Table};
+use stackcache_core::CostModel;
 
 /// One row of Fig. 26.
 #[derive(Debug, Clone, Copy)]
@@ -56,7 +56,12 @@ pub fn run(
                 .filter(|p| p.registers == n)
                 .map(|p| p.counts.net_overhead_per_inst(model))
                 .min_by(|a, b| a.partial_cmp(b).unwrap());
-            Fig26Row { registers: n, constant_k, dynamic, static_net }
+            Fig26Row {
+                registers: n,
+                constant_k,
+                dynamic,
+                static_net,
+            }
         })
         .collect()
 }
@@ -95,11 +100,18 @@ mod tests {
             let ck = r.constant_k.unwrap();
             let dy = r.dynamic.unwrap();
             // on-demand caching dominates constant-k at equal registers
-            assert!(dy <= ck + 1e-9, "regs {}: dynamic {dy} vs constant-k {ck}", r.registers);
+            assert!(
+                dy <= ck + 1e-9,
+                "regs {}: dynamic {dy} vs constant-k {ck}",
+                r.registers
+            );
         }
         // with a heavier dispatch weight, static improves relative to
         // dynamic (the paper's sensitivity note)
-        let heavy = CostModel { dispatch: 6, ..model };
+        let heavy = CostModel {
+            dispatch: 6,
+            ..model
+        };
         let rows_heavy = run(&f21, &f22, &f24, &heavy);
         for (a, b) in rows.iter().zip(&rows_heavy) {
             let gap_normal = a.dynamic.unwrap() - a.static_net.unwrap();

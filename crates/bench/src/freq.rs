@@ -48,9 +48,12 @@ impl ExecObserver for FreqObserver {
 /// Panics if a workload traps (a bug).
 #[must_use]
 pub fn run(scale: Scale) -> FreqReport {
-    let mut obs = FreqObserver { counts: vec![0; Inst::OPCODE_COUNT] };
+    let mut obs = FreqObserver {
+        counts: vec![0; Inst::OPCODE_COUNT],
+    };
     for w in workloads(scale) {
-        w.run_with_observer(&mut obs).expect("workloads are trap-free");
+        w.run_with_observer(&mut obs)
+            .expect("workloads are trap-free");
     }
     let mut by_opcode: Vec<(&'static str, u64)> = Inst::all()
         .map(|i| (i.name(), obs.counts[i.opcode() as usize]))

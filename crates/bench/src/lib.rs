@@ -2,8 +2,8 @@
 //!
 //! One module per table/figure of the paper's evaluation (see `DESIGN.md`
 //! for the experiment index). The `figures` binary prints every table;
-//! the criterion benches in `benches/` provide the wall-clock
-//! measurements.
+//! the `harness = false` benches in `benches/` provide the wall-clock
+//! measurements via the self-contained [`timing`] loop.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -24,6 +24,7 @@ pub mod rstack;
 pub mod semantic;
 pub mod speedup;
 pub mod table;
+pub mod timing;
 pub mod twostacks;
 
 use std::sync::OnceLock;

@@ -51,13 +51,16 @@ pub fn run(scale: Scale, registers: u8) -> Vec<OrgRow> {
         Org::static_shuffle(registers),
     ];
     let followup = registers.saturating_sub(1).max(1);
-    let mut sims: Vec<CachedRegime> =
-        orgs.iter().map(|o| CachedRegime::new(o, followup)).collect();
+    let mut sims: Vec<CachedRegime> = orgs
+        .iter()
+        .map(|o| CachedRegime::new(o, followup))
+        .collect();
     for w in workloads(scale) {
         for sim in &mut sims {
             sim.reset_state();
         }
-        w.run_with_observer(&mut sims).expect("workloads are trap-free");
+        w.run_with_observer(&mut sims)
+            .expect("workloads are trap-free");
     }
     orgs.iter()
         .zip(&sims)
@@ -106,8 +109,14 @@ mod tests {
         // one-dup and one-shuffle states remove duplication/shuffle moves
         let one_dup = rows[1].overhead();
         let shuffle = rows[3].overhead();
-        assert!(one_dup <= minimal + 1e-9, "one-dup {one_dup} vs minimal {minimal}");
-        assert!(shuffle <= minimal + 1e-9, "one-shuffle {shuffle} vs minimal {minimal}");
+        assert!(
+            one_dup <= minimal + 1e-9,
+            "one-dup {one_dup} vs minimal {minimal}"
+        );
+        assert!(
+            shuffle <= minimal + 1e-9,
+            "one-shuffle {shuffle} vs minimal {minimal}"
+        );
         // overflow-move optimization cannot increase moves
         let oopt = &rows[2];
         assert!(

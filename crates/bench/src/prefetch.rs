@@ -29,13 +29,18 @@ pub struct PrefetchRow {
 /// Panics if a workload traps (a bug).
 #[must_use]
 pub fn run(scale: Scale, registers: u8, max_min: u8) -> Vec<PrefetchRow> {
-    let mut sims: Vec<PrefetchRegime> =
-        (0..=max_min).map(|m| PrefetchRegime::new(registers, m)).collect();
+    let mut sims: Vec<PrefetchRegime> = (0..=max_min)
+        .map(|m| PrefetchRegime::new(registers, m))
+        .collect();
     for w in workloads(scale) {
-        w.run_with_observer(&mut sims).expect("workloads are trap-free");
+        w.run_with_observer(&mut sims)
+            .expect("workloads are trap-free");
     }
     sims.into_iter()
-        .map(|s| PrefetchRow { min_items: s.min_items(), counts: s.counts })
+        .map(|s| PrefetchRow {
+            min_items: s.min_items(),
+            counts: s.counts,
+        })
         .collect()
 }
 

@@ -45,9 +45,9 @@ pub fn run(scale: Scale) -> Vec<RandomWalkRow> {
     let mut rows = Vec::new();
     let mut total_insts: u64 = 0;
     for w in workloads(scale) {
-        let mut sims: Vec<CachedRegime> =
-            FOLLOWUPS.map(|f| CachedRegime::new(&org, f)).collect();
-        w.run_with_observer(&mut sims).expect("workloads are trap-free");
+        let mut sims: Vec<CachedRegime> = FOLLOWUPS.map(|f| CachedRegime::new(&org, f)).collect();
+        w.run_with_observer(&mut sims)
+            .expect("workloads are trap-free");
         total_insts = total_insts.max(sims[0].counts.insts);
         rows.push(RandomWalkRow {
             trace: w.name.to_string(),
@@ -55,8 +55,13 @@ pub fn run(scale: Scale) -> Vec<RandomWalkRow> {
         });
     }
     // A random walk of comparable length.
-    let steps = usize::try_from(total_insts).unwrap_or(1_000_000).min(4_000_000);
-    let program = random_walk_program(&RandomWalkConfig { steps, ..RandomWalkConfig::default() });
+    let steps = usize::try_from(total_insts)
+        .unwrap_or(1_000_000)
+        .min(4_000_000);
+    let program = random_walk_program(&RandomWalkConfig {
+        steps,
+        ..RandomWalkConfig::default()
+    });
     let mut sims: Vec<CachedRegime> = FOLLOWUPS.map(|f| CachedRegime::new(&org, f)).collect();
     let mut m = Machine::with_memory(64);
     exec::run_with_observer(&program, &mut m, u64::MAX, &mut sims).expect("walk runs");

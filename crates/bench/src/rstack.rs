@@ -45,12 +45,21 @@ pub fn run(scale: Scale) -> Vec<RStackRow> {
             let mut simple = SimpleRegime::new();
             let mut cached = RStackRegime::new();
             let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut simple, &mut cached];
-            w.run_with_observer(&mut obs).expect("workloads are trap-free");
+            w.run_with_observer(&mut obs)
+                .expect("workloads are trap-free");
             let per = |loads: u64, stores: u64, insts: u64| (loads + stores) as f64 / insts as f64;
             RStackRow {
                 workload: w.name,
-                uncached: per(simple.counts.rloads, simple.counts.rstores, simple.counts.insts),
-                cached: per(cached.counts.rloads, cached.counts.rstores, cached.counts.insts),
+                uncached: per(
+                    simple.counts.rloads,
+                    simple.counts.rstores,
+                    simple.counts.insts,
+                ),
+                cached: per(
+                    cached.counts.rloads,
+                    cached.counts.rstores,
+                    cached.counts.insts,
+                ),
             }
         })
         .collect()
@@ -59,9 +68,19 @@ pub fn run(scale: Scale) -> Vec<RStackRow> {
 /// Render the comparison.
 #[must_use]
 pub fn table(rows: &[RStackRow]) -> Table {
-    let mut t = Table::new(&["workload", "uncached r-traffic/inst", "k=1 r-traffic/inst", "saving %"]);
+    let mut t = Table::new(&[
+        "workload",
+        "uncached r-traffic/inst",
+        "k=1 r-traffic/inst",
+        "saving %",
+    ]);
     for r in rows {
-        t.row(&[r.workload.to_string(), f3(r.uncached), f3(r.cached), f2(r.saving_pct())]);
+        t.row(&[
+            r.workload.to_string(),
+            f3(r.uncached),
+            f3(r.cached),
+            f2(r.saving_pct()),
+        ]);
     }
     t
 }

@@ -73,7 +73,12 @@ pub fn run(scale: Scale) -> Vec<SemanticRow> {
             let (simple_b, cached_b, m_b) = measure(&w.image.program);
             let (opt, stats) = peephole::optimize(&w.image.program);
             let (simple_a, cached_a, m_a) = measure(&opt);
-            assert_eq!(m_b.output(), m_a.output(), "{}: behaviour preserved", w.name);
+            assert_eq!(
+                m_b.output(),
+                m_a.output(),
+                "{}: behaviour preserved",
+                w.name
+            );
             // normalize per ORIGINAL instruction so rows are comparable
             let per = |cycles: u64| cycles as f64 / simple_b.insts as f64;
             SemanticRow {
@@ -104,7 +109,11 @@ pub fn table(rows: &[SemanticRow]) -> Table {
     for r in rows {
         let removed = 100.0 * (1.0 - r.insts_after as f64 / r.insts_before as f64);
         t.row(&[
-            if r.skipped { format!("{} (uses execute; skipped)", r.workload) } else { r.workload.to_string() },
+            if r.skipped {
+                format!("{} (uses execute; skipped)", r.workload)
+            } else {
+                r.workload.to_string()
+            },
             f2(removed),
             f3(r.cycles_before),
             f3(r.cycles_after),

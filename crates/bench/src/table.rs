@@ -25,7 +25,10 @@ impl Table {
     /// A table with the given column headers.
     #[must_use]
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must have as many cells as there are headers).
@@ -35,7 +38,8 @@ impl Table {
     /// Panics if the cell count does not match the header count.
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|s| s.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.as_ref().to_string()).collect());
     }
 
     /// Number of data rows.

@@ -1,0 +1,79 @@
+//! A minimal wall-clock measurement loop for the `benches/` targets.
+//!
+//! The workspace builds offline, so the benches are plain `harness =
+//! false` binaries on top of this module instead of an external benchmark
+//! framework: warm up, run a fixed number of timed batches, and report the
+//! median batch (robust against scheduler noise), plus per-element
+//! throughput when the caller knows how many units one iteration covers.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median wall-clock nanoseconds for a single iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed batch.
+    pub iters: u32,
+}
+
+impl Measurement {
+    /// Nanoseconds per element for an iteration covering `elements` units.
+    #[must_use]
+    pub fn ns_per_element(&self, elements: u64) -> f64 {
+        if elements == 0 {
+            return 0.0;
+        }
+        self.ns_per_iter / elements as f64
+    }
+}
+
+/// Time `f`, printing a `name: median ns/iter` line.
+///
+/// `f`'s return value is passed through [`black_box`] so the compiler
+/// cannot discard the measured work. The batch size is chosen so one batch
+/// takes roughly 20ms; 11 batches are timed and the median reported.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    // Warm-up and batch sizing: grow until a batch takes >= 20ms or we hit
+    // a sizing cap (cheap closures), so the timer resolution is irrelevant.
+    let mut iters: u32 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 20 || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut samples: Vec<f64> = (0..11)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!("{name}: {median:.1} ns/iter ({iters} iters/batch)");
+    Measurement {
+        ns_per_iter: median,
+        iters,
+    }
+}
+
+/// Like [`bench`], but also reports per-element throughput.
+pub fn bench_throughput<T>(name: &str, elements: u64, f: impl FnMut() -> T) -> Measurement {
+    let m = bench(name, f);
+    println!(
+        "    {:.3} ns/element over {elements} elements",
+        m.ns_per_element(elements)
+    );
+    m
+}

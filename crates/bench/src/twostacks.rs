@@ -49,10 +49,14 @@ pub fn run(scale: Scale, registers: u8) -> Vec<TwoStacksRow> {
     for w in workloads(scale) {
         data_only.reset_state();
         let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut simple, &mut data_only, &mut shared];
-        w.run_with_observer(&mut obs).expect("workloads are trap-free");
+        w.run_with_observer(&mut obs)
+            .expect("workloads are trap-free");
     }
     vec![
-        TwoStacksRow { config: "no caching".into(), counts: simple.counts },
+        TwoStacksRow {
+            config: "no caching".into(),
+            counts: simple.counts,
+        },
         TwoStacksRow {
             config: format!("data only ({registers} regs)"),
             counts: data_only.counts,
@@ -98,10 +102,14 @@ mod tests {
         let shared = &rows[2];
         assert!(shared.total_per_inst() < simple.total_per_inst());
         // sharing reduces return-stack traffic below the uncached level
-        let rtraffic = |r: &TwoStacksRow| {
-            (r.counts.rloads + r.counts.rstores) as f64 / r.counts.insts as f64
-        };
-        assert!(rtraffic(shared) < rtraffic(simple), "{} vs {}", rtraffic(shared), rtraffic(simple));
+        let rtraffic =
+            |r: &TwoStacksRow| (r.counts.rloads + r.counts.rstores) as f64 / r.counts.insts as f64;
+        assert!(
+            rtraffic(shared) < rtraffic(simple),
+            "{} vs {}",
+            rtraffic(shared),
+            rtraffic(simple)
+        );
         // but it competes with the data stack for registers, so its data
         // traffic is at least the data-only configuration's
         assert!(shared.counts.mem_per_inst() >= data_only.counts.mem_per_inst() - 1e-9);

@@ -39,7 +39,13 @@ impl CostModel {
     /// The paper's weights: 1/1/1/1 and dispatch = 4 (Section 6).
     #[must_use]
     pub const fn paper() -> Self {
-        CostModel { load: 1, store: 1, mv: 1, update: 1, dispatch: 4 }
+        CostModel {
+            load: 1,
+            store: 1,
+            mv: 1,
+            update: 1,
+            dispatch: 4,
+        }
     }
 }
 
@@ -184,13 +190,23 @@ mod tests {
     #[test]
     fn paper_weights() {
         let m = CostModel::paper();
-        assert_eq!((m.load, m.store, m.mv, m.update, m.dispatch), (1, 1, 1, 1, 4));
+        assert_eq!(
+            (m.load, m.store, m.mv, m.update, m.dispatch),
+            (1, 1, 1, 1, 4)
+        );
         assert_eq!(CostModel::default(), m);
     }
 
     #[test]
     fn access_cycles_weighted() {
-        let c = Counts { insts: 10, loads: 3, stores: 2, moves: 4, updates: 5, ..Counts::new() };
+        let c = Counts {
+            insts: 10,
+            loads: 3,
+            stores: 2,
+            moves: 4,
+            updates: 5,
+            ..Counts::new()
+        };
         let m = CostModel::paper();
         assert_eq!(c.access_cycles(&m), 14);
         assert!((c.access_per_inst(&m) - 1.4).abs() < 1e-12);
@@ -200,7 +216,12 @@ mod tests {
 
     #[test]
     fn net_overhead_subtracts_saved_dispatches() {
-        let c = Counts { insts: 100, dispatches: 80, loads: 10, ..Counts::new() };
+        let c = Counts {
+            insts: 100,
+            dispatches: 80,
+            loads: 10,
+            ..Counts::new()
+        };
         let m = CostModel::paper();
         // access = 10, saved = 20 * 4 = 80 => (10 - 80)/100 = -0.7
         assert!((c.net_overhead_per_inst(&m) + 0.7).abs() < 1e-12);
@@ -208,8 +229,18 @@ mod tests {
 
     #[test]
     fn addition_accumulates() {
-        let a = Counts { insts: 1, loads: 2, calls: 3, ..Counts::new() };
-        let b = Counts { insts: 10, loads: 20, overflows: 1, ..Counts::new() };
+        let a = Counts {
+            insts: 1,
+            loads: 2,
+            calls: 3,
+            ..Counts::new()
+        };
+        let b = Counts {
+            insts: 10,
+            loads: 20,
+            overflows: 1,
+            ..Counts::new()
+        };
         let c = a + b;
         assert_eq!(c.insts, 11);
         assert_eq!(c.loads, 22);

@@ -29,9 +29,18 @@ pub struct EdgeSpec {
 #[must_use]
 pub fn fig13_edges() -> Vec<EdgeSpec> {
     vec![
-        EdgeSpec { label: "--w", sig: OpSig::normal(0, 1) },
-        EdgeSpec { label: "w--", sig: OpSig::normal(1, 0) },
-        EdgeSpec { label: "ww--w", sig: OpSig::normal(2, 1) },
+        EdgeSpec {
+            label: "--w",
+            sig: OpSig::normal(0, 1),
+        },
+        EdgeSpec {
+            label: "w--",
+            sig: OpSig::normal(1, 0),
+        },
+        EdgeSpec {
+            label: "ww--w",
+            sig: OpSig::normal(2, 1),
+        },
     ]
 }
 
@@ -40,10 +49,22 @@ pub fn fig13_edges() -> Vec<EdgeSpec> {
 pub fn fig17_edges() -> Vec<EdgeSpec> {
     use stackcache_vm::perm;
     vec![
-        EdgeSpec { label: "dup", sig: OpSig::shuffle(1, perm::DUP) },
-        EdgeSpec { label: "over", sig: OpSig::shuffle(2, perm::OVER) },
-        EdgeSpec { label: "swap", sig: OpSig::shuffle(2, perm::SWAP) },
-        EdgeSpec { label: "drop", sig: OpSig::shuffle(1, perm::DROP) },
+        EdgeSpec {
+            label: "dup",
+            sig: OpSig::shuffle(1, perm::DUP),
+        },
+        EdgeSpec {
+            label: "over",
+            sig: OpSig::shuffle(2, perm::OVER),
+        },
+        EdgeSpec {
+            label: "swap",
+            sig: OpSig::shuffle(2, perm::SWAP),
+        },
+        EdgeSpec {
+            label: "drop",
+            sig: OpSig::shuffle(1, perm::DROP),
+        },
     ]
 }
 
@@ -60,16 +81,18 @@ pub fn state_machine_dot(org: &Org, policy: &Policy, edges: &[EdgeSpec]) -> Stri
     let _ = writeln!(out, "    rankdir=LR;");
     let _ = writeln!(out, "    node [shape=box, fontname=\"monospace\"];");
     for (i, state) in org.states().iter().enumerate() {
-        let label = if state.depth() == 0 { "empty".to_string() } else { state.to_string() };
+        let label = if state.depth() == 0 {
+            "empty".to_string()
+        } else {
+            state.to_string()
+        };
         let _ = writeln!(out, "    s{i} [label=\"{label}\"];");
     }
     for i in 0..org.state_count() {
         let from = StateId(i as u32);
         for e in edges {
             // shuffles need their inputs; skip edges that cannot fire
-            if matches!(e.sig.kind, SigKind::Shuffle(_))
-                && org.state(from).depth() < e.sig.pops
-            {
+            if matches!(e.sig.kind, SigKind::Shuffle(_)) && org.state(from).depth() < e.sig.pops {
                 continue;
             }
             let t = compute_transition(org, policy, from, &e.sig, 8);
@@ -119,7 +142,10 @@ mod tests {
     fn fig17_machine_marks_free_shuffles_bold() {
         let org = Org::one_dup(2);
         let dot = state_machine_dot(&org, &Policy::on_demand(2), &fig17_edges());
-        assert!(dot.contains("style=bold"), "some shuffles are pure state changes:\n{dot}");
+        assert!(
+            dot.contains("style=bold"),
+            "some shuffles are pure state changes:\n{dot}"
+        );
         assert!(dot.contains("dup"));
         assert!(dot.contains("swap"));
     }

@@ -57,19 +57,31 @@ impl OpSig {
     /// A normal operation consuming `pops` and producing `pushes` cells.
     #[must_use]
     pub const fn normal(pops: u8, pushes: u8) -> Self {
-        OpSig { pops, pushes, kind: SigKind::Normal }
+        OpSig {
+            pops,
+            pushes,
+            kind: SigKind::Normal,
+        }
     }
 
     /// A pure shuffle with the given permutation (bottom-first).
     #[must_use]
     pub const fn shuffle(pops: u8, p: &'static [u8]) -> Self {
-        OpSig { pops, pushes: p.len() as u8, kind: SigKind::Shuffle(p) }
+        OpSig {
+            pops,
+            pushes: p.len() as u8,
+            kind: SigKind::Shuffle(p),
+        }
     }
 
     /// A cache-opaque operation.
     #[must_use]
     pub const fn opaque(pops: u8, pushes: u8) -> Self {
-        OpSig { pops, pushes, kind: SigKind::Opaque }
+        OpSig {
+            pops,
+            pushes,
+            kind: SigKind::Opaque,
+        }
     }
 }
 
@@ -133,13 +145,21 @@ impl Policy {
     /// On-demand caching with the given overflow followup depth.
     #[must_use]
     pub const fn on_demand(overflow_depth: u8) -> Self {
-        Policy { overflow_depth, refill_to: None, sp_tracks_depth: false }
+        Policy {
+            overflow_depth,
+            refill_to: None,
+            sp_tracks_depth: false,
+        }
     }
 
     /// The constant-k regime: keep exactly `min(k, depth)` items cached.
     #[must_use]
     pub const fn constant_k(k: u8) -> Self {
-        Policy { overflow_depth: k, refill_to: Some(k), sp_tracks_depth: true }
+        Policy {
+            overflow_depth: k,
+            refill_to: Some(k),
+            sp_tracks_depth: true,
+        }
     }
 
     /// Prefetching (Section 3.6): cache on demand but never hold fewer
@@ -147,7 +167,11 @@ impl Policy {
     /// followup depth.
     #[must_use]
     pub const fn prefetch(min_items: u8, overflow_depth: u8) -> Self {
-        Policy { overflow_depth, refill_to: Some(min_items), sp_tracks_depth: false }
+        Policy {
+            overflow_depth,
+            refill_to: Some(min_items),
+            sp_tracks_depth: false,
+        }
     }
 }
 
@@ -195,13 +219,17 @@ impl Item {
 /// Find the cheapest state of `org` with exactly `items.len()` slots that
 /// can hold `items`, returning `(state, moves)`.
 fn try_place(org: &Org, items: &[Item]) -> Option<(StateId, u32)> {
-    try_place_all(org, items).into_iter().min_by_key(|&(id, m)| (m, id))
+    try_place_all(org, items)
+        .into_iter()
+        .min_by_key(|&(id, m)| (m, id))
 }
 
 /// All states of `org` with exactly `items.len()` slots that can hold
 /// `items`, each with its move cost.
 fn try_place_all(org: &Org, items: &[Item]) -> Vec<(StateId, u32)> {
-    let Ok(depth) = u8::try_from(items.len()) else { return Vec::new() };
+    let Ok(depth) = u8::try_from(items.len()) else {
+        return Vec::new();
+    };
     let mut found = Vec::new();
     'cand: for &id in org.states_of_depth(depth) {
         let word = org.state(id).word();
@@ -319,7 +347,10 @@ fn transition_prep(
     let d = cur.depth();
     let x = sig.pops;
     let y = sig.pushes;
-    let mut t = Trans { next: from, ..Trans::default() };
+    let mut t = Trans {
+        next: from,
+        ..Trans::default()
+    };
 
     if matches!(sig.kind, SigKind::Opaque) {
         // Flush every cached slot to memory, run the operation against
@@ -374,7 +405,9 @@ fn transition_prep(
         None => 0,
     };
     for i in 0..refill {
-        items.push(Item::Loaded { vid: 2000 + u32::from(i) });
+        items.push(Item::Loaded {
+            vid: 2000 + u32::from(i),
+        });
     }
     t.loads += refill;
     if refill > 0 && !policy.sp_tracks_depth {
@@ -386,7 +419,10 @@ fn transition_prep(
     // value (each register holds one value).
     for i in 0..survivors {
         let reg = cur.word()[i as usize];
-        items.push(Item::FromReg { reg, vid: u32::from(reg.0) });
+        items.push(Item::FromReg {
+            reg,
+            vid: u32::from(reg.0),
+        });
     }
 
     // Outputs.
@@ -401,11 +437,16 @@ fn transition_prep(
             for &src in p {
                 if src < from_mem {
                     // Input still in memory: loaded directly into place.
-                    items.push(Item::Loaded { vid: 3000 + u32::from(src) });
+                    items.push(Item::Loaded {
+                        vid: 3000 + u32::from(src),
+                    });
                 } else {
                     let slot = usize::from(survivors + (src - from_mem));
                     let reg = cur.word()[slot];
-                    items.push(Item::FromReg { reg, vid: u32::from(reg.0) });
+                    items.push(Item::FromReg {
+                        reg,
+                        vid: u32::from(reg.0),
+                    });
                 }
             }
         }
@@ -477,7 +518,10 @@ impl TransitionTable {
     /// constant-k).
     #[must_use]
     pub fn build(org: &Org, policy: &Policy) -> Self {
-        assert!(policy.refill_to.is_none(), "tables are for on-demand policies");
+        assert!(
+            policy.refill_to.is_none(),
+            "tables are for on-demand policies"
+        );
         let sigs = sig_slots();
         let mut trans = Vec::with_capacity(org.state_count() * SIG_SLOTS);
         for s in 0..org.state_count() {
@@ -521,7 +565,9 @@ impl ReconcileCost {
     /// Total of all components (unit weights).
     #[must_use]
     pub fn total(&self) -> u32 {
-        u32::from(self.loads) + u32::from(self.stores) + u32::from(self.moves)
+        u32::from(self.loads)
+            + u32::from(self.stores)
+            + u32::from(self.moves)
             + u32::from(self.updates)
     }
 }
@@ -679,8 +725,18 @@ mod tests {
     #[test]
     fn drop_is_free_everywhere_when_cached() {
         for org in [minimal(3), Org::one_dup(3), Org::arbitrary_shuffles(3)] {
-            let t = run(&org, &Policy::on_demand(3), 2, OpSig::shuffle(1, perm::DROP));
-            assert_eq!((t.loads, t.stores, t.moves, t.updates), (0, 0, 0, 0), "{}", org.name());
+            let t = run(
+                &org,
+                &Policy::on_demand(3),
+                2,
+                OpSig::shuffle(1, perm::DROP),
+            );
+            assert_eq!(
+                (t.loads, t.stores, t.moves, t.updates),
+                (0, 0, 0, 0),
+                "{}",
+                org.name()
+            );
             assert!(t.eliminated);
         }
     }
@@ -688,7 +744,12 @@ mod tests {
     #[test]
     fn swap_with_underflow_loads_into_place() {
         let org = minimal(3);
-        let t = run(&org, &Policy::on_demand(3), 1, OpSig::shuffle(2, perm::SWAP));
+        let t = run(
+            &org,
+            &Policy::on_demand(3),
+            1,
+            OpSig::shuffle(2, perm::SWAP),
+        );
         // cached: [b] (the top item, in r0); `swap` needs `a` from memory.
         // After the swap the stack is ( b a ): b stays in r0 (slot 0) and
         // `a` is loaded directly into r1 — one load, no moves.
@@ -700,7 +761,12 @@ mod tests {
     #[test]
     fn qdup_zero_variant_is_identity() {
         let org = minimal(3);
-        let t = run(&org, &Policy::on_demand(3), 2, OpSig::shuffle(1, perm::QDUP_ZERO));
+        let t = run(
+            &org,
+            &Policy::on_demand(3),
+            2,
+            OpSig::shuffle(1, perm::QDUP_ZERO),
+        );
         assert_eq!((t.loads, t.stores, t.moves), (0, 0, 0));
         assert!(t.eliminated);
         assert_eq!(org.state(t.next).depth(), 2);
@@ -803,12 +869,21 @@ mod tests {
         // add
         assert_eq!(slots[Inst::Add.opcode() as usize], OpSig::normal(2, 1));
         // swap
-        assert_eq!(slots[Inst::Swap.opcode() as usize], OpSig::shuffle(2, perm::SWAP));
+        assert_eq!(
+            slots[Inst::Swap.opcode() as usize],
+            OpSig::shuffle(2, perm::SWAP)
+        );
         // ?dup variants
-        assert_eq!(slots[Inst::QDup.opcode() as usize], OpSig::shuffle(1, perm::QDUP_NONZERO));
+        assert_eq!(
+            slots[Inst::QDup.opcode() as usize],
+            OpSig::shuffle(1, perm::QDUP_NONZERO)
+        );
         assert_eq!(slots[QDUP_ZERO_SLOT], OpSig::shuffle(1, perm::QDUP_ZERO));
         // pick is opaque
-        assert!(matches!(slots[Inst::Pick.opcode() as usize].kind, SigKind::Opaque));
+        assert!(matches!(
+            slots[Inst::Pick.opcode() as usize].kind,
+            SigKind::Opaque
+        ));
     }
 
     #[test]
@@ -921,8 +996,7 @@ mod property_tests {
                 for d in 0..=n {
                     let from = org.canonical_of_depth(d).unwrap();
                     for (x, y) in [(0u8, 1u8), (0, 2), (1, 2), (2, 3)] {
-                        let got =
-                            compute_transition(&org, &policy, from, &OpSig::normal(x, y), 16);
+                        let got = compute_transition(&org, &policy, from, &OpSig::normal(x, y), 16);
                         let want = minimal_normal_closed_form(n, f, d, x, y);
                         assert_eq!(
                             (got.next, got.loads, got.stores, got.moves, got.updates),
@@ -1037,7 +1111,11 @@ mod property_tests {
     fn richer_orgs_dominate_minimal_without_overflow() {
         let n = 3u8;
         let minimal = Org::minimal(n);
-        let richer = [Org::one_dup(n), Org::arbitrary_shuffles(n), Org::static_shuffle(n)];
+        let richer = [
+            Org::one_dup(n),
+            Org::arbitrary_shuffles(n),
+            Org::static_shuffle(n),
+        ];
         let sigs = sig_slots();
         let policy = Policy::on_demand(n);
         for d in 0..=n {

@@ -98,14 +98,14 @@ mod tests {
             Inst::Lit(10),
             Inst::Lit(20),
             Inst::Swap,
-            Inst::Sub,          // executes in a swapped state
+            Inst::Sub, // executes in a swapped state
             Inst::Lit(30),
             Inst::Lit(40),
             Inst::Swap,
-            Inst::Swap,         // cancels statically
+            Inst::Swap, // cancels statically
             Inst::Lit(7),
             Inst::Swap,
-            Inst::Drop,         // drop in a swapped state
+            Inst::Drop, // drop in a swapped state
             Inst::Add,
             Inst::Add,
         ]));

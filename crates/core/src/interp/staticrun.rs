@@ -126,13 +126,13 @@ enum Plan {
 enum Class {
     Binop,
     Unop,
-    Pop1, // ( x -- ) in all states
-    Pop2, // ( x y -- ) in all states
-    Push, // ( -- x ), canonical states only
-    Push2, // ( -- x y ), canonical states only
+    Pop1,            // ( x -- ) in all states
+    Pop2,            // ( x y -- ) in all states
+    Push,            // ( -- x ), canonical states only
+    Push2,           // ( -- x y ), canonical states only
     Compose(u8, u8), // generic pops/pushes, canonical states only
-    Flush, // cache-opaque: flush, operate on memory
-    Zero,  // ( -- ) no data-stack effect, any state
+    Flush,           // cache-opaque: flush, operate on memory
+    Zero,            // ( -- ) no data-stack effect, any state
 }
 
 fn class_of(inst: &Inst) -> Class {
@@ -252,7 +252,10 @@ pub fn compile_static(program: &Program, canonical: u8) -> StaticExecutable {
 
     let mut code: Vec<SInst> = Vec::with_capacity(insts.len());
     let mut remap = vec![u32::MAX; insts.len()];
-    let mut stats = StaticExeStats { original: insts.len(), ..StaticExeStats::default() };
+    let mut stats = StaticExeStats {
+        original: insts.len(),
+        ..StaticExeStats::default()
+    };
 
     for block in cfg.blocks() {
         let mut state = canonical;
@@ -302,7 +305,12 @@ pub fn compile_static(program: &Program, canonical: u8) -> StaticExecutable {
                     stats.eliminated += 1;
                 }
                 Plan::Emit(natural) => {
-                    code.push(SInst { inst, s_in: state, rec_from: 0, rec_to: NO_REC });
+                    code.push(SInst {
+                        inst,
+                        s_in: state,
+                        rec_from: 0,
+                        rec_to: NO_REC,
+                    });
                     stats.compiled += 1;
                     state = natural;
                 }
@@ -336,7 +344,13 @@ pub fn compile_static(program: &Program, canonical: u8) -> StaticExecutable {
     }
     let entry = remap[program.entry()] as usize;
 
-    StaticExecutable { code, remap, entry, canonical, stats }
+    StaticExecutable {
+        code,
+        remap,
+        entry,
+        canonical,
+        stats,
+    }
 }
 
 #[inline]

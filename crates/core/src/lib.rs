@@ -59,8 +59,8 @@ pub mod interp;
 pub mod org;
 pub mod parcopy;
 pub mod regime;
-pub mod staticcache;
 pub mod state;
+pub mod staticcache;
 
 pub use cost::{CostModel, Counts};
 pub use engine::{

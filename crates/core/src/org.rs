@@ -62,7 +62,13 @@ impl Org {
             index.insert(s.clone(), id);
             by_depth[s.depth() as usize].push(id);
         }
-        Org { name, registers, states, index, by_depth }
+        Org {
+            name,
+            registers,
+            states,
+            index,
+            by_depth,
+        }
     }
 
     /// The *minimal* organization: one state per number of cached items,
@@ -128,7 +134,12 @@ impl Org {
                 }
             }
         }
-        rec(n, &mut Vec::new(), &mut vec![false; n as usize], &mut states);
+        rec(
+            n,
+            &mut Vec::new(),
+            &mut vec![false; n as usize],
+            &mut states,
+        );
         Org::build(format!("arbitrary-shuffles({n})"), n, states)
     }
 
@@ -173,8 +184,7 @@ impl Org {
     pub fn one_dup(registers: u8) -> Self {
         assert!((1..=32).contains(&registers), "1..=32 registers supported");
         let n = registers;
-        let mut states: Vec<CacheState> =
-            (0..=n).map(CacheState::canonical).collect();
+        let mut states: Vec<CacheState> = (0..=n).map(CacheState::canonical).collect();
         for k in 1..=n {
             // canonical word of k distinct registers + one duplicate of r_i
             // inserted at position p, i < p <= k.
@@ -314,24 +324,57 @@ mod tests {
     /// Fig. 18: number of cache states per organization and register count.
     #[test]
     fn fig18_minimal() {
-        for (n, want) in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)] {
+        for (n, want) in [
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+        ] {
             assert_eq!(Org::minimal(n).state_count(), want, "minimal({n})");
         }
     }
 
     #[test]
     fn fig18_overflow_opt() {
-        for (n, want) in [(1, 2), (2, 5), (3, 10), (4, 17), (5, 26), (6, 37), (7, 50), (8, 65)] {
-            assert_eq!(Org::overflow_opt(n).state_count(), want, "overflow-opt({n})");
+        for (n, want) in [
+            (1, 2),
+            (2, 5),
+            (3, 10),
+            (4, 17),
+            (5, 26),
+            (6, 37),
+            (7, 50),
+            (8, 65),
+        ] {
+            assert_eq!(
+                Org::overflow_opt(n).state_count(),
+                want,
+                "overflow-opt({n})"
+            );
         }
     }
 
     #[test]
     fn fig18_arbitrary_shuffles() {
-        for (n, want) in
-            [(1, 2), (2, 5), (3, 16), (4, 65), (5, 326), (6, 1957), (7, 13700), (8, 109_601)]
-        {
-            assert_eq!(Org::arbitrary_shuffles(n).state_count(), want, "shuffles({n})");
+        for (n, want) in [
+            (1, 2),
+            (2, 5),
+            (3, 16),
+            (4, 65),
+            (5, 326),
+            (6, 1957),
+            (7, 13700),
+            (8, 109_601),
+        ] {
+            assert_eq!(
+                Org::arbitrary_shuffles(n).state_count(),
+                want,
+                "shuffles({n})"
+            );
         }
     }
 
@@ -349,7 +392,16 @@ mod tests {
 
     #[test]
     fn fig18_one_dup() {
-        for (n, want) in [(1, 3), (2, 7), (3, 14), (4, 25), (5, 41), (6, 63), (7, 92), (8, 129)] {
+        for (n, want) in [
+            (1, 3),
+            (2, 7),
+            (3, 14),
+            (4, 25),
+            (5, 41),
+            (6, 63),
+            (7, 92),
+            (8, 129),
+        ] {
             assert_eq!(Org::one_dup(n).state_count(), want, "one-dup({n})");
         }
         // closed form
@@ -361,7 +413,16 @@ mod tests {
 
     #[test]
     fn fig18_two_stacks() {
-        for (n, want) in [(1, 3), (2, 6), (3, 9), (4, 12), (5, 15), (6, 18), (7, 21), (8, 24)] {
+        for (n, want) in [
+            (1, 3),
+            (2, 6),
+            (3, 9),
+            (4, 12),
+            (5, 15),
+            (6, 18),
+            (7, 21),
+            (8, 24),
+        ] {
             assert_eq!(Org::two_stacks(n).state_count(), want, "two-stacks({n})");
         }
     }
@@ -384,7 +445,11 @@ mod tests {
                     org.name()
                 );
                 for r in s.word() {
-                    assert!(r.0 < org.registers(), "{}: register out of range in {s}", org.name());
+                    assert!(
+                        r.0 < org.registers(),
+                        "{}: register out of range in {s}",
+                        org.name()
+                    );
                 }
             }
         }
@@ -392,21 +457,34 @@ mod tests {
 
     #[test]
     fn lookup_roundtrips() {
-        for org in [Org::minimal(5), Org::one_dup(4), Org::overflow_opt(3), Org::static_shuffle(4)]
-        {
+        for org in [
+            Org::minimal(5),
+            Org::one_dup(4),
+            Org::overflow_opt(3),
+            Org::static_shuffle(4),
+        ] {
             for (i, s) in org.states().iter().enumerate() {
                 assert_eq!(org.lookup(s), Some(StateId(i as u32)), "{}", org.name());
                 assert_eq!(org.state(StateId(i as u32)), s);
             }
-            assert_eq!(org.lookup(&CacheState::from_regs(&[7, 7, 7, 7, 7, 7, 7])), None);
+            assert_eq!(
+                org.lookup(&CacheState::from_regs(&[7, 7, 7, 7, 7, 7, 7])),
+                None
+            );
         }
     }
 
     #[test]
     fn states_of_depth_partitions_states() {
-        for org in [Org::minimal(5), Org::one_dup(4), Org::n_plus_one(3), Org::static_shuffle(5)] {
-            let total: usize =
-                (0..=org.max_depth()).map(|d| org.states_of_depth(d).len()).sum();
+        for org in [
+            Org::minimal(5),
+            Org::one_dup(4),
+            Org::n_plus_one(3),
+            Org::static_shuffle(5),
+        ] {
+            let total: usize = (0..=org.max_depth())
+                .map(|d| org.states_of_depth(d).len())
+                .sum();
             assert_eq!(total, org.state_count(), "{}", org.name());
             for d in 0..=org.max_depth() {
                 for &id in org.states_of_depth(d) {
@@ -468,7 +546,11 @@ mod tests {
         let org = Org::two_stacks(2);
         // (d, r): (0,0) (1,0) (2,0) (0,1) (1,1) (0,2) = 6 states
         assert_eq!(org.state_count(), 6);
-        assert!(org.lookup(&CacheState::canonical(2).with_rdepth(0)).is_some());
-        assert!(org.lookup(&CacheState::canonical(2).with_rdepth(1)).is_none());
+        assert!(org
+            .lookup(&CacheState::canonical(2).with_rdepth(0))
+            .is_some());
+        assert!(org
+            .lookup(&CacheState::canonical(2).with_rdepth(1))
+            .is_none());
     }
 }

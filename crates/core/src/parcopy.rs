@@ -58,10 +58,7 @@ impl<R: fmt::Display> fmt::Display for Move<R> {
 /// let moves = sequentialize(&[(2u8, 1u8), (1, 0)], 9);
 /// assert_eq!(moves, vec![Move { dst: 2, src: 1 }, Move { dst: 1, src: 0 }]);
 /// ```
-pub fn sequentialize<R: Copy + Eq + fmt::Debug>(
-    assignment: &[(R, R)],
-    scratch: R,
-) -> Vec<Move<R>> {
+pub fn sequentialize<R: Copy + Eq + fmt::Debug>(assignment: &[(R, R)], scratch: R) -> Vec<Move<R>> {
     // Validate.
     for (i, &(dst, src)) in assignment.iter().enumerate() {
         assert!(
@@ -73,8 +70,11 @@ pub fn sequentialize<R: Copy + Eq + fmt::Debug>(
         }
     }
 
-    let mut pending: Vec<(R, R)> =
-        assignment.iter().copied().filter(|&(d, s)| d != s).collect();
+    let mut pending: Vec<(R, R)> = assignment
+        .iter()
+        .copied()
+        .filter(|&(d, s)| d != s)
+        .collect();
     let mut out = Vec::with_capacity(pending.len() + 1);
 
     loop {
@@ -103,7 +103,10 @@ pub fn sequentialize<R: Copy + Eq + fmt::Debug>(
         // Every remaining destination is read by another pending move:
         // pure cycles. Break one by saving a destination to scratch.
         let (dst, _) = pending[0];
-        out.push(Move { dst: scratch, src: dst });
+        out.push(Move {
+            dst: scratch,
+            src: dst,
+        });
         for (_, src) in pending.iter_mut() {
             if *src == dst {
                 *src = scratch;
@@ -128,8 +131,11 @@ pub fn move_count<R: Copy + Eq + fmt::Debug>(assignment: &[(R, R)]) -> usize {
             assert!(dst != dst2, "destination {dst:?} assigned twice");
         }
     }
-    let nontrivial: Vec<(R, R)> =
-        assignment.iter().copied().filter(|&(d, s)| d != s).collect();
+    let nontrivial: Vec<(R, R)> = assignment
+        .iter()
+        .copied()
+        .filter(|&(d, s)| d != s)
+        .collect();
     let mut count = nontrivial.len();
 
     // Count cycles: a register is *in a cycle* if following the unique
@@ -194,7 +200,11 @@ mod tests {
             init.insert(r, i32::from(r) * 100);
         }
         let moves = sequentialize(assignment, scratch);
-        assert_eq!(moves.len(), move_count(assignment), "count matches for {assignment:?}");
+        assert_eq!(
+            moves.len(),
+            move_count(assignment),
+            "count matches for {assignment:?}"
+        );
         let after = apply(&moves, &init);
         for &(dst, src) in assignment {
             assert_eq!(

@@ -430,7 +430,13 @@ mod tests {
     fn constant_k_moves_grow_with_k() {
         // swap-heavy code: with k=3 a swap shuffles registers (3 moves);
         // with k=1 it touches memory instead.
-        let prog = &[Inst::Lit(1), Inst::Lit(2), Inst::Swap, Inst::Swap, Inst::Swap];
+        let prog = &[
+            Inst::Lit(1),
+            Inst::Lit(2),
+            Inst::Swap,
+            Inst::Swap,
+            Inst::Swap,
+        ];
         let mut r1 = ConstantKRegime::new(1);
         run_with(prog, &mut r1);
         let mut r3 = ConstantKRegime::new(3);
@@ -445,15 +451,23 @@ mod tests {
         // r@ free, pop refill.
         let mut simple = SimpleRegime::new();
         let mut cached = RStackRegime::new();
-        let prog = &[Inst::Lit(5), Inst::ToR, Inst::RFetch, Inst::RFetch, Inst::FromR];
+        let prog = &[
+            Inst::Lit(5),
+            Inst::ToR,
+            Inst::RFetch,
+            Inst::RFetch,
+            Inst::FromR,
+        ];
         run_with(prog, &mut simple);
         run_with(prog, &mut cached);
         assert_eq!(simple.counts.rloads, 3);
         assert_eq!(simple.counts.rstores, 1);
         // cached: >r costs 0 (register), r@ free twice, r> reads cached
         // top free but refills: 1 load.
-        assert!(cached.counts.rloads + cached.counts.rstores
-            < simple.counts.rloads + simple.counts.rstores);
+        assert!(
+            cached.counts.rloads + cached.counts.rstores
+                < simple.counts.rloads + simple.counts.rstores
+        );
     }
 
     #[test]
@@ -501,7 +515,9 @@ mod tests {
         }
         // more registers never increase memory traffic
         for w in sims.windows(2) {
-            assert!(w[1].counts.loads + w[1].counts.stores <= w[0].counts.loads + w[0].counts.stores);
+            assert!(
+                w[1].counts.loads + w[1].counts.stores <= w[0].counts.loads + w[0].counts.stores
+            );
         }
     }
 }
@@ -550,7 +566,13 @@ impl TwoStacksRegime {
                 TransitionTable::build(&Org::minimal(cap), &Policy::on_demand(cap))
             })
             .collect();
-        TwoStacksRegime { counts: Counts::new(), registers, tables, d: 0, r: 0 }
+        TwoStacksRegime {
+            counts: Counts::new(),
+            registers,
+            tables,
+            d: 0,
+            r: 0,
+        }
     }
 
     /// Number of shared registers.
@@ -558,7 +580,6 @@ impl TwoStacksRegime {
     pub fn registers(&self) -> u8 {
         self.registers
     }
-
 
     /// Run the data-stack side of one instruction through the engine's
     /// minimal-organization tables at the current capacity, evicting
@@ -675,8 +696,10 @@ mod two_stacks_tests {
             simple.counts.rloads + simple.counts.rstores
         );
         // and data traffic must not exceed the baseline either
-        assert!(shared.counts.loads + shared.counts.stores
-            <= simple.counts.loads + simple.counts.stores);
+        assert!(
+            shared.counts.loads + shared.counts.stores
+                <= simple.counts.loads + simple.counts.stores
+        );
     }
 
     #[test]
@@ -758,7 +781,10 @@ impl PrefetchRegime {
     #[must_use]
     pub fn new(registers: u8, min_items: u8) -> Self {
         assert!(registers >= 1, "at least one register");
-        assert!(min_items <= registers, "cannot prefetch past the register file");
+        assert!(
+            min_items <= registers,
+            "cannot prefetch past the register file"
+        );
         let org = Org::minimal(registers);
         PrefetchRegime {
             counts: Counts::new(),
@@ -869,7 +895,12 @@ mod prefetch_tests {
         // popping below the threshold triggers refills even before any
         // instruction needs the items
         let (od, _, pf2) = run_all(&[Inst::Add, Inst::Drop, Inst::Drop]);
-        assert!(pf2.loads > od.loads, "prefetch {} vs on-demand {}", pf2.loads, od.loads);
+        assert!(
+            pf2.loads > od.loads,
+            "prefetch {} vs on-demand {}",
+            pf2.loads,
+            od.loads
+        );
         // but later consumers then find their operands cached: underflows
         // cannot be more frequent than on demand
         assert!(pf2.underflows <= od.underflows);

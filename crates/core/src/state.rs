@@ -76,13 +76,19 @@ impl CacheState {
     /// The canonical state of depth `d`: slot `i` in register `i`.
     #[must_use]
     pub fn canonical(d: u8) -> Self {
-        CacheState { word: (0..d).map(Reg).collect(), rdepth: 0 }
+        CacheState {
+            word: (0..d).map(Reg).collect(),
+            rdepth: 0,
+        }
     }
 
     /// A state from raw register numbers, bottom-first.
     #[must_use]
     pub fn from_regs(regs: &[u8]) -> Self {
-        CacheState { word: regs.iter().copied().map(Reg).collect(), rdepth: 0 }
+        CacheState {
+            word: regs.iter().copied().map(Reg).collect(),
+            rdepth: 0,
+        }
     }
 
     /// A state from a register word, bottom-first.
@@ -214,6 +220,9 @@ mod tests {
     fn display_is_informative() {
         assert_eq!(CacheState::empty().to_string(), "[]");
         assert_eq!(CacheState::canonical(2).to_string(), "[r0 r1]");
-        assert_eq!(CacheState::canonical(1).with_rdepth(2).to_string(), "[r0]+R2");
+        assert_eq!(
+            CacheState::canonical(1).with_rdepth(2).to_string(),
+            "[r0]+R2"
+        );
     }
 }

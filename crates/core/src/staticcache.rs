@@ -28,9 +28,7 @@ use std::collections::HashMap;
 use stackcache_vm::{Cfg, EffectKind, ExecEvent, ExecObserver, Inst, Program};
 
 use crate::cost::Counts;
-use crate::engine::{
-    compute_transition, compute_transition_all, reconcile, OpSig, Policy, Trans,
-};
+use crate::engine::{compute_transition, compute_transition_all, reconcile, OpSig, Policy, Trans};
 use crate::org::Org;
 use crate::state::StateId;
 
@@ -55,7 +53,12 @@ impl StaticOptions {
     /// Canonical and overflow followup depth `c`, greedy codegen.
     #[must_use]
     pub fn with_canonical(c: u8) -> Self {
-        StaticOptions { canonical: c, overflow_depth: c, optimal: false, threaded_joins: false }
+        StaticOptions {
+            canonical: c,
+            overflow_depth: c,
+            optimal: false,
+            threaded_joins: false,
+        }
     }
 }
 
@@ -198,7 +201,10 @@ pub fn compile(program: &Program, org: &Org, opts: &StaticOptions) -> StaticProg
 
     let mut costs = vec![InstCost::default(); insts.len()];
     let mut alt: HashMap<usize, InstCost> = HashMap::new();
-    let mut stats = CompileStats { blocks: blocks.len(), ..CompileStats::default() };
+    let mut stats = CompileStats {
+        blocks: blocks.len(),
+        ..CompileStats::default()
+    };
 
     // ---- entry-state assignment (threaded joins) -------------------------
     // A block may inherit its unique predecessor's exit state if: it is not
@@ -218,9 +224,7 @@ pub fn compile(program: &Program, org: &Org, opts: &StaticOptions) -> StaticProg
             preds.entry(s).or_default().push(bi);
         }
     }
-    let leader_of = |ip: usize| -> usize {
-        blocks.partition_point(|b| b.end <= ip)
-    };
+    let leader_of = |ip: usize| -> usize { blocks.partition_point(|b| b.end <= ip) };
     let mut inherits_from: HashMap<usize, usize> = HashMap::new(); // block idx -> pred block idx
     if opts.threaded_joins {
         for (bi, b) in blocks.iter().enumerate() {
@@ -230,7 +234,9 @@ pub fn compile(program: &Program, org: &Org, opts: &StaticOptions) -> StaticProg
             }
             // call-return points get the calling-convention state anyway,
             // which equals canonical; treat them as canonical entries.
-            let Some(ps) = preds.get(&start) else { continue };
+            let Some(ps) = preds.get(&start) else {
+                continue;
+            };
             if ps.len() != 1 {
                 continue;
             }
@@ -258,8 +264,9 @@ pub fn compile(program: &Program, org: &Org, opts: &StaticOptions) -> StaticProg
         };
 
         // Build the step list.
-        let steps: Vec<(usize, StepKind)> =
-            (b.start..b.end).map(|ip| (ip, step_sig(&insts[ip]))).collect();
+        let steps: Vec<(usize, StepKind)> = (b.start..b.end)
+            .map(|ip| (ip, step_sig(&insts[ip])))
+            .collect();
 
         // Plan transitions (greedy or optimal DP).
         let last_inst = insts[b.end - 1];
@@ -270,7 +277,11 @@ pub fn compile(program: &Program, org: &Org, opts: &StaticOptions) -> StaticProg
         // A block needs a final reconcile unless it ends in halt, or its
         // unique successor inherits its exit state.
         let needs_reconcile = !matches!(last_inst, Inst::Halt) && !inherited_exit;
-        let final_target = if needs_reconcile { Some(canonical) } else { None };
+        let final_target = if needs_reconcile {
+            Some(canonical)
+        } else {
+            None
+        };
 
         let plan = if opts.optimal {
             plan_optimal(org, &policy, entry, &steps, final_target)
@@ -295,8 +306,15 @@ pub fn compile(program: &Program, org: &Org, opts: &StaticOptions) -> StaticProg
             if let StepKind::QDup = kind {
                 // Alternative cost for the zero outcome.
                 let tz = compute_transition(org, &policy, state, &OpSig::opaque(1, 1), 0);
-                debug_assert_eq!(tz.next, t.next, "?dup variants must agree on the next state");
-                let mut cz = InstCost { dispatched: true, state_in: state, ..InstCost::default() };
+                debug_assert_eq!(
+                    tz.next, t.next,
+                    "?dup variants must agree on the next state"
+                );
+                let mut cz = InstCost {
+                    dispatched: true,
+                    state_in: state,
+                    ..InstCost::default()
+                };
                 cz.add_trans(&tz);
                 alt.insert(*ip, cz);
             }
@@ -374,9 +392,17 @@ fn plan_optimal(
             };
             for t in cands {
                 let nc = c + trans_weight(&t);
-                let e = next_front.entry(t.next).or_insert(Entry { cost: u32::MAX, prev: s, trans: t });
+                let e = next_front.entry(t.next).or_insert(Entry {
+                    cost: u32::MAX,
+                    prev: s,
+                    trans: t,
+                });
                 if nc < e.cost {
-                    *e = Entry { cost: nc, prev: s, trans: t };
+                    *e = Entry {
+                        cost: nc,
+                        prev: s,
+                        trans: t,
+                    };
                 }
             }
         }
@@ -421,7 +447,10 @@ impl<'a> StaticRegime<'a> {
     /// Count executions of `prog`'s sites.
     #[must_use]
     pub fn new(prog: &'a StaticProgram) -> Self {
-        StaticRegime { counts: Counts::new(), prog }
+        StaticRegime {
+            counts: Counts::new(),
+            prog,
+        }
     }
 }
 
@@ -558,7 +587,14 @@ mod tests {
 
     #[test]
     fn qdup_variants_agree_on_state() {
-        let p = program_of(&[Inst::Lit(0), Inst::QDup, Inst::Drop, Inst::Lit(2), Inst::QDup, Inst::Add]);
+        let p = program_of(&[
+            Inst::Lit(0),
+            Inst::QDup,
+            Inst::Drop,
+            Inst::Lit(2),
+            Inst::QDup,
+            Inst::Add,
+        ]);
         let counts = count_static(&p, &org4(), &StaticOptions::with_canonical(2));
         assert_eq!(counts.insts, 7);
     }
@@ -594,11 +630,12 @@ mod tests {
                 let mut o = StaticOptions::with_canonical(c);
                 o.optimal = true;
                 let optimal = count_static(p, &org, &o);
-                let g = greedy.access_cycles(&model) as i64
-                    + 4 * (greedy.dispatches as i64);
-                let ob = optimal.access_cycles(&model) as i64
-                    + 4 * (optimal.dispatches as i64);
-                assert!(ob <= g, "optimal {ob} worse than greedy {g} at canonical {c}");
+                let g = greedy.access_cycles(&model) as i64 + 4 * (greedy.dispatches as i64);
+                let ob = optimal.access_cycles(&model) as i64 + 4 * (optimal.dispatches as i64);
+                assert!(
+                    ob <= g,
+                    "optimal {ob} worse than greedy {g} at canonical {c}"
+                );
             }
         }
     }

@@ -41,10 +41,21 @@ enum Entry {
 /// Open control structures during compilation.
 #[derive(Debug)]
 enum Ctrl {
-    If { patch: usize },
-    Begin { target: usize },
-    While { target: usize, patch: usize },
-    Do { qdo_patch: Option<usize>, target: usize, leaves: Vec<usize> },
+    If {
+        patch: usize,
+    },
+    Begin {
+        target: usize,
+    },
+    While {
+        target: usize,
+        patch: usize,
+    },
+    Do {
+        qdo_patch: Option<usize>,
+        target: usize,
+        leaves: Vec<usize>,
+    },
 }
 
 /// A compiled Forth system image: program plus initialized data space.
@@ -268,8 +279,12 @@ impl Forth {
     /// Write raw bytes into the data space (host-side input injection).
     /// Returns `false` when out of bounds.
     pub fn poke_bytes(&mut self, addr: Cell, bytes: &[u8]) -> bool {
-        let Ok(a) = usize::try_from(addr) else { return false };
-        let Some(end) = a.checked_add(bytes.len()) else { return false };
+        let Ok(a) = usize::try_from(addr) else {
+            return false;
+        };
+        let Some(end) = a.checked_add(bytes.len()) else {
+            return false;
+        };
         if end > self.machine.memory().len() {
             return false;
         }
@@ -294,8 +309,7 @@ impl Forth {
     /// Returns a [`ForthError`] on lexical, compilation or load-time
     /// execution errors.
     pub fn interpret(&mut self, src: &str) -> Result<(), ForthError> {
-        let tokens = tokenize(src)
-            .map_err(|line| self.err(line, ForthErrorKind::Unterminated))?;
+        let tokens = tokenize(src).map_err(|line| self.err(line, ForthErrorKind::Unterminated))?;
         let mut i = 0usize;
         while i < tokens.len() {
             let tok = &tokens[i];
@@ -308,7 +322,10 @@ impl Forth {
             }
         }
         if let Some((name, _)) = &self.compiling {
-            return Err(self.err(0, ForthErrorKind::UnexpectedEof(format!("definition of {name}"))));
+            return Err(self.err(
+                0,
+                ForthErrorKind::UnexpectedEof(format!("definition of {name}")),
+            ));
         }
         if !self.ctrl.is_empty() {
             return Err(self.err(0, ForthErrorKind::UnexpectedEof("control structure".into())));
@@ -333,7 +350,10 @@ impl Forth {
         b.push(Inst::Call(entry as u32));
         b.push(Inst::Halt);
         let program = b.finish().expect("compiled code has valid targets");
-        Ok(Image { program, memory: self.machine.memory().to_vec() })
+        Ok(Image {
+            program,
+            memory: self.machine.memory().to_vec(),
+        })
     }
 
     // ---- data space -----------------------------------------------------
@@ -533,9 +553,7 @@ impl Forth {
             }
             "if" | "else" | "then" | "begin" | "until" | "again" | "while" | "repeat" | "do"
             | "?do" | "loop" | "+loop" | "leave" | "exit" | "recurse" | "[char]" | "[']"
-            | ".\"" => {
-                return Err(self.err(line, ForthErrorKind::CompileOnly(word.to_string())))
-            }
+            | ".\"" => return Err(self.err(line, ForthErrorKind::CompileOnly(word.to_string()))),
             _ => {
                 if let Some(n) = parse_number(word) {
                     self.machine.push(n);
@@ -547,10 +565,9 @@ impl Forth {
                         Some(Entry::Deferred(addr)) => {
                             let xt = self.machine.load_cell(addr).unwrap_or(-1);
                             if xt < 0 {
-                                return Err(self.err(
-                                    line,
-                                    ForthErrorKind::NoSuchEntry(tok.text.clone()),
-                                ));
+                                return Err(
+                                    self.err(line, ForthErrorKind::NoSuchEntry(tok.text.clone()))
+                                );
                             }
                             self.exec_colon(xt as usize, line)?;
                         }
@@ -584,9 +601,10 @@ impl Forth {
         match word {
             ";" => {
                 if !self.ctrl.is_empty() {
-                    return Err(self.err(line, ForthErrorKind::UnexpectedEof(
-                        "control structure".into(),
-                    )));
+                    return Err(self.err(
+                        line,
+                        ForthErrorKind::UnexpectedEof("control structure".into()),
+                    ));
                 }
                 self.emit(Inst::Return);
                 let (name, entry) = self.compiling.take().expect("in compile mode");
@@ -634,7 +652,10 @@ impl Forth {
                     return Err(self.err(line, ForthErrorKind::ControlMismatch("while".into())));
                 };
                 self.emit(Inst::BranchIfZero(u32::MAX));
-                self.ctrl.push(Ctrl::While { target, patch: here });
+                self.ctrl.push(Ctrl::While {
+                    target,
+                    patch: here,
+                });
             }
             "repeat" => {
                 let Some(Ctrl::While { target, patch }) = self.ctrl.pop() else {
@@ -645,15 +666,27 @@ impl Forth {
             }
             "do" => {
                 self.emit(Inst::DoSetup);
-                self.ctrl.push(Ctrl::Do { qdo_patch: None, target: here + 1, leaves: Vec::new() });
+                self.ctrl.push(Ctrl::Do {
+                    qdo_patch: None,
+                    target: here + 1,
+                    leaves: Vec::new(),
+                });
             }
             "?do" => {
                 self.emit(Inst::QDoSetup(u32::MAX));
-                self.ctrl
-                    .push(Ctrl::Do { qdo_patch: Some(here), target: here + 1, leaves: Vec::new() });
+                self.ctrl.push(Ctrl::Do {
+                    qdo_patch: Some(here),
+                    target: here + 1,
+                    leaves: Vec::new(),
+                });
             }
             "loop" | "+loop" => {
-                let Some(Ctrl::Do { qdo_patch, target, leaves }) = self.ctrl.pop() else {
+                let Some(Ctrl::Do {
+                    qdo_patch,
+                    target,
+                    leaves,
+                }) = self.ctrl.pop()
+                else {
                     return Err(self.err(line, ForthErrorKind::ControlMismatch(word.to_string())));
                 };
                 if word == "loop" {
@@ -800,7 +833,10 @@ mod tests {
 
     #[test]
     fn definitions_compose() {
-        assert_eq!(out(": square dup * ; : cube dup square * ; : main 3 cube . ;"), "27 ");
+        assert_eq!(
+            out(": square dup * ; : cube dup square * ; : main 3 cube . ;"),
+            "27 "
+        );
     }
 
     #[test]
@@ -812,18 +848,27 @@ mod tests {
 
     #[test]
     fn begin_until() {
-        assert_eq!(out(": main 5 begin dup . 1- dup 0= until drop ;"), "5 4 3 2 1 ");
+        assert_eq!(
+            out(": main 5 begin dup . 1- dup 0= until drop ;"),
+            "5 4 3 2 1 "
+        );
     }
 
     #[test]
     fn begin_while_repeat() {
-        assert_eq!(out(": main 0 begin dup 5 < while dup . 1+ repeat drop ;"), "0 1 2 3 4 ");
+        assert_eq!(
+            out(": main 0 begin dup 5 < while dup . 1+ repeat drop ;"),
+            "0 1 2 3 4 "
+        );
     }
 
     #[test]
     fn do_loop_and_indices() {
         assert_eq!(out(": main 4 0 do i . loop ;"), "0 1 2 3 ");
-        assert_eq!(out(": main 3 1 do 2 0 do j 10 * i + . loop loop ;"), "10 11 20 21 ");
+        assert_eq!(
+            out(": main 3 1 do 2 0 do j 10 * i + . loop loop ;"),
+            "10 11 20 21 "
+        );
         assert_eq!(out(": main 10 0 do i . 3 +loop ;"), "0 3 6 9 ");
         // ?do skips an empty range
         assert_eq!(out(": main 0 0 ?do i . loop 99 . ;"), "99 ");
@@ -831,12 +876,18 @@ mod tests {
 
     #[test]
     fn leave_exits_loop() {
-        assert_eq!(out(": main 10 0 do i dup 3 = if drop leave then . loop 42 . ;"), "0 1 2 42 ");
+        assert_eq!(
+            out(": main 10 0 do i dup 3 = if drop leave then . loop 42 . ;"),
+            "0 1 2 42 "
+        );
     }
 
     #[test]
     fn exit_returns_early() {
-        assert_eq!(out(": f dup 0= if exit then 1- recurse ; : main 5 f . ;"), "0 ");
+        assert_eq!(
+            out(": f dup 0= if exit then 1- recurse ; : main 5 f . ;"),
+            "0 "
+        );
     }
 
     #[test]
@@ -889,7 +940,10 @@ mod tests {
 
     #[test]
     fn prelude_words() {
-        assert_eq!(out(": main 3 spaces [char] x emit space [char] y emit ;"), "   x y");
+        assert_eq!(
+            out(": main 3 spaces [char] x emit space [char] y emit ;"),
+            "   x y"
+        );
         assert_eq!(stack(": main 5 1 10 within 15 1 10 within ;"), vec![-1, 0]);
     }
 
@@ -1006,7 +1060,9 @@ mod defer_tests {
     #[test]
     fn poke_injects_host_data() {
         let mut forth = Forth::new();
-        forth.interpret("create buf 16 allot variable len : main buf len @ type ;").unwrap();
+        forth
+            .interpret("create buf 16 allot variable len : main buf len @ type ;")
+            .unwrap();
         let addr = forth.constant_value("buf").unwrap();
         let len_addr = forth.constant_value("len").unwrap();
         assert!(forth.poke_bytes(addr, b"hello"));

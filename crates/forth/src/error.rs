@@ -88,9 +88,15 @@ mod tests {
 
     #[test]
     fn display_includes_line() {
-        let e = ForthError { line: 7, kind: ForthErrorKind::UnknownWord("frob".into()) };
+        let e = ForthError {
+            line: 7,
+            kind: ForthErrorKind::UnknownWord("frob".into()),
+        };
         assert_eq!(e.to_string(), "line 7: unknown word `frob`");
-        let e = ForthError { line: 0, kind: ForthErrorKind::Unterminated };
+        let e = ForthError {
+            line: 0,
+            kind: ForthErrorKind::Unterminated,
+        };
         assert_eq!(e.to_string(), "unterminated string or comment");
     }
 }

@@ -103,11 +103,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, usize> {
             if !closed {
                 return Err(start_line);
             }
-            tokens.push(Token { text: word, line: start_line, string: Some(s) });
+            tokens.push(Token {
+                text: word,
+                line: start_line,
+                string: Some(s),
+            });
             continue;
         }
 
-        tokens.push(Token { text: word, line: start_line, string: None });
+        tokens.push(Token {
+            text: word,
+            line: start_line,
+            string: None,
+        });
     }
 }
 
@@ -151,7 +159,10 @@ mod tests {
 
     #[test]
     fn inline_comments() {
-        assert_eq!(words(": sq ( n -- n^2 ) dup * ;"), vec![":", "sq", "dup", "*", ";"]);
+        assert_eq!(
+            words(": sq ( n -- n^2 ) dup * ;"),
+            vec![":", "sq", "dup", "*", ";"]
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! Property-based validation of the Forth compiler: random arithmetic
+//! Randomized validation of the Forth compiler: seeded random arithmetic
 //! expression trees are rendered to Forth source, compiled, executed on
-//! the VM, and compared against a direct Rust evaluation.
+//! the VM, and compared against a direct Rust evaluation. The generator
+//! is driven by the workspace's deterministic [`Rng`], so every run tests
+//! the same corpus and a failure message pins the reproducing seed.
 
-use proptest::prelude::*;
 use stackcache_forth::compile_source;
+use stackcache_vm::Rng;
 
 /// A tiny expression AST with Forth-representable operations.
 #[derive(Debug, Clone)]
@@ -63,67 +65,112 @@ impl Expr {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (-10_000i64..10_000).prop_map(Expr::Num);
-    leaf.prop_recursive(6, 64, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Min(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Max(a.into(), b.into())),
-            inner.clone().prop_map(|a| Expr::Neg(a.into())),
-            inner.prop_map(|a| Expr::Abs(a.into())),
-        ]
-    })
+/// A random expression tree of bounded depth.
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.range(0, 4) == 0 {
+        return Expr::Num(rng.range_i64(-10_000, 10_000));
+    }
+    match rng.range(0, 7) {
+        0 => {
+            let (l, r) = (gen_expr(rng, depth - 1), gen_expr(rng, depth - 1));
+            Expr::Add(l.into(), r.into())
+        }
+        1 => {
+            let (l, r) = (gen_expr(rng, depth - 1), gen_expr(rng, depth - 1));
+            Expr::Sub(l.into(), r.into())
+        }
+        2 => {
+            let (l, r) = (gen_expr(rng, depth - 1), gen_expr(rng, depth - 1));
+            Expr::Mul(l.into(), r.into())
+        }
+        3 => {
+            let (l, r) = (gen_expr(rng, depth - 1), gen_expr(rng, depth - 1));
+            Expr::Min(l.into(), r.into())
+        }
+        4 => {
+            let (l, r) = (gen_expr(rng, depth - 1), gen_expr(rng, depth - 1));
+            Expr::Max(l.into(), r.into())
+        }
+        5 => Expr::Neg(gen_expr(rng, depth - 1).into()),
+        _ => Expr::Abs(gen_expr(rng, depth - 1).into()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn forth_evaluates_expressions_like_rust(expr in arb_expr()) {
+#[test]
+fn forth_evaluates_expressions_like_rust() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0xE1_0000 + seed);
+        let expr = gen_expr(&mut rng, 6);
         let mut body = String::new();
         expr.to_forth(&mut body);
         let src = format!(": main {body} ;");
-        let image = compile_source(&src, "main").expect("expression compiles");
-        let machine = image.run(10_000_000).expect("expression runs");
-        prop_assert_eq!(machine.stack(), &[expr.eval()], "source: {}", src);
-    }
-
-    #[test]
-    fn load_time_and_run_time_agree(expr in arb_expr()) {
-        // evaluating at load time (interpret mode) must give the same
-        // value as compiling into a word and running on the VM
-        let mut body = String::new();
-        expr.to_forth(&mut body);
-        let mut forth = stackcache_forth::Forth::new();
-        forth.interpret(&body).expect("interprets");
-        let loadtime = *forth.machine().stack().last().expect("value");
-        prop_assert_eq!(loadtime, expr.eval());
+        let image = compile_source(&src, "main")
+            .unwrap_or_else(|e| panic!("seed {seed}: expression fails to compile: {e}\n{src}"));
+        let machine = image
+            .run(10_000_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            machine.stack(),
+            &[expr.eval()],
+            "seed {seed}, source: {src}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn load_time_and_run_time_agree() {
+    for seed in 0..64u64 {
+        // evaluating at load time (interpret mode) must give the same
+        // value as compiling into a word and running on the VM
+        let mut rng = Rng::new(0xE2_0000 + seed);
+        let expr = gen_expr(&mut rng, 6);
+        let mut body = String::new();
+        expr.to_forth(&mut body);
+        let mut forth = stackcache_forth::Forth::new();
+        forth
+            .interpret(&body)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let loadtime = *forth.machine().stack().last().expect("value");
+        assert_eq!(loadtime, expr.eval(), "seed {seed}");
+    }
+}
 
-    /// The lexer never panics and never loses non-comment words.
-    #[test]
-    fn lexer_is_total(src in "[ -~\n\t]{0,200}") {
+/// The lexer never panics and never loses non-comment words.
+#[test]
+fn lexer_is_total() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(0xE3_0000 + seed);
+        let len = rng.range(0, 201);
+        let src: String = (0..len)
+            .map(|_| match rng.range(0, 20) {
+                0 => '\n',
+                1 => '\t',
+                _ => char::from(rng.range(0x20, 0x7F) as u8),
+            })
+            .collect();
         match stackcache_forth::lexer::tokenize(&src) {
             Ok(tokens) => {
                 for t in tokens {
-                    prop_assert!(!t.text.is_empty());
-                    prop_assert!(t.line >= 1);
+                    assert!(!t.text.is_empty(), "seed {seed}: {src:?}");
+                    assert!(t.line >= 1, "seed {seed}: {src:?}");
                 }
             }
-            Err(line) => prop_assert!(line >= 1),
+            Err(line) => assert!(line >= 1, "seed {seed}: {src:?}"),
         }
     }
+}
 
-    /// Number parsing agrees with Rust's on plain decimals.
-    #[test]
-    fn parse_number_decimal(n in any::<i64>()) {
-        prop_assert_eq!(stackcache_forth::lexer::parse_number(&n.to_string()), Some(n));
+/// Number parsing agrees with Rust's on plain decimals.
+#[test]
+fn parse_number_decimal() {
+    let mut rng = Rng::new(0xE4_0000);
+    for n in (0..256)
+        .map(|_| rng.next_i64())
+        .chain([0, 1, -1, i64::MAX, i64::MIN])
+    {
+        assert_eq!(
+            stackcache_forth::lexer::parse_number(&n.to_string()),
+            Some(n)
+        );
     }
 }

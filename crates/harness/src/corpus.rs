@@ -1,0 +1,84 @@
+//! The file-based regression corpus: programs that once exposed a
+//! divergence, stored as `vm::asm` text under `tests/corpus/` at the
+//! workspace root and replayed deterministically before any fuzzing.
+
+use std::fs;
+use std::path::PathBuf;
+
+use stackcache_vm::{asm, Program};
+
+/// The workspace-level corpus directory (`tests/corpus/`).
+#[must_use]
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// All corpus programs, sorted by file name for deterministic replay
+/// order, with their file names.
+///
+/// # Panics
+///
+/// Panics if a corpus file exists but fails to parse — a broken corpus
+/// entry must never be silently skipped.
+#[must_use]
+pub fn load_all() -> Vec<(String, Program)> {
+    let dir = corpus_dir();
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut names: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "asm"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("corpus file {}: {e}", path.display()));
+            let program = asm::assemble(&text)
+                .unwrap_or_else(|e| panic!("corpus file {}: {e:?}", path.display()));
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                program,
+            )
+        })
+        .collect()
+}
+
+/// Replay every corpus program through the full oracle; returns how many
+/// programs were replayed.
+///
+/// # Panics
+///
+/// Panics with a first-divergence report if any corpus program diverges.
+pub fn replay_all(fuel: u64) -> usize {
+    let programs = load_all();
+    for (name, p) in &programs {
+        eprintln!("corpus: replaying {name}");
+        crate::check::assert_agreement(p, fuel);
+    }
+    programs.len()
+}
+
+/// Save a diverging program into the corpus (best effort), named by a
+/// stable hash of its disassembly so repeated failures do not pile up.
+#[must_use]
+pub fn save_failure(program: &Program) -> Option<PathBuf> {
+    let text = asm::disassemble(program);
+    let path = corpus_dir().join(format!("failure-{:016x}.asm", fnv1a(text.as_bytes())));
+    fs::create_dir_all(corpus_dir()).ok()?;
+    fs::write(&path, &text).ok()?;
+    Some(path)
+}
+
+/// FNV-1a 64-bit, for stable corpus file names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,388 @@
+//! Shared program generators, extracted from the seed's integration tests
+//! so every test (and the corpus replayer) fuzzes the same input spaces.
+//!
+//! Two families:
+//!
+//! * **choice-vector generators** ([`straight_line`], [`peephole_fodder`],
+//!   [`regime_fodder`]) — pure functions from a recorded `(u8, i64)`
+//!   choice vector to a stack-safe program, so recorded counterexamples
+//!   replay byte-for-byte;
+//! * **structured generators** ([`Frag`], [`build_structured`],
+//!   [`random_frags`]) — nested conditionals and bounded loops that
+//!   exercise block-boundary reconciliation and cache state carry-over
+//!   across control flow, which straight-line fuzzing cannot reach.
+//!
+//! Randomized variants are driven by the workspace's deterministic
+//! [`Rng`], so every failure pins a reproducing seed.
+
+use stackcache_vm::{Inst, Program, ProgramBuilder, Rng};
+
+/// Instructions whose only requirement is a minimum stack depth, tagged
+/// with (pops, pushes).
+const POOL: &[(Inst, u8, u8)] = &[
+    (Inst::Add, 2, 1),
+    (Inst::Sub, 2, 1),
+    (Inst::Mul, 2, 1),
+    (Inst::And, 2, 1),
+    (Inst::Or, 2, 1),
+    (Inst::Xor, 2, 1),
+    (Inst::Min, 2, 1),
+    (Inst::Max, 2, 1),
+    (Inst::Eq, 2, 1),
+    (Inst::Lt, 2, 1),
+    (Inst::ULt, 2, 1),
+    (Inst::Negate, 1, 1),
+    (Inst::Invert, 1, 1),
+    (Inst::Abs, 1, 1),
+    (Inst::OnePlus, 1, 1),
+    (Inst::OneMinus, 1, 1),
+    (Inst::TwoStar, 1, 1),
+    (Inst::TwoSlash, 1, 1),
+    (Inst::ZeroEq, 1, 1),
+    (Inst::ZeroLt, 1, 1),
+    (Inst::Dup, 1, 2),
+    (Inst::Drop, 1, 0),
+    (Inst::Swap, 2, 2),
+    (Inst::Over, 2, 3),
+    (Inst::Rot, 3, 3),
+    (Inst::MinusRot, 3, 3),
+    (Inst::Nip, 2, 1),
+    (Inst::Tuck, 2, 3),
+    (Inst::TwoDup, 2, 4),
+    (Inst::TwoDrop, 2, 0),
+    (Inst::TwoSwap, 4, 4),
+    (Inst::TwoOver, 4, 6),
+    (Inst::QDup, 1, 2),
+    (Inst::Depth, 0, 1),
+    (Inst::Emit, 1, 0),
+    (Inst::Dot, 1, 0),
+];
+
+/// Build a stack-safe straight-line program over the full instruction
+/// pool from a choice vector (the `interpreter_agreement` input space).
+#[must_use]
+pub fn straight_line(choices: &[(u8, i64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut depth: u32 = 0;
+    for &(c, lit) in choices {
+        // every third slot seeds a literal to keep the stack fed
+        if c % 3 == 0 || depth == 0 {
+            b.push(Inst::Lit(lit));
+            depth += 1;
+            continue;
+        }
+        let (inst, pops, pushes) = POOL[c as usize % POOL.len()];
+        if u32::from(pops) <= depth {
+            b.push(inst);
+            depth = depth - u32::from(pops) + u32::from(pushes);
+            // QDup may push one less at runtime; track conservatively
+            if matches!(inst, Inst::QDup) {
+                depth -= 1;
+            }
+        } else {
+            b.push(Inst::Lit(lit));
+            depth += 1;
+        }
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("straight-line program is valid")
+}
+
+/// Build a stack-safe straight-line program biased toward peephole fodder
+/// (the `peephole_equivalence` input space).
+#[must_use]
+pub fn peephole_fodder(choices: &[(u8, i64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut depth: u32 = 0;
+    for &(c, lit) in choices {
+        match c % 12 {
+            0 | 1 => {
+                b.push(Inst::Lit(lit));
+                depth += 1;
+            }
+            2 if depth >= 2 => {
+                b.push(Inst::Add);
+                depth -= 1;
+            }
+            3 if depth >= 2 => {
+                b.push(Inst::Sub);
+                depth -= 1;
+            }
+            4 if depth >= 1 => {
+                b.push(Inst::Drop);
+                depth -= 1;
+            }
+            5 if depth >= 2 => {
+                b.push(Inst::Swap);
+            }
+            6 if depth >= 1 => {
+                b.push(Inst::Dup);
+                depth += 1;
+            }
+            7 if depth >= 1 => {
+                b.push(Inst::Negate);
+            }
+            8 if depth >= 1 => {
+                b.push(Inst::Invert);
+            }
+            9 if depth >= 2 => {
+                b.push(Inst::Mul);
+                depth -= 1;
+            }
+            10 if depth >= 1 => {
+                b.push(Inst::ZeroEq);
+            }
+            _ => {
+                b.push(Inst::Lit(1));
+                depth += 1;
+            }
+        }
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("valid")
+}
+
+/// Build a stack-safe program of pushes, pops, shuffles and arithmetic
+/// (the `regime_invariants` input space).
+#[must_use]
+pub fn regime_fodder(choices: &[(u8, i64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut depth: u32 = 0;
+    for &(c, lit) in choices {
+        match c % 7 {
+            0 | 1 => {
+                b.push(Inst::Lit(lit));
+                depth += 1;
+            }
+            2 if depth >= 2 => {
+                b.push(Inst::Add);
+                depth -= 1;
+            }
+            3 if depth >= 1 => {
+                b.push(Inst::Drop);
+                depth -= 1;
+            }
+            4 if depth >= 2 => {
+                b.push(Inst::Swap);
+            }
+            5 if depth >= 1 => {
+                b.push(Inst::Dup);
+                depth += 1;
+            }
+            6 if depth >= 3 => {
+                b.push(Inst::Rot);
+            }
+            _ => {
+                b.push(Inst::Lit(lit));
+                depth += 1;
+            }
+        }
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("valid")
+}
+
+/// A random choice vector of `len` entries with literals in `(-bound, bound)`.
+#[must_use]
+pub fn random_choices(rng: &mut Rng, len: usize, bound: i64) -> Vec<(u8, i64)> {
+    (0..len)
+        .map(|_| (rng.below(256) as u8, rng.range_i64(-bound, bound)))
+        .collect()
+}
+
+/// A structured program fragment. Every fragment preserves the stack
+/// depth contract encoded in its generation, so programs never underflow.
+#[derive(Debug, Clone)]
+pub enum Frag {
+    /// depth-neutral ops applied to one pushed scratch value
+    Ops(Vec<u8>),
+    /// push a value
+    Push(i64),
+    /// pop a value (guarded by generation-time depth tracking)
+    PopInto,
+    /// if/else: both arms are depth-balanced
+    IfElse(Vec<Frag>, Vec<Frag>),
+    /// a bounded countdown loop whose body is depth-balanced
+    Loop(u8, Vec<Frag>),
+}
+
+/// Emit a fragment. `depth` tracks the guaranteed stack depth and `floor`
+/// the region a fragment may not pop into (protecting enclosing loop
+/// counters); fragments that would underflow degrade to pushes. Each
+/// `Frag::Ops`/arm/body is emitted depth-balanced.
+fn emit(b: &mut ProgramBuilder, frag: &Frag, depth: &mut u32, floor: u32) {
+    match frag {
+        Frag::Push(n) => {
+            b.push(Inst::Lit(*n));
+            *depth += 1;
+        }
+        Frag::PopInto => {
+            if *depth > floor {
+                b.push(Inst::Drop);
+                *depth -= 1;
+            } else {
+                b.push(Inst::Lit(7));
+                *depth += 1;
+            }
+        }
+        Frag::Ops(codes) => {
+            // operate on a scratch value so the net effect is +1
+            b.push(Inst::Lit(5));
+            *depth += 1;
+            for c in codes {
+                match c % 8 {
+                    0 => {
+                        b.push(Inst::OnePlus);
+                    }
+                    1 => {
+                        b.push(Inst::Negate);
+                    }
+                    2 => {
+                        // dup then fold back: depth-neutral
+                        b.push(Inst::Dup);
+                        b.push(Inst::Xor);
+                    }
+                    3 => {
+                        b.push(Inst::Invert);
+                    }
+                    4 => {
+                        b.push(Inst::Dup);
+                        b.push(Inst::Mul);
+                    }
+                    5 => {
+                        b.push(Inst::Dup);
+                        b.push(Inst::Swap);
+                        b.push(Inst::Sub);
+                    }
+                    6 => {
+                        b.push(Inst::ZeroEq);
+                    }
+                    _ => {
+                        b.push(Inst::Abs);
+                    }
+                }
+            }
+        }
+        Frag::IfElse(then_arm, else_arm) => {
+            // condition from the scratch value parity (or a literal)
+            if *depth > 0 {
+                b.push(Inst::Dup);
+                b.push(Inst::Lit(1));
+                b.push(Inst::And);
+            } else {
+                b.push(Inst::Lit(1));
+            }
+            let else_l = b.new_label();
+            let end_l = b.new_label();
+            b.branch_if_zero(else_l);
+            let mut d_then = *depth;
+            for f in then_arm {
+                emit(b, f, &mut d_then, floor);
+            }
+            balance(b, &mut d_then, *depth);
+            b.branch(end_l);
+            b.bind(else_l).unwrap();
+            let mut d_else = *depth;
+            for f in else_arm {
+                emit(b, f, &mut d_else, floor);
+            }
+            balance(b, &mut d_else, *depth);
+            b.bind(end_l).unwrap();
+        }
+        Frag::Loop(n, body) => {
+            b.push(Inst::Lit(i64::from(*n)));
+            *depth += 1;
+            let top = b.new_label();
+            b.bind(top).unwrap();
+            let entry_depth = *depth;
+            let mut d = *depth;
+            for f in body {
+                // the loop counter (and everything below) is off limits
+                emit(b, f, &mut d, entry_depth);
+            }
+            balance(b, &mut d, entry_depth);
+            b.push(Inst::OneMinus);
+            b.push(Inst::Dup);
+            b.push(Inst::ZeroGt);
+            let out = b.new_label();
+            b.branch_if_zero(out);
+            b.branch(top);
+            b.bind(out).unwrap();
+            b.push(Inst::Drop);
+            *depth -= 1;
+        }
+    }
+}
+
+/// Pad or drop until the depth matches `target`.
+fn balance(b: &mut ProgramBuilder, depth: &mut u32, target: u32) {
+    while *depth < target {
+        b.push(Inst::Lit(0));
+        *depth += 1;
+    }
+    while *depth > target {
+        b.push(Inst::Drop);
+        *depth -= 1;
+    }
+}
+
+/// Build a complete program from fragments: emit each in sequence, fold
+/// the remaining stack into one value, print it, halt.
+#[must_use]
+pub fn build_structured(frags: &[Frag]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut depth = 0u32;
+    for f in frags {
+        emit(&mut b, f, &mut depth, 0);
+    }
+    // fold everything into one value so the comparison is meaningful
+    while depth > 1 {
+        b.push(Inst::Xor);
+        depth -= 1;
+    }
+    if depth == 1 {
+        b.push(Inst::Dot);
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("generated program is valid")
+}
+
+/// A random fragment of bounded nesting depth, mirroring the seed's
+/// proptest distribution (leaves: ops/push/pop; branches: if-else and
+/// bounded loops with up to three children each).
+fn random_frag(rng: &mut Rng, nesting: u32) -> Frag {
+    if nesting == 0 || rng.chance(0.4) {
+        return match rng.range(0, 3) {
+            0 => Frag::Ops((0..rng.range(1, 6)).map(|_| rng.below(256) as u8).collect()),
+            1 => Frag::Push(rng.range_i64(-100, 100)),
+            _ => Frag::PopInto,
+        };
+    }
+    let children = |rng: &mut Rng, n: u32| -> Vec<Frag> {
+        (0..rng.range(0, 4))
+            .map(|_| random_frag(rng, n - 1))
+            .collect()
+    };
+    if rng.chance(0.5) {
+        let a = children(rng, nesting);
+        let b = children(rng, nesting);
+        Frag::IfElse(a, b)
+    } else {
+        let n = rng.range(1, 4) as u8;
+        Frag::Loop(n, children(rng, nesting))
+    }
+}
+
+/// A random fragment list (1..=max fragments, nesting depth up to 3).
+#[must_use]
+pub fn random_frags(rng: &mut Rng, max: usize) -> Vec<Frag> {
+    (0..rng.range(1, max + 1))
+        .map(|_| random_frag(rng, 3))
+        .collect()
+}
+
+/// A complete random structured program.
+#[must_use]
+pub fn structured_program(rng: &mut Rng) -> Program {
+    build_structured(&random_frags(rng, 8))
+}

@@ -1,0 +1,49 @@
+//! Differential-testing oracle for the stack-caching reproduction.
+//!
+//! One [`Program`](stackcache_vm::Program), every engine: the harness runs
+//! a program through the reference interpreter, the baseline and
+//! top-of-stack interpreters, the dynamically stack-cached interpreter,
+//! and the statically cached interpreter at every canonical depth — each
+//! plain and peephole-optimized — and asserts they all produce the same
+//! [`Outcome`]. In the same pass it replays the transition tables of the
+//! Fig. 18 cache organizations in lockstep with the reference execution
+//! (checking that every transition conserves cached items) and validates
+//! the static-caching compiler's per-site cost accounting under greedy,
+//! optimal, and threaded-joins code generation.
+//!
+//! Disagreement produces a *first-divergence report* ([`Divergence`]):
+//! which pair of configurations disagreed, at which executed instruction,
+//! in which cache state, and on which observable field.
+//!
+//! The crate also hosts the shared program generators ([`gen`]) the
+//! integration tests fuzz with, and the file-based regression corpus
+//! ([`corpus`]): programs that once diverged are stored as `vm::asm` text
+//! under `tests/corpus/` and replayed deterministically before fuzzing.
+//!
+//! ```
+//! use stackcache_harness::{assert_agreement, gen};
+//! use stackcache_vm::Rng;
+//!
+//! let mut rng = Rng::new(42);
+//! let program = gen::structured_program(&mut rng);
+//! let agreement = assert_agreement(&program, 1_000_000);
+//! assert!(agreement.configs >= 12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod check;
+pub mod corpus;
+pub mod engines;
+pub mod gen;
+pub mod lockstep;
+pub mod outcome;
+
+pub use check::{
+    assert_agreement, check_org_accounting, cross_validate, cross_validate_on, oracle_orgs,
+    oracle_static_options, Agreement, Divergence,
+};
+pub use engines::{all_engines, Engine, MEMORY_BYTES};
+pub use lockstep::{Fault, OrgCheck};
+pub use outcome::{Outcome, Trap};

@@ -1,0 +1,156 @@
+//! Lockstep dynamic-cache accounting: replay an organization's transition
+//! table alongside the reference execution and check that every transition
+//! is self-consistent.
+//!
+//! The checked invariants are exactly what a correct transition must
+//! satisfy, whatever the organization:
+//!
+//! * **conservation** — the cached depth after a transition equals the
+//!   cached depth before, plus items loaded from memory, minus items
+//!   stored to memory, minus operands popped, plus results pushed:
+//!   `depth(next) = depth(cur) + loads − stores − pops + pushes`;
+//! * **no phantom items** — the cache never claims to hold more items
+//!   than the data stack actually contains.
+//!
+//! An injected [`Fault`] (e.g. an off-by-one in a transition's successor
+//! state) breaks conservation at the faulted instruction and is reported
+//! as a first divergence with the instruction ordinal, `ip`, and the cache
+//! state in effect — demonstrating the oracle actually has teeth.
+
+use stackcache_core::{sig_slot_for_event, Org, Policy, StateId, TransitionTable};
+use stackcache_vm::{ExecEvent, ExecObserver};
+
+use crate::check::Divergence;
+
+/// An injected transition corruption for oracle self-tests: at the
+/// `at`-th executed instruction (1-based), the successor state is replaced
+/// by the canonical state one item deeper (or shallower, at the deep end)
+/// — an off-by-one in the transition computation.
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    /// 1-based ordinal of the executed instruction to corrupt.
+    pub at: u64,
+}
+
+/// Lockstep accounting checker for one organization.
+#[derive(Debug, Clone)]
+pub struct OrgCheck {
+    name: String,
+    org: Org,
+    table: TransitionTable,
+    state: StateId,
+    /// True data-stack depth, tracked from resolved effects.
+    true_depth: i64,
+    ordinal: u64,
+    fault: Option<Fault>,
+    /// The first accounting violation, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl OrgCheck {
+    /// A checker for `org` with the given overflow-followup depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `org` lacks an empty canonical state.
+    #[must_use]
+    pub fn new(org: &Org, overflow_depth: u8, fault: Option<Fault>) -> Self {
+        let policy = Policy::on_demand(overflow_depth);
+        let table = TransitionTable::build(org, &policy);
+        let state = org.canonical_of_depth(0).expect("empty state exists");
+        OrgCheck {
+            name: format!("dyncache-accounting[{}/{overflow_depth}]", org.name()),
+            org: org.clone(),
+            table,
+            state,
+            true_depth: 0,
+            ordinal: 0,
+            fault,
+            divergence: None,
+        }
+    }
+
+    /// The configuration name used in divergence reports.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Set the data-stack depth the observed machine starts with (the
+    /// cache itself always starts empty). Defaults to zero.
+    pub fn set_initial_depth(&mut self, depth: usize) {
+        self.true_depth = i64::try_from(depth).unwrap_or(i64::MAX);
+    }
+
+    fn diverge(&mut self, ev: &ExecEvent, detail: String) {
+        self.divergence = Some(Divergence {
+            engines: ("reference".to_string(), self.name.clone()),
+            index: Some(self.ordinal),
+            ip: Some(ev.ip),
+            cache_state: Some(format!("{:?}", self.org.state(self.state).word())),
+            detail,
+        });
+    }
+
+    /// The off-by-one fault: the canonical state one deeper than `next`,
+    /// or one shallower when no deeper state exists.
+    fn corrupt(&self, next: StateId) -> StateId {
+        let d = self.org.state(next).depth();
+        self.org
+            .canonical_of_depth(d + 1)
+            .or_else(|| {
+                d.checked_sub(1)
+                    .and_then(|s| self.org.canonical_of_depth(s))
+            })
+            .unwrap_or(next)
+    }
+}
+
+impl ExecObserver for OrgCheck {
+    fn event(&mut self, ev: &ExecEvent) {
+        if self.divergence.is_some() {
+            return;
+        }
+        self.ordinal += 1;
+        let slot = sig_slot_for_event(ev);
+        let t = *self.table.get(self.state, slot);
+        let mut next = t.next;
+        if let Some(f) = self.fault {
+            if self.ordinal == f.at {
+                next = self.corrupt(next);
+            }
+        }
+
+        let e = &ev.effect;
+        let c_in = i64::from(self.org.state(self.state).depth());
+        let c_out = i64::from(self.org.state(next).depth());
+        let expected = c_in + i64::from(t.loads) - i64::from(t.stores) - i64::from(e.pops)
+            + i64::from(e.pushes);
+        self.true_depth += i64::from(e.pushes) - i64::from(e.pops);
+
+        if c_out != expected {
+            let inst = ev.inst;
+            self.diverge(
+                ev,
+                format!(
+                    "cache conservation violated on {inst:?}: next depth {c_out} != \
+                     {c_in} + {} loads - {} stores - {} pops + {} pushes = {expected}",
+                    t.loads, t.stores, e.pops, e.pushes
+                ),
+            );
+            return;
+        }
+        if c_out > self.true_depth {
+            let inst = ev.inst;
+            self.diverge(
+                ev,
+                format!(
+                    "cache claims {c_out} items after {inst:?} but the stack holds only {}",
+                    self.true_depth
+                ),
+            );
+            return;
+        }
+        self.state = next;
+    }
+}

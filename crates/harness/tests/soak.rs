@@ -1,0 +1,50 @@
+//! Long-running oracle soak (run explicitly: `cargo test --release
+//! -p stackcache-harness -- --ignored`). Sweeps thousands of seeds
+//! through every engine configuration; any divergence is saved to the
+//! corpus and reported.
+
+use stackcache_harness::{cross_validate, gen};
+use stackcache_vm::Rng;
+
+const FUEL: u64 = 1_000_000;
+
+#[test]
+#[ignore = "soak: minutes of fuzzing, run explicitly"]
+fn soak_structured() {
+    for seed in 0..2_000u64 {
+        let mut rng = Rng::new(0x50AC_0000 + seed);
+        let p = gen::structured_program(&mut rng);
+        if let Err(d) = cross_validate(&p, FUEL) {
+            let _ = stackcache_harness::corpus::save_failure(&p);
+            panic!("structured seed {seed}: {d}");
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of fuzzing, run explicitly"]
+fn soak_straight_line() {
+    for seed in 0..4_000u64 {
+        let mut rng = Rng::new(0x50AC_1000 + seed);
+        let choices = gen::random_choices(&mut rng, 200, 100);
+        let p = gen::straight_line(&choices);
+        if let Err(d) = cross_validate(&p, FUEL) {
+            let _ = stackcache_harness::corpus::save_failure(&p);
+            panic!("straight-line seed {seed}: {d}");
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of fuzzing, run explicitly"]
+fn soak_peephole_fodder() {
+    for seed in 0..4_000u64 {
+        let mut rng = Rng::new(0x50AC_2000 + seed);
+        let choices = gen::random_choices(&mut rng, 250, 64);
+        let p = gen::peephole_fodder(&choices);
+        if let Err(d) = cross_validate(&p, FUEL) {
+            let _ = stackcache_harness::corpus::save_failure(&p);
+            panic!("peephole seed {seed}: {d}");
+        }
+    }
+}

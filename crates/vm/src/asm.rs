@@ -123,7 +123,10 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     let mut labels: HashMap<String, crate::program::Label> = HashMap::new();
     let mut defined: HashMap<String, usize> = HashMap::new();
     let mut label_of = |b: &mut ProgramBuilder, name: &str| {
-        labels.entry(name.to_string()).or_insert_with(|| b.new_label()).to_owned()
+        labels
+            .entry(name.to_string())
+            .or_insert_with(|| b.new_label())
+            .to_owned()
     };
     let mut first_use: HashMap<String, usize> = HashMap::new();
 
@@ -193,7 +196,10 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             }
             b.push(*inst);
         } else {
-            return Err(err(line_no, AsmErrorKind::UnknownMnemonic(mnemonic.to_string())));
+            return Err(err(
+                line_no,
+                AsmErrorKind::UnknownMnemonic(mnemonic.to_string()),
+            ));
         }
     }
 

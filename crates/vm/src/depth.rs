@@ -51,7 +51,10 @@ impl DepthAnalysis {
     /// `true` if no word is [`WordEffect::Inconsistent`].
     #[must_use]
     pub fn is_consistent(&self) -> bool {
-        !self.words.values().any(|e| matches!(e, WordEffect::Inconsistent))
+        !self
+            .words
+            .values()
+            .any(|e| matches!(e, WordEffect::Inconsistent))
     }
 
     /// The effect of the word starting at `entry`.
@@ -109,15 +112,13 @@ pub fn analyze(program: &Program) -> DepthAnalysis {
         }
     }
 
-    DepthAnalysis { words: effects.into_iter().collect() }
+    DepthAnalysis {
+        words: effects.into_iter().collect(),
+    }
 }
 
 /// Walk one word with a depth-propagating worklist.
-fn analyze_word(
-    insts: &[Inst],
-    entry: usize,
-    effects: &HashMap<usize, WordEffect>,
-) -> WordEffect {
+fn analyze_word(insts: &[Inst], entry: usize, effects: &HashMap<usize, WordEffect>) -> WordEffect {
     // relative depth at each visited instruction
     let mut depth_at: HashMap<usize, i32> = HashMap::new();
     let mut work: Vec<(usize, i32)> = vec![(entry, 0)];
@@ -140,7 +141,11 @@ fn analyze_word(
             match inst {
                 Inst::Execute => return WordEffect::Unknown,
                 Inst::Call(t) => {
-                    match effects.get(&(t as usize)).copied().unwrap_or(WordEffect::Unknown) {
+                    match effects
+                        .get(&(t as usize))
+                        .copied()
+                        .unwrap_or(WordEffect::Unknown)
+                    {
                         WordEffect::Net { net, consumes } => {
                             min_depth = min_depth.min(depth - consumes as i32);
                             depth += net;
@@ -186,8 +191,7 @@ fn analyze_word(
                 other => match inst_net(&other) {
                     Some(net) => {
                         // consumption happens before production
-                        min_depth =
-                            min_depth.min(depth - i32::from(other.effect().pops));
+                        min_depth = min_depth.min(depth - i32::from(other.effect().pops));
                         depth += net;
                         ip += 1;
                     }
@@ -202,9 +206,15 @@ fn analyze_word(
     match returns.len() {
         0 => {
             // a word that only halts (the boot stub): treat as net 0
-            WordEffect::Net { net: 0, consumes: min_depth.unsigned_abs() }
+            WordEffect::Net {
+                net: 0,
+                consumes: min_depth.unsigned_abs(),
+            }
         }
-        1 => WordEffect::Net { net: returns[0], consumes: min_depth.unsigned_abs() },
+        1 => WordEffect::Net {
+            net: returns[0],
+            consumes: min_depth.unsigned_abs(),
+        },
         _ => WordEffect::Inconsistent,
     }
 }
@@ -236,9 +246,21 @@ mod tests {
         let a = analyze(&p);
         assert!(a.is_consistent());
         // square: ( n -- n^2 ): net 0, reads one caller cell
-        assert_eq!(a.effect_of(w), Some(WordEffect::Net { net: 0, consumes: 1 }));
+        assert_eq!(
+            a.effect_of(w),
+            Some(WordEffect::Net {
+                net: 0,
+                consumes: 1
+            })
+        );
         // main consumes nothing from "its caller"
-        assert_eq!(a.effect_of(p.entry()), Some(WordEffect::Net { net: 0, consumes: 0 }));
+        assert_eq!(
+            a.effect_of(p.entry()),
+            Some(WordEffect::Net {
+                net: 0,
+                consumes: 0
+            })
+        );
     }
 
     #[test]
@@ -265,7 +287,13 @@ mod tests {
         let p = b.finish().unwrap();
         let a = analyze(&p);
         assert!(a.is_consistent());
-        assert_eq!(a.effect_of(entry), Some(WordEffect::Net { net: 0, consumes: 1 }));
+        assert_eq!(
+            a.effect_of(entry),
+            Some(WordEffect::Net {
+                net: 0,
+                consumes: 1
+            })
+        );
     }
 
     #[test]
@@ -323,9 +351,27 @@ mod tests {
         let p = b.finish().unwrap();
         let a = analyze(&p);
         assert!(a.is_consistent());
-        assert_eq!(a.effect_of(ea), Some(WordEffect::Net { net: 1, consumes: 0 }));
-        assert_eq!(a.effect_of(eb), Some(WordEffect::Net { net: 1, consumes: 0 }));
-        assert_eq!(a.effect_of(ec), Some(WordEffect::Net { net: 0, consumes: 0 }));
+        assert_eq!(
+            a.effect_of(ea),
+            Some(WordEffect::Net {
+                net: 1,
+                consumes: 0
+            })
+        );
+        assert_eq!(
+            a.effect_of(eb),
+            Some(WordEffect::Net {
+                net: 1,
+                consumes: 0
+            })
+        );
+        assert_eq!(
+            a.effect_of(ec),
+            Some(WordEffect::Net {
+                net: 0,
+                consumes: 0
+            })
+        );
     }
 
     #[test]
@@ -373,6 +419,12 @@ mod tests {
         let p = b.finish().unwrap();
         let a = analyze(&p);
         assert!(a.is_consistent());
-        assert_eq!(a.effect_of(entry), Some(WordEffect::Net { net: 1, consumes: 0 }));
+        assert_eq!(
+            a.effect_of(entry),
+            Some(WordEffect::Net {
+                net: 1,
+                consumes: 0
+            })
+        );
     }
 }

@@ -262,7 +262,14 @@ static TABLE: [OpFn; 10] = [
 pub fn run_token(code: &[MicroInst]) -> i64 {
     let ops: Vec<u8> = code.iter().map(|i| i.opcode()).collect();
     let args: Vec<i64> = code.iter().map(|i| i.arg()).collect();
-    let mut s = FnState { ops: &ops, args: &args, stack: [0; STACK], sp: 0, ip: 0, halted: false };
+    let mut s = FnState {
+        ops: &ops,
+        args: &args,
+        stack: [0; STACK],
+        sp: 0,
+        ip: 0,
+        halted: false,
+    };
     while !s.halted {
         let op = s.ops[s.ip];
         s.ip += 1;
@@ -286,8 +293,14 @@ pub fn run_token(code: &[MicroInst]) -> i64 {
 pub fn run_direct(code: &[MicroInst]) -> i64 {
     let funcs: Vec<OpFn> = code.iter().map(|i| TABLE[i.opcode() as usize]).collect();
     let args: Vec<i64> = code.iter().map(|i| i.arg()).collect();
-    let mut s =
-        FnState { ops: &[], args: &args, stack: [0; STACK], sp: 0, ip: 0, halted: false };
+    let mut s = FnState {
+        ops: &[],
+        args: &args,
+        stack: [0; STACK],
+        sp: 0,
+        ip: 0,
+        halted: false,
+    };
     while !s.halted {
         let f = funcs[s.ip];
         s.ip += 1;

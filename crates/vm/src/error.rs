@@ -98,7 +98,10 @@ impl fmt::Display for VmError {
                 write!(f, "return stack overflow at instruction {ip}")
             }
             VmError::MemoryOutOfBounds { ip, addr } => {
-                write!(f, "memory access at address {addr} out of bounds at instruction {ip}")
+                write!(
+                    f,
+                    "memory access at address {addr} out of bounds at instruction {ip}"
+                )
             }
             VmError::DivisionByZero { ip } => write!(f, "division by zero at instruction {ip}"),
             VmError::PickOutOfRange { ip, index } => {

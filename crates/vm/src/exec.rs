@@ -44,7 +44,15 @@ pub struct ResolvedEffect {
 
 impl ResolvedEffect {
     fn plain(pops: u8, pushes: u8, kind: EffectKind) -> Self {
-        ResolvedEffect { pops, pushes, rloads: 0, rstores: 0, rnet: 0, kind, taken: false }
+        ResolvedEffect {
+            pops,
+            pushes,
+            rloads: 0,
+            rstores: 0,
+            rnet: 0,
+            kind,
+            taken: false,
+        }
     }
 }
 
@@ -191,7 +199,6 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
                 push!($f(a));
             }};
         }
-
 
         let static_eff = inst.effect();
         let mut effect = ResolvedEffect::plain(static_eff.pops, static_eff.pushes, static_eff.kind);
@@ -348,7 +355,10 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
                 let u = pop!();
                 let depth = machine.stack.len() as i64;
                 if u < 0 || u >= depth {
-                    return Err(VmError::PickOutOfRange { ip: cur_ip, index: u });
+                    return Err(VmError::PickOutOfRange {
+                        ip: cur_ip,
+                        index: u,
+                    });
                 }
                 let v = machine.stack[(depth - 1 - u) as usize];
                 push!(v);
@@ -484,8 +494,15 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
                 effect.taken = true;
             }
             Inst::Halt => {
-                observer.event(&ExecEvent { ip: cur_ip, inst, effect });
-                return Ok(Outcome { executed, ip: cur_ip });
+                observer.event(&ExecEvent {
+                    ip: cur_ip,
+                    inst,
+                    effect,
+                });
+                return Ok(Outcome {
+                    executed,
+                    ip: cur_ip,
+                });
             }
             Inst::Nop => {}
 
@@ -590,13 +607,21 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
                 let len = pop!();
                 let addr = pop!();
                 if len < 0 {
-                    return Err(VmError::MemoryOutOfBounds { ip: cur_ip, addr: len });
+                    return Err(VmError::MemoryOutOfBounds {
+                        ip: cur_ip,
+                        addr: len,
+                    });
                 }
                 for i in 0..len {
                     let a = addr.wrapping_add(i);
                     match machine.load_byte(a) {
                         Some(b) => machine.out.push(b as u8),
-                        None => return Err(VmError::MemoryOutOfBounds { ip: cur_ip, addr: a }),
+                        None => {
+                            return Err(VmError::MemoryOutOfBounds {
+                                ip: cur_ip,
+                                addr: a,
+                            })
+                        }
                     }
                 }
             }
@@ -605,7 +630,11 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             }
         }
 
-        observer.event(&ExecEvent { ip: cur_ip, inst, effect });
+        observer.event(&ExecEvent {
+            ip: cur_ip,
+            inst,
+            effect,
+        });
     }
 }
 
@@ -636,29 +665,83 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Add]), vec![5]);
-        assert_eq!(stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Sub]), vec![-1]);
-        assert_eq!(stack_after(&[Inst::Lit(4), Inst::Lit(3), Inst::Mul]), vec![12]);
-        assert_eq!(stack_after(&[Inst::Lit(7), Inst::Lit(2), Inst::Div]), vec![3]);
+        assert_eq!(
+            stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Add]),
+            vec![5]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Sub]),
+            vec![-1]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(4), Inst::Lit(3), Inst::Mul]),
+            vec![12]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(7), Inst::Lit(2), Inst::Div]),
+            vec![3]
+        );
         // floored division
-        assert_eq!(stack_after(&[Inst::Lit(-7), Inst::Lit(2), Inst::Div]), vec![-4]);
-        assert_eq!(stack_after(&[Inst::Lit(-7), Inst::Lit(2), Inst::Mod]), vec![1]);
-        assert_eq!(stack_after(&[Inst::Lit(6), Inst::Lit(3), Inst::And]), vec![2]);
-        assert_eq!(stack_after(&[Inst::Lit(6), Inst::Lit(3), Inst::Or]), vec![7]);
-        assert_eq!(stack_after(&[Inst::Lit(6), Inst::Lit(3), Inst::Xor]), vec![5]);
-        assert_eq!(stack_after(&[Inst::Lit(1), Inst::Lit(4), Inst::Lshift]), vec![16]);
-        assert_eq!(stack_after(&[Inst::Lit(-1), Inst::Lit(63), Inst::Rshift]), vec![1]);
-        assert_eq!(stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Min]), vec![2]);
-        assert_eq!(stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Max]), vec![3]);
+        assert_eq!(
+            stack_after(&[Inst::Lit(-7), Inst::Lit(2), Inst::Div]),
+            vec![-4]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(-7), Inst::Lit(2), Inst::Mod]),
+            vec![1]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(6), Inst::Lit(3), Inst::And]),
+            vec![2]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(6), Inst::Lit(3), Inst::Or]),
+            vec![7]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(6), Inst::Lit(3), Inst::Xor]),
+            vec![5]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(1), Inst::Lit(4), Inst::Lshift]),
+            vec![16]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(-1), Inst::Lit(63), Inst::Rshift]),
+            vec![1]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Min]),
+            vec![2]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Max]),
+            vec![3]
+        );
     }
 
     #[test]
     fn comparisons_use_forth_flags() {
-        assert_eq!(stack_after(&[Inst::Lit(2), Inst::Lit(2), Inst::Eq]), vec![TRUE]);
-        assert_eq!(stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Eq]), vec![FALSE]);
-        assert_eq!(stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Lt]), vec![TRUE]);
-        assert_eq!(stack_after(&[Inst::Lit(-1), Inst::Lit(1), Inst::ULt]), vec![FALSE]);
-        assert_eq!(stack_after(&[Inst::Lit(-1), Inst::Lit(1), Inst::UGt]), vec![TRUE]);
+        assert_eq!(
+            stack_after(&[Inst::Lit(2), Inst::Lit(2), Inst::Eq]),
+            vec![TRUE]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Eq]),
+            vec![FALSE]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(2), Inst::Lit(3), Inst::Lt]),
+            vec![TRUE]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(-1), Inst::Lit(1), Inst::ULt]),
+            vec![FALSE]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(-1), Inst::Lit(1), Inst::UGt]),
+            vec![TRUE]
+        );
         assert_eq!(stack_after(&[Inst::Lit(0), Inst::ZeroEq]), vec![TRUE]);
         assert_eq!(stack_after(&[Inst::Lit(-5), Inst::ZeroLt]), vec![TRUE]);
     }
@@ -680,9 +763,18 @@ mod tests {
     #[test]
     fn shuffles() {
         assert_eq!(stack_after(&[Inst::Lit(1), Inst::Dup]), vec![1, 1]);
-        assert_eq!(stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Drop]), vec![1]);
-        assert_eq!(stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Swap]), vec![2, 1]);
-        assert_eq!(stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Over]), vec![1, 2, 1]);
+        assert_eq!(
+            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Drop]),
+            vec![1]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Swap]),
+            vec![2, 1]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Over]),
+            vec![1, 2, 1]
+        );
         assert_eq!(
             stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Lit(3), Inst::Rot]),
             vec![2, 3, 1]
@@ -691,16 +783,40 @@ mod tests {
             stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Lit(3), Inst::MinusRot]),
             vec![3, 1, 2]
         );
-        assert_eq!(stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Nip]), vec![2]);
-        assert_eq!(stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Tuck]), vec![2, 1, 2]);
-        assert_eq!(stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::TwoDup]), vec![1, 2, 1, 2]);
-        assert_eq!(stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::TwoDrop]), vec![]);
         assert_eq!(
-            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Lit(3), Inst::Lit(4), Inst::TwoSwap]),
+            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Nip]),
+            vec![2]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Tuck]),
+            vec![2, 1, 2]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::TwoDup]),
+            vec![1, 2, 1, 2]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::TwoDrop]),
+            vec![]
+        );
+        assert_eq!(
+            stack_after(&[
+                Inst::Lit(1),
+                Inst::Lit(2),
+                Inst::Lit(3),
+                Inst::Lit(4),
+                Inst::TwoSwap
+            ]),
             vec![3, 4, 1, 2]
         );
         assert_eq!(
-            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::Lit(3), Inst::Lit(4), Inst::TwoOver]),
+            stack_after(&[
+                Inst::Lit(1),
+                Inst::Lit(2),
+                Inst::Lit(3),
+                Inst::Lit(4),
+                Inst::TwoOver
+            ]),
             vec![1, 2, 3, 4, 1, 2]
         );
         assert_eq!(stack_after(&[Inst::Lit(7), Inst::QDup]), vec![7, 7]);
@@ -710,10 +826,19 @@ mod tests {
     #[test]
     fn pick_and_depth() {
         assert_eq!(
-            stack_after(&[Inst::Lit(10), Inst::Lit(20), Inst::Lit(30), Inst::Lit(2), Inst::Pick]),
+            stack_after(&[
+                Inst::Lit(10),
+                Inst::Lit(20),
+                Inst::Lit(30),
+                Inst::Lit(2),
+                Inst::Pick
+            ]),
             vec![10, 20, 30, 10]
         );
-        assert_eq!(stack_after(&[Inst::Lit(10), Inst::Lit(20), Inst::Depth]), vec![10, 20, 2]);
+        assert_eq!(
+            stack_after(&[Inst::Lit(10), Inst::Lit(20), Inst::Depth]),
+            vec![10, 20, 2]
+        );
     }
 
     #[test]
@@ -726,14 +851,26 @@ mod tests {
 
     #[test]
     fn return_stack_words() {
-        assert_eq!(stack_after(&[Inst::Lit(7), Inst::ToR, Inst::FromR]), vec![7]);
-        assert_eq!(stack_after(&[Inst::Lit(7), Inst::ToR, Inst::RFetch, Inst::FromR]), vec![7, 7]);
+        assert_eq!(
+            stack_after(&[Inst::Lit(7), Inst::ToR, Inst::FromR]),
+            vec![7]
+        );
+        assert_eq!(
+            stack_after(&[Inst::Lit(7), Inst::ToR, Inst::RFetch, Inst::FromR]),
+            vec![7, 7]
+        );
         assert_eq!(
             stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::TwoToR, Inst::TwoFromR]),
             vec![1, 2]
         );
         assert_eq!(
-            stack_after(&[Inst::Lit(1), Inst::Lit(2), Inst::TwoToR, Inst::TwoRFetch, Inst::TwoFromR]),
+            stack_after(&[
+                Inst::Lit(1),
+                Inst::Lit(2),
+                Inst::TwoToR,
+                Inst::TwoRFetch,
+                Inst::TwoFromR
+            ]),
             vec![1, 2, 1, 2]
         );
     }
@@ -776,7 +913,10 @@ mod tests {
     fn division_by_zero_traps() {
         let p = program_of(&[Inst::Lit(1), Inst::Lit(0), Inst::Div]);
         let mut m = Machine::with_memory(64);
-        assert_eq!(run(&p, &mut m, 1000).unwrap_err(), VmError::DivisionByZero { ip: 2 });
+        assert_eq!(
+            run(&p, &mut m, 1000).unwrap_err(),
+            VmError::DivisionByZero { ip: 2 }
+        );
     }
 
     #[test]
@@ -988,18 +1128,27 @@ mod tests {
         b.branch(top);
         let p = b.finish().unwrap();
         let mut m = Machine::with_memory(64);
-        assert!(matches!(run(&p, &mut m, 100).unwrap_err(), VmError::FuelExhausted { .. }));
+        assert!(matches!(
+            run(&p, &mut m, 100).unwrap_err(),
+            VmError::FuelExhausted { .. }
+        ));
     }
 
     #[test]
     fn underflow_traps() {
         let p = program_of(&[Inst::Add]);
         let mut m = Machine::with_memory(64);
-        assert_eq!(run(&p, &mut m, 1000).unwrap_err(), VmError::StackUnderflow { ip: 0 });
+        assert_eq!(
+            run(&p, &mut m, 1000).unwrap_err(),
+            VmError::StackUnderflow { ip: 0 }
+        );
 
         let p = program_of(&[Inst::FromR]);
         let mut m = Machine::with_memory(64);
-        assert_eq!(run(&p, &mut m, 1000).unwrap_err(), VmError::ReturnStackUnderflow { ip: 0 });
+        assert_eq!(
+            run(&p, &mut m, 1000).unwrap_err(),
+            VmError::ReturnStackUnderflow { ip: 0 }
+        );
     }
 
     #[test]
@@ -1017,7 +1166,10 @@ mod tests {
         assert_eq!(obs.0.len(), 5); // 4 + halt
         assert_eq!(obs.0[1].effect.kind, EffectKind::Shuffle(perm::QDUP_ZERO));
         assert_eq!(obs.0[1].effect.pushes, 1);
-        assert_eq!(obs.0[3].effect.kind, EffectKind::Shuffle(perm::QDUP_NONZERO));
+        assert_eq!(
+            obs.0[3].effect.kind,
+            EffectKind::Shuffle(perm::QDUP_NONZERO)
+        );
         assert_eq!(obs.0[3].effect.pushes, 2);
     }
 
@@ -1058,6 +1210,9 @@ mod tests {
         let p = b.finish().unwrap();
         let mut m = Machine::with_memory(64);
         m.stack_limit = 100;
-        assert!(matches!(run(&p, &mut m, 10_000).unwrap_err(), VmError::StackOverflow { .. }));
+        assert!(matches!(
+            run(&p, &mut m, 10_000).unwrap_err(),
+            VmError::StackOverflow { .. }
+        ));
     }
 }

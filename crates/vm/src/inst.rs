@@ -295,7 +295,13 @@ pub struct Effect {
 
 impl Effect {
     const fn new(pops: u8, pushes: u8, rpops: u8, rpushes: u8, kind: EffectKind) -> Self {
-        Effect { pops, pushes, rpops, rpushes, kind }
+        Effect {
+            pops,
+            pushes,
+            rpops,
+            rpushes,
+            kind,
+        }
     }
 
     /// Net change of the data-stack depth.
@@ -348,14 +354,40 @@ impl Inst {
         match self {
             Inst::Lit(_) => Effect::new(0, 1, 0, 0, Normal),
 
-            Inst::Add | Inst::Sub | Inst::Mul | Inst::Div | Inst::Mod | Inst::And
-            | Inst::Or | Inst::Xor | Inst::Lshift | Inst::Rshift | Inst::Min | Inst::Max
-            | Inst::Eq | Inst::Ne | Inst::Lt | Inst::Gt | Inst::Le | Inst::Ge
-            | Inst::ULt | Inst::UGt => Effect::new(2, 1, 0, 0, Normal),
+            Inst::Add
+            | Inst::Sub
+            | Inst::Mul
+            | Inst::Div
+            | Inst::Mod
+            | Inst::And
+            | Inst::Or
+            | Inst::Xor
+            | Inst::Lshift
+            | Inst::Rshift
+            | Inst::Min
+            | Inst::Max
+            | Inst::Eq
+            | Inst::Ne
+            | Inst::Lt
+            | Inst::Gt
+            | Inst::Le
+            | Inst::Ge
+            | Inst::ULt
+            | Inst::UGt => Effect::new(2, 1, 0, 0, Normal),
 
-            Inst::Negate | Inst::Invert | Inst::Abs | Inst::OnePlus | Inst::OneMinus
-            | Inst::TwoStar | Inst::TwoSlash | Inst::ZeroEq | Inst::ZeroNe
-            | Inst::ZeroLt | Inst::ZeroGt | Inst::CellPlus | Inst::Cells
+            Inst::Negate
+            | Inst::Invert
+            | Inst::Abs
+            | Inst::OnePlus
+            | Inst::OneMinus
+            | Inst::TwoStar
+            | Inst::TwoSlash
+            | Inst::ZeroEq
+            | Inst::ZeroNe
+            | Inst::ZeroLt
+            | Inst::ZeroGt
+            | Inst::CellPlus
+            | Inst::Cells
             | Inst::CharPlus => Effect::new(1, 1, 0, 0, Normal),
 
             Inst::Dup => Effect::new(1, 2, 0, 0, Shuffle(perm::DUP)),
@@ -746,7 +778,10 @@ mod tests {
         let mut seen = [false; Inst::OPCODE_COUNT];
         for inst in Inst::all() {
             let op = inst.opcode() as usize;
-            assert!(op < Inst::OPCODE_COUNT, "opcode {op} out of range for {inst}");
+            assert!(
+                op < Inst::OPCODE_COUNT,
+                "opcode {op} out of range for {inst}"
+            );
             assert!(!seen[op], "duplicate opcode {op} for {inst}");
             seen[op] = true;
         }

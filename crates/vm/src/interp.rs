@@ -167,8 +167,10 @@ pub fn run_baseline(
             Inst::And => binop!(cur, |a: Cell, b: Cell| a & b),
             Inst::Or => binop!(cur, |a: Cell, b: Cell| a | b),
             Inst::Xor => binop!(cur, |a: Cell, b: Cell| a ^ b),
-            Inst::Lshift => binop!(cur, |a: Cell, b: Cell| ((a as u64) << (b as u64 & 63)) as Cell),
-            Inst::Rshift => binop!(cur, |a: Cell, b: Cell| ((a as u64) >> (b as u64 & 63)) as Cell),
+            Inst::Lshift => binop!(cur, |a: Cell, b: Cell| ((a as u64) << (b as u64 & 63))
+                as Cell),
+            Inst::Rshift => binop!(cur, |a: Cell, b: Cell| ((a as u64) >> (b as u64 & 63))
+                as Cell),
             Inst::Min => binop!(cur, |a: Cell, b: Cell| a.min(b)),
             Inst::Max => binop!(cur, |a: Cell, b: Cell| a.max(b)),
             Inst::Eq => binop!(cur, |a, b| flag(a == b)),
@@ -636,8 +638,10 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
             Inst::And => binop!(cur, |a: Cell, b: Cell| a & b),
             Inst::Or => binop!(cur, |a: Cell, b: Cell| a | b),
             Inst::Xor => binop!(cur, |a: Cell, b: Cell| a ^ b),
-            Inst::Lshift => binop!(cur, |a: Cell, b: Cell| ((a as u64) << (b as u64 & 63)) as Cell),
-            Inst::Rshift => binop!(cur, |a: Cell, b: Cell| ((a as u64) >> (b as u64 & 63)) as Cell),
+            Inst::Lshift => binop!(cur, |a: Cell, b: Cell| ((a as u64) << (b as u64 & 63))
+                as Cell),
+            Inst::Rshift => binop!(cur, |a: Cell, b: Cell| ((a as u64) >> (b as u64 & 63))
+                as Cell),
             Inst::Min => binop!(cur, |a: Cell, b: Cell| a.min(b)),
             Inst::Max => binop!(cur, |a: Cell, b: Cell| a.max(b)),
             Inst::Eq => binop!(cur, |a, b| flag(a == b)),
@@ -757,7 +761,11 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
                 if u < 0 || u as usize >= depth {
                     return Err(VmError::PickOutOfRange { ip: cur, index: u });
                 }
-                let v = if u == 0 { tos } else { buf[depth - 1 - u as usize] };
+                let v = if u == 0 {
+                    tos
+                } else {
+                    buf[depth - 1 - u as usize]
+                };
                 push!(cur, v);
             }
             Inst::Depth => {

@@ -42,6 +42,7 @@ pub mod interp;
 mod machine;
 pub mod peephole;
 mod program;
+pub mod rng;
 mod verify;
 
 pub use error::VmError;
@@ -49,4 +50,5 @@ pub use exec::{ExecEvent, ExecObserver, Outcome, ResolvedEffect};
 pub use inst::{perm, Cell, Effect, EffectKind, Inst, CELL_BYTES, FALSE, TRUE};
 pub use machine::{Machine, DEFAULT_MEMORY, DEFAULT_RSTACK_LIMIT, DEFAULT_STACK_LIMIT};
 pub use program::{program_of, BuildError, Label, Program, ProgramBuilder};
+pub use rng::Rng;
 pub use verify::{verify, Block, Cfg, VerifyError};

@@ -167,14 +167,20 @@ impl Machine {
         let a = usize::try_from(addr).ok()?;
         let end = a.checked_add(CELL_BYTES)?;
         let bytes = self.mem.get(a..end)?;
-        Some(Cell::from_le_bytes(bytes.try_into().expect("slice length is CELL_BYTES")))
+        Some(Cell::from_le_bytes(
+            bytes.try_into().expect("slice length is CELL_BYTES"),
+        ))
     }
 
     /// Write the cell at byte address `addr`. Returns `false` when out of
     /// bounds.
     pub fn store_cell(&mut self, addr: i64, x: Cell) -> bool {
-        let Ok(a) = usize::try_from(addr) else { return false };
-        let Some(end) = a.checked_add(CELL_BYTES) else { return false };
+        let Ok(a) = usize::try_from(addr) else {
+            return false;
+        };
+        let Some(end) = a.checked_add(CELL_BYTES) else {
+            return false;
+        };
         match self.mem.get_mut(a..end) {
             Some(slot) => {
                 slot.copy_from_slice(&x.to_le_bytes());
@@ -194,7 +200,9 @@ impl Machine {
     /// Write the low byte of `x` at `addr`. Returns `false` when out of
     /// bounds.
     pub fn store_byte(&mut self, addr: i64, x: Cell) -> bool {
-        let Ok(a) = usize::try_from(addr) else { return false };
+        let Ok(a) = usize::try_from(addr) else {
+            return false;
+        };
         match self.mem.get_mut(a) {
             Some(slot) => {
                 *slot = x as u8;

@@ -343,7 +343,7 @@ mod tests {
         b.bind(top).unwrap();
         b.push(Inst::OneMinus);
         b.push(Inst::Dup);
-        b.branch_if_zero(top); // loops until the counter is nonzero... 
+        b.branch_if_zero(top); // loops until the counter is nonzero...
         b.push(Inst::Dot);
         b.push(Inst::Halt);
         let p = b.finish().unwrap();

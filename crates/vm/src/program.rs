@@ -150,7 +150,10 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::UnboundLabel { label, ip } => {
-                write!(f, "label {label:?} referenced at instruction {ip} was never bound")
+                write!(
+                    f,
+                    "label {label:?} referenced at instruction {ip} was never bound"
+                )
             }
             BuildError::DuplicateBind { label } => write!(f, "label {label:?} bound twice"),
             BuildError::InvalidEntry { entry } => write!(f, "entry point {entry} out of range"),
@@ -304,10 +307,12 @@ impl ProgramBuilder {
         }
         for (ip, label) in &self.fixups {
             let Some(pos) = self.bound[label.0] else {
-                return Err(BuildError::UnboundLabel { label: *label, ip: *ip });
+                return Err(BuildError::UnboundLabel {
+                    label: *label,
+                    ip: *ip,
+                });
             };
-            let target =
-                u32::try_from(pos).map_err(|_| BuildError::TooLong)?;
+            let target = u32::try_from(pos).map_err(|_| BuildError::TooLong)?;
             self.insts[*ip] = self.insts[*ip].with_target(target);
         }
         // Validate all targets, including explicitly provided ones.
@@ -321,7 +326,11 @@ impl ProgramBuilder {
         if self.entry >= self.insts.len() && !(self.entry == 0 && self.insts.is_empty()) {
             return Err(BuildError::InvalidEntry { entry: self.entry });
         }
-        Ok(Program { insts: self.insts, entry: self.entry, names: self.names })
+        Ok(Program {
+            insts: self.insts,
+            entry: self.entry,
+            names: self.names,
+        })
     }
 }
 
@@ -385,7 +394,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push(Inst::Branch(10));
         b.push(Inst::Halt);
-        assert!(matches!(b.finish(), Err(BuildError::InvalidTarget { ip: 0, target: 10 })));
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::InvalidTarget { ip: 0, target: 10 })
+        ));
     }
 
     #[test]
@@ -393,7 +405,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push(Inst::Halt);
         b.set_entry(5);
-        assert!(matches!(b.finish(), Err(BuildError::InvalidEntry { entry: 5 })));
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::InvalidEntry { entry: 5 })
+        ));
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "branch target {target} at instruction {ip} out of range")
             }
             VerifyError::FallsOffEnd => {
-                write!(f, "last instruction does not end a basic block; execution can fall off the end")
+                write!(
+                    f,
+                    "last instruction does not end a basic block; execution can fall off the end"
+                )
             }
         }
     }
@@ -74,7 +77,9 @@ pub fn verify(program: &Program) -> Result<(), VerifyError> {
         return Err(VerifyError::Empty);
     }
     if program.entry() >= insts.len() {
-        return Err(VerifyError::BadEntry { entry: program.entry() });
+        return Err(VerifyError::BadEntry {
+            entry: program.entry(),
+        });
     }
     for (ip, inst) in insts.iter().enumerate() {
         if let Some(t) = inst.target() {
@@ -161,7 +166,12 @@ impl Cfg {
                         }
                     }
                 }
-                Block { start, end, successors, call_target }
+                Block {
+                    start,
+                    end,
+                    successors,
+                    call_target,
+                }
             })
             .collect();
         Cfg { blocks }
@@ -176,9 +186,7 @@ impl Cfg {
     /// The block containing instruction index `ip`, if any.
     #[must_use]
     pub fn block_of(&self, ip: usize) -> Option<&Block> {
-        let idx = self
-            .blocks
-            .partition_point(|b| b.end <= ip);
+        let idx = self.blocks.partition_point(|b| b.end <= ip);
         self.blocks.get(idx).filter(|b| b.start <= ip && ip < b.end)
     }
 

@@ -28,10 +28,8 @@ mod randomwalk;
 
 pub use randomwalk::{random_walk_program, RandomWalkConfig};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use stackcache_forth::{Forth, Image};
-use stackcache_vm::{exec, Cell, ExecObserver, Machine, Outcome, VmError};
+use stackcache_vm::{exec, Cell, ExecObserver, Machine, Outcome, Rng, VmError};
 
 /// Workload input size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,7 +121,9 @@ fn build(name: &'static str, source: &str, inject: impl FnOnce(&mut Forth)) -> W
 
 fn poke_input(forth: &mut Forth, text: &[u8]) {
     let src = forth.constant_value("src").expect("workload defines src");
-    let len = forth.constant_value("src-len").expect("workload defines src-len");
+    let len = forth
+        .constant_value("src-len")
+        .expect("workload defines src-len");
     assert!(forth.poke_bytes(src, text), "input fits the src buffer");
     assert!(forth.poke_cell(len, text.len() as Cell));
 }
@@ -137,24 +137,24 @@ fn poke_input(forth: &mut Forth, text: &[u8]) {
 #[must_use]
 pub fn compile_workload(scale: Scale) -> Workload {
     const VOCAB: &[&str] = &[
-        "dup", "drop", "swap", "over", "rot", "+", "-", "*", "/", "@", "!", "if", "then",
-        "else", "begin", "until", "emit", ".",
+        "dup", "drop", "swap", "over", "rot", "+", "-", "*", "/", "@", "!", "if", "then", "else",
+        "begin", "until", "emit", ".",
     ];
-    let mut rng = StdRng::seed_from_u64(0x5EED_C0FF_EE01);
+    let mut rng = Rng::new(0x5EED_C0FF_EE01);
     let lines = 90 * scale.factor();
     let mut text = String::new();
     for i in 0..lines {
         text.push_str(": w");
         text.push_str(&i.to_string());
         text.push(' ');
-        let tokens = rng.gen_range(4..10);
+        let tokens = rng.range(4, 10);
         for _ in 0..tokens {
-            match rng.gen_range(0..10) {
+            match rng.range(0, 10) {
                 0..=6 => {
-                    text.push_str(VOCAB[rng.gen_range(0..VOCAB.len())]);
+                    text.push_str(VOCAB[rng.range(0, VOCAB.len())]);
                 }
                 7 | 8 => {
-                    text.push_str(&rng.gen_range(0..1000).to_string());
+                    text.push_str(&rng.range(0, 1000).to_string());
                 }
                 _ => text.push_str("zzz"),
             }
@@ -176,14 +176,14 @@ pub fn compile_workload(scale: Scale) -> Workload {
 /// Panics if the embedded Forth source fails to build (a bug).
 #[must_use]
 pub fn gray_workload(scale: Scale) -> Workload {
-    fn gen_expr(rng: &mut StdRng, depth: u32, out: &mut String) {
-        if depth == 0 || rng.gen_range(0..10) < 3 {
-            out.push_str(&rng.gen_range(1..100).to_string());
+    fn gen_expr(rng: &mut Rng, depth: u32, out: &mut String) {
+        if depth == 0 || rng.range(0, 10) < 3 {
+            out.push_str(&rng.range(1, 100).to_string());
             return;
         }
         out.push('(');
         gen_expr(rng, depth - 1, out);
-        out.push(match rng.gen_range(0..3) {
+        out.push(match rng.range(0, 3) {
             0 => '+',
             1 => '-',
             _ => '*',
@@ -191,7 +191,7 @@ pub fn gray_workload(scale: Scale) -> Workload {
         gen_expr(rng, depth - 1, out);
         out.push(')');
     }
-    let mut rng = StdRng::seed_from_u64(0x5EED_C0FF_EE02);
+    let mut rng = Rng::new(0x5EED_C0FF_EE02);
     let exprs = 28 * scale.factor();
     let mut text = String::new();
     for _ in 0..exprs {
@@ -211,19 +211,21 @@ pub fn gray_workload(scale: Scale) -> Workload {
 /// Panics if the embedded Forth source fails to build (a bug).
 #[must_use]
 pub fn prims2x_workload(scale: Scale) -> Workload {
-    const SYLLABLES: &[&str] = &["add", "sub", "fetch", "store", "br", "lit", "du", "pi", "xo"];
-    let mut rng = StdRng::seed_from_u64(0x5EED_C0FF_EE03);
+    const SYLLABLES: &[&str] = &[
+        "add", "sub", "fetch", "store", "br", "lit", "du", "pi", "xo",
+    ];
+    let mut rng = Rng::new(0x5EED_C0FF_EE03);
     let prims = 110 * scale.factor();
     let mut text = String::new();
     for _ in 0..prims {
-        let syl = rng.gen_range(1..4);
+        let syl = rng.range(1, 4);
         for _ in 0..syl {
-            text.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+            text.push_str(SYLLABLES[rng.range(0, SYLLABLES.len())]);
         }
         text.push(' ');
-        text.push_str(&rng.gen_range(0..5).to_string());
+        text.push_str(&rng.range(0, 5).to_string());
         text.push(' ');
-        text.push_str(&rng.gen_range(0..4).to_string());
+        text.push_str(&rng.range(0, 4).to_string());
         text.push('\n');
     }
     build("prims2x", include_str!("programs/prims2x.fs"), |forth| {
@@ -239,13 +241,17 @@ pub fn prims2x_workload(scale: Scale) -> Workload {
 /// Panics if the embedded Forth source fails to build (a bug).
 #[must_use]
 pub fn cross_workload(scale: Scale) -> Workload {
-    let mut rng = StdRng::seed_from_u64(0x5EED_C0FF_EE04);
+    let mut rng = Rng::new(0x5EED_C0FF_EE04);
     let items = 500 * scale.factor();
     build("cross", include_str!("programs/cross.fs"), |forth| {
-        let src = forth.constant_value("imgsrc").expect("cross defines imgsrc");
-        let n = forth.constant_value("n-items").expect("cross defines n-items");
+        let src = forth
+            .constant_value("imgsrc")
+            .expect("cross defines imgsrc");
+        let n = forth
+            .constant_value("n-items")
+            .expect("cross defines n-items");
         for i in 0..items {
-            let v: i64 = rng.gen();
+            let v: i64 = rng.next_i64();
             assert!(forth.poke_cell(src + (i as Cell) * 8, v));
         }
         assert!(forth.poke_cell(n, items as Cell));
@@ -264,17 +270,32 @@ mod tests {
     fn workloads_build_verify_and_run() {
         for w in all_workloads(Scale::Small) {
             verify(&w.image.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let (m, out) = w.run_reference().unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            assert!(out.executed > 10_000, "{}: only {} instructions", w.name, out.executed);
+            let (m, out) = w
+                .run_reference()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(
+                out.executed > 10_000,
+                "{}: only {} instructions",
+                w.name,
+                out.executed
+            );
             assert!(!m.output().is_empty(), "{}: no output", w.name);
-            assert!(m.stack().is_empty(), "{}: stack not empty: {:?}", w.name, m.stack());
+            assert!(
+                m.stack().is_empty(),
+                "{}: stack not empty: {:?}",
+                w.name,
+                m.stack()
+            );
             assert!(m.rstack().is_empty(), "{}: rstack not empty", w.name);
         }
     }
 
     #[test]
     fn workloads_are_deterministic() {
-        for (a, b) in all_workloads(Scale::Small).into_iter().zip(all_workloads(Scale::Small)) {
+        for (a, b) in all_workloads(Scale::Small)
+            .into_iter()
+            .zip(all_workloads(Scale::Small))
+        {
             let (ma, _) = a.run_reference().unwrap();
             let (mb, _) = b.run_reference().unwrap();
             assert_eq!(ma.output(), mb.output(), "{}", a.name);
@@ -316,7 +337,10 @@ mod tests {
         let mut r = SimpleRegime::new();
         w.run_with_observer(&mut r).unwrap();
         let calls_and_returns = 2.0 * r.counts.calls as f64 / r.counts.insts as f64;
-        assert!(calls_and_returns > 0.15, "gray calls+returns per instruction = {calls_and_returns}");
+        assert!(
+            calls_and_returns > 0.15,
+            "gray calls+returns per instruction = {calls_and_returns}"
+        );
     }
 
     #[test]
@@ -351,7 +375,10 @@ mod tests {
             assert!(analysis.is_consistent(), "{}", w.name);
             assert_eq!(
                 analysis.effect_of(w.image.program.entry()),
-                Some(WordEffect::Net { net: 0, consumes: 0 }),
+                Some(WordEffect::Net {
+                    net: 0,
+                    consumes: 0
+                }),
                 "{}",
                 w.name
             );
@@ -361,7 +388,10 @@ mod tests {
         // the analysis correctly flags that word and its callers.
         let w = compile_workload(Scale::Small);
         let analysis = analyze(&w.image.program);
-        assert!(!analysis.is_consistent(), "number? is variable-arity by design");
+        assert!(
+            !analysis.is_consistent(),
+            "number? is variable-arity by design"
+        );
         // gray goes through `defer`red execution tokens: unknowable.
         let w = gray_workload(Scale::Small);
         let analysis = analyze(&w.image.program);

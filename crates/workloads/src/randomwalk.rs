@@ -8,9 +8,7 @@
 //! data-stack depth performs that random walk, so the same instrumentation
 //! pipeline can be run on model traces and on real workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use stackcache_vm::{Inst, Program, ProgramBuilder};
+use stackcache_vm::{Inst, Program, ProgramBuilder, Rng};
 
 /// Configuration of a random-walk trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,7 +23,11 @@ pub struct RandomWalkConfig {
 
 impl Default for RandomWalkConfig {
     fn default() -> Self {
-        RandomWalkConfig { steps: 100_000, push_probability: 0.5, seed: 0x4157_4B4C }
+        RandomWalkConfig {
+            steps: 100_000,
+            push_probability: 0.5,
+            seed: 0x4157_4B4C,
+        }
     }
 }
 
@@ -45,11 +47,11 @@ pub fn random_walk_program(config: &RandomWalkConfig) -> Program {
         (0.0..=1.0).contains(&config.push_probability),
         "push_probability must be within [0, 1]"
     );
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::new(config.seed);
     let mut b = ProgramBuilder::new();
     let mut depth: u64 = 0;
     for i in 0..config.steps {
-        if depth == 0 || rng.gen_bool(config.push_probability) {
+        if depth == 0 || rng.chance(config.push_probability) {
             b.push(Inst::Lit(i as i64));
             depth += 1;
         } else {
@@ -83,7 +85,10 @@ mod tests {
 
     #[test]
     fn walk_is_deterministic() {
-        let c = RandomWalkConfig { steps: 5_000, ..RandomWalkConfig::default() };
+        let c = RandomWalkConfig {
+            steps: 5_000,
+            ..RandomWalkConfig::default()
+        };
         assert_eq!(random_walk_program(&c), random_walk_program(&c));
         let c2 = RandomWalkConfig { seed: 7, ..c };
         assert_ne!(random_walk_program(&c), random_walk_program(&c2));
@@ -98,7 +103,11 @@ mod tests {
             push_probability: 0.9,
             seed: 1,
         });
-        let pushes = heavy.insts().iter().filter(|i| matches!(i, Inst::Lit(_))).count();
+        let pushes = heavy
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, Inst::Lit(_)))
+            .count();
         assert!(pushes > 8_000);
     }
 

@@ -37,7 +37,14 @@ fn main() {
     // Trace a little instruction sequence through the state machine.
     let policy = Policy::on_demand(regs);
     let sigs = sig_slots();
-    let seq = [Inst::Lit(0), Inst::Lit(0), Inst::Dup, Inst::Swap, Inst::Add, Inst::Drop];
+    let seq = [
+        Inst::Lit(0),
+        Inst::Lit(0),
+        Inst::Dup,
+        Inst::Swap,
+        Inst::Add,
+        Inst::Drop,
+    ];
     let mut state = org.canonical_of_depth(0).expect("empty state");
     println!("\ntransitions from the empty state:");
     for inst in seq {

@@ -68,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = run_staticcache(&exe, &mut m, 1_000_000)?;
     println!(
         "real static interpreter: {} compiled dispatches for {} original instructions",
-        stats.executed,
-        simple.counts.insts,
+        stats.executed, simple.counts.insts,
     );
     println!("  (the wall-clock interpreter uses a 6-state organization that only");
     println!("   eliminates swap/drop/2drop; the counting pipeline above models the");

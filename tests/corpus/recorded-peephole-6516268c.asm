@@ -1,0 +1,22 @@
+entry:
+    lit 0
+    lit 1
+    swap
+    lit 1
+    drop
+    swap
+    negate
+    lit 1
+    +
+    negate
+    lit 1
+    +
+    +
+    lit 1
+    +
+    negate
+    lit 0
+    lit 0
+    lit 0
+    lit 0
+    halt

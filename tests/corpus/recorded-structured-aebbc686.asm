@@ -1,0 +1,15 @@
+entry:
+    lit 1
+L1:
+    lit 7
+    lit 2
+    drop
+    drop
+    1-
+    dup
+    0>
+    ?branch L10
+    branch L1
+L10:
+    drop
+    halt

@@ -1,114 +1,41 @@
-//! Property-based cross-validation: every interpreter in the workspace
-//! (reference, baseline, top-of-stack, dynamically cached, statically
-//! cached) produces identical observable behaviour on arbitrary stack-safe
-//! programs.
+//! Cross-validation on straight-line programs: every interpreter in the
+//! workspace (reference, baseline, top-of-stack, dynamically cached,
+//! statically cached — each plain and peephole-optimized), the dynamic
+//! cache accounting of the Fig. 18 organizations, and the static-caching
+//! cost compiler must agree on arbitrary stack-safe programs.
+//!
+//! All comparison logic lives in `stackcache-harness`; this test feeds it
+//! the straight-line generator over the full instruction pool.
 
-use proptest::prelude::*;
-use stack_caching::core::interp::{compile_static, run_dyncache, run_staticcache};
-use stack_caching::vm::interp::{run_baseline, run_tos};
-use stack_caching::vm::{exec, Inst, Machine, Program, ProgramBuilder};
+use stackcache_harness::{assert_agreement, gen};
+use stackcache_vm::Rng;
 
-/// Instructions whose only requirement is a minimum stack depth, tagged
-/// with (pops, pushes).
-const POOL: &[(Inst, u8, u8)] = &[
-    (Inst::Add, 2, 1),
-    (Inst::Sub, 2, 1),
-    (Inst::Mul, 2, 1),
-    (Inst::And, 2, 1),
-    (Inst::Or, 2, 1),
-    (Inst::Xor, 2, 1),
-    (Inst::Min, 2, 1),
-    (Inst::Max, 2, 1),
-    (Inst::Eq, 2, 1),
-    (Inst::Lt, 2, 1),
-    (Inst::ULt, 2, 1),
-    (Inst::Negate, 1, 1),
-    (Inst::Invert, 1, 1),
-    (Inst::Abs, 1, 1),
-    (Inst::OnePlus, 1, 1),
-    (Inst::OneMinus, 1, 1),
-    (Inst::TwoStar, 1, 1),
-    (Inst::TwoSlash, 1, 1),
-    (Inst::ZeroEq, 1, 1),
-    (Inst::ZeroLt, 1, 1),
-    (Inst::Dup, 1, 2),
-    (Inst::Drop, 1, 0),
-    (Inst::Swap, 2, 2),
-    (Inst::Over, 2, 3),
-    (Inst::Rot, 3, 3),
-    (Inst::MinusRot, 3, 3),
-    (Inst::Nip, 2, 1),
-    (Inst::Tuck, 2, 3),
-    (Inst::TwoDup, 2, 4),
-    (Inst::TwoDrop, 2, 0),
-    (Inst::TwoSwap, 4, 4),
-    (Inst::TwoOver, 4, 6),
-    (Inst::QDup, 1, 2),
-    (Inst::Depth, 0, 1),
-    (Inst::Emit, 1, 0),
-    (Inst::Dot, 1, 0),
-];
+const FUEL: u64 = 1_000_000;
 
-/// Build a stack-safe straight-line program from a seed of choices.
-fn build_program(choices: &[(u8, i64)]) -> Program {
-    let mut b = ProgramBuilder::new();
-    let mut depth: u32 = 0;
-    for &(c, lit) in choices {
-        // every third slot seeds a literal to keep the stack fed
-        if c % 3 == 0 || depth == 0 {
-            b.push(Inst::Lit(lit));
-            depth += 1;
-            continue;
-        }
-        let (inst, pops, pushes) = POOL[c as usize % POOL.len()];
-        if u32::from(pops) <= depth {
-            b.push(inst);
-            depth = depth - u32::from(pops) + u32::from(pushes);
-            // QDup may push one less at runtime; track conservatively
-            if matches!(inst, Inst::QDup) {
-                depth -= 1;
-            }
-        } else {
-            b.push(Inst::Lit(lit));
-            depth += 1;
-        }
+#[test]
+fn all_engines_agree_on_straight_line_programs() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(0x1A_0000 + seed);
+        let len = rng.range(1, 200);
+        let choices = gen::random_choices(&mut rng, len, 100);
+        let p = gen::straight_line(&choices);
+        let a = assert_agreement(&p, FUEL);
+        assert!(
+            a.configs >= 12,
+            "seed {seed}: only {} configurations",
+            a.configs
+        );
     }
-    b.push(Inst::Halt);
-    b.finish().expect("straight-line program is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn all_engines_agree(choices in prop::collection::vec((any::<u8>(), -100i64..100), 1..200)) {
-        let p = build_program(&choices);
-        let fuel = 1_000_000;
-
-        let mut m_ref = Machine::with_memory(256);
-        exec::run(&p, &mut m_ref, fuel).expect("reference runs");
-
-        let mut m = Machine::with_memory(256);
-        run_baseline(&p, &mut m, fuel).expect("baseline runs");
-        prop_assert_eq!(m_ref.stack(), m.stack());
-        prop_assert_eq!(m_ref.output(), m.output());
-
-        let mut m = Machine::with_memory(256);
-        run_tos(&p, &mut m, fuel).expect("tos runs");
-        prop_assert_eq!(m_ref.stack(), m.stack());
-        prop_assert_eq!(m_ref.output(), m.output());
-
-        let mut m = Machine::with_memory(256);
-        run_dyncache(&p, &mut m, fuel).expect("dyncache runs");
-        prop_assert_eq!(m_ref.stack(), m.stack());
-        prop_assert_eq!(m_ref.output(), m.output());
-
-        for c in 0..=3u8 {
-            let exe = compile_static(&p, c);
-            let mut m = Machine::with_memory(256);
-            run_staticcache(&exe, &mut m, fuel).expect("static runs");
-            prop_assert_eq!(m_ref.stack(), m.stack(), "static canonical {}", c);
-            prop_assert_eq!(m_ref.output(), m.output(), "static canonical {}", c);
-        }
-    }
+/// The oracle sweeps at least the advertised configuration matrix:
+/// 16 wall-clock engines, 8 cache organizations, 5 static regimes.
+#[test]
+fn oracle_configuration_matrix_is_complete() {
+    let p = gen::straight_line(&[(0, 1), (0, 2), (2, 0)]);
+    let a = assert_agreement(&p, FUEL);
+    assert_eq!(a.engine_configs, 16);
+    assert_eq!(a.org_configs, 8);
+    assert_eq!(a.static_configs, 5);
+    assert_eq!(a.configs, 29);
 }

@@ -41,15 +41,23 @@ fn keeping_one_item_is_the_sweet_spot() {
 #[test]
 fn dynamic_caching_scales_with_registers() {
     let orgs: Vec<Org> = (1..=6).map(Org::minimal).collect();
-    let mut sims: Vec<CachedRegime> =
-        orgs.iter().map(|o| CachedRegime::new(o, o.registers())).collect();
+    let mut sims: Vec<CachedRegime> = orgs
+        .iter()
+        .map(|o| CachedRegime::new(o, o.registers()))
+        .collect();
     for w in all_workloads(Scale::Small) {
         w.run_with_observer(&mut sims).expect("runs");
     }
     let model = CostModel::paper();
-    let overheads: Vec<f64> = sims.iter().map(|s| s.counts.access_per_inst(&model)).collect();
+    let overheads: Vec<f64> = sims
+        .iter()
+        .map(|s| s.counts.access_per_inst(&model))
+        .collect();
     for w in overheads.windows(2) {
-        assert!(w[1] <= w[0] + 1e-9, "more registers must not hurt: {overheads:?}");
+        assert!(
+            w[1] <= w[0] + 1e-9,
+            "more registers must not hurt: {overheads:?}"
+        );
     }
     assert!(
         overheads[5] < 0.5 * overheads[0],
@@ -70,5 +78,23 @@ fn static_caching_eliminates_dispatches_on_real_programs() {
             exe.stats.original
         );
         assert!(exe.stats.compiled < exe.stats.original, "{}", w.name);
+    }
+}
+
+/// The differential oracle holds on the *real* workload programs too, not
+/// just generated ones: every engine configuration agrees, starting from
+/// each workload's prepared machine image.
+#[test]
+fn workload_programs_agree_across_all_engines() {
+    for w in all_workloads(Scale::Small) {
+        let proto = w.image.machine();
+        let a = stackcache_harness::cross_validate_on(&w.image.program, &proto, w.fuel())
+            .unwrap_or_else(|d| panic!("{}: {d}", w.name));
+        assert!(
+            a.configs >= 12,
+            "{}: only {} configurations",
+            w.name,
+            a.configs
+        );
     }
 }

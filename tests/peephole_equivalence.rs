@@ -1,83 +1,103 @@
-//! Property-based validation of the peephole optimizer: on arbitrary
-//! stack-safe programs the optimized code is observably equivalent and
-//! never longer.
+//! Validation of the peephole optimizer: on arbitrary stack-safe programs
+//! the optimized code is observably equivalent, never longer, and
+//! optimization is idempotent.
+//!
+//! Equivalence itself is also cross-checked continuously by the harness
+//! (every oracle engine runs once plain and once peephole-optimized);
+//! this test adds the optimizer-specific structural properties.
 
-use proptest::prelude::*;
-use stack_caching::vm::{exec, peephole, verify, Inst, Machine, Program, ProgramBuilder};
+use stackcache_harness::{assert_agreement, gen};
+use stackcache_vm::{exec, peephole, verify, Machine, Program, Rng};
 
-/// Build a stack-safe straight-line program biased toward peephole fodder.
-fn build_program(choices: &[(u8, i64)]) -> Program {
-    let mut b = ProgramBuilder::new();
-    let mut depth: u32 = 0;
-    for &(c, lit) in choices {
-        match c % 12 {
-            0 | 1 => {
-                b.push(Inst::Lit(lit));
-                depth += 1;
-            }
-            2 if depth >= 2 => {
-                b.push(Inst::Add);
-                depth -= 1;
-            }
-            3 if depth >= 2 => {
-                b.push(Inst::Sub);
-                depth -= 1;
-            }
-            4 if depth >= 1 => {
-                b.push(Inst::Drop);
-                depth -= 1;
-            }
-            5 if depth >= 2 => {
-                b.push(Inst::Swap);
-            }
-            6 if depth >= 1 => {
-                b.push(Inst::Dup);
-                depth += 1;
-            }
-            7 if depth >= 1 => {
-                b.push(Inst::Negate);
-            }
-            8 if depth >= 1 => {
-                b.push(Inst::Invert);
-            }
-            9 if depth >= 2 => {
-                b.push(Inst::Mul);
-                depth -= 1;
-            }
-            10 if depth >= 1 => {
-                b.push(Inst::ZeroEq);
-            }
-            _ => {
-                b.push(Inst::Lit(1));
-                depth += 1;
-            }
-        }
-    }
-    b.push(Inst::Halt);
-    b.finish().expect("valid")
+const FUEL: u64 = 1_000_000;
+
+/// The structural contract from the seed's property test: optimized code
+/// verifies, never grows, reports its size honestly, behaves identically,
+/// and a second pass finds nothing new.
+fn check_optimizer_contract(p: &Program, ctx: &str) {
+    let (q, stats) = peephole::optimize(p);
+    assert!(
+        verify(&q).is_ok(),
+        "{ctx}: optimized program fails verification"
+    );
+    assert!(q.len() <= p.len(), "{ctx}: optimizer grew the program");
+    assert_eq!(
+        stats.after,
+        q.len(),
+        "{ctx}: stats.after disagrees with output length"
+    );
+
+    let mut m1 = Machine::with_memory(256);
+    exec::run(p, &mut m1, FUEL).expect("original runs");
+    let mut m2 = Machine::with_memory(256);
+    exec::run(&q, &mut m2, FUEL).expect("optimized runs");
+    assert_eq!(m1.stack(), m2.stack(), "{ctx}: stacks differ");
+    assert_eq!(m1.output(), m2.output(), "{ctx}: output differs");
+
+    // idempotence: a second pass finds nothing new
+    let (r, stats2) = peephole::optimize(&q);
+    assert_eq!(
+        r.insts(),
+        q.insts(),
+        "{ctx}: second pass changed the program"
+    );
+    assert_eq!(stats2.rewrites, 0, "{ctx}: second pass claims rewrites");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
+/// The recorded `peephole_equivalence` proptest counterexample
+/// (`cc 6516268c…`), promoted to a named deterministic test and replayed
+/// against the full original assertion set. The same program also lives
+/// in `tests/corpus/recorded-peephole-6516268c.asm` and is replayed
+/// through the full oracle by `structured_agreement::corpus_replays_clean`.
+#[test]
+fn recorded_counterexample_6516268c() {
+    let choices = [
+        (0, 0),
+        (35, 0),
+        (89, 0),
+        (11, 0),
+        (160, 0),
+        (65, 0),
+        (103, 0),
+        (35, 0),
+        (158, 0),
+        (43, 0),
+        (83, 0),
+        (182, 0),
+        (2, 0),
+        (5, 0),
+        (74, 0),
+        (103, 0),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+    ];
+    let p = gen::peephole_fodder(&choices);
+    check_optimizer_contract(&p, "recorded cc 6516268c");
+    assert_agreement(&p, FUEL);
+}
 
-    #[test]
-    fn optimized_programs_are_equivalent(choices in prop::collection::vec((any::<u8>(), -64i64..64), 1..250)) {
-        let p = build_program(&choices);
-        let (q, stats) = peephole::optimize(&p);
-        prop_assert!(verify(&q).is_ok());
-        prop_assert!(q.len() <= p.len());
-        prop_assert_eq!(stats.after, q.len());
+#[test]
+fn optimized_programs_are_equivalent() {
+    for seed in 0..160u64 {
+        let mut rng = Rng::new(0x9E_0000 + seed);
+        let len = rng.range(1, 250);
+        let choices = gen::random_choices(&mut rng, len, 64);
+        let p = gen::peephole_fodder(&choices);
+        check_optimizer_contract(&p, &format!("seed {seed}"));
+    }
+}
 
-        let mut m1 = Machine::with_memory(256);
-        exec::run(&p, &mut m1, 1_000_000).expect("original runs");
-        let mut m2 = Machine::with_memory(256);
-        exec::run(&q, &mut m2, 1_000_000).expect("optimized runs");
-        prop_assert_eq!(m1.stack(), m2.stack());
-        prop_assert_eq!(m1.output(), m2.output());
-
-        // idempotence: a second pass finds nothing new
-        let (r, stats2) = peephole::optimize(&q);
-        prop_assert_eq!(r.insts(), q.insts());
-        prop_assert_eq!(stats2.rewrites, 0);
+/// The optimizer preserves *branchy* programs too (leader detection and
+/// branch-target remapping): structured programs through the full oracle,
+/// which compares each engine plain vs peephole-optimized.
+#[test]
+fn optimizer_preserves_structured_programs() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0x9E_1000 + seed);
+        let p = gen::structured_program(&mut rng);
+        check_optimizer_contract(&p, &format!("structured seed {seed}"));
+        assert_agreement(&p, 10_000_000);
     }
 }

@@ -1,55 +1,23 @@
-//! Property-based invariants of the counting regimes: whatever the
-//! program, the cache accounting must balance.
+//! Invariants of the counting regimes: whatever the program, the cache
+//! accounting must balance.
+//!
+//! The per-transition conservation law (`cached' = cached + loads −
+//! stores − pops + pushes`) is checked in lockstep by the harness oracle;
+//! this test adds the cross-regime aggregate inequalities from the seed.
 
-use proptest::prelude::*;
 use stack_caching::core::regime::{CachedRegime, ConstantKRegime, SimpleRegime};
 use stack_caching::core::Org;
-use stack_caching::vm::{exec, ExecObserver, Inst, Machine, Program, ProgramBuilder};
+use stack_caching::vm::{exec, ExecObserver, Machine, Rng};
+use stackcache_harness::gen;
 
-fn build_program(choices: &[(u8, i64)]) -> Program {
-    // pushes, pops, shuffles and arithmetic; always stack-safe
-    let mut b = ProgramBuilder::new();
-    let mut depth: u32 = 0;
-    for &(c, lit) in choices {
-        match c % 7 {
-            0 | 1 => {
-                b.push(Inst::Lit(lit));
-                depth += 1;
-            }
-            2 if depth >= 2 => {
-                b.push(Inst::Add);
-                depth -= 1;
-            }
-            3 if depth >= 1 => {
-                b.push(Inst::Drop);
-                depth -= 1;
-            }
-            4 if depth >= 2 => {
-                b.push(Inst::Swap);
-            }
-            5 if depth >= 1 => {
-                b.push(Inst::Dup);
-                depth += 1;
-            }
-            6 if depth >= 3 => {
-                b.push(Inst::Rot);
-            }
-            _ => {
-                b.push(Inst::Lit(lit));
-                depth += 1;
-            }
-        }
-    }
-    b.push(Inst::Halt);
-    b.finish().expect("valid")
-}
+#[test]
+fn cache_accounting_balances() {
+    for seed in 0..96u64 {
+        let mut rng = Rng::new(0x4E_0000 + seed);
+        let len = rng.range(1, 300);
+        let choices = gen::random_choices(&mut rng, len, 50);
+        let p = gen::regime_fodder(&choices);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn cache_accounting_balances(choices in prop::collection::vec((any::<u8>(), -50i64..50), 1..300)) {
-        let p = build_program(&choices);
         let mut simple = SimpleRegime::new();
         let org3 = Org::minimal(3);
         let org6 = Org::one_dup(4);
@@ -65,21 +33,55 @@ proptest! {
 
         for cached in [&dyn3.counts, &dyn6.counts, &k2.counts] {
             // a cache never makes more memory traffic than no cache
-            prop_assert!(cached.loads <= simple.counts.loads,
-                "loads {} > uncached {}", cached.loads, simple.counts.loads);
-            prop_assert!(cached.stores <= simple.counts.stores,
-                "stores {} > uncached {}", cached.stores, simple.counts.stores);
+            assert!(
+                cached.loads <= simple.counts.loads,
+                "seed {seed}: loads {} > uncached {}",
+                cached.loads,
+                simple.counts.loads
+            );
+            assert!(
+                cached.stores <= simple.counts.stores,
+                "seed {seed}: stores {} > uncached {}",
+                cached.stores,
+                simple.counts.stores
+            );
             // sp-update minimization never increases updates
-            prop_assert!(cached.updates <= simple.counts.updates);
-            // every value stored by the cache is eventually... at least:
+            assert!(cached.updates <= simple.counts.updates, "seed {seed}");
             // traffic is conservative: what is loaded must have been
             // stored by this program (the stack starts empty), modulo the
             // items still cached at halt.
-            prop_assert!(cached.loads <= cached.stores + 8,
-                "loads {} stores {}", cached.loads, cached.stores);
-            prop_assert_eq!(cached.insts, simple.counts.insts);
+            assert!(
+                cached.loads <= cached.stores + 8,
+                "seed {seed}: loads {} stores {}",
+                cached.loads,
+                cached.stores
+            );
+            assert_eq!(cached.insts, simple.counts.insts, "seed {seed}");
         }
         // the uncached baseline has zero moves; caching may move
-        prop_assert_eq!(simple.counts.moves, 0);
+        assert_eq!(simple.counts.moves, 0, "seed {seed}");
+    }
+}
+
+/// The same aggregate invariants hold on branchy structured programs,
+/// not just straight-line ones.
+#[test]
+fn cache_accounting_balances_on_structured_programs() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(0x4E_1000 + seed);
+        let p = gen::structured_program(&mut rng);
+
+        let mut simple = SimpleRegime::new();
+        let org = Org::minimal(4);
+        let mut dyn4 = CachedRegime::new(&org, 4);
+        {
+            let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut simple, &mut dyn4];
+            let mut m = Machine::with_memory(256);
+            exec::run_with_observer(&p, &mut m, 10_000_000, &mut obs).expect("runs");
+        }
+        assert!(dyn4.counts.loads <= simple.counts.loads, "seed {seed}");
+        assert!(dyn4.counts.stores <= simple.counts.stores, "seed {seed}");
+        assert!(dyn4.counts.updates <= simple.counts.updates, "seed {seed}");
+        assert_eq!(dyn4.counts.insts, simple.counts.insts, "seed {seed}");
     }
 }
