@@ -1,0 +1,65 @@
+//! Load-test the execution service and print its throughput/latency
+//! table.
+//!
+//! Usage: `svcbench [--quick]`
+//!
+//! Drives `stackcache-svc` with the four benchmark workloads and a fleet
+//! of generated mini-programs across every engine regime, verifying every
+//! response against the reference interpreter. Exits nonzero on any
+//! divergence.
+
+use std::process::ExitCode;
+
+use stackcache_bench::svcload::{run_load, LoadConfig};
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = LoadConfig::default();
+    if quick {
+        cfg.mini_programs = 6;
+        cfg.mini_repeats = 10;
+        cfg.workload_repeats = 1;
+        cfg.deadline_probes = 8;
+        cfg.fuel_probes = 8;
+    }
+
+    println!(
+        "svcbench: {} workers, queue {}, {} regimes, {} mini-programs x {} repeats",
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.regimes.len(),
+        cfg.mini_programs,
+        cfg.mini_repeats,
+    );
+    let report = run_load(&cfg);
+
+    println!("{}", report.table());
+    println!(
+        "{} requests in {:.2}s ({:.0} verified completions/s), {} backpressure retries",
+        report.requests,
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+        report.backpressure_retries,
+    );
+    println!(
+        "verified {} completions against the reference interpreter; \
+         {} deadline + {} fuel probes rejected as required; \
+         cache: {} hits / {} misses",
+        report.verified,
+        report.deadline_rejections,
+        report.fuel_rejections,
+        report.snapshot.cache_hits(),
+        report.snapshot.cache_misses(),
+    );
+
+    if report.clean() {
+        println!("no divergences");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} DIVERGENCES:", report.divergences.len());
+        for d in report.divergences.iter().take(20) {
+            eprintln!("  {d}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -23,6 +23,7 @@ pub mod randomwalk;
 pub mod rstack;
 pub mod semantic;
 pub mod speedup;
+pub mod svcload;
 pub mod table;
 pub mod timing;
 pub mod twostacks;

@@ -1,0 +1,356 @@
+//! Load generator for the execution service: drive `stackcache-svc` with
+//! workloads-crate programs and generated mini-programs across every
+//! engine regime, verify every completed response against the reference
+//! interpreter, and report per-regime throughput and latency.
+//!
+//! The generator is itself an oracle: a service response may differ from
+//! the reference interpreter's [`Outcome`] only by being a structured
+//! rejection (expired deadline, exhausted fuel) — any other difference is
+//! a divergence, reported with the program and configuration that
+//! produced it. Deadline and fuel *probes* (requests constructed so
+//! rejection is the only correct answer) check the failure paths under
+//! the same load that exercises the happy paths.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stackcache_core::EngineRegime;
+use stackcache_harness::{gen, Outcome, MEMORY_BYTES};
+use stackcache_svc::{
+    MetricsSnapshot, Rejection, Reply, Request, Service, ServiceConfig, SubmitError, Ticket,
+};
+use stackcache_vm::{exec, Inst, Machine, Program, ProgramBuilder, Rng};
+use stackcache_workloads::Scale;
+
+use crate::table::Table;
+use crate::workloads;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Worker threads in the service under test.
+    pub workers: usize,
+    /// Service queue capacity (smaller values exercise backpressure).
+    pub queue_capacity: usize,
+    /// Regimes to drive (requests fan out over all of them).
+    pub regimes: Vec<EngineRegime>,
+    /// Workload scale for the workloads-crate programs.
+    pub scale: Scale,
+    /// Requests per (workload, regime); zero skips the workloads.
+    pub workload_repeats: usize,
+    /// Distinct generated mini-programs (structured / memory / call-nest
+    /// families, round-robin).
+    pub mini_programs: usize,
+    /// Requests per (mini-program, regime).
+    pub mini_repeats: usize,
+    /// Requests whose deadline is already expired at submission; each
+    /// must come back [`Rejection::DeadlineExpired`].
+    pub deadline_probes: usize,
+    /// Requests whose fuel cannot cover their program; each must come
+    /// back [`Rejection::FuelExhausted`].
+    pub fuel_probes: usize,
+    /// Seed for the mini-program generators.
+    pub seed: u64,
+    /// Fuel for mini-program requests.
+    pub fuel: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        LoadConfig {
+            workers,
+            queue_capacity: 512,
+            regimes: EngineRegime::ALL.to_vec(),
+            scale: Scale::Small,
+            workload_repeats: 4,
+            mini_programs: 16,
+            mini_repeats: 80,
+            deadline_probes: 32,
+            fuel_probes: 32,
+            seed: 0x5EC7_1CE5,
+            fuel: 1_000_000,
+        }
+    }
+}
+
+/// One program under load, with the reference interpreter's verdict.
+struct Case {
+    name: String,
+    program: Arc<Program>,
+    proto: Arc<Machine>,
+    fuel: u64,
+    repeats: usize,
+    expected: Outcome,
+}
+
+/// What the load run measured.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests submitted (accepted into the queue).
+    pub requests: usize,
+    /// Completed responses that matched the reference interpreter.
+    pub verified: u64,
+    /// Every response that disagreed with the reference interpreter (or
+    /// rejection probe that came back wrong). Empty on a clean run.
+    pub divergences: Vec<String>,
+    /// Deadline probes answered `DeadlineExpired`, as they must be.
+    pub deadline_rejections: usize,
+    /// Fuel probes answered `FuelExhausted`, as they must be.
+    pub fuel_rejections: usize,
+    /// Submissions refused `QueueFull` and retried (backpressure events).
+    pub backpressure_retries: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// The service's own metrics at shutdown.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl LoadReport {
+    /// Whether every response agreed and every probe was rejected
+    /// correctly.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Completed requests per second over the whole run.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn throughput(&self) -> f64 {
+        self.verified as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The per-regime throughput/latency table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&[
+            "regime",
+            "completed",
+            "traps",
+            "hits",
+            "misses",
+            "p50",
+            "p90",
+            "p99",
+        ]);
+        for r in &self.snapshot.regimes {
+            if r.completed + r.fuel_exhausted + r.deadline_expired == 0 {
+                continue;
+            }
+            t.row(&[
+                r.regime.name(),
+                r.completed.to_string(),
+                r.traps.to_string(),
+                r.cache_hits.to_string(),
+                r.cache_misses.to_string(),
+                fmt_latency(r.p50),
+                fmt_latency(r.p90),
+                fmt_latency(r.p99),
+            ]);
+        }
+        t
+    }
+}
+
+fn fmt_latency(d: Option<Duration>) -> String {
+    match d {
+        None => "-".to_string(),
+        Some(d) if d < Duration::from_millis(1) => format!("{}us", d.as_micros()),
+        Some(d) => format!("{:.1}ms", d.as_secs_f64() * 1e3),
+    }
+}
+
+/// An infinite loop: the probe program whose only correct answers are
+/// structured rejections.
+fn spin() -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.bind(top).unwrap();
+    b.push(Inst::Nop);
+    b.branch(top);
+    Arc::new(b.finish().expect("spin program"))
+}
+
+/// The reference interpreter's outcome for a case.
+fn reference_outcome(program: &Program, proto: &Machine, fuel: u64) -> Outcome {
+    let mut m = proto.clone();
+    let result = exec::run(program, &mut m, fuel).map(|o| o.executed);
+    Outcome::capture(&m, result)
+}
+
+fn build_cases(cfg: &LoadConfig) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for i in 0..cfg.mini_programs {
+        let mut rng = Rng::new((cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
+        let (family, program, proto) = match i % 3 {
+            0 => (
+                "structured",
+                gen::structured_program(&mut rng),
+                Machine::with_memory(MEMORY_BYTES),
+            ),
+            1 => {
+                let proto = gen::seeded_machine(&mut rng, MEMORY_BYTES, 6);
+                let choices = gen::random_choices(&mut rng, 100, 1 << 20);
+                ("memory", gen::memory_fodder(&choices, MEMORY_BYTES), proto)
+            }
+            _ => (
+                "callnest",
+                gen::call_nest_program(&mut rng, 4),
+                Machine::with_memory(MEMORY_BYTES),
+            ),
+        };
+        let expected = reference_outcome(&program, &proto, cfg.fuel);
+        cases.push(Case {
+            name: format!("{family}#{i}"),
+            program: Arc::new(program),
+            proto: Arc::new(proto),
+            fuel: cfg.fuel,
+            repeats: cfg.mini_repeats,
+            expected,
+        });
+    }
+    if cfg.workload_repeats > 0 {
+        for w in workloads(cfg.scale) {
+            let proto = w.image.machine();
+            let expected = reference_outcome(&w.image.program, &proto, w.fuel());
+            cases.push(Case {
+                name: format!("workload:{}", w.name),
+                program: Arc::new(w.image.program.clone()),
+                proto: Arc::new(proto),
+                fuel: w.fuel(),
+                repeats: cfg.workload_repeats,
+                expected,
+            });
+        }
+    }
+    cases
+}
+
+/// Submit with retry: a full queue is backpressure, not failure.
+fn submit_with_backpressure(svc: &Service, request: Request, retries: &mut u64) -> Ticket {
+    loop {
+        match svc.submit(request.clone()) {
+            Ok(t) => return t,
+            Err(SubmitError::QueueFull) => {
+                *retries += 1;
+                thread::sleep(Duration::from_micros(100));
+            }
+            Err(SubmitError::ShuttingDown) => {
+                unreachable!("the load generator owns the service")
+            }
+        }
+    }
+}
+
+/// Run the load: fan every case out over every regime (alternating the
+/// peephole flag across repeats), interleave the rejection probes, wait
+/// for every ticket, and verify every completion against the reference.
+#[must_use]
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    assert!(!cfg.regimes.is_empty(), "at least one regime");
+    let svc = Service::start(ServiceConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        cache_shards: 16,
+    });
+    let cases = build_cases(cfg);
+    let start = Instant::now();
+    let mut retries = 0u64;
+    let mut requests = 0usize;
+
+    // (case index, regime, ticket) for every in-flight request
+    let mut tickets: Vec<(usize, EngineRegime, Ticket)> = Vec::new();
+    for (ci, case) in cases.iter().enumerate() {
+        for &regime in &cfg.regimes {
+            for rep in 0..case.repeats {
+                let req = Request::new(Arc::clone(&case.program), regime)
+                    .on(Arc::clone(&case.proto))
+                    .peephole(rep % 2 == 1)
+                    .fuel(case.fuel);
+                tickets.push((
+                    ci,
+                    regime,
+                    submit_with_backpressure(&svc, req, &mut retries),
+                ));
+                requests += 1;
+            }
+        }
+    }
+
+    // rejection probes ride along with the tail of the main load
+    let probe = spin();
+    let mut deadline_tickets = Vec::new();
+    for i in 0..cfg.deadline_probes {
+        let regime = cfg.regimes[i % cfg.regimes.len()];
+        let req = Request::new(Arc::clone(&probe), regime)
+            .fuel(u64::MAX)
+            .deadline(Duration::ZERO);
+        deadline_tickets.push((regime, submit_with_backpressure(&svc, req, &mut retries)));
+        requests += 1;
+    }
+    let mut fuel_tickets = Vec::new();
+    for i in 0..cfg.fuel_probes {
+        let regime = cfg.regimes[i % cfg.regimes.len()];
+        let req = Request::new(Arc::clone(&probe), regime).fuel(10_000);
+        fuel_tickets.push((regime, submit_with_backpressure(&svc, req, &mut retries)));
+        requests += 1;
+    }
+
+    let mut divergences = Vec::new();
+    let mut verified = 0u64;
+    for (ci, regime, ticket) in tickets {
+        let case = &cases[ci];
+        match ticket.wait() {
+            Reply::Completed(c) => {
+                // compiled regimes legitimately execute fewer instructions
+                match case.expected.first_difference(&c.outcome, false) {
+                    None => verified += 1,
+                    Some(diff) => {
+                        divergences.push(format!("{} on {}: {diff}", case.name, regime.name()))
+                    }
+                }
+            }
+            Reply::Rejected(r) => divergences.push(format!(
+                "{} on {}: unexpected rejection {r:?}",
+                case.name,
+                regime.name()
+            )),
+        }
+    }
+
+    let mut deadline_rejections = 0usize;
+    for (regime, t) in deadline_tickets {
+        match t.wait() {
+            Reply::Rejected(Rejection::DeadlineExpired) => deadline_rejections += 1,
+            other => divergences.push(format!(
+                "deadline probe on {}: expected DeadlineExpired, got {other:?}",
+                regime.name()
+            )),
+        }
+    }
+    let mut fuel_rejections = 0usize;
+    for (regime, t) in fuel_tickets {
+        match t.wait() {
+            Reply::Rejected(Rejection::FuelExhausted) => fuel_rejections += 1,
+            other => divergences.push(format!(
+                "fuel probe on {}: expected FuelExhausted, got {other:?}",
+                regime.name()
+            )),
+        }
+    }
+
+    let elapsed = start.elapsed();
+    let snapshot = svc.shutdown();
+    LoadReport {
+        requests,
+        verified,
+        divergences,
+        deadline_rejections,
+        fuel_rejections,
+        backpressure_retries: retries,
+        elapsed,
+        snapshot,
+    }
+}

@@ -1,0 +1,68 @@
+//! The service acceptance run: at least four workers sustain 10k+
+//! requests across every engine regime with zero divergences from the
+//! reference interpreter, observed cache hits, and structured rejections
+//! on the deadline/fuel probe paths.
+
+use stackcache_bench::svcload::{run_load, LoadConfig};
+use stackcache_core::EngineRegime;
+use stackcache_workloads::Scale;
+
+#[test]
+fn service_sustains_ten_thousand_verified_requests() {
+    let workers = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .max(4);
+    let cfg = LoadConfig {
+        workers,
+        queue_capacity: 256,
+        regimes: EngineRegime::ALL.to_vec(),
+        scale: Scale::Small,
+        workload_repeats: 2,
+        mini_programs: 12,
+        mini_repeats: 110,
+        deadline_probes: 16,
+        fuel_probes: 16,
+        seed: 0x5EC7_1CE5,
+        fuel: 1_000_000,
+    };
+    let report = run_load(&cfg);
+
+    assert!(cfg.workers >= 4, "acceptance requires at least 4 workers");
+    assert!(
+        report.requests >= 10_000,
+        "only {} requests submitted",
+        report.requests
+    );
+    assert!(
+        report.clean(),
+        "{} divergences, first: {}",
+        report.divergences.len(),
+        report.divergences.first().map_or("", String::as_str)
+    );
+    assert_eq!(
+        report.verified,
+        (report.requests - cfg.deadline_probes - cfg.fuel_probes) as u64,
+        "every non-probe request completed and matched the reference"
+    );
+    assert!(
+        report.snapshot.cache_hits() >= 1,
+        "the compiled-program cache was never observed hitting"
+    );
+    assert_eq!(report.deadline_rejections, cfg.deadline_probes);
+    assert_eq!(report.fuel_rejections, cfg.fuel_probes);
+    // the probes show up in the service's own metrics too
+    let deadline_total: u64 = report
+        .snapshot
+        .regimes
+        .iter()
+        .map(|r| r.deadline_expired)
+        .sum();
+    let fuel_total: u64 = report
+        .snapshot
+        .regimes
+        .iter()
+        .map(|r| r.fuel_exhausted)
+        .sum();
+    assert_eq!(deadline_total, cfg.deadline_probes as u64);
+    assert_eq!(fuel_total, cfg.fuel_probes as u64);
+}

@@ -1,0 +1,241 @@
+//! Compiled-artifact handles: translate a program once, execute it many
+//! times.
+//!
+//! Static stack caching (and peephole optimization) are *compile* steps
+//! whose cost is amortized across executions. A [`CompiledArtifact`]
+//! packages the result of that translation for one
+//! ([`EngineRegime`], peephole) configuration behind cheap `Arc` clones,
+//! so a serving layer can cache it, share it across worker threads, and
+//! run it on fresh machines without recompiling.
+
+use std::sync::Arc;
+
+use stackcache_vm::interp::{run_baseline, run_tos};
+use stackcache_vm::{exec, peephole, ExecObserver, Machine, Program, VmError};
+
+use crate::interp::{compile_static, run_dyncache, run_staticcache, StaticExecutable};
+
+/// A wall-clock execution regime: which interpreter runs the program.
+///
+/// This mirrors the engine ladder the paper measures (and the harness
+/// cross-validates): the checked reference interpreter, the baseline and
+/// top-of-stack interpreters, the dynamically stack-cached interpreter,
+/// and the statically cached interpreter at each canonical depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineRegime {
+    /// The checked reference interpreter (`stackcache_vm::exec`).
+    Reference,
+    /// The uncached baseline interpreter (Fig. 11).
+    Baseline,
+    /// The constant top-of-stack interpreter (Fig. 12).
+    Tos,
+    /// The dynamically stack-cached interpreter (Section 4).
+    Dyncache,
+    /// The statically stack-cached interpreter at canonical depth
+    /// `0..=3` (Section 5).
+    Static(u8),
+}
+
+impl EngineRegime {
+    /// Every regime, in ladder order (the eight engines of the paper's
+    /// wall-clock comparison).
+    pub const ALL: [EngineRegime; 8] = [
+        EngineRegime::Reference,
+        EngineRegime::Baseline,
+        EngineRegime::Tos,
+        EngineRegime::Dyncache,
+        EngineRegime::Static(0),
+        EngineRegime::Static(1),
+        EngineRegime::Static(2),
+        EngineRegime::Static(3),
+    ];
+
+    /// A dense index in `0..EngineRegime::ALL.len()` (metrics slots).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            EngineRegime::Reference => 0,
+            EngineRegime::Baseline => 1,
+            EngineRegime::Tos => 2,
+            EngineRegime::Dyncache => 3,
+            EngineRegime::Static(c) => 4 + usize::from(c.min(3)),
+        }
+    }
+
+    /// Display name, e.g. `"static(c=2)"`.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            EngineRegime::Reference => "reference".to_string(),
+            EngineRegime::Baseline => "baseline".to_string(),
+            EngineRegime::Tos => "tos".to_string(),
+            EngineRegime::Dyncache => "dyncache".to_string(),
+            EngineRegime::Static(c) => format!("static(c={c})"),
+        }
+    }
+
+    /// Whether this regime supports mid-run cooperative cancellation
+    /// (only the reference interpreter takes an observer).
+    #[must_use]
+    pub fn cancellable(self) -> bool {
+        matches!(self, EngineRegime::Reference)
+    }
+}
+
+/// The translate-once result for one `(program, regime, peephole)`
+/// configuration: the (optionally peephole-optimized) program plus, for
+/// static regimes, the statically compiled executable.
+///
+/// Cloning is cheap (`Arc` all the way down); a sharded cache of these is
+/// what lets static-cache codegen run once per program rather than once
+/// per request.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    regime: EngineRegime,
+    peephole: bool,
+    program: Arc<Program>,
+    exe: Option<Arc<StaticExecutable>>,
+}
+
+impl CompiledArtifact {
+    /// Translate `program` for `regime`, peephole-optimizing first when
+    /// `peephole` is set. This is the expensive step a cache amortizes.
+    #[must_use]
+    pub fn compile(program: &Program, regime: EngineRegime, peephole: bool) -> Self {
+        let program = if peephole {
+            Arc::new(peephole::optimize(program).0)
+        } else {
+            Arc::new(program.clone())
+        };
+        let exe = match regime {
+            EngineRegime::Static(c) => Some(Arc::new(compile_static(&program, c))),
+            _ => None,
+        };
+        CompiledArtifact {
+            regime,
+            peephole,
+            program,
+            exe,
+        }
+    }
+
+    /// The regime this artifact was compiled for.
+    #[must_use]
+    pub fn regime(&self) -> EngineRegime {
+        self.regime
+    }
+
+    /// Whether the program was peephole-optimized before translation.
+    #[must_use]
+    pub fn peephole(&self) -> bool {
+        self.peephole
+    }
+
+    /// The (possibly optimized) program this artifact executes.
+    #[must_use]
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Execute on `machine` with an instruction budget.
+    ///
+    /// Returns the number of dispatched instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any runtime trap.
+    pub fn run(&self, machine: &mut Machine, fuel: u64) -> Result<u64, VmError> {
+        self.run_observed(machine, fuel, &mut ())
+    }
+
+    /// Execute on `machine`, delivering events to `observer` and honouring
+    /// its [`poll_cancel`](ExecObserver::poll_cancel) hook.
+    ///
+    /// Only the reference regime executes under an observer; the
+    /// wall-clock regimes run uninstrumented (the observer is ignored) —
+    /// bound those with `fuel` instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any runtime trap (including
+    /// [`VmError::Cancelled`] when the observer cancels a reference run).
+    pub fn run_observed<O: ExecObserver + ?Sized>(
+        &self,
+        machine: &mut Machine,
+        fuel: u64,
+        observer: &mut O,
+    ) -> Result<u64, VmError> {
+        match self.regime {
+            EngineRegime::Reference => {
+                exec::run_with_observer(&self.program, machine, fuel, observer).map(|o| o.executed)
+            }
+            EngineRegime::Baseline => {
+                run_baseline(&self.program, machine, fuel).map(|s| s.executed)
+            }
+            EngineRegime::Tos => run_tos(&self.program, machine, fuel).map(|s| s.executed),
+            EngineRegime::Dyncache => {
+                run_dyncache(&self.program, machine, fuel).map(|s| s.executed)
+            }
+            EngineRegime::Static(_) => {
+                let exe = self.exe.as_ref().expect("static artifacts carry an exe");
+                run_staticcache(exe, machine, fuel).map(|s| s.executed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::{program_of, Inst};
+
+    fn square_program() -> Program {
+        program_of(&[
+            Inst::Lit(6),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Lit(1),
+            Inst::Drop,
+            Inst::Dot,
+            Inst::Halt,
+        ])
+    }
+
+    #[test]
+    fn every_regime_agrees_through_the_artifact() {
+        let p = square_program();
+        for peephole in [false, true] {
+            for regime in EngineRegime::ALL {
+                let a = CompiledArtifact::compile(&p, regime, peephole);
+                let mut m = Machine::with_memory(256);
+                a.run(&mut m, 1_000_000)
+                    .unwrap_or_else(|e| panic!("{}: {e}", regime.name()));
+                assert_eq!(m.output_string(), "36 ", "{}", regime.name());
+                assert!(m.stack().is_empty(), "{}", regime.name());
+            }
+        }
+    }
+
+    #[test]
+    fn regime_indices_are_dense_and_unique() {
+        let mut seen = [false; EngineRegime::ALL.len()];
+        for r in EngineRegime::ALL {
+            let i = r.index();
+            assert!(!seen[i], "{} reuses slot {i}", r.name());
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn static_artifacts_translate_once() {
+        let p = square_program();
+        let a = CompiledArtifact::compile(&p, EngineRegime::Static(2), true);
+        // the clone shares the compiled executable (translate once,
+        // execute many times)
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.program, &b.program));
+        let (ea, eb) = (a.exe.unwrap(), b.exe.unwrap());
+        assert!(Arc::ptr_eq(&ea, &eb));
+    }
+}

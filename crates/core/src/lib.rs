@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod artifact;
 pub mod cost;
 pub mod dot;
 pub mod engine;
@@ -62,6 +63,7 @@ pub mod regime;
 pub mod state;
 pub mod staticcache;
 
+pub use artifact::{CompiledArtifact, EngineRegime};
 pub use cost::{CostModel, Counts};
 pub use engine::{
     compute_transition, compute_transition_all, reconcile, sig_slot_for_event, sig_slots, OpSig,

@@ -581,6 +581,22 @@ impl TwoStacksRegime {
         self.registers
     }
 
+    /// Data-stack items currently cached in registers.
+    ///
+    /// Exposed so lockstep checkers (the harness's rdepth-aware
+    /// conservation invariant) can audit the cache against the true
+    /// stack depths.
+    #[must_use]
+    pub fn cached_data(&self) -> u8 {
+        self.d
+    }
+
+    /// Return-stack items currently cached in registers.
+    #[must_use]
+    pub fn cached_return(&self) -> u8 {
+        self.r
+    }
+
     /// Run the data-stack side of one instruction through the engine's
     /// minimal-organization tables at the current capacity, evicting
     /// cached return items when the data stack would otherwise spill.

@@ -663,6 +663,75 @@ mod tests {
     }
 
     #[test]
+    fn threaded_joins_back_edge_keeps_canonical() {
+        // A chain of single-successor blocks ending in a loop. The chain
+        // blocks (c1, c2) inherit their unique predecessor's exit state;
+        // the loop body — whose only predecessor is the backward branch
+        // from a *later* block — must keep the canonical entry state (the
+        // "back edge: keep canonical" branch of the entry-state
+        // assignment).
+        let mut b = ProgramBuilder::new();
+        let body = b.new_label();
+        let c1 = b.new_label();
+        let c2 = b.new_label();
+        let cond = b.new_label();
+        let exit = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(5)); // ip 0
+        b.branch(cond); // ip 1
+        b.bind(body).unwrap();
+        b.push(Inst::Dup); // ip 2: deepens the cache past canonical
+        b.branch(c1); // ip 3
+        b.bind(c1).unwrap();
+        b.push(Inst::OneMinus); // ip 4: inherits body's deep exit state
+        b.branch(c2); // ip 5
+        b.bind(c2).unwrap();
+        b.push(Inst::Nip); // ip 6: inherits c1's deep exit state
+        b.branch(cond); // ip 7
+        b.bind(cond).unwrap();
+        b.push(Inst::Dup); // ip 8 (join of entry and c2: canonical)
+        b.push(Inst::ZeroGt); // ip 9
+        b.branch_if_zero(exit); // ip 10
+        b.branch(body); // ip 11: the only edge into `body`
+        b.bind(exit).unwrap();
+        b.push(Inst::Dot); // ip 12
+        b.push(Inst::Halt); // ip 13
+        let p = b.finish().unwrap();
+
+        let org = Org::static_shuffle(3);
+        let mut o = StaticOptions::with_canonical(1);
+        o.threaded_joins = true;
+        let sp = compile(&p, &org, &o);
+
+        let canonical = org.canonical_of_depth(1).expect("canonical state");
+        assert!(
+            sp.stats.inherited_edges >= 2,
+            "chain blocks inherit: {:?}",
+            sp.stats
+        );
+        // the chain really carried a non-canonical (depth-2) state across
+        // its edges — the inherited entry states are the predecessors'
+        // exit states, not the canonical depth-1 state
+        assert_ne!(sp.costs()[4].state_in, canonical, "c1 inherits body's exit");
+        assert_ne!(sp.costs()[6].state_in, canonical, "c2 inherits c1's exit");
+        // the back-edge target did not inherit the ft-block's state
+        assert_eq!(
+            sp.costs()[2].state_in,
+            canonical,
+            "back edge target keeps the canonical entry state"
+        );
+
+        // and the per-site cost accounting still charges every executed
+        // instruction exactly once
+        let mut reg = StaticRegime::new(&sp);
+        let mut m = Machine::with_memory(4096);
+        let out = exec::run_with_observer(&p, &mut m, 1_000_000, &mut reg).expect("runs");
+        assert_eq!(m.output_string(), "0 ");
+        assert_eq!(reg.counts.insts, out.executed);
+        assert!(reg.counts.dispatches <= reg.counts.insts);
+    }
+
+    #[test]
     fn static_beats_simple_on_shuffle_heavy_code() {
         let insts: Vec<Inst> = std::iter::repeat_n(
             [

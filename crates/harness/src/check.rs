@@ -12,6 +12,9 @@
 //!    lockstep with the reference execution; every transition must
 //!    conserve cached items (`cached' = cached + loads − stores − pops +
 //!    pushes`) and never claim more cached items than the stack holds.
+//!    [`crate::lockstep::TwoStacksCheck`] runs the same accounting for
+//!    the two-stacks regime, additionally bounding the cached return
+//!    items by the true return-stack depth and the shared register file.
 //! 3. **Static-cache counting** ([`StaticRegime`]): the static compiler
 //!    under greedy/optimal/threaded-joins options must charge every
 //!    executed instruction exactly once (`insts == executed`,
@@ -24,7 +27,7 @@ use stackcache_core::Org;
 use stackcache_vm::{asm, exec, ExecObserver, Machine, Program};
 
 use crate::engines::{all_engines, MEMORY_BYTES};
-use crate::lockstep::{Fault, OrgCheck};
+use crate::lockstep::{Fault, OrgCheck, TwoStacksCheck};
 
 /// A first-divergence report: which pair of configurations disagreed,
 /// where, and how.
@@ -75,9 +78,15 @@ pub struct Agreement {
     pub engine_configs: usize,
     /// Dynamic-cache organization configurations among them.
     pub org_configs: usize,
+    /// Two-stacks shared-register configurations among them.
+    pub twostacks_configs: usize,
     /// Static compilation regimes among them.
     pub static_configs: usize,
 }
+
+/// The shared-register-file sizes the oracle validates the two-stacks
+/// regime at.
+pub const ORACLE_TWOSTACKS_REGISTERS: [u8; 3] = [3, 4, 5];
 
 /// The dynamic-cache organizations the oracle validates (Fig. 18), each
 /// with its overflow-followup depth.
@@ -173,6 +182,15 @@ pub fn cross_validate_on(
         })
         .collect();
 
+    let mut twostacks_checks: Vec<TwoStacksCheck> = ORACLE_TWOSTACKS_REGISTERS
+        .iter()
+        .map(|&regs| {
+            let mut c = TwoStacksCheck::new(regs);
+            c.set_initial_depths(proto.stack().len(), proto.rstack().len());
+            c
+        })
+        .collect();
+
     let static_org = Org::static_shuffle(3);
     let static_opts = oracle_static_options();
     let compiled: Vec<_> = static_opts
@@ -186,6 +204,9 @@ pub fn cross_validate_on(
         for c in &mut org_checks {
             obs.push(c);
         }
+        for c in &mut twostacks_checks {
+            obs.push(c);
+        }
         for r in &mut static_regimes {
             obs.push(r);
         }
@@ -194,6 +215,11 @@ pub fn cross_validate_on(
     };
 
     for c in org_checks {
+        if let Some(d) = c.divergence {
+            return Err(Box::new(d));
+        }
+    }
+    for c in twostacks_checks {
         if let Some(d) = c.divergence {
             return Err(Box::new(d));
         }
@@ -236,9 +262,10 @@ pub fn cross_validate_on(
     }
 
     Ok(Agreement {
-        configs: engines.len() + orgs.len() + static_opts.len(),
+        configs: engines.len() + orgs.len() + ORACLE_TWOSTACKS_REGISTERS.len() + static_opts.len(),
         engine_configs: engines.len(),
         org_configs: orgs.len(),
+        twostacks_configs: ORACLE_TWOSTACKS_REGISTERS.len(),
         static_configs: static_opts.len(),
     })
 }

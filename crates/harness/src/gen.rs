@@ -14,8 +14,17 @@
 //!
 //! Randomized variants are driven by the workspace's deterministic
 //! [`Rng`], so every failure pins a reproducing seed.
+//!
+//! A third family targets the state the other two never touch:
+//! [`seeded_machine`] starts execution from a randomized memory image and
+//! a pre-seeded data stack, [`memory_fodder`] emits opaque memory traffic
+//! (`@`/`!`/`c@`/`c!`/`+!` at generated in-bounds addresses), and
+//! [`call_nest_program`] builds nests of `call`/`return` words under a
+//! one-in/one-out calling convention — the shapes that force the static
+//! compiler's calling-convention reconciliation and give the two-stacks
+//! checker real return-stack depth to audit.
 
-use stackcache_vm::{Inst, Program, ProgramBuilder, Rng};
+use stackcache_vm::{Cell, Inst, Machine, Program, ProgramBuilder, Rng};
 
 /// Instructions whose only requirement is a minimum stack depth, tagged
 /// with (pops, pushes).
@@ -385,4 +394,164 @@ pub fn random_frags(rng: &mut Rng, max: usize) -> Vec<Frag> {
 #[must_use]
 pub fn structured_program(rng: &mut Rng) -> Program {
     build_structured(&random_frags(rng, 8))
+}
+
+/// A machine whose memory image and data stack are pre-seeded with random
+/// values — the starting state for programs that fetch before they store.
+///
+/// The return stack stays empty (its contents are owned by `call`/`>r`
+/// discipline), and `stack_cells` is capped to half the machine's stack
+/// limit so generated programs keep room to push.
+#[must_use]
+pub fn seeded_machine(rng: &mut Rng, memory_bytes: usize, stack_cells: usize) -> Machine {
+    let mut m = Machine::with_memory(memory_bytes);
+    for b in m.memory_mut() {
+        *b = rng.below(256) as u8;
+    }
+    let cells: Vec<Cell> = (0..stack_cells.min(m.stack_limit() / 2))
+        .map(|_| rng.range_i64(-1000, 1000))
+        .collect();
+    m.set_stack(&cells);
+    m
+}
+
+/// Build a stack-safe straight-line program of opaque memory traffic from
+/// a choice vector: cell and byte fetches, stores, and `+!`, all at
+/// generated addresses within `memory_bytes`, interleaved with arithmetic
+/// so fetched values flow into later stores.
+///
+/// Memory instructions are opaque to every caching regime (their operands
+/// come from the cache but their effect bypasses it), so this space
+/// checks that the engines agree on the one observable the stack-shuffle
+/// spaces never vary: the final memory image.
+///
+/// # Panics
+///
+/// Panics if `memory_bytes < 8` (no in-bounds cell address exists).
+#[must_use]
+pub fn memory_fodder(choices: &[(u8, i64)], memory_bytes: usize) -> Program {
+    let cell_span = memory_bytes.checked_sub(8).expect("room for one cell");
+    let mut b = ProgramBuilder::new();
+    let mut depth: u32 = 0;
+    for &(c, lit) in choices {
+        // derive an always-in-bounds address from the literal
+        let cell_addr = i64::try_from(lit.unsigned_abs() as usize % (cell_span + 1)).unwrap();
+        let byte_addr = i64::try_from(lit.unsigned_abs() as usize % memory_bytes).unwrap();
+        match c % 8 {
+            0 => {
+                b.push(Inst::Lit(lit));
+                depth += 1;
+            }
+            1 => {
+                b.push(Inst::Lit(cell_addr));
+                b.push(Inst::Fetch);
+                depth += 1;
+            }
+            2 if depth >= 1 => {
+                b.push(Inst::Lit(cell_addr));
+                b.push(Inst::Store);
+                depth -= 1;
+            }
+            3 if depth >= 1 => {
+                b.push(Inst::Lit(cell_addr));
+                b.push(Inst::PlusStore);
+                depth -= 1;
+            }
+            4 => {
+                b.push(Inst::Lit(byte_addr));
+                b.push(Inst::CFetch);
+                depth += 1;
+            }
+            5 if depth >= 1 => {
+                b.push(Inst::Lit(byte_addr));
+                b.push(Inst::CStore);
+                depth -= 1;
+            }
+            6 if depth >= 2 => {
+                b.push(Inst::Add);
+                depth -= 1;
+            }
+            7 if depth >= 1 => {
+                b.push(Inst::Dup);
+                depth += 1;
+            }
+            _ => {
+                b.push(Inst::Lit(lit));
+                depth += 1;
+            }
+        }
+    }
+    while depth > 1 {
+        b.push(Inst::Xor);
+        depth -= 1;
+    }
+    if depth == 1 {
+        b.push(Inst::Dot);
+    }
+    b.push(Inst::Halt);
+    b.finish().expect("memory fodder is valid")
+}
+
+/// A random program of nested `call`/`return` words.
+///
+/// Every word obeys a one-in/one-out calling convention (it may consume
+/// and replace the caller's top value, net zero), stashes its argument on
+/// the return stack around its body, and may call strictly-later words —
+/// so nests are acyclic and terminate, while call sites force the static
+/// compiler to reconcile to the calling convention and `>r`/`r>` traffic
+/// gives the two-stacks cache real return-stack depth.
+///
+/// # Panics
+///
+/// Panics if `words == 0`.
+#[must_use]
+pub fn call_nest_program(rng: &mut Rng, words: usize) -> Program {
+    assert!(words > 0, "at least one word");
+    let mut b = ProgramBuilder::new();
+    let labels: Vec<_> = (0..words).map(|_| b.new_label()).collect();
+
+    b.entry_here();
+    let seeds = rng.range(2, 5);
+    for _ in 0..seeds {
+        b.push(Inst::Lit(rng.range_i64(-50, 50)));
+    }
+    for _ in 0..rng.range(2, 6) {
+        b.call(labels[rng.range(0, words)]);
+    }
+    for _ in 1..seeds {
+        b.push(Inst::Xor);
+    }
+    b.push(Inst::Dot);
+    b.push(Inst::Halt);
+
+    for (i, &label) in labels.iter().enumerate() {
+        b.bind(label).unwrap();
+        // stash the argument on the return stack, work on a copy
+        b.push(Inst::Dup);
+        b.push(Inst::ToR);
+        for _ in 0..rng.range(1, 4) {
+            b.push(*rng.pick(&[
+                Inst::OnePlus,
+                Inst::Negate,
+                Inst::Invert,
+                Inst::Abs,
+                Inst::TwoStar,
+            ]));
+        }
+        if rng.chance(0.3) {
+            // peek at the stashed argument without popping it
+            b.push(Inst::RFetch);
+            b.push(Inst::Xor);
+        }
+        if i + 1 < words {
+            for _ in 0..rng.range(1, 3) {
+                b.call(labels[rng.range(i + 1, words)]);
+            }
+        }
+        // fold the stashed argument back in: net effect one-in/one-out
+        b.push(Inst::FromR);
+        b.push(Inst::Xor);
+        b.push(Inst::Return);
+    }
+    b.finish().expect("call nest is valid")
 }

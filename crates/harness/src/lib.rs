@@ -42,8 +42,8 @@ pub mod outcome;
 
 pub use check::{
     assert_agreement, check_org_accounting, cross_validate, cross_validate_on, oracle_orgs,
-    oracle_static_options, Agreement, Divergence,
+    oracle_static_options, Agreement, Divergence, ORACLE_TWOSTACKS_REGISTERS,
 };
 pub use engines::{all_engines, Engine, MEMORY_BYTES};
-pub use lockstep::{Fault, OrgCheck};
+pub use lockstep::{Fault, OrgCheck, TwoStacksCheck};
 pub use outcome::{Outcome, Trap};

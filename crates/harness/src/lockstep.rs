@@ -16,7 +16,15 @@
 //! state) breaks conservation at the faulted instruction and is reported
 //! as a first divergence with the instruction ordinal, `ip`, and the cache
 //! state in effect — demonstrating the oracle actually has teeth.
+//!
+//! [`TwoStacksCheck`] extends the same idea to the two-stacks regime,
+//! where the data and return caches share one register file: conservation
+//! must hold for the data side, *both* caches must stay within the true
+//! depths of their stacks (rstack-depth-aware no-phantom-items), the
+//! shared register file must never be over-committed, and the return
+//! cache may only grow on a return-stack push.
 
+use stackcache_core::regime::TwoStacksRegime;
 use stackcache_core::{sig_slot_for_event, Org, Policy, StateId, TransitionTable};
 use stackcache_vm::{ExecEvent, ExecObserver};
 
@@ -152,5 +160,160 @@ impl ExecObserver for OrgCheck {
             return;
         }
         self.state = next;
+    }
+}
+
+/// Lockstep accounting checker for the two-stacks regime (data and return
+/// stacks caching into one shared register file).
+///
+/// Delegates every event to an owned [`TwoStacksRegime`] and audits the
+/// transition it took:
+///
+/// * **capacity** — cached data plus cached return items never exceed the
+///   shared registers;
+/// * **data conservation** — the cached data depth moves exactly by
+///   `loads − stores − pops + pushes` (evictions of return items fund the
+///   data side through `rstores`, never by minting data items);
+/// * **no phantom data items** — the data cache never claims more items
+///   than the data stack holds;
+/// * **no phantom return items** — the return cache never claims more
+///   items than the return stack holds (tracked rstack-depth-aware from
+///   each event's net return-stack effect);
+/// * **push-only growth** — the return cache only grows on a
+///   return-stack push, by at most the pushed count.
+#[derive(Debug, Clone)]
+pub struct TwoStacksCheck {
+    name: String,
+    sim: TwoStacksRegime,
+    /// True data-stack depth, tracked from resolved effects.
+    true_depth: i64,
+    /// True return-stack depth, tracked from resolved effects.
+    true_rdepth: i64,
+    ordinal: u64,
+    /// The first accounting violation, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl TwoStacksCheck {
+    /// A checker for the two-stacks regime over `registers` shared
+    /// registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers < 3` (the regime's own minimum).
+    #[must_use]
+    pub fn new(registers: u8) -> Self {
+        TwoStacksCheck {
+            name: format!("twostacks-accounting[{registers}]"),
+            sim: TwoStacksRegime::new(registers),
+            true_depth: 0,
+            true_rdepth: 0,
+            ordinal: 0,
+            divergence: None,
+        }
+    }
+
+    /// The configuration name used in divergence reports.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Set the stack depths the observed machine starts with (both caches
+    /// always start empty). Defaults to zero.
+    pub fn set_initial_depths(&mut self, depth: usize, rdepth: usize) {
+        self.true_depth = i64::try_from(depth).unwrap_or(i64::MAX);
+        self.true_rdepth = i64::try_from(rdepth).unwrap_or(i64::MAX);
+    }
+
+    fn diverge(&mut self, ev: &ExecEvent, detail: String) {
+        self.divergence = Some(Divergence {
+            engines: ("reference".to_string(), self.name.clone()),
+            index: Some(self.ordinal),
+            ip: Some(ev.ip),
+            cache_state: Some(format!(
+                "d={},r={}",
+                self.sim.cached_data(),
+                self.sim.cached_return()
+            )),
+            detail,
+        });
+    }
+}
+
+impl ExecObserver for TwoStacksCheck {
+    fn event(&mut self, ev: &ExecEvent) {
+        if self.divergence.is_some() {
+            return;
+        }
+        self.ordinal += 1;
+        let e = &ev.effect;
+        let d0 = i64::from(self.sim.cached_data());
+        let r0 = i64::from(self.sim.cached_return());
+        let loads0 = self.sim.counts.loads;
+        let stores0 = self.sim.counts.stores;
+        self.sim.event(ev);
+        let d1 = i64::from(self.sim.cached_data());
+        let r1 = i64::from(self.sim.cached_return());
+        let loads = i64::try_from(self.sim.counts.loads - loads0).unwrap_or(i64::MAX);
+        let stores = i64::try_from(self.sim.counts.stores - stores0).unwrap_or(i64::MAX);
+        self.true_depth += i64::from(e.pushes) - i64::from(e.pops);
+        self.true_rdepth += i64::from(e.rnet);
+        let inst = ev.inst;
+
+        if d1 + r1 > i64::from(self.sim.registers()) {
+            self.diverge(
+                ev,
+                format!(
+                    "register file over-committed on {inst:?}: {d1} data + {r1} return \
+                     cached in {} registers",
+                    self.sim.registers()
+                ),
+            );
+            return;
+        }
+        let expected = d0 + loads - stores - i64::from(e.pops) + i64::from(e.pushes);
+        if d1 != expected {
+            self.diverge(
+                ev,
+                format!(
+                    "data-cache conservation violated on {inst:?}: next depth {d1} != \
+                     {d0} + {loads} loads - {stores} stores - {} pops + {} pushes = {expected}",
+                    e.pops, e.pushes
+                ),
+            );
+            return;
+        }
+        if d1 > self.true_depth {
+            self.diverge(
+                ev,
+                format!(
+                    "data cache claims {d1} items after {inst:?} but the stack holds only {}",
+                    self.true_depth
+                ),
+            );
+            return;
+        }
+        if r1 > self.true_rdepth {
+            self.diverge(
+                ev,
+                format!(
+                    "return cache claims {r1} items after {inst:?} but the return stack \
+                     holds only {}",
+                    self.true_rdepth
+                ),
+            );
+            return;
+        }
+        if r1 > r0 + i64::from(e.rnet.max(0)) {
+            self.diverge(
+                ev,
+                format!(
+                    "return cache grew from {r0} to {r1} on {inst:?} with a net return \
+                     effect of {}",
+                    e.rnet
+                ),
+            );
+        }
     }
 }

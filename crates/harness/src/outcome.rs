@@ -27,6 +27,7 @@ pub enum Trap {
     InvalidExecutionToken,
     InstructionOutOfBounds,
     FuelExhausted,
+    Cancelled,
 }
 
 impl From<&VmError> for Trap {
@@ -42,6 +43,7 @@ impl From<&VmError> for Trap {
             VmError::InvalidExecutionToken { .. } => Trap::InvalidExecutionToken,
             VmError::InstructionOutOfBounds { .. } => Trap::InstructionOutOfBounds,
             VmError::FuelExhausted { .. } => Trap::FuelExhausted,
+            VmError::Cancelled { .. } => Trap::Cancelled,
         }
     }
 }

@@ -1,0 +1,105 @@
+//! Oracle coverage for the input spaces the stack-shuffle generators
+//! never reach: opaque memory traffic from pre-seeded machine states, and
+//! nests of `call`/`return` words whose calling convention the static
+//! compiler must reconcile — with the two-stacks accounting checker
+//! auditing the shared register file in lockstep.
+
+use stackcache_harness::{cross_validate, cross_validate_on, gen, TwoStacksCheck, MEMORY_BYTES};
+use stackcache_vm::{exec, Machine, Rng};
+
+const FUEL: u64 = 1_000_000;
+
+#[test]
+fn oracle_covers_the_twostacks_regime() {
+    let p = gen::straight_line(&[(0, 1), (1, 2), (4, 0), (2, 3)]);
+    let a = cross_validate(&p, FUEL).expect("agrees");
+    assert!(
+        a.twostacks_configs >= 3,
+        "two-stacks register-file sizes under audit: {}",
+        a.twostacks_configs
+    );
+}
+
+#[test]
+fn oracle_agrees_on_memory_fodder_from_seeded_machines() {
+    for seed in 0..30u64 {
+        let mut rng = Rng::new(0x0A_C1E4 + seed);
+        let proto = gen::seeded_machine(&mut rng, MEMORY_BYTES, 6);
+        let choices = gen::random_choices(&mut rng, 120, 1 << 20);
+        let p = gen::memory_fodder(&choices, MEMORY_BYTES);
+        if let Err(d) = cross_validate_on(&p, &proto, FUEL) {
+            panic!("seed {seed}: {d}");
+        }
+    }
+}
+
+#[test]
+fn oracle_agrees_on_call_nests() {
+    for seed in 0..30u64 {
+        let mut rng = Rng::new(0x0A_C1E5 + seed);
+        let words = rng.range(1, 7);
+        let p = gen::call_nest_program(&mut rng, words);
+        if let Err(d) = cross_validate(&p, FUEL) {
+            panic!("seed {seed} ({words} words): {d}");
+        }
+    }
+}
+
+#[test]
+fn oracle_agrees_on_call_nests_from_seeded_machines() {
+    // pre-seeded data stacks give the shared register file data pressure
+    // while calls stack return addresses — the eviction path under audit
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(0x0A_C1E6 + seed);
+        let proto = gen::seeded_machine(&mut rng, MEMORY_BYTES, 8);
+        let p = gen::call_nest_program(&mut rng, 5);
+        if let Err(d) = cross_validate_on(&p, &proto, FUEL) {
+            panic!("seed {seed}: {d}");
+        }
+    }
+}
+
+/// The two-stacks checker, driven directly: call-heavy code with deep
+/// return-stack use keeps every invariant, starting from zero and from
+/// pre-seeded stack depths.
+#[test]
+fn twostacks_accounting_is_clean_on_call_nests() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(0x0A_C1E7 + seed);
+        let p = gen::call_nest_program(&mut rng, 6);
+        for regs in [3u8, 4, 6] {
+            let mut check = TwoStacksCheck::new(regs);
+            let mut m = Machine::with_memory(MEMORY_BYTES);
+            let _ = exec::run_with_observer(&p, &mut m, FUEL, &mut check);
+            if let Some(d) = check.divergence {
+                panic!("seed {seed}, {regs} registers: {d}");
+            }
+        }
+    }
+}
+
+/// A checker that is not told about a pre-seeded stack reports a phantom
+/// item: the no-phantom-items invariant really reads the true depth.
+#[test]
+fn twostacks_checker_catches_misdeclared_initial_depth() {
+    use stackcache_vm::{program_of, Inst};
+    let mut rng = Rng::new(0x0A_C1E8);
+    let proto = gen::seeded_machine(&mut rng, MEMORY_BYTES, 8);
+    // pops straight into the pre-seeded items
+    let p = program_of(&[Inst::Add, Inst::Add, Inst::Dot, Inst::Halt]);
+
+    // declared correctly: clean
+    let mut check = TwoStacksCheck::new(4);
+    check.set_initial_depths(proto.stack().len(), proto.rstack().len());
+    let mut m = proto.clone();
+    let _ = exec::run_with_observer(&p, &mut m, FUEL, &mut check);
+    assert!(check.divergence.is_none(), "{:?}", check.divergence);
+
+    // declared as empty while the machine pops real items: the cache
+    // appears to hold more than the claimed depth
+    let mut check = TwoStacksCheck::new(4);
+    let mut m = proto.clone();
+    let _ = exec::run_with_observer(&p, &mut m, FUEL, &mut check);
+    let d = check.divergence.expect("phantom item caught");
+    assert!(d.detail.contains("claims"), "{d}");
+}

@@ -37,6 +37,36 @@ fn soak_straight_line() {
 
 #[test]
 #[ignore = "soak: minutes of fuzzing, run explicitly"]
+fn soak_memory_fodder() {
+    use stackcache_harness::{cross_validate_on, MEMORY_BYTES};
+    for seed in 0..2_000u64 {
+        let mut rng = Rng::new(0x50AC_3000 + seed);
+        let proto = gen::seeded_machine(&mut rng, MEMORY_BYTES, 6);
+        let choices = gen::random_choices(&mut rng, 160, 1 << 20);
+        let p = gen::memory_fodder(&choices, MEMORY_BYTES);
+        if let Err(d) = cross_validate_on(&p, &proto, FUEL) {
+            let _ = stackcache_harness::corpus::save_failure(&p);
+            panic!("memory seed {seed}: {d}");
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of fuzzing, run explicitly"]
+fn soak_call_nests() {
+    for seed in 0..2_000u64 {
+        let mut rng = Rng::new(0x50AC_4000 + seed);
+        let words = rng.range(1, 8);
+        let p = gen::call_nest_program(&mut rng, words);
+        if let Err(d) = cross_validate(&p, FUEL) {
+            let _ = stackcache_harness::corpus::save_failure(&p);
+            panic!("call-nest seed {seed}: {d}");
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak: minutes of fuzzing, run explicitly"]
 fn soak_peephole_fodder() {
     for seed in 0..4_000u64 {
         let mut rng = Rng::new(0x50AC_2000 + seed);

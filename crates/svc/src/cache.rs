@@ -1,0 +1,179 @@
+//! The sharded compiled-program cache: translate once per
+//! `(program, regime, peephole)` configuration, execute many times.
+//!
+//! Keys are a 64-bit hash of the program's instructions and entry point
+//! plus the execution configuration; values are cheaply clonable
+//! [`CompiledArtifact`]s. Shards bound lock contention: two workers
+//! compiling different programs almost never touch the same lock, and
+//! compilation itself happens *outside* the shard lock (two workers
+//! racing on the same cold key may both compile — the winner's artifact
+//! is kept, which is cheaper than serializing every miss behind a lock).
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use stackcache_core::{CompiledArtifact, EngineRegime};
+use stackcache_vm::Program;
+
+/// A cache key: program identity (by content hash) plus the compilation
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    program: u64,
+    regime: EngineRegime,
+    peephole: bool,
+}
+
+/// Content hash of a program: entry point and instruction sequence.
+fn program_hash(program: &Program) -> u64 {
+    let mut h = DefaultHasher::new();
+    program.entry().hash(&mut h);
+    program.insts().hash(&mut h);
+    h.finish()
+}
+
+/// A sharded map from `(program, regime, peephole)` to compiled
+/// artifacts, shared by every worker.
+#[derive(Debug)]
+pub struct ProgramCache {
+    shards: Vec<Mutex<HashMap<Key, Arc<CompiledArtifact>>>>,
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The artifact was already cached.
+    Hit,
+    /// The artifact was compiled (and cached) by this call.
+    Miss,
+}
+
+impl ProgramCache {
+    /// A cache with `shards` independently locked partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        ProgramCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<HashMap<Key, Arc<CompiledArtifact>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// The artifact for `(program, regime, peephole)`, compiling on miss.
+    pub fn get_or_compile(
+        &self,
+        program: &Program,
+        regime: EngineRegime,
+        peephole: bool,
+    ) -> (Arc<CompiledArtifact>, Lookup) {
+        let key = Key {
+            program: program_hash(program),
+            regime,
+            peephole,
+        };
+        let shard = self.shard(&key);
+        if let Some(a) = shard.lock().expect("cache shard lock").get(&key) {
+            return (Arc::clone(a), Lookup::Hit);
+        }
+        // compile outside the lock: a racing worker may also compile this
+        // key, and the first insert wins
+        let compiled = Arc::new(CompiledArtifact::compile(program, regime, peephole));
+        let mut map = shard.lock().expect("cache shard lock");
+        match map.entry(key) {
+            Entry::Occupied(e) => (Arc::clone(e.get()), Lookup::Hit),
+            Entry::Vacant(e) => {
+                e.insert(Arc::clone(&compiled));
+                (compiled, Lookup::Miss)
+            }
+        }
+    }
+
+    /// Total cached artifacts across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no artifacts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::{program_of, Inst};
+
+    fn p1() -> Program {
+        program_of(&[Inst::Lit(6), Inst::Dup, Inst::Mul, Inst::Dot, Inst::Halt])
+    }
+
+    fn p2() -> Program {
+        program_of(&[Inst::Lit(7), Inst::Dup, Inst::Add, Inst::Dot, Inst::Halt])
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_artifact() {
+        let cache = ProgramCache::new(4);
+        let (a, l1) = cache.get_or_compile(&p1(), EngineRegime::Static(2), true);
+        let (b, l2) = cache.get_or_compile(&p1(), EngineRegime::Static(2), true);
+        assert_eq!((l1, l2), (Lookup::Miss, Lookup::Hit));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configurations_are_distinct_entries() {
+        let cache = ProgramCache::new(4);
+        let configs = [
+            (p1(), EngineRegime::Static(2), true),
+            (p1(), EngineRegime::Static(2), false),
+            (p1(), EngineRegime::Static(1), true),
+            (p1(), EngineRegime::Tos, true),
+            (p2(), EngineRegime::Static(2), true),
+        ];
+        for (p, r, ph) in &configs {
+            let (_, l) = cache.get_or_compile(p, *r, *ph);
+            assert_eq!(l, Lookup::Miss);
+        }
+        assert_eq!(cache.len(), configs.len());
+        for (p, r, ph) in &configs {
+            let (_, l) = cache.get_or_compile(p, *r, *ph);
+            assert_eq!(l, Lookup::Hit);
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_converge() {
+        use std::thread;
+        let cache = Arc::new(ProgramCache::new(2));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || cache.get_or_compile(&p1(), EngineRegime::Static(3), true).0)
+            })
+            .collect();
+        let artifacts: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(cache.len(), 1);
+        // everyone ends up executing (and the cache retains) one artifact
+        for a in &artifacts {
+            assert_eq!(a.regime(), EngineRegime::Static(3));
+        }
+    }
+}

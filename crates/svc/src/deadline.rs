@@ -1,0 +1,134 @@
+//! Cooperative deadline and shutdown cancellation for in-flight runs.
+//!
+//! [`DeadlineObserver`] plugs into the reference interpreter's
+//! [`ExecObserver::poll_cancel`] hook: every instruction it can stop the
+//! run, but it only consults the clock every
+//! [`POLL_INTERVAL`](DeadlineObserver::POLL_INTERVAL) instructions so the
+//! common case costs one counter increment. The other regimes run
+//! uninstrumented; their deadline is enforced at dequeue time and their
+//! runtime is bounded by fuel.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use stackcache_vm::{ExecEvent, ExecObserver};
+
+/// Why a run was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The request's wall-clock deadline passed mid-run.
+    Deadline,
+    /// The service was aborted while the run was in flight.
+    Abort,
+}
+
+/// An observer that cancels execution at a wall-clock deadline or when a
+/// shared abort flag is raised.
+#[derive(Debug)]
+pub struct DeadlineObserver {
+    deadline: Option<Instant>,
+    abort: Arc<AtomicBool>,
+    ticks: u32,
+    cause: Option<CancelCause>,
+}
+
+impl DeadlineObserver {
+    /// Instructions between clock checks (a power of two; the in-between
+    /// polls cost one increment and one mask).
+    pub const POLL_INTERVAL: u32 = 1024;
+
+    /// An observer enforcing `deadline` (if any) and `abort`.
+    #[must_use]
+    pub fn new(deadline: Option<Instant>, abort: Arc<AtomicBool>) -> Self {
+        DeadlineObserver {
+            deadline,
+            abort,
+            ticks: 0,
+            cause: None,
+        }
+    }
+
+    /// What cancelled the run, once [`poll_cancel`](ExecObserver::poll_cancel)
+    /// has returned `true`.
+    #[must_use]
+    pub fn cause(&self) -> Option<CancelCause> {
+        self.cause
+    }
+}
+
+impl ExecObserver for DeadlineObserver {
+    fn event(&mut self, _ev: &ExecEvent) {}
+
+    fn poll_cancel(&mut self) -> bool {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & (Self::POLL_INTERVAL - 1) != 0 {
+            return false;
+        }
+        if self.abort.load(Ordering::Relaxed) {
+            self.cause = Some(CancelCause::Abort);
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.cause = Some(CancelCause::Deadline);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::{exec, Inst, Machine, ProgramBuilder, VmError};
+    use std::time::Duration;
+
+    /// An infinite loop, stoppable only by fuel or cancellation.
+    fn spin() -> stackcache_vm::Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::Nop);
+        b.branch(top);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn expired_deadline_cancels_an_infinite_loop() {
+        let p = spin();
+        let abort = Arc::new(AtomicBool::new(false));
+        let deadline = Instant::now() + Duration::from_millis(10);
+        let mut obs = DeadlineObserver::new(Some(deadline), abort);
+        let mut m = Machine::new();
+        let err = exec::run_with_observer(&p, &mut m, u64::MAX, &mut obs).unwrap_err();
+        assert!(matches!(err, VmError::Cancelled { .. }), "{err}");
+        assert_eq!(obs.cause(), Some(CancelCause::Deadline));
+    }
+
+    #[test]
+    fn raised_abort_flag_cancels_and_reports_abort() {
+        let p = spin();
+        let abort = Arc::new(AtomicBool::new(true));
+        let mut obs = DeadlineObserver::new(None, abort);
+        let mut m = Machine::new();
+        let err = exec::run_with_observer(&p, &mut m, u64::MAX, &mut obs).unwrap_err();
+        assert!(matches!(err, VmError::Cancelled { .. }), "{err}");
+        assert_eq!(obs.cause(), Some(CancelCause::Abort));
+    }
+
+    #[test]
+    fn unconstrained_runs_are_not_cancelled() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Lit(1));
+        b.push(Inst::Dot);
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut obs = DeadlineObserver::new(None, abort);
+        let mut m = Machine::new();
+        exec::run_with_observer(&p, &mut m, 1_000, &mut obs).expect("clean run");
+        assert_eq!(m.output_string(), "1 ");
+    }
+}

@@ -1,0 +1,348 @@
+//! A multi-threaded execution service over the stack-caching engines.
+//!
+//! The paper's static method trades compile time for run time; that trade
+//! only pays when a translation is reused. This crate supplies the reuse:
+//! a [`Service`] owns a pool of worker threads (one per core by default)
+//! fed from a bounded job queue, and a sharded cache of
+//! [`CompiledArtifact`](stackcache_core::CompiledArtifact)s keyed by
+//! `(program, regime, peephole)` — so static stack-cache codegen runs
+//! once per program, not once per request.
+//!
+//! The serving-layer mechanics around it:
+//!
+//! * **admission control** — a full queue rejects
+//!   ([`SubmitError::QueueFull`]) instead of blocking or dropping; the
+//!   submitter owns the retry policy;
+//! * **deadlines and fuel** — every request carries an instruction budget,
+//!   and optionally a wall-clock deadline enforced at dequeue and (on the
+//!   cancellable reference engine) mid-run through the
+//!   [`poll_cancel`](stackcache_vm::ExecObserver::poll_cancel) hook; both
+//!   produce structured [`Rejection`]s, never panics;
+//! * **graceful shutdown** — [`Service::shutdown`] drains every accepted
+//!   job before joining the pool; [`Service::abort`] answers pending jobs
+//!   with [`Rejection::ShutDown`] and cancels cancellable in-flight runs;
+//! * **metrics** — atomic counters and power-of-two latency histograms
+//!   per regime, snapshotted as p50/p90/p99 via [`Service::metrics`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use stackcache_core::EngineRegime;
+//! use stackcache_svc::{Reply, Request, Service, ServiceConfig};
+//! use stackcache_vm::{program_of, Inst, Machine};
+//!
+//! let svc = Service::start(ServiceConfig::default());
+//! let program = Arc::new(program_of(&[
+//!     Inst::Lit(6),
+//!     Inst::Dup,
+//!     Inst::Mul,
+//!     Inst::Dot,
+//!     Inst::Halt,
+//! ]));
+//! let ticket = svc
+//!     .submit(Request::new(program, EngineRegime::Static(2)).fuel(1_000))
+//!     .expect("admitted");
+//! match ticket.wait() {
+//!     Reply::Completed(c) => assert_eq!(c.outcome.output, b"36 "),
+//!     Reply::Rejected(r) => panic!("rejected: {r:?}"),
+//! }
+//! svc.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod deadline;
+pub mod metrics;
+pub mod queue;
+mod worker;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stackcache_core::EngineRegime;
+use stackcache_harness::{Outcome, MEMORY_BYTES};
+use stackcache_vm::{Machine, Program};
+
+use crate::cache::ProgramCache;
+use crate::metrics::Metrics;
+use crate::queue::{Bounded, PushError};
+use crate::worker::{worker_loop, Job, Shared};
+
+pub use crate::metrics::{MetricsSnapshot, RegimeSnapshot};
+
+/// One execution request: a program, the machine state to start from, and
+/// the execution configuration and limits.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The program to execute.
+    pub program: Arc<Program>,
+    /// Prototype machine each run starts from a clone of.
+    pub proto: Arc<Machine>,
+    /// Which engine runs it.
+    pub regime: EngineRegime,
+    /// Peephole-optimize before translation.
+    pub peephole: bool,
+    /// Instruction budget; exhausting it rejects the request with
+    /// [`Rejection::FuelExhausted`].
+    pub fuel: u64,
+    /// Wall-clock budget, measured from submission; `None` means
+    /// fuel-bounded only.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with the service defaults: a fresh machine with the
+    /// harness's standard memory size, no peephole, a generous fuel
+    /// budget, no deadline.
+    #[must_use]
+    pub fn new(program: Arc<Program>, regime: EngineRegime) -> Self {
+        Request {
+            program,
+            proto: Arc::new(Machine::with_memory(MEMORY_BYTES)),
+            regime,
+            peephole: false,
+            fuel: 1_000_000_000,
+            deadline: None,
+        }
+    }
+
+    /// Start each run from a clone of `proto` instead of a fresh machine.
+    #[must_use]
+    pub fn on(mut self, proto: Arc<Machine>) -> Self {
+        self.proto = proto;
+        self
+    }
+
+    /// Peephole-optimize the program before translation.
+    #[must_use]
+    pub fn peephole(mut self, on: bool) -> Self {
+        self.peephole = on;
+        self
+    }
+
+    /// Set the instruction budget.
+    #[must_use]
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Set a wall-clock deadline, measured from submission.
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// A request that ran to an outcome.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Everything observable about the run (stacks, memory, output, trap).
+    pub outcome: Outcome,
+    /// Whether the compiled artifact came from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock execution time (excluding queueing).
+    pub latency: Duration,
+}
+
+/// Why a request was refused without a (full) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The wall-clock deadline passed before or during execution.
+    DeadlineExpired,
+    /// The instruction budget ran out.
+    FuelExhausted,
+    /// The service shut down before the request could run.
+    ShutDown,
+}
+
+/// The service's answer to one request.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// The program ran to an outcome — a clean halt *or* a runtime trap;
+    /// traps are outcomes, not service errors.
+    Completed(Completion),
+    /// The request was refused; no outcome exists.
+    Rejected(Rejection),
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry later (backpressure).
+    QueueFull,
+    /// The service is shutting down; no further work is accepted.
+    ShuttingDown,
+}
+
+/// A handle to one submitted request's eventual [`Reply`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Block until the service answers.
+    #[must_use]
+    pub fn wait(self) -> Reply {
+        // a worker answers every accepted job; an abort that races the
+        // pool teardown still refuses the job before dropping it
+        self.rx
+            .recv()
+            .unwrap_or(Reply::Rejected(Rejection::ShutDown))
+    }
+
+    /// The reply, if it has already arrived.
+    #[must_use]
+    pub fn try_wait(&self) -> Option<Reply> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Service sizing.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads. Defaults to one per core.
+    pub workers: usize,
+    /// Maximum jobs waiting in the queue (admission control bound).
+    pub queue_capacity: usize,
+    /// Independently locked partitions of the compiled-program cache.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        ServiceConfig {
+            workers,
+            queue_capacity: workers * 64,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// The execution service: a worker pool over a bounded queue, a shared
+/// compiled-program cache, and a metrics registry.
+///
+/// Dropping the service performs a graceful [`shutdown`](Service::shutdown)
+/// if one hasn't happened yet.
+#[derive(Debug)]
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero (a service that can never
+    /// answer) or a worker thread cannot be spawned.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_capacity),
+            cache: ProgramCache::new(config.cache_shards),
+            metrics: Metrics::new(),
+            abort: Arc::new(AtomicBool::new(false)),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// Submit a request; returns a [`Ticket`] for its reply, or an
+    /// admission rejection (full queue, shutdown).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under backpressure — the request did not
+    /// enter the queue and may be retried. [`SubmitError::ShuttingDown`]
+    /// after shutdown began.
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let deadline = request.deadline.map(|d| Instant::now() + d);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            deadline,
+            reply: tx,
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => {
+                self.shared.metrics.on_submitted();
+                Ok(Ticket { rx })
+            }
+            Err((_, PushError::Full)) => {
+                self.shared.metrics.on_queue_full();
+                Err(SubmitError::QueueFull)
+            }
+            Err((_, PushError::Closed)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// A point-in-time snapshot of every counter and latency quantile.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Compiled artifacts currently cached.
+    #[must_use]
+    pub fn cached_programs(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Stop accepting work, run every already-accepted job to its reply,
+    /// and join the pool. Every outstanding [`Ticket`] resolves.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.finish(false);
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stop as fast as cooperatively possible: pending jobs are answered
+    /// [`Rejection::ShutDown`] without executing, and in-flight runs on
+    /// the cancellable reference engine are cancelled. Joins the pool.
+    pub fn abort(mut self) -> MetricsSnapshot {
+        self.finish(true);
+        self.shared.metrics.snapshot()
+    }
+
+    fn finish(&mut self, abort: bool) {
+        if abort {
+            self.shared.abort.store(true, Ordering::Relaxed);
+            for job in self.shared.queue.close_and_take() {
+                job.refuse(&self.shared.metrics);
+            }
+        } else {
+            self.shared.queue.close();
+        }
+        for w in self.workers.drain(..) {
+            // a worker that panicked already poisoned nothing we read
+            // after the join; surface the panic here
+            if let Err(e) = w.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() && !thread::panicking() {
+            self.finish(false);
+        }
+    }
+}

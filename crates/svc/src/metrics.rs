@@ -1,0 +1,290 @@
+//! Lock-free service metrics: atomic counters and power-of-two latency
+//! histograms, one slot per [`EngineRegime`], snapshotted on demand.
+//!
+//! No external dependencies: a counter is an `AtomicU64`, a histogram is
+//! 64 atomic buckets where bucket `i` holds latencies in
+//! `[2^i, 2^(i+1))` nanoseconds, and quantiles are read from the
+//! cumulative bucket counts (resolution: a factor of two, plenty for a
+//! throughput report).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+
+/// Number of histogram buckets; bucket `i` covers `[2^i, 2^(i+1))` ns,
+/// so 64 buckets span every representable latency.
+const BUCKETS: usize = 64;
+
+/// A power-of-two latency histogram with atomic buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let i = (ns | 1).ilog2() as usize;
+        self.buckets[i.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket the
+    /// rank falls in, or `None` with no observations.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
+                return Some(Duration::from_nanos(upper));
+            }
+        }
+        Some(Duration::from_nanos(u64::MAX))
+    }
+}
+
+/// Per-regime counters and latency distribution.
+#[derive(Debug)]
+struct RegimeMetrics {
+    completed: AtomicU64,
+    traps: AtomicU64,
+    fuel_exhausted: AtomicU64,
+    deadline_expired: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency: Histogram,
+}
+
+impl RegimeMetrics {
+    fn new() -> Self {
+        RegimeMetrics {
+            completed: AtomicU64::new(0),
+            traps: AtomicU64::new(0),
+            fuel_exhausted: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// The service's metrics registry: shared by every worker, snapshotted by
+/// anyone holding the service handle.
+#[derive(Debug)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    regimes: Vec<RegimeMetrics>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            regimes: (0..EngineRegime::ALL.len())
+                .map(|_| RegimeMetrics::new())
+                .collect(),
+        }
+    }
+
+    fn of(&self, regime: EngineRegime) -> &RegimeMetrics {
+        &self.regimes[regime.index()]
+    }
+
+    pub(crate) fn on_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_queue_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_shutdown_rejection(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_cache_hit(&self, regime: EngineRegime) {
+        self.of(regime).cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_cache_miss(&self, regime: EngineRegime) {
+        self.of(regime).cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_completed(&self, regime: EngineRegime, trapped: bool, latency: Duration) {
+        let r = self.of(regime);
+        r.completed.fetch_add(1, Ordering::Relaxed);
+        if trapped {
+            r.traps.fetch_add(1, Ordering::Relaxed);
+        }
+        r.latency.record(latency);
+    }
+
+    pub(crate) fn on_fuel_exhausted(&self, regime: EngineRegime) {
+        self.of(regime)
+            .fuel_exhausted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_deadline_expired(&self, regime: EngineRegime) {
+        self.of(regime)
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter and quantile.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            regimes: EngineRegime::ALL
+                .iter()
+                .map(|&regime| {
+                    let r = self.of(regime);
+                    RegimeSnapshot {
+                        regime,
+                        completed: r.completed.load(Ordering::Relaxed),
+                        traps: r.traps.load(Ordering::Relaxed),
+                        fuel_exhausted: r.fuel_exhausted.load(Ordering::Relaxed),
+                        deadline_expired: r.deadline_expired.load(Ordering::Relaxed),
+                        cache_hits: r.cache_hits.load(Ordering::Relaxed),
+                        cache_misses: r.cache_misses.load(Ordering::Relaxed),
+                        p50: r.latency.quantile(0.50),
+                        p90: r.latency.quantile(0.90),
+                        p99: r.latency.quantile(0.99),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One regime's counters at snapshot time.
+#[derive(Debug, Clone)]
+pub struct RegimeSnapshot {
+    /// The regime these counters describe.
+    pub regime: EngineRegime,
+    /// Requests that ran to an outcome (clean halt or trap).
+    pub completed: u64,
+    /// Completions that ended in a trap.
+    pub traps: u64,
+    /// Requests rejected because the instruction budget ran out.
+    pub fuel_exhausted: u64,
+    /// Requests rejected because their deadline expired.
+    pub deadline_expired: u64,
+    /// Executions served from the compiled-program cache.
+    pub cache_hits: u64,
+    /// Executions that had to compile.
+    pub cache_misses: u64,
+    /// Median completion latency.
+    pub p50: Option<Duration>,
+    /// 90th-percentile completion latency.
+    pub p90: Option<Duration>,
+    /// 99th-percentile completion latency.
+    pub p99: Option<Duration>,
+}
+
+/// Every counter and quantile at one point in time.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests answered `ShutDown` without executing.
+    pub rejected_shutdown: u64,
+    /// Per-regime counters, in [`EngineRegime::ALL`] order.
+    pub regimes: Vec<RegimeSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total cache hits across regimes.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.regimes.iter().map(|r| r.cache_hits).sum()
+    }
+
+    /// Total cache misses across regimes.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.regimes.iter().map(|r| r.cache_misses).sum()
+    }
+
+    /// Total completions across regimes.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.regimes.iter().map(|r| r.completed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for us in [10u64, 20, 40, 80, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile(0.5).unwrap();
+        // the median observation (40us) lands in [32768ns, 65536ns); the
+        // reported quantile is that bucket's upper bound
+        assert!(p50 >= Duration::from_micros(40) && p50 <= Duration::from_micros(66));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= Duration::from_micros(1000));
+        assert!(h.quantile(0.0).is_some());
+    }
+
+    #[test]
+    fn snapshot_sums_per_regime_counters() {
+        let m = Metrics::new();
+        m.on_submitted();
+        m.on_cache_miss(EngineRegime::Tos);
+        m.on_cache_hit(EngineRegime::Tos);
+        m.on_cache_hit(EngineRegime::Dyncache);
+        m.on_completed(EngineRegime::Tos, false, Duration::from_micros(3));
+        m.on_completed(EngineRegime::Tos, true, Duration::from_micros(5));
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 1);
+        assert_eq!(s.cache_hits(), 2);
+        assert_eq!(s.cache_misses(), 1);
+        let tos = &s.regimes[EngineRegime::Tos.index()];
+        assert_eq!((tos.completed, tos.traps), (2, 1));
+        assert!(tos.p50.is_some() && tos.p99.is_some());
+    }
+}

@@ -1,0 +1,214 @@
+//! A bounded multi-producer/multi-consumer job queue with admission
+//! control, built from `std` primitives (`Mutex` + `Condvar`).
+//!
+//! Backpressure is *rejection*, not blocking: a full queue refuses the
+//! job and hands it back to the submitter, who decides whether to retry.
+//! Consumers block until a job arrives or the queue is closed; closing
+//! wakes every consumer, and the remaining jobs can be drained (graceful
+//! shutdown answers them, abort refuses them).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the job was not enqueued.
+    Full,
+    /// The queue has been closed; no further jobs are accepted.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue. `push` never blocks; `pop` blocks until a job or
+/// close.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue admits nothing");
+        Bounded {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue a job, or refuse it if the queue is full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Bounded::close); the job is dropped by the caller in
+    /// both cases (it never entered the queue).
+    pub fn push(&self, job: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err((job, PushError::Closed));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err((job, PushError::Full));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next job, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Close the queue: refuse future pushes, wake every blocked
+    /// consumer. Already-enqueued jobs remain poppable (graceful drain).
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Close and empty the queue, returning the jobs that never ran.
+    pub fn close_and_take(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        let jobs = inner.jobs.drain(..).collect();
+        drop(inner);
+        self.ready.notify_all();
+        jobs
+    }
+
+    /// Jobs currently waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Whether no jobs are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = Bounded::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let (job, e) = q.push(3).unwrap_err();
+        assert_eq!((job, e), (3, PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn close_wakes_consumers_and_drains_backlog() {
+        let q = Arc::new(Bounded::new(8));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        let (job, e) = q.push(3).unwrap_err();
+        assert_eq!((job, e), (3, PushError::Closed));
+        // the backlog is still served in order, then consumers see None
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+
+        // a consumer blocked on an empty queue is woken by close
+        let q2 = Arc::new(Bounded::<i32>::new(1));
+        let qc = Arc::clone(&q2);
+        let h = thread::spawn(move || qc.pop());
+        q2.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_and_take_returns_unserved_jobs() {
+        let q = Bounded::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.close_and_take(), vec![1, 2]);
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_every_job() {
+        let q = Arc::new(Bounded::new(64));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    let mut job = p * 100 + i;
+                    loop {
+                        match q.push(job) {
+                            Ok(()) => break,
+                            Err((j, PushError::Full)) => {
+                                job = j;
+                                thread::yield_now();
+                            }
+                            Err((_, PushError::Closed)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(j) = q.pop() {
+                    got.push(j);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+}

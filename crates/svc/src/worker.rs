@@ -1,0 +1,117 @@
+//! The worker loop: dequeue a job, resolve its artifact through the
+//! shared cache, execute it on a fresh machine, classify the result, and
+//! answer the submitter's ticket.
+//!
+//! Every path out of a job answers the ticket exactly once: admission
+//! checks reject expired deadlines and aborted-service jobs without
+//! executing; fuel exhaustion and cancellation become structured
+//! [`Rejection`]s; everything else — clean halts *and* runtime traps —
+//! is a [`Completion`] carrying the captured [`Outcome`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use stackcache_harness::Outcome;
+use stackcache_vm::VmError;
+
+use crate::cache::{Lookup, ProgramCache};
+use crate::deadline::{CancelCause, DeadlineObserver};
+use crate::metrics::Metrics;
+use crate::queue::Bounded;
+use crate::{Completion, Rejection, Reply, Request};
+
+/// An accepted request on its way through the queue.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    /// Absolute deadline, resolved at submission.
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: mpsc::Sender<Reply>,
+}
+
+impl Job {
+    fn answer(self, reply: Reply) {
+        // the submitter may have dropped its ticket; that is its right
+        let _ = self.reply.send(reply);
+    }
+
+    /// Answer without executing (service shutdown/abort).
+    pub(crate) fn refuse(self, metrics: &Metrics) {
+        metrics.on_shutdown_rejection();
+        self.answer(Reply::Rejected(Rejection::ShutDown));
+    }
+}
+
+/// Shared state every worker thread runs against.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) queue: Bounded<Job>,
+    pub(crate) cache: ProgramCache,
+    pub(crate) metrics: Metrics,
+    pub(crate) abort: Arc<AtomicBool>,
+}
+
+/// Pop and serve jobs until the queue is closed and drained.
+pub(crate) fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        serve(shared, job);
+    }
+}
+
+fn serve(shared: &Shared, job: Job) {
+    let regime = job.request.regime;
+    if shared.abort.load(Ordering::Relaxed) {
+        job.refuse(&shared.metrics);
+        return;
+    }
+    if let Some(d) = job.deadline {
+        if Instant::now() >= d {
+            shared.metrics.on_deadline_expired(regime);
+            job.answer(Reply::Rejected(Rejection::DeadlineExpired));
+            return;
+        }
+    }
+
+    let (artifact, lookup) =
+        shared
+            .cache
+            .get_or_compile(&job.request.program, regime, job.request.peephole);
+    let cache_hit = lookup == Lookup::Hit;
+    if cache_hit {
+        shared.metrics.on_cache_hit(regime);
+    } else {
+        shared.metrics.on_cache_miss(regime);
+    }
+
+    let mut machine = (*job.request.proto).clone();
+    let mut observer = DeadlineObserver::new(job.deadline, Arc::clone(&shared.abort));
+    let start = Instant::now();
+    let result = artifact.run_observed(&mut machine, job.request.fuel, &mut observer);
+    let latency = start.elapsed();
+
+    match result {
+        Err(VmError::FuelExhausted { .. }) => {
+            shared.metrics.on_fuel_exhausted(regime);
+            job.answer(Reply::Rejected(Rejection::FuelExhausted));
+        }
+        Err(VmError::Cancelled { .. }) => {
+            if observer.cause() == Some(CancelCause::Abort) {
+                job.refuse(&shared.metrics);
+            } else {
+                shared.metrics.on_deadline_expired(regime);
+                job.answer(Reply::Rejected(Rejection::DeadlineExpired));
+            }
+        }
+        other => {
+            let trapped = other.is_err();
+            let outcome = Outcome::capture(&machine, other);
+            shared.metrics.on_completed(regime, trapped, latency);
+            job.answer(Reply::Completed(Completion {
+                outcome,
+                cache_hit,
+                latency,
+            }));
+        }
+    }
+}

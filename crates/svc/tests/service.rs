@@ -1,0 +1,254 @@
+//! End-to-end service tests: the worker pool answers every ticket, the
+//! cache is observed hitting, deadlines and fuel produce structured
+//! rejections, backpressure rejects at admission, and shutdown drains.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+use stackcache_svc::{Rejection, Reply, Request, Service, ServiceConfig, SubmitError};
+use stackcache_vm::{program_of, Inst, Program, ProgramBuilder};
+
+fn config(workers: usize, queue: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        cache_shards: 4,
+    }
+}
+
+fn square(n: i64) -> Arc<Program> {
+    Arc::new(program_of(&[
+        Inst::Lit(n),
+        Inst::Dup,
+        Inst::Mul,
+        Inst::Dot,
+        Inst::Halt,
+    ]))
+}
+
+/// An infinite loop, stoppable only by fuel or cancellation.
+fn spin() -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.bind(top).unwrap();
+    b.push(Inst::Nop);
+    b.branch(top);
+    Arc::new(b.finish().unwrap())
+}
+
+#[test]
+fn every_regime_answers_with_the_same_output() {
+    let svc = Service::start(config(4, 64));
+    let program = square(7);
+    let tickets: Vec<_> = EngineRegime::ALL
+        .iter()
+        .flat_map(|&regime| {
+            [false, true].map(|ph| {
+                let t = svc
+                    .submit(Request::new(Arc::clone(&program), regime).peephole(ph))
+                    .expect("admitted");
+                (regime, t)
+            })
+        })
+        .collect();
+    for (regime, t) in tickets {
+        match t.wait() {
+            Reply::Completed(c) => {
+                assert_eq!(c.outcome.output, b"49 ", "{}", regime.name());
+                assert_eq!(c.outcome.trap, None, "{}", regime.name());
+            }
+            Reply::Rejected(r) => panic!("{}: rejected {r:?}", regime.name()),
+        }
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.completed(), 16);
+}
+
+#[test]
+fn repeated_programs_hit_the_cache() {
+    let svc = Service::start(config(2, 64));
+    let program = square(9);
+    let mut hits = 0;
+    for _ in 0..8 {
+        let t = svc
+            .submit(Request::new(Arc::clone(&program), EngineRegime::Static(2)))
+            .expect("admitted");
+        match t.wait() {
+            Reply::Completed(c) => hits += u64::from(c.cache_hit),
+            Reply::Rejected(r) => panic!("rejected {r:?}"),
+        }
+    }
+    // sequential waits: after the first compile, every run is a hit
+    assert_eq!(hits, 7);
+    assert_eq!(svc.cached_programs(), 1);
+    let m = svc.shutdown();
+    assert!(m.cache_hits() >= 1, "metrics observed the hits");
+    assert_eq!(m.cache_hits(), 7);
+    assert_eq!(m.cache_misses(), 1);
+}
+
+#[test]
+fn deadline_cancels_an_infinite_reference_run() {
+    let svc = Service::start(config(2, 8));
+    let t = svc
+        .submit(
+            Request::new(spin(), EngineRegime::Reference)
+                .fuel(u64::MAX)
+                .deadline(Duration::from_millis(10)),
+        )
+        .expect("admitted");
+    match t.wait() {
+        Reply::Rejected(Rejection::DeadlineExpired) => {}
+        other => panic!("expected a deadline rejection, got {other:?}"),
+    }
+    let m = svc.shutdown();
+    assert_eq!(
+        m.regimes[EngineRegime::Reference.index()].deadline_expired,
+        1
+    );
+}
+
+#[test]
+fn already_expired_deadline_rejects_without_running() {
+    let svc = Service::start(config(1, 8));
+    let t = svc
+        .submit(Request::new(square(3), EngineRegime::Baseline).deadline(Duration::ZERO))
+        .expect("admitted");
+    match t.wait() {
+        Reply::Rejected(Rejection::DeadlineExpired) => {}
+        other => panic!("expected a deadline rejection, got {other:?}"),
+    }
+    // nothing was compiled for it
+    assert_eq!(svc.cached_programs(), 0);
+    svc.shutdown();
+}
+
+#[test]
+fn fuel_exhaustion_is_a_structured_rejection() {
+    let svc = Service::start(config(2, 8));
+    let t = svc
+        .submit(Request::new(spin(), EngineRegime::Tos).fuel(10_000))
+        .expect("admitted");
+    match t.wait() {
+        Reply::Rejected(Rejection::FuelExhausted) => {}
+        other => panic!("expected a fuel rejection, got {other:?}"),
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.regimes[EngineRegime::Tos.index()].fuel_exhausted, 1);
+}
+
+#[test]
+fn traps_are_outcomes_not_rejections() {
+    use stackcache_harness::Trap;
+    let svc = Service::start(config(2, 8));
+    let p = Arc::new(program_of(&[
+        Inst::Lit(1),
+        Inst::Lit(0),
+        Inst::Div,
+        Inst::Halt,
+    ]));
+    let t = svc
+        .submit(Request::new(p, EngineRegime::Dyncache))
+        .expect("admitted");
+    match t.wait() {
+        Reply::Completed(c) => assert_eq!(c.outcome.trap, Some(Trap::DivisionByZero)),
+        Reply::Rejected(r) => panic!("a trap is an outcome, got rejection {r:?}"),
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.regimes[EngineRegime::Dyncache.index()].traps, 1);
+}
+
+#[test]
+fn full_queue_rejects_at_admission_and_accepted_jobs_still_answer() {
+    // one worker pinned on slow jobs, capacity 2: submissions must start
+    // bouncing with QueueFull, and every accepted ticket still resolves
+    let svc = Service::start(config(1, 2));
+    let slow = Request::new(spin(), EngineRegime::Baseline).fuel(20_000_000);
+    let mut tickets = Vec::new();
+    let mut saw_full = false;
+    for _ in 0..64 {
+        match svc.submit(slow.clone()) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::QueueFull) => {
+                saw_full = true;
+                break;
+            }
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+    assert!(saw_full, "a 2-slot queue behind one worker must fill");
+    assert!(tickets.len() >= 2, "some jobs were accepted");
+    for t in tickets {
+        match t.wait() {
+            Reply::Rejected(Rejection::FuelExhausted) => {}
+            other => panic!("slow job should exhaust fuel, got {other:?}"),
+        }
+    }
+    let m = svc.shutdown();
+    assert!(m.rejected_queue_full >= 1);
+}
+
+#[test]
+fn shutdown_drains_every_accepted_job() {
+    let svc = Service::start(config(2, 64));
+    let tickets: Vec<_> = (0..32)
+        .map(|i| {
+            svc.submit(Request::new(square(i), EngineRegime::Static(1)))
+                .expect("admitted")
+        })
+        .collect();
+    let m = svc.shutdown();
+    assert_eq!(m.completed(), 32, "shutdown ran every accepted job");
+    for t in tickets {
+        match t.wait() {
+            Reply::Completed(c) => assert_eq!(c.outcome.trap, None),
+            Reply::Rejected(r) => panic!("drained job rejected: {r:?}"),
+        }
+    }
+}
+
+#[test]
+fn submitting_after_shutdown_is_refused() {
+    let svc = Service::start(config(1, 4));
+    let m = {
+        let t = svc
+            .submit(Request::new(square(2), EngineRegime::Reference))
+            .expect("admitted");
+        let _ = t.wait();
+        // shutdown consumes the service; clone the bits we assert on first
+        svc.shutdown()
+    };
+    assert_eq!(m.completed(), 1);
+}
+
+#[test]
+fn abort_refuses_pending_jobs_and_cancels_in_flight_reference_runs() {
+    let svc = Service::start(config(1, 32));
+    // the worker picks this up and spins until cancelled
+    let in_flight = svc
+        .submit(Request::new(spin(), EngineRegime::Reference).fuel(u64::MAX))
+        .expect("admitted");
+    // wait for the worker to actually start it
+    while svc.metrics().cache_misses() == 0 {
+        std::thread::yield_now();
+    }
+    let pending: Vec<_> = (0..8)
+        .map(|i| {
+            svc.submit(Request::new(square(i), EngineRegime::Baseline))
+                .expect("admitted")
+        })
+        .collect();
+    let m = svc.abort();
+    match in_flight.wait() {
+        Reply::Rejected(Rejection::ShutDown) => {}
+        other => panic!("in-flight run should be cancelled, got {other:?}"),
+    }
+    for t in pending {
+        match t.wait() {
+            Reply::Rejected(Rejection::ShutDown) => {}
+            other => panic!("pending job should be refused, got {other:?}"),
+        }
+    }
+    assert!(m.rejected_shutdown >= 9);
+}

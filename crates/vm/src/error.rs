@@ -65,6 +65,13 @@ pub enum VmError {
         /// Instruction index at which execution stopped.
         ip: usize,
     },
+    /// Execution was cancelled cooperatively (an observer's
+    /// [`poll_cancel`](crate::exec::ExecObserver::poll_cancel) returned
+    /// `true` — e.g. a wall-clock deadline or a service shutdown).
+    Cancelled {
+        /// Instruction index at which execution stopped.
+        ip: usize,
+    },
 }
 
 impl VmError {
@@ -81,7 +88,8 @@ impl VmError {
             | VmError::PickOutOfRange { ip, .. }
             | VmError::InvalidExecutionToken { ip, .. }
             | VmError::InstructionOutOfBounds { ip }
-            | VmError::FuelExhausted { ip } => ip,
+            | VmError::FuelExhausted { ip }
+            | VmError::Cancelled { ip } => ip,
         }
     }
 }
@@ -116,6 +124,9 @@ impl fmt::Display for VmError {
             VmError::FuelExhausted { ip } => {
                 write!(f, "instruction budget exhausted at instruction {ip}")
             }
+            VmError::Cancelled { ip } => {
+                write!(f, "execution cancelled at instruction {ip}")
+            }
         }
     }
 }
@@ -139,6 +150,7 @@ mod tests {
             VmError::InvalidExecutionToken { ip: 3, token: -2 },
             VmError::InstructionOutOfBounds { ip: 3 },
             VmError::FuelExhausted { ip: 3 },
+            VmError::Cancelled { ip: 3 },
         ];
         for e in errors {
             let s = e.to_string();

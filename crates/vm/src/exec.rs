@@ -75,6 +75,17 @@ pub struct ExecEvent {
 pub trait ExecObserver {
     /// Called after each instruction completes successfully.
     fn event(&mut self, ev: &ExecEvent);
+
+    /// Polled before each instruction; returning `true` stops the run
+    /// with [`VmError::Cancelled`]. The default never cancels, so plain
+    /// instrumentation observers pay one predictable inlined branch.
+    ///
+    /// This is the cooperative-cancellation hook the execution service
+    /// uses for wall-clock deadlines and graceful shutdown.
+    #[inline]
+    fn poll_cancel(&mut self) -> bool {
+        false
+    }
 }
 
 /// The do-nothing observer.
@@ -88,6 +99,11 @@ impl<T: ExecObserver + ?Sized> ExecObserver for &mut T {
     fn event(&mut self, ev: &ExecEvent) {
         (**self).event(ev);
     }
+
+    #[inline]
+    fn poll_cancel(&mut self) -> bool {
+        (**self).poll_cancel()
+    }
 }
 
 /// Broadcast events to several observers (one execution, many regimes).
@@ -97,11 +113,19 @@ impl<T: ExecObserver> ExecObserver for [T] {
             obs.event(ev);
         }
     }
+
+    fn poll_cancel(&mut self) -> bool {
+        self.iter_mut().any(ExecObserver::poll_cancel)
+    }
 }
 
 impl<T: ExecObserver> ExecObserver for Vec<T> {
     fn event(&mut self, ev: &ExecEvent) {
         self.as_mut_slice().event(ev);
+    }
+
+    fn poll_cancel(&mut self) -> bool {
+        self.as_mut_slice().poll_cancel()
     }
 }
 
@@ -146,6 +170,9 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
     loop {
         if executed >= fuel {
             return Err(VmError::FuelExhausted { ip });
+        }
+        if observer.poll_cancel() {
+            return Err(VmError::Cancelled { ip });
         }
         let Some(&inst) = insts.get(ip) else {
             return Err(VmError::InstructionOutOfBounds { ip });
@@ -1198,6 +1225,34 @@ mod tests {
         let mut obs = Taken(Vec::new());
         run_with_observer(&p, &mut m, 1000, &mut obs).unwrap();
         assert_eq!(obs.0, vec![true, false]);
+    }
+
+    #[test]
+    fn observer_can_cancel_execution() {
+        struct CancelAfter(u64);
+        impl ExecObserver for CancelAfter {
+            fn event(&mut self, _ev: &ExecEvent) {}
+            fn poll_cancel(&mut self) -> bool {
+                if self.0 == 0 {
+                    return true;
+                }
+                self.0 -= 1;
+                false
+            }
+        }
+        // an infinite loop only the cancellation hook can stop
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::Nop);
+        b.branch(top);
+        let p = b.finish().unwrap();
+        let mut m = Machine::with_memory(64);
+        let mut obs = CancelAfter(10);
+        assert!(matches!(
+            run_with_observer(&p, &mut m, u64::MAX, &mut obs).unwrap_err(),
+            VmError::Cancelled { .. }
+        ));
     }
 
     #[test]
