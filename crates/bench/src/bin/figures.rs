@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--full] [fig7 fig18 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//!          speedup randomwalk rstack ablation | all]
+//!          speedup randomwalk rstack ablation serving | all]
 //! ```
 //!
 //! By default the small workload inputs are used; `--full` switches to the
@@ -44,6 +44,7 @@ fn main() {
             "twostacks",
             "prefetch",
             "semantic",
+            "serving",
         ]
         .iter()
         .map(|s| (*s).to_string())
@@ -200,5 +201,26 @@ fn main() {
     if want("ablation") {
         println!("## Section 5 ablation — static code generation variants\n");
         println!("{}", ablation::table(&ablation::run(scale, 4)));
+    }
+    if want("serving") {
+        use stackcache_bench::svcload::{run_load, LoadConfig};
+        println!("## Serving — per-regime throughput/latency under service load\n");
+        let report = run_load(&LoadConfig {
+            scale,
+            mini_programs: 6,
+            mini_repeats: 10,
+            workload_repeats: 1,
+            deadline_probes: 8,
+            fuel_probes: 8,
+            ..LoadConfig::default()
+        });
+        println!("{}", report.table());
+        println!(
+            "{} requests in {:.2}s ({:.0} verified completions/s); {} divergences\n",
+            report.requests,
+            report.elapsed.as_secs_f64(),
+            report.throughput(),
+            report.divergences.len()
+        );
     }
 }

@@ -1,20 +1,31 @@
 //! Load-test the execution service and print its throughput/latency
 //! table.
 //!
-//! Usage: `svcbench [--quick]`
+//! Usage: `svcbench [--quick] [--trace]`
 //!
 //! Drives `stackcache-svc` with the four benchmark workloads and a fleet
 //! of generated mini-programs across every engine regime, verifying every
 //! response against the reference interpreter. Exits nonzero on any
 //! divergence.
+//!
+//! With `--trace`, the service runs with its flight recorder on; the run
+//! prints the recorder's tail, the incident reports the rejection probes
+//! provoke, and the Prometheus metrics page — and *self-checks* them
+//! (non-empty dump, lint-clean page, at least one incident), exiting
+//! nonzero on any failure so CI can gate on observability staying alive.
 
 use std::process::ExitCode;
 
 use stackcache_bench::svcload::{run_load, LoadConfig};
+use stackcache_obs::prometheus_lint;
 
 fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = LoadConfig::default();
+    let trace = std::env::args().any(|a| a == "--trace");
+    let mut cfg = LoadConfig {
+        trace,
+        ..LoadConfig::default()
+    };
     if quick {
         cfg.mini_programs = 6;
         cfg.mini_repeats = 10;
@@ -24,12 +35,13 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "svcbench: {} workers, queue {}, {} regimes, {} mini-programs x {} repeats",
+        "svcbench: {} workers, queue {}, {} regimes, {} mini-programs x {} repeats{}",
         cfg.workers,
         cfg.queue_capacity,
         cfg.regimes.len(),
         cfg.mini_programs,
         cfg.mini_repeats,
+        if trace { ", tracing on" } else { "" },
     );
     let report = run_load(&cfg);
 
@@ -44,22 +56,67 @@ fn main() -> ExitCode {
     println!(
         "verified {} completions against the reference interpreter; \
          {} deadline + {} fuel probes rejected as required; \
-         cache: {} hits / {} misses",
+         cache: {} hits / {} misses, {}/{} entries, {} evictions",
         report.verified,
         report.deadline_rejections,
         report.fuel_rejections,
         report.snapshot.cache_hits(),
         report.snapshot.cache_misses(),
+        report.snapshot.cache_size,
+        report.snapshot.cache_capacity,
+        report.snapshot.cache_evictions,
     );
 
+    let mut trace_failures = Vec::new();
+    if trace {
+        match &report.flight_tail {
+            Some(tail) if report.flight_events > 0 => {
+                println!(
+                    "\nflight recorder: {} events captured; tail:",
+                    report.flight_events
+                );
+                print!("{tail}");
+            }
+            _ => trace_failures.push("flight-recorder dump is empty".to_string()),
+        }
+        if report.incidents.is_empty() {
+            // the deadline/fuel probes guarantee incidents on a traced run
+            trace_failures.push("no incident reports despite rejection probes".to_string());
+        } else {
+            println!(
+                "\n{} incident reports; first:\n{}",
+                report.incidents.len(),
+                report.incidents[0]
+            );
+        }
+        match &report.prometheus {
+            Some(page) => match prometheus_lint(page) {
+                Ok(()) => {
+                    println!("\nprometheus exposition ({} lines):", page.lines().count());
+                    print!("{page}");
+                }
+                Err(e) => trace_failures.push(format!("prometheus page fails lint: {e}")),
+            },
+            None => trace_failures.push("no prometheus page captured".to_string()),
+        }
+    }
+
+    let mut code = ExitCode::SUCCESS;
     if report.clean() {
         println!("no divergences");
-        ExitCode::SUCCESS
     } else {
         eprintln!("{} DIVERGENCES:", report.divergences.len());
         for d in report.divergences.iter().take(20) {
             eprintln!("  {d}");
         }
-        ExitCode::FAILURE
+        code = ExitCode::FAILURE;
     }
+    if !trace_failures.is_empty() {
+        eprintln!("{} TRACE CHECK FAILURES:", trace_failures.len());
+        for f in &trace_failures {
+            eprintln!("  {f}");
+        }
+        code = ExitCode::FAILURE;
+    }
+    code
 }

@@ -19,6 +19,7 @@ use stackcache_core::EngineRegime;
 use stackcache_harness::{gen, Outcome, MEMORY_BYTES};
 use stackcache_svc::{
     MetricsSnapshot, Rejection, Reply, Request, Service, ServiceConfig, SubmitError, Ticket,
+    TraceConfig,
 };
 use stackcache_vm::{exec, Inst, Machine, Program, ProgramBuilder, Rng};
 use stackcache_workloads::Scale;
@@ -54,6 +55,9 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Fuel for mini-program requests.
     pub fuel: u64,
+    /// Run the service with its flight recorder on and capture the dump,
+    /// incident reports, and exposition pages in the report.
+    pub trace: bool,
 }
 
 impl Default for LoadConfig {
@@ -71,6 +75,7 @@ impl Default for LoadConfig {
             fuel_probes: 32,
             seed: 0x5EC7_1CE5,
             fuel: 1_000_000,
+            trace: false,
         }
     }
 }
@@ -105,6 +110,17 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// The service's own metrics at shutdown.
     pub snapshot: MetricsSnapshot,
+    /// A rendering of the flight recorder's tail (traced runs only).
+    pub flight_tail: Option<String>,
+    /// Flight-recorder events captured (traced runs only).
+    pub flight_events: usize,
+    /// Incident reports filed during the run (traced runs only; the
+    /// deadline and fuel probes file these by design).
+    pub incidents: Vec<String>,
+    /// The service's Prometheus text-format page (traced runs only).
+    pub prometheus: Option<String>,
+    /// The service's JSON metrics document (traced runs only).
+    pub json: Option<String>,
 }
 
 impl LoadReport {
@@ -254,6 +270,8 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
         workers: cfg.workers,
         queue_capacity: cfg.queue_capacity,
         cache_shards: 16,
+        trace: cfg.trace.then(TraceConfig::default),
+        ..ServiceConfig::default()
     });
     let cases = build_cases(cfg);
     let start = Instant::now();
@@ -302,13 +320,18 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     let mut verified = 0u64;
     for (ci, regime, ticket) in tickets {
         let case = &cases[ci];
+        let request_id = ticket.request_id();
         match ticket.wait() {
             Reply::Completed(c) => {
                 // compiled regimes legitimately execute fewer instructions
                 match case.expected.first_difference(&c.outcome, false) {
-                    None => verified += 1,
+                    None => {
+                        verified += 1;
+                        svc.record_verified(request_id, true);
+                    }
                     Some(diff) => {
-                        divergences.push(format!("{} on {}: {diff}", case.name, regime.name()))
+                        svc.record_verified(request_id, false);
+                        divergences.push(format!("{} on {}: {diff}", case.name, regime.name()));
                     }
                 }
             }
@@ -342,6 +365,16 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     }
 
     let elapsed = start.elapsed();
+    // capture observability artifacts while the service is still alive
+    let (flight_tail, flight_events) = svc
+        .flight_dump()
+        .map_or((None, 0), |d| (Some(d.render(d.last(64))), d.len()));
+    let incidents = svc.incident_reports();
+    let (prometheus, json) = if cfg.trace {
+        (Some(svc.prometheus()), Some(svc.json()))
+    } else {
+        (None, None)
+    };
     let snapshot = svc.shutdown();
     LoadReport {
         requests,
@@ -352,5 +385,10 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
         backpressure_retries: retries,
         elapsed,
         snapshot,
+        flight_tail,
+        flight_events,
+        incidents,
+        prometheus,
+        json,
     }
 }

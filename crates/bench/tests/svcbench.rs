@@ -24,6 +24,7 @@ fn service_sustains_ten_thousand_verified_requests() {
         fuel_probes: 16,
         seed: 0x5EC7_1CE5,
         fuel: 1_000_000,
+        trace: false,
     };
     let report = run_load(&cfg);
 

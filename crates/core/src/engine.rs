@@ -123,6 +123,21 @@ pub fn sig_slot_for_event(ev: &ExecEvent) -> usize {
     }
 }
 
+/// The display name of a signature slot: the instruction's conventional
+/// Forth name, or `"?dup(zero)"` for [`QDUP_ZERO_SLOT`].
+///
+/// The inverse of [`sig_slot_for_event`] up to naming — profilers keying
+/// counters by slot use this to label their rows.
+#[must_use]
+pub fn sig_slot_name(slot: usize) -> String {
+    if slot == QDUP_ZERO_SLOT {
+        return "?dup(zero)".to_string();
+    }
+    Inst::all()
+        .find(|i| i.opcode() as usize == slot)
+        .map_or_else(|| format!("op{slot}"), |i| i.name().to_string())
+}
+
 /// Transition policy knobs (Section 3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Policy {

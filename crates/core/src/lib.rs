@@ -66,8 +66,9 @@ pub mod staticcache;
 pub use artifact::{CompiledArtifact, EngineRegime};
 pub use cost::{CostModel, Counts};
 pub use engine::{
-    compute_transition, compute_transition_all, reconcile, sig_slot_for_event, sig_slots, OpSig,
-    Policy, ReconcileCost, SigKind, Trans, TransitionTable, QDUP_ZERO_SLOT, SIG_SLOTS,
+    compute_transition, compute_transition_all, reconcile, sig_slot_for_event, sig_slot_name,
+    sig_slots, OpSig, Policy, ReconcileCost, SigKind, Trans, TransitionTable, QDUP_ZERO_SLOT,
+    SIG_SLOTS,
 };
 pub use org::Org;
 pub use state::{CacheState, Reg, StateId};

@@ -46,6 +46,11 @@ pub struct Divergence {
     pub cache_state: Option<String>,
     /// What disagreed, with both values.
     pub detail: String,
+    /// A flight-recorder trail of the reference execution (the tail of
+    /// its instruction-by-instruction heartbeats), attached by
+    /// [`assert_agreement`] so a divergence report shows what the run
+    /// was doing when it went wrong.
+    pub flight: Option<String>,
 }
 
 impl fmt::Display for Divergence {
@@ -64,7 +69,11 @@ impl fmt::Display for Divergence {
         if let Some(s) = &self.cache_state {
             write!(f, " in cache state {s}")?;
         }
-        write!(f, ": {}", self.detail)
+        write!(f, ": {}", self.detail)?;
+        if let Some(flight) = &self.flight {
+            write!(f, "\nreference flight trail (tail):\n{flight}")?;
+        }
+        Ok(())
     }
 }
 
@@ -167,6 +176,7 @@ pub fn cross_validate_on(
                 ip: None,
                 cache_state: None,
                 detail,
+                flight: None,
             }));
         }
     }
@@ -240,6 +250,7 @@ pub fn cross_validate_on(
                     "dispatches {} > instructions {}",
                     counts.dispatches, counts.insts
                 ),
+                flight: None,
             }));
         }
         if let Ok(out) = &ref_run {
@@ -256,6 +267,7 @@ pub fn cross_validate_on(
                         "charged {} instruction sites, reference executed {}",
                         counts.insts, out.executed
                     ),
+                    flight: None,
                 }));
             }
         }
@@ -295,17 +307,47 @@ pub fn check_org_accounting(
     }
 }
 
+/// Heartbeats kept in the attached flight trail.
+const FLIGHT_TAIL: usize = 32;
+
+/// Re-run the reference execution of `program` under a flight-recorder
+/// tracer heartbeating every instruction, and render the trail's tail.
+///
+/// [`assert_agreement`] attaches this to a [`Divergence`] so the report
+/// shows where the reference execution was instruction by instruction —
+/// a timeline to read the divergence's `index`/`ip` against.
+#[must_use]
+pub fn reference_flight_trail(program: &Program, fuel: u64) -> String {
+    let recorder = stackcache_obs::FlightRecorder::new(1, FLIGHT_TAIL);
+    let mut tracer = stackcache_obs::RingTracer::new(&recorder, 0, 0, 1);
+    let mut m = Machine::with_memory(MEMORY_BYTES);
+    let result = exec::run_with_observer(program, &mut m, fuel, &mut tracer);
+    let dump = recorder.dump();
+    let mut s = dump.render(dump.last(FLIGHT_TAIL));
+    s.push_str(&format!(
+        "reference finished: {} after {} instructions\n",
+        match &result {
+            Ok(_) => "halted".to_string(),
+            Err(e) => format!("{e}"),
+        },
+        tracer.executed()
+    ));
+    s
+}
+
 /// Assert that every engine and configuration agrees on `program`.
 ///
 /// # Panics
 ///
-/// Panics with the first-divergence report and the program's disassembly;
-/// the failing program is also saved to the corpus directory (best effort)
-/// so the failure replays deterministically from then on.
+/// Panics with the first-divergence report — including a flight-recorder
+/// trail of the reference execution's tail — and the program's
+/// disassembly; the failing program is also saved to the corpus directory
+/// (best effort) so the failure replays deterministically from then on.
 pub fn assert_agreement(program: &Program, fuel: u64) -> Agreement {
     match cross_validate(program, fuel) {
         Ok(a) => a,
-        Err(d) => {
+        Err(mut d) => {
+            d.flight = Some(reference_flight_trail(program, fuel));
             let saved = crate::corpus::save_failure(program)
                 .map(|p| format!("\nfailing program saved to {}", p.display()))
                 .unwrap_or_default();

@@ -42,7 +42,8 @@ pub mod outcome;
 
 pub use check::{
     assert_agreement, check_org_accounting, cross_validate, cross_validate_on, oracle_orgs,
-    oracle_static_options, Agreement, Divergence, ORACLE_TWOSTACKS_REGISTERS,
+    oracle_static_options, reference_flight_trail, Agreement, Divergence,
+    ORACLE_TWOSTACKS_REGISTERS,
 };
 pub use engines::{all_engines, Engine, MEMORY_BYTES};
 pub use lockstep::{Fault, OrgCheck, TwoStacksCheck};

@@ -97,6 +97,7 @@ impl OrgCheck {
             ip: Some(ev.ip),
             cache_state: Some(format!("{:?}", self.org.state(self.state).word())),
             detail,
+            flight: None,
         });
     }
 
@@ -237,6 +238,7 @@ impl TwoStacksCheck {
                 self.sim.cached_return()
             )),
             detail,
+            flight: None,
         });
     }
 }

@@ -1,0 +1,86 @@
+//! Cache-state profiler acceptance: replaying a program under the
+//! profiler must reproduce the Section 6 counting regime's `Counts`
+//! exactly — the profiler is the same transition-table walk, just with
+//! per-state attribution — and its per-state dispatch totals must sum to
+//! the aggregate dispatch count.
+
+use stackcache_core::regime::CachedRegime;
+use stackcache_core::Org;
+use stackcache_harness::{corpus, gen, MEMORY_BYTES};
+use stackcache_obs::CacheProfiler;
+use stackcache_vm::{exec, ExecObserver, Machine, Program, Rng};
+
+const FUEL: u64 = 2_000_000;
+
+fn orgs() -> Vec<(Org, u8)> {
+    vec![
+        (Org::minimal(1), 1),
+        (Org::minimal(2), 2),
+        (Org::minimal(4), 2),
+        (Org::overflow_opt(3), 3),
+        (Org::one_dup(4), 2),
+        (Org::arbitrary_shuffles(3), 3),
+    ]
+}
+
+/// Run `program` once under both the profiler and the counting regime
+/// for every organization, asserting agreement.
+fn assert_profile_matches(name: &str, program: &Program) {
+    for (org, depth) in orgs() {
+        let mut profiler = CacheProfiler::new(&org, depth);
+        let mut regime = CachedRegime::new(&org, depth);
+        {
+            let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut profiler, &mut regime];
+            let mut m = Machine::with_memory(MEMORY_BYTES);
+            let _ = exec::run_with_observer(program, &mut m, FUEL, &mut obs);
+        }
+        assert_eq!(
+            profiler.counts(),
+            &regime.counts,
+            "{name} under {}: profiler counts diverge from the counting regime",
+            org.name()
+        );
+        let per_state: u64 = profiler.state_dispatch_totals().iter().sum();
+        assert_eq!(
+            per_state,
+            profiler.counts().dispatches,
+            "{name} under {}: per-state dispatches do not sum to the total",
+            org.name()
+        );
+    }
+}
+
+/// The acceptance criterion: every corpus program profiles to the exact
+/// counting-regime totals.
+#[test]
+fn corpus_programs_profile_to_counting_regime_totals() {
+    let programs = corpus::load_all();
+    assert!(!programs.is_empty(), "corpus is empty");
+    for (name, program) in &programs {
+        assert_profile_matches(name, program);
+    }
+}
+
+/// Randomized reinforcement: generated programs agree too.
+#[test]
+fn generated_programs_profile_to_counting_regime_totals() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(0xC0FFEE ^ seed);
+        let program = gen::structured_program(&mut rng);
+        assert_profile_matches(&format!("gen-{seed}"), &program);
+    }
+}
+
+/// The profile table of a real corpus replay renders non-trivially.
+#[test]
+fn corpus_profile_table_renders() {
+    let programs = corpus::load_all();
+    let (name, program) = &programs[0];
+    let mut profiler = CacheProfiler::new(&Org::minimal(4), 2);
+    let mut m = Machine::with_memory(MEMORY_BYTES);
+    let _ = exec::run_with_observer(program, &mut m, FUEL, &mut profiler);
+    let table = profiler.table();
+    assert!(table.contains("dispatches"), "{name}: {table}");
+    assert!(table.contains("total"));
+    assert!(!profiler.hot_transitions().is_empty());
+}

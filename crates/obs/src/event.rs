@@ -1,0 +1,302 @@
+//! The flight-recorder event schema.
+//!
+//! Every event is a fixed-size record — a timestamp, the request it
+//! belongs to, and an [`EventKind`] — that encodes into four `u64` words
+//! ([`RawEvent`]) so a ring slot can be written and read with plain
+//! atomic word operations, no allocation, and no locks.
+
+use std::fmt;
+
+/// Why a run was cancelled mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// The request's wall-clock deadline passed.
+    Deadline,
+    /// The service was aborted.
+    Abort,
+}
+
+/// Why a request was refused without an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// The deadline had already expired (at dequeue or mid-run).
+    Deadline,
+    /// The instruction budget ran out.
+    Fuel,
+    /// The service shut down first.
+    Shutdown,
+}
+
+/// One structured flight-recorder event.
+///
+/// The life of a request reads as a sequence of these: `Admitted` →
+/// `Dequeued` → `CacheHit`/`CacheMiss` (+ `Translate`) → `ExecuteBegin`
+/// → (`Progress` …) → `ExecuteEnd` | `Trap` | `Cancelled`, or a
+/// `Rejected` on any refusal path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The request entered the queue.
+    Admitted {
+        /// Dense engine-regime index ([`EngineRegime::index`](stackcache_core::EngineRegime::index)).
+        regime: u8,
+        /// Whether peephole optimization was requested.
+        peephole: bool,
+    },
+    /// A worker picked the request up after waiting in the queue.
+    Dequeued {
+        /// Nanoseconds spent queued.
+        wait_nanos: u64,
+    },
+    /// The compiled-artifact cache already held the translation.
+    CacheHit,
+    /// The translation had to be compiled.
+    CacheMiss,
+    /// Translation (compile) finished.
+    Translate {
+        /// Nanoseconds spent compiling.
+        nanos: u64,
+    },
+    /// Execution started.
+    ExecuteBegin,
+    /// Periodic mid-run heartbeat (reference engine under tracing).
+    Progress {
+        /// Instructions executed so far.
+        executed: u64,
+        /// Program index about to execute.
+        ip: u32,
+    },
+    /// Execution ran to an outcome (clean halt).
+    ExecuteEnd {
+        /// Instructions executed.
+        executed: u64,
+    },
+    /// Execution ended in a runtime trap.
+    Trap {
+        /// The trap discriminant (from the engine's error).
+        code: u8,
+    },
+    /// Execution was cancelled cooperatively.
+    Cancelled {
+        /// What raised the cancellation.
+        cause: CancelKind,
+    },
+    /// The request was refused without (finishing) execution.
+    Rejected {
+        /// Why it was refused.
+        reason: RejectKind,
+    },
+    /// The response was verified against the reference interpreter.
+    Verified {
+        /// Whether the outcomes agreed.
+        ok: bool,
+    },
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Admitted { regime, peephole } => {
+                write!(f, "admitted regime#{regime} peephole={peephole}")
+            }
+            EventKind::Dequeued { wait_nanos } => {
+                write!(f, "dequeued after {}us in queue", wait_nanos / 1_000)
+            }
+            EventKind::CacheHit => write!(f, "cache hit"),
+            EventKind::CacheMiss => write!(f, "cache miss"),
+            EventKind::Translate { nanos } => write!(f, "translated in {}us", nanos / 1_000),
+            EventKind::ExecuteBegin => write!(f, "execute begin"),
+            EventKind::Progress { executed, ip } => {
+                write!(f, "progress: {executed} insts, ip {ip}")
+            }
+            EventKind::ExecuteEnd { executed } => write!(f, "execute end: {executed} insts"),
+            EventKind::Trap { code } => write!(f, "trap #{code}"),
+            EventKind::Cancelled { cause } => write!(f, "cancelled ({cause:?})"),
+            EventKind::Rejected { reason } => write!(f, "rejected ({reason:?})"),
+            EventKind::Verified { ok } => write!(f, "verified ok={ok}"),
+        }
+    }
+}
+
+/// The wire form of one event: `[t_nanos, request, tag_word, payload]`.
+///
+/// `tag_word` packs the kind tag in its low 8 bits and any small fields
+/// above; `payload` carries the kind's wide field, if any.
+pub type RawEvent = [u64; 4];
+
+const TAG_ADMITTED: u64 = 1;
+const TAG_DEQUEUED: u64 = 2;
+const TAG_CACHE_HIT: u64 = 3;
+const TAG_CACHE_MISS: u64 = 4;
+const TAG_TRANSLATE: u64 = 5;
+const TAG_EXECUTE_BEGIN: u64 = 6;
+const TAG_PROGRESS: u64 = 7;
+const TAG_EXECUTE_END: u64 = 8;
+const TAG_TRAP: u64 = 9;
+const TAG_CANCELLED: u64 = 10;
+const TAG_REJECTED: u64 = 11;
+const TAG_VERIFIED: u64 = 12;
+
+/// Encode `(t_nanos, request, kind)` into its wire form.
+#[must_use]
+pub fn encode(t_nanos: u64, request: u64, kind: EventKind) -> RawEvent {
+    let (tag, hi, payload) = match kind {
+        EventKind::Admitted { regime, peephole } => (
+            TAG_ADMITTED,
+            u64::from(regime) | (u64::from(peephole) << 8),
+            0,
+        ),
+        EventKind::Dequeued { wait_nanos } => (TAG_DEQUEUED, 0, wait_nanos),
+        EventKind::CacheHit => (TAG_CACHE_HIT, 0, 0),
+        EventKind::CacheMiss => (TAG_CACHE_MISS, 0, 0),
+        EventKind::Translate { nanos } => (TAG_TRANSLATE, 0, nanos),
+        EventKind::ExecuteBegin => (TAG_EXECUTE_BEGIN, 0, 0),
+        EventKind::Progress { executed, ip } => (TAG_PROGRESS, u64::from(ip), executed),
+        EventKind::ExecuteEnd { executed } => (TAG_EXECUTE_END, 0, executed),
+        EventKind::Trap { code } => (TAG_TRAP, u64::from(code), 0),
+        EventKind::Cancelled { cause } => (
+            TAG_CANCELLED,
+            match cause {
+                CancelKind::Deadline => 0,
+                CancelKind::Abort => 1,
+            },
+            0,
+        ),
+        EventKind::Rejected { reason } => (
+            TAG_REJECTED,
+            match reason {
+                RejectKind::Deadline => 0,
+                RejectKind::Fuel => 1,
+                RejectKind::Shutdown => 2,
+            },
+            0,
+        ),
+        EventKind::Verified { ok } => (TAG_VERIFIED, u64::from(ok), 0),
+    };
+    [t_nanos, request, tag | (hi << 8), payload]
+}
+
+/// Decode a wire event back to `(t_nanos, request, kind)`.
+///
+/// Returns `None` for an unwritten or unrecognized slot (tag 0 or
+/// unknown), which dumpers skip.
+#[must_use]
+pub fn decode(raw: &RawEvent) -> Option<(u64, u64, EventKind)> {
+    let [t_nanos, request, tag_word, payload] = *raw;
+    let tag = tag_word & 0xFF;
+    let hi = tag_word >> 8;
+    let kind = match tag {
+        TAG_ADMITTED => EventKind::Admitted {
+            regime: (hi & 0xFF) as u8,
+            peephole: (hi >> 8) & 1 == 1,
+        },
+        TAG_DEQUEUED => EventKind::Dequeued {
+            wait_nanos: payload,
+        },
+        TAG_CACHE_HIT => EventKind::CacheHit,
+        TAG_CACHE_MISS => EventKind::CacheMiss,
+        TAG_TRANSLATE => EventKind::Translate { nanos: payload },
+        TAG_EXECUTE_BEGIN => EventKind::ExecuteBegin,
+        TAG_PROGRESS => EventKind::Progress {
+            executed: payload,
+            ip: (hi & 0xFFFF_FFFF) as u32,
+        },
+        TAG_EXECUTE_END => EventKind::ExecuteEnd { executed: payload },
+        TAG_TRAP => EventKind::Trap {
+            code: (hi & 0xFF) as u8,
+        },
+        TAG_CANCELLED => EventKind::Cancelled {
+            cause: if hi & 1 == 1 {
+                CancelKind::Abort
+            } else {
+                CancelKind::Deadline
+            },
+        },
+        TAG_REJECTED => EventKind::Rejected {
+            reason: match hi & 3 {
+                0 => RejectKind::Deadline,
+                1 => RejectKind::Fuel,
+                _ => RejectKind::Shutdown,
+            },
+        },
+        TAG_VERIFIED => EventKind::Verified { ok: hi & 1 == 1 },
+        _ => return None,
+    };
+    Some((t_nanos, request, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::Admitted {
+                regime: 7,
+                peephole: true,
+            },
+            EventKind::Admitted {
+                regime: 0,
+                peephole: false,
+            },
+            EventKind::Dequeued {
+                wait_nanos: 123_456_789,
+            },
+            EventKind::CacheHit,
+            EventKind::CacheMiss,
+            EventKind::Translate { nanos: 42 },
+            EventKind::ExecuteBegin,
+            EventKind::Progress {
+                executed: u64::MAX / 3,
+                ip: u32::MAX,
+            },
+            EventKind::ExecuteEnd {
+                executed: 1_000_000,
+            },
+            EventKind::Trap { code: 11 },
+            EventKind::Cancelled {
+                cause: CancelKind::Deadline,
+            },
+            EventKind::Cancelled {
+                cause: CancelKind::Abort,
+            },
+            EventKind::Rejected {
+                reason: RejectKind::Deadline,
+            },
+            EventKind::Rejected {
+                reason: RejectKind::Fuel,
+            },
+            EventKind::Rejected {
+                reason: RejectKind::Shutdown,
+            },
+            EventKind::Verified { ok: true },
+            EventKind::Verified { ok: false },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            let t = 1_000 * i as u64;
+            let req = u64::MAX - i as u64;
+            let raw = encode(t, req, kind);
+            let (t2, req2, kind2) = decode(&raw).expect("decodes");
+            assert_eq!((t2, req2, kind2), (t, req, kind), "kind #{i}");
+        }
+    }
+
+    #[test]
+    fn zeroed_slot_decodes_to_none() {
+        assert_eq!(decode(&[0, 0, 0, 0]), None);
+        assert_eq!(decode(&[5, 5, 0xFF, 5]), None); // unknown tag
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = EventKind::Dequeued {
+            wait_nanos: 2_000_000,
+        }
+        .to_string();
+        assert!(s.contains("2000us"), "{s}");
+        assert!(EventKind::CacheHit.to_string().contains("hit"));
+    }
+}

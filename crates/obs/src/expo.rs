@@ -1,0 +1,455 @@
+//! Metrics exposition: a Prometheus text-format writer, a minimal JSON
+//! writer, and a line-format linter.
+//!
+//! These are dependency-free building blocks — the service layer walks
+//! its own metrics snapshot and renders it through [`PromText`] /
+//! [`JsonObj`], and the CI trace check runs [`prometheus_lint`] over the
+//! rendered page to catch malformed lines before a scraper would.
+
+use std::fmt::Write as _;
+
+/// Builds a Prometheus text-format (version 0.0.4) exposition page.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    /// An empty page.
+    #[must_use]
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Emit a `# HELP` line. Newlines and backslashes in `text` are
+    /// escaped per the format.
+    pub fn help(&mut self, name: &str, text: &str) {
+        let escaped = text.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(self.buf, "# HELP {name} {escaped}");
+    }
+
+    /// Emit a `# TYPE` line (`counter`, `gauge`, `histogram`, …).
+    pub fn typ(&mut self, name: &str, kind: &str) {
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// Emit one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let _ = write!(self.buf, "{name}");
+        if !labels.is_empty() {
+            let _ = write!(self.buf, "{{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(self.buf, ",");
+                }
+                let escaped = v
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n");
+                let _ = write!(self.buf, "{k}=\"{escaped}\"");
+            }
+            let _ = write!(self.buf, "}}");
+        }
+        let _ = writeln!(self.buf, " {}", fmt_value(value));
+    }
+
+    /// Emit an integer sample (rendered without a fractional part).
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample(name, labels, value as f64);
+    }
+
+    /// The finished page.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Render a sample value: integers without a trailing `.0`, specials as
+/// `+Inf`/`-Inf`/`NaN`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn is_sample_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Strip the histogram/summary suffix a sample name may carry relative
+/// to its declared family name.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Check `text` against the Prometheus text-format line grammar.
+///
+/// Verifies that every line is a well-formed `# HELP`, `# TYPE`, comment,
+/// or sample; that names and label names are legal; that label values are
+/// properly quoted; that sample values parse; and that every sample
+/// belongs to a family declared by an earlier `# TYPE` line. Returns the
+/// first offence as `Err(description)`.
+pub fn prometheus_lint(text: &str) -> Result<(), String> {
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let n = ln + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split_whitespace().next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return Err(format!("line {n}: bad HELP metric name {name:?}"));
+                }
+            } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return Err(format!("line {n}: bad TYPE metric name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {n}: unknown metric type {kind:?}"));
+                }
+                typed.push(name.to_string());
+            }
+            continue; // other comments are fine
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        lint_sample_line(line, n)?;
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let family = family_of(&line[..name_end]);
+        if !typed.iter().any(|t| t == family) {
+            return Err(format!("line {n}: sample for undeclared family {family:?}"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no sample lines".to_string());
+    }
+    Ok(())
+}
+
+fn lint_sample_line(line: &str, n: usize) -> Result<(), String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("line {n}: unclosed label braces"))?;
+            if close < open {
+                return Err(format!("line {n}: mismatched label braces"));
+            }
+            lint_labels(&line[open + 1..close], n)?;
+            (&line[..open], &line[close + 1..])
+        }
+        None => {
+            let sp = line
+                .find(' ')
+                .ok_or_else(|| format!("line {n}: no value on sample line"))?;
+            (&line[..sp], &line[sp..])
+        }
+    };
+    if !is_metric_name(name_part) {
+        return Err(format!("line {n}: bad metric name {name_part:?}"));
+    }
+    let mut fields = rest.split_whitespace();
+    let value = fields
+        .next()
+        .ok_or_else(|| format!("line {n}: missing sample value"))?;
+    if !is_sample_value(value) {
+        return Err(format!("line {n}: bad sample value {value:?}"));
+    }
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("line {n}: bad timestamp {ts:?}"));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(format!("line {n}: trailing junk after value"));
+    }
+    Ok(())
+}
+
+fn lint_labels(body: &str, n: usize) -> Result<(), String> {
+    if body.trim().is_empty() {
+        return Ok(());
+    }
+    // split on commas outside quotes
+    let mut rest = body;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {n}: label without '='"))?;
+        let name = &rest[..eq];
+        if !is_label_name(name) {
+            return Err(format!("line {n}: bad label name {name:?}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("line {n}: label value for {name:?} not quoted"));
+        }
+        // find the closing quote, honouring backslash escapes
+        let mut close = None;
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    close = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let close = close.ok_or_else(|| format!("line {n}: unterminated label value"))?;
+        rest = &after[close + 1..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| format!("line {n}: junk between labels"))?;
+        if rest.is_empty() {
+            return Ok(()); // trailing comma is legal
+        }
+    }
+}
+
+/// Builds one JSON object, escaping strings and tracking commas.
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        JsonObj::new()
+    }
+}
+
+impl JsonObj {
+    /// An empty object (`{`).
+    #[must_use]
+    pub fn new() -> Self {
+        JsonObj {
+            buf: "{".to_string(),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "{}:", json_string(key));
+    }
+
+    /// Add an unsigned-integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a float field (non-finite values render as `null`).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&json_string(value));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a pre-rendered JSON value (a nested object or array).
+    pub fn field_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close the object and return its text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Render a JSON array from pre-rendered element values.
+#[must_use]
+pub fn json_array(elements: &[String]) -> String {
+    let mut s = "[".to_string();
+    for (i, e) in elements.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(e);
+    }
+    s.push(']');
+    s
+}
+
+/// Escape and quote a string for JSON.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prom_page_passes_its_own_lint() {
+        let mut p = PromText::new();
+        p.help("svc_requests_total", "Requests by outcome.");
+        p.typ("svc_requests_total", "counter");
+        p.sample_u64("svc_requests_total", &[("outcome", "ok")], 41);
+        p.sample_u64(
+            "svc_requests_total",
+            &[("outcome", "trap"), ("regime", "tos")],
+            2,
+        );
+        p.help("svc_latency_seconds", "End-to-end latency.");
+        p.typ("svc_latency_seconds", "histogram");
+        p.sample("svc_latency_seconds_bucket", &[("le", "+Inf")], 43.0);
+        p.sample("svc_latency_seconds_sum", &[], 0.125);
+        p.sample_u64("svc_latency_seconds_count", &[], 43);
+        p.help("svc_queue_depth", "Jobs waiting.");
+        p.typ("svc_queue_depth", "gauge");
+        p.sample_u64("svc_queue_depth", &[], 0);
+        let page = p.finish();
+        prometheus_lint(&page).unwrap();
+        assert!(page.contains("svc_requests_total{outcome=\"ok\"} 41\n"));
+        assert!(page.contains("svc_latency_seconds_bucket{le=\"+Inf\"} 43\n"));
+        assert!(page.contains("svc_latency_seconds_sum 0.125\n"));
+    }
+
+    #[test]
+    fn lint_rejects_malformed_pages() {
+        let cases = [
+            ("", "no sample"),
+            ("# TYPE x counter\n", "no sample"),
+            ("x 1\n", "undeclared"),
+            ("# TYPE x counter\nx{y} 1\n", "'='"),
+            ("# TYPE x counter\nx{y=1} 1\n", "not quoted"),
+            ("# TYPE x counter\nx{y=\"a} 1\n", "unterminated"),
+            ("# TYPE x counter\nx abc\n", "bad sample value"),
+            ("# TYPE x counter\nx 1 2 3\n", "trailing junk"),
+            ("# TYPE x widget\nx 1\n", "unknown metric type"),
+            ("# TYPE x counter\n9bad 1\n", "bad metric name"),
+        ];
+        for (page, want) in cases {
+            let err = prometheus_lint(page).unwrap_err();
+            assert!(err.contains(want), "{page:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn lint_accepts_escaped_label_values_and_histogram_suffixes() {
+        let page =
+            "# TYPE h histogram\nh_bucket{le=\"0.5\",q=\"a\\\"b\"} 1\nh_count 1\nh_sum 0.1\n";
+        prometheus_lint(page).unwrap();
+    }
+
+    #[test]
+    fn json_builders_escape_and_nest() {
+        let inner = {
+            let mut o = JsonObj::new();
+            o.field_u64("hits", 3).field_f64("rate", 0.75);
+            o.finish()
+        };
+        let mut o = JsonObj::new();
+        o.field_str("name", "he said \"hi\"\n")
+            .field_bool("ok", true)
+            .field_f64("nan", f64::NAN)
+            .field_raw("cache", &inner)
+            .field_raw("list", &json_array(&["1".into(), "2".into()]));
+        let s = o.finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"he said \\\"hi\\\"\\n\",\"ok\":true,\"nan\":null,\
+             \"cache\":{\"hits\":3,\"rate\":0.75},\"list\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn value_formatting_is_scrape_friendly() {
+        assert_eq!(fmt_value(3.0), "3");
+        assert_eq!(fmt_value(0.25), "0.25");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+    }
+}

@@ -1,0 +1,38 @@
+//! Observability for the stack-caching runtime.
+//!
+//! Three pillars, all zero-dependency and all free when switched off:
+//!
+//! - **Flight recorder** ([`FlightRecorder`], [`EventRing`]): per-worker
+//!   lock-free rings of fixed-size structured events
+//!   ([`EventKind`]) covering a request's whole life — admission, queue
+//!   wait, cache hit/miss, translation, execution, trap/cancel/verify.
+//!   On a failure the last events merge into a human-readable
+//!   [`FlightDump`] incident report.
+//! - **Cache-state profiler** ([`CacheProfiler`]): per-(cache state ×
+//!   opcode) dispatch counters plus state-transition and
+//!   overflow/underflow tallies for any Fig. 18 organization. Its
+//!   aggregate [`Counts`](stackcache_core::Counts) equal the Section 6
+//!   counting regime's by construction.
+//! - **Exposition** ([`PromText`], [`JsonObj`], [`prometheus_lint`]):
+//!   Prometheus text-format and JSON rendering helpers the service layer
+//!   uses to publish its metrics snapshot, plus a line-format linter the
+//!   CI trace check runs over the rendered page.
+//!
+//! The recorder writes with a handful of relaxed atomic stores per event
+//! and the profiler and tracer are opt-in observers, so the interpreter
+//! hot path is untouched when tracing is off.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod expo;
+pub mod profile;
+pub mod ring;
+pub mod tracer;
+
+pub use event::{decode, encode, CancelKind, EventKind, RawEvent, RejectKind};
+pub use expo::{json_array, json_string, prometheus_lint, JsonObj, PromText};
+pub use profile::{CacheProfiler, StateTally};
+pub use ring::{EventRing, FlightDump, FlightRecorder, TimedEvent};
+pub use tracer::RingTracer;

@@ -1,0 +1,342 @@
+//! The cache-state profiler: per-(cache state × opcode) dispatch
+//! counters plus state-transition, overflow/underflow, and
+//! stack-pointer-update tallies for any Fig. 18 organization.
+//!
+//! [`CacheProfiler`] is an [`ExecObserver`] that advances the same
+//! transition tables as the Section 6 counting regime
+//! (`stackcache_core::regime::CachedRegime`) — its aggregate [`Counts`]
+//! are bit-identical to that regime's by construction, which the harness
+//! asserts over the corpus — but it additionally attributes every
+//! dispatch to the cache state it executed in. That per-state view is
+//! what the paper's evaluation implies but never shows: which states are
+//! actually hot, which opcodes dominate each state, and where the
+//! overflow/underflow traffic comes from.
+
+use std::collections::HashMap;
+
+use stackcache_core::{
+    sig_slot_for_event, sig_slot_name, Counts, Org, Policy, StateId, TransitionTable, SIG_SLOTS,
+};
+use stackcache_vm::{EffectKind, ExecEvent, ExecObserver};
+
+/// Per-state event tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateTally {
+    /// Dispatches executed in this state.
+    pub dispatches: u64,
+    /// Loads charged to transitions out of this state.
+    pub loads: u64,
+    /// Stores charged to transitions out of this state.
+    pub stores: u64,
+    /// Register moves charged to transitions out of this state.
+    pub moves: u64,
+    /// Stack-pointer updates charged to transitions out of this state.
+    pub updates: u64,
+    /// Overflow events out of this state.
+    pub overflows: u64,
+    /// Underflow events out of this state.
+    pub underflows: u64,
+}
+
+/// Profile a program execution under one cache organization.
+#[derive(Debug, Clone)]
+pub struct CacheProfiler {
+    org: Org,
+    overflow_depth: u8,
+    table: TransitionTable,
+    state: StateId,
+    start: StateId,
+    /// Aggregate counts; equals the counting regime's for the same run.
+    counts: Counts,
+    /// `dispatches[state.index() * SIG_SLOTS + slot]`.
+    dispatches: Vec<u64>,
+    per_state: Vec<StateTally>,
+    transitions: HashMap<(StateId, StateId), u64>,
+}
+
+impl CacheProfiler {
+    /// A profiler for `org` with the given overflow-followup depth
+    /// (matching `CachedRegime::new`).
+    #[must_use]
+    pub fn new(org: &Org, overflow_depth: u8) -> Self {
+        let policy = Policy::on_demand(overflow_depth);
+        let start = org.canonical_of_depth(0).expect("empty state exists");
+        let n = org.state_count();
+        CacheProfiler {
+            overflow_depth,
+            table: TransitionTable::build(org, &policy),
+            state: start,
+            start,
+            counts: Counts::new(),
+            dispatches: vec![0; n * SIG_SLOTS],
+            per_state: vec![StateTally::default(); n],
+            transitions: HashMap::new(),
+            org: org.clone(),
+        }
+    }
+
+    /// The organization being profiled.
+    #[must_use]
+    pub fn org(&self) -> &Org {
+        &self.org
+    }
+
+    /// The overflow-followup depth.
+    #[must_use]
+    pub fn overflow_depth(&self) -> u8 {
+        self.overflow_depth
+    }
+
+    /// Aggregate counts, identical to the Section 6 counting regime's.
+    #[must_use]
+    pub fn counts(&self) -> &Counts {
+        &self.counts
+    }
+
+    /// Reset the cache state (e.g. between workloads), keeping tallies.
+    pub fn reset_state(&mut self) {
+        self.state = self.start;
+    }
+
+    /// Per-state tallies, indexed by [`StateId::index`].
+    #[must_use]
+    pub fn per_state(&self) -> &[StateTally] {
+        &self.per_state
+    }
+
+    /// Dispatches of `slot` in `state`.
+    #[must_use]
+    pub fn dispatches_in(&self, state: StateId, slot: usize) -> u64 {
+        self.dispatches[state.index() * SIG_SLOTS + slot]
+    }
+
+    /// Total dispatches attributed to each state (sums to
+    /// `counts().dispatches`).
+    #[must_use]
+    pub fn state_dispatch_totals(&self) -> Vec<u64> {
+        self.per_state.iter().map(|t| t.dispatches).collect()
+    }
+
+    /// State-transition tallies `((from, to), times)` sorted hottest
+    /// first.
+    #[must_use]
+    pub fn hot_transitions(&self) -> Vec<((StateId, StateId), u64)> {
+        let mut v: Vec<_> = self.transitions.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The `n` hottest (state, opcode) pairs as
+    /// `(state, slot name, dispatches)`.
+    #[must_use]
+    pub fn hot_opcodes(&self, n: usize) -> Vec<(StateId, String, u64)> {
+        let mut v: Vec<(StateId, usize, u64)> = Vec::new();
+        for (i, &d) in self.dispatches.iter().enumerate() {
+            if d > 0 {
+                v.push((StateId((i / SIG_SLOTS) as u32), i % SIG_SLOTS, d));
+            }
+        }
+        v.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        v.truncate(n);
+        v.into_iter()
+            .map(|(s, slot, d)| (s, sig_slot_name(slot), d))
+            .collect()
+    }
+
+    /// Render the paper-style profile table: one row per visited state.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut s = format!(
+            "cache-state profile: {} ({} registers, overflow followup {})\n",
+            self.org.name(),
+            self.org.registers(),
+            self.overflow_depth
+        );
+        s.push_str(&format!(
+            "{:<16} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "state", "dispatches", "loads", "stores", "moves", "updates", "ovf", "unf"
+        ));
+        for (i, t) in self.per_state.iter().enumerate() {
+            if t.dispatches == 0 {
+                continue;
+            }
+            s.push_str(&format!(
+                "{:<16} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                self.org.state(StateId(i as u32)).to_string(),
+                t.dispatches,
+                t.loads,
+                t.stores,
+                t.moves,
+                t.updates,
+                t.overflows,
+                t.underflows
+            ));
+        }
+        s.push_str(&format!(
+            "{:<16} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "total",
+            self.counts.dispatches,
+            self.counts.loads,
+            self.counts.stores,
+            self.counts.moves,
+            self.counts.updates,
+            self.counts.overflows,
+            self.counts.underflows
+        ));
+        let hot = self.hot_opcodes(8);
+        if !hot.is_empty() {
+            s.push_str("hottest (state, opcode) pairs:\n");
+            for (state, name, d) in hot {
+                s.push_str(&format!(
+                    "  {:<16} {:<10} {d}\n",
+                    self.org.state(state).to_string(),
+                    name
+                ));
+            }
+        }
+        s
+    }
+}
+
+impl ExecObserver for CacheProfiler {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        let c = &mut self.counts;
+        c.insts += 1;
+        c.dispatches += 1;
+        let slot = sig_slot_for_event(ev);
+        let from = self.state;
+        let t = self.table.get(from, slot);
+
+        c.loads += u64::from(t.loads);
+        c.stores += u64::from(t.stores);
+        c.moves += u64::from(t.moves);
+        c.updates += u64::from(t.updates);
+        c.underflows += u64::from(t.underflow);
+        c.overflows += u64::from(t.overflow);
+        c.rloads += u64::from(e.rloads);
+        c.rstores += u64::from(e.rstores);
+        if e.rnet != 0 {
+            c.rupdates += 1;
+        }
+        if matches!(e.kind, EffectKind::Call) {
+            c.calls += 1;
+        }
+
+        let tally = &mut self.per_state[from.index()];
+        tally.dispatches += 1;
+        tally.loads += u64::from(t.loads);
+        tally.stores += u64::from(t.stores);
+        tally.moves += u64::from(t.moves);
+        tally.updates += u64::from(t.updates);
+        tally.overflows += u64::from(t.overflow);
+        tally.underflows += u64::from(t.underflow);
+        self.dispatches[from.index() * SIG_SLOTS + slot] += 1;
+        let next = t.next;
+        if next != from {
+            *self.transitions.entry((from, next)).or_insert(0) += 1;
+        }
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_core::regime::CachedRegime;
+    use stackcache_vm::{exec, program_of, Inst, Machine};
+
+    fn profile_and_count(insts: &[Inst], org: &Org, depth: u8) -> (CacheProfiler, CachedRegime) {
+        let p = program_of(insts);
+        let mut prof = CacheProfiler::new(org, depth);
+        let mut regime = CachedRegime::new(org, depth);
+        let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut prof, &mut regime];
+        let mut m = Machine::with_memory(4096);
+        exec::run_with_observer(&p, &mut m, 1_000_000, &mut obs).expect("runs");
+        (prof, regime)
+    }
+
+    #[test]
+    fn aggregate_counts_match_the_counting_regime() {
+        let prog = [
+            Inst::Lit(1),
+            Inst::Lit(2),
+            Inst::Add,
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Lit(3),
+            Inst::Swap,
+            Inst::Drop,
+            Inst::Lit(4),
+            Inst::Lit(5),
+            Inst::Lit(6),
+            Inst::Rot,
+            Inst::Drop,
+            Inst::Drop,
+            Inst::Drop,
+        ];
+        for (org, depth) in [
+            (Org::minimal(2), 2u8),
+            (Org::minimal(4), 2),
+            (Org::one_dup(3), 2),
+            (Org::overflow_opt(3), 3),
+        ] {
+            let (prof, regime) = profile_and_count(&prog, &org, depth);
+            assert_eq!(prof.counts(), &regime.counts, "{}", org.name());
+        }
+    }
+
+    #[test]
+    fn per_state_dispatches_sum_to_the_total() {
+        let prog = [Inst::Lit(1), Inst::Lit(2), Inst::Add, Inst::Drop];
+        let (prof, _) = profile_and_count(&prog, &Org::minimal(3), 3);
+        let total: u64 = prof.state_dispatch_totals().iter().sum();
+        assert_eq!(total, prof.counts().dispatches);
+        assert_eq!(total, 5); // 4 insts + halt
+                              // the empty state saw the first lit and the final halt
+        assert_eq!(prof.per_state()[0].dispatches, 2);
+    }
+
+    #[test]
+    fn transitions_and_hot_opcodes_are_recorded() {
+        let prog = [Inst::Lit(1), Inst::Drop, Inst::Lit(2), Inst::Drop];
+        let org = Org::minimal(2);
+        let (prof, _) = profile_and_count(&prog, &org, 2);
+        let hot = prof.hot_transitions();
+        assert!(!hot.is_empty());
+        // lit: s0 -> s1 twice; drop: s1 -> s0 twice
+        let s0 = org.canonical_of_depth(0).unwrap();
+        let s1 = org.canonical_of_depth(1).unwrap();
+        assert_eq!(hot[0].1, 2);
+        assert!(hot.iter().any(|&((a, b), n)| a == s0 && b == s1 && n == 2));
+        let ops = prof.hot_opcodes(4);
+        assert!(ops.iter().any(|(_, name, _)| name == "lit"));
+        assert!(ops.iter().any(|(_, name, _)| name == "drop"));
+    }
+
+    #[test]
+    fn table_renders_visited_states_and_totals() {
+        let prog = [Inst::Lit(1), Inst::Lit(2), Inst::Add];
+        let (prof, _) = profile_and_count(&prog, &Org::minimal(2), 2);
+        let t = prof.table();
+        assert!(t.contains("minimal"), "{t}");
+        assert!(t.contains("total"));
+        assert!(t.contains("dispatches"));
+        assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn qdup_zero_and_nonzero_land_in_distinct_slots() {
+        let prog = [
+            Inst::Lit(0),
+            Inst::QDup,
+            Inst::Drop,
+            Inst::Lit(1),
+            Inst::QDup,
+        ];
+        let (prof, _) = profile_and_count(&prog, &Org::minimal(3), 3);
+        let ops = prof.hot_opcodes(SIG_SLOTS);
+        assert!(ops.iter().any(|(_, name, _)| name == "?dup"));
+        assert!(ops.iter().any(|(_, name, _)| name == "?dup(zero)"));
+    }
+}

@@ -1,4 +1,4 @@
-//! The sharded compiled-program cache: translate once per
+//! The sharded, bounded compiled-program cache: translate once per
 //! `(program, regime, peephole)` configuration, execute many times.
 //!
 //! Keys are a 64-bit hash of the program's instructions and entry point
@@ -8,10 +8,18 @@
 //! compilation itself happens *outside* the shard lock (two workers
 //! racing on the same cold key may both compile — the winner's artifact
 //! is kept, which is cheaper than serializing every miss behind a lock).
+//!
+//! Each shard is capacity-bounded with **second-chance** (clock)
+//! eviction: a hit marks its entry referenced; an insert into a full
+//! shard sweeps the clock queue, sparing referenced entries once and
+//! evicting the first unreferenced one. Recently reused translations
+//! survive a scan of one-shot programs, at one bit of bookkeeping per
+//! entry — no recency list to maintain on the hit path.
 
-use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use stackcache_core::{CompiledArtifact, EngineRegime};
@@ -34,11 +42,63 @@ fn program_hash(program: &Program) -> u64 {
     h.finish()
 }
 
-/// A sharded map from `(program, regime, peephole)` to compiled
+/// One cached artifact plus its second-chance reference bit.
+#[derive(Debug)]
+struct CacheEntry {
+    artifact: Arc<CompiledArtifact>,
+    referenced: bool,
+}
+
+/// One independently locked partition: the map plus the clock queue the
+/// eviction hand sweeps.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<Key, CacheEntry>,
+    clock: VecDeque<Key>,
+}
+
+impl Shard {
+    /// Insert `key`, evicting per second-chance if the shard is full.
+    /// Returns how many entries were evicted (0 or 1).
+    fn insert(&mut self, key: Key, artifact: Arc<CompiledArtifact>, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() >= capacity {
+            let Some(victim) = self.clock.pop_front() else {
+                break; // map and clock out of sync; never happens
+            };
+            match self.map.get_mut(&victim) {
+                Some(e) if e.referenced => {
+                    // spare it once: clear the bit, move the hand on
+                    e.referenced = false;
+                    self.clock.push_back(victim);
+                }
+                Some(_) => {
+                    self.map.remove(&victim);
+                    evicted += 1;
+                }
+                None => {} // stale clock entry
+            }
+        }
+        self.map.insert(
+            key,
+            CacheEntry {
+                artifact,
+                referenced: false,
+            },
+        );
+        self.clock.push_back(key);
+        evicted
+    }
+}
+
+/// A sharded, bounded map from `(program, regime, peephole)` to compiled
 /// artifacts, shared by every worker.
 #[derive(Debug)]
 pub struct ProgramCache {
-    shards: Vec<Mutex<HashMap<Key, Arc<CompiledArtifact>>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry bound (total capacity divided across shards).
+    shard_capacity: usize,
+    evictions: AtomicU64,
 }
 
 /// How a lookup was satisfied.
@@ -50,21 +110,48 @@ pub enum Lookup {
     Miss,
 }
 
+/// The cache's occupancy counters at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Artifacts currently cached.
+    pub size: usize,
+    /// Maximum artifacts the cache will hold.
+    pub capacity: usize,
+    /// Artifacts evicted since the cache was created.
+    pub evictions: u64,
+}
+
+/// Default total capacity when none is given.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
 impl ProgramCache {
-    /// A cache with `shards` independently locked partitions.
+    /// A cache with `shards` partitions and the default total capacity.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     #[must_use]
     pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, DEFAULT_CAPACITY)
+    }
+
+    /// A cache with `shards` partitions bounded to `capacity` entries in
+    /// total (each shard holds its even share, at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_capacity(shards: usize, capacity: usize) -> Self {
         assert!(shards > 0, "at least one shard");
         ProgramCache {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(shards).max(1),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &Key) -> &Mutex<HashMap<Key, Arc<CompiledArtifact>>> {
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
@@ -83,20 +170,24 @@ impl ProgramCache {
             peephole,
         };
         let shard = self.shard(&key);
-        if let Some(a) = shard.lock().expect("cache shard lock").get(&key) {
-            return (Arc::clone(a), Lookup::Hit);
+        if let Some(e) = shard.lock().expect("cache shard lock").map.get_mut(&key) {
+            e.referenced = true;
+            return (Arc::clone(&e.artifact), Lookup::Hit);
         }
         // compile outside the lock: a racing worker may also compile this
         // key, and the first insert wins
         let compiled = Arc::new(CompiledArtifact::compile(program, regime, peephole));
-        let mut map = shard.lock().expect("cache shard lock");
-        match map.entry(key) {
-            Entry::Occupied(e) => (Arc::clone(e.get()), Lookup::Hit),
-            Entry::Vacant(e) => {
-                e.insert(Arc::clone(&compiled));
-                (compiled, Lookup::Miss)
-            }
+        let mut guard = shard.lock().expect("cache shard lock");
+        if let Some(e) = guard.map.get_mut(&key) {
+            e.referenced = true;
+            return (Arc::clone(&e.artifact), Lookup::Hit);
         }
+        let evicted = guard.insert(key, Arc::clone(&compiled), self.shard_capacity);
+        drop(guard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        (compiled, Lookup::Miss)
     }
 
     /// Total cached artifacts across shards.
@@ -104,7 +195,7 @@ impl ProgramCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard lock").len())
+            .map(|s| s.lock().expect("cache shard lock").map.len())
             .sum()
     }
 
@@ -112,6 +203,16 @@ impl ProgramCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Occupancy, capacity, and evictions at one point in time.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            size: self.len(),
+            capacity: self.shard_capacity * self.shards.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -126,6 +227,11 @@ mod tests {
 
     fn p2() -> Program {
         program_of(&[Inst::Lit(7), Inst::Dup, Inst::Add, Inst::Dot, Inst::Halt])
+    }
+
+    /// A family of distinct single-instruction programs.
+    fn pn(n: i64) -> Program {
+        program_of(&[Inst::Lit(n), Inst::Dot, Inst::Halt])
     }
 
     #[test]
@@ -175,5 +281,49 @@ mod tests {
         for a in &artifacts {
             assert_eq!(a.regime(), EngineRegime::Static(3));
         }
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_evictions_counted() {
+        let cache = ProgramCache::with_capacity(1, 4);
+        for n in 0..10 {
+            cache.get_or_compile(&pn(n), EngineRegime::Tos, false);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.size, 4);
+        assert_eq!(stats.capacity, 4);
+        assert_eq!(stats.evictions, 6);
+    }
+
+    #[test]
+    fn referenced_entries_survive_a_scan_of_cold_ones() {
+        let cache = ProgramCache::with_capacity(1, 4);
+        // fill, then touch p1's entry so its reference bit is set
+        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false);
+        assert_eq!(l, Lookup::Miss);
+        for n in 0..3 {
+            cache.get_or_compile(&pn(n), EngineRegime::Tos, false);
+        }
+        assert_eq!(cache.len(), 4);
+        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false);
+        assert_eq!(l, Lookup::Hit);
+        // a scan of fresh programs evicts the unreferenced entries first
+        for n in 10..13 {
+            cache.get_or_compile(&pn(n), EngineRegime::Tos, false);
+        }
+        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false);
+        assert_eq!(l, Lookup::Hit, "hot entry was evicted before cold ones");
+        assert_eq!(cache.stats().evictions, 3);
+    }
+
+    #[test]
+    fn capacity_one_shard_still_serves() {
+        let cache = ProgramCache::with_capacity(3, 0); // clamps to 1 per shard
+        for n in 0..6 {
+            let (_, l) = cache.get_or_compile(&pn(n), EngineRegime::Baseline, false);
+            assert_eq!(l, Lookup::Miss);
+        }
+        assert!(cache.len() <= 3);
+        assert!(cache.stats().evictions >= 3);
     }
 }

@@ -1,0 +1,213 @@
+//! Render a [`MetricsSnapshot`] for scrapers: Prometheus text format and
+//! a JSON document, both built from the zero-dependency writers in
+//! `stackcache-obs`.
+//!
+//! The Prometheus page is guaranteed to pass
+//! [`stackcache_obs::prometheus_lint`] — the trace-mode CI check runs the
+//! linter over a live page, so the two are kept honest against each
+//! other.
+
+use std::time::Duration;
+
+use stackcache_obs::{json_array, JsonObj, PromText};
+
+use crate::metrics::{MetricsSnapshot, RegimeSnapshot};
+
+fn secs(d: Option<Duration>) -> f64 {
+    d.map_or(f64::NAN, |d| d.as_secs_f64())
+}
+
+/// Render the snapshot as a Prometheus text-format (0.0.4) page.
+#[must_use]
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut p = PromText::new();
+
+    p.help(
+        "svc_requests_submitted_total",
+        "Requests accepted into the queue.",
+    );
+    p.typ("svc_requests_submitted_total", "counter");
+    p.sample_u64("svc_requests_submitted_total", &[], snap.submitted);
+
+    p.help(
+        "svc_requests_rejected_total",
+        "Requests refused without an outcome, by reason.",
+    );
+    p.typ("svc_requests_rejected_total", "counter");
+    p.sample_u64(
+        "svc_requests_rejected_total",
+        &[("reason", "queue_full")],
+        snap.rejected_queue_full,
+    );
+    p.sample_u64(
+        "svc_requests_rejected_total",
+        &[("reason", "shutdown")],
+        snap.rejected_shutdown,
+    );
+
+    p.help("svc_queue_depth", "Jobs waiting in the queue.");
+    p.typ("svc_queue_depth", "gauge");
+    p.sample_u64("svc_queue_depth", &[], snap.queue_depth);
+
+    p.help("svc_cache_size", "Compiled artifacts currently cached.");
+    p.typ("svc_cache_size", "gauge");
+    p.sample_u64("svc_cache_size", &[], snap.cache_size);
+    p.help(
+        "svc_cache_capacity",
+        "Maximum compiled artifacts the cache holds.",
+    );
+    p.typ("svc_cache_capacity", "gauge");
+    p.sample_u64("svc_cache_capacity", &[], snap.cache_capacity);
+    p.help(
+        "svc_cache_evictions_total",
+        "Artifacts evicted since start.",
+    );
+    p.typ("svc_cache_evictions_total", "counter");
+    p.sample_u64("svc_cache_evictions_total", &[], snap.cache_evictions);
+
+    p.help(
+        "svc_completions_total",
+        "Requests that ran to an outcome (clean halt or trap), by regime.",
+    );
+    p.typ("svc_completions_total", "counter");
+    p.help(
+        "svc_traps_total",
+        "Completions that ended in a runtime trap, by regime.",
+    );
+    p.typ("svc_traps_total", "counter");
+    p.help(
+        "svc_regime_rejections_total",
+        "Per-regime rejections, by reason (fuel, deadline).",
+    );
+    p.typ("svc_regime_rejections_total", "counter");
+    p.help(
+        "svc_cache_lookups_total",
+        "Compiled-artifact cache lookups, by result.",
+    );
+    p.typ("svc_cache_lookups_total", "counter");
+    p.help(
+        "svc_latency_seconds",
+        "Completion latency quantiles (power-of-two bucket upper bounds).",
+    );
+    p.typ("svc_latency_seconds", "summary");
+
+    for r in &snap.regimes {
+        let name = r.regime.name();
+        let name = name.as_str();
+        let regime = [("regime", name)];
+        p.sample_u64("svc_completions_total", &regime, r.completed);
+        p.sample_u64("svc_traps_total", &regime, r.traps);
+        p.sample_u64(
+            "svc_regime_rejections_total",
+            &[("regime", name), ("reason", "fuel")],
+            r.fuel_exhausted,
+        );
+        p.sample_u64(
+            "svc_regime_rejections_total",
+            &[("regime", name), ("reason", "deadline")],
+            r.deadline_expired,
+        );
+        p.sample_u64(
+            "svc_cache_lookups_total",
+            &[("regime", name), ("result", "hit")],
+            r.cache_hits,
+        );
+        p.sample_u64(
+            "svc_cache_lookups_total",
+            &[("regime", name), ("result", "miss")],
+            r.cache_misses,
+        );
+        for (q, v) in [("0.5", r.p50), ("0.9", r.p90), ("0.99", r.p99)] {
+            p.sample(
+                "svc_latency_seconds",
+                &[("regime", name), ("quantile", q)],
+                secs(v),
+            );
+        }
+    }
+
+    p.finish()
+}
+
+fn regime_json(r: &RegimeSnapshot) -> String {
+    let mut o = JsonObj::new();
+    o.field_str("regime", &r.regime.name())
+        .field_u64("completed", r.completed)
+        .field_u64("traps", r.traps)
+        .field_u64("fuel_exhausted", r.fuel_exhausted)
+        .field_u64("deadline_expired", r.deadline_expired)
+        .field_u64("cache_hits", r.cache_hits)
+        .field_u64("cache_misses", r.cache_misses)
+        .field_f64("p50_seconds", secs(r.p50))
+        .field_f64("p90_seconds", secs(r.p90))
+        .field_f64("p99_seconds", secs(r.p99));
+    o.finish()
+}
+
+/// Render the snapshot as a single JSON object.
+#[must_use]
+pub fn json(snap: &MetricsSnapshot) -> String {
+    let regimes: Vec<String> = snap.regimes.iter().map(regime_json).collect();
+    let cache = {
+        let mut o = JsonObj::new();
+        o.field_u64("size", snap.cache_size)
+            .field_u64("capacity", snap.cache_capacity)
+            .field_u64("evictions", snap.cache_evictions);
+        o.finish()
+    };
+    let mut o = JsonObj::new();
+    o.field_u64("submitted", snap.submitted)
+        .field_u64("rejected_queue_full", snap.rejected_queue_full)
+        .field_u64("rejected_shutdown", snap.rejected_shutdown)
+        .field_u64("queue_depth", snap.queue_depth)
+        .field_raw("cache", &cache)
+        .field_raw("regimes", &json_array(&regimes));
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use stackcache_obs::prometheus_lint;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        use stackcache_core::EngineRegime;
+        let m = Metrics::new();
+        m.on_submitted();
+        m.on_submitted();
+        m.on_cache_miss(EngineRegime::Tos);
+        m.on_cache_hit(EngineRegime::Tos);
+        m.on_completed(EngineRegime::Tos, false, Duration::from_micros(5));
+        m.on_completed(EngineRegime::Tos, true, Duration::from_micros(9));
+        m.on_fuel_exhausted(EngineRegime::Reference);
+        let mut s = m.snapshot();
+        s.queue_depth = 3;
+        s.cache_size = 1;
+        s.cache_capacity = 64;
+        s.cache_evictions = 7;
+        s
+    }
+
+    #[test]
+    fn prometheus_page_passes_the_lint() {
+        let page = prometheus(&sample_snapshot());
+        prometheus_lint(&page).unwrap();
+        assert!(page.contains("svc_requests_submitted_total 2\n"));
+        assert!(page.contains("svc_cache_evictions_total 7\n"));
+        assert!(page.contains("svc_completions_total{regime=\"tos\"} 2"));
+        assert!(page.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn json_document_carries_the_same_counters() {
+        let doc = json(&sample_snapshot());
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"submitted\":2"));
+        assert!(doc.contains("\"queue_depth\":3"));
+        assert!(doc.contains("\"evictions\":7"));
+        assert!(doc.contains("\"regime\":\"tos\""));
+        // regimes with no observations report null quantiles, not NaN
+        assert!(doc.contains("\"p50_seconds\":null"));
+    }
+}

@@ -53,24 +53,28 @@
 
 pub mod cache;
 pub mod deadline;
+pub mod expose;
 pub mod metrics;
 pub mod queue;
 mod worker;
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use stackcache_core::EngineRegime;
 use stackcache_harness::{Outcome, MEMORY_BYTES};
+use stackcache_obs::{EventKind, FlightDump, FlightRecorder};
 use stackcache_vm::{Machine, Program};
 
 use crate::cache::ProgramCache;
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
-use crate::worker::{worker_loop, Job, Shared};
+use crate::worker::{worker_loop, Job, Shared, Tracing};
 
+pub use crate::cache::CacheStats;
 pub use crate::metrics::{MetricsSnapshot, RegimeSnapshot};
 
 /// One execution request: a program, the machine state to start from, and
@@ -183,9 +187,17 @@ pub enum SubmitError {
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Reply>,
+    request_id: u64,
 }
 
 impl Ticket {
+    /// The service-assigned request id — the correlation key for this
+    /// request's flight-recorder events and incident reports.
+    #[must_use]
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
     /// Block until the service answers.
     #[must_use]
     pub fn wait(self) -> Reply {
@@ -203,6 +215,28 @@ impl Ticket {
     }
 }
 
+/// Flight-recorder sizing for a traced service.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Events each per-worker ring retains (oldest overwritten first).
+    pub ring_capacity: usize,
+    /// Service-wide context events attached to each incident report.
+    pub dump_last: usize,
+    /// Instructions between mid-run progress heartbeats on the
+    /// cancellable reference engine.
+    pub progress_interval: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 256,
+            dump_last: 32,
+            progress_interval: 4096,
+        }
+    }
+}
+
 /// Service sizing.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -212,6 +246,12 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Independently locked partitions of the compiled-program cache.
     pub cache_shards: usize,
+    /// Maximum compiled artifacts cached across shards (second-chance
+    /// eviction beyond that).
+    pub cache_capacity: usize,
+    /// Run with the flight recorder on; `None` (the default) records
+    /// nothing and adds nothing to the hot path.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -221,7 +261,18 @@ impl Default for ServiceConfig {
             workers,
             queue_capacity: workers * 64,
             cache_shards: 16,
+            cache_capacity: cache::DEFAULT_CAPACITY,
+            trace: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// This configuration with default tracing switched on.
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.trace = Some(TraceConfig::default());
+        self
     }
 }
 
@@ -246,18 +297,27 @@ impl Service {
     #[must_use]
     pub fn start(config: ServiceConfig) -> Self {
         assert!(config.workers > 0, "at least one worker");
+        let tracing = config.trace.map(|t| Tracing {
+            // ring 0 takes submitter-side events; ring 1 + i is worker i's
+            recorder: Arc::new(FlightRecorder::new(config.workers + 1, t.ring_capacity)),
+            dump_last: t.dump_last,
+            progress_interval: t.progress_interval,
+            incidents: Mutex::new(VecDeque::new()),
+        });
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_capacity),
-            cache: ProgramCache::new(config.cache_shards),
+            cache: ProgramCache::with_capacity(config.cache_shards, config.cache_capacity),
             metrics: Metrics::new(),
             abort: Arc::new(AtomicBool::new(false)),
+            next_request: AtomicU64::new(0),
+            tracing,
         });
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("svc-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i + 1))
                     .expect("spawn worker")
             })
             .collect();
@@ -273,17 +333,30 @@ impl Service {
     /// enter the queue and may be retried. [`SubmitError::ShuttingDown`]
     /// after shutdown began.
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed);
+        let regime = request.regime;
+        let peephole = request.peephole;
         let deadline = request.deadline.map(|d| Instant::now() + d);
         let (tx, rx) = mpsc::channel();
         let job = Job {
+            id,
             request,
+            submitted: Instant::now(),
             deadline,
             reply: tx,
         };
         match self.shared.queue.push(job) {
             Ok(()) => {
                 self.shared.metrics.on_submitted();
-                Ok(Ticket { rx })
+                self.shared.trace(
+                    0,
+                    id,
+                    EventKind::Admitted {
+                        regime: regime.index().min(u8::MAX as usize) as u8,
+                        peephole,
+                    },
+                );
+                Ok(Ticket { rx, request_id: id })
             }
             Err((_, PushError::Full)) => {
                 self.shared.metrics.on_queue_full();
@@ -293,10 +366,17 @@ impl Service {
         }
     }
 
-    /// A point-in-time snapshot of every counter and latency quantile.
+    /// A point-in-time snapshot of every counter, gauge, and latency
+    /// quantile, including cache occupancy and queue depth.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snap = self.shared.metrics.snapshot();
+        let cache = self.shared.cache.stats();
+        snap.queue_depth = self.shared.queue.len() as u64;
+        snap.cache_size = cache.size as u64;
+        snap.cache_capacity = cache.capacity as u64;
+        snap.cache_evictions = cache.evictions;
+        snap
     }
 
     /// Compiled artifacts currently cached.
@@ -305,11 +385,57 @@ impl Service {
         self.shared.cache.len()
     }
 
+    /// Cache occupancy, capacity, and eviction counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// A merged, time-ordered dump of every flight-recorder ring, or
+    /// `None` when the service runs untraced.
+    #[must_use]
+    pub fn flight_dump(&self) -> Option<FlightDump> {
+        self.shared.tracing.as_ref().map(|t| t.recorder.dump())
+    }
+
+    /// The retained incident reports (traps, cancellations, deadline
+    /// rejections), oldest first. Empty when untraced or uneventful.
+    #[must_use]
+    pub fn incident_reports(&self) -> Vec<String> {
+        self.shared.tracing.as_ref().map_or_else(Vec::new, |t| {
+            t.incidents
+                .lock()
+                .expect("incident lock")
+                .iter()
+                .cloned()
+                .collect()
+        })
+    }
+
+    /// Record a verification verdict for `request_id` on the admission
+    /// ring (callers that cross-check replies against the reference
+    /// interpreter report back through this).
+    pub fn record_verified(&self, request_id: u64, ok: bool) {
+        self.shared.trace(0, request_id, EventKind::Verified { ok });
+    }
+
+    /// The current metrics as a Prometheus text-format page.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        expose::prometheus(&self.metrics())
+    }
+
+    /// The current metrics as a JSON document.
+    #[must_use]
+    pub fn json(&self) -> String {
+        expose::json(&self.metrics())
+    }
+
     /// Stop accepting work, run every already-accepted job to its reply,
     /// and join the pool. Every outstanding [`Ticket`] resolves.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.finish(false);
-        self.shared.metrics.snapshot()
+        self.metrics()
     }
 
     /// Stop as fast as cooperatively possible: pending jobs are answered
@@ -317,7 +443,7 @@ impl Service {
     /// the cancellable reference engine are cancelled. Joins the pool.
     pub fn abort(mut self) -> MetricsSnapshot {
         self.finish(true);
-        self.shared.metrics.snapshot()
+        self.metrics()
     }
 
     fn finish(&mut self, abort: bool) {

@@ -169,6 +169,12 @@ impl Metrics {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            // occupancy gauges live outside the registry; the service
+            // fills them in from the queue and cache when snapshotting
+            queue_depth: 0,
+            cache_size: 0,
+            cache_capacity: 0,
+            cache_evictions: 0,
             regimes: EngineRegime::ALL
                 .iter()
                 .map(|&regime| {
@@ -225,6 +231,14 @@ pub struct MetricsSnapshot {
     pub rejected_queue_full: u64,
     /// Requests answered `ShutDown` without executing.
     pub rejected_shutdown: u64,
+    /// Jobs waiting in the queue when the snapshot was taken.
+    pub queue_depth: u64,
+    /// Compiled artifacts cached when the snapshot was taken.
+    pub cache_size: u64,
+    /// Maximum compiled artifacts the cache will hold.
+    pub cache_capacity: u64,
+    /// Artifacts evicted from the cache since the service started.
+    pub cache_evictions: u64,
     /// Per-regime counters, in [`EngineRegime::ALL`] order.
     pub regimes: Vec<RegimeSnapshot>,
 }
@@ -267,6 +281,49 @@ mod tests {
         assert!(p50 >= Duration::from_micros(40) && p50 <= Duration::from_micros(66));
         let p99 = h.quantile(0.99).unwrap();
         assert!(p99 >= Duration::from_micros(1000));
+        assert!(h.quantile(0.0).is_some());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn zero_nanosecond_latency_lands_in_the_first_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(0));
+        h.record(Duration::from_nanos(1));
+        assert_eq!(h.count(), 2);
+        // both land in bucket 0 = [1, 2) ns; every quantile reports its
+        // upper bound
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(Duration::from_nanos(2)), "q={q}");
+        }
+    }
+
+    #[test]
+    fn huge_latencies_saturate_the_top_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::MAX); // > u64::MAX ns, clamped
+        h.record(Duration::from_nanos(u64::MAX));
+        assert_eq!(h.count(), 2);
+        // the top bucket's upper bound itself saturates to u64::MAX
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(u64::MAX)));
+        assert_eq!(h.quantile(0.5), Some(Duration::from_nanos(u64::MAX)));
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(100));
+        // q is clamped into [0, 1]; rank is clamped to at least 1
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
         assert!(h.quantile(0.0).is_some());
     }
 

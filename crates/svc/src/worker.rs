@@ -7,12 +7,20 @@
 //! executing; fuel exhaustion and cancellation become structured
 //! [`Rejection`]s; everything else — clean halts *and* runtime traps —
 //! is a [`Completion`] carrying the captured [`Outcome`].
+//!
+//! When the service runs with tracing, each step also drops an event
+//! into the worker's flight-recorder ring, and every failure path
+//! (trap, cancellation, deadline rejection) files an incident report —
+//! the failed request's event trail plus the service-wide tail — before
+//! answering the ticket.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use stackcache_harness::Outcome;
+use stackcache_obs::{CancelKind, EventKind, FlightRecorder, RejectKind, RingTracer};
 use stackcache_vm::VmError;
 
 use crate::cache::{Lookup, ProgramCache};
@@ -24,7 +32,11 @@ use crate::{Completion, Rejection, Reply, Request};
 /// An accepted request on its way through the queue.
 #[derive(Debug)]
 pub(crate) struct Job {
+    /// The service-assigned request id (flight-recorder correlation key).
+    pub(crate) id: u64,
     pub(crate) request: Request,
+    /// When the job entered the queue.
+    pub(crate) submitted: Instant,
     /// Absolute deadline, resolved at submission.
     pub(crate) deadline: Option<Instant>,
     pub(crate) reply: mpsc::Sender<Reply>,
@@ -43,6 +55,37 @@ impl Job {
     }
 }
 
+/// Flight-recorder state, present only on a traced service.
+#[derive(Debug)]
+pub(crate) struct Tracing {
+    pub(crate) recorder: Arc<FlightRecorder>,
+    /// Events of service-wide context attached to each incident report.
+    pub(crate) dump_last: usize,
+    /// Instructions between mid-run progress heartbeats.
+    pub(crate) progress_interval: u64,
+    /// The most recent incident reports, oldest first, bounded.
+    pub(crate) incidents: Mutex<VecDeque<String>>,
+}
+
+/// Incident reports retained before the oldest is dropped.
+pub(crate) const MAX_INCIDENTS: usize = 32;
+
+impl Tracing {
+    fn file_incident(&self, request: u64, context: &str) {
+        let report = format!(
+            "incident: {context}\n{}",
+            self.recorder
+                .dump()
+                .incident_report(request, self.dump_last)
+        );
+        let mut q = self.incidents.lock().expect("incident lock");
+        if q.len() == MAX_INCIDENTS {
+            q.pop_front();
+        }
+        q.push_back(report);
+    }
+}
+
 /// Shared state every worker thread runs against.
 #[derive(Debug)]
 pub(crate) struct Shared {
@@ -50,29 +93,85 @@ pub(crate) struct Shared {
     pub(crate) cache: ProgramCache,
     pub(crate) metrics: Metrics,
     pub(crate) abort: Arc<AtomicBool>,
+    pub(crate) next_request: AtomicU64,
+    pub(crate) tracing: Option<Tracing>,
 }
 
-/// Pop and serve jobs until the queue is closed and drained.
-pub(crate) fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        serve(shared, job);
+impl Shared {
+    /// Record `kind` for `request` on `ring` if tracing is on.
+    pub(crate) fn trace(&self, ring: usize, request: u64, kind: EventKind) {
+        if let Some(t) = &self.tracing {
+            t.recorder.record(ring, request, kind);
+        }
     }
 }
 
-fn serve(shared: &Shared, job: Job) {
+/// A stable diagnostic code for each trap kind (flight-recorder payload).
+fn trap_code(err: &VmError) -> u8 {
+    match err {
+        VmError::StackUnderflow { .. } => 1,
+        VmError::StackOverflow { .. } => 2,
+        VmError::ReturnStackUnderflow { .. } => 3,
+        VmError::ReturnStackOverflow { .. } => 4,
+        VmError::MemoryOutOfBounds { .. } => 5,
+        VmError::DivisionByZero { .. } => 6,
+        VmError::PickOutOfRange { .. } => 7,
+        VmError::InvalidExecutionToken { .. } => 8,
+        VmError::InstructionOutOfBounds { .. } => 9,
+        VmError::FuelExhausted { .. } => 10,
+        VmError::Cancelled { .. } => 11,
+    }
+}
+
+/// Pop and serve jobs until the queue is closed and drained. `ring` is
+/// this worker's flight-recorder ring (worker index + 1; ring 0 belongs
+/// to submitters).
+pub(crate) fn worker_loop(shared: &Shared, ring: usize) {
+    while let Some(job) = shared.queue.pop() {
+        serve(shared, ring, job);
+    }
+}
+
+fn serve(shared: &Shared, ring: usize, job: Job) {
     let regime = job.request.regime;
+    let id = job.id;
+    shared.trace(
+        ring,
+        id,
+        EventKind::Dequeued {
+            wait_nanos: job.submitted.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        },
+    );
     if shared.abort.load(Ordering::Relaxed) {
+        shared.trace(
+            ring,
+            id,
+            EventKind::Rejected {
+                reason: RejectKind::Shutdown,
+            },
+        );
         job.refuse(&shared.metrics);
         return;
     }
     if let Some(d) = job.deadline {
         if Instant::now() >= d {
             shared.metrics.on_deadline_expired(regime);
+            shared.trace(
+                ring,
+                id,
+                EventKind::Rejected {
+                    reason: RejectKind::Deadline,
+                },
+            );
+            if let Some(t) = &shared.tracing {
+                t.file_incident(id, "deadline expired in queue");
+            }
             job.answer(Reply::Rejected(Rejection::DeadlineExpired));
             return;
         }
     }
 
+    let lookup_start = Instant::now();
     let (artifact, lookup) =
         shared
             .cache
@@ -80,31 +179,95 @@ fn serve(shared: &Shared, job: Job) {
     let cache_hit = lookup == Lookup::Hit;
     if cache_hit {
         shared.metrics.on_cache_hit(regime);
+        shared.trace(ring, id, EventKind::CacheHit);
     } else {
         shared.metrics.on_cache_miss(regime);
+        shared.trace(ring, id, EventKind::CacheMiss);
+        shared.trace(
+            ring,
+            id,
+            EventKind::Translate {
+                nanos: lookup_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            },
+        );
     }
 
     let mut machine = (*job.request.proto).clone();
     let mut observer = DeadlineObserver::new(job.deadline, Arc::clone(&shared.abort));
+    shared.trace(ring, id, EventKind::ExecuteBegin);
     let start = Instant::now();
-    let result = artifact.run_observed(&mut machine, job.request.fuel, &mut observer);
+    let result = match &shared.tracing {
+        // under tracing, the cancellable (reference) engine also carries a
+        // heartbeat tracer; the other engines dispatch no observer events,
+        // so the tuple would be dead weight there
+        Some(t) if regime.cancellable() => {
+            let tracer = RingTracer::new(&t.recorder, ring, id, t.progress_interval);
+            let mut pair = (&mut observer, tracer);
+            artifact.run_observed(&mut machine, job.request.fuel, &mut pair)
+        }
+        _ => artifact.run_observed(&mut machine, job.request.fuel, &mut observer),
+    };
     let latency = start.elapsed();
 
     match result {
         Err(VmError::FuelExhausted { .. }) => {
             shared.metrics.on_fuel_exhausted(regime);
+            shared.trace(
+                ring,
+                id,
+                EventKind::Rejected {
+                    reason: RejectKind::Fuel,
+                },
+            );
+            if let Some(t) = &shared.tracing {
+                t.file_incident(id, "fuel exhausted");
+            }
             job.answer(Reply::Rejected(Rejection::FuelExhausted));
         }
         Err(VmError::Cancelled { .. }) => {
             if observer.cause() == Some(CancelCause::Abort) {
+                shared.trace(
+                    ring,
+                    id,
+                    EventKind::Cancelled {
+                        cause: CancelKind::Abort,
+                    },
+                );
                 job.refuse(&shared.metrics);
             } else {
                 shared.metrics.on_deadline_expired(regime);
+                shared.trace(
+                    ring,
+                    id,
+                    EventKind::Cancelled {
+                        cause: CancelKind::Deadline,
+                    },
+                );
+                if let Some(t) = &shared.tracing {
+                    t.file_incident(id, "deadline expired mid-run");
+                }
                 job.answer(Reply::Rejected(Rejection::DeadlineExpired));
             }
         }
         other => {
             let trapped = other.is_err();
+            match &other {
+                Ok(executed) => {
+                    shared.trace(
+                        ring,
+                        id,
+                        EventKind::ExecuteEnd {
+                            executed: *executed,
+                        },
+                    );
+                }
+                Err(e) => {
+                    shared.trace(ring, id, EventKind::Trap { code: trap_code(e) });
+                    if let Some(t) = &shared.tracing {
+                        t.file_incident(id, &format!("runtime trap: {e}"));
+                    }
+                }
+            }
             let outcome = Outcome::capture(&machine, other);
             shared.metrics.on_completed(regime, trapped, latency);
             job.answer(Reply::Completed(Completion {

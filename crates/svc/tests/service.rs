@@ -14,6 +14,7 @@ fn config(workers: usize, queue: usize) -> ServiceConfig {
         workers,
         queue_capacity: queue,
         cache_shards: 4,
+        ..ServiceConfig::default()
     }
 }
 

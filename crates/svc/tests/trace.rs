@@ -1,0 +1,202 @@
+//! Flight-recorder integration tests: a traced service records each
+//! request's life, a forced deadline expiry leaves a readable incident
+//! trail, and the exposition endpoints render and lint cleanly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+use stackcache_obs::{prometheus_lint, CancelKind, EventKind};
+use stackcache_svc::{Rejection, Reply, Request, Service, ServiceConfig};
+use stackcache_vm::{program_of, Inst, Program, ProgramBuilder};
+
+fn traced_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_shards: 4,
+        ..ServiceConfig::default()
+    }
+    .traced()
+}
+
+fn square(n: i64) -> Arc<Program> {
+    Arc::new(program_of(&[
+        Inst::Lit(n),
+        Inst::Dup,
+        Inst::Mul,
+        Inst::Dot,
+        Inst::Halt,
+    ]))
+}
+
+/// An infinite loop, stoppable only by fuel or cancellation.
+fn spin() -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.bind(top).unwrap();
+    b.push(Inst::Nop);
+    b.branch(top);
+    Arc::new(b.finish().unwrap())
+}
+
+/// The acceptance sequence: a deadline-expired request's flight trail
+/// reads admitted → cache → execute → cancelled.
+#[test]
+fn deadline_expiry_leaves_the_full_event_sequence() {
+    let svc = Service::start(traced_config(1));
+    let ticket = svc
+        .submit(
+            Request::new(spin(), EngineRegime::Reference)
+                .fuel(u64::MAX)
+                .deadline(Duration::from_millis(20)),
+        )
+        .expect("admitted");
+    let id = ticket.request_id();
+    match ticket.wait() {
+        Reply::Rejected(Rejection::DeadlineExpired) => {}
+        other => panic!("expected a deadline rejection, got {other:?}"),
+    }
+
+    let dump = svc.flight_dump().expect("traced service dumps");
+    let trail = dump.for_request(id);
+    let kinds: Vec<&EventKind> = trail.iter().map(|e| &e.kind).collect();
+    let position = |pred: &dyn Fn(&EventKind) -> bool| {
+        kinds
+            .iter()
+            .position(|k| pred(k))
+            .unwrap_or_else(|| panic!("missing event in {kinds:?}"))
+    };
+    let admitted = position(&|k| matches!(k, EventKind::Admitted { .. }));
+    let cache = position(&|k| matches!(k, EventKind::CacheHit | EventKind::CacheMiss));
+    let execute = position(&|k| matches!(k, EventKind::ExecuteBegin));
+    let cancelled = position(&|k| {
+        matches!(
+            k,
+            EventKind::Cancelled {
+                cause: CancelKind::Deadline
+            }
+        )
+    });
+    assert!(
+        admitted < cache && cache < execute && execute < cancelled,
+        "out-of-order trail: {kinds:?}"
+    );
+    // the long spin also heartbeats between begin and cancel
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::Progress { .. })),
+        "no progress heartbeat in {kinds:?}"
+    );
+
+    let reports = svc.incident_reports();
+    assert!(!reports.is_empty(), "deadline expiry files an incident");
+    let report = reports.last().unwrap();
+    assert!(report.contains(&format!("req#{id}")), "{report}");
+    assert!(report.contains("deadline expired mid-run"), "{report}");
+    assert!(report.contains("cancelled"), "{report}");
+    svc.shutdown();
+}
+
+#[test]
+fn untraced_service_records_nothing() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_shards: 2,
+        ..ServiceConfig::default()
+    });
+    let ticket = svc
+        .submit(Request::new(square(6), EngineRegime::Tos))
+        .unwrap();
+    assert!(matches!(ticket.wait(), Reply::Completed(_)));
+    assert!(svc.flight_dump().is_none());
+    assert!(svc.incident_reports().is_empty());
+    svc.shutdown();
+}
+
+#[test]
+fn healthy_requests_trace_end_to_end_and_expose_cleanly() {
+    let svc = Service::start(traced_config(2));
+    let program = square(6);
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        let t = svc
+            .submit(Request::new(Arc::clone(&program), EngineRegime::Static(2)).peephole(true))
+            .expect("admitted");
+        let id = t.request_id();
+        ids.push(id);
+        match t.wait() {
+            Reply::Completed(c) => {
+                assert!(c.outcome.trap.is_none());
+                svc.record_verified(id, true);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    let dump = svc.flight_dump().unwrap();
+    assert!(!dump.is_empty());
+    // one compile, seven cache hits, all executed to the end
+    let hits = dump
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CacheHit))
+        .count();
+    let misses = dump
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CacheMiss))
+        .count();
+    assert_eq!((hits, misses), (7, 1));
+    for id in &ids {
+        let trail = dump.for_request(*id);
+        assert!(
+            trail
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::ExecuteEnd { .. })),
+            "request {id} never finished in the dump"
+        );
+        assert!(trail
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Verified { ok: true })));
+    }
+    // the rendered report is human-readable and names rings
+    let rendered = dump.render(dump.last(16));
+    assert!(rendered.contains("req#"));
+    assert!(rendered.contains("worker"), "{rendered}");
+
+    // exposition: the Prometheus page passes its own linter and carries
+    // cache occupancy; JSON mirrors it
+    let page = svc.prometheus();
+    prometheus_lint(&page).expect("live page lints");
+    assert!(page.contains("svc_cache_size 1\n"), "{page}");
+    let json = svc.json();
+    assert!(json.contains("\"cache\":{\"size\":1"), "{json}");
+    assert!(svc.incident_reports().is_empty());
+    svc.shutdown();
+}
+
+#[test]
+fn trap_files_an_incident_report() {
+    let svc = Service::start(traced_config(1));
+    // division by zero traps at runtime
+    let p = Arc::new(program_of(&[
+        Inst::Lit(1),
+        Inst::Lit(0),
+        Inst::Div,
+        Inst::Halt,
+    ]));
+    let ticket = svc.submit(Request::new(p, EngineRegime::Baseline)).unwrap();
+    let id = ticket.request_id();
+    match ticket.wait() {
+        Reply::Completed(c) => assert!(c.outcome.trap.is_some()),
+        other => panic!("expected a trapped completion, got {other:?}"),
+    }
+    let reports = svc.incident_reports();
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].contains("runtime trap"), "{}", reports[0]);
+    assert!(reports[0].contains(&format!("req#{id}")), "{}", reports[0]);
+    svc.shutdown();
+}

@@ -129,6 +129,27 @@ impl<T: ExecObserver> ExecObserver for Vec<T> {
     }
 }
 
+/// Compose two observers of *different* types (one execution, two
+/// concerns — e.g. a deadline enforcer plus a flight-recorder tracer).
+///
+/// Both observers see every event, and both are polled for cancellation
+/// on every instruction (no short-circuiting: an interval-counting
+/// observer keeps its cadence even when its partner cancels first).
+impl<A: ExecObserver, B: ExecObserver> ExecObserver for (A, B) {
+    #[inline]
+    fn event(&mut self, ev: &ExecEvent) {
+        self.0.event(ev);
+        self.1.event(ev);
+    }
+
+    #[inline]
+    fn poll_cancel(&mut self) -> bool {
+        let a = self.0.poll_cancel();
+        let b = self.1.poll_cancel();
+        a || b
+    }
+}
+
 /// Result of a successful program run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outcome {
