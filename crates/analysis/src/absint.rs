@@ -1,0 +1,1342 @@
+//! Whole-program abstract interpretation of depth bounds.
+//!
+//! The interpreter computes, for every reachable program point, an
+//! interval of possible data-stack depths *relative to the containing
+//! word's entry depth*, an exact relative return-stack frame, and a small
+//! window of known top-of-stack constants. Per-word summaries (net
+//! effect, consumption below entry, maximum growth) are composed over the
+//! call graph to a fixpoint, seeded by `stackcache_vm::depth` effects and
+//! widened on recursion. The result is a [`SafetyProof`]: either every
+//! point is bounded — proving the absence of stack underflow, and of
+//! overflow up to a declared capacity — or the offending instruction is
+//! pinpointed with a clippy-style [`Diagnostic`].
+//!
+//! Three design points matter for precision on real Forth images:
+//!
+//! - **Constant tops.** A window of known top-of-stack values lets the
+//!   analysis route `BranchIfZero` deterministically and fold `?dup`,
+//!   which is what keeps flag-returning words (`number?`-style, one
+//!   variant nets −1 with a zero flag, the other nets 0 with a true
+//!   flag) from collapsing into an imprecise interval.
+//! - **Disjunctive frames.** Each point holds a bounded *set* of frames,
+//!   so the two variants above stay separate until the branch consumes
+//!   the flag.
+//! - **Frozen memory.** `Lit(addr); Fetch; Execute` (deferred-word
+//!   dispatch) resolves through cells that no runtime store can reach;
+//!   the `(addr, value)` pairs used are recorded in the proof and
+//!   re-validated at admission time.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use stackcache_vm::{depth, Cell, Inst, Machine, Program, CELL_BYTES, FALSE, TRUE};
+
+use crate::proof::{Bound, Diagnostic, SafetyProof, Verdict};
+
+/// Saturating "infinity" for depth arithmetic.
+pub(crate) const INF: i64 = i64::MAX / 4;
+const NEG_INF: i64 = -INF;
+/// Known-constant window depth per frame.
+const TOPS_WINDOW: usize = 4;
+/// Maximum disjunctive frames per program point.
+const MAX_FRAMES: usize = 8;
+/// Maximum exact return variants per word summary.
+const MAX_VARIANTS: usize = 4;
+/// Point visits before interval widening kicks in.
+const WIDEN_AFTER: u32 = 12;
+/// Point visits before constant tracking is abandoned at that point.
+const STRIP_AFTER: u32 = 32;
+/// Global summary-fixpoint rounds before declaring divergence.
+const MAX_ROUNDS: usize = 40;
+/// Rounds before growing summary bounds are widened to infinity.
+const WIDEN_ROUNDS: usize = 6;
+
+fn sadd(a: i64, b: i64) -> i64 {
+    if a >= INF || b >= INF {
+        INF
+    } else if a <= NEG_INF || b <= NEG_INF {
+        NEG_INF
+    } else {
+        (a + b).clamp(NEG_INF, INF)
+    }
+}
+
+fn bound(v: i64) -> Bound {
+    if v >= INF {
+        Bound::Unbounded
+    } else {
+        Bound::Finite(v)
+    }
+}
+
+fn flag(b: bool) -> Cell {
+    if b {
+        TRUE
+    } else {
+        FALSE
+    }
+}
+
+/// Abstract value for a data-stack cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AVal {
+    /// Nothing known.
+    Any,
+    /// Known to be non-zero (flag routing).
+    NonZero,
+    /// Known constant.
+    Const(Cell),
+}
+
+/// One disjunctive abstract frame at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Frame {
+    /// Lower bound of data depth relative to word entry.
+    dlo: i64,
+    /// Upper bound of data depth relative to word entry.
+    dhi: i64,
+    /// Known values near the top (`last()` is the top of stack).
+    tops: Vec<AVal>,
+    /// Exact return-stack cells pushed since word entry.
+    r: usize,
+}
+
+impl Frame {
+    fn entry() -> Self {
+        Frame {
+            dlo: 0,
+            dhi: 0,
+            tops: Vec::new(),
+            r: 0,
+        }
+    }
+
+    fn push(&mut self, v: AVal) {
+        self.dlo = sadd(self.dlo, 1);
+        self.dhi = sadd(self.dhi, 1);
+        self.tops.push(v);
+        if self.tops.len() > TOPS_WINDOW {
+            self.tops.remove(0);
+        }
+    }
+
+    fn pop(&mut self) -> AVal {
+        self.dlo = sadd(self.dlo, -1);
+        self.dhi = sadd(self.dhi, -1);
+        self.tops.pop().unwrap_or(AVal::Any)
+    }
+
+    /// Drop uninformative bottom entries so equal knowledge compares equal.
+    fn canon(&mut self) {
+        while self.tops.first() == Some(&AVal::Any) {
+            self.tops.remove(0);
+        }
+    }
+}
+
+/// Joined per-point facts used for classification and reporting.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    /// Joined lower depth bound (relative to word entry).
+    dlo: i64,
+    /// Joined upper depth bound.
+    dhi: i64,
+    /// Cells this instruction demands on the data stack (pops, or callee
+    /// consumption for calls).
+    need: i64,
+    /// Maximum depth reached while executing this instruction (includes
+    /// callee growth at call sites).
+    peak: i64,
+    /// Maximum return-stack growth at this instruction (relative frame
+    /// plus return address and callee growth at call sites).
+    rpeak: i64,
+}
+
+impl Point {
+    fn new() -> Self {
+        Point {
+            dlo: INF,
+            dhi: NEG_INF,
+            need: 0,
+            peak: NEG_INF,
+            rpeak: 0,
+        }
+    }
+}
+
+/// Per-word analysis summary composed over the call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Summary {
+    /// Exact `(net, top)` return variants (empty when collapsed).
+    variants: Vec<(i64, AVal)>,
+    /// Joined net-effect interval over all returns.
+    net_lo: i64,
+    net_hi: i64,
+    /// Whether any return is reachable.
+    has_return: bool,
+    /// Cells the word may pop below its entry depth (transitive).
+    consumes: i64,
+    /// Deepest point at which `consumes` was established.
+    consumes_at: Option<(usize, usize)>,
+    /// Definite demand: `> 0` means some reachable point underflows even
+    /// at the maximum possible depth (transitive).
+    dd: i64,
+    /// The point establishing `dd`.
+    dd_at: Option<(usize, usize)>,
+    /// Maximum data growth above entry (transitive; may be [`INF`]).
+    grow: i64,
+    /// Maximum return-stack growth (transitive; may be [`INF`]).
+    r_grow: i64,
+    /// Set when the word could not be analyzed: `(ip, reason)`.
+    unknown: Option<(usize, String)>,
+}
+
+impl Summary {
+    fn poisoned(ip: usize, reason: String) -> Self {
+        Summary {
+            variants: Vec::new(),
+            net_lo: NEG_INF,
+            net_hi: INF,
+            has_return: true,
+            consumes: INF,
+            consumes_at: None,
+            dd: NEG_INF,
+            dd_at: None,
+            grow: INF,
+            r_grow: INF,
+            unknown: Some((ip, reason)),
+        }
+    }
+
+    fn provisional(effect: depth::WordEffect) -> Option<Self> {
+        match effect {
+            depth::WordEffect::Net { net, consumes } => Some(Summary {
+                variants: vec![(i64::from(net), AVal::Any)],
+                net_lo: i64::from(net),
+                net_hi: i64::from(net),
+                has_return: true,
+                consumes: i64::from(consumes),
+                consumes_at: None,
+                dd: NEG_INF,
+                dd_at: None,
+                grow: INF,
+                r_grow: INF,
+                unknown: None,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Statically frozen memory: byte ranges no runtime store can write.
+struct FrozenMem {
+    ranges: Vec<(Cell, Cell)>,
+    all_mutable: bool,
+}
+
+impl FrozenMem {
+    fn compute(p: &Program) -> Self {
+        let leaders: BTreeSet<usize> = p.leaders().into_iter().collect();
+        let mut ranges = Vec::new();
+        let mut all_mutable = false;
+        for (ip, inst) in p.insts().iter().enumerate() {
+            let width = match inst {
+                Inst::Store | Inst::PlusStore => CELL_BYTES as Cell,
+                Inst::CStore => 1,
+                _ => continue,
+            };
+            // The address is known only when the store directly follows
+            // the Lit producing it (no branch can land between them).
+            if ip > 0 && !leaders.contains(&ip) {
+                if let Inst::Lit(a) = p.insts()[ip - 1] {
+                    ranges.push((a, width));
+                    continue;
+                }
+            }
+            all_mutable = true;
+        }
+        FrozenMem {
+            ranges,
+            all_mutable,
+        }
+    }
+
+    fn cell_frozen(&self, addr: Cell) -> bool {
+        if self.all_mutable || addr < 0 {
+            return false;
+        }
+        let w = CELL_BYTES as Cell;
+        !self
+            .ranges
+            .iter()
+            .any(|&(s, len)| s < addr.saturating_add(w) && addr < s.saturating_add(len))
+    }
+}
+
+/// Per-word analysis output.
+struct WordResult {
+    summary: Summary,
+    points: BTreeMap<usize, Point>,
+    preds: BTreeMap<usize, usize>,
+    deps: BTreeSet<(Cell, Cell)>,
+    pending: BTreeSet<usize>,
+}
+
+/// Analysis context for a single word.
+struct WordCtx<'a> {
+    p: &'a Program,
+    entry: usize,
+    summaries: &'a BTreeMap<usize, Summary>,
+    frozen: &'a FrozenMem,
+    mem: Option<&'a Machine>,
+    frames: BTreeMap<usize, Vec<Frame>>,
+    visits: BTreeMap<usize, u32>,
+    points: BTreeMap<usize, Point>,
+    preds: BTreeMap<usize, usize>,
+    variants: Vec<(i64, i64, AVal)>,
+    consumes: i64,
+    consumes_at: Option<(usize, usize)>,
+    dd: i64,
+    dd_at: Option<(usize, usize)>,
+    deps: BTreeSet<(Cell, Cell)>,
+    pending: BTreeSet<usize>,
+}
+
+impl<'a> WordCtx<'a> {
+    /// Record a data-stack demand of `n` cells at `ip` given frame `f`.
+    fn note_need(&mut self, ip: usize, f: &Frame, n: i64) {
+        if n <= 0 {
+            return;
+        }
+        let pt = self.points.entry(ip).or_insert_with(Point::new);
+        pt.need = pt.need.max(n);
+        let contribution = sadd(n, -f.dlo);
+        if contribution > self.consumes {
+            self.consumes = contribution;
+            self.consumes_at = Some((self.entry, ip));
+        }
+        let definite = sadd(n, -f.dhi);
+        if definite > self.dd {
+            self.dd = definite;
+            self.dd_at = Some((self.entry, ip));
+        }
+    }
+
+    /// Apply a resolved call to `target` from frame `f` at `ip`.
+    fn do_call(
+        &mut self,
+        ip: usize,
+        target: usize,
+        f: &Frame,
+    ) -> Result<Vec<(usize, Frame)>, String> {
+        let Some(s) = self.summaries.get(&target) else {
+            self.pending.insert(target);
+            return Ok(Vec::new());
+        };
+        if s.unknown.is_some() {
+            return Err(format!("calls word @{target} that could not be analyzed"));
+        }
+        // Transitive demands: the callee's consumption applies at the
+        // caller's depth here; its definite demand composes on the upper
+        // bound; its growth composes on both stacks.
+        let pt = self.points.entry(ip).or_insert_with(Point::new);
+        pt.need = pt.need.max(s.consumes);
+        pt.peak = pt.peak.max(sadd(f.dhi, s.grow));
+        pt.rpeak = pt.rpeak.max(sadd(f.r as i64 + 1, s.r_grow));
+        let contribution = sadd(s.consumes, -f.dlo);
+        if contribution > self.consumes {
+            self.consumes = contribution;
+            self.consumes_at = s.consumes_at.or(Some((self.entry, ip)));
+        }
+        let definite = sadd(s.dd, -f.dhi);
+        if definite > self.dd {
+            self.dd = definite;
+            self.dd_at = s.dd_at.or(Some((self.entry, ip)));
+        }
+        if !s.has_return {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        if s.variants.is_empty() {
+            let mut g = f.clone();
+            apply_call_effect(&mut g, s.consumes, s.net_lo, s.net_hi, AVal::Any);
+            out.push((ip + 1, g));
+        } else {
+            for &(net, top) in &s.variants {
+                let mut g = f.clone();
+                apply_call_effect(&mut g, s.consumes, net, net, top);
+                out.push((ip + 1, g));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Abstractly execute the instruction at `ip` on frame `f`.
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, ip: usize, f: &Frame) -> Result<Vec<(usize, Frame)>, String> {
+        let Some(&inst) = self.p.insts().get(ip) else {
+            // Falling off the program is an InstructionOutOfBounds trap in
+            // every mode: the path ends here.
+            return Ok(Vec::new());
+        };
+        let eff = inst.effect();
+        self.note_need(ip, f, i64::from(eff.pops));
+        {
+            let pt = self.points.entry(ip).or_insert_with(Point::new);
+            pt.peak = pt.peak.max(f.dhi);
+            pt.rpeak = pt.rpeak.max(f.r as i64);
+        }
+        let fall = ip + 1;
+        let mut g = f.clone();
+        let out: Vec<(usize, Frame)> = match inst {
+            Inst::Lit(n) => {
+                g.push(AVal::Const(n));
+                vec![(fall, g)]
+            }
+            Inst::Div | Inst::Mod => {
+                let b = g.pop();
+                let a = g.pop();
+                if b == AVal::Const(0) {
+                    Vec::new() // definite division-by-zero: path ends
+                } else {
+                    g.push(fold2(inst, a, b));
+                    vec![(fall, g)]
+                }
+            }
+            Inst::Add
+            | Inst::Sub
+            | Inst::Mul
+            | Inst::And
+            | Inst::Or
+            | Inst::Xor
+            | Inst::Lshift
+            | Inst::Rshift
+            | Inst::Min
+            | Inst::Max
+            | Inst::Eq
+            | Inst::Ne
+            | Inst::Lt
+            | Inst::Gt
+            | Inst::Le
+            | Inst::Ge
+            | Inst::ULt
+            | Inst::UGt => {
+                let b = g.pop();
+                let a = g.pop();
+                g.push(fold2(inst, a, b));
+                vec![(fall, g)]
+            }
+            Inst::Negate
+            | Inst::Invert
+            | Inst::Abs
+            | Inst::OnePlus
+            | Inst::OneMinus
+            | Inst::TwoStar
+            | Inst::TwoSlash
+            | Inst::ZeroEq
+            | Inst::ZeroNe
+            | Inst::ZeroLt
+            | Inst::ZeroGt
+            | Inst::CellPlus
+            | Inst::Cells
+            | Inst::CharPlus => {
+                let a = g.pop();
+                g.push(fold1(inst, a));
+                vec![(fall, g)]
+            }
+            Inst::Dup => {
+                let a = g.pop();
+                g.push(a);
+                g.push(a);
+                vec![(fall, g)]
+            }
+            Inst::Drop => {
+                g.pop();
+                vec![(fall, g)]
+            }
+            Inst::Swap => {
+                let b = g.pop();
+                let a = g.pop();
+                g.push(b);
+                g.push(a);
+                vec![(fall, g)]
+            }
+            Inst::Over => {
+                let b = g.pop();
+                let a = g.pop();
+                g.push(a);
+                g.push(b);
+                g.push(a);
+                vec![(fall, g)]
+            }
+            Inst::Rot => {
+                let c = g.pop();
+                let b = g.pop();
+                let a = g.pop();
+                g.push(b);
+                g.push(c);
+                g.push(a);
+                vec![(fall, g)]
+            }
+            Inst::MinusRot => {
+                let c = g.pop();
+                let b = g.pop();
+                let a = g.pop();
+                g.push(c);
+                g.push(a);
+                g.push(b);
+                vec![(fall, g)]
+            }
+            Inst::Nip => {
+                let b = g.pop();
+                let _ = g.pop();
+                g.push(b);
+                vec![(fall, g)]
+            }
+            Inst::Tuck => {
+                let b = g.pop();
+                let a = g.pop();
+                g.push(b);
+                g.push(a);
+                g.push(b);
+                vec![(fall, g)]
+            }
+            Inst::TwoDup => {
+                let b = g.pop();
+                let a = g.pop();
+                g.push(a);
+                g.push(b);
+                g.push(a);
+                g.push(b);
+                vec![(fall, g)]
+            }
+            Inst::TwoDrop => {
+                g.pop();
+                g.pop();
+                vec![(fall, g)]
+            }
+            Inst::TwoSwap => {
+                let d = g.pop();
+                let c = g.pop();
+                let b = g.pop();
+                let a = g.pop();
+                g.push(c);
+                g.push(d);
+                g.push(a);
+                g.push(b);
+                vec![(fall, g)]
+            }
+            Inst::TwoOver => {
+                let d = g.pop();
+                let c = g.pop();
+                let b = g.pop();
+                let a = g.pop();
+                g.push(a);
+                g.push(b);
+                g.push(c);
+                g.push(d);
+                g.push(a);
+                g.push(b);
+                vec![(fall, g)]
+            }
+            Inst::QDup => {
+                let a = g.pop();
+                match a {
+                    AVal::Const(0) => {
+                        g.push(AVal::Const(0));
+                        vec![(fall, g)]
+                    }
+                    AVal::Const(v) => {
+                        g.push(AVal::Const(v));
+                        g.push(AVal::Const(v));
+                        vec![(fall, g)]
+                    }
+                    AVal::NonZero => {
+                        g.push(AVal::NonZero);
+                        g.push(AVal::NonZero);
+                        vec![(fall, g)]
+                    }
+                    AVal::Any => {
+                        // Fork: the no-dup outcome pins the top to zero.
+                        let mut z = g.clone();
+                        z.push(AVal::Const(0));
+                        g.push(AVal::NonZero);
+                        g.push(AVal::NonZero);
+                        vec![(fall, z), (fall, g)]
+                    }
+                }
+            }
+            Inst::Pick => {
+                // The index pop is the only depth demand; the read is
+                // guarded by the PickOutOfRange check every mode retains.
+                let u = g.pop();
+                if let AVal::Const(n) = u {
+                    if n < 0 {
+                        return Ok(Vec::new()); // always out of range
+                    }
+                }
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::Depth => {
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::ToR => {
+                g.pop();
+                g.r += 1;
+                let pt = self.points.entry(ip).or_insert_with(Point::new);
+                pt.rpeak = pt.rpeak.max(g.r as i64);
+                vec![(fall, g)]
+            }
+            Inst::FromR => {
+                if g.r < 1 {
+                    return Err("pops the return stack below the word frame".into());
+                }
+                g.r -= 1;
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::RFetch => {
+                if g.r < 1 {
+                    return Err("reads the return stack below the word frame".into());
+                }
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::TwoToR => {
+                g.pop();
+                g.pop();
+                g.r += 2;
+                let pt = self.points.entry(ip).or_insert_with(Point::new);
+                pt.rpeak = pt.rpeak.max(g.r as i64);
+                vec![(fall, g)]
+            }
+            Inst::TwoFromR => {
+                if g.r < 2 {
+                    return Err("pops the return stack below the word frame".into());
+                }
+                g.r -= 2;
+                g.push(AVal::Any);
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::TwoRFetch => {
+                if g.r < 2 {
+                    return Err("reads the return stack below the word frame".into());
+                }
+                g.push(AVal::Any);
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::Fetch => {
+                let a = g.pop();
+                let mut v = AVal::Any;
+                if let (AVal::Const(addr), Some(m)) = (a, self.mem) {
+                    if self.frozen.cell_frozen(addr) {
+                        // Out-of-bounds loads stay Any: the admitted
+                        // machine may be sized differently, and every
+                        // mode retains the memory check.
+                        if let Some(x) = m.load_cell(addr) {
+                            self.deps.insert((addr, x));
+                            v = AVal::Const(x);
+                        }
+                    }
+                }
+                g.push(v);
+                vec![(fall, g)]
+            }
+            Inst::CFetch => {
+                g.pop();
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::Store | Inst::CStore | Inst::PlusStore => {
+                g.pop();
+                g.pop();
+                vec![(fall, g)]
+            }
+            Inst::Branch(t) => vec![(t as usize, g)],
+            Inst::BranchIfZero(t) => {
+                let c = g.pop();
+                match c {
+                    AVal::Const(0) => vec![(t as usize, g)],
+                    AVal::Const(_) | AVal::NonZero => vec![(fall, g)],
+                    AVal::Any => vec![(t as usize, g.clone()), (fall, g)],
+                }
+            }
+            Inst::Call(t) => self.do_call(ip, t as usize, f)?,
+            Inst::Execute => {
+                let tok = g.pop();
+                match tok {
+                    AVal::Const(c) => {
+                        if c < 0 || c as usize >= self.p.len() {
+                            Vec::new() // always an invalid token
+                        } else {
+                            self.do_call(ip, c as usize, &g)?
+                        }
+                    }
+                    _ => return Err("executes an unresolvable token".into()),
+                }
+            }
+            Inst::Return => {
+                if g.r != 0 {
+                    return Err("returns with word-frame cells still on the return stack".into());
+                }
+                let top = g.tops.last().copied().unwrap_or(AVal::Any);
+                self.variants.push((g.dlo, g.dhi, top));
+                Vec::new()
+            }
+            Inst::Halt => Vec::new(),
+            Inst::Nop => vec![(fall, g)],
+            Inst::DoSetup => {
+                g.pop();
+                g.pop();
+                g.r += 2;
+                let pt = self.points.entry(ip).or_insert_with(Point::new);
+                pt.rpeak = pt.rpeak.max(g.r as i64);
+                vec![(fall, g)]
+            }
+            Inst::QDoSetup(t) => {
+                let start = g.pop();
+                let limit = g.pop();
+                let mut enter = g.clone();
+                enter.r += 2;
+                let pt = self.points.entry(ip).or_insert_with(Point::new);
+                pt.rpeak = pt.rpeak.max(enter.r as i64);
+                match (limit, start) {
+                    (AVal::Const(l), AVal::Const(s)) if l == s => vec![(t as usize, g)],
+                    (AVal::Const(l), AVal::Const(s)) if l != s => vec![(fall, enter)],
+                    _ => vec![(t as usize, g), (fall, enter)],
+                }
+            }
+            Inst::LoopInc(t) => {
+                if g.r < 2 {
+                    return Err("loop bookkeeping reaches below the word frame".into());
+                }
+                let mut exit = g.clone();
+                exit.r -= 2;
+                vec![(t as usize, g), (fall, exit)]
+            }
+            Inst::PlusLoopInc(t) => {
+                g.pop();
+                if g.r < 2 {
+                    return Err("loop bookkeeping reaches below the word frame".into());
+                }
+                let mut exit = g.clone();
+                exit.r -= 2;
+                vec![(t as usize, g), (fall, exit)]
+            }
+            Inst::LoopI => {
+                if g.r < 1 {
+                    return Err("reads a loop index below the word frame".into());
+                }
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::LoopJ => {
+                if g.r < 4 {
+                    return Err("reads an outer loop index below the word frame".into());
+                }
+                g.push(AVal::Any);
+                vec![(fall, g)]
+            }
+            Inst::Unloop => {
+                if g.r < 2 {
+                    return Err("unloops below the word frame".into());
+                }
+                g.r -= 2;
+                vec![(fall, g)]
+            }
+            Inst::Emit | Inst::Dot => {
+                g.pop();
+                vec![(fall, g)]
+            }
+            Inst::Type => {
+                g.pop();
+                g.pop();
+                vec![(fall, g)]
+            }
+            Inst::Cr => vec![(fall, g)],
+        };
+        // Cover successor depths in this point's peaks (call sites already
+        // added callee growth above).
+        let pt = self.points.entry(ip).or_insert_with(Point::new);
+        for (_, s) in &out {
+            pt.peak = pt.peak.max(s.dhi);
+            pt.rpeak = pt.rpeak.max(s.r as i64);
+        }
+        Ok(out)
+    }
+
+    /// Join `f` into the frame set at `ip`; returns whether it changed.
+    fn join(&mut self, ip: usize, from: usize, mut f: Frame) -> bool {
+        f.canon();
+        let visits = *self.visits.get(&ip).unwrap_or(&0);
+        if visits > STRIP_AFTER {
+            f.tops.clear();
+        }
+        let set = self.frames.entry(ip).or_default();
+        let mut changed = false;
+        if let Some(g) = set.iter_mut().find(|g| g.r == f.r && g.tops == f.tops) {
+            if f.dlo < g.dlo {
+                g.dlo = if visits > WIDEN_AFTER { NEG_INF } else { f.dlo };
+                changed = true;
+            }
+            if f.dhi > g.dhi {
+                g.dhi = if visits > WIDEN_AFTER { INF } else { f.dhi };
+                changed = true;
+            }
+        } else if set.len() >= MAX_FRAMES {
+            // Collapse: abandon constant tracking, merge per r-frame.
+            let mut merged: Vec<Frame> = Vec::new();
+            f.tops.clear();
+            for mut g in set.drain(..).chain(std::iter::once(f)) {
+                g.tops.clear();
+                if let Some(m) = merged.iter_mut().find(|m| m.r == g.r) {
+                    m.dlo = m.dlo.min(g.dlo);
+                    m.dhi = m.dhi.max(g.dhi);
+                } else {
+                    merged.push(g);
+                }
+            }
+            *set = merged;
+            changed = true;
+        } else {
+            set.push(f);
+            changed = true;
+        }
+        if changed {
+            *self.visits.entry(ip).or_insert(0) += 1;
+            self.preds.entry(ip).or_insert(from);
+            if let Some(frames) = self.frames.get(&ip) {
+                let pt = self.points.entry(ip).or_insert_with(Point::new);
+                for g in frames {
+                    pt.dlo = pt.dlo.min(g.dlo);
+                    pt.dhi = pt.dhi.max(g.dhi);
+                }
+            }
+        }
+        changed
+    }
+
+    fn run(&mut self) -> Result<(), (usize, String)> {
+        let entry_frame = Frame::entry();
+        self.join(self.entry, self.entry, entry_frame);
+        let mut worklist: Vec<usize> = vec![self.entry];
+        while let Some(ip) = worklist.pop() {
+            let frames = self.frames.get(&ip).cloned().unwrap_or_default();
+            for f in &frames {
+                let succs = self.step(ip, f).map_err(|e| (ip, e))?;
+                for (sip, sf) in succs {
+                    if self.join(sip, ip, sf) && !worklist.contains(&sip) {
+                        worklist.push(sip);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(mut self) -> WordResult {
+        // Record the entry point even for empty words.
+        let pt = self.points.entry(self.entry).or_insert_with(Point::new);
+        pt.dlo = pt.dlo.min(0);
+        pt.dhi = pt.dhi.max(0);
+        pt.peak = pt.peak.max(0);
+        let mut variants: Vec<(i64, AVal)> = Vec::new();
+        let mut exact = true;
+        let mut net_lo = INF;
+        let mut net_hi = NEG_INF;
+        for &(lo, hi, top) in &self.variants {
+            net_lo = net_lo.min(lo);
+            net_hi = net_hi.max(hi);
+            if lo == hi {
+                if !variants.contains(&(lo, top)) {
+                    variants.push((lo, top));
+                }
+            } else {
+                exact = false;
+            }
+        }
+        if !exact || variants.len() > MAX_VARIANTS {
+            variants.clear();
+        }
+        let has_return = !self.variants.is_empty();
+        if !has_return {
+            net_lo = 0;
+            net_hi = 0;
+        }
+        let grow = self
+            .points
+            .values()
+            .map(|p| p.peak)
+            .max()
+            .unwrap_or(0)
+            .max(0);
+        let r_grow = self
+            .points
+            .values()
+            .map(|p| p.rpeak)
+            .max()
+            .unwrap_or(0)
+            .max(0);
+        let summary = Summary {
+            variants,
+            net_lo,
+            net_hi,
+            has_return,
+            consumes: self.consumes.max(0),
+            consumes_at: self.consumes_at,
+            dd: self.dd,
+            dd_at: self.dd_at,
+            grow,
+            r_grow,
+            unknown: None,
+        };
+        WordResult {
+            summary,
+            points: self.points,
+            preds: self.preds,
+            deps: self.deps,
+            pending: self.pending,
+        }
+    }
+}
+
+/// Apply a callee's effect to the caller frame.
+fn apply_call_effect(g: &mut Frame, consumes: i64, net_lo: i64, net_hi: i64, top: AVal) {
+    let c = consumes.clamp(0, INF);
+    let drop_n = (g.tops.len() as i64).min(c).max(0) as usize;
+    let keep = g.tops.len() - drop_n;
+    g.tops.truncate(keep);
+    g.dlo = sadd(g.dlo, net_lo);
+    g.dhi = sadd(g.dhi, net_hi);
+    if net_lo == net_hi {
+        let pushed = sadd(c, net_lo).max(0).min(TOPS_WINDOW as i64 + 1);
+        if pushed > 0 {
+            for _ in 0..pushed - 1 {
+                g.tops.push(AVal::Any);
+            }
+            g.tops.push(top);
+            while g.tops.len() > TOPS_WINDOW {
+                g.tops.remove(0);
+            }
+        }
+    } else {
+        g.tops.clear();
+    }
+}
+
+/// Fold a binary operation over abstract operands.
+fn fold2(inst: Inst, a: AVal, b: AVal) -> AVal {
+    let (AVal::Const(a), AVal::Const(b)) = (a, b) else {
+        return AVal::Any;
+    };
+    let v = match inst {
+        Inst::Add => a.wrapping_add(b),
+        Inst::Sub => a.wrapping_sub(b),
+        Inst::Mul => a.wrapping_mul(b),
+        Inst::Div => {
+            if b == 0 {
+                return AVal::Any;
+            }
+            wrapping_div_euclid(a, b)
+        }
+        Inst::Mod => {
+            if b == 0 {
+                return AVal::Any;
+            }
+            wrapping_rem_euclid(a, b)
+        }
+        Inst::And => a & b,
+        Inst::Or => a | b,
+        Inst::Xor => a ^ b,
+        Inst::Lshift => ((a as u64) << (b as u64 & 63)) as Cell,
+        Inst::Rshift => ((a as u64) >> (b as u64 & 63)) as Cell,
+        Inst::Min => a.min(b),
+        Inst::Max => a.max(b),
+        Inst::Eq => flag(a == b),
+        Inst::Ne => flag(a != b),
+        Inst::Lt => flag(a < b),
+        Inst::Gt => flag(a > b),
+        Inst::Le => flag(a <= b),
+        Inst::Ge => flag(a >= b),
+        Inst::ULt => flag((a as u64) < (b as u64)),
+        Inst::UGt => flag((a as u64) > (b as u64)),
+        _ => return AVal::Any,
+    };
+    AVal::Const(v)
+}
+
+fn wrapping_div_euclid(a: Cell, b: Cell) -> Cell {
+    if a == Cell::MIN && b == -1 {
+        a
+    } else {
+        a.div_euclid(b)
+    }
+}
+
+fn wrapping_rem_euclid(a: Cell, b: Cell) -> Cell {
+    if a == Cell::MIN && b == -1 {
+        0
+    } else {
+        a.rem_euclid(b)
+    }
+}
+
+/// Fold a unary operation over an abstract operand.
+fn fold1(inst: Inst, a: AVal) -> AVal {
+    match (inst, a) {
+        (Inst::ZeroEq, AVal::NonZero) => AVal::Const(FALSE),
+        (Inst::ZeroNe, AVal::NonZero) => AVal::Const(TRUE),
+        (Inst::Negate | Inst::Abs, AVal::NonZero) => AVal::NonZero,
+        (_, AVal::Const(a)) => {
+            let v = match inst {
+                Inst::Negate => a.wrapping_neg(),
+                Inst::Invert => !a,
+                Inst::Abs => a.wrapping_abs(),
+                Inst::OnePlus => a.wrapping_add(1),
+                Inst::OneMinus => a.wrapping_sub(1),
+                Inst::TwoStar => a.wrapping_mul(2),
+                Inst::TwoSlash => a >> 1,
+                Inst::ZeroEq => flag(a == 0),
+                Inst::ZeroNe => flag(a != 0),
+                Inst::ZeroLt => flag(a < 0),
+                Inst::ZeroGt => flag(a > 0),
+                Inst::CellPlus => a.wrapping_add(CELL_BYTES as Cell),
+                Inst::Cells => a.wrapping_mul(CELL_BYTES as Cell),
+                Inst::CharPlus => a.wrapping_add(1),
+                _ => return AVal::Any,
+            };
+            AVal::Const(v)
+        }
+        _ => AVal::Any,
+    }
+}
+
+/// Per-word line of the analysis report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordReport {
+    /// Entry instruction index.
+    pub entry: usize,
+    /// Symbolic name, when the program carries one.
+    pub name: Option<String>,
+    /// `"ok"` or the reason the word could not be analyzed.
+    pub status: String,
+    /// Net data-stack effect interval over all returns (`None` when the
+    /// word never returns).
+    pub net: Option<(i64, i64)>,
+    /// Cells consumed below the entry depth (transitive).
+    pub consumes: i64,
+    /// Maximum data-stack growth above entry (transitive).
+    pub grow: Bound,
+    /// Maximum return-stack growth (transitive).
+    pub r_grow: Bound,
+}
+
+/// The full analysis result: the proof plus per-word reporting detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// The safety proof / verdict.
+    pub proof: SafetyProof,
+    /// Per-word summaries in entry order.
+    pub words: Vec<WordReport>,
+}
+
+fn diagnostic_at(
+    p: &Program,
+    results: &BTreeMap<usize, WordResult>,
+    word: usize,
+    ip: usize,
+    reason: String,
+) -> Diagnostic {
+    let witness = results
+        .get(&word)
+        .map(|r| witness_path(&r.preds, word, ip))
+        .unwrap_or_default();
+    Diagnostic {
+        ip,
+        word,
+        word_name: p.name_at(word).map(ToString::to_string),
+        inst: p
+            .insts()
+            .get(ip)
+            .map_or_else(|| "<end>".to_string(), |i| i.name().to_string()),
+        reason,
+        witness,
+    }
+}
+
+fn witness_path(preds: &BTreeMap<usize, usize>, entry: usize, ip: usize) -> Vec<usize> {
+    let mut path = vec![ip];
+    let mut cur = ip;
+    let mut seen = BTreeSet::new();
+    while cur != entry && seen.insert(cur) {
+        match preds.get(&cur) {
+            Some(&prev) if prev != cur => {
+                path.push(prev);
+                cur = prev;
+            }
+            _ => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// Run whole-program abstract interpretation.
+///
+/// `initial` is the machine image the program will start from (its memory
+/// feeds frozen-cell resolution of `Lit; Fetch; Execute` dispatch); pass
+/// `None` to analyze without memory knowledge — deferred dispatch then
+/// yields [`Verdict::Unknown`].
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
+    let frozen = FrozenMem::compute(program);
+    let depth_info = depth::analyze(program);
+    let mut words: BTreeSet<usize> = BTreeSet::new();
+    words.insert(program.entry());
+    let mut summaries: BTreeMap<usize, Summary> = BTreeMap::new();
+    let mut results: BTreeMap<usize, WordResult> = BTreeMap::new();
+    let mut converged = false;
+    for round in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for &w in &words.clone() {
+            let mut ctx = WordCtx {
+                p: program,
+                entry: w,
+                summaries: &summaries,
+                frozen: &frozen,
+                mem: initial,
+                frames: BTreeMap::new(),
+                visits: BTreeMap::new(),
+                points: BTreeMap::new(),
+                preds: BTreeMap::new(),
+                variants: Vec::new(),
+                consumes: 0,
+                consumes_at: None,
+                dd: NEG_INF,
+                dd_at: None,
+                deps: BTreeSet::new(),
+                pending: BTreeSet::new(),
+            };
+            let res = match ctx.run() {
+                Ok(()) => ctx.finalize(),
+                Err((ip, reason)) => {
+                    let points = std::mem::take(&mut ctx.points);
+                    let preds = std::mem::take(&mut ctx.preds);
+                    let deps = std::mem::take(&mut ctx.deps);
+                    let pending = std::mem::take(&mut ctx.pending);
+                    WordResult {
+                        summary: Summary::poisoned(ip, reason),
+                        points,
+                        preds,
+                        deps,
+                        pending,
+                    }
+                }
+            };
+            for &t in &res.pending {
+                if words.insert(t) {
+                    if let Some(s) = depth_info.effect_of(t).and_then(Summary::provisional) {
+                        summaries.insert(t, s);
+                    }
+                    changed = true;
+                }
+            }
+            let mut new = res.summary.clone();
+            if round >= WIDEN_ROUNDS {
+                if let Some(old) = summaries.get(&w) {
+                    if new != *old && new.unknown.is_none() && old.unknown.is_none() {
+                        if new.grow > old.grow {
+                            new.grow = INF;
+                        }
+                        if new.r_grow > old.r_grow {
+                            new.r_grow = INF;
+                        }
+                        if new.consumes > old.consumes {
+                            new.consumes = INF;
+                        }
+                        if new.net_lo < old.net_lo {
+                            new.net_lo = NEG_INF;
+                            new.variants.clear();
+                        }
+                        if new.net_hi > old.net_hi {
+                            new.net_hi = INF;
+                            new.variants.clear();
+                        }
+                        if new.variants != old.variants && !old.variants.is_empty() {
+                            new.variants.clear();
+                        }
+                    }
+                }
+            }
+            if summaries.get(&w) != Some(&new) {
+                summaries.insert(w, new);
+                changed = true;
+            }
+            results.insert(w, res);
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    let entry = program.entry();
+    let entry_summary = summaries
+        .get(&entry)
+        .cloned()
+        .unwrap_or_else(|| Summary::poisoned(entry, "entry word was never analyzed".to_string()));
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut frozen_deps: BTreeSet<(Cell, Cell)> = BTreeSet::new();
+    for res in results.values() {
+        frozen_deps.extend(res.deps.iter().copied());
+    }
+
+    let verdict;
+    let data_needed;
+    let data_max;
+    let rstack_max;
+    if !converged {
+        verdict = Verdict::Unknown;
+        data_needed = INF;
+        data_max = Bound::Unbounded;
+        rstack_max = Bound::Unbounded;
+        diagnostics.push(diagnostic_at(
+            program,
+            &results,
+            entry,
+            entry,
+            "the depth fixpoint did not converge".to_string(),
+        ));
+    } else if let Some((ip, reason)) = entry_summary.unknown.clone() {
+        verdict = Verdict::Unknown;
+        data_needed = INF;
+        data_max = Bound::Unbounded;
+        rstack_max = Bound::Unbounded;
+        diagnostics.push(diagnostic_at(program, &results, entry, ip, reason));
+        // Surface the root causes from poisoned callees too.
+        for (&w, res) in &results {
+            if w == entry {
+                continue;
+            }
+            if let Some((ip, reason)) = res.summary.unknown.clone() {
+                if !reason.starts_with("calls word @") {
+                    diagnostics.push(diagnostic_at(program, &results, w, ip, reason));
+                }
+            }
+        }
+    } else if entry_summary.dd > 0 {
+        verdict = Verdict::Rejected;
+        data_needed = entry_summary.consumes;
+        data_max = bound(entry_summary.grow);
+        rstack_max = bound(entry_summary.r_grow);
+        let (w, ip) = entry_summary.dd_at.unwrap_or((entry, entry));
+        let need = results
+            .get(&w)
+            .and_then(|r| r.points.get(&ip))
+            .map_or(0, |p| p.need);
+        diagnostics.push(diagnostic_at(
+            program,
+            &results,
+            w,
+            ip,
+            format!(
+                "definitely underflows: needs {need} cell(s) but at most {} can be on the stack",
+                (need - entry_summary.dd).max(0)
+            ),
+        ));
+    } else if entry_summary.consumes > 0 && entry_summary.consumes < INF {
+        // Provable only with a preset stack; for an empty start this is
+        // unproven. admit() re-evaluates against the actual preset.
+        verdict = Verdict::Unknown;
+        data_needed = entry_summary.consumes;
+        data_max = bound(entry_summary.grow);
+        rstack_max = bound(entry_summary.r_grow);
+        let (w, ip) = entry_summary.consumes_at.unwrap_or((entry, entry));
+        diagnostics.push(diagnostic_at(
+            program,
+            &results,
+            w,
+            ip,
+            format!(
+                "cannot prove depth: needs {} cell(s) below the starting stack",
+                entry_summary.consumes
+            ),
+        ));
+    } else if entry_summary.consumes >= INF {
+        verdict = Verdict::Unknown;
+        data_needed = INF;
+        data_max = bound(entry_summary.grow);
+        rstack_max = bound(entry_summary.r_grow);
+        let (w, ip) = entry_summary.consumes_at.unwrap_or((entry, entry));
+        diagnostics.push(diagnostic_at(
+            program,
+            &results,
+            w,
+            ip,
+            "cannot prove a finite depth demand at this instruction".to_string(),
+        ));
+    } else if entry_summary.has_return {
+        // A top-level Return pops whatever return stack the host preset;
+        // that is outside the program and cannot be proven here.
+        verdict = Verdict::Unknown;
+        data_needed = 0;
+        data_max = bound(entry_summary.grow);
+        rstack_max = bound(entry_summary.r_grow);
+        diagnostics.push(diagnostic_at(
+            program,
+            &results,
+            entry,
+            entry,
+            "the entry word can return into a host-owned return stack".to_string(),
+        ));
+    } else {
+        data_needed = 0;
+        data_max = bound(entry_summary.grow);
+        rstack_max = bound(entry_summary.r_grow);
+        verdict = match (data_max, rstack_max) {
+            (Bound::Finite(_), Bound::Finite(_)) => Verdict::Proven,
+            _ => Verdict::Guarded,
+        };
+    }
+
+    let words_report: Vec<WordReport> = words
+        .iter()
+        .filter_map(|&w| {
+            let s = summaries.get(&w)?;
+            Some(WordReport {
+                entry: w,
+                name: program.name_at(w).map(ToString::to_string),
+                status: match &s.unknown {
+                    None => "ok".to_string(),
+                    Some((_, reason)) => reason.clone(),
+                },
+                net: if s.has_return && s.unknown.is_none() {
+                    Some((s.net_lo, s.net_hi))
+                } else {
+                    None
+                },
+                consumes: s.consumes.min(INF),
+                grow: bound(s.grow),
+                r_grow: bound(s.r_grow),
+            })
+        })
+        .collect();
+
+    Analysis {
+        proof: SafetyProof {
+            verdict,
+            data_needed,
+            data_max,
+            rstack_max,
+            frozen_deps: frozen_deps.into_iter().collect(),
+            diagnostics,
+            words_analyzed: words.len(),
+        },
+        words: words_report,
+    }
+}

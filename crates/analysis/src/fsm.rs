@@ -1,0 +1,407 @@
+//! Model checker for the cache-state transition tables.
+//!
+//! The transition engine ([`stackcache_core::engine`]) is the single
+//! source of truth for what executing an instruction does to the stack
+//! cache — the dynamic interpreters, the static compiler and every
+//! instrumentation regime all consume its output. This module verifies
+//! that engine *exhaustively* over the finite state space of each
+//! Fig. 18 organization:
+//!
+//! * **closure** — every transition lands on a state of the
+//!   organization (no dangling successor ids),
+//! * **cached-item conservation** — the cached depth change plus the
+//!   memory traffic balances the operation's net stack effect: no stack
+//!   item is fabricated or silently dropped,
+//! * **sp-offset consistency** — under stack-pointer-update
+//!   minimization the in-memory pointer moves exactly when the cache
+//!   exchanges items with memory; under the constant-k regime it tracks
+//!   every depth change,
+//! * **reachability** — every state is reachable from the empty cache
+//!   through some sequence of instruction transitions (considering all
+//!   candidate placements, as the optimal static code generator does),
+//! * **move-minimality** — the greedy transition never pays more
+//!   register moves than the cheapest candidate placement, and
+//!   *eliminated* transitions are exactly the zero-cost shuffles.
+//!
+//! The `two-stacks` organization models its cached return-stack items
+//! through a dedicated regime observer, not through the data-stack
+//! engine, so its `rdepth > 0` states are exempt from the reachability
+//! invariant (and reported as such).
+
+use std::collections::VecDeque;
+
+use stackcache_core::{
+    compute_transition, compute_transition_all, sig_slot_name, sig_slots, CacheState, OpSig, Org,
+    Policy, SigKind, StateId, Trans,
+};
+
+/// The register count the `figures analysis` report and the CI gate
+/// check: large enough that every organization has non-trivial shuffle
+/// states, small enough that the richest state spaces stay exhaustive.
+pub const CHECKED_REGISTERS: u8 = 3;
+
+/// Stack items assumed below the cache when probing refill policies.
+const DEEPERS: [u8; 2] = [0, 8];
+
+/// The outcome of model-checking one organization.
+#[derive(Debug, Clone)]
+pub struct FsmReport {
+    /// Organization display name.
+    pub org: String,
+    /// Cache registers.
+    pub registers: u8,
+    /// States in the organization.
+    pub states: usize,
+    /// Policies probed (on-demand shallow/full followup, constant-k).
+    pub policies: usize,
+    /// Transitions verified (greedy plus all candidate placements, per
+    /// policy and memory-stack depth).
+    pub transitions: u64,
+    /// Greedy transitions realized purely as a state change (the
+    /// statically removable stack manipulations).
+    pub eliminated: u64,
+    /// States reachable from the empty cache.
+    pub reachable: usize,
+    /// States exempt from the reachability invariant (cached
+    /// return-stack items of the two-stacks organization).
+    pub exempt: usize,
+    /// Invariant violations, human-readable. Empty means verified.
+    pub violations: Vec<String>,
+}
+
+impl FsmReport {
+    /// `true` when every invariant held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Expected refill after an opaque (cache-flushing) operation.
+fn opaque_refill(policy: &Policy, deeper: u8, d: u8, sig: &OpSig) -> u16 {
+    let total_after = (u16::from(deeper) + u16::from(d) + u16::from(sig.pushes))
+        .saturating_sub(u16::from(sig.pops));
+    match policy.refill_to {
+        Some(k) => u16::from(k).min(total_after),
+        None => 0,
+    }
+}
+
+/// Check one transition against the conservation and sp-offset
+/// invariants, appending violations to `out`.
+#[allow(clippy::too_many_arguments)]
+fn check_trans(
+    org: &Org,
+    policy: &Policy,
+    from: StateId,
+    slot: usize,
+    sig: &OpSig,
+    deeper: u8,
+    t: &Trans,
+    out: &mut Vec<String>,
+) {
+    let ctx = || {
+        format!(
+            "{} {} --{}--> (policy followup={} refill={:?} deeper={deeper})",
+            org.name(),
+            org.state(from),
+            sig_slot_name(slot),
+            policy.overflow_depth,
+            policy.refill_to,
+        )
+    };
+
+    // Closure.
+    if t.next.index() >= org.state_count() {
+        out.push(format!("{}: successor {} out of range", ctx(), t.next));
+        return;
+    }
+
+    let d = i64::from(org.state(from).depth());
+    let d2 = i64::from(org.state(t.next).depth());
+    let net = i64::from(sig.pushes) - i64::from(sig.pops);
+
+    if matches!(sig.kind, SigKind::Opaque) {
+        // Flush semantics: everything cached is stored, the operation
+        // runs against memory, the policy may refill into a canonical
+        // followup that keeps the source's cached return items.
+        let next_state = org.state(t.next);
+        if !next_state.is_canonical() || next_state.rdepth() != org.state(from).rdepth() {
+            out.push(format!(
+                "{}: opaque successor {next_state} is not a canonical flush followup",
+                ctx()
+            ));
+        }
+        let cap = opaque_refill(policy, deeper, org.state(from).depth(), sig);
+        if d2 > i64::from(cap) || (policy.refill_to.is_none() && d2 != 0) {
+            out.push(format!(
+                "{}: opaque refill depth {d2} exceeds policy cap {cap}",
+                ctx()
+            ));
+        }
+        // The refill is exactly the successor depth, so the traffic is
+        // fully determined.
+        let want_stores = d + i64::from(sig.pushes);
+        let want_loads = i64::from(sig.pops) + d2;
+        if i64::from(t.stores) != want_stores || i64::from(t.loads) != want_loads {
+            out.push(format!(
+                "{}: opaque traffic loads={} stores={} want {want_loads}/{want_stores}",
+                ctx(),
+                t.loads,
+                t.stores
+            ));
+        }
+    } else {
+        // Cached-item conservation: cached depth change + memory-stack
+        // change must equal the operation's net stack effect, and cached
+        // return-stack items are untouched by data transitions.
+        let balance = d2 - d + i64::from(t.stores) - i64::from(t.loads);
+        if balance != net {
+            out.push(format!(
+                "{}: conservation broken: depth {d}->{d2}, loads={} stores={}, net {net}",
+                ctx(),
+                t.loads,
+                t.stores
+            ));
+        }
+        if org.state(t.next).rdepth() != org.state(from).rdepth() {
+            out.push(format!(
+                "{}: cached return items changed: {} -> {}",
+                ctx(),
+                org.state(from),
+                org.state(t.next)
+            ));
+        }
+    }
+
+    // Sp-offset consistency.
+    if policy.sp_tracks_depth {
+        let want = u16::from(sig.pops != sig.pushes);
+        if t.updates != want {
+            out.push(format!(
+                "{}: constant-k sp updates {} != {want}",
+                ctx(),
+                t.updates
+            ));
+        }
+    } else if policy.refill_to.is_none() {
+        if t.loads == 0 && t.stores == 0 && t.updates != 0 {
+            out.push(format!(
+                "{}: sp updated ({}) without memory traffic",
+                ctx(),
+                t.updates
+            ));
+        }
+        if t.loads != t.stores && t.updates == 0 {
+            out.push(format!(
+                "{}: memory stack moved (loads={} stores={}) without an sp update",
+                ctx(),
+                t.loads,
+                t.stores
+            ));
+        }
+    }
+
+    // Eliminated transitions are exactly the zero-cost shuffles.
+    if t.eliminated
+        && (!matches!(sig.kind, SigKind::Shuffle(_))
+            || t.loads != 0
+            || t.stores != 0
+            || t.moves != 0
+            || t.updates != 0)
+    {
+        out.push(format!("{}: eliminated transition has cost {t:?}", ctx()));
+    }
+}
+
+/// Model-check one organization: every state, every signature slot,
+/// on-demand (shallow and full followup) and constant-k policies, with
+/// and without items below the cache.
+#[must_use]
+pub fn check_org(org: &Org) -> FsmReport {
+    let sigs = sig_slots();
+    let n = org.registers();
+    let mut policies = vec![Policy::on_demand(1), Policy::constant_k(n)];
+    if n > 1 {
+        policies.insert(1, Policy::on_demand(n));
+    }
+
+    let mut violations = Vec::new();
+    let mut transitions = 0u64;
+    let mut eliminated = 0u64;
+
+    for policy in &policies {
+        for s in 0..org.state_count() {
+            let from = StateId(s as u32);
+            for (slot, sig) in sigs.iter().enumerate() {
+                for &deeper in &DEEPERS {
+                    let greedy = compute_transition(org, policy, from, sig, deeper);
+                    let all = compute_transition_all(org, policy, from, sig, deeper);
+                    transitions += all.len() as u64 + 1;
+                    check_trans(
+                        org,
+                        policy,
+                        from,
+                        slot,
+                        sig,
+                        deeper,
+                        &greedy,
+                        &mut violations,
+                    );
+                    for t in &all {
+                        check_trans(org, policy, from, slot, sig, deeper, t, &mut violations);
+                    }
+                    // Move-minimality: the greedy choice is one of the
+                    // candidates and none of them pays fewer moves.
+                    if !all.contains(&greedy) {
+                        violations.push(format!(
+                            "{} {} --{}--> greedy {greedy:?} not among {} candidates",
+                            org.name(),
+                            org.state(from),
+                            sig_slot_name(slot),
+                            all.len()
+                        ));
+                    }
+                    if all.iter().any(|t| t.moves < greedy.moves) {
+                        violations.push(format!(
+                            "{} {} --{}--> greedy pays {} moves, a candidate pays fewer",
+                            org.name(),
+                            org.state(from),
+                            sig_slot_name(slot),
+                            greedy.moves
+                        ));
+                    }
+                    if greedy.eliminated {
+                        eliminated += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Reachability from the empty cache, over all candidate placements
+    // of the on-demand policies (what the optimal code generator may
+    // use). Cached return-stack states are driven by the two-stacks
+    // regime observer, not by data transitions: exempt.
+    let empty = org
+        .lookup(&CacheState::empty())
+        .expect("organizations include the empty state");
+    let mut seen = vec![false; org.state_count()];
+    seen[empty.index()] = true;
+    let mut queue = VecDeque::from([empty]);
+    let demand: Vec<&Policy> = policies.iter().filter(|p| p.refill_to.is_none()).collect();
+    while let Some(from) = queue.pop_front() {
+        for policy in &demand {
+            for sig in &sigs {
+                for &deeper in &DEEPERS {
+                    for t in compute_transition_all(org, policy, from, sig, deeper) {
+                        if !seen[t.next.index()] {
+                            seen[t.next.index()] = true;
+                            queue.push_back(t.next);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut reachable = 0usize;
+    let mut exempt = 0usize;
+    for (i, s) in org.states().iter().enumerate() {
+        if seen[i] {
+            reachable += 1;
+        } else if s.rdepth() > 0 {
+            exempt += 1;
+        } else {
+            violations.push(format!("{}: state {s} is unreachable", org.name()));
+        }
+    }
+
+    FsmReport {
+        org: org.name().to_string(),
+        registers: n,
+        states: org.state_count(),
+        policies: policies.len(),
+        transitions,
+        eliminated,
+        reachable,
+        exempt,
+        violations,
+    }
+}
+
+/// The six Fig. 18 organizations at `registers` cache registers, in the
+/// figure's row order.
+#[must_use]
+pub fn fig18_orgs(registers: u8) -> Vec<Org> {
+    vec![
+        Org::minimal(registers),
+        Org::overflow_opt(registers),
+        Org::arbitrary_shuffles(registers),
+        Org::n_plus_one(registers),
+        Org::one_dup(registers),
+        Org::two_stacks(registers),
+    ]
+}
+
+/// Model-check every Fig. 18 organization at `registers` registers.
+#[must_use]
+pub fn check_fig18(registers: u8) -> Vec<FsmReport> {
+    fig18_orgs(registers).iter().map(check_org).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig18_orgs_verify_at_two_registers() {
+        for report in check_fig18(2) {
+            assert!(
+                report.ok(),
+                "{}:\n{}",
+                report.org,
+                report.violations.join("\n")
+            );
+            assert_eq!(report.reachable + report.exempt, report.states);
+            assert!(report.transitions > 0);
+        }
+    }
+
+    #[test]
+    fn fig18_orgs_verify_at_three_registers() {
+        for report in check_fig18(CHECKED_REGISTERS) {
+            assert!(
+                report.ok(),
+                "{}:\n{}",
+                report.org,
+                report.violations.join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn static_shuffle_org_verifies_too() {
+        // Not a Fig. 18 row, but the organization the Section 6 static
+        // measurements use — the same invariants must hold.
+        let report = check_org(&Org::static_shuffle(3));
+        assert!(report.ok(), "{}", report.violations.join("\n"));
+    }
+
+    #[test]
+    fn two_stacks_exempts_only_rstack_states() {
+        let report = check_org(&Org::two_stacks(3));
+        assert!(report.ok(), "{}", report.violations.join("\n"));
+        // 3n states total; n+1 have rdepth == 0 at 3 registers (depths
+        // 0..=3), the rest cache return items.
+        assert_eq!(report.states, 9);
+        assert_eq!(report.reachable, 4);
+        assert_eq!(report.exempt, 5);
+    }
+
+    #[test]
+    fn eliminated_transitions_exist_in_shuffle_orgs() {
+        let report = check_org(&Org::arbitrary_shuffles(3));
+        assert!(report.ok(), "{}", report.violations.join("\n"));
+        assert!(report.eliminated > 0, "shuffle org must eliminate moves");
+    }
+}

@@ -1,0 +1,47 @@
+//! Whole-program static analysis for stack-cached interpreters.
+//!
+//! Two verifiers feed the *verified unchecked fast path*:
+//!
+//! * [`absint`] — a whole-program abstract interpreter computing
+//!   per-program-point stack-depth intervals by fixpoint dataflow. Its
+//!   result is a [`SafetyProof`]: either every point is bounded — proving
+//!   the absence of data- and return-stack underflow (and overflow, up to
+//!   a declared capacity) — or the offending instruction is pinpointed
+//!   with a clippy-style [`Diagnostic`] (instruction index, word name,
+//!   witness path).
+//! * [`fsm`] — a model checker that exhaustively verifies the cache-state
+//!   transition tables of every Fig. 18 organization: closure,
+//!   cached-item conservation, stack-pointer-offset consistency,
+//!   reachability of all states, and move-minimality.
+//!
+//! A proof is *relative*: [`SafetyProof::admit`] composes it with a
+//! concrete machine's preset stacks and capacity limits to pick the
+//! strongest sound [`Checks`](stackcache_vm::Checks) level, which
+//! `CompiledArtifact::run_with_checks` then executes without the elided
+//! depth checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use stackcache_analysis::{analyze, Verdict};
+//! use stackcache_vm::{program_of, Inst, Machine};
+//!
+//! let p = program_of(&[Inst::Lit(6), Inst::Dup, Inst::Mul, Inst::Dot, Inst::Halt]);
+//! let a = analyze(&p, None);
+//! assert_eq!(a.proof.verdict, Verdict::Proven);
+//! let m = Machine::new();
+//! assert_eq!(a.proof.admit(&m), stackcache_vm::Checks::None);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod absint;
+pub mod fsm;
+pub mod proof;
+pub mod report;
+
+pub use absint::{analyze, Analysis, WordReport};
+pub use fsm::{check_fig18, check_org, FsmReport};
+pub use proof::{Bound, Diagnostic, SafetyProof, Verdict};
+pub use report::{render_analysis, render_fsm};

@@ -1,0 +1,126 @@
+//! Plain-text rendering of analysis results for the `figures analysis`
+//! report and the CI gate.
+
+use std::fmt::Write as _;
+
+use crate::absint::Analysis;
+use crate::fsm::FsmReport;
+
+/// Render the abstract interpreter's result for one program: verdict,
+/// whole-program bounds, the per-word table, and any diagnostics.
+#[must_use]
+pub fn render_analysis(title: &str, analysis: &Analysis) -> String {
+    let p = &analysis.proof;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}: {}", p.verdict.name());
+    let _ = writeln!(
+        out,
+        "  needs {} cell(s) on entry; data growth {}; rstack growth {}; {} word(s); {} frozen dep(s)",
+        p.data_needed,
+        p.data_max,
+        p.rstack_max,
+        p.words_analyzed,
+        p.frozen_deps.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:>6}  {:<18} {:<10} {:>11} {:>8} {:>8} {:>8}",
+        "entry", "word", "status", "net", "consumes", "grow", "rgrow"
+    );
+    for w in &analysis.words {
+        let name = w.name.as_deref().unwrap_or("?");
+        let net = match w.net {
+            Some((lo, hi)) if lo == hi => format!("{lo}"),
+            Some((lo, hi)) => format!("[{}]", join_bound(lo, hi)),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:>6}  {:<18} {:<10} {:>11} {:>8} {:>8} {:>8}",
+            w.entry,
+            name,
+            w.status,
+            net,
+            w.consumes,
+            w.grow.to_string(),
+            w.r_grow.to_string()
+        );
+    }
+    for d in &p.diagnostics {
+        let _ = writeln!(out, "  warning: {d}");
+    }
+    out
+}
+
+fn join_bound(lo: i64, hi: i64) -> String {
+    let show = |v: i64| {
+        if v.abs() >= i64::MAX / 8 {
+            (if v < 0 { "-∞" } else { "∞" }).to_string()
+        } else {
+            v.to_string()
+        }
+    };
+    format!("{}, {}", show(lo), show(hi))
+}
+
+/// Render the model-checker reports as a table, one organization per
+/// row, followed by any violations.
+#[must_use]
+pub fn render_fsm(reports: &[FsmReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>4} {:>7} {:>9} {:>12} {:>11} {:>7}  verdict",
+        "organization", "regs", "states", "policies", "transitions", "eliminated", "reach",
+    );
+    for r in reports {
+        let reach = if r.exempt > 0 {
+            format!("{}+{}R", r.reachable, r.exempt)
+        } else {
+            format!("{}", r.reachable)
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>4} {:>7} {:>9} {:>12} {:>11} {:>7}  {}",
+            r.org,
+            r.registers,
+            r.states,
+            r.policies,
+            r.transitions,
+            r.eliminated,
+            reach,
+            if r.ok() { "verified" } else { "FAILED" }
+        );
+    }
+    for r in reports {
+        for v in &r.violations {
+            let _ = writeln!(out, "  violation: {v}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::analyze;
+    use crate::fsm::check_fig18;
+    use stackcache_vm::{program_of, Inst};
+
+    #[test]
+    fn analysis_report_mentions_verdict_and_words() {
+        let p = program_of(&[Inst::Lit(2), Inst::Lit(3), Inst::Add, Inst::Dot, Inst::Halt]);
+        let a = analyze(&p, None);
+        let text = render_analysis("demo", &a);
+        assert!(text.contains("demo: proven"), "{text}");
+        assert!(text.contains("entry"), "{text}");
+    }
+
+    #[test]
+    fn fsm_report_renders_one_row_per_org() {
+        let reports = check_fig18(2);
+        let text = render_fsm(&reports);
+        assert_eq!(text.lines().count(), reports.len() + 1, "{text}");
+        assert!(text.contains("verified"), "{text}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Golden tests for the analyzer's clippy-style diagnostics: hand-built
+//! underflowing and overflowing programs must produce the *exact*
+//! offending instruction index, the containing word (with its name when
+//! the program carries one), and the witness path from the word's entry.
+
+use stackcache_analysis::{analyze, Bound, Verdict};
+use stackcache_vm::{program_of, Checks, Inst, Machine, ProgramBuilder};
+
+#[test]
+fn straight_line_underflow_pinpoints_the_drop() {
+    // ip 0 lit, ip 1 drop (back to empty), ip 2 drop — underflows
+    let p = program_of(&[Inst::Lit(1), Inst::Drop, Inst::Drop, Inst::Halt]);
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Rejected);
+    assert_eq!(a.proof.data_needed, 1);
+    assert_eq!(a.proof.diagnostics.len(), 1);
+    let d = &a.proof.diagnostics[0];
+    assert_eq!(d.ip, 2, "the second drop is the offender");
+    assert_eq!(d.word, 0);
+    assert_eq!(d.inst, "drop");
+    assert_eq!(d.witness, vec![0, 1, 2], "entry-to-offender path");
+    assert!(
+        d.reason
+            .contains("definitely underflows: needs 1 cell(s) but at most 0 can be on the stack"),
+        "{}",
+        d.reason
+    );
+}
+
+#[test]
+fn branch_arm_underflow_follows_the_taken_arm_in_the_witness() {
+    // the underflow sits on the branch-taken arm; the witness must route
+    // through the branch, not the fall-through. The condition is a fetch
+    // of unanalyzed memory, so neither arm constant-folds away.
+    let p = program_of(&[
+        Inst::Lit(0),          // 0: the address
+        Inst::Fetch,           // 1: unknown condition, depth 1
+        Inst::BranchIfZero(4), // 2: pops, depth 0 on both arms
+        Inst::Halt,            // 3: fall-through
+        Inst::Drop,            // 4: underflows
+        Inst::Halt,            // 5
+    ]);
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Rejected);
+    let d = &a.proof.diagnostics[0];
+    assert_eq!(d.ip, 4);
+    assert_eq!(d.witness, vec![0, 1, 2, 4], "skips the fall-through halt");
+}
+
+#[test]
+fn underflow_inside_a_named_word_names_it() {
+    let mut b = ProgramBuilder::new();
+    let word = b.new_label();
+    b.entry_here();
+    b.push(Inst::Lit(3)); // ip 0
+    b.call(word); // ip 1
+    b.push(Inst::Halt); // ip 2
+    b.bind(word).unwrap();
+    b.name_here("eat2");
+    b.push(Inst::Drop); // ip 3: consumes the argument
+    b.push(Inst::Drop); // ip 4: underflows (relative to the word's entry
+                        // the demand is 2, but the caller provides 1)
+    b.push(Inst::Return); // ip 5
+    let p = b.finish().unwrap();
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Rejected);
+    let d = &a.proof.diagnostics[0];
+    assert_eq!(d.ip, 4);
+    assert_eq!(d.word, 3, "the diagnostic is attributed to the callee");
+    assert_eq!(d.word_name.as_deref(), Some("eat2"));
+    assert_eq!(d.inst, "drop");
+    assert_eq!(d.witness, vec![3, 4], "path from the word's entry");
+    let text = d.to_string();
+    assert!(
+        text.contains("`drop` at ip 4 in `eat2` (entry 3)"),
+        "{text}"
+    );
+    assert!(text.contains("witness: 3 -> 4"), "{text}");
+}
+
+#[test]
+fn path_definite_underflow_rejects_with_the_uncovered_route() {
+    // ip 4's drop is covered on the fall-through path (depth 1) but not
+    // on the branch-taken path (depth 0). The interpreter keeps the two
+    // paths as separate abstract frames, so the uncovered one is a
+    // *definite* underflow on that path: the verdict is rejected with
+    // data_needed = 1, and admission falls back to checked execution
+    // (the service only refuses when the preset stack is shallower than
+    // the demand).
+    let p = program_of(&[
+        Inst::Lit(0),          // 0: the address
+        Inst::Fetch,           // 1: unknown condition
+        Inst::BranchIfZero(4), // 2: pops
+        Inst::Lit(9),          // 3: fall-through cover
+        Inst::Drop,            // 4: join; needs 1, has 0 or 1
+        Inst::Halt,            // 5
+    ]);
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Rejected);
+    assert_eq!(a.proof.data_needed, 1);
+    let d = &a.proof.diagnostics[0];
+    assert_eq!(d.ip, 4);
+    assert_eq!(d.witness, vec![0, 1, 2, 4], "the uncovered route");
+    assert!(d.reason.contains("definitely underflows"), "{}", d.reason);
+    // a rejected verdict never rides a fast path, whatever the preset
+    let mut covered = Machine::with_memory(64);
+    covered.set_stack(&[7]);
+    assert_eq!(a.proof.admit(&covered), Checks::Full);
+}
+
+#[test]
+fn input_driven_demand_loop_cannot_prove_a_finite_bound() {
+    // each iteration eats one cell from *below* the program's entry
+    // depth, and the trip count is an unanalyzed memory cell: the demand
+    // has no finite bound, so no preset stack can ever cover it
+    let p = program_of(&[
+        Inst::Lit(0),          // 0: the address
+        Inst::Fetch,           // 1: unknown trip count
+        Inst::Dup,             // 2: loop head
+        Inst::BranchIfZero(8), // 3
+        Inst::Nip,             // 4: eats one below-entry cell
+        Inst::OneMinus,        // 5
+        Inst::Branch(2),       // 6
+        Inst::Halt,            // 7: unreachable
+        Inst::Drop,            // 8
+        Inst::Halt,            // 9
+    ]);
+    let a = analyze(&p, None);
+    assert!(
+        matches!(a.proof.verdict, Verdict::Unknown | Verdict::Rejected),
+        "{:?}",
+        a.proof.verdict
+    );
+    let d = &a.proof.diagnostics[0];
+    assert_eq!(d.ip, 4, "the nip is where the demand diverges");
+    assert!(!d.witness.is_empty());
+    // even a generous preset cannot cover an unbounded demand
+    let mut m = Machine::with_memory(64);
+    m.set_stack(&[1, 2, 3, 4, 5, 6, 7, 8]);
+    assert_eq!(a.proof.admit(&m), Checks::Full);
+}
+
+#[test]
+fn unbounded_growth_is_guarded_with_overflow_checks_kept() {
+    // an infinite push loop: no underflow anywhere, growth unbounded
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.entry_here();
+    b.push(Inst::Lit(1)); // 0
+    b.bind(top).unwrap();
+    b.push(Inst::Dup); // 1
+    b.branch(top); // 2
+    let p = b.finish().unwrap();
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Guarded);
+    assert_eq!(a.proof.data_max, Bound::Unbounded);
+    assert!(a.proof.diagnostics.is_empty(), "guarded is not a finding");
+    let m = Machine::with_memory(64);
+    assert_eq!(
+        a.proof.admit(&m),
+        Checks::NoUnderflow,
+        "underflow checks elided, overflow traps kept exact"
+    );
+}
+
+#[test]
+fn bounded_programs_prove_with_exact_growth() {
+    let p = program_of(&[Inst::Lit(6), Inst::Dup, Inst::Mul, Inst::Dot, Inst::Halt]);
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Proven);
+    assert_eq!(a.proof.data_needed, 0);
+    assert_eq!(a.proof.data_max, Bound::Finite(2));
+    assert!(a.proof.diagnostics.is_empty());
+    assert_eq!(a.proof.admit(&Machine::with_memory(64)), Checks::None);
+}

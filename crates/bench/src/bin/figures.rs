@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--full] [fig7 fig18 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//!          speedup randomwalk rstack ablation serving | all]
+//!          speedup randomwalk rstack ablation serving analysis | all]
 //! ```
 //!
 //! By default the small workload inputs are used; `--full` switches to the
@@ -13,7 +13,7 @@
 
 use stackcache_bench::{
     ablation, fig07, fig18, fig20, fig21, fig22, fig24, fig26, freq, orgs, prefetch, randomwalk,
-    rstack, semantic, speedup, twostacks,
+    rstack, semantic, speedup, twostacks, verified,
 };
 use stackcache_core::CostModel;
 use stackcache_workloads::Scale;
@@ -45,6 +45,7 @@ fn main() {
             "prefetch",
             "semantic",
             "serving",
+            "analysis",
         ]
         .iter()
         .map(|s| (*s).to_string())
@@ -202,6 +203,10 @@ fn main() {
         println!("## Section 5 ablation — static code generation variants\n");
         println!("{}", ablation::table(&ablation::run(scale, 4)));
     }
+    if want("analysis") {
+        println!("## Static analysis — safety proofs and the verified fast path\n");
+        println!("{}", verified::render(&verified::run(scale)));
+    }
     if want("serving") {
         use stackcache_bench::svcload::{run_load, LoadConfig};
         println!("## Serving — per-regime throughput/latency under service load\n");
@@ -216,11 +221,12 @@ fn main() {
         });
         println!("{}", report.table());
         println!(
-            "{} requests in {:.2}s ({:.0} verified completions/s); {} divergences\n",
+            "{} requests in {:.2}s ({:.0} verified completions/s); {} divergences",
             report.requests,
             report.elapsed.as_secs_f64(),
             report.throughput(),
             report.divergences.len()
         );
+        println!("{}\n", report.fast_path_line());
     }
 }

@@ -23,8 +23,9 @@ use std::process::ExitCode;
 
 use stackcache_bench::svcload::{run_load, LoadConfig, LoadReport};
 use stackcache_bench::workloads;
+use stackcache_core::staticcache::{compile, StaticOptions};
 use stackcache_core::Org;
-use stackcache_obs::{prometheus_lint, CacheProfiler};
+use stackcache_obs::{prometheus_lint, CacheProfiler, StaticProfiler};
 use stackcache_vm::exec;
 use stackcache_workloads::Scale;
 
@@ -35,6 +36,19 @@ fn profile_orgs() -> Vec<(Org, u8)> {
         (Org::minimal(4), 2),
         (Org::overflow_opt(3), 3),
         (Org::one_dup(4), 2),
+    ]
+}
+
+/// The static-codegen variants profiled per workload.
+fn static_variants() -> Vec<(String, StaticOptions)> {
+    let mut optimal = StaticOptions::with_canonical(2);
+    optimal.optimal = true;
+    let mut threaded = StaticOptions::with_canonical(2);
+    threaded.threaded_joins = true;
+    vec![
+        ("greedy(c=2)".to_string(), StaticOptions::with_canonical(2)),
+        ("optimal(c=2)".to_string(), optimal),
+        ("threaded(c=2)".to_string(), threaded),
     ]
 }
 
@@ -89,6 +103,22 @@ fn profile_section(scale: Scale) {
                 Err(e) => format!("trap: {e}"),
             };
             println!("### {} under {} ({status})\n", w.name, org.name());
+            println!("{}", profiler.table());
+        }
+    }
+    println!("## Static dispatch elimination — benchmark workloads\n");
+    let org = Org::static_shuffle(3);
+    for w in workloads(scale) {
+        for (name, opts) in static_variants() {
+            let sp = compile(&w.image.program, &org, &opts);
+            let mut profiler = StaticProfiler::new(&sp, &org);
+            let mut m = w.image.machine();
+            let result = exec::run_with_observer(&w.image.program, &mut m, w.fuel(), &mut profiler);
+            let status = match &result {
+                Ok(o) => format!("{} instructions", o.executed),
+                Err(e) => format!("trap: {e}"),
+            };
+            println!("### {} compiled {name} ({status})\n", w.name);
             println!("{}", profiler.table());
         }
     }

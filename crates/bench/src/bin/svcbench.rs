@@ -66,6 +66,13 @@ fn main() -> ExitCode {
         report.snapshot.cache_capacity,
         report.snapshot.cache_evictions,
     );
+    println!("{}", report.fast_path_line());
+    let stalled = report.snapshot.stalled_workers();
+    println!(
+        "workers: {} ({} stalled at shutdown)",
+        report.snapshot.workers.len(),
+        stalled
+    );
 
     let mut trace_failures = Vec::new();
     if trace {

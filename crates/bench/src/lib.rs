@@ -27,6 +27,7 @@ pub mod svcload;
 pub mod table;
 pub mod timing;
 pub mod twostacks;
+pub mod verified;
 
 use std::sync::OnceLock;
 

@@ -138,6 +138,30 @@ impl LoadReport {
         self.verified as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
+    /// Share of completions served with underflow checks elided (the
+    /// verified fast path), `0.0..=1.0`; 0 with no completions.
+    #[must_use]
+    pub fn fast_path_share(&self) -> f64 {
+        self.snapshot.fast_path_share().unwrap_or(0.0)
+    }
+
+    /// One line summarizing the verified fast path: how many completions
+    /// ran at each admitted checks level.
+    #[must_use]
+    pub fn fast_path_line(&self) -> String {
+        format!(
+            "verified fast path: {}/{} completions ({:.2}%) with underflow checks elided \
+             ({} fully unchecked, {} overflow-guarded, {} checked); {} analysis rejections",
+            self.snapshot.served_fast(),
+            self.snapshot.completed(),
+            100.0 * self.fast_path_share(),
+            self.snapshot.served_unchecked(),
+            self.snapshot.served_fast() - self.snapshot.served_unchecked(),
+            self.snapshot.completed() - self.snapshot.served_fast(),
+            self.snapshot.analysis_rejected(),
+        )
+    }
+
     /// The per-regime throughput/latency table.
     #[must_use]
     pub fn table(&self) -> Table {

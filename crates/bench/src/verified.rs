@@ -1,0 +1,175 @@
+//! The `analysis` report: safety proofs and the verified fast path.
+//!
+//! Three sections:
+//!
+//! 1. the cache-FSM model checker's verdict over every Fig. 18
+//!    organization (closure, conservation, sp-offset consistency,
+//!    reachability, move-minimality),
+//! 2. the abstract interpreter's proof for each Section 6 workload
+//!    (verdict, depth bounds, per-word table),
+//! 3. the payoff: wall-clock time of every execution regime with full
+//!    depth checks vs. the checks the proof admits.
+
+use std::time::Instant;
+
+use stackcache_analysis::{analyze, check_fig18, Analysis};
+use stackcache_core::{CompiledArtifact, EngineRegime};
+use stackcache_vm::Checks;
+use stackcache_workloads::Scale;
+
+use crate::table::{f2, Table};
+use crate::workloads;
+
+/// Wall-clock checked-vs-unchecked timing for one (workload, regime).
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Execution regime name.
+    pub regime: String,
+    /// Milliseconds with full depth checks.
+    pub checked_ms: f64,
+    /// Milliseconds at the proof-admitted checks level.
+    pub unchecked_ms: f64,
+}
+
+impl DeltaRow {
+    /// Speedup of the admitted level over full checks, as a percentage.
+    #[must_use]
+    pub fn speedup_pct(&self) -> f64 {
+        (self.checked_ms / self.unchecked_ms - 1.0) * 100.0
+    }
+}
+
+/// The full report: one proof per workload plus the timing matrix.
+#[derive(Debug)]
+pub struct VerifiedReport {
+    /// `(workload name, analysis, admitted checks)` per workload.
+    pub proofs: Vec<(&'static str, Analysis, Checks)>,
+    /// Timing rows, workload-major in regime ladder order.
+    pub deltas: Vec<DeltaRow>,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    median(samples)
+}
+
+/// Analyze every workload and time every regime at both checks levels.
+///
+/// # Panics
+///
+/// Panics if a workload traps (its proof guarantees it must not).
+#[must_use]
+pub fn run(scale: Scale) -> VerifiedReport {
+    let reps = match scale {
+        Scale::Small => 3,
+        Scale::Full => 5,
+    };
+    let mut proofs = Vec::new();
+    let mut deltas = Vec::new();
+    for w in workloads(scale) {
+        let machine = w.image.machine();
+        let a = analyze(&w.image.program, Some(&machine));
+        let admitted = a.proof.admit(&machine);
+        for regime in EngineRegime::ALL {
+            let artifact = CompiledArtifact::compile(&w.image.program, regime, false);
+            let fuel = w.fuel();
+            let run_at = |checks: Checks| {
+                time_ms(reps, || {
+                    let mut m = w.image.machine();
+                    artifact
+                        .run_with_checks(&mut m, fuel, checks)
+                        .expect("proven workloads do not trap");
+                    std::hint::black_box(m.output().len());
+                })
+            };
+            deltas.push(DeltaRow {
+                workload: w.name,
+                regime: regime.name(),
+                checked_ms: run_at(Checks::Full),
+                unchecked_ms: run_at(admitted),
+            });
+        }
+        proofs.push((w.name, a, admitted));
+    }
+    VerifiedReport { proofs, deltas }
+}
+
+/// Render the checked-vs-unchecked timing matrix.
+#[must_use]
+pub fn delta_table(report: &VerifiedReport) -> Table {
+    let mut t = Table::new(&[
+        "workload",
+        "regime",
+        "checked ms",
+        "admitted ms",
+        "speedup %",
+    ]);
+    for r in &report.deltas {
+        t.row(&[
+            r.workload.to_string(),
+            r.regime.clone(),
+            f2(r.checked_ms),
+            f2(r.unchecked_ms),
+            f2(r.speedup_pct()),
+        ]);
+    }
+    t
+}
+
+/// Render the whole report (FSM verdicts, proofs, timing matrix).
+#[must_use]
+pub fn render(report: &VerifiedReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### Cache-FSM model checker (Fig. 18 organizations)\n");
+    out.push_str(&stackcache_analysis::render_fsm(&check_fig18(
+        stackcache_analysis::fsm::CHECKED_REGISTERS,
+    )));
+    let _ = writeln!(out, "\n### Workload safety proofs\n");
+    for (name, a, admitted) in &report.proofs {
+        out.push_str(&stackcache_analysis::render_analysis(name, a));
+        let _ = writeln!(out, "  admitted checks level: {}\n", admitted.name());
+    }
+    let _ = writeln!(
+        out,
+        "### Wall clock: full checks vs. proof-admitted checks\n"
+    );
+    let _ = writeln!(out, "{}", delta_table(report));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_analysis::Verdict;
+
+    #[test]
+    fn all_workloads_admit_a_fast_path() {
+        let report = run(Scale::Small);
+        assert_eq!(report.proofs.len(), 4);
+        for (name, a, admitted) in &report.proofs {
+            assert!(
+                matches!(a.proof.verdict, Verdict::Proven | Verdict::Guarded),
+                "{name}: {}",
+                a.proof.verdict.name()
+            );
+            assert_ne!(*admitted, Checks::Full, "{name}");
+        }
+        assert_eq!(report.deltas.len(), 4 * EngineRegime::ALL.len());
+        let text = render(&report);
+        assert!(text.contains("admitted checks level"), "{text}");
+    }
+}

@@ -66,4 +66,15 @@ fn service_sustains_ten_thousand_verified_requests() {
         .sum();
     assert_eq!(deadline_total, cfg.deadline_probes as u64);
     assert_eq!(fuel_total, cfg.fuel_probes as u64);
+    // the verified fast path carries the load: at least 99% of
+    // completions ran with underflow checks elided, none was refused by
+    // the analyzer, and (asserted above) zero divergences
+    assert!(
+        report.fast_path_share() >= 0.99,
+        "only {:.2}% of completions on the fast path ({})",
+        100.0 * report.fast_path_share(),
+        report.fast_path_line()
+    );
+    assert_eq!(report.snapshot.analysis_rejected(), 0);
+    assert_eq!(report.snapshot.stalled_workers(), 0);
 }

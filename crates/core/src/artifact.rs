@@ -10,10 +10,12 @@
 
 use std::sync::Arc;
 
-use stackcache_vm::interp::{run_baseline, run_tos};
-use stackcache_vm::{exec, peephole, ExecObserver, Machine, Program, VmError};
+use stackcache_vm::interp::{run_baseline_with_checks, run_tos_with_checks};
+use stackcache_vm::{exec, peephole, Checks, ExecObserver, Machine, Program, VmError};
 
-use crate::interp::{compile_static, run_dyncache, run_staticcache, StaticExecutable};
+use crate::interp::{
+    compile_static, run_dyncache_with_checks, run_staticcache_with_checks, StaticExecutable,
+};
 
 /// A wall-clock execution regime: which interpreter runs the program.
 ///
@@ -145,7 +147,25 @@ impl CompiledArtifact {
     ///
     /// Returns a [`VmError`] on any runtime trap.
     pub fn run(&self, machine: &mut Machine, fuel: u64) -> Result<u64, VmError> {
-        self.run_observed(machine, fuel, &mut ())
+        self.run_observed_with_checks(machine, fuel, &mut (), Checks::Full)
+    }
+
+    /// [`run`](CompiledArtifact::run) at a selectable [`Checks`] level.
+    ///
+    /// Levels above [`Checks::Full`] are sound only for programs whose
+    /// depth bounds were proven by static analysis; see [`Checks`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any runtime trap the chosen level still
+    /// detects.
+    pub fn run_with_checks(
+        &self,
+        machine: &mut Machine,
+        fuel: u64,
+        checks: Checks,
+    ) -> Result<u64, VmError> {
+        self.run_observed_with_checks(machine, fuel, &mut (), checks)
     }
 
     /// Execute on `machine`, delivering events to `observer` and honouring
@@ -165,20 +185,40 @@ impl CompiledArtifact {
         fuel: u64,
         observer: &mut O,
     ) -> Result<u64, VmError> {
+        self.run_observed_with_checks(machine, fuel, observer, Checks::Full)
+    }
+
+    /// [`run_observed`](CompiledArtifact::run_observed) at a selectable
+    /// [`Checks`] level.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any runtime trap the chosen level still
+    /// detects (including [`VmError::Cancelled`] on reference runs).
+    pub fn run_observed_with_checks<O: ExecObserver + ?Sized>(
+        &self,
+        machine: &mut Machine,
+        fuel: u64,
+        observer: &mut O,
+        checks: Checks,
+    ) -> Result<u64, VmError> {
         match self.regime {
             EngineRegime::Reference => {
-                exec::run_with_observer(&self.program, machine, fuel, observer).map(|o| o.executed)
+                exec::run_with_observer_checks(&self.program, machine, fuel, observer, checks)
+                    .map(|o| o.executed)
             }
             EngineRegime::Baseline => {
-                run_baseline(&self.program, machine, fuel).map(|s| s.executed)
+                run_baseline_with_checks(&self.program, machine, fuel, checks).map(|s| s.executed)
             }
-            EngineRegime::Tos => run_tos(&self.program, machine, fuel).map(|s| s.executed),
+            EngineRegime::Tos => {
+                run_tos_with_checks(&self.program, machine, fuel, checks).map(|s| s.executed)
+            }
             EngineRegime::Dyncache => {
-                run_dyncache(&self.program, machine, fuel).map(|s| s.executed)
+                run_dyncache_with_checks(&self.program, machine, fuel, checks).map(|s| s.executed)
             }
             EngineRegime::Static(_) => {
                 let exe = self.exe.as_ref().expect("static artifacts carry an exe");
-                run_staticcache(exe, machine, fuel).map(|s| s.executed)
+                run_staticcache_with_checks(exe, machine, fuel, checks).map(|s| s.executed)
             }
         }
     }
@@ -212,6 +252,51 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{}: {e}", regime.name()));
                 assert_eq!(m.output_string(), "36 ", "{}", regime.name());
                 assert!(m.stack().is_empty(), "{}", regime.name());
+            }
+        }
+    }
+
+    #[test]
+    fn check_levels_agree_across_regimes() {
+        use stackcache_vm::ProgramBuilder;
+        // loop + call + rstack traffic: exercises every gated macro class
+        let mut b = ProgramBuilder::new();
+        let square = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(0));
+        b.push(Inst::Lit(6));
+        b.push(Inst::Lit(0));
+        b.push(Inst::DoSetup);
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::LoopI);
+        b.call(square);
+        b.push(Inst::Add);
+        b.loop_inc(top);
+        b.push(Inst::Lit(7));
+        b.push(Inst::ToR);
+        b.push(Inst::RFetch);
+        b.push(Inst::FromR);
+        b.push(Inst::Add);
+        b.push(Inst::Add);
+        b.push(Inst::Halt);
+        b.bind(square).unwrap();
+        b.push(Inst::Dup);
+        b.push(Inst::Mul);
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+
+        for regime in EngineRegime::ALL {
+            let a = CompiledArtifact::compile(&p, regime, false);
+            let mut reference = Machine::with_memory(4096);
+            a.run(&mut reference, 1_000_000).expect("full checks run");
+            for checks in [Checks::NoUnderflow, Checks::None] {
+                let mut m = Machine::with_memory(4096);
+                a.run_with_checks(&mut m, 1_000_000, checks)
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", regime.name(), checks.name()));
+                assert_eq!(reference.stack(), m.stack(), "{}", regime.name());
+                assert_eq!(reference.rstack(), m.rstack(), "{}", regime.name());
+                assert_eq!(reference.output(), m.output(), "{}", regime.name());
             }
         }
     }

@@ -233,20 +233,28 @@ impl Item {
 
 /// Find the cheapest state of `org` with exactly `items.len()` slots that
 /// can hold `items`, returning `(state, moves)`.
-fn try_place(org: &Org, items: &[Item]) -> Option<(StateId, u32)> {
-    try_place_all(org, items)
+fn try_place(org: &Org, items: &[Item], rdepth: u8) -> Option<(StateId, u32)> {
+    try_place_all(org, items, rdepth)
         .into_iter()
         .min_by_key(|&(id, m)| (m, id))
 }
 
 /// All states of `org` with exactly `items.len()` slots that can hold
 /// `items`, each with its move cost.
-fn try_place_all(org: &Org, items: &[Item]) -> Vec<(StateId, u32)> {
+///
+/// Data transitions preserve cached return-stack items, so only states
+/// with the source's `rdepth` are candidates (relevant to the two-stacks
+/// organization only; every other organization has `rdepth == 0`
+/// throughout).
+fn try_place_all(org: &Org, items: &[Item], rdepth: u8) -> Vec<(StateId, u32)> {
     let Ok(depth) = u8::try_from(items.len()) else {
         return Vec::new();
     };
     let mut found = Vec::new();
     'cand: for &id in org.states_of_depth(depth) {
+        if org.state(id).rdepth() != rdepth {
+            continue;
+        }
         let word = org.state(id).word();
         // Validity: slots sharing a register must hold the same value.
         for i in 0..items.len() {
@@ -308,12 +316,13 @@ pub fn compute_transition(
     sig: &OpSig,
     deeper: u8,
 ) -> Trans {
+    let rdepth = org.state(from).rdepth();
     let (t, items) = transition_prep(org, policy, from, sig, deeper);
     match items {
         None => t,
-        Some(items) => match try_place(org, &items) {
+        Some(items) => match try_place(org, &items, rdepth) {
             Some((next, moves)) => finish_placed(policy, sig, t, next, moves),
-            None => finish_overflow(org, policy, sig, t, &items),
+            None => finish_overflow(org, policy, sig, t, &items, rdepth),
         },
     }
 }
@@ -332,13 +341,14 @@ pub fn compute_transition_all(
     sig: &OpSig,
     deeper: u8,
 ) -> Vec<Trans> {
+    let rdepth = org.state(from).rdepth();
     let (t, items) = transition_prep(org, policy, from, sig, deeper);
     match items {
         None => vec![t],
         Some(items) => {
-            let placements = try_place_all(org, &items);
+            let placements = try_place_all(org, &items, rdepth);
             if placements.is_empty() {
-                vec![finish_overflow(org, policy, sig, t, &items)]
+                vec![finish_overflow(org, policy, sig, t, &items, rdepth)]
             } else {
                 placements
                     .into_iter()
@@ -381,14 +391,23 @@ fn transition_prep(
         }
         let total_after =
             (u16::from(deeper) + u16::from(d) + u16::from(y)).saturating_sub(u16::from(x));
-        let refill = match policy.refill_to {
+        let mut refill = match policy.refill_to {
             Some(k) => u16::from(k).min(total_after),
             None => 0,
         };
+        // Cached return-stack items survive the data flush: the followup
+        // keeps the source rdepth, reducing the refill if that leaves
+        // fewer registers for data.
+        let next = loop {
+            let cand = CacheState::canonical(refill as u8).with_rdepth(cur.rdepth());
+            if let Some(id) = org.lookup(&cand) {
+                break id;
+            }
+            assert!(refill > 0, "organizations include the empty state");
+            refill -= 1;
+        };
         t.loads += refill;
-        t.next = org
-            .canonical_of_depth(refill as u8)
-            .expect("organizations include canonical shallow states");
+        t.next = next;
         if policy.sp_tracks_depth {
             t.updates = u16::from(x != y);
         }
@@ -475,31 +494,41 @@ fn transition_prep(
 fn finish_placed(policy: &Policy, sig: &OpSig, mut t: Trans, next: StateId, moves: u32) -> Trans {
     t.next = next;
     t.moves += moves as u16;
+    if policy.sp_tracks_depth {
+        t.updates = u16::from(sig.pops != sig.pushes);
+    }
+    // Statically removable only if it costs nothing at all — under the
+    // constant-k regime a depth-changing shuffle still pays its sp update.
     if matches!(sig.kind, SigKind::Shuffle(_))
         && t.loads == 0
         && t.stores == 0
         && t.moves == 0
+        && t.updates == 0
         && !t.underflow
         && !t.overflow
     {
         t.eliminated = true;
-    }
-    if policy.sp_tracks_depth {
-        t.updates = u16::from(sig.pops != sig.pushes);
     }
     t
 }
 
 /// Final accounting when the result does not fit: spill the bottom of the
 /// cache down to the policy's overflow followup depth.
-fn finish_overflow(org: &Org, policy: &Policy, sig: &OpSig, mut t: Trans, items: &[Item]) -> Trans {
+fn finish_overflow(
+    org: &Org,
+    policy: &Policy,
+    sig: &OpSig,
+    mut t: Trans,
+    items: &[Item],
+    rdepth: u8,
+) -> Trans {
     let want = items.len() as u8;
     t.overflow = true;
     t.updates += 1;
     let mut f = policy.overflow_depth.min(want.saturating_sub(1));
     let (next, moves) = loop {
         let top = &items[usize::from(want - f)..];
-        if let Some((id, moves)) = try_place(org, top) {
+        if let Some((id, moves)) = try_place(org, top, rdepth) {
             t.stores += u16::from(want - f);
             break (id, moves);
         }

@@ -16,9 +16,9 @@
 //! and the stack pointer is only touched on overflow/underflow
 //! (sp-update minimization, Section 3.1).
 
-use stackcache_vm::{Cell, Inst, Machine, Program, VmError, CELL_BYTES, FALSE, TRUE};
+use stackcache_vm::{Cell, Checks, Inst, Machine, Program, VmError, CELL_BYTES, FALSE, TRUE};
 
-use crate::interp::RunStats;
+use crate::interp::{RunStats, CHECK_FULL, CHECK_NONE, CHECK_NO_UNDERFLOW};
 
 #[inline]
 fn flag(b: bool) -> Cell {
@@ -37,9 +37,39 @@ fn flag(b: bool) -> Cell {
 /// # Errors
 ///
 /// Returns the same [`VmError`]s as the reference interpreter.
+pub fn run_dyncache(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+) -> Result<RunStats, VmError> {
+    run_dyncache_mode::<CHECK_FULL>(program, machine, fuel)
+}
+
+/// [`run_dyncache`] at a selectable [`Checks`] level.
+///
+/// Levels above [`Checks::Full`] are sound only for programs proven safe
+/// by static analysis; see [`Checks`] for the contract.
+///
+/// # Errors
+///
+/// Returns the same [`VmError`]s as the reference interpreter (minus the
+/// trap classes the chosen level elides).
+pub fn run_dyncache_with_checks(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+    checks: Checks,
+) -> Result<RunStats, VmError> {
+    match checks {
+        Checks::Full => run_dyncache_mode::<CHECK_FULL>(program, machine, fuel),
+        Checks::NoUnderflow => run_dyncache_mode::<CHECK_NO_UNDERFLOW>(program, machine, fuel),
+        Checks::None => run_dyncache_mode::<CHECK_NONE>(program, machine, fuel),
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 #[allow(unused_assignments)] // the cache-state macros assign past the last use
-pub fn run_dyncache(
+fn run_dyncache_mode<const MODE: u8>(
     program: &Program,
     machine: &mut Machine,
     fuel: u64,
@@ -101,7 +131,7 @@ pub fn run_dyncache(
                     }
                     _ => {
                         // overflow: spill the bottom, shift, stay full
-                        if sp >= limit {
+                        if MODE < CHECK_NONE && sp >= limit {
                             return Err(VmError::StackOverflow { ip: cur });
                         }
                         buf[sp] = r0;
@@ -118,7 +148,7 @@ pub fn run_dyncache(
             () => {{
                 match s {
                     0 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -144,7 +174,7 @@ pub fn run_dyncache(
             ($f:expr) => {{
                 match s {
                     0 => {
-                        if sp < 2 {
+                        if MODE == CHECK_FULL && sp < 2 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         let b = buf[sp - 1];
@@ -154,7 +184,7 @@ pub fn run_dyncache(
                         s = 1;
                     }
                     1 => {
-                        if sp < 1 {
+                        if MODE == CHECK_FULL && sp < 1 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         let a = buf[sp - 1];
@@ -177,7 +207,7 @@ pub fn run_dyncache(
             ($f:expr) => {{
                 match s {
                     0 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -193,7 +223,7 @@ pub fn run_dyncache(
         /// Spill the whole cache to memory (for rare, cache-opaque work).
         macro_rules! flush {
             () => {{
-                if sp + s as usize > limit {
+                if MODE < CHECK_NONE && sp + s as usize > limit {
                     return Err(VmError::StackOverflow { ip: cur });
                 }
                 if s >= 1 {
@@ -211,14 +241,14 @@ pub fn run_dyncache(
         }
         macro_rules! need {
             ($n:expr) => {
-                if depth!() < $n {
+                if MODE == CHECK_FULL && depth!() < $n {
                     return Err(VmError::StackUnderflow { ip: cur });
                 }
             };
         }
         macro_rules! rpush {
             ($v:expr) => {{
-                if rsp >= rlimit {
+                if MODE < CHECK_NONE && rsp >= rlimit {
                     return Err(VmError::ReturnStackOverflow { ip: cur });
                 }
                 rbuf[rsp] = $v;
@@ -227,7 +257,7 @@ pub fn run_dyncache(
         }
         macro_rules! rpop {
             () => {{
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 rsp -= 1;
@@ -292,7 +322,7 @@ pub fn run_dyncache(
                 // specialize: duplicate the cached top without popping
                 match s {
                     0 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -435,7 +465,7 @@ pub fn run_dyncache(
             Inst::Pick => {
                 // cache-opaque: flush, then operate on memory
                 flush!();
-                if sp == 0 {
+                if MODE == CHECK_FULL && sp == 0 {
                     return Err(VmError::StackUnderflow { ip: cur });
                 }
                 sp -= 1;
@@ -459,7 +489,7 @@ pub fn run_dyncache(
                 push_val!(a);
             }
             Inst::RFetch => {
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let a = rbuf[rsp - 1];
@@ -478,7 +508,7 @@ pub fn run_dyncache(
                 push_val!(b);
             }
             Inst::TwoRFetch => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let a = rbuf[rsp - 2];
@@ -574,7 +604,7 @@ pub fn run_dyncache(
                 }
             }
             Inst::LoopInc(t) => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let index = rbuf[rsp - 1].wrapping_add(1);
@@ -588,7 +618,7 @@ pub fn run_dyncache(
             }
             Inst::PlusLoopInc(t) => {
                 let step = pop_val!();
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let old = rbuf[rsp - 1];
@@ -607,21 +637,21 @@ pub fn run_dyncache(
                 }
             }
             Inst::LoopI => {
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let i = rbuf[rsp - 1];
                 push_val!(i);
             }
             Inst::LoopJ => {
-                if rsp < 4 {
+                if MODE == CHECK_FULL && rsp < 4 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let j = rbuf[rsp - 3];
                 push_val!(j);
             }
             Inst::Unloop => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 rsp -= 2;

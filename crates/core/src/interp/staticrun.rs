@@ -27,9 +27,9 @@
 //! traps* bit-for-bit — run trap-free programs (all other behaviour is
 //! cross-validated against the reference interpreter).
 
-use stackcache_vm::{Cell, Cfg, Inst, Machine, Program, VmError, CELL_BYTES, FALSE, TRUE};
+use stackcache_vm::{Cell, Cfg, Checks, Inst, Machine, Program, VmError, CELL_BYTES, FALSE, TRUE};
 
-use crate::interp::RunStats;
+use crate::interp::{RunStats, CHECK_FULL, CHECK_NONE, CHECK_NO_UNDERFLOW};
 
 /// Register word per state, bottom-first.
 const WORDS: [&[usize]; 6] = [&[], &[0], &[0, 1], &[0, 1, 2], &[1, 0], &[0, 2, 1]];
@@ -371,9 +371,39 @@ fn flag(b: bool) -> Cell {
 ///
 /// Returns the same [`VmError`]s as the reference interpreter for
 /// non-underflow traps.
+pub fn run_staticcache(
+    exe: &StaticExecutable,
+    machine: &mut Machine,
+    fuel: u64,
+) -> Result<RunStats, VmError> {
+    run_staticcache_mode::<CHECK_FULL>(exe, machine, fuel)
+}
+
+/// [`run_staticcache`] at a selectable [`Checks`] level.
+///
+/// Levels above [`Checks::Full`] are sound only for programs proven safe
+/// by static analysis; see [`Checks`] for the contract.
+///
+/// # Errors
+///
+/// Returns the same [`VmError`]s as [`run_staticcache`] (minus the trap
+/// classes the chosen level elides).
+pub fn run_staticcache_with_checks(
+    exe: &StaticExecutable,
+    machine: &mut Machine,
+    fuel: u64,
+    checks: Checks,
+) -> Result<RunStats, VmError> {
+    match checks {
+        Checks::Full => run_staticcache_mode::<CHECK_FULL>(exe, machine, fuel),
+        Checks::NoUnderflow => run_staticcache_mode::<CHECK_NO_UNDERFLOW>(exe, machine, fuel),
+        Checks::None => run_staticcache_mode::<CHECK_NONE>(exe, machine, fuel),
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 #[allow(unused_assignments)] // the state-tracking macros assign past the last use
-pub fn run_staticcache(
+fn run_staticcache_mode<const MODE: u8>(
     exe: &StaticExecutable,
     machine: &mut Machine,
     fuel: u64,
@@ -408,7 +438,7 @@ pub fn run_staticcache(
             if fl > tl {
                 // spill the extra bottom items
                 let extra = fl - tl;
-                if sp + extra > limit {
+                if MODE < CHECK_NONE && sp + extra > limit {
                     return Err(VmError::StackOverflow { ip: $cur });
                 }
                 for j in 0..extra {
@@ -464,7 +494,7 @@ pub fn run_staticcache(
             ($st:expr) => {{
                 match $st {
                     0 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -502,7 +532,7 @@ pub fn run_staticcache(
                         $st = 3;
                     }
                     _ => {
-                        if sp >= limit {
+                        if MODE < CHECK_NONE && sp >= limit {
                             return Err(VmError::StackOverflow { ip: cur });
                         }
                         buf[sp] = r0;
@@ -519,7 +549,7 @@ pub fn run_staticcache(
             () => {{
                 match sin {
                     0 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -546,14 +576,14 @@ pub fn run_staticcache(
             () => {{
                 match sin {
                     0 => {
-                        if sp < 2 {
+                        if MODE == CHECK_FULL && sp < 2 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 2;
                         (buf[sp], buf[sp + 1])
                     }
                     1 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -570,7 +600,7 @@ pub fn run_staticcache(
             ($f:expr) => {{
                 match sin {
                     0 => {
-                        if sp < 2 {
+                        if MODE == CHECK_FULL && sp < 2 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         let b = buf[sp - 1];
@@ -579,7 +609,7 @@ pub fn run_staticcache(
                         r0 = $f(a, b);
                     }
                     1 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -596,7 +626,7 @@ pub fn run_staticcache(
             ($f:expr) => {{
                 match sin {
                     0 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -613,7 +643,7 @@ pub fn run_staticcache(
             ($f:expr) => {{
                 match sin {
                     0 => {
-                        if sp == 0 {
+                        if MODE == CHECK_FULL && sp == 0 {
                             return Err(VmError::StackUnderflow { ip: cur });
                         }
                         sp -= 1;
@@ -629,7 +659,7 @@ pub fn run_staticcache(
         macro_rules! flush {
             () => {{
                 let w = WORDS[sin as usize];
-                if sp + w.len() > limit {
+                if MODE < CHECK_NONE && sp + w.len() > limit {
                     return Err(VmError::StackOverflow { ip: cur });
                 }
                 let regs = [r0, r1, r2];
@@ -641,7 +671,7 @@ pub fn run_staticcache(
         }
         macro_rules! rpush {
             ($v:expr) => {{
-                if rsp >= rlimit {
+                if MODE < CHECK_NONE && rsp >= rlimit {
                     return Err(VmError::ReturnStackOverflow { ip: cur });
                 }
                 rbuf[rsp] = $v;
@@ -650,7 +680,7 @@ pub fn run_staticcache(
         }
         macro_rules! rpop {
             () => {{
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 rsp -= 1;
@@ -735,7 +765,7 @@ pub fn run_staticcache(
             }
             Inst::Drop => match sin {
                 0 => {
-                    if sp == 0 {
+                    if MODE == CHECK_FULL && sp == 0 {
                         return Err(VmError::StackUnderflow { ip: cur });
                     }
                     sp -= 1;
@@ -833,12 +863,12 @@ pub fn run_staticcache(
             }
             Inst::QDup => {
                 flush!();
-                if sp == 0 {
+                if MODE == CHECK_FULL && sp == 0 {
                     return Err(VmError::StackUnderflow { ip: cur });
                 }
                 let a = buf[sp - 1];
                 if a != 0 {
-                    if sp >= limit {
+                    if MODE < CHECK_NONE && sp >= limit {
                         return Err(VmError::StackOverflow { ip: cur });
                     }
                     buf[sp] = a;
@@ -847,7 +877,7 @@ pub fn run_staticcache(
             }
             Inst::Pick => {
                 flush!();
-                if sp == 0 {
+                if MODE == CHECK_FULL && sp == 0 {
                     return Err(VmError::StackUnderflow { ip: cur });
                 }
                 sp -= 1;
@@ -876,7 +906,7 @@ pub fn run_staticcache(
                 push_v!(st, v);
             }
             Inst::RFetch => {
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let v = rbuf[rsp - 1];
@@ -896,7 +926,7 @@ pub fn run_staticcache(
                 push_v!(st, b);
             }
             Inst::TwoRFetch => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let a = rbuf[rsp - 2];
@@ -1006,7 +1036,7 @@ pub fn run_staticcache(
             }
             Inst::LoopInc(t) => {
                 do_rec!();
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let index = rbuf[rsp - 1].wrapping_add(1);
@@ -1022,7 +1052,7 @@ pub fn run_staticcache(
             Inst::PlusLoopInc(t) => {
                 let step = pop1!();
                 do_rec!();
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let old = rbuf[rsp - 1];
@@ -1042,7 +1072,7 @@ pub fn run_staticcache(
                 continue;
             }
             Inst::LoopI => {
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let v = rbuf[rsp - 1];
@@ -1050,7 +1080,7 @@ pub fn run_staticcache(
                 push_v!(st, v);
             }
             Inst::LoopJ => {
-                if rsp < 4 {
+                if MODE == CHECK_FULL && rsp < 4 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let v = rbuf[rsp - 3];
@@ -1058,7 +1088,7 @@ pub fn run_staticcache(
                 push_v!(st, v);
             }
             Inst::Unloop => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 rsp -= 2;

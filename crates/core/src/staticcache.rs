@@ -23,7 +23,7 @@
 //! generator the paper sketches (a dynamic program over cache states within
 //! each basic block, BURS-style) instead of the greedy state walk.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use stackcache_vm::{Cfg, EffectKind, ExecEvent, ExecObserver, Inst, Program};
 
@@ -370,19 +370,22 @@ fn plan_optimal(
     steps: &[(usize, StepKind)],
     final_target: Option<StateId>,
 ) -> Vec<Trans> {
-    // frontier: state -> (cost so far, step index chain)
+    // frontier: state -> (cost so far, step index chain). BTreeMaps, not
+    // HashMaps: equal-cost ties are broken by the first predecessor seen,
+    // so iteration order must be deterministic or recompiling the same
+    // program can park sites in different (equally cheap) states.
     #[derive(Clone, Copy)]
     struct Entry {
         cost: u32,
         prev: StateId,
         trans: Trans,
     }
-    let mut frontiers: Vec<HashMap<StateId, Entry>> = Vec::with_capacity(steps.len());
-    let mut cur: HashMap<StateId, u32> = HashMap::new();
+    let mut frontiers: Vec<BTreeMap<StateId, Entry>> = Vec::with_capacity(steps.len());
+    let mut cur: BTreeMap<StateId, u32> = BTreeMap::new();
     cur.insert(entry, 0);
 
     for (_, kind) in steps {
-        let mut next_front: HashMap<StateId, Entry> = HashMap::new();
+        let mut next_front: BTreeMap<StateId, Entry> = BTreeMap::new();
         for (&s, &c) in &cur {
             let cands = match kind {
                 StepKind::Op(sig) => compute_transition_all(org, policy, s, sig, 0),
@@ -597,6 +600,96 @@ mod tests {
         ]);
         let counts = count_static(&p, &org4(), &StaticOptions::with_canonical(2));
         assert_eq!(counts.insts, 7);
+    }
+
+    /// The second ROADMAP correctness suspect, promoted to a named
+    /// deterministic test: `?dup`'s alternative (zero-outcome) cost under
+    /// `optimal` codegen. The optimal planner may park the site in a
+    /// non-canonical state; the zero outcome must then be charged its own
+    /// alternative cost — not the dup variant's — while both variants
+    /// agree on the state every later site was compiled in.
+    #[test]
+    fn qdup_alternative_cost_paths_under_optimal_codegen() {
+        use stackcache_vm::perm::QDUP_ZERO;
+        use stackcache_vm::{EffectKind, ExecEvent};
+
+        /// Observes a run, resolving each event's compiled cost exactly
+        /// like [`StaticRegime`], and records how the `?dup` site was
+        /// charged.
+        struct QDupWatch<'a> {
+            sp: &'a StaticProgram,
+            zero: Option<InstCost>,
+            nonzero: Option<InstCost>,
+        }
+        impl ExecObserver for QDupWatch<'_> {
+            fn event(&mut self, ev: &ExecEvent) {
+                if !matches!(ev.inst, Inst::QDup) {
+                    return;
+                }
+                let c = *self.sp.cost_for(ev);
+                if ev.effect.kind == EffectKind::Shuffle(QDUP_ZERO) {
+                    self.zero = Some(c);
+                } else {
+                    self.nonzero = Some(c);
+                }
+            }
+        }
+
+        // Three lits fill a 3-register cache, so the site sits in a deep
+        // state where the dup and zero variants cost differently.
+        let variant = |top: i64| {
+            program_of(&[
+                Inst::Lit(1),
+                Inst::Lit(2),
+                Inst::Lit(top),
+                Inst::QDup,
+                Inst::Drop,
+                Inst::Drop,
+                Inst::Drop,
+                Inst::Halt,
+            ])
+        };
+        let org = Org::static_shuffle(3);
+        for c in 0..=3u8 {
+            let mut opts = StaticOptions::with_canonical(c);
+            opts.optimal = true;
+            for threaded in [false, true] {
+                opts.threaded_joins = threaded;
+                let mut charged = [None, None];
+                for (i, top) in [0i64, 5].into_iter().enumerate() {
+                    let p = variant(top);
+                    let sp = compile(&p, &org, &opts);
+                    let mut watch = QDupWatch {
+                        sp: &sp,
+                        zero: None,
+                        nonzero: None,
+                    };
+                    let mut reg = StaticRegime::new(&sp);
+                    let mut m = Machine::with_memory(4096);
+                    let out = {
+                        let mut obs: Vec<&mut dyn stackcache_vm::ExecObserver> =
+                            vec![&mut watch, &mut reg];
+                        exec::run_with_observer(&p, &mut m, 1_000_000, &mut obs)
+                            .expect("both variants run clean")
+                    };
+                    // the zero variant executes two fewer drops' worth of
+                    // stack, but every executed site is charged once
+                    assert_eq!(reg.counts.insts, out.executed, "canonical {c}");
+                    assert!(reg.counts.dispatches <= reg.counts.insts);
+                    charged[i] = if top == 0 { watch.zero } else { watch.nonzero };
+                    assert!(charged[i].is_some(), "?dup never resolved a cost");
+                }
+                let (zero, nonzero) = (charged[0].unwrap(), charged[1].unwrap());
+                // both outcomes were compiled in the same state...
+                assert_eq!(zero.state_in, nonzero.state_in, "canonical {c}");
+                // ...but from a full cache the dup variant must pay for
+                // the extra item (spill or deeper state) while the zero
+                // variant keeps the depth — the alternative entry, not
+                // the base cost, must be what the zero path is charged
+                assert_ne!(zero, nonzero, "canonical {c}, threaded {threaded}");
+                assert!(zero.dispatched, "?dup always dispatches");
+            }
+        }
     }
 
     #[test]

@@ -345,6 +345,11 @@ impl Forth {
         };
         let mut b = ProgramBuilder::new();
         b.extend(self.code.iter().copied());
+        for (name, e) in &self.dict {
+            if let Entry::Colon(ip) = e {
+                b.name_at(*ip, name.clone());
+            }
+        }
         b.set_entry(b.here());
         b.name_here("(boot)");
         b.push(Inst::Call(entry as u32));

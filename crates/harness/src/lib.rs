@@ -15,6 +15,11 @@
 //! which pair of configurations disagreed, at which executed instruction,
 //! in which cache state, and on which observable field.
 //!
+//! A second oracle ([`proofs`]) validates the static analyzer's safety
+//! proofs empirically: a proved-safe program must never raise a depth
+//! trap its proof rules out, and running it at the proof-admitted checks
+//! level must produce the same outcome as fully checked execution.
+//!
 //! The crate also hosts the shared program generators ([`gen`]) the
 //! integration tests fuzz with, and the file-based regression corpus
 //! ([`corpus`]): programs that once diverged are stored as `vm::asm` text
@@ -39,6 +44,7 @@ pub mod engines;
 pub mod gen;
 pub mod lockstep;
 pub mod outcome;
+pub mod proofs;
 
 pub use check::{
     assert_agreement, check_org_accounting, cross_validate, cross_validate_on, oracle_orgs,
@@ -48,3 +54,6 @@ pub use check::{
 pub use engines::{all_engines, Engine, MEMORY_BYTES};
 pub use lockstep::{Fault, OrgCheck, TwoStacksCheck};
 pub use outcome::{Outcome, Trap};
+pub use proofs::{
+    assert_proof_agreement, cross_validate_proof, cross_validate_proof_on, ProofAgreement,
+};

@@ -1,0 +1,166 @@
+//! The proof oracle: static safety proofs vs. dynamic truth.
+//!
+//! The abstract interpreter in `stackcache-analysis` promises two things
+//! about a program it admits past [`Checks::Full`]:
+//!
+//! 1. **Proof-implies-no-trap**: a [`Verdict::Proven`] program (admitted
+//!    at [`Checks::None`]) never raises a depth trap, and a
+//!    [`Verdict::Guarded`] one (admitted at [`Checks::NoUnderflow`])
+//!    never raises an *underflow* trap — on any execution regime, plain
+//!    or peephole-optimized.
+//! 2. **Checked/unchecked agreement**: running the same artifact at the
+//!    admitted checks level produces an [`Outcome`](crate::Outcome)
+//!    identical to running it with full checks.
+//!
+//! [`cross_validate_proof`] tests both promises empirically on every
+//! execution regime, returning a first-divergence report on any breach —
+//! the same report format the engine oracle in [`crate::check`] uses, so
+//! fuzzing harnesses can treat a broken proof exactly like a broken
+//! engine.
+
+use stackcache_analysis::{analyze, Verdict};
+use stackcache_core::{CompiledArtifact, EngineRegime};
+use stackcache_vm::{asm, Checks, Machine, Program};
+
+use crate::check::Divergence;
+use crate::engines::MEMORY_BYTES;
+use crate::outcome::{Outcome, Trap};
+
+/// A successful proof cross-validation: what the proof claimed and how
+/// many artifact configurations confirmed it.
+#[derive(Debug, Clone)]
+pub struct ProofAgreement {
+    /// The analyzer's verdict for the program.
+    pub verdict: Verdict,
+    /// The checks level the proof admitted on the starting machine.
+    pub admitted: Checks,
+    /// Artifact configurations (regime × peephole) that honoured both
+    /// promises. Zero when the proof admits nothing (checked execution
+    /// needs no validation).
+    pub configs: usize,
+}
+
+/// Traps the respective checks level promises are impossible.
+fn forbidden(admitted: Checks, trap: Trap) -> bool {
+    match admitted {
+        Checks::None => matches!(
+            trap,
+            Trap::StackUnderflow
+                | Trap::StackOverflow
+                | Trap::ReturnStackUnderflow
+                | Trap::ReturnStackOverflow
+        ),
+        Checks::NoUnderflow => {
+            matches!(trap, Trap::StackUnderflow | Trap::ReturnStackUnderflow)
+        }
+        Checks::Full => false,
+    }
+}
+
+/// Analyze `program` and validate the proof's promises on every execution
+/// regime, plain and peephole-optimized, starting from empty stacks.
+///
+/// # Errors
+///
+/// Returns a first-divergence report when a depth trap the proof rules
+/// out fires, or when the checked and admitted-level outcomes differ.
+pub fn cross_validate_proof(
+    program: &Program,
+    fuel: u64,
+) -> Result<ProofAgreement, Box<Divergence>> {
+    cross_validate_proof_on(program, &Machine::with_memory(MEMORY_BYTES), fuel)
+}
+
+/// [`cross_validate_proof`] starting every run from a clone of `proto`.
+///
+/// # Errors
+///
+/// Returns a first-divergence report when a depth trap the proof rules
+/// out fires, or when the checked and admitted-level outcomes differ.
+pub fn cross_validate_proof_on(
+    program: &Program,
+    proto: &Machine,
+    fuel: u64,
+) -> Result<ProofAgreement, Box<Divergence>> {
+    let analysis = analyze(program, Some(proto));
+    let verdict = analysis.proof.verdict;
+    let admitted = analysis.proof.admit(proto);
+    if admitted == Checks::Full {
+        // nothing was promised: checked execution validates itself
+        return Ok(ProofAgreement {
+            verdict,
+            admitted,
+            configs: 0,
+        });
+    }
+
+    let mut configs = 0;
+    for regime in EngineRegime::ALL {
+        for peephole in [false, true] {
+            let artifact = CompiledArtifact::compile(program, regime, peephole);
+            let name = if peephole {
+                format!("{}+peephole", regime.name())
+            } else {
+                regime.name()
+            };
+            let run_at = |checks: Checks| {
+                let mut m = proto.clone();
+                let result = artifact.run_with_checks(&mut m, fuel, checks);
+                Outcome::capture(&m, result)
+            };
+            let checked = run_at(Checks::Full);
+            if let Some(trap) = checked.trap.filter(|&t| forbidden(admitted, t)) {
+                return Err(Box::new(Divergence {
+                    engines: (format!("proof:{}", verdict.name()), name),
+                    index: None,
+                    ip: None,
+                    cache_state: None,
+                    detail: format!(
+                        "the proof admits {} but the checked run trapped with {trap:?}",
+                        admitted.name()
+                    ),
+                    flight: None,
+                }));
+            }
+            let fast = run_at(admitted);
+            if let Some(detail) = checked.first_difference(&fast, true) {
+                return Err(Box::new(Divergence {
+                    engines: (
+                        format!("{name}+full-checks"),
+                        format!("{name}+{}", admitted.name()),
+                    ),
+                    index: None,
+                    ip: None,
+                    cache_state: None,
+                    detail,
+                    flight: None,
+                }));
+            }
+            configs += 1;
+        }
+    }
+    Ok(ProofAgreement {
+        verdict,
+        admitted,
+        configs,
+    })
+}
+
+/// Assert both proof promises hold for `program` on every regime.
+///
+/// # Panics
+///
+/// Panics with the first-divergence report and the program's disassembly;
+/// the failing program is also saved to the corpus directory (best
+/// effort) so the failure replays deterministically from then on.
+pub fn assert_proof_agreement(program: &Program, fuel: u64) -> ProofAgreement {
+    match cross_validate_proof(program, fuel) {
+        Ok(a) => a,
+        Err(d) => {
+            let saved = crate::corpus::save_failure(program)
+                .map(|p| format!("\nfailing program saved to {}", p.display()))
+                .unwrap_or_default();
+            panic!("{d}{saved}\nprogram:\n{}", asm::disassemble(program));
+        }
+    }
+}

@@ -25,6 +25,9 @@ pub enum RejectKind {
     Fuel,
     /// The service shut down first.
     Shutdown,
+    /// The static analyzer proved the program underflows; it was refused
+    /// at admission instead of being run to its trap.
+    Analysis,
 }
 
 /// One structured flight-recorder event.
@@ -167,6 +170,7 @@ pub fn encode(t_nanos: u64, request: u64, kind: EventKind) -> RawEvent {
                 RejectKind::Deadline => 0,
                 RejectKind::Fuel => 1,
                 RejectKind::Shutdown => 2,
+                RejectKind::Analysis => 3,
             },
             0,
         ),
@@ -215,7 +219,8 @@ pub fn decode(raw: &RawEvent) -> Option<(u64, u64, EventKind)> {
             reason: match hi & 3 {
                 0 => RejectKind::Deadline,
                 1 => RejectKind::Fuel,
-                _ => RejectKind::Shutdown,
+                2 => RejectKind::Shutdown,
+                _ => RejectKind::Analysis,
             },
         },
         TAG_VERIFIED => EventKind::Verified { ok: hi & 1 == 1 },
@@ -267,6 +272,9 @@ mod tests {
             },
             EventKind::Rejected {
                 reason: RejectKind::Shutdown,
+            },
+            EventKind::Rejected {
+                reason: RejectKind::Analysis,
             },
             EventKind::Verified { ok: true },
             EventKind::Verified { ok: false },

@@ -33,6 +33,6 @@ pub mod tracer;
 
 pub use event::{decode, encode, CancelKind, EventKind, RawEvent, RejectKind};
 pub use expo::{json_array, json_string, prometheus_lint, JsonObj, PromText};
-pub use profile::{CacheProfiler, StateTally};
+pub use profile::{CacheProfiler, StateTally, StaticProfiler, StaticStateTally};
 pub use ring::{EventRing, FlightDump, FlightRecorder, TimedEvent};
 pub use tracer::RingTracer;

@@ -11,9 +11,19 @@
 //! what the paper's evaluation implies but never shows: which states are
 //! actually hot, which opcodes dominate each state, and where the
 //! overflow/underflow traffic comes from.
+//!
+//! [`StaticProfiler`] is the same idea for *static* stack caching
+//! (Section 5): it charges every executed site its compiled
+//! [`InstCost`](stackcache_core::staticcache::InstCost) — the totals are
+//! bit-identical to `staticcache::StaticRegime` by construction — and
+//! attributes it to the cache state the site was compiled in, splitting
+//! dispatched from statically *eliminated* sites. Its table is the
+//! per-state dispatch-elimination view: which states the compiler parks
+//! the code in, and how much dispatch it deletes there.
 
 use std::collections::HashMap;
 
+use stackcache_core::staticcache::StaticProgram;
 use stackcache_core::{
     sig_slot_for_event, sig_slot_name, Counts, Org, Policy, StateId, TransitionTable, SIG_SLOTS,
 };
@@ -198,6 +208,212 @@ impl CacheProfiler {
     }
 }
 
+/// Per-state tallies for a statically compiled program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticStateTally {
+    /// Original-program sites executed in this compile-time state.
+    pub executed: u64,
+    /// Executions that still paid a dispatch.
+    pub dispatched: u64,
+    /// Executions whose dispatch the compiler eliminated.
+    pub eliminated: u64,
+    /// Stack loads charged to sites in this state.
+    pub loads: u64,
+    /// Stack stores charged to sites in this state.
+    pub stores: u64,
+    /// Register moves charged to sites in this state.
+    pub moves: u64,
+    /// Stack-pointer updates charged to sites in this state.
+    pub updates: u64,
+}
+
+impl StaticStateTally {
+    /// Fraction of executions in this state that skipped their dispatch.
+    #[must_use]
+    pub fn elimination_share(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.eliminated as f64 / self.executed as f64
+        }
+    }
+}
+
+/// Profile a program execution under static stack caching: per-state
+/// dispatch elimination.
+#[derive(Debug, Clone)]
+pub struct StaticProfiler<'a> {
+    prog: &'a StaticProgram,
+    org: Org,
+    /// Aggregate counts; equals `staticcache::StaticRegime`'s for the
+    /// same run.
+    counts: Counts,
+    per_state: Vec<StaticStateTally>,
+    /// `eliminated[state.index() * SIG_SLOTS + slot]`.
+    eliminated: Vec<u64>,
+}
+
+impl<'a> StaticProfiler<'a> {
+    /// A profiler charging `prog`'s compiled per-site costs, attributed
+    /// to the states of `org` (the organization `prog` was compiled
+    /// over).
+    #[must_use]
+    pub fn new(prog: &'a StaticProgram, org: &Org) -> Self {
+        let n = org.state_count();
+        StaticProfiler {
+            prog,
+            org: org.clone(),
+            counts: Counts::new(),
+            per_state: vec![StaticStateTally::default(); n],
+            eliminated: vec![0; n * SIG_SLOTS],
+        }
+    }
+
+    /// Aggregate counts, identical to `staticcache::StaticRegime`'s.
+    #[must_use]
+    pub fn counts(&self) -> &Counts {
+        &self.counts
+    }
+
+    /// Per-state tallies, indexed by [`StateId::index`].
+    #[must_use]
+    pub fn per_state(&self) -> &[StaticStateTally] {
+        &self.per_state
+    }
+
+    /// Dispatches the compiler deleted, across all states.
+    #[must_use]
+    pub fn eliminated_total(&self) -> u64 {
+        self.per_state.iter().map(|t| t.eliminated).sum()
+    }
+
+    /// The `n` hottest eliminated (state, opcode) pairs as
+    /// `(state, slot name, eliminated executions)`.
+    #[must_use]
+    pub fn hot_eliminated(&self, n: usize) -> Vec<(StateId, String, u64)> {
+        let mut v: Vec<(StateId, usize, u64)> = Vec::new();
+        for (i, &d) in self.eliminated.iter().enumerate() {
+            if d > 0 {
+                v.push((StateId((i / SIG_SLOTS) as u32), i % SIG_SLOTS, d));
+            }
+        }
+        v.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        v.truncate(n);
+        v.into_iter()
+            .map(|(s, slot, d)| (s, sig_slot_name(slot), d))
+            .collect()
+    }
+
+    /// Render the per-state dispatch-elimination table.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let stats = &self.prog.stats;
+        let mut s = format!(
+            "static dispatch-elimination profile: {} ({} registers)\n",
+            self.org.name(),
+            self.org.registers()
+        );
+        s.push_str(&format!(
+            "{:<16} {:>10} {:>10} {:>10} {:>7} {:>8} {:>8} {:>8} {:>8}\n",
+            "state", "executed", "dispatch", "elim", "elim%", "loads", "stores", "moves", "updates"
+        ));
+        for (i, t) in self.per_state.iter().enumerate() {
+            if t.executed == 0 {
+                continue;
+            }
+            s.push_str(&format!(
+                "{:<16} {:>10} {:>10} {:>10} {:>6.1}% {:>8} {:>8} {:>8} {:>8}\n",
+                self.org.state(StateId(i as u32)).to_string(),
+                t.executed,
+                t.dispatched,
+                t.eliminated,
+                100.0 * t.elimination_share(),
+                t.loads,
+                t.stores,
+                t.moves,
+                t.updates
+            ));
+        }
+        let c = &self.counts;
+        let elim = c.insts - c.dispatches;
+        let share = if c.insts == 0 {
+            0.0
+        } else {
+            elim as f64 / c.insts as f64
+        };
+        s.push_str(&format!(
+            "{:<16} {:>10} {:>10} {:>10} {:>6.1}% {:>8} {:>8} {:>8} {:>8}\n",
+            "total",
+            c.insts,
+            c.dispatches,
+            elim,
+            100.0 * share,
+            c.loads,
+            c.stores,
+            c.moves,
+            c.updates
+        ));
+        s.push_str(&format!(
+            "compiled: {} blocks, {} sites eliminated / {} dispatched, {} reconciled + {} inherited edges\n",
+            stats.blocks,
+            stats.eliminated_sites,
+            stats.emitted_sites,
+            stats.reconciled_edges,
+            stats.inherited_edges
+        ));
+        let hot = self.hot_eliminated(8);
+        if !hot.is_empty() {
+            s.push_str("hottest eliminated (state, opcode) pairs:\n");
+            for (state, name, d) in hot {
+                s.push_str(&format!(
+                    "  {:<16} {:<10} {d}\n",
+                    self.org.state(state).to_string(),
+                    name
+                ));
+            }
+        }
+        s
+    }
+}
+
+impl ExecObserver for StaticProfiler<'_> {
+    fn event(&mut self, ev: &ExecEvent) {
+        let e = &ev.effect;
+        let c = &mut self.counts;
+        let site = *self.prog.cost_for(ev);
+        c.insts += 1;
+        if site.dispatched {
+            c.dispatches += 1;
+        }
+        c.loads += u64::from(site.loads);
+        c.stores += u64::from(site.stores);
+        c.moves += u64::from(site.moves);
+        c.updates += u64::from(site.updates);
+        c.rloads += u64::from(e.rloads);
+        c.rstores += u64::from(e.rstores);
+        if e.rnet != 0 {
+            c.rupdates += 1;
+        }
+        if matches!(e.kind, EffectKind::Call) {
+            c.calls += 1;
+        }
+
+        let tally = &mut self.per_state[site.state_in.index()];
+        tally.executed += 1;
+        tally.loads += u64::from(site.loads);
+        tally.stores += u64::from(site.stores);
+        tally.moves += u64::from(site.moves);
+        tally.updates += u64::from(site.updates);
+        if site.dispatched {
+            tally.dispatched += 1;
+        } else {
+            tally.eliminated += 1;
+            let slot = sig_slot_for_event(ev);
+            self.eliminated[site.state_in.index() * SIG_SLOTS + slot] += 1;
+        }
+    }
+}
+
 impl ExecObserver for CacheProfiler {
     fn event(&mut self, ev: &ExecEvent) {
         let e = &ev.effect;
@@ -323,6 +539,101 @@ mod tests {
         assert!(t.contains("total"));
         assert!(t.contains("dispatches"));
         assert!(t.lines().count() >= 5);
+    }
+
+    type StaticProfile = (
+        Counts,
+        Vec<StaticStateTally>,
+        Vec<(StateId, String, u64)>,
+        String,
+    );
+
+    fn static_profile(
+        insts: &[Inst],
+        org: &Org,
+        opts: &stackcache_core::staticcache::StaticOptions,
+    ) -> StaticProfile {
+        use stackcache_core::staticcache::{compile, StaticRegime};
+        let p = program_of(insts);
+        let sp = compile(&p, org, opts);
+        let mut prof = StaticProfiler::new(&sp, org);
+        let mut reg = StaticRegime::new(&sp);
+        {
+            let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut prof, &mut reg];
+            let mut m = Machine::with_memory(4096);
+            exec::run_with_observer(&p, &mut m, 1_000_000, &mut obs).expect("runs");
+        }
+        assert_eq!(
+            prof.counts(),
+            &reg.counts,
+            "{}: totals must be bit-identical",
+            org.name()
+        );
+        (
+            *prof.counts(),
+            prof.per_state().to_vec(),
+            prof.hot_eliminated(SIG_SLOTS),
+            prof.table(),
+        )
+    }
+
+    #[test]
+    fn static_profile_totals_match_the_counting_regime() {
+        use stackcache_core::staticcache::StaticOptions;
+        let prog = [
+            Inst::Lit(1),
+            Inst::Lit(2),
+            Inst::Swap,
+            Inst::Add,
+            Inst::Lit(2),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Add,
+        ];
+        let org = Org::static_shuffle(4);
+        let mut optimal = StaticOptions::with_canonical(2);
+        optimal.optimal = true;
+        for opts in [
+            StaticOptions::with_canonical(0),
+            StaticOptions::with_canonical(2),
+            optimal,
+        ] {
+            let (counts, per_state, _, _) = static_profile(&prog, &org, &opts);
+            let executed: u64 = per_state.iter().map(|t| t.executed).sum();
+            assert_eq!(executed, counts.insts);
+            let dispatched: u64 = per_state.iter().map(|t| t.dispatched).sum();
+            assert_eq!(dispatched, counts.dispatches);
+        }
+    }
+
+    #[test]
+    fn eliminated_shuffles_are_attributed_to_their_state() {
+        use stackcache_core::staticcache::StaticOptions;
+        let prog = [
+            Inst::Lit(1),
+            Inst::Lit(2),
+            Inst::Swap,
+            Inst::Add,
+            Inst::Lit(2),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Add,
+        ];
+        let org = Org::static_shuffle(4);
+        let (counts, per_state, hot, table) =
+            static_profile(&prog, &org, &StaticOptions::with_canonical(0));
+        let eliminated: u64 = per_state.iter().map(|t| t.eliminated).sum();
+        assert_eq!(eliminated, counts.insts - counts.dispatches);
+        assert!(eliminated >= 2, "swap and dup compile away: {table}");
+        assert!(hot
+            .iter()
+            .any(|(_, name, _)| name == "shuffle(2)" || name == "swap"));
+        assert!(
+            table.contains("static dispatch-elimination profile"),
+            "{table}"
+        );
+        assert!(table.contains("total"), "{table}");
+        assert!(table.contains("sites eliminated"), "{table}");
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! The sharded, bounded compiled-program cache: translate once per
 //! `(program, regime, peephole)` configuration, execute many times.
 //!
+//! Filling an entry also runs the whole-program abstract interpreter
+//! once, so every cached translation carries its [`SafetyProof`]: a
+//! [`VerifiedArtifact`]. Workers consult the proof per request
+//! ([`SafetyProof::admit`]) to route proven programs to the unchecked
+//! fast path; the proof's frozen-memory dependencies are revalidated
+//! against each request's machine, so one cached proof serves many
+//! prototype machines soundly.
+//!
 //! Keys are a 64-bit hash of the program's instructions and entry point
 //! plus the execution configuration; values are cheaply clonable
-//! [`CompiledArtifact`]s. Shards bound lock contention: two workers
+//! [`VerifiedArtifact`]s. Shards bound lock contention: two workers
 //! compiling different programs almost never touch the same lock, and
 //! compilation itself happens *outside* the shard lock (two workers
 //! racing on the same cold key may both compile — the winner's artifact
@@ -22,8 +30,52 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use stackcache_analysis::{analyze, Analysis, SafetyProof};
 use stackcache_core::{CompiledArtifact, EngineRegime};
-use stackcache_vm::Program;
+use stackcache_vm::{Machine, Program};
+
+/// A compiled translation paired with the abstract interpreter's verdict
+/// for its program — the unit the cache stores and workers execute.
+#[derive(Debug)]
+pub struct VerifiedArtifact {
+    artifact: CompiledArtifact,
+    analysis: Analysis,
+}
+
+impl VerifiedArtifact {
+    /// Compile `program` for `(regime, peephole)` and analyze it against
+    /// `proto`'s initial memory (for deferred-word constant folding).
+    #[must_use]
+    pub fn build(
+        program: &Program,
+        regime: EngineRegime,
+        peephole: bool,
+        proto: Option<&Machine>,
+    ) -> Self {
+        VerifiedArtifact {
+            artifact: CompiledArtifact::compile(program, regime, peephole),
+            analysis: analyze(program, proto),
+        }
+    }
+
+    /// The compiled translation.
+    #[must_use]
+    pub fn artifact(&self) -> &CompiledArtifact {
+        &self.artifact
+    }
+
+    /// The full analysis (proof plus per-word reports).
+    #[must_use]
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The safety proof consulted at admission time.
+    #[must_use]
+    pub fn proof(&self) -> &SafetyProof {
+        &self.analysis.proof
+    }
+}
 
 /// A cache key: program identity (by content hash) plus the compilation
 /// configuration.
@@ -45,7 +97,7 @@ fn program_hash(program: &Program) -> u64 {
 /// One cached artifact plus its second-chance reference bit.
 #[derive(Debug)]
 struct CacheEntry {
-    artifact: Arc<CompiledArtifact>,
+    artifact: Arc<VerifiedArtifact>,
     referenced: bool,
 }
 
@@ -60,7 +112,7 @@ struct Shard {
 impl Shard {
     /// Insert `key`, evicting per second-chance if the shard is full.
     /// Returns how many entries were evicted (0 or 1).
-    fn insert(&mut self, key: Key, artifact: Arc<CompiledArtifact>, capacity: usize) -> u64 {
+    fn insert(&mut self, key: Key, artifact: Arc<VerifiedArtifact>, capacity: usize) -> u64 {
         let mut evicted = 0;
         while self.map.len() >= capacity {
             let Some(victim) = self.clock.pop_front() else {
@@ -157,13 +209,17 @@ impl ProgramCache {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// The artifact for `(program, regime, peephole)`, compiling on miss.
+    /// The verified artifact for `(program, regime, peephole)`, compiling
+    /// and analyzing on miss. `proto` seeds the analyzer's frozen-memory
+    /// constant folding; a later request whose machine disagrees with the
+    /// recorded dependencies simply falls back to checked execution.
     pub fn get_or_compile(
         &self,
         program: &Program,
         regime: EngineRegime,
         peephole: bool,
-    ) -> (Arc<CompiledArtifact>, Lookup) {
+        proto: Option<&Machine>,
+    ) -> (Arc<VerifiedArtifact>, Lookup) {
         let key = Key {
             program: program_hash(program),
             regime,
@@ -174,9 +230,9 @@ impl ProgramCache {
             e.referenced = true;
             return (Arc::clone(&e.artifact), Lookup::Hit);
         }
-        // compile outside the lock: a racing worker may also compile this
-        // key, and the first insert wins
-        let compiled = Arc::new(CompiledArtifact::compile(program, regime, peephole));
+        // compile and analyze outside the lock: a racing worker may also
+        // compile this key, and the first insert wins
+        let compiled = Arc::new(VerifiedArtifact::build(program, regime, peephole, proto));
         let mut guard = shard.lock().expect("cache shard lock");
         if let Some(e) = guard.map.get_mut(&key) {
             e.referenced = true;
@@ -237,8 +293,8 @@ mod tests {
     #[test]
     fn second_lookup_hits_and_shares_the_artifact() {
         let cache = ProgramCache::new(4);
-        let (a, l1) = cache.get_or_compile(&p1(), EngineRegime::Static(2), true);
-        let (b, l2) = cache.get_or_compile(&p1(), EngineRegime::Static(2), true);
+        let (a, l1) = cache.get_or_compile(&p1(), EngineRegime::Static(2), true, None);
+        let (b, l2) = cache.get_or_compile(&p1(), EngineRegime::Static(2), true, None);
         assert_eq!((l1, l2), (Lookup::Miss, Lookup::Hit));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
@@ -255,12 +311,12 @@ mod tests {
             (p2(), EngineRegime::Static(2), true),
         ];
         for (p, r, ph) in &configs {
-            let (_, l) = cache.get_or_compile(p, *r, *ph);
+            let (_, l) = cache.get_or_compile(p, *r, *ph, None);
             assert_eq!(l, Lookup::Miss);
         }
         assert_eq!(cache.len(), configs.len());
         for (p, r, ph) in &configs {
-            let (_, l) = cache.get_or_compile(p, *r, *ph);
+            let (_, l) = cache.get_or_compile(p, *r, *ph, None);
             assert_eq!(l, Lookup::Hit);
         }
     }
@@ -272,14 +328,18 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let cache = Arc::clone(&cache);
-                thread::spawn(move || cache.get_or_compile(&p1(), EngineRegime::Static(3), true).0)
+                thread::spawn(move || {
+                    cache
+                        .get_or_compile(&p1(), EngineRegime::Static(3), true, None)
+                        .0
+                })
             })
             .collect();
         let artifacts: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(cache.len(), 1);
         // everyone ends up executing (and the cache retains) one artifact
         for a in &artifacts {
-            assert_eq!(a.regime(), EngineRegime::Static(3));
+            assert_eq!(a.artifact().regime(), EngineRegime::Static(3));
         }
     }
 
@@ -287,7 +347,7 @@ mod tests {
     fn capacity_is_enforced_and_evictions_counted() {
         let cache = ProgramCache::with_capacity(1, 4);
         for n in 0..10 {
-            cache.get_or_compile(&pn(n), EngineRegime::Tos, false);
+            cache.get_or_compile(&pn(n), EngineRegime::Tos, false, None);
         }
         let stats = cache.stats();
         assert_eq!(stats.size, 4);
@@ -299,28 +359,38 @@ mod tests {
     fn referenced_entries_survive_a_scan_of_cold_ones() {
         let cache = ProgramCache::with_capacity(1, 4);
         // fill, then touch p1's entry so its reference bit is set
-        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false);
+        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false, None);
         assert_eq!(l, Lookup::Miss);
         for n in 0..3 {
-            cache.get_or_compile(&pn(n), EngineRegime::Tos, false);
+            cache.get_or_compile(&pn(n), EngineRegime::Tos, false, None);
         }
         assert_eq!(cache.len(), 4);
-        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false);
+        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false, None);
         assert_eq!(l, Lookup::Hit);
         // a scan of fresh programs evicts the unreferenced entries first
         for n in 10..13 {
-            cache.get_or_compile(&pn(n), EngineRegime::Tos, false);
+            cache.get_or_compile(&pn(n), EngineRegime::Tos, false, None);
         }
-        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false);
+        let (_, l) = cache.get_or_compile(&p1(), EngineRegime::Tos, false, None);
         assert_eq!(l, Lookup::Hit, "hot entry was evicted before cold ones");
         assert_eq!(cache.stats().evictions, 3);
+    }
+
+    #[test]
+    fn cached_entries_carry_their_safety_proof() {
+        use stackcache_analysis::Verdict;
+        use stackcache_vm::Checks;
+        let cache = ProgramCache::new(2);
+        let (v, _) = cache.get_or_compile(&p1(), EngineRegime::Tos, false, None);
+        assert_eq!(v.proof().verdict, Verdict::Proven);
+        assert_eq!(v.proof().admit(&Machine::with_memory(64)), Checks::None);
     }
 
     #[test]
     fn capacity_one_shard_still_serves() {
         let cache = ProgramCache::with_capacity(3, 0); // clamps to 1 per shard
         for n in 0..6 {
-            let (_, l) = cache.get_or_compile(&pn(n), EngineRegime::Baseline, false);
+            let (_, l) = cache.get_or_compile(&pn(n), EngineRegime::Baseline, false, None);
             assert_eq!(l, Lookup::Miss);
         }
         assert!(cache.len() <= 3);

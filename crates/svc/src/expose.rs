@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use stackcache_obs::{json_array, JsonObj, PromText};
 
+use crate::health::WorkerSnapshot;
 use crate::metrics::{MetricsSnapshot, RegimeSnapshot};
 
 fn secs(d: Option<Duration>) -> f64 {
@@ -65,6 +66,36 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
     p.typ("svc_cache_evictions_total", "counter");
     p.sample_u64("svc_cache_evictions_total", &[], snap.cache_evictions);
 
+    p.help("svc_worker_jobs_total", "Jobs answered, by worker.");
+    p.typ("svc_worker_jobs_total", "counter");
+    p.help(
+        "svc_worker_heartbeats_total",
+        "Liveness heartbeats recorded, by worker.",
+    );
+    p.typ("svc_worker_heartbeats_total", "counter");
+    p.help(
+        "svc_worker_busy",
+        "Whether the worker held a job at scrape time.",
+    );
+    p.typ("svc_worker_busy", "gauge");
+    p.help(
+        "svc_worker_stalled",
+        "Busy worker that missed its heartbeat budget.",
+    );
+    p.typ("svc_worker_stalled", "gauge");
+    let workers: Vec<(String, &WorkerSnapshot)> = snap
+        .workers
+        .iter()
+        .map(|w| (w.worker.to_string(), w))
+        .collect();
+    for (id, w) in &workers {
+        let label = [("worker", id.as_str())];
+        p.sample_u64("svc_worker_jobs_total", &label, w.jobs);
+        p.sample_u64("svc_worker_heartbeats_total", &label, w.beats);
+        p.sample_u64("svc_worker_busy", &label, u64::from(w.busy));
+        p.sample_u64("svc_worker_stalled", &label, u64::from(w.stalled));
+    }
+
     p.help(
         "svc_completions_total",
         "Requests that ran to an outcome (clean halt or trap), by regime.",
@@ -85,6 +116,16 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         "Compiled-artifact cache lookups, by result.",
     );
     p.typ("svc_cache_lookups_total", "counter");
+    p.help(
+        "svc_served_total",
+        "Completions by admitted checks level (none, no_underflow, full).",
+    );
+    p.typ("svc_served_total", "counter");
+    p.help(
+        "svc_analysis_rejections_total",
+        "Requests refused on the analyzer's definite-underflow verdict.",
+    );
+    p.typ("svc_analysis_rejections_total", "counter");
     p.help(
         "svc_latency_seconds",
         "Completion latency quantiles (power-of-two bucket upper bounds).",
@@ -117,6 +158,22 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
             &[("regime", name), ("result", "miss")],
             r.cache_misses,
         );
+        for (level, count) in [
+            ("none", r.served_unchecked),
+            ("no_underflow", r.served_guarded),
+            ("full", r.served_checked),
+        ] {
+            p.sample_u64(
+                "svc_served_total",
+                &[("regime", name), ("checks", level)],
+                count,
+            );
+        }
+        p.sample_u64(
+            "svc_analysis_rejections_total",
+            &regime,
+            r.analysis_rejected,
+        );
         for (q, v) in [("0.5", r.p50), ("0.9", r.p90), ("0.99", r.p99)] {
             p.sample(
                 "svc_latency_seconds",
@@ -138,9 +195,24 @@ fn regime_json(r: &RegimeSnapshot) -> String {
         .field_u64("deadline_expired", r.deadline_expired)
         .field_u64("cache_hits", r.cache_hits)
         .field_u64("cache_misses", r.cache_misses)
+        .field_u64("served_unchecked", r.served_unchecked)
+        .field_u64("served_guarded", r.served_guarded)
+        .field_u64("served_checked", r.served_checked)
+        .field_u64("analysis_rejected", r.analysis_rejected)
         .field_f64("p50_seconds", secs(r.p50))
         .field_f64("p90_seconds", secs(r.p90))
         .field_f64("p99_seconds", secs(r.p99));
+    o.finish()
+}
+
+fn worker_json(w: &WorkerSnapshot) -> String {
+    let mut o = JsonObj::new();
+    o.field_u64("worker", w.worker as u64)
+        .field_u64("jobs", w.jobs)
+        .field_u64("heartbeats", w.beats)
+        .field_bool("busy", w.busy)
+        .field_bool("stalled", w.stalled)
+        .field_f64("since_beat_seconds", w.since_beat.as_secs_f64());
     o.finish()
 }
 
@@ -148,6 +220,7 @@ fn regime_json(r: &RegimeSnapshot) -> String {
 #[must_use]
 pub fn json(snap: &MetricsSnapshot) -> String {
     let regimes: Vec<String> = snap.regimes.iter().map(regime_json).collect();
+    let workers: Vec<String> = snap.workers.iter().map(worker_json).collect();
     let cache = {
         let mut o = JsonObj::new();
         o.field_u64("size", snap.cache_size)
@@ -161,6 +234,7 @@ pub fn json(snap: &MetricsSnapshot) -> String {
         .field_u64("rejected_shutdown", snap.rejected_shutdown)
         .field_u64("queue_depth", snap.queue_depth)
         .field_raw("cache", &cache)
+        .field_raw("workers", &json_array(&workers))
         .field_raw("regimes", &json_array(&regimes));
     o.finish()
 }
@@ -173,19 +247,49 @@ mod tests {
 
     fn sample_snapshot() -> MetricsSnapshot {
         use stackcache_core::EngineRegime;
+        use stackcache_vm::Checks;
         let m = Metrics::new();
         m.on_submitted();
         m.on_submitted();
         m.on_cache_miss(EngineRegime::Tos);
         m.on_cache_hit(EngineRegime::Tos);
-        m.on_completed(EngineRegime::Tos, false, Duration::from_micros(5));
-        m.on_completed(EngineRegime::Tos, true, Duration::from_micros(9));
+        m.on_completed(
+            EngineRegime::Tos,
+            false,
+            Duration::from_micros(5),
+            Checks::None,
+        );
+        m.on_completed(
+            EngineRegime::Tos,
+            true,
+            Duration::from_micros(9),
+            Checks::Full,
+        );
         m.on_fuel_exhausted(EngineRegime::Reference);
+        m.on_analysis_rejected(EngineRegime::Reference);
         let mut s = m.snapshot();
         s.queue_depth = 3;
         s.cache_size = 1;
         s.cache_capacity = 64;
         s.cache_evictions = 7;
+        s.workers = vec![
+            WorkerSnapshot {
+                worker: 0,
+                jobs: 5,
+                beats: 40,
+                busy: false,
+                stalled: false,
+                since_beat: Duration::from_millis(2),
+            },
+            WorkerSnapshot {
+                worker: 1,
+                jobs: 2,
+                beats: 9,
+                busy: true,
+                stalled: true,
+                since_beat: Duration::from_secs(3),
+            },
+        ];
         s
     }
 
@@ -196,6 +300,12 @@ mod tests {
         assert!(page.contains("svc_requests_submitted_total 2\n"));
         assert!(page.contains("svc_cache_evictions_total 7\n"));
         assert!(page.contains("svc_completions_total{regime=\"tos\"} 2"));
+        assert!(page.contains("svc_served_total{regime=\"tos\",checks=\"none\"} 1"));
+        assert!(page.contains("svc_served_total{regime=\"tos\",checks=\"full\"} 1"));
+        assert!(page.contains("svc_analysis_rejections_total{regime=\"reference\"} 1"));
+        assert!(page.contains("svc_worker_stalled{worker=\"1\"} 1"));
+        assert!(page.contains("svc_worker_stalled{worker=\"0\"} 0"));
+        assert!(page.contains("svc_worker_jobs_total{worker=\"0\"} 5"));
         assert!(page.contains("quantile=\"0.99\""));
     }
 
@@ -207,6 +317,10 @@ mod tests {
         assert!(doc.contains("\"queue_depth\":3"));
         assert!(doc.contains("\"evictions\":7"));
         assert!(doc.contains("\"regime\":\"tos\""));
+        assert!(doc.contains("\"served_unchecked\":1"));
+        assert!(doc.contains("\"analysis_rejected\":1"));
+        assert!(doc.contains("\"stalled\":true"));
+        assert!(doc.contains("\"heartbeats\":40"));
         // regimes with no observations report null quantiles, not NaN
         assert!(doc.contains("\"p50_seconds\":null"));
     }

@@ -1,0 +1,190 @@
+//! Per-worker liveness: heartbeats and the stall detector.
+//!
+//! Every worker beats its slot when it dequeues a job, when execution
+//! begins, on every mid-run [`Progress`](stackcache_obs::EventKind)
+//! heartbeat (the cancellable reference engine dispatches one every
+//! `progress_interval` instructions), and when the job is answered. The
+//! detector flags a worker that has been **busy with no heartbeat for
+//! `stall_beats` nominal heartbeat periods** — N missed heartbeats — and
+//! the verdict is surfaced in the metrics snapshot and on the Prometheus
+//! page. An idle worker is never stalled, however long it waits for
+//! work.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Instructions between liveness pulses when the service runs untraced
+/// (traced services reuse the flight recorder's `progress_interval`).
+pub const DEFAULT_PULSE_INSTRUCTIONS: u64 = 4096;
+
+/// One worker's liveness slot.
+#[derive(Debug)]
+struct Slot {
+    /// Whether the worker currently holds a job.
+    busy: AtomicBool,
+    /// Nanoseconds since the service epoch at the last heartbeat.
+    last_beat: AtomicU64,
+    /// Heartbeats recorded since start.
+    beats: AtomicU64,
+    /// Jobs answered since start.
+    jobs: AtomicU64,
+}
+
+/// Heartbeat slots for every worker plus the stall threshold.
+#[derive(Debug)]
+pub(crate) struct WorkerHealth {
+    epoch: Instant,
+    period: Duration,
+    stall_beats: u32,
+    slots: Vec<Slot>,
+}
+
+/// One worker's liveness at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Jobs this worker has answered.
+    pub jobs: u64,
+    /// Heartbeats this worker has recorded.
+    pub beats: u64,
+    /// Whether the worker held a job when the snapshot was taken.
+    pub busy: bool,
+    /// Busy with no heartbeat for `stall_beats` periods.
+    pub stalled: bool,
+    /// Time since the worker's last heartbeat.
+    pub since_beat: Duration,
+}
+
+impl WorkerHealth {
+    pub(crate) fn new(workers: usize, period: Duration, stall_beats: u32) -> Self {
+        WorkerHealth {
+            epoch: Instant::now(),
+            period,
+            stall_beats,
+            slots: (0..workers)
+                .map(|_| Slot {
+                    busy: AtomicBool::new(false),
+                    last_beat: AtomicU64::new(0),
+                    beats: AtomicU64::new(0),
+                    jobs: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn nanos_since_epoch(&self, now: Instant) -> u64 {
+        now.saturating_duration_since(self.epoch)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Record a heartbeat for `worker`.
+    pub(crate) fn beat(&self, worker: usize) {
+        let slot = &self.slots[worker];
+        slot.last_beat
+            .store(self.nanos_since_epoch(Instant::now()), Ordering::Relaxed);
+        slot.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The worker picked up a job: mark busy and beat.
+    pub(crate) fn begin(&self, worker: usize) {
+        self.slots[worker].busy.store(true, Ordering::Relaxed);
+        self.beat(worker);
+    }
+
+    /// The worker answered its job: mark idle, count it, and beat.
+    pub(crate) fn finish(&self, worker: usize) {
+        self.beat(worker);
+        let slot = &self.slots[worker];
+        slot.busy.store(false, Ordering::Relaxed);
+        slot.jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Every worker's liveness as of `now`.
+    pub(crate) fn snapshot_at(&self, now: Instant) -> Vec<WorkerSnapshot> {
+        let now_nanos = self.nanos_since_epoch(now);
+        let threshold = self
+            .period
+            .saturating_mul(self.stall_beats)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(worker, slot)| {
+                let busy = slot.busy.load(Ordering::Relaxed);
+                let age = now_nanos.saturating_sub(slot.last_beat.load(Ordering::Relaxed));
+                WorkerSnapshot {
+                    worker,
+                    jobs: slot.jobs.load(Ordering::Relaxed),
+                    beats: slot.beats.load(Ordering::Relaxed),
+                    busy,
+                    stalled: busy && age > threshold,
+                    since_beat: Duration::from_nanos(age),
+                }
+            })
+            .collect()
+    }
+
+    /// Every worker's liveness right now.
+    pub(crate) fn snapshot(&self) -> Vec<WorkerSnapshot> {
+        self.snapshot_at(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health() -> WorkerHealth {
+        WorkerHealth::new(2, Duration::from_millis(10), 4)
+    }
+
+    #[test]
+    fn idle_workers_are_never_stalled() {
+        let h = health();
+        // no beats ever, but nobody is busy — hours later, still healthy
+        let later = Instant::now() + Duration::from_secs(3600);
+        for w in h.snapshot_at(later) {
+            assert!(!w.busy && !w.stalled, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn a_busy_worker_with_missed_beats_is_flagged() {
+        let h = health();
+        h.begin(0);
+        // within the 4-beat grace: healthy
+        let soon = Instant::now() + Duration::from_millis(30);
+        assert!(!h.snapshot_at(soon)[0].stalled);
+        // past 4 missed 10ms beats: stalled; the other worker is untouched
+        let later = Instant::now() + Duration::from_millis(100);
+        let snap = h.snapshot_at(later);
+        assert!(snap[0].busy && snap[0].stalled);
+        assert!(!snap[1].stalled);
+    }
+
+    #[test]
+    fn a_heartbeat_clears_the_stall() {
+        let h = health();
+        h.begin(0);
+        let later = Instant::now() + Duration::from_millis(100);
+        assert!(h.snapshot_at(later)[0].stalled);
+        h.beat(0); // e.g. a Progress event arrived
+        assert!(!h.snapshot()[0].stalled);
+        assert!(h.snapshot()[0].busy);
+    }
+
+    #[test]
+    fn finishing_marks_idle_and_counts_the_job() {
+        let h = health();
+        h.begin(1);
+        h.finish(1);
+        let later = Instant::now() + Duration::from_secs(10);
+        let w = h.snapshot_at(later)[1];
+        assert!(!w.busy && !w.stalled);
+        assert_eq!(w.jobs, 1);
+        assert!(w.beats >= 2);
+    }
+}

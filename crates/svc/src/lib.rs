@@ -22,7 +22,16 @@
 //!   job before joining the pool; [`Service::abort`] answers pending jobs
 //!   with [`Rejection::ShutDown`] and cancels cancellable in-flight runs;
 //! * **metrics** — atomic counters and power-of-two latency histograms
-//!   per regime, snapshotted as p50/p90/p99 via [`Service::metrics`].
+//!   per regime, snapshotted as p50/p90/p99 via [`Service::metrics`];
+//! * **verified fast path** — filling a cache entry also runs the
+//!   whole-program abstract interpreter, so every cached translation
+//!   carries a safety proof; proven programs execute with depth checks
+//!   elided, and a program the analyzer proved to underflow is refused
+//!   with a structured [`Rejection::AnalysisRejected`] carrying the
+//!   offending instruction and witness path;
+//! * **stall detection** — progress heartbeats feed per-worker liveness
+//!   slots; a busy worker that misses N heartbeats is flagged in the
+//!   metrics snapshot and on the Prometheus page.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -54,6 +63,7 @@
 pub mod cache;
 pub mod deadline;
 pub mod expose;
+pub mod health;
 pub mod metrics;
 pub mod queue;
 mod worker;
@@ -70,11 +80,13 @@ use stackcache_obs::{EventKind, FlightDump, FlightRecorder};
 use stackcache_vm::{Machine, Program};
 
 use crate::cache::ProgramCache;
+use crate::health::WorkerHealth;
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
 use crate::worker::{worker_loop, Job, Shared, Tracing};
 
-pub use crate::cache::CacheStats;
+pub use crate::cache::{CacheStats, VerifiedArtifact};
+pub use crate::health::WorkerSnapshot;
 pub use crate::metrics::{MetricsSnapshot, RegimeSnapshot};
 
 /// One execution request: a program, the machine state to start from, and
@@ -154,7 +166,7 @@ pub struct Completion {
 }
 
 /// Why a request was refused without a (full) execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Rejection {
     /// The wall-clock deadline passed before or during execution.
     DeadlineExpired,
@@ -162,6 +174,14 @@ pub enum Rejection {
     FuelExhausted,
     /// The service shut down before the request could run.
     ShutDown,
+    /// The abstract interpreter proved the program underflows and the
+    /// request's preset stack cannot cover its demand; refused at
+    /// admission instead of executed to its guaranteed trap.
+    AnalysisRejected {
+        /// The analyzer's finding: offending instruction, containing
+        /// word, and a witness path.
+        diagnostic: String,
+    },
 }
 
 /// The service's answer to one request.
@@ -252,6 +272,13 @@ pub struct ServiceConfig {
     /// Run with the flight recorder on; `None` (the default) records
     /// nothing and adds nothing to the hot path.
     pub trace: Option<TraceConfig>,
+    /// Nominal interval between worker heartbeats for the stall
+    /// detector. Workers beat at dequeue, execute-begin, every mid-run
+    /// progress pulse, and completion.
+    pub heartbeat_period: Duration,
+    /// Heartbeats a busy worker may miss before it is flagged stalled in
+    /// the metrics snapshot and on the Prometheus page.
+    pub stall_beats: u32,
 }
 
 impl Default for ServiceConfig {
@@ -263,6 +290,8 @@ impl Default for ServiceConfig {
             cache_shards: 16,
             cache_capacity: cache::DEFAULT_CAPACITY,
             trace: None,
+            heartbeat_period: Duration::from_millis(250),
+            stall_beats: 4,
         }
     }
 }
@@ -308,6 +337,7 @@ impl Service {
             queue: Bounded::new(config.queue_capacity),
             cache: ProgramCache::with_capacity(config.cache_shards, config.cache_capacity),
             metrics: Metrics::new(),
+            health: WorkerHealth::new(config.workers, config.heartbeat_period, config.stall_beats),
             abort: Arc::new(AtomicBool::new(false)),
             next_request: AtomicU64::new(0),
             tracing,
@@ -376,6 +406,7 @@ impl Service {
         snap.cache_size = cache.size as u64;
         snap.cache_capacity = cache.capacity as u64;
         snap.cache_evictions = cache.evictions;
+        snap.workers = self.shared.health.snapshot();
         snap
     }
 

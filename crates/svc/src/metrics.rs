@@ -11,6 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use stackcache_core::EngineRegime;
+use stackcache_vm::Checks;
+
+use crate::health::WorkerSnapshot;
 
 /// Number of histogram buckets; bucket `i` covers `[2^i, 2^(i+1))` ns,
 /// so 64 buckets span every representable latency.
@@ -78,7 +81,20 @@ struct RegimeMetrics {
     deadline_expired: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Completions by admitted checks level: `[None, NoUnderflow, Full]`.
+    served: [AtomicU64; 3],
+    /// Requests refused because the analyzer proved an underflow.
+    analysis_rejected: AtomicU64,
     latency: Histogram,
+}
+
+/// Dense index of a [`Checks`] level in the `served` counters.
+fn checks_index(checks: Checks) -> usize {
+    match checks {
+        Checks::None => 0,
+        Checks::NoUnderflow => 1,
+        Checks::Full => 2,
+    }
 }
 
 impl RegimeMetrics {
@@ -90,6 +106,8 @@ impl RegimeMetrics {
             deadline_expired: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            served: std::array::from_fn(|_| AtomicU64::new(0)),
+            analysis_rejected: AtomicU64::new(0),
             latency: Histogram::new(),
         }
     }
@@ -141,13 +159,26 @@ impl Metrics {
         self.of(regime).cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_completed(&self, regime: EngineRegime, trapped: bool, latency: Duration) {
+    pub(crate) fn on_completed(
+        &self,
+        regime: EngineRegime,
+        trapped: bool,
+        latency: Duration,
+        checks: Checks,
+    ) {
         let r = self.of(regime);
         r.completed.fetch_add(1, Ordering::Relaxed);
         if trapped {
             r.traps.fetch_add(1, Ordering::Relaxed);
         }
+        r.served[checks_index(checks)].fetch_add(1, Ordering::Relaxed);
         r.latency.record(latency);
+    }
+
+    pub(crate) fn on_analysis_rejected(&self, regime: EngineRegime) {
+        self.of(regime)
+            .analysis_rejected
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_fuel_exhausted(&self, regime: EngineRegime) {
@@ -175,6 +206,7 @@ impl Metrics {
             cache_size: 0,
             cache_capacity: 0,
             cache_evictions: 0,
+            workers: Vec::new(),
             regimes: EngineRegime::ALL
                 .iter()
                 .map(|&regime| {
@@ -187,6 +219,10 @@ impl Metrics {
                         deadline_expired: r.deadline_expired.load(Ordering::Relaxed),
                         cache_hits: r.cache_hits.load(Ordering::Relaxed),
                         cache_misses: r.cache_misses.load(Ordering::Relaxed),
+                        served_unchecked: r.served[0].load(Ordering::Relaxed),
+                        served_guarded: r.served[1].load(Ordering::Relaxed),
+                        served_checked: r.served[2].load(Ordering::Relaxed),
+                        analysis_rejected: r.analysis_rejected.load(Ordering::Relaxed),
                         p50: r.latency.quantile(0.50),
                         p90: r.latency.quantile(0.90),
                         p99: r.latency.quantile(0.99),
@@ -214,6 +250,19 @@ pub struct RegimeSnapshot {
     pub cache_hits: u64,
     /// Executions that had to compile.
     pub cache_misses: u64,
+    /// Completions served fully unchecked ([`Checks::None`]): a proof
+    /// bounded both stacks and the machine's capacity covers them.
+    pub served_unchecked: u64,
+    /// Completions served with only overflow checks
+    /// ([`Checks::NoUnderflow`]): underflow proven impossible, growth
+    /// unbounded or over capacity.
+    pub served_guarded: u64,
+    /// Completions served fully checked ([`Checks::Full`]): no proof
+    /// covered the request's machine.
+    pub served_checked: u64,
+    /// Requests refused at admission because the analyzer proved an
+    /// underflow the request's preset stack cannot cover.
+    pub analysis_rejected: u64,
     /// Median completion latency.
     pub p50: Option<Duration>,
     /// 90th-percentile completion latency.
@@ -239,6 +288,9 @@ pub struct MetricsSnapshot {
     pub cache_capacity: u64,
     /// Artifacts evicted from the cache since the service started.
     pub cache_evictions: u64,
+    /// Per-worker liveness (jobs, heartbeats, stall verdicts), filled in
+    /// by [`Service::metrics`](crate::Service::metrics).
+    pub workers: Vec<WorkerSnapshot>,
     /// Per-regime counters, in [`EngineRegime::ALL`] order.
     pub regimes: Vec<RegimeSnapshot>,
 }
@@ -260,6 +312,43 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn completed(&self) -> u64 {
         self.regimes.iter().map(|r| r.completed).sum()
+    }
+
+    /// Completions that skipped *all* depth checks ([`Checks::None`]).
+    #[must_use]
+    pub fn served_unchecked(&self) -> u64 {
+        self.regimes.iter().map(|r| r.served_unchecked).sum()
+    }
+
+    /// Completions whose underflow checks were elided — the verified
+    /// fast path ([`Checks::None`] plus [`Checks::NoUnderflow`]).
+    #[must_use]
+    pub fn served_fast(&self) -> u64 {
+        self.regimes
+            .iter()
+            .map(|r| r.served_unchecked + r.served_guarded)
+            .sum()
+    }
+
+    /// Requests refused on the analyzer's underflow verdict.
+    #[must_use]
+    pub fn analysis_rejected(&self) -> u64 {
+        self.regimes.iter().map(|r| r.analysis_rejected).sum()
+    }
+
+    /// Share of completions served on the verified fast path, in
+    /// `0.0..=1.0`; `None` with no completions.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn fast_path_share(&self) -> Option<f64> {
+        let completed = self.completed();
+        (completed > 0).then(|| self.served_fast() as f64 / completed as f64)
+    }
+
+    /// Workers currently flagged as stalled.
+    #[must_use]
+    pub fn stalled_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.stalled).count()
     }
 }
 
@@ -334,14 +423,51 @@ mod tests {
         m.on_cache_miss(EngineRegime::Tos);
         m.on_cache_hit(EngineRegime::Tos);
         m.on_cache_hit(EngineRegime::Dyncache);
-        m.on_completed(EngineRegime::Tos, false, Duration::from_micros(3));
-        m.on_completed(EngineRegime::Tos, true, Duration::from_micros(5));
+        m.on_completed(
+            EngineRegime::Tos,
+            false,
+            Duration::from_micros(3),
+            Checks::None,
+        );
+        m.on_completed(
+            EngineRegime::Tos,
+            true,
+            Duration::from_micros(5),
+            Checks::Full,
+        );
         let s = m.snapshot();
         assert_eq!(s.submitted, 1);
         assert_eq!(s.cache_hits(), 2);
         assert_eq!(s.cache_misses(), 1);
         let tos = &s.regimes[EngineRegime::Tos.index()];
         assert_eq!((tos.completed, tos.traps), (2, 1));
+        assert_eq!((tos.served_unchecked, tos.served_checked), (1, 1));
         assert!(tos.p50.is_some() && tos.p99.is_some());
+    }
+
+    #[test]
+    fn fast_path_share_counts_elided_underflow_checks() {
+        let m = Metrics::new();
+        for checks in [Checks::None, Checks::None, Checks::NoUnderflow] {
+            m.on_completed(
+                EngineRegime::Dyncache,
+                false,
+                Duration::from_micros(1),
+                checks,
+            );
+        }
+        m.on_completed(
+            EngineRegime::Dyncache,
+            false,
+            Duration::from_micros(1),
+            Checks::Full,
+        );
+        m.on_analysis_rejected(EngineRegime::Dyncache);
+        let s = m.snapshot();
+        assert_eq!(s.served_unchecked(), 2);
+        assert_eq!(s.served_fast(), 3);
+        assert_eq!(s.analysis_rejected(), 1);
+        assert!((s.fast_path_share().unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(s.stalled_workers(), 0);
     }
 }

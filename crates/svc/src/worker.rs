@@ -1,5 +1,6 @@
-//! The worker loop: dequeue a job, resolve its artifact through the
-//! shared cache, execute it on a fresh machine, classify the result, and
+//! The worker loop: dequeue a job, resolve its verified artifact through
+//! the shared cache, admit it at the strongest checks level its safety
+//! proof covers, execute it on a fresh machine, classify the result, and
 //! answer the submitter's ticket.
 //!
 //! Every path out of a job answers the ticket exactly once: admission
@@ -19,12 +20,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
+use stackcache_analysis::Verdict;
 use stackcache_harness::Outcome;
 use stackcache_obs::{CancelKind, EventKind, FlightRecorder, RejectKind, RingTracer};
-use stackcache_vm::VmError;
+use stackcache_vm::{ExecEvent, ExecObserver, VmError};
 
 use crate::cache::{Lookup, ProgramCache};
 use crate::deadline::{CancelCause, DeadlineObserver};
+use crate::health::{WorkerHealth, DEFAULT_PULSE_INSTRUCTIONS};
 use crate::metrics::Metrics;
 use crate::queue::Bounded;
 use crate::{Completion, Rejection, Reply, Request};
@@ -92,6 +95,7 @@ pub(crate) struct Shared {
     pub(crate) queue: Bounded<Job>,
     pub(crate) cache: ProgramCache,
     pub(crate) metrics: Metrics,
+    pub(crate) health: WorkerHealth,
     pub(crate) abort: Arc<AtomicBool>,
     pub(crate) next_request: AtomicU64,
     pub(crate) tracing: Option<Tracing>,
@@ -123,16 +127,49 @@ fn trap_code(err: &VmError) -> u8 {
     }
 }
 
+/// Mirrors the flight recorder's `Progress` heartbeat into the worker's
+/// liveness slot: one beat every `interval` executed instructions, so
+/// the stall detector sees the same cadence the incident dumps show.
+struct Pulse<'a> {
+    health: &'a WorkerHealth,
+    worker: usize,
+    interval: u64,
+    executed: u64,
+}
+
+impl<'a> Pulse<'a> {
+    fn new(health: &'a WorkerHealth, worker: usize, interval: u64) -> Self {
+        Pulse {
+            health,
+            worker,
+            interval: interval.max(1),
+            executed: 0,
+        }
+    }
+}
+
+impl ExecObserver for Pulse<'_> {
+    fn event(&mut self, _ev: &ExecEvent) {
+        self.executed += 1;
+        if self.executed.is_multiple_of(self.interval) {
+            self.health.beat(self.worker);
+        }
+    }
+}
+
 /// Pop and serve jobs until the queue is closed and drained. `ring` is
 /// this worker's flight-recorder ring (worker index + 1; ring 0 belongs
 /// to submitters).
 pub(crate) fn worker_loop(shared: &Shared, ring: usize) {
+    let worker = ring - 1;
     while let Some(job) = shared.queue.pop() {
-        serve(shared, ring, job);
+        shared.health.begin(worker);
+        serve(shared, ring, worker, job);
+        shared.health.finish(worker);
     }
 }
 
-fn serve(shared: &Shared, ring: usize, job: Job) {
+fn serve(shared: &Shared, ring: usize, worker: usize, job: Job) {
     let regime = job.request.regime;
     let id = job.id;
     shared.trace(
@@ -172,10 +209,12 @@ fn serve(shared: &Shared, ring: usize, job: Job) {
     }
 
     let lookup_start = Instant::now();
-    let (artifact, lookup) =
-        shared
-            .cache
-            .get_or_compile(&job.request.program, regime, job.request.peephole);
+    let (verified, lookup) = shared.cache.get_or_compile(
+        &job.request.program,
+        regime,
+        job.request.peephole,
+        Some(&job.request.proto),
+    );
     let cache_hit = lookup == Lookup::Hit;
     if cache_hit {
         shared.metrics.on_cache_hit(regime);
@@ -192,20 +231,62 @@ fn serve(shared: &Shared, ring: usize, job: Job) {
         );
     }
 
+    // Admission gate: a program the analyzer proved to underflow, asked
+    // to run on a stack too shallow to possibly cover its demand, is
+    // refused with the analyzer's diagnostic instead of executed to its
+    // guaranteed trap. Everything else runs at the strongest checks
+    // level the proof admits for this request's machine.
+    let proof = verified.proof();
+    if proof.verdict == Verdict::Rejected
+        && (job.request.proto.stack().len() as i64) < proof.data_needed
+    {
+        shared.metrics.on_analysis_rejected(regime);
+        shared.trace(
+            ring,
+            id,
+            EventKind::Rejected {
+                reason: RejectKind::Analysis,
+            },
+        );
+        let diagnostic = proof.diagnostics.first().map_or_else(
+            || "definite stack underflow".to_string(),
+            ToString::to_string,
+        );
+        if let Some(t) = &shared.tracing {
+            t.file_incident(id, &format!("analysis rejected: {diagnostic}"));
+        }
+        job.answer(Reply::Rejected(Rejection::AnalysisRejected { diagnostic }));
+        return;
+    }
+    let checks = proof.admit(&job.request.proto);
+    let artifact = verified.artifact();
+
     let mut machine = (*job.request.proto).clone();
     let mut observer = DeadlineObserver::new(job.deadline, Arc::clone(&shared.abort));
     shared.trace(ring, id, EventKind::ExecuteBegin);
     let start = Instant::now();
+    let pulse_interval = shared
+        .tracing
+        .as_ref()
+        .map_or(DEFAULT_PULSE_INSTRUCTIONS, |t| t.progress_interval);
     let result = match &shared.tracing {
         // under tracing, the cancellable (reference) engine also carries a
         // heartbeat tracer; the other engines dispatch no observer events,
         // so the tuple would be dead weight there
         Some(t) if regime.cancellable() => {
             let tracer = RingTracer::new(&t.recorder, ring, id, t.progress_interval);
-            let mut pair = (&mut observer, tracer);
-            artifact.run_observed(&mut machine, job.request.fuel, &mut pair)
+            let pulse = Pulse::new(&shared.health, worker, pulse_interval);
+            let mut obs = (&mut observer, (tracer, pulse));
+            artifact.run_observed_with_checks(&mut machine, job.request.fuel, &mut obs, checks)
         }
-        _ => artifact.run_observed(&mut machine, job.request.fuel, &mut observer),
+        None if regime.cancellable() => {
+            let pulse = Pulse::new(&shared.health, worker, pulse_interval);
+            let mut obs = (&mut observer, pulse);
+            artifact.run_observed_with_checks(&mut machine, job.request.fuel, &mut obs, checks)
+        }
+        _ => {
+            artifact.run_observed_with_checks(&mut machine, job.request.fuel, &mut observer, checks)
+        }
     };
     let latency = start.elapsed();
 
@@ -269,7 +350,9 @@ fn serve(shared: &Shared, ring: usize, job: Job) {
                 }
             }
             let outcome = Outcome::capture(&machine, other);
-            shared.metrics.on_completed(regime, trapped, latency);
+            shared
+                .metrics
+                .on_completed(regime, trapped, latency, checks);
             job.answer(Reply::Completed(Completion {
                 outcome,
                 cache_hit,

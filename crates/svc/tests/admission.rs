@@ -1,0 +1,174 @@
+//! Admission-routing tests: the analyzer's verdict decides how each
+//! request executes — proven programs ride the unchecked fast path,
+//! unprovable ones keep their checks, and a program proved to underflow
+//! on a too-shallow stack is refused with the analyzer's diagnostic.
+
+use std::sync::Arc;
+
+use stackcache_core::EngineRegime;
+use stackcache_harness::MEMORY_BYTES;
+use stackcache_svc::{Rejection, Reply, Request, Service, ServiceConfig};
+use stackcache_vm::{program_of, Inst, Machine, Program};
+
+fn config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_shards: 4,
+        ..ServiceConfig::default()
+    }
+}
+
+fn square(n: i64) -> Arc<Program> {
+    Arc::new(program_of(&[
+        Inst::Lit(n),
+        Inst::Dup,
+        Inst::Mul,
+        Inst::Dot,
+        Inst::Halt,
+    ]))
+}
+
+/// Pops two cells off an empty stack: definitely underflows from entry.
+fn underflowing() -> Arc<Program> {
+    Arc::new(program_of(&[Inst::Add, Inst::Dot, Inst::Halt]))
+}
+
+#[test]
+fn proven_programs_are_served_unchecked_on_every_regime() {
+    let svc = Service::start(config(4));
+    let program = square(6);
+    let tickets: Vec<_> = EngineRegime::ALL
+        .iter()
+        .map(|&regime| {
+            let t = svc
+                .submit(Request::new(Arc::clone(&program), regime))
+                .expect("admitted");
+            (regime, t)
+        })
+        .collect();
+    for (regime, t) in tickets {
+        match t.wait() {
+            Reply::Completed(c) => assert_eq!(c.outcome.output, b"36 ", "{}", regime.name()),
+            Reply::Rejected(r) => panic!("{}: rejected {r:?}", regime.name()),
+        }
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.completed(), EngineRegime::ALL.len() as u64);
+    assert_eq!(
+        m.served_unchecked(),
+        m.completed(),
+        "a proven square must skip every depth check"
+    );
+    assert_eq!(m.fast_path_share(), Some(1.0));
+    assert_eq!(m.analysis_rejected(), 0);
+}
+
+#[test]
+fn underflow_verdict_is_a_structured_rejection_with_the_diagnostic() {
+    let svc = Service::start(config(2));
+    let t = svc
+        .submit(Request::new(underflowing(), EngineRegime::Tos))
+        .expect("admitted");
+    match t.wait() {
+        Reply::Rejected(Rejection::AnalysisRejected { diagnostic }) => {
+            assert!(
+                diagnostic.contains("`+` at ip 0") && diagnostic.contains("underflow"),
+                "diagnostic names the offending instruction: {diagnostic}"
+            );
+        }
+        other => panic!("expected an analysis rejection, got {other:?}"),
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.analysis_rejected(), 1);
+    assert_eq!(m.completed(), 0);
+}
+
+#[test]
+fn a_preset_stack_covering_the_demand_runs_instead_of_being_refused() {
+    // the same program is only *relatively* underflowing: two preset
+    // cells satisfy it, and the Rejected verdict demotes it to checked
+    // execution rather than the fast path
+    let svc = Service::start(config(2));
+    let mut proto = Machine::with_memory(MEMORY_BYTES);
+    proto.set_stack(&[2, 3]);
+    let t = svc
+        .submit(Request::new(underflowing(), EngineRegime::Baseline).on(Arc::new(proto)))
+        .expect("admitted");
+    match t.wait() {
+        Reply::Completed(c) => {
+            assert_eq!(c.outcome.output, b"5 ");
+            assert_eq!(c.outcome.trap, None);
+        }
+        Reply::Rejected(r) => panic!("covered demand must execute, got {r:?}"),
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.analysis_rejected(), 0);
+    let baseline = &m.regimes[EngineRegime::Baseline.index()];
+    assert_eq!(baseline.served_checked, 1, "rejected verdicts never admit");
+    assert_eq!(baseline.served_unchecked + baseline.served_guarded, 0);
+}
+
+#[test]
+fn runtime_value_traps_survive_the_unchecked_fast_path() {
+    // division by zero is a value check, retained at every checks level;
+    // the proof elides only depth checks
+    use stackcache_harness::Trap;
+    let svc = Service::start(config(2));
+    let p = Arc::new(program_of(&[
+        Inst::Lit(1),
+        Inst::Lit(0),
+        Inst::Div,
+        Inst::Halt,
+    ]));
+    let t = svc
+        .submit(Request::new(p, EngineRegime::Static(2)))
+        .expect("admitted");
+    match t.wait() {
+        Reply::Completed(c) => assert_eq!(c.outcome.trap, Some(Trap::DivisionByZero)),
+        Reply::Rejected(r) => panic!("a trap is an outcome, got {r:?}"),
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn worker_liveness_is_surfaced_in_the_snapshot() {
+    let svc = Service::start(config(3));
+    let tickets: Vec<_> = (0..12)
+        .map(|i| {
+            svc.submit(Request::new(square(i), EngineRegime::Dyncache))
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        assert!(matches!(t.wait(), Reply::Completed(_)));
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.workers.len(), 3);
+    assert_eq!(m.workers.iter().map(|w| w.jobs).sum::<u64>(), 12);
+    assert!(m.workers.iter().all(|w| !w.busy && !w.stalled));
+    assert!(m.workers.iter().any(|w| w.beats > 0));
+    assert_eq!(m.stalled_workers(), 0);
+}
+
+#[test]
+fn the_prometheus_page_reports_the_fast_path_and_worker_health() {
+    let svc = Service::start(config(2));
+    let t = svc
+        .submit(Request::new(square(4), EngineRegime::Tos))
+        .expect("admitted");
+    assert!(matches!(t.wait(), Reply::Completed(_)));
+    let t = svc
+        .submit(Request::new(underflowing(), EngineRegime::Tos))
+        .expect("admitted");
+    assert!(matches!(t.wait(), Reply::Rejected(_)));
+    let page = svc.prometheus();
+    assert!(page.contains("svc_served_total{regime=\"tos\",checks=\"none\"} 1"));
+    assert!(page.contains("svc_analysis_rejections_total{regime=\"tos\"} 1"));
+    assert!(page.contains("svc_worker_stalled{worker=\"0\"} 0"));
+    let doc = svc.json();
+    assert!(doc.contains("\"served_unchecked\":1"));
+    assert!(doc.contains("\"analysis_rejected\":1"));
+    assert!(doc.contains("\"stalled\":false"));
+    svc.shutdown();
+}

@@ -12,6 +12,7 @@
 //! paper's Section 6 live in [`crate::interp`] and `stackcache_core::interp`
 //! and are cross-validated against this one.
 
+use crate::checks::{Checks, CHECK_FULL, CHECK_NONE, CHECK_NO_UNDERFLOW};
 use crate::error::VmError;
 use crate::inst::{perm, Cell, EffectKind, Inst, CELL_BYTES, FALSE, TRUE};
 use crate::machine::Machine;
@@ -184,6 +185,58 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
     fuel: u64,
     observer: &mut O,
 ) -> Result<Outcome, VmError> {
+    run_observer_mode::<CHECK_FULL, O>(program, machine, fuel, observer)
+}
+
+/// [`run`] at a selectable [`Checks`] level.
+///
+/// Levels above [`Checks::Full`] are sound only for programs proven safe
+/// by static analysis; see [`Checks`] for the contract. The reference
+/// interpreter works on growable `Vec` stacks, so its elided underflow
+/// checks degrade to unreachable-panics rather than disappearing — the
+/// point of this variant is a uniform engine interface, not speed.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap the chosen level still
+/// detects.
+pub fn run_with_checks(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+    checks: Checks,
+) -> Result<Outcome, VmError> {
+    run_with_observer_checks(program, machine, fuel, &mut (), checks)
+}
+
+/// [`run_with_observer`] at a selectable [`Checks`] level.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any runtime trap the chosen level still
+/// detects. No event is delivered for the faulting instruction.
+pub fn run_with_observer_checks<O: ExecObserver + ?Sized>(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+    observer: &mut O,
+    checks: Checks,
+) -> Result<Outcome, VmError> {
+    match checks {
+        Checks::Full => run_observer_mode::<CHECK_FULL, O>(program, machine, fuel, observer),
+        Checks::NoUnderflow => {
+            run_observer_mode::<CHECK_NO_UNDERFLOW, O>(program, machine, fuel, observer)
+        }
+        Checks::None => run_observer_mode::<CHECK_NONE, O>(program, machine, fuel, observer),
+    }
+}
+
+fn run_observer_mode<const MODE: u8, O: ExecObserver + ?Sized>(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+    observer: &mut O,
+) -> Result<Outcome, VmError> {
     let insts = program.insts();
     let mut ip = program.entry();
     let mut executed: u64 = 0;
@@ -206,13 +259,16 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             () => {
                 match machine.stack.pop() {
                     Some(x) => x,
-                    None => return Err(VmError::StackUnderflow { ip: cur_ip }),
+                    None if MODE == CHECK_FULL => {
+                        return Err(VmError::StackUnderflow { ip: cur_ip })
+                    }
+                    None => unreachable!("data-stack underflow on a proven program"),
                 }
             };
         }
         macro_rules! push {
             ($x:expr) => {{
-                if machine.stack.len() >= machine.stack_limit {
+                if MODE < CHECK_NONE && machine.stack.len() >= machine.stack_limit {
                     return Err(VmError::StackOverflow { ip: cur_ip });
                 }
                 machine.stack.push($x);
@@ -222,16 +278,29 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             () => {
                 match machine.rstack.pop() {
                     Some(x) => x,
-                    None => return Err(VmError::ReturnStackUnderflow { ip: cur_ip }),
+                    None if MODE == CHECK_FULL => {
+                        return Err(VmError::ReturnStackUnderflow { ip: cur_ip })
+                    }
+                    None => unreachable!("return-stack underflow on a proven program"),
                 }
             };
         }
         macro_rules! rpush {
             ($x:expr) => {{
-                if machine.rstack.len() >= machine.rstack_limit {
+                if MODE < CHECK_NONE && machine.rstack.len() >= machine.rstack_limit {
                     return Err(VmError::ReturnStackOverflow { ip: cur_ip });
                 }
                 machine.rstack.push($x);
+            }};
+        }
+        // Diverge on a return-stack underflow detected by an inline depth
+        // test (the `Vec`-reading instructions that do not pop).
+        macro_rules! runder {
+            () => {{
+                if MODE == CHECK_FULL {
+                    return Err(VmError::ReturnStackUnderflow { ip: cur_ip });
+                }
+                unreachable!("return-stack underflow on a proven program")
             }};
         }
         macro_rules! binop {
@@ -430,7 +499,7 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             }
             Inst::RFetch => {
                 let Some(&a) = machine.rstack.last() else {
-                    return Err(VmError::ReturnStackUnderflow { ip: cur_ip });
+                    runder!()
                 };
                 push!(a);
                 effect.rloads = 1;
@@ -454,7 +523,7 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             Inst::TwoRFetch => {
                 let n = machine.rstack.len();
                 if n < 2 {
-                    return Err(VmError::ReturnStackUnderflow { ip: cur_ip });
+                    runder!();
                 }
                 let a = machine.rstack[n - 2];
                 let b = machine.rstack[n - 1];
@@ -578,7 +647,7 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             Inst::LoopInc(t) => {
                 let n = machine.rstack.len();
                 if n < 2 {
-                    return Err(VmError::ReturnStackUnderflow { ip: cur_ip });
+                    runder!();
                 }
                 let index = machine.rstack[n - 1].wrapping_add(1);
                 let limit = machine.rstack[n - 2];
@@ -597,7 +666,7 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
                 let step = pop!();
                 let n = machine.rstack.len();
                 if n < 2 {
-                    return Err(VmError::ReturnStackUnderflow { ip: cur_ip });
+                    runder!();
                 }
                 let old = machine.rstack[n - 1];
                 let new = old.wrapping_add(step);
@@ -620,7 +689,7 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             }
             Inst::LoopI => {
                 let Some(&i) = machine.rstack.last() else {
-                    return Err(VmError::ReturnStackUnderflow { ip: cur_ip });
+                    runder!()
                 };
                 push!(i);
                 effect.rloads = 1;
@@ -628,7 +697,7 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             Inst::LoopJ => {
                 let n = machine.rstack.len();
                 if n < 4 {
-                    return Err(VmError::ReturnStackUnderflow { ip: cur_ip });
+                    runder!();
                 }
                 push!(machine.rstack[n - 3]);
                 effect.rloads = 1;
@@ -636,7 +705,7 @@ pub fn run_with_observer<O: ExecObserver + ?Sized>(
             Inst::Unloop => {
                 let n = machine.rstack.len();
                 if n < 2 {
-                    return Err(VmError::ReturnStackUnderflow { ip: cur_ip });
+                    runder!();
                 }
                 machine.rstack.truncate(n - 2);
                 effect.rnet = -2;

@@ -21,6 +21,7 @@
 //! The dynamically and statically cached interpreters live in
 //! `stackcache-core`, next to the cache-state machinery they need.
 
+use crate::checks::{Checks, CHECK_FULL, CHECK_NONE, CHECK_NO_UNDERFLOW};
 use crate::error::VmError;
 use crate::inst::{Cell, Inst, CELL_BYTES, FALSE, TRUE};
 use crate::machine::Machine;
@@ -56,6 +57,36 @@ pub fn run_baseline(
     machine: &mut Machine,
     fuel: u64,
 ) -> Result<RunStats, VmError> {
+    run_baseline_mode::<CHECK_FULL>(program, machine, fuel)
+}
+
+/// [`run_baseline`] at a selectable [`Checks`] level.
+///
+/// Levels above [`Checks::Full`] are sound only for programs proven safe
+/// by static analysis; see [`Checks`] for the contract.
+///
+/// # Errors
+///
+/// Returns the same [`VmError`]s as the reference interpreter (minus the
+/// trap classes the chosen level elides).
+pub fn run_baseline_with_checks(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+    checks: Checks,
+) -> Result<RunStats, VmError> {
+    match checks {
+        Checks::Full => run_baseline_mode::<CHECK_FULL>(program, machine, fuel),
+        Checks::NoUnderflow => run_baseline_mode::<CHECK_NO_UNDERFLOW>(program, machine, fuel),
+        Checks::None => run_baseline_mode::<CHECK_NONE>(program, machine, fuel),
+    }
+}
+
+fn run_baseline_mode<const MODE: u8>(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+) -> Result<RunStats, VmError> {
     let insts = program.insts();
     let limit = machine.stack_limit.min(1 << 20);
     let rlimit = machine.rstack_limit.min(1 << 20);
@@ -72,7 +103,7 @@ pub fn run_baseline(
 
     macro_rules! pop {
         ($cur:expr) => {{
-            if sp == 0 {
+            if MODE == CHECK_FULL && sp == 0 {
                 return Err(VmError::StackUnderflow { ip: $cur });
             }
             sp -= 1;
@@ -81,7 +112,7 @@ pub fn run_baseline(
     }
     macro_rules! push {
         ($cur:expr, $v:expr) => {{
-            if sp >= limit {
+            if MODE < CHECK_NONE && sp >= limit {
                 return Err(VmError::StackOverflow { ip: $cur });
             }
             buf[sp] = $v;
@@ -90,14 +121,14 @@ pub fn run_baseline(
     }
     macro_rules! need {
         ($cur:expr, $n:expr) => {
-            if sp < $n {
+            if MODE == CHECK_FULL && sp < $n {
                 return Err(VmError::StackUnderflow { ip: $cur });
             }
         };
     }
     macro_rules! rpop {
         ($cur:expr) => {{
-            if rsp == 0 {
+            if MODE == CHECK_FULL && rsp == 0 {
                 return Err(VmError::ReturnStackUnderflow { ip: $cur });
             }
             rsp -= 1;
@@ -106,7 +137,7 @@ pub fn run_baseline(
     }
     macro_rules! rpush {
         ($cur:expr, $v:expr) => {{
-            if rsp >= rlimit {
+            if MODE < CHECK_NONE && rsp >= rlimit {
                 return Err(VmError::ReturnStackOverflow { ip: $cur });
             }
             rbuf[rsp] = $v;
@@ -293,7 +324,7 @@ pub fn run_baseline(
                 push!(cur, a);
             }
             Inst::RFetch => {
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let a = rbuf[rsp - 1];
@@ -314,7 +345,7 @@ pub fn run_baseline(
                 push!(cur, b);
             }
             Inst::TwoRFetch => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let a = rbuf[rsp - 2];
@@ -423,7 +454,7 @@ pub fn run_baseline(
                 }
             }
             Inst::LoopInc(t) => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let index = rbuf[rsp - 1].wrapping_add(1);
@@ -437,7 +468,7 @@ pub fn run_baseline(
             }
             Inst::PlusLoopInc(t) => {
                 let step = pop!(cur);
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let old = rbuf[rsp - 1];
@@ -456,21 +487,21 @@ pub fn run_baseline(
                 }
             }
             Inst::LoopI => {
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let i = rbuf[rsp - 1];
                 push!(cur, i);
             }
             Inst::LoopJ => {
-                if rsp < 4 {
+                if MODE == CHECK_FULL && rsp < 4 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let j = rbuf[rsp - 3];
                 push!(cur, j);
             }
             Inst::Unloop => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 rsp -= 2;
@@ -516,8 +547,38 @@ pub fn run_baseline(
 /// # Errors
 ///
 /// Returns the same [`VmError`]s as the reference interpreter.
-#[allow(clippy::too_many_lines)]
 pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<RunStats, VmError> {
+    run_tos_mode::<CHECK_FULL>(program, machine, fuel)
+}
+
+/// [`run_tos`] at a selectable [`Checks`] level.
+///
+/// Levels above [`Checks::Full`] are sound only for programs proven safe
+/// by static analysis; see [`Checks`] for the contract.
+///
+/// # Errors
+///
+/// Returns the same [`VmError`]s as the reference interpreter (minus the
+/// trap classes the chosen level elides).
+pub fn run_tos_with_checks(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+    checks: Checks,
+) -> Result<RunStats, VmError> {
+    match checks {
+        Checks::Full => run_tos_mode::<CHECK_FULL>(program, machine, fuel),
+        Checks::NoUnderflow => run_tos_mode::<CHECK_NO_UNDERFLOW>(program, machine, fuel),
+        Checks::None => run_tos_mode::<CHECK_NONE>(program, machine, fuel),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_tos_mode<const MODE: u8>(
+    program: &Program,
+    machine: &mut Machine,
+    fuel: u64,
+) -> Result<RunStats, VmError> {
     let insts = program.insts();
     let limit = machine.stack_limit.min(1 << 20);
     let rlimit = machine.rstack_limit.min(1 << 20);
@@ -537,7 +598,7 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
 
     macro_rules! push {
         ($cur:expr, $v:expr) => {{
-            if depth >= limit {
+            if MODE < CHECK_NONE && depth >= limit {
                 return Err(VmError::StackOverflow { ip: $cur });
             }
             if depth > 0 {
@@ -549,7 +610,7 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
     }
     macro_rules! pop {
         ($cur:expr) => {{
-            if depth == 0 {
+            if MODE == CHECK_FULL && depth == 0 {
                 return Err(VmError::StackUnderflow { ip: $cur });
             }
             let v = tos;
@@ -562,14 +623,14 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
     }
     macro_rules! need {
         ($cur:expr, $n:expr) => {
-            if depth < $n {
+            if MODE == CHECK_FULL && depth < $n {
                 return Err(VmError::StackUnderflow { ip: $cur });
             }
         };
     }
     macro_rules! rpop {
         ($cur:expr) => {{
-            if rsp == 0 {
+            if MODE == CHECK_FULL && rsp == 0 {
                 return Err(VmError::ReturnStackUnderflow { ip: $cur });
             }
             rsp -= 1;
@@ -578,7 +639,7 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
     }
     macro_rules! rpush {
         ($cur:expr, $v:expr) => {{
-            if rsp >= rlimit {
+            if MODE < CHECK_NONE && rsp >= rlimit {
                 return Err(VmError::ReturnStackOverflow { ip: $cur });
             }
             rbuf[rsp] = $v;
@@ -708,7 +769,7 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
             Inst::Tuck => {
                 // ( a b -- b a b ), b stays in tos
                 need!(cur, 2);
-                if depth >= limit {
+                if MODE < CHECK_NONE && depth >= limit {
                     return Err(VmError::StackOverflow { ip: cur });
                 }
                 let a = buf[depth - 2];
@@ -781,7 +842,7 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
                 push!(cur, a);
             }
             Inst::RFetch => {
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let a = rbuf[rsp - 1];
@@ -801,7 +862,7 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
                 push!(cur, b);
             }
             Inst::TwoRFetch => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let a = rbuf[rsp - 2];
@@ -918,7 +979,7 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
                 }
             }
             Inst::LoopInc(t) => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let index = rbuf[rsp - 1].wrapping_add(1);
@@ -932,7 +993,7 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
             }
             Inst::PlusLoopInc(t) => {
                 let step = pop!(cur);
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let old = rbuf[rsp - 1];
@@ -951,21 +1012,21 @@ pub fn run_tos(program: &Program, machine: &mut Machine, fuel: u64) -> Result<Ru
                 }
             }
             Inst::LoopI => {
-                if rsp == 0 {
+                if MODE == CHECK_FULL && rsp == 0 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let i = rbuf[rsp - 1];
                 push!(cur, i);
             }
             Inst::LoopJ => {
-                if rsp < 4 {
+                if MODE == CHECK_FULL && rsp < 4 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 let j = rbuf[rsp - 3];
                 push!(cur, j);
             }
             Inst::Unloop => {
-                if rsp < 2 {
+                if MODE == CHECK_FULL && rsp < 2 {
                     return Err(VmError::ReturnStackUnderflow { ip: cur });
                 }
                 rsp -= 2;
@@ -1168,6 +1229,71 @@ mod tests {
         let mut m = Machine::with_memory(64);
         run_tos(&p, &mut m, 100).unwrap();
         assert_eq!(m.stack(), &[2, 1, 2]);
+    }
+
+    #[test]
+    fn check_levels_agree_on_safe_programs() {
+        // a depth-safe program exercising data stack, return stack, loops
+        let mut b = ProgramBuilder::new();
+        let word = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(0));
+        b.push(Inst::Lit(8));
+        b.push(Inst::Lit(0));
+        b.push(Inst::DoSetup);
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::LoopI);
+        b.call(word);
+        b.push(Inst::Add);
+        b.loop_inc(top);
+        b.push(Inst::Lit(5));
+        b.push(Inst::ToR);
+        b.push(Inst::RFetch);
+        b.push(Inst::Add);
+        b.push(Inst::FromR);
+        b.push(Inst::Drop);
+        b.push(Inst::Halt);
+        b.bind(word).unwrap();
+        b.push(Inst::Dup);
+        b.push(Inst::Mul);
+        b.push(Inst::Return);
+        let p = b.finish().unwrap();
+
+        let mut m_ref = Machine::with_memory(4096);
+        run_reference(&p, &mut m_ref, 1_000_000).unwrap();
+        for checks in [Checks::Full, Checks::NoUnderflow, Checks::None] {
+            let mut m_base = Machine::with_memory(4096);
+            let mut m_tos = Machine::with_memory(4096);
+            let mut m_exec = Machine::with_memory(4096);
+            run_baseline_with_checks(&p, &mut m_base, 1_000_000, checks).unwrap();
+            run_tos_with_checks(&p, &mut m_tos, 1_000_000, checks).unwrap();
+            crate::exec::run_with_checks(&p, &mut m_exec, 1_000_000, checks).unwrap();
+            for m in [&m_base, &m_tos, &m_exec] {
+                assert_eq!(m_ref.stack(), m.stack(), "{checks:?}");
+                assert_eq!(m_ref.rstack(), m.rstack(), "{checks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_level_still_traps_on_overflow() {
+        // push forever: overflow must still fire under NoUnderflow
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::Lit(1));
+        b.branch(top);
+        let p = b.finish().unwrap();
+        for engine in [run_baseline_with_checks, run_tos_with_checks] {
+            let mut m = Machine::with_memory(64);
+            let err = engine(&p, &mut m, u64::MAX, Checks::NoUnderflow).unwrap_err();
+            assert!(matches!(err, VmError::StackOverflow { .. }), "{err:?}");
+        }
+        let mut m = Machine::with_memory(64);
+        let err =
+            crate::exec::run_with_checks(&p, &mut m, u64::MAX, Checks::NoUnderflow).unwrap_err();
+        assert!(matches!(err, VmError::StackOverflow { .. }), "{err:?}");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(clippy::all)]
 
 pub mod asm;
+mod checks;
 pub mod depth;
 pub mod dispatch;
 mod error;
@@ -45,6 +46,7 @@ mod program;
 pub mod rng;
 mod verify;
 
+pub use checks::Checks;
 pub use error::VmError;
 pub use exec::{ExecEvent, ExecObserver, Outcome, ResolvedEffect};
 pub use inst::{perm, Cell, Effect, EffectKind, Inst, CELL_BYTES, FALSE, TRUE};

@@ -294,6 +294,13 @@ impl ProgramBuilder {
         self.names.insert(self.insts.len(), name.into());
     }
 
+    /// Attach a symbolic name to an explicit instruction index (for
+    /// builders that copy already-emitted code, like the Forth image
+    /// assembler naming dictionary entries).
+    pub fn name_at(&mut self, ip: usize, name: impl Into<String>) {
+        self.names.insert(ip, name.into());
+    }
+
     /// Resolve labels and produce the [`Program`].
     ///
     /// # Errors

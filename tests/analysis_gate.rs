@@ -1,0 +1,59 @@
+//! The static-analysis CI gate.
+//!
+//! Every program we ship — the four Section 6 workloads and every
+//! recorded corpus entry — must be *proven* depth-safe by the abstract
+//! interpreter, so the serving layer can route it to the unchecked fast
+//! path. A program that loses its proof (or an engine change that breaks
+//! a cache-FSM invariant) fails this suite, not production.
+
+use stackcache_analysis::{analyze, check_fig18, render_analysis, render_fsm, Verdict};
+use stackcache_harness::corpus;
+use stackcache_vm::Checks;
+use stackcache_workloads::{all_workloads, Scale};
+
+/// Every Fig. 18 organization passes the cache-FSM model checker at the
+/// report's register count.
+#[test]
+fn fig18_transition_tables_are_verified() {
+    let reports = check_fig18(stackcache_analysis::fsm::CHECKED_REGISTERS);
+    assert_eq!(reports.len(), 6);
+    for r in &reports {
+        assert!(r.ok(), "{}", render_fsm(&reports));
+    }
+}
+
+/// Every workload program is proven safe on its own image machine, with
+/// no lint diagnostics, and admits at least the no-underflow fast path.
+#[test]
+fn workload_programs_are_proven_safe() {
+    for w in all_workloads(Scale::Small) {
+        let machine = w.image.machine();
+        let a = analyze(&w.image.program, Some(&machine));
+        let text = render_analysis(w.name, &a);
+        assert!(
+            matches!(a.proof.verdict, Verdict::Proven | Verdict::Guarded),
+            "{text}"
+        );
+        assert!(a.proof.diagnostics.is_empty(), "{text}");
+        let admitted = a.proof.admit(&machine);
+        assert_ne!(admitted, Checks::Full, "{}: not admitted\n{text}", w.name);
+    }
+}
+
+/// Every recorded corpus regression program is provable: corpus entries
+/// are recorded from generator programs, which are depth-safe by
+/// construction.
+#[test]
+fn corpus_programs_are_proven_safe() {
+    let entries = corpus::load_all();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    for (name, program) in entries {
+        let a = analyze(&program, None);
+        let text = render_analysis(&name, &a);
+        assert!(
+            matches!(a.proof.verdict, Verdict::Proven | Verdict::Guarded),
+            "{text}"
+        );
+        assert!(a.proof.diagnostics.is_empty(), "{text}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Fuzzing the proof oracle: proved-safe programs never raise the depth
+//! traps their proofs rule out, and execution at the proof-admitted
+//! checks level agrees with fully checked execution — on every regime,
+//! plain and peephole-optimized.
+//!
+//! The generators and the oracle itself live in `stackcache-harness`;
+//! this suite drives them over every program family and asserts the
+//! proofs are not vacuous (the analyzer admits the bulk of generated
+//! programs to a fast path).
+
+use stackcache_harness::gen;
+use stackcache_harness::{assert_proof_agreement, cross_validate_proof_on, MEMORY_BYTES};
+use stackcache_vm::{Checks, Machine, Rng};
+
+const FUEL: u64 = 10_000_000;
+
+#[test]
+fn structured_programs_honour_their_proofs() {
+    let mut admitted = 0;
+    for seed in 0..96u64 {
+        let mut rng = Rng::new(0x9F_0000 + seed);
+        let p = gen::structured_program(&mut rng);
+        let a = assert_proof_agreement(&p, FUEL);
+        if a.admitted != Checks::Full {
+            assert_eq!(a.configs, 16, "seed {seed}: 8 regimes x plain/peephole");
+            admitted += 1;
+        }
+    }
+    assert!(
+        admitted >= 48,
+        "only {admitted}/96 structured programs admitted a fast path; the fuzz is vacuous"
+    );
+}
+
+#[test]
+fn straight_line_programs_honour_their_proofs() {
+    let mut admitted = 0;
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0x9F_1000 + seed);
+        let choices = gen::random_choices(&mut rng, 40, 64);
+        let p = gen::straight_line(&choices);
+        let a = assert_proof_agreement(&p, FUEL);
+        if a.admitted != Checks::Full {
+            admitted += 1;
+        }
+    }
+    assert!(admitted >= 32, "only {admitted}/64 admitted");
+}
+
+#[test]
+fn memory_programs_honour_their_proofs() {
+    let mut admitted = 0;
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0x9F_2000 + seed);
+        let choices = gen::random_choices(&mut rng, 40, 64);
+        let p = gen::memory_fodder(&choices, MEMORY_BYTES);
+        let a = assert_proof_agreement(&p, FUEL);
+        if a.admitted != Checks::Full {
+            admitted += 1;
+        }
+    }
+    assert!(admitted >= 32, "only {admitted}/64 admitted");
+}
+
+#[test]
+fn call_nests_honour_their_proofs() {
+    let mut admitted = 0;
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0x9F_3000 + seed);
+        let p = gen::call_nest_program(&mut rng, 6);
+        let a = assert_proof_agreement(&p, FUEL);
+        if a.admitted != Checks::Full {
+            admitted += 1;
+        }
+    }
+    assert!(admitted >= 24, "only {admitted}/48 admitted");
+}
+
+/// Proofs are relative to the entry: starting from a machine with a
+/// preset stack must not break either promise.
+#[test]
+fn seeded_machines_honour_their_proofs() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0x9F_4000 + seed);
+        let p = gen::structured_program(&mut rng);
+        let proto = gen::seeded_machine(&mut rng, MEMORY_BYTES, 6);
+        if let Err(d) = cross_validate_proof_on(&p, &proto, FUEL) {
+            panic!("seed {seed}: {d}");
+        }
+    }
+}
+
+/// An unprovable program (its growth depends on an input cell read from
+/// memory) still round-trips through the oracle: nothing is promised, so
+/// nothing can diverge.
+#[test]
+fn unadmitted_programs_are_vacuously_fine() {
+    use stackcache_vm::{program_of, Inst};
+    // loop bound comes from memory: growth is input-driven
+    let p = program_of(&[
+        Inst::Lit(0),
+        Inst::Fetch,
+        Inst::Lit(1),
+        Inst::Add,
+        Inst::Dup,
+        Inst::BranchIfZero(7),
+        Inst::Halt,
+        Inst::Halt,
+    ]);
+    let proto = Machine::with_memory(MEMORY_BYTES);
+    let a = cross_validate_proof_on(&p, &proto, FUEL).expect("vacuous or upheld");
+    assert!(a.configs == 0 || a.admitted != Checks::Full);
+}
