@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--full] [fig7 fig18 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//!          speedup randomwalk rstack ablation serving analysis | all]
+//!          speedup randomwalk rstack ablation serving analysis network | all]
 //! ```
 //!
 //! By default the small workload inputs are used; `--full` switches to the
@@ -46,6 +46,7 @@ fn main() {
             "semantic",
             "serving",
             "analysis",
+            "network",
         ]
         .iter()
         .map(|s| (*s).to_string())
@@ -228,5 +229,27 @@ fn main() {
             report.divergences.len()
         );
         println!("{}\n", report.fast_path_line());
+    }
+    if want("network") {
+        use stackcache_bench::netload::{run_netload, NetLoadConfig};
+        println!("## Network front end — unary vs pipelined vs batched over loopback\n");
+        let report = run_netload(&NetLoadConfig {
+            connections: 2,
+            window: 8,
+            unary_per_conn: 60,
+            pipelined_per_conn: 240,
+            batches_per_conn: 8,
+            batch_size: 8,
+            programs: 4,
+            deadline_probes: 8,
+            ..NetLoadConfig::default()
+        });
+        println!("{}", report.table());
+        println!(
+            "{} requests over the wire; {} deadline probes rejected; {} divergences\n",
+            report.net.submits + report.net.batch_items,
+            report.deadline_rejections,
+            report.divergences.len()
+        );
     }
 }

@@ -1,0 +1,166 @@
+//! Load-test the network front end over loopback and print its
+//! per-mode throughput/latency table.
+//!
+//! Usage: `netbench [--quick] [--trace]`
+//!
+//! Starts a [`stackcache_net::NetServer`] on a loopback port, drives it
+//! from several concurrent client connections in three submission modes
+//! — unary, window-deep pipelined, batched — across every engine
+//! regime, and verifies every reply against the reference interpreter.
+//! Exits nonzero on any divergence.
+//!
+//! The run *self-checks* the wire economics it claims: the batched
+//! phase must clone measurably fewer proto machines than the unary
+//! phase, the combined Prometheus page must pass lint, and (with
+//! `--trace`) both flight recorders must have captured events and the
+//! deadline probes must have filed incident reports.
+
+use std::process::ExitCode;
+
+use stackcache_bench::netload::{run_netload, Mode, NetLoadConfig};
+use stackcache_obs::prometheus_lint;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
+    let mut cfg = NetLoadConfig {
+        trace,
+        ..NetLoadConfig::default()
+    };
+    if quick {
+        cfg.connections = 2;
+        cfg.window = 8;
+        cfg.unary_per_conn = 60;
+        cfg.pipelined_per_conn = 240;
+        cfg.batches_per_conn = 8;
+        cfg.batch_size = 8;
+        cfg.programs = 4;
+        cfg.deadline_probes = 8;
+    }
+
+    println!(
+        "netbench: {} connections, window {}, {} workers, {} programs x 8 regimes{}",
+        cfg.connections,
+        cfg.window,
+        cfg.workers,
+        cfg.programs,
+        if trace { ", tracing on" } else { "" },
+    );
+    let report = run_netload(&cfg);
+
+    println!("{}", report.table());
+    let total: usize = report.phases.iter().map(|p| p.requests).sum();
+    println!(
+        "{} requests over the wire ({} unary, {} pipelined, {} batched), \
+         {} deadline probes rejected as required",
+        total + report.deadline_rejections,
+        report.phase(Mode::Unary).map_or(0, |p| p.requests),
+        report.phase(Mode::Pipelined).map_or(0, |p| p.requests),
+        report.phase(Mode::Batched).map_or(0, |p| p.requests),
+        report.deadline_rejections,
+    );
+    println!(
+        "front end: {} connections, {} frames in / {} out, {} bytes in / {} out, \
+         {} submits + {} batch frames ({} items), {} busy, {} bad requests, {} protocol errors",
+        report.net.connections_opened,
+        report.net.frames_in,
+        report.net.frames_out,
+        report.net.bytes_in,
+        report.net.bytes_out,
+        report.net.submits,
+        report.net.batch_submits,
+        report.net.batch_items,
+        report.net.busy_replies,
+        report.net.bad_requests,
+        report.net.protocol_errors,
+    );
+    println!(
+        "service: {} submitted, {} batches ({} requests), {} proto clones ({} saved), \
+         cache {} hits / {} misses",
+        report.svc.submitted,
+        report.svc.batches,
+        report.svc.batch_requests,
+        report.svc.proto_clones,
+        report.svc.proto_clones_saved,
+        report.svc.cache_hits(),
+        report.svc.cache_misses(),
+    );
+
+    // self-checks: the claims the table makes must hold in the metrics
+    let mut failures = Vec::new();
+    match (report.phase(Mode::Unary), report.phase(Mode::Batched)) {
+        (Some(u), Some(b)) if u.requests == b.requests => {
+            if b.proto_clones >= u.proto_clones {
+                failures.push(format!(
+                    "batched phase cloned {} proto machines, unary cloned {} — batching saved nothing",
+                    b.proto_clones, u.proto_clones
+                ));
+            }
+            if b.proto_clones_saved == 0 {
+                failures.push("batched phase reports zero clones saved".to_string());
+            }
+        }
+        (Some(u), Some(b)) => {
+            // unequal request counts: the per-request clone rate must drop
+            let unary_rate = u.proto_clones as f64 / u.requests.max(1) as f64;
+            let batch_rate = b.proto_clones as f64 / b.requests.max(1) as f64;
+            if batch_rate >= unary_rate {
+                failures.push(format!(
+                    "batched clone rate {batch_rate:.3} not below unary {unary_rate:.3}"
+                ));
+            }
+        }
+        _ => failures.push("missing unary or batched phase".to_string()),
+    }
+    if let Err(e) = prometheus_lint(&report.prometheus) {
+        failures.push(format!("prometheus page fails lint: {e}"));
+    }
+    if !report.json.contains("\"svc\"") || !report.json.contains("\"net\"") {
+        failures.push("json document missing svc or net section".to_string());
+    }
+    if report.net.connections_opened != report.net.connections_closed {
+        failures.push(format!(
+            "{} connections opened but {} closed — a connection leaked",
+            report.net.connections_opened, report.net.connections_closed
+        ));
+    }
+    if trace {
+        if report.net_flight_events == 0 {
+            failures.push("front-end flight recorder captured nothing".to_string());
+        }
+        if report.svc_flight_events == 0 {
+            failures.push("service flight recorder captured nothing".to_string());
+        }
+        if report.incidents.is_empty() {
+            // the deadline probes guarantee incidents on a traced run
+            failures.push("no incident reports despite deadline probes".to_string());
+        } else {
+            println!(
+                "\nflight recorders: {} net + {} svc events; {} incident reports; first:\n{}",
+                report.net_flight_events,
+                report.svc_flight_events,
+                report.incidents.len(),
+                report.incidents[0]
+            );
+        }
+    }
+
+    let mut code = ExitCode::SUCCESS;
+    if report.clean() {
+        println!("no divergences");
+    } else {
+        eprintln!("{} DIVERGENCES:", report.divergences.len());
+        for d in report.divergences.iter().take(20) {
+            eprintln!("  {d}");
+        }
+        code = ExitCode::FAILURE;
+    }
+    if !failures.is_empty() {
+        eprintln!("{} SELF-CHECK FAILURES:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        code = ExitCode::FAILURE;
+    }
+    code
+}

@@ -1,0 +1,471 @@
+//! Load generator for the network front end: drive a loopback
+//! [`NetServer`] from several concurrent client connections in three
+//! submission modes — unary call-and-wait, window-deep pipelining, and
+//! batched frames — across every engine regime, verifying every reply
+//! against the reference interpreter.
+//!
+//! Like [`crate::svcload`], the generator is itself an oracle: a reply
+//! may differ from the reference [`Outcome`] only by being a structured
+//! rejection that was provoked on purpose; anything else is a
+//! divergence. On top of correctness it contrasts the wire economics of
+//! the three modes: requests per second, client-observed round-trip
+//! latency, and the proto-machine clones the batch path amortizes away.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stackcache_core::EngineRegime;
+use stackcache_harness::{gen, Outcome, MEMORY_BYTES};
+use stackcache_net::{Client, NetConfig, NetServer, NetSnapshot, ReplyStatus, WireRequest};
+use stackcache_svc::{MetricsSnapshot, Service, ServiceConfig, TraceConfig};
+use stackcache_vm::{exec, Machine, Program, Rng};
+
+use crate::table::Table;
+
+/// Network load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct NetLoadConfig {
+    /// Worker threads in the service behind the front end.
+    pub workers: usize,
+    /// Service queue capacity.
+    pub queue_capacity: usize,
+    /// Concurrent client connections per mode.
+    pub connections: usize,
+    /// Pipelining window each connection requests.
+    pub window: u32,
+    /// Unary round trips per connection.
+    pub unary_per_conn: usize,
+    /// Pipelined requests per connection.
+    pub pipelined_per_conn: usize,
+    /// Batch frames per connection.
+    pub batches_per_conn: usize,
+    /// Requests per batch frame.
+    pub batch_size: usize,
+    /// Distinct generated programs (structured / memory / call-nest
+    /// families, round-robin).
+    pub programs: usize,
+    /// Requests submitted with a 1ns deadline; each must come back
+    /// `DeadlineExpired`.
+    pub deadline_probes: usize,
+    /// Seed for the program generators.
+    pub seed: u64,
+    /// Fuel per request.
+    pub fuel: u64,
+    /// Run the server and service with flight recorders on.
+    pub trace: bool,
+}
+
+impl Default for NetLoadConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        NetLoadConfig {
+            workers,
+            queue_capacity: 512,
+            connections: 4,
+            window: 16,
+            unary_per_conn: 400,
+            pipelined_per_conn: 1600,
+            batches_per_conn: 40,
+            batch_size: 16,
+            programs: 8,
+            deadline_probes: 16,
+            seed: 0x0E7_10AD,
+            fuel: 1_000_000,
+            trace: false,
+        }
+    }
+}
+
+/// One generated program with the reference interpreter's verdict.
+struct Case {
+    name: String,
+    request: WireRequest, // regime/peephole rewritten per submission
+    expected: Outcome,
+}
+
+/// How requests were submitted in a measured phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One request, one wait, repeat.
+    Unary,
+    /// A full window in flight per connection.
+    Pipelined,
+    /// `BatchSubmit` frames, window-gated.
+    Batched,
+}
+
+impl Mode {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Unary => "unary",
+            Mode::Pipelined => "pipelined",
+            Mode::Batched => "batched",
+        }
+    }
+}
+
+/// What one submission mode measured.
+#[derive(Debug)]
+pub struct PhaseReport {
+    /// The mode measured.
+    pub mode: Mode,
+    /// Requests submitted and answered.
+    pub requests: usize,
+    /// Wall-clock duration of the phase across all connections.
+    pub elapsed: Duration,
+    /// Client-observed round-trip latencies.
+    pub latencies: Vec<Duration>,
+    /// Proto-machine clones the service performed during this phase.
+    pub proto_clones: u64,
+    /// Proto-machine clones the batch path avoided during this phase.
+    pub proto_clones_saved: u64,
+    /// Replies that disagreed with the reference interpreter.
+    pub divergences: Vec<String>,
+}
+
+impl PhaseReport {
+    /// Requests per second over the phase.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn throughput(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The `q`-th latency quantile (`0.0..=1.0`), if any were recorded.
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+}
+
+/// What the whole network load run measured.
+#[derive(Debug)]
+pub struct NetLoadReport {
+    /// One report per submission mode, in run order.
+    pub phases: Vec<PhaseReport>,
+    /// Deadline probes answered `DeadlineExpired`, as they must be.
+    pub deadline_rejections: usize,
+    /// Every divergence across phases and probes. Empty on a clean run.
+    pub divergences: Vec<String>,
+    /// The service's metrics at shutdown.
+    pub svc: MetricsSnapshot,
+    /// The front end's metrics at shutdown.
+    pub net: NetSnapshot,
+    /// The combined Prometheus page, captured before shutdown.
+    pub prometheus: String,
+    /// The combined JSON document, captured before shutdown.
+    pub json: String,
+    /// Front-end flight-recorder events (traced runs only).
+    pub net_flight_events: usize,
+    /// Service flight-recorder events (traced runs only).
+    pub svc_flight_events: usize,
+    /// Incident reports filed during the run (traced runs only; the
+    /// deadline probes file these by design).
+    pub incidents: Vec<String>,
+}
+
+impl NetLoadReport {
+    /// Whether every reply agreed and every probe was rejected correctly.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// The per-mode throughput/latency table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&[
+            "mode", "requests", "req/s", "p50", "p90", "p99", "clones", "saved",
+        ]);
+        for p in &self.phases {
+            t.row(&[
+                p.mode.name().to_string(),
+                p.requests.to_string(),
+                format!("{:.0}", p.throughput()),
+                fmt_latency(p.latency_quantile(0.50)),
+                fmt_latency(p.latency_quantile(0.90)),
+                fmt_latency(p.latency_quantile(0.99)),
+                p.proto_clones.to_string(),
+                p.proto_clones_saved.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The phase report for `mode`, if that phase ran.
+    #[must_use]
+    pub fn phase(&self, mode: Mode) -> Option<&PhaseReport> {
+        self.phases.iter().find(|p| p.mode == mode)
+    }
+}
+
+fn fmt_latency(d: Option<Duration>) -> String {
+    match d {
+        None => "-".to_string(),
+        Some(d) if d < Duration::from_millis(1) => format!("{}us", d.as_micros()),
+        Some(d) => format!("{:.1}ms", d.as_secs_f64() * 1e3),
+    }
+}
+
+/// The reference interpreter's outcome for a prepared machine image.
+fn reference_outcome(program: &Program, proto: &Machine, fuel: u64) -> Outcome {
+    let mut m = proto.clone();
+    let result = exec::run(program, &mut m, fuel).map(|o| o.executed);
+    Outcome::capture(&m, result)
+}
+
+fn build_cases(cfg: &NetLoadConfig) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for i in 0..cfg.programs {
+        let mut rng = Rng::new((cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
+        let (family, program, proto) = match i % 3 {
+            0 => (
+                "structured",
+                gen::structured_program(&mut rng),
+                Machine::with_memory(MEMORY_BYTES),
+            ),
+            1 => {
+                let proto = gen::seeded_machine(&mut rng, MEMORY_BYTES, 6);
+                let choices = gen::random_choices(&mut rng, 100, 1 << 20);
+                ("memory", gen::memory_fodder(&choices, MEMORY_BYTES), proto)
+            }
+            _ => (
+                "callnest",
+                gen::call_nest_program(&mut rng, 4),
+                Machine::with_memory(MEMORY_BYTES),
+            ),
+        };
+        let expected = reference_outcome(&program, &proto, cfg.fuel);
+        let mut request =
+            WireRequest::new(Arc::new(program), EngineRegime::Reference).fuel(cfg.fuel);
+        request.stack = proto.stack().to_vec();
+        request.rstack = proto.rstack().to_vec();
+        request.memory = proto.memory().to_vec();
+        cases.push(Case {
+            name: format!("{family}#{i}"),
+            request,
+            expected,
+        });
+    }
+    cases
+}
+
+/// The `i`-th request of a phase: cases × regimes round-robin, peephole
+/// alternating.
+fn nth_request(cases: &[Case], i: usize) -> (&Case, WireRequest) {
+    let case = &cases[i % cases.len()];
+    let mut request = case.request.clone().peephole(i % 2 == 1);
+    request.regime = EngineRegime::ALL[(i / cases.len()) % EngineRegime::ALL.len()];
+    (case, request)
+}
+
+/// Check one reply, pushing a divergence if it disagrees.
+fn verify(
+    mode: Mode,
+    case: &Case,
+    regime: EngineRegime,
+    reply: &stackcache_net::WireReply,
+    divergences: &mut Vec<String>,
+) {
+    if let Some(diff) = reply.differs_from(&case.expected) {
+        divergences.push(format!(
+            "{} {} on {}: {diff}",
+            mode.name(),
+            case.name,
+            regime.name()
+        ));
+    }
+}
+
+type ConnResult = (Vec<Duration>, Vec<String>);
+
+/// Run one phase: `cfg.connections` clients in parallel, each driving
+/// its share of requests in `mode`.
+fn run_phase(
+    server: &NetServer,
+    cfg: &NetLoadConfig,
+    cases: &Arc<Vec<Case>>,
+    mode: Mode,
+) -> PhaseReport {
+    let before = server.service_metrics();
+    let per_conn = match mode {
+        Mode::Unary => cfg.unary_per_conn,
+        Mode::Pipelined => cfg.pipelined_per_conn,
+        Mode::Batched => cfg.batches_per_conn * cfg.batch_size,
+    };
+    let start = Instant::now();
+    let handles: Vec<_> = (0..cfg.connections)
+        .map(|conn| {
+            let addr = server.addr();
+            let cases = Arc::clone(cases);
+            let cfg = cfg.clone();
+            thread::spawn(move || -> ConnResult {
+                let client = Client::connect(addr, cfg.window).expect("connect");
+                let mut latencies = Vec::with_capacity(per_conn);
+                let mut divergences = Vec::new();
+                // each connection drives its own slice of the
+                // case × regime request space
+                let base = conn * per_conn;
+                match mode {
+                    Mode::Unary => {
+                        for i in 0..per_conn {
+                            let (case, request) = nth_request(&cases, base + i);
+                            let t0 = Instant::now();
+                            let reply = client.call(&request).expect("reply");
+                            latencies.push(t0.elapsed());
+                            verify(mode, case, request.regime, &reply, &mut divergences);
+                        }
+                    }
+                    Mode::Pipelined => {
+                        // keep a full window in flight; pop the oldest
+                        // once the window is reached
+                        let mut inflight = std::collections::VecDeque::new();
+                        for i in 0..per_conn {
+                            let (case, request) = nth_request(&cases, base + i);
+                            let pending = client.submit(&request).expect("submit");
+                            inflight.push_back((Instant::now(), case, request.regime, pending));
+                            if inflight.len() >= cfg.window as usize {
+                                let (t0, case, regime, p) = inflight.pop_front().expect("nonempty");
+                                let reply = p.wait().expect("reply");
+                                latencies.push(t0.elapsed());
+                                verify(mode, case, regime, &reply, &mut divergences);
+                            }
+                        }
+                        for (t0, case, regime, p) in inflight {
+                            let reply = p.wait().expect("reply");
+                            latencies.push(t0.elapsed());
+                            verify(mode, case, regime, &reply, &mut divergences);
+                        }
+                    }
+                    Mode::Batched => {
+                        for b in 0..cfg.batches_per_conn {
+                            let picks: Vec<(&Case, WireRequest)> = (0..cfg.batch_size)
+                                .map(|j| nth_request(&cases, base + b * cfg.batch_size + j))
+                                .collect();
+                            let requests: Vec<WireRequest> =
+                                picks.iter().map(|(_, r)| r.clone()).collect();
+                            let t0 = Instant::now();
+                            let pendings = client.submit_batch(&requests).expect("batch");
+                            for ((case, request), p) in picks.iter().zip(pendings) {
+                                let reply = p.wait().expect("reply");
+                                latencies.push(t0.elapsed());
+                                verify(mode, case, request.regime, &reply, &mut divergences);
+                            }
+                        }
+                    }
+                }
+                client.goodbye().expect("drain");
+                (latencies, divergences)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut divergences = Vec::new();
+    for h in handles {
+        let (l, d) = h.join().expect("connection thread");
+        latencies.extend(l);
+        divergences.extend(d);
+    }
+    let elapsed = start.elapsed();
+    let after = server.service_metrics();
+    PhaseReport {
+        mode,
+        requests: per_conn * cfg.connections,
+        elapsed,
+        latencies,
+        proto_clones: after.proto_clones - before.proto_clones,
+        proto_clones_saved: after.proto_clones_saved - before.proto_clones_saved,
+        divergences,
+    }
+}
+
+/// Run the whole network load: the three phases, then the deadline
+/// probes, verifying every reply.
+#[must_use]
+pub fn run_netload(cfg: &NetLoadConfig) -> NetLoadReport {
+    assert!(
+        cfg.batch_size as u32 <= cfg.window,
+        "batches must fit the window"
+    );
+    let service = Service::start(ServiceConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        trace: cfg.trace.then(TraceConfig::default),
+        ..ServiceConfig::default()
+    });
+    let server = NetServer::start(
+        service,
+        NetConfig {
+            max_window: cfg.window,
+            trace: cfg.trace,
+            trace_capacity: 4096,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let cases = Arc::new(build_cases(cfg));
+
+    let mut phases = Vec::new();
+    let mut divergences = Vec::new();
+    for mode in [Mode::Unary, Mode::Pipelined, Mode::Batched] {
+        let phase = run_phase(&server, cfg, &cases, mode);
+        divergences.extend(phase.divergences.iter().cloned());
+        phases.push(phase);
+    }
+
+    // deadline probes: a 1ns deadline expires in the queue; the only
+    // correct answer is a typed DeadlineExpired reply
+    let mut deadline_rejections = 0;
+    if cfg.deadline_probes > 0 {
+        let client = Client::connect(server.addr(), cfg.window).expect("connect");
+        for i in 0..cfg.deadline_probes {
+            let (_, request) = nth_request(&cases, i);
+            let reply = client
+                .call(&request.deadline(Duration::from_nanos(1)))
+                .expect("probe reply");
+            if reply.status == ReplyStatus::DeadlineExpired {
+                deadline_rejections += 1;
+            } else {
+                divergences.push(format!(
+                    "deadline probe #{i}: expected DeadlineExpired, got {:?}",
+                    reply.status
+                ));
+            }
+        }
+        client.goodbye().expect("drain");
+    }
+
+    let prometheus = server.prometheus();
+    let json = server.json();
+    let net_flight_events = server.flight_dump().map_or(0, |d| d.len());
+    let svc_flight_events = server.service_flight_dump().map_or(0, |d| d.len());
+    let incidents = server.incident_reports();
+    let (svc, net) = server.shutdown();
+    NetLoadReport {
+        phases,
+        deadline_rejections,
+        divergences,
+        svc,
+        net,
+        prometheus,
+        json,
+        net_flight_events,
+        svc_flight_events,
+        incidents,
+    }
+}

@@ -1,0 +1,70 @@
+//! A wire-protocol network front end for the execution service.
+//!
+//! The serving story so far ran in one process: submit a [`Request`],
+//! wait on a ticket. This crate puts the service on a socket — a
+//! std-only TCP front end speaking a length-prefixed binary protocol —
+//! so the translate-once economics of stack caching can be shared by
+//! many client processes:
+//!
+//! * **the wire protocol** ([`wire`]): versioned 20-byte frame headers;
+//!   request frames carrying the program as opcode words plus the
+//!   starting machine image; reply frames carrying status, stacks,
+//!   output, a memory-image hash, and per-request statistics; explicit
+//!   `Hello`/`Ping`/`Goodbye` control frames. Every malformed input is
+//!   a typed [`WireError`], never a panic;
+//! * **pipelining** ([`NetServer`]): the handshake grants each
+//!   connection an in-flight window; inside it, submissions flow
+//!   without waiting and replies return in *completion* order, matched
+//!   by client correlation ids. Past the window — or past the service
+//!   queue — the answer is an immediate typed `Busy`, the wire form of
+//!   [`SubmitError::QueueFull`](stackcache_svc::SubmitError);
+//! * **batched submission**: a `BatchSubmit` frame is admitted as one
+//!   service job — one queue slot, one proto-machine clone amortized
+//!   across the batch (the `proto_clones_saved` metric);
+//! * **a blocking client** ([`Client`]): a background reader
+//!   demultiplexes replies so any number of threads can pipeline over
+//!   one connection;
+//! * **observability**: connection lifecycle and frame events in a
+//!   flight-recorder ring, counters on a lint-clean Prometheus/JSON
+//!   page next to the service's own.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use stackcache_core::EngineRegime;
+//! use stackcache_net::{Client, NetConfig, NetServer, ReplyStatus, WireRequest};
+//! use stackcache_svc::{Service, ServiceConfig};
+//! use stackcache_vm::{program_of, Inst};
+//!
+//! let server = NetServer::start(
+//!     Service::start(ServiceConfig::default()),
+//!     NetConfig::default(),
+//! )
+//! .expect("bind");
+//! let client = Client::connect(server.addr(), 8).expect("connect");
+//!
+//! let program = Arc::new(program_of(&[Inst::Lit(6), Inst::Dup, Inst::Mul, Inst::Dot]));
+//! let reply = client
+//!     .call(&WireRequest::new(program, EngineRegime::Static(2)).fuel(10_000))
+//!     .expect("reply");
+//! assert_eq!(reply.status, ReplyStatus::Ok);
+//! assert_eq!(reply.output, b"36 ");
+//!
+//! client.goodbye().expect("drain");
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, PendingReply};
+pub use metrics::{NetMetrics, NetSnapshot};
+pub use server::{NetConfig, NetServer, ERR_EXPECTED_HELLO, ERR_UNEXPECTED_FRAME};
+pub use wire::{
+    decode_frame, fnv1a64, read_frame, Frame, FrameKind, ReadError, ReplyStatus, WireError,
+    WireReply, WireRequest, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, PROTOCOL_VERSION,
+};

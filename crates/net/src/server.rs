@@ -1,0 +1,613 @@
+//! The TCP front end: an accept loop, per-connection reader/writer
+//! threads, and the translation between wire frames and service
+//! requests.
+//!
+//! Each connection opens with a `Hello`/`HelloOk` handshake that grants
+//! a pipelining window — the number of requests the client may have in
+//! flight at once. Inside the window, submissions flow without waiting
+//! for replies; replies come back in *completion* order, matched by the
+//! client's correlation ids. A submission past the window (or past the
+//! service queue) earns an immediate `Busy` reply: backpressure is a
+//! typed answer, never a stall.
+//!
+//! Protocol violations (bad magic, unknown kinds, truncated or
+//! oversized frames) are answered with one `ProtoError` frame and a
+//! close; malformed request *bodies* (bad opcode, bad regime, invalid
+//! branch target) earn a `BadRequest` reply and the connection lives on.
+//!
+//! Shutdown drains: the listener stops, each connection's read half is
+//! shut down, every in-flight request runs to its reply, the writers
+//! flush, and only then does the service itself shut down.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use stackcache_obs::{EventKind, FlightDump, FlightRecorder};
+use stackcache_svc::{MetricsSnapshot, Reply, ReplyRoute, Service, SubmitError};
+
+use crate::metrics::{self, NetMetrics, NetSnapshot};
+use crate::wire::{read_frame, Frame, ReadError, ReplyStatus, WireReply, DEFAULT_MAX_FRAME};
+
+/// `ProtoError` code: the first frame on a connection was not `Hello`
+/// (or a second `Hello` arrived). Codes below 100 belong to
+/// [`WireError::code`](crate::wire::WireError::code).
+pub const ERR_EXPECTED_HELLO: u8 = 100;
+/// `ProtoError` code: a frame kind only the server may send arrived
+/// from a client.
+pub const ERR_UNEXPECTED_FRAME: u8 = 101;
+
+/// Front-end sizing.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Address to bind; port 0 picks a free port (see
+    /// [`NetServer::addr`]).
+    pub bind: String,
+    /// Per-connection in-flight cap; a `Hello` requesting more is
+    /// granted this much.
+    pub max_window: u32,
+    /// Frame-body size cap, announced in `HelloOk` and enforced on
+    /// every received frame.
+    pub max_frame: u32,
+    /// Record connection lifecycle and frame events in a flight
+    /// recorder ring ([`NetServer::flight_dump`]).
+    pub trace: bool,
+    /// Events the trace ring retains.
+    pub trace_capacity: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            bind: "127.0.0.1:0".to_string(),
+            max_window: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            trace: false,
+            trace_capacity: 1024,
+        }
+    }
+}
+
+/// What travels from the reader (and the service's workers) to a
+/// connection's writer thread.
+enum WriterMsg {
+    /// Write a frame as-is (handshake answers, pongs, busy replies,
+    /// protocol errors).
+    Frame(Box<Frame>),
+    /// Write the reply for an in-flight request; frees a window slot.
+    Answer {
+        corr: u64,
+        request_id: u64,
+        reply: Reply,
+    },
+    /// Stop accepting new work; once the window is empty, optionally
+    /// acknowledge with `GoodbyeOk`, then exit.
+    Drain { goodbye_ok: bool },
+    /// Exit now; in-flight replies are abandoned (broken transport).
+    Close,
+}
+
+/// State shared between a connection's reader, its writer, and the
+/// service workers delivering its replies.
+struct ConnShared {
+    /// Requests submitted but not yet answered on the wire.
+    inflight: AtomicU32,
+    /// The writer's inbox. A `Mutex` because service workers deliver
+    /// concurrently.
+    tx: Mutex<mpsc::Sender<WriterMsg>>,
+}
+
+impl ConnShared {
+    fn send(&self, msg: WriterMsg) {
+        // the writer may already be gone (broken connection); dropping
+        // the reply is then correct
+        let _ = self.tx.lock().expect("writer inbox lock").send(msg);
+    }
+}
+
+/// The fan-in route: every reply of one connection lands in its
+/// writer's inbox, tagged with the client's correlation id.
+struct ConnRoute {
+    shared: Arc<ConnShared>,
+}
+
+impl ReplyRoute for ConnRoute {
+    fn deliver(&self, token: u64, request_id: u64, reply: Reply) {
+        self.shared.send(WriterMsg::Answer {
+            corr: token,
+            request_id,
+            reply,
+        });
+    }
+}
+
+struct Inner {
+    service: Service,
+    metrics: NetMetrics,
+    config: NetConfig,
+    recorder: Option<Arc<FlightRecorder>>,
+    stop: AtomicBool,
+    next_conn: AtomicU64,
+}
+
+impl Inner {
+    fn trace(&self, conn: u64, kind: EventKind) {
+        if let Some(r) = &self.recorder {
+            r.record(0, conn, kind);
+        }
+    }
+}
+
+/// The live connections: each entry pairs the stream (for shutdown) with
+/// its reader-thread handle (for joining).
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, thread::JoinHandle<()>)>>>;
+
+/// The network front end: owns the [`Service`], the listener, and every
+/// connection thread. See the module docs for the connection lifecycle.
+pub struct NetServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+    conns: ConnRegistry,
+}
+
+impl NetServer {
+    /// Bind `config.bind` and start accepting connections on behalf of
+    /// `service`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the listener.
+    pub fn start(service: Service, config: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let recorder = config
+            .trace
+            .then(|| Arc::new(FlightRecorder::new(1, config.trace_capacity)));
+        let inner = Arc::new(Inner {
+            service,
+            metrics: NetMetrics::new(),
+            config,
+            recorder,
+            stop: AtomicBool::new(false),
+            next_conn: AtomicU64::new(1),
+        });
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("net-accept".to_string())
+                .spawn(move || accept_loop(&listener, &inner, &conns))
+                .expect("spawn accept loop")
+        };
+        Ok(NetServer {
+            inner,
+            addr,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (with the real port when `bind` asked for 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the front end's counters.
+    #[must_use]
+    pub fn metrics(&self) -> NetSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The underlying service's metrics snapshot.
+    #[must_use]
+    pub fn service_metrics(&self) -> MetricsSnapshot {
+        self.inner.service.metrics()
+    }
+
+    /// The combined Prometheus page: the service's metrics followed by
+    /// the front end's.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let mut page = self.inner.service.prometheus();
+        page.push_str(&metrics::prometheus(&self.metrics()));
+        page
+    }
+
+    /// The combined JSON document: `{"svc": …, "net": …}`.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut o = stackcache_obs::JsonObj::new();
+        o.field_raw("svc", &self.inner.service.json())
+            .field_raw("net", &metrics::json(&self.metrics()));
+        o.finish()
+    }
+
+    /// The front end's flight-recorder dump (connection lifecycle and
+    /// frame events), or `None` when untraced.
+    #[must_use]
+    pub fn flight_dump(&self) -> Option<FlightDump> {
+        self.inner.recorder.as_ref().map(|r| r.dump())
+    }
+
+    /// The service's flight-recorder dump, or `None` when the service
+    /// runs untraced.
+    #[must_use]
+    pub fn service_flight_dump(&self) -> Option<FlightDump> {
+        self.inner.service.flight_dump()
+    }
+
+    /// The service's retained incident reports.
+    #[must_use]
+    pub fn incident_reports(&self) -> Vec<String> {
+        self.inner.service.incident_reports()
+    }
+
+    /// Graceful drain: stop accepting, shut down every connection's
+    /// read half, run all in-flight requests to their replies, flush
+    /// the writers, then shut the service down. Returns both final
+    /// snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> (MetricsSnapshot, NetSnapshot) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept loop");
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for (stream, _) in &conns {
+            // readers see EOF, stop taking new frames, and drain
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for (_, handle) in conns {
+            handle.join().expect("connection thread");
+        }
+        let inner = Arc::into_inner(self.inner).expect("all connection threads joined");
+        let svc_snap = inner.service.shutdown();
+        (svc_snap, inner.metrics.snapshot())
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>, conns: &ConnRegistry) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => break,
+        };
+        if inner.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.on_conn_opened();
+        inner.trace(
+            conn_id,
+            EventKind::ConnOpened {
+                peer_port: peer.port(),
+            },
+        );
+        let reader_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let handle = {
+            let inner = Arc::clone(inner);
+            thread::Builder::new()
+                .name(format!("net-conn-{conn_id}"))
+                .spawn(move || serve_conn(&inner, reader_stream, conn_id))
+                .expect("spawn connection thread")
+        };
+        conns.lock().expect("conns lock").push((stream, handle));
+    }
+}
+
+/// One connection's reader loop: handshake, then frames until EOF,
+/// `Goodbye`, or a protocol violation. Owns the writer thread.
+#[allow(clippy::too_many_lines)]
+fn serve_conn(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel();
+    let shared = Arc::new(ConnShared {
+        inflight: AtomicU32::new(0),
+        tx: Mutex::new(tx),
+    });
+    let writer = {
+        let inner = Arc::clone(inner);
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name(format!("net-conn-{conn_id}-writer"))
+            .spawn(move || writer_loop(&inner, &shared, writer_stream, conn_id, &rx))
+            .expect("spawn connection writer")
+    };
+    let route: Arc<dyn ReplyRoute> = Arc::new(ConnRoute {
+        shared: Arc::clone(&shared),
+    });
+
+    let mut reader = BufReader::new(stream);
+    let mut window: Option<u32> = None; // Some(granted) once Hello is done
+    let mut frames_seen: u32 = 0;
+    loop {
+        let frame = match read_frame(&mut reader, inner.config.max_frame) {
+            Ok(Some((frame, bytes))) => {
+                frames_seen = frames_seen.saturating_add(1);
+                inner.metrics.on_frame_in(bytes as u64);
+                inner.trace(
+                    conn_id,
+                    EventKind::FrameIn {
+                        frame: frame.kind() as u8,
+                        bytes: bytes.min(u32::MAX as usize) as u32,
+                    },
+                );
+                frame
+            }
+            Ok(None) => {
+                // clean close: drain in-flight replies, no GoodbyeOk
+                shared.send(WriterMsg::Drain { goodbye_ok: false });
+                break;
+            }
+            Err(ReadError::Io(_)) => {
+                shared.send(WriterMsg::Close);
+                break;
+            }
+            Err(ReadError::Wire(e)) => {
+                proto_error(inner, &shared, conn_id, e.code(), &e.to_string());
+                break;
+            }
+        };
+
+        let Some(granted) = window else {
+            // the handshake: the first frame must be Hello
+            if let Frame::Hello { window: requested } = frame {
+                let granted = requested.clamp(1, inner.config.max_window);
+                window = Some(granted);
+                shared.send(WriterMsg::Frame(Box::new(Frame::HelloOk {
+                    window: granted,
+                    max_frame: inner.config.max_frame,
+                })));
+                continue;
+            }
+            proto_error(
+                inner,
+                &shared,
+                conn_id,
+                ERR_EXPECTED_HELLO,
+                "the first frame on a connection must be Hello",
+            );
+            break;
+        };
+
+        match frame {
+            Frame::Hello { .. } => {
+                proto_error(
+                    inner,
+                    &shared,
+                    conn_id,
+                    ERR_EXPECTED_HELLO,
+                    "duplicate Hello",
+                );
+                break;
+            }
+            Frame::Ping { corr } => {
+                inner.metrics.on_ping();
+                shared.send(WriterMsg::Frame(Box::new(Frame::Pong { corr })));
+            }
+            Frame::Goodbye => {
+                shared.send(WriterMsg::Drain { goodbye_ok: true });
+                break;
+            }
+            Frame::Submit { corr, request } => {
+                if shared.inflight.load(Ordering::Acquire) >= granted {
+                    busy(inner, &shared, corr, "pipelining window full");
+                    continue;
+                }
+                shared.inflight.fetch_add(1, Ordering::AcqRel);
+                match inner
+                    .service
+                    .submit_routed(request.to_request(), corr, Arc::clone(&route))
+                {
+                    Ok(_id) => inner.metrics.on_submit(),
+                    Err(e) => {
+                        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                        refuse_submit(inner, &shared, corr, e);
+                    }
+                }
+            }
+            Frame::BadSubmit { corr, error } => {
+                // sound framing, invalid request content: a typed
+                // BadRequest reply, and the connection lives on
+                inner.metrics.on_bad_request();
+                shared.send(WriterMsg::Frame(Box::new(Frame::Reply {
+                    corr,
+                    reply: WireReply::status_only(ReplyStatus::BadRequest, 0, error.to_string()),
+                })));
+            }
+            Frame::BatchSubmit { corr: _, items } => {
+                let n = items.len() as u32;
+                if shared.inflight.load(Ordering::Acquire).saturating_add(n) > granted {
+                    for (item_corr, _) in &items {
+                        busy(inner, &shared, *item_corr, "pipelining window full");
+                    }
+                    continue;
+                }
+                shared.inflight.fetch_add(n, Ordering::AcqRel);
+                let batch: Vec<_> = items
+                    .iter()
+                    .map(|(item_corr, request)| (*item_corr, request.to_request()))
+                    .collect();
+                match inner.service.submit_batch_routed(batch, &route) {
+                    Ok(_ids) => inner.metrics.on_batch_submit(u64::from(n)),
+                    Err(e) => {
+                        shared.inflight.fetch_sub(n, Ordering::AcqRel);
+                        for (item_corr, _) in &items {
+                            refuse_submit(inner, &shared, *item_corr, e);
+                        }
+                    }
+                }
+            }
+            Frame::HelloOk { .. }
+            | Frame::Pong { .. }
+            | Frame::GoodbyeOk
+            | Frame::Reply { .. }
+            | Frame::ProtoError { .. } => {
+                proto_error(
+                    inner,
+                    &shared,
+                    conn_id,
+                    ERR_UNEXPECTED_FRAME,
+                    "frame kind is server-to-client only",
+                );
+                break;
+            }
+        }
+    }
+    writer.join().expect("connection writer");
+    inner.metrics.on_conn_closed();
+    inner.trace(
+        conn_id,
+        EventKind::ConnClosed {
+            frames: frames_seen,
+        },
+    );
+}
+
+/// Refuse one submission with the status its [`SubmitError`] maps to.
+fn refuse_submit(inner: &Arc<Inner>, shared: &ConnShared, corr: u64, e: SubmitError) {
+    match e {
+        SubmitError::QueueFull => busy(inner, shared, corr, "service queue full"),
+        SubmitError::ShuttingDown => {
+            shared.send(WriterMsg::Frame(Box::new(Frame::Reply {
+                corr,
+                reply: WireReply::status_only(
+                    ReplyStatus::ShutDown,
+                    0,
+                    "service shutting down".to_string(),
+                ),
+            })));
+        }
+    }
+}
+
+fn busy(inner: &Arc<Inner>, shared: &ConnShared, corr: u64, why: &str) {
+    inner.metrics.on_busy();
+    shared.send(WriterMsg::Frame(Box::new(Frame::Reply {
+        corr,
+        reply: WireReply::status_only(ReplyStatus::Busy, 0, why.to_string()),
+    })));
+}
+
+fn proto_error(inner: &Arc<Inner>, shared: &ConnShared, conn_id: u64, code: u8, message: &str) {
+    inner.metrics.on_protocol_error();
+    inner.trace(conn_id, EventKind::ProtocolError { code });
+    shared.send(WriterMsg::Frame(Box::new(Frame::ProtoError {
+        corr: 0,
+        code,
+        message: message.to_string(),
+    })));
+    shared.send(WriterMsg::Close);
+}
+
+/// A connection's writer loop: the only thread that touches the write
+/// half. Serializes frames, frees window slots, and implements the
+/// drain handshake.
+fn writer_loop(
+    inner: &Arc<Inner>,
+    shared: &ConnShared,
+    stream: TcpStream,
+    conn_id: u64,
+    rx: &mpsc::Receiver<WriterMsg>,
+) {
+    let mut w = BufWriter::new(stream);
+    let mut draining: Option<bool> = None; // Some(goodbye_ok) once draining
+
+    // the loop ends when the reader and all reply routes are gone
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WriterMsg::Frame(frame) => {
+                if write_frame(inner, &mut w, conn_id, &frame).is_err() {
+                    break;
+                }
+            }
+            WriterMsg::Answer {
+                corr,
+                request_id,
+                reply,
+            } => {
+                let frame = Frame::Reply {
+                    corr,
+                    reply: WireReply::from_reply(request_id, &reply),
+                };
+                // free the window slot *before* the reply bytes can
+                // reach the client: a client that reacts to the reply
+                // instantly must find the slot already open, or its
+                // next pipelined submit earns a spurious Busy
+                let left = shared.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
+                inner.metrics.on_reply();
+                if write_frame(inner, &mut w, conn_id, &frame).is_err() {
+                    break;
+                }
+                if left == 0 {
+                    if let Some(goodbye_ok) = draining {
+                        finish_drain(inner, &mut w, conn_id, goodbye_ok);
+                        break;
+                    }
+                }
+            }
+            WriterMsg::Drain { goodbye_ok } => {
+                draining = Some(goodbye_ok);
+                if shared.inflight.load(Ordering::Acquire) == 0 {
+                    finish_drain(inner, &mut w, conn_id, goodbye_ok);
+                    break;
+                }
+            }
+            WriterMsg::Close => break,
+        }
+    }
+    let _ = w.flush();
+    if let Ok(stream) = w.into_inner() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn finish_drain(inner: &Arc<Inner>, w: &mut BufWriter<TcpStream>, conn_id: u64, goodbye_ok: bool) {
+    if goodbye_ok {
+        let _ = write_frame(inner, w, conn_id, &Frame::GoodbyeOk);
+    }
+}
+
+fn write_frame(
+    inner: &Arc<Inner>,
+    w: &mut BufWriter<TcpStream>,
+    conn_id: u64,
+    frame: &Frame,
+) -> io::Result<()> {
+    let bytes = frame.encode();
+    inner.metrics.on_frame_out(bytes.len() as u64);
+    inner.trace(
+        conn_id,
+        EventKind::FrameOut {
+            frame: frame.kind() as u8,
+            bytes: bytes.len().min(u32::MAX as usize) as u32,
+        },
+    );
+    w.write_all(&bytes)?;
+    w.flush()
+}

@@ -1,0 +1,1376 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame is a fixed 20-byte header followed by a body of
+//! `len` bytes. All integers are little-endian. The header:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic   b"STKC"
+//!      4     2  version (currently 1)
+//!      6     1  kind    (FrameKind)
+//!      7     1  flags   (reserved, must be zero)
+//!      8     8  corr    client-assigned correlation id
+//!     16     4  len     body length in bytes
+//! ```
+//!
+//! Request frames ([`Frame::Submit`]) carry the program as
+//! `(opcode u8, payload u64)` pairs plus the starting machine image
+//! (stack, return stack, memory bytes); reply frames carry a
+//! [`ReplyStatus`], the final stacks and output, an FNV-1a-64 hash of
+//! the final memory image, and per-request statistics. Control frames
+//! (`Hello`/`Ping`/`Goodbye`) manage the connection itself.
+//!
+//! Every decode failure is a typed [`WireError`]; nothing in this module
+//! panics on attacker-controlled bytes (the protocol fuzz tests pin
+//! that).
+
+use std::fmt;
+use std::io::{self, Read};
+use std::sync::Arc;
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+use stackcache_harness::{Outcome, Trap};
+use stackcache_svc::{Completion, Rejection, Reply, Request};
+use stackcache_vm::{Inst, Machine, Program, ProgramBuilder};
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"STKC";
+/// The protocol version this build speaks. Versioning rule: the major
+/// version in the header must match exactly; a server receiving any
+/// other value answers [`WireError::UnsupportedVersion`] and closes.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Default cap on a frame body; larger frames are refused as
+/// [`WireError::Oversized`] *before* any allocation.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Frame discriminants (header byte 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server, first frame on a connection: requests a window.
+    Hello = 1,
+    /// Server → client: grants the window and announces the frame cap.
+    HelloOk = 2,
+    /// Client → server liveness probe; `corr` is echoed in the `Pong`.
+    Ping = 3,
+    /// Server → client answer to a `Ping`.
+    Pong = 4,
+    /// Client → server: finish outstanding replies, then close.
+    Goodbye = 5,
+    /// Server → client: all replies flushed; the connection closes next.
+    GoodbyeOk = 6,
+    /// One execution request.
+    Submit = 7,
+    /// Several requests admitted and executed as one batch.
+    BatchSubmit = 8,
+    /// The answer to one submitted request.
+    Reply = 9,
+    /// A protocol-level failure; the sender closes after this frame.
+    ProtoError = 10,
+}
+
+impl FrameKind {
+    /// Decode a header kind byte.
+    #[must_use]
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        match b {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::HelloOk),
+            3 => Some(FrameKind::Ping),
+            4 => Some(FrameKind::Pong),
+            5 => Some(FrameKind::Goodbye),
+            6 => Some(FrameKind::GoodbyeOk),
+            7 => Some(FrameKind::Submit),
+            8 => Some(FrameKind::BatchSubmit),
+            9 => Some(FrameKind::Reply),
+            10 => Some(FrameKind::ProtoError),
+            _ => None,
+        }
+    }
+}
+
+/// How a reply classifies its request (reply body byte 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ReplyStatus {
+    /// Ran to a clean halt; stacks, output, and memory hash are final.
+    Ok = 0,
+    /// Ran to a runtime trap (a *result*, not a service error); the trap
+    /// code and partial state accompany it.
+    Trap = 1,
+    /// The wall-clock deadline passed before or during execution.
+    DeadlineExpired = 2,
+    /// The instruction budget ran out.
+    FuelExhausted = 3,
+    /// The service shut down before the request could run.
+    ShutDown = 4,
+    /// The analyzer proved the program underflows its preset stack.
+    AnalysisRejected = 5,
+    /// Backpressure: the queue or the connection window is full; the
+    /// request was not admitted and may be retried.
+    Busy = 6,
+    /// The request body failed validation (bad opcode, bad regime, bad
+    /// branch target); the connection stays open.
+    BadRequest = 7,
+}
+
+impl ReplyStatus {
+    /// Decode a reply status byte.
+    #[must_use]
+    pub fn from_u8(b: u8) -> Option<ReplyStatus> {
+        match b {
+            0 => Some(ReplyStatus::Ok),
+            1 => Some(ReplyStatus::Trap),
+            2 => Some(ReplyStatus::DeadlineExpired),
+            3 => Some(ReplyStatus::FuelExhausted),
+            4 => Some(ReplyStatus::ShutDown),
+            5 => Some(ReplyStatus::AnalysisRejected),
+            6 => Some(ReplyStatus::Busy),
+            7 => Some(ReplyStatus::BadRequest),
+            _ => None,
+        }
+    }
+}
+
+/// A typed protocol failure. Conversions to/from the one-byte code
+/// carried by [`Frame::ProtoError`] are lossy in the payload but stable
+/// in the discriminant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The header version is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion(u16),
+    /// The header kind byte names no frame.
+    UnknownFrameKind(u8),
+    /// The reserved flags byte was nonzero.
+    NonzeroFlags(u8),
+    /// The stream ended inside a header or body.
+    Truncated,
+    /// The declared body length exceeds the negotiated cap.
+    Oversized {
+        /// Declared body length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// The body decoded cleanly but bytes remained.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A program word's opcode byte names no instruction.
+    BadOpcode(u8),
+    /// A payload-less opcode carried a nonzero payload.
+    StrayPayload(u8),
+    /// A branch/call payload does not fit a `u32` target.
+    BadTarget {
+        /// The opcode carrying the target.
+        opcode: u8,
+        /// The out-of-range payload.
+        payload: u64,
+    },
+    /// The regime byte is outside `0..8`.
+    BadRegime(u8),
+    /// The reply status byte names no status.
+    BadStatus(u8),
+    /// The program failed builder validation (target/entry range).
+    BadProgram(String),
+    /// A batch frame declared zero items.
+    EmptyBatch,
+}
+
+impl WireError {
+    /// `true` for errors in the *content* of a submitted request (bad
+    /// opcode, stray payload, bad target, bad regime, invalid program)
+    /// as opposed to the framing itself. Content errors are
+    /// recoverable: the server answers
+    /// [`ReplyStatus::BadRequest`] and the connection lives on;
+    /// framing errors end the connection with a
+    /// [`Frame::ProtoError`].
+    #[must_use]
+    pub fn is_request_content(&self) -> bool {
+        matches!(
+            self,
+            WireError::BadOpcode(_)
+                | WireError::StrayPayload(_)
+                | WireError::BadTarget { .. }
+                | WireError::BadRegime(_)
+                | WireError::BadProgram(_)
+        )
+    }
+
+    /// The stable one-byte code carried by [`Frame::ProtoError`].
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            WireError::BadMagic(_) => 1,
+            WireError::UnsupportedVersion(_) => 2,
+            WireError::UnknownFrameKind(_) => 3,
+            WireError::NonzeroFlags(_) => 4,
+            WireError::Truncated => 5,
+            WireError::Oversized { .. } => 6,
+            WireError::TrailingBytes { .. } => 7,
+            WireError::BadOpcode(_) => 8,
+            WireError::StrayPayload(_) => 9,
+            WireError::BadTarget { .. } => 10,
+            WireError::BadRegime(_) => 11,
+            WireError::BadStatus(_) => 12,
+            WireError::BadProgram(_) => 13,
+            WireError::EmptyBatch => 14,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (want {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::NonzeroFlags(b) => write!(f, "reserved flags byte is {b:#04x}"),
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the frame body")
+            }
+            WireError::BadOpcode(op) => write!(f, "opcode {op} names no instruction"),
+            WireError::StrayPayload(op) => {
+                write!(f, "payload-less opcode {op} carried a nonzero payload")
+            }
+            WireError::BadTarget { opcode, payload } => {
+                write!(f, "opcode {opcode} target {payload} does not fit u32")
+            }
+            WireError::BadRegime(r) => write!(f, "regime index {r} out of range"),
+            WireError::BadStatus(s) => write!(f, "reply status {s} out of range"),
+            WireError::BadProgram(msg) => write!(f, "invalid program: {msg}"),
+            WireError::EmptyBatch => write!(f, "batch frame with zero items"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A frame-read failure: an I/O error, or well-received bytes that do
+/// not form a frame.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The bytes violate the protocol.
+    Wire(WireError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o: {e}"),
+            ReadError::Wire(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<WireError> for ReadError {
+    fn from(e: WireError) -> Self {
+        ReadError::Wire(e)
+    }
+}
+
+/// One execution request as it travels the wire: the program as opcode
+/// words, the starting machine image, and the execution limits.
+#[derive(Debug, Clone)]
+pub struct WireRequest {
+    /// The program to execute.
+    pub program: Arc<Program>,
+    /// Which engine runs it (wire-encoded as the regime's dense index).
+    pub regime: EngineRegime,
+    /// Peephole-optimize before translation.
+    pub peephole: bool,
+    /// Instruction budget.
+    pub fuel: u64,
+    /// Wall-clock budget in nanoseconds, measured from server admission;
+    /// `None` means fuel-bounded only.
+    pub deadline_nanos: Option<u64>,
+    /// Starting data stack, bottom first.
+    pub stack: Vec<i64>,
+    /// Starting return stack, bottom first.
+    pub rstack: Vec<i64>,
+    /// Starting memory image.
+    pub memory: Vec<u8>,
+}
+
+impl WireRequest {
+    /// A request with an empty starting machine of the harness's
+    /// standard memory size.
+    #[must_use]
+    pub fn new(program: Arc<Program>, regime: EngineRegime) -> Self {
+        WireRequest {
+            program,
+            regime,
+            peephole: false,
+            fuel: 1_000_000_000,
+            deadline_nanos: None,
+            stack: Vec::new(),
+            rstack: Vec::new(),
+            memory: vec![0; stackcache_harness::MEMORY_BYTES],
+        }
+    }
+
+    /// Set the instruction budget.
+    #[must_use]
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Set a wall-clock deadline, measured from server admission.
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline_nanos = Some(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self
+    }
+
+    /// Peephole-optimize before translation.
+    #[must_use]
+    pub fn peephole(mut self, on: bool) -> Self {
+        self.peephole = on;
+        self
+    }
+
+    /// Set the starting data stack.
+    #[must_use]
+    pub fn with_stack(mut self, stack: Vec<i64>) -> Self {
+        self.stack = stack;
+        self
+    }
+
+    /// Materialize the service-side [`Request`] this wire request names.
+    #[must_use]
+    pub fn to_request(&self) -> Request {
+        let mut proto = Machine::with_memory(self.memory.len());
+        proto.memory_mut().copy_from_slice(&self.memory);
+        proto.set_stack(&self.stack);
+        proto.set_rstack(&self.rstack);
+        let mut r = Request::new(Arc::clone(&self.program), self.regime)
+            .on(Arc::new(proto))
+            .peephole(self.peephole)
+            .fuel(self.fuel);
+        if let Some(nanos) = self.deadline_nanos {
+            r = r.deadline(Duration::from_nanos(nanos));
+        }
+        r
+    }
+}
+
+/// The answer to one request as it travels the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReply {
+    /// How the request ended.
+    pub status: ReplyStatus,
+    /// The trap discriminant when `status` is [`ReplyStatus::Trap`]
+    /// (same codes the flight recorder uses), zero otherwise.
+    pub trap_code: u8,
+    /// Whether the compiled artifact came from the server's cache.
+    pub cache_hit: bool,
+    /// The service-assigned request id — the correlation key for this
+    /// request's flight-recorder trail on the server. Zero when the
+    /// request never reached the service (Busy, BadRequest).
+    pub request_id: u64,
+    /// Wall-clock execution time in nanoseconds (excluding queueing).
+    pub latency_nanos: u64,
+    /// Instructions executed, `None` for engines running compiled code.
+    pub executed: Option<u64>,
+    /// FNV-1a-64 hash of the final memory image (replies carry the hash,
+    /// not the image, to stay small).
+    pub memory_hash: u64,
+    /// Final data stack, bottom first.
+    pub stack: Vec<i64>,
+    /// Final return stack, bottom first.
+    pub rstack: Vec<i64>,
+    /// Bytes the program emitted.
+    pub output: Vec<u8>,
+    /// Human-readable detail (analysis diagnostics, request errors).
+    pub message: String,
+}
+
+impl WireReply {
+    /// A reply that carries only a status and message (rejections,
+    /// backpressure, request errors).
+    #[must_use]
+    pub fn status_only(status: ReplyStatus, request_id: u64, message: String) -> Self {
+        WireReply {
+            status,
+            trap_code: 0,
+            cache_hit: false,
+            request_id,
+            latency_nanos: 0,
+            executed: None,
+            memory_hash: 0,
+            stack: Vec::new(),
+            rstack: Vec::new(),
+            output: Vec::new(),
+            message,
+        }
+    }
+
+    /// Render a service [`Reply`] for the wire.
+    #[must_use]
+    pub fn from_reply(request_id: u64, reply: &Reply) -> Self {
+        match reply {
+            Reply::Completed(c) => WireReply::from_completion(request_id, c),
+            Reply::Rejected(r) => {
+                let (status, message) = match r {
+                    Rejection::DeadlineExpired => (ReplyStatus::DeadlineExpired, String::new()),
+                    Rejection::FuelExhausted => (ReplyStatus::FuelExhausted, String::new()),
+                    Rejection::ShutDown => (ReplyStatus::ShutDown, String::new()),
+                    Rejection::AnalysisRejected { diagnostic } => {
+                        (ReplyStatus::AnalysisRejected, diagnostic.clone())
+                    }
+                };
+                WireReply::status_only(status, request_id, message)
+            }
+        }
+    }
+
+    fn from_completion(request_id: u64, c: &Completion) -> Self {
+        let (status, trap_code) = match c.outcome.trap {
+            None => (ReplyStatus::Ok, 0),
+            Some(t) => (ReplyStatus::Trap, trap_to_code(t)),
+        };
+        WireReply {
+            status,
+            trap_code,
+            cache_hit: c.cache_hit,
+            request_id,
+            latency_nanos: c.latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+            executed: c.outcome.executed,
+            memory_hash: fnv1a64(&c.outcome.memory),
+            stack: c.outcome.stack.clone(),
+            rstack: c.outcome.rstack.clone(),
+            output: c.outcome.output.clone(),
+            message: String::new(),
+        }
+    }
+
+    /// Check this reply against a locally computed reference [`Outcome`]:
+    /// status/trap, stacks, output, and the memory-image hash must all
+    /// agree. Returns the first difference, or `None` on agreement.
+    #[must_use]
+    pub fn differs_from(&self, want: &Outcome) -> Option<String> {
+        let want_status = match want.trap {
+            None => (ReplyStatus::Ok, 0),
+            Some(t) => (ReplyStatus::Trap, trap_to_code(t)),
+        };
+        if (self.status, self.trap_code) != want_status {
+            return Some(format!(
+                "status: {:?}/trap {} vs {:?}/trap {}",
+                self.status, self.trap_code, want_status.0, want_status.1
+            ));
+        }
+        if self.stack != want.stack {
+            return Some(format!("stack: {:?} vs {:?}", self.stack, want.stack));
+        }
+        if self.rstack != want.rstack {
+            return Some(format!("rstack: {:?} vs {:?}", self.rstack, want.rstack));
+        }
+        if self.output != want.output {
+            return Some(format!(
+                "output: {:?} vs {:?}",
+                String::from_utf8_lossy(&self.output),
+                String::from_utf8_lossy(&want.output)
+            ));
+        }
+        let want_hash = fnv1a64(&want.memory);
+        if self.memory_hash != want_hash {
+            return Some(format!(
+                "memory hash: {:#018x} vs {:#018x}",
+                self.memory_hash, want_hash
+            ));
+        }
+        None
+    }
+}
+
+/// The flight-recorder trap code for a [`Trap`] (matches the service's
+/// incident payloads).
+#[must_use]
+pub fn trap_to_code(t: Trap) -> u8 {
+    match t {
+        Trap::StackUnderflow => 1,
+        Trap::StackOverflow => 2,
+        Trap::ReturnStackUnderflow => 3,
+        Trap::ReturnStackOverflow => 4,
+        Trap::MemoryOutOfBounds => 5,
+        Trap::DivisionByZero => 6,
+        Trap::PickOutOfRange => 7,
+        Trap::InvalidExecutionToken => 8,
+        Trap::InstructionOutOfBounds => 9,
+        Trap::FuelExhausted => 10,
+        Trap::Cancelled => 11,
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the memory-image digest replies carry.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Connection opener; `window` is the client's requested in-flight cap.
+    Hello {
+        /// Requested pipelining window.
+        window: u32,
+    },
+    /// Handshake answer.
+    HelloOk {
+        /// The granted in-flight window (min of requested and server cap).
+        window: u32,
+        /// The server's frame-body cap.
+        max_frame: u32,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed in the `Pong`.
+        corr: u64,
+    },
+    /// Liveness answer.
+    Pong {
+        /// The probed correlation id.
+        corr: u64,
+    },
+    /// Drain request: answer everything outstanding, then close.
+    Goodbye,
+    /// Drain acknowledged; the connection closes next.
+    GoodbyeOk,
+    /// One execution request.
+    Submit {
+        /// Client-assigned correlation id, echoed in the reply.
+        corr: u64,
+        /// The request.
+        request: WireRequest,
+    },
+    /// Requests admitted and executed as one batch (one queue slot, one
+    /// amortized machine clone).
+    BatchSubmit {
+        /// Correlation id of the batch frame itself (unused in replies;
+        /// each item replies under its own id).
+        corr: u64,
+        /// `(correlation id, request)` per item.
+        items: Vec<(u64, WireRequest)>,
+    },
+    /// The answer to one request.
+    Reply {
+        /// The submitting frame's correlation id.
+        corr: u64,
+        /// The answer.
+        reply: WireReply,
+    },
+    /// Decode-only: a `Submit` (or `BatchSubmit`) frame whose framing
+    /// was sound but whose request *content* failed validation
+    /// ([`WireError::is_request_content`]). The server answers
+    /// [`ReplyStatus::BadRequest`] under `corr` and the connection
+    /// stays open. Never produced by [`Frame::encode`] of a valid
+    /// protocol exchange; encoding one yields the [`Frame::ProtoError`]
+    /// image of its error.
+    BadSubmit {
+        /// The offending frame's correlation id.
+        corr: u64,
+        /// What was wrong with the request.
+        error: WireError,
+    },
+    /// A protocol failure; the connection closes after this frame.
+    ProtoError {
+        /// Correlation id of the offending frame when known, else 0.
+        corr: u64,
+        /// [`WireError::code`] of the failure.
+        code: u8,
+        /// Human-readable rendering.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// This frame's kind byte.
+    #[must_use]
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Frame::Hello { .. } => FrameKind::Hello,
+            Frame::HelloOk { .. } => FrameKind::HelloOk,
+            Frame::Ping { .. } => FrameKind::Ping,
+            Frame::Pong { .. } => FrameKind::Pong,
+            Frame::Goodbye => FrameKind::Goodbye,
+            Frame::GoodbyeOk => FrameKind::GoodbyeOk,
+            Frame::Submit { .. } => FrameKind::Submit,
+            Frame::BatchSubmit { .. } => FrameKind::BatchSubmit,
+            Frame::Reply { .. } => FrameKind::Reply,
+            Frame::ProtoError { .. } | Frame::BadSubmit { .. } => FrameKind::ProtoError,
+        }
+    }
+
+    /// Serialize this frame (header + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let (corr, body) = match self {
+            Frame::Hello { window } => (0, window.to_le_bytes().to_vec()),
+            Frame::HelloOk { window, max_frame } => {
+                let mut b = Vec::with_capacity(8);
+                b.extend_from_slice(&window.to_le_bytes());
+                b.extend_from_slice(&max_frame.to_le_bytes());
+                (0, b)
+            }
+            Frame::Ping { corr } => (*corr, Vec::new()),
+            Frame::Pong { corr } => (*corr, Vec::new()),
+            Frame::Goodbye | Frame::GoodbyeOk => (0, Vec::new()),
+            Frame::Submit { corr, request } => {
+                let mut b = Vec::new();
+                encode_request(&mut b, request);
+                (*corr, b)
+            }
+            Frame::BatchSubmit { corr, items } => {
+                let mut b = Vec::new();
+                b.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for (item_corr, request) in items {
+                    b.extend_from_slice(&item_corr.to_le_bytes());
+                    let mut ib = Vec::new();
+                    encode_request(&mut ib, request);
+                    b.extend_from_slice(&(ib.len() as u32).to_le_bytes());
+                    b.extend_from_slice(&ib);
+                }
+                (*corr, b)
+            }
+            Frame::Reply { corr, reply } => {
+                let mut b = Vec::new();
+                encode_reply(&mut b, reply);
+                (*corr, b)
+            }
+            Frame::ProtoError {
+                corr,
+                code,
+                message,
+            } => {
+                let mut b = Vec::with_capacity(5 + message.len());
+                b.push(*code);
+                b.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                b.extend_from_slice(message.as_bytes());
+                (*corr, b)
+            }
+            Frame::BadSubmit { corr, error } => {
+                let message = error.to_string();
+                let mut b = Vec::with_capacity(5 + message.len());
+                b.push(error.code());
+                b.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                b.extend_from_slice(message.as_bytes());
+                (*corr, b)
+            }
+        };
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        out.push(self.kind() as u8);
+        out.push(0); // flags, reserved
+        out.extend_from_slice(&corr.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+fn encode_request(b: &mut Vec<u8>, r: &WireRequest) {
+    b.push(r.regime.index().min(u8::MAX as usize) as u8);
+    b.push(u8::from(r.peephole));
+    b.extend_from_slice(&[0, 0]); // reserved
+    b.extend_from_slice(&r.fuel.to_le_bytes());
+    b.extend_from_slice(&r.deadline_nanos.unwrap_or(0).to_le_bytes());
+    b.extend_from_slice(&(r.program.entry() as u32).to_le_bytes());
+    b.extend_from_slice(&(r.program.len() as u32).to_le_bytes());
+    for inst in r.program.insts() {
+        b.push(inst.opcode());
+        let payload: u64 = match inst {
+            Inst::Lit(c) => *c as u64,
+            other => other.target().map_or(0, u64::from),
+        };
+        b.extend_from_slice(&payload.to_le_bytes());
+    }
+    encode_cells(b, &r.stack);
+    encode_cells(b, &r.rstack);
+    b.extend_from_slice(&(r.memory.len() as u32).to_le_bytes());
+    b.extend_from_slice(&r.memory);
+}
+
+fn encode_cells(b: &mut Vec<u8>, cells: &[i64]) {
+    b.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+    for c in cells {
+        b.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn encode_reply(b: &mut Vec<u8>, r: &WireReply) {
+    b.push(r.status as u8);
+    b.push(r.trap_code);
+    b.push(u8::from(r.cache_hit));
+    b.push(0); // reserved
+    b.extend_from_slice(&r.request_id.to_le_bytes());
+    b.extend_from_slice(&r.latency_nanos.to_le_bytes());
+    b.extend_from_slice(&r.executed.unwrap_or(u64::MAX).to_le_bytes());
+    b.extend_from_slice(&r.memory_hash.to_le_bytes());
+    encode_cells(b, &r.stack);
+    encode_cells(b, &r.rstack);
+    b.extend_from_slice(&(r.output.len() as u32).to_le_bytes());
+    b.extend_from_slice(&r.output);
+    b.extend_from_slice(&(r.message.len() as u32).to_le_bytes());
+    b.extend_from_slice(r.message.as_bytes());
+}
+
+/// A bounds-checked little-endian reader over one frame body.
+struct Body<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Body<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Body { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn cells(&mut self) -> Result<Vec<i64>, WireError> {
+        let n = self.u32()?;
+        // no with_capacity from an untrusted count: growth is bounded by
+        // the actual bytes present
+        let mut v = Vec::new();
+        for _ in 0..n {
+            v.push(self.i64()?);
+        }
+        Ok(v)
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        Ok(String::from_utf8_lossy(&self.blob()?).into_owned())
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                extra: self.bytes.len() - self.pos,
+            })
+        }
+    }
+}
+
+/// Rebuild an instruction from its wire word.
+fn inst_from_wire(op: u8, payload: u64) -> Result<Inst, WireError> {
+    let rep = Inst::all()
+        .nth(op as usize)
+        .ok_or(WireError::BadOpcode(op))?;
+    if matches!(rep, Inst::Lit(_)) {
+        #[allow(clippy::cast_possible_wrap)]
+        return Ok(Inst::Lit(payload as i64));
+    }
+    if rep.target().is_some() {
+        let t = u32::try_from(payload).map_err(|_| WireError::BadTarget {
+            opcode: op,
+            payload,
+        })?;
+        return Ok(rep.with_target(t));
+    }
+    if payload != 0 {
+        return Err(WireError::StrayPayload(op));
+    }
+    Ok(rep)
+}
+
+fn decode_request(b: &mut Body<'_>) -> Result<WireRequest, WireError> {
+    let regime_idx = b.u8()?;
+    let regime = *EngineRegime::ALL
+        .get(regime_idx as usize)
+        .ok_or(WireError::BadRegime(regime_idx))?;
+    let peephole = b.u8()? != 0;
+    b.take(2)?; // reserved
+    let fuel = b.u64()?;
+    let deadline = b.u64()?;
+    let entry = b.u32()?;
+    let n_insts = b.u32()?;
+    let mut builder = ProgramBuilder::new();
+    for _ in 0..n_insts {
+        let op = b.u8()?;
+        let payload = b.u64()?;
+        builder.push(inst_from_wire(op, payload)?);
+    }
+    builder.set_entry(entry as usize);
+    let program = builder
+        .finish()
+        .map_err(|e| WireError::BadProgram(e.to_string()))?;
+    let stack = b.cells()?;
+    let rstack = b.cells()?;
+    let memory = b.blob()?;
+    Ok(WireRequest {
+        program: Arc::new(program),
+        regime,
+        peephole,
+        fuel,
+        deadline_nanos: (deadline != 0).then_some(deadline),
+        stack,
+        rstack,
+        memory,
+    })
+}
+
+fn decode_reply(b: &mut Body<'_>) -> Result<WireReply, WireError> {
+    let status_byte = b.u8()?;
+    let status = ReplyStatus::from_u8(status_byte).ok_or(WireError::BadStatus(status_byte))?;
+    let trap_code = b.u8()?;
+    let cache_hit = b.u8()? != 0;
+    b.take(1)?; // reserved
+    let request_id = b.u64()?;
+    let latency_nanos = b.u64()?;
+    let executed = b.u64()?;
+    let memory_hash = b.u64()?;
+    let stack = b.cells()?;
+    let rstack = b.cells()?;
+    let output = b.blob()?;
+    let message = b.string()?;
+    Ok(WireReply {
+        status,
+        trap_code,
+        cache_hit,
+        request_id,
+        latency_nanos,
+        executed: (executed != u64::MAX).then_some(executed),
+        memory_hash,
+        stack,
+        rstack,
+        output,
+        message,
+    })
+}
+
+/// Decode one frame from a header and its body bytes.
+fn decode_body(kind: FrameKind, corr: u64, bytes: &[u8]) -> Result<Frame, WireError> {
+    let mut b = Body::new(bytes);
+    let frame = match kind {
+        FrameKind::Hello => Frame::Hello { window: b.u32()? },
+        FrameKind::HelloOk => Frame::HelloOk {
+            window: b.u32()?,
+            max_frame: b.u32()?,
+        },
+        FrameKind::Ping => Frame::Ping { corr },
+        FrameKind::Pong => Frame::Pong { corr },
+        FrameKind::Goodbye => Frame::Goodbye,
+        FrameKind::GoodbyeOk => Frame::GoodbyeOk,
+        FrameKind::Submit => match decode_request(&mut b) {
+            Ok(request) => Frame::Submit { corr, request },
+            // content errors are recoverable: the rest of the body is
+            // abandoned and the server answers BadRequest
+            Err(e) if e.is_request_content() => return Ok(Frame::BadSubmit { corr, error: e }),
+            Err(e) => return Err(e),
+        },
+        FrameKind::BatchSubmit => {
+            let n = b.u32()?;
+            if n == 0 {
+                return Err(WireError::EmptyBatch);
+            }
+            let mut items = Vec::new();
+            for _ in 0..n {
+                let item_corr = b.u64()?;
+                let len = b.u32()? as usize;
+                let mut ib = Body::new(b.take(len)?);
+                match decode_request(&mut ib) {
+                    Ok(request) => {
+                        ib.finish()?;
+                        items.push((item_corr, request));
+                    }
+                    // answered under the *item's* corr; the batch's
+                    // other items are abandoned (a client that builds
+                    // its programs from typed instructions never
+                    // produces this)
+                    Err(e) if e.is_request_content() => {
+                        return Ok(Frame::BadSubmit {
+                            corr: item_corr,
+                            error: e,
+                        })
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Frame::BatchSubmit { corr, items }
+        }
+        FrameKind::Reply => Frame::Reply {
+            corr,
+            reply: decode_reply(&mut b)?,
+        },
+        FrameKind::ProtoError => Frame::ProtoError {
+            corr,
+            code: b.u8()?,
+            message: b.string()?,
+        },
+    };
+    b.finish()?;
+    Ok(frame)
+}
+
+/// Decode one complete frame from `bytes` (header + body, nothing
+/// more). The in-memory counterpart of [`read_frame`], used by the
+/// golden and fuzz tests.
+///
+/// # Errors
+///
+/// Any [`WireError`] the bytes earn.
+pub fn decode_frame(bytes: &[u8], max_frame: u32) -> Result<Frame, WireError> {
+    let header: &[u8; HEADER_LEN] = bytes
+        .get(..HEADER_LEN)
+        .ok_or(WireError::Truncated)?
+        .try_into()
+        .expect("HEADER_LEN");
+    let (kind, corr, len) = check_header(header, max_frame)?;
+    let body = bytes
+        .get(HEADER_LEN..HEADER_LEN + len as usize)
+        .ok_or(WireError::Truncated)?;
+    if bytes.len() > HEADER_LEN + len as usize {
+        return Err(WireError::TrailingBytes {
+            extra: bytes.len() - HEADER_LEN - len as usize,
+        });
+    }
+    decode_body(kind, corr, body)
+}
+
+/// Validate a header, returning `(kind, corr, body_len)`.
+fn check_header(h: &[u8; HEADER_LEN], max_frame: u32) -> Result<(FrameKind, u64, u32), WireError> {
+    let magic: [u8; 4] = h[0..4].try_into().expect("4");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(h[4..6].try_into().expect("2"));
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = FrameKind::from_u8(h[6]).ok_or(WireError::UnknownFrameKind(h[6]))?;
+    if h[7] != 0 {
+        return Err(WireError::NonzeroFlags(h[7]));
+    }
+    let corr = u64::from_le_bytes(h[8..16].try_into().expect("8"));
+    let len = u32::from_le_bytes(h[16..20].try_into().expect("4"));
+    if len > max_frame {
+        return Err(WireError::Oversized {
+            len,
+            max: max_frame,
+        });
+    }
+    Ok((kind, corr, len))
+}
+
+/// Read one frame from `r`, returning it with its total wire size
+/// (header + body). Returns `Ok(None)` on a clean close (EOF exactly at
+/// a frame boundary); EOF inside a frame is [`WireError::Truncated`].
+///
+/// # Errors
+///
+/// [`ReadError::Io`] on transport failure, [`ReadError::Wire`] on
+/// protocol violation.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: u32) -> Result<Option<(Frame, usize)>, ReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated.into()),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => (),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let (kind, corr, len) = check_header(&header, max_frame)?;
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ReadError::Wire(WireError::Truncated)
+        } else {
+            ReadError::Io(e)
+        }
+    })?;
+    let frame = decode_body(kind, corr, &body)?;
+    Ok(Some((frame, HEADER_LEN + len as usize)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::program_of;
+
+    fn sample_request() -> WireRequest {
+        WireRequest::new(
+            Arc::new(program_of(&[Inst::Lit(6), Inst::Dup, Inst::Mul, Inst::Dot])),
+            EngineRegime::Static(2),
+        )
+        .fuel(10_000)
+        .with_stack(vec![1, -2])
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = vec![
+            Frame::Hello { window: 16 },
+            Frame::HelloOk {
+                window: 8,
+                max_frame: DEFAULT_MAX_FRAME,
+            },
+            Frame::Ping { corr: 7 },
+            Frame::Pong { corr: 7 },
+            Frame::Goodbye,
+            Frame::GoodbyeOk,
+            Frame::Submit {
+                corr: 42,
+                request: sample_request(),
+            },
+            Frame::BatchSubmit {
+                corr: 43,
+                items: vec![(100, sample_request()), (101, sample_request())],
+            },
+            Frame::Reply {
+                corr: 42,
+                reply: WireReply::status_only(ReplyStatus::Busy, 0, String::new()),
+            },
+            Frame::ProtoError {
+                corr: 0,
+                code: WireError::Truncated.code(),
+                message: "frame truncated".into(),
+            },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            let back = decode_frame(&bytes, DEFAULT_MAX_FRAME).expect("decode");
+            assert_eq!(back.kind(), f.kind());
+            assert_eq!(back.encode(), bytes, "re-encode is byte-identical");
+        }
+    }
+
+    #[test]
+    fn submit_roundtrips_every_field() {
+        let mut req = sample_request();
+        req.peephole = true;
+        req.deadline_nanos = Some(5_000_000);
+        req.rstack = vec![9];
+        req.memory[3] = 0xAB;
+        let frame = Frame::Submit {
+            corr: 5,
+            request: req.clone(),
+        };
+        let Frame::Submit { corr, request } =
+            decode_frame(&frame.encode(), DEFAULT_MAX_FRAME).expect("decode")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(corr, 5);
+        assert_eq!(request.program, req.program);
+        assert_eq!(request.regime, req.regime);
+        assert!(request.peephole);
+        assert_eq!(request.fuel, req.fuel);
+        assert_eq!(request.deadline_nanos, Some(5_000_000));
+        assert_eq!(request.stack, req.stack);
+        assert_eq!(request.rstack, req.rstack);
+        assert_eq!(request.memory, req.memory);
+    }
+
+    #[test]
+    fn every_instruction_survives_the_wire() {
+        let insts: Vec<Inst> = Inst::all().collect();
+        // representatives carry target 0, which is in range for any
+        // non-empty program
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.extend(insts.iter().copied());
+            b.finish().expect("valid")
+        };
+        let req = WireRequest::new(Arc::new(program), EngineRegime::Baseline);
+        let frame = Frame::Submit {
+            corr: 0,
+            request: req,
+        };
+        let Frame::Submit { request, .. } =
+            decode_frame(&frame.encode(), DEFAULT_MAX_FRAME).expect("decode")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(request.program.insts(), insts.as_slice());
+    }
+
+    #[test]
+    fn header_violations_are_typed() {
+        let good = Frame::Ping { corr: 1 }.encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bad_magic, DEFAULT_MAX_FRAME),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            decode_frame(&bad_version, DEFAULT_MAX_FRAME),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[6] = 200;
+        assert!(matches!(
+            decode_frame(&bad_kind, DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownFrameKind(200))
+        ));
+
+        let mut bad_flags = good.clone();
+        bad_flags[7] = 1;
+        assert!(matches!(
+            decode_frame(&bad_flags, DEFAULT_MAX_FRAME),
+            Err(WireError::NonzeroFlags(1))
+        ));
+
+        assert!(matches!(
+            decode_frame(&good[..10], DEFAULT_MAX_FRAME),
+            Err(WireError::Truncated)
+        ));
+
+        let mut oversized = good;
+        oversized[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&oversized, DEFAULT_MAX_FRAME),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn body_violations_are_typed() {
+        // trailing bytes after a well-formed body
+        let mut padded = Frame::Hello { window: 4 }.encode();
+        padded.extend_from_slice(&[0; 3]);
+        padded[16..20].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&padded, DEFAULT_MAX_FRAME),
+            Err(WireError::TrailingBytes { extra: 3 })
+        ));
+
+        // bad opcode inside a submit: recoverable, becomes BadSubmit
+        // under the frame's corr
+        let mut req_frame = Frame::Submit {
+            corr: 1,
+            request: sample_request(),
+        }
+        .encode();
+        // opcode of the first instruction lives right after the fixed
+        // request prelude: regime(1)+peephole(1)+reserved(2)+fuel(8)+
+        // deadline(8)+entry(4)+count(4) = 28 bytes into the body
+        req_frame[HEADER_LEN + 28] = 250;
+        assert!(matches!(
+            decode_frame(&req_frame, DEFAULT_MAX_FRAME),
+            Ok(Frame::BadSubmit {
+                corr: 1,
+                error: WireError::BadOpcode(250)
+            })
+        ));
+
+        // bad regime: likewise recoverable
+        let mut bad_regime = Frame::Submit {
+            corr: 1,
+            request: sample_request(),
+        }
+        .encode();
+        bad_regime[HEADER_LEN] = 8;
+        assert!(matches!(
+            decode_frame(&bad_regime, DEFAULT_MAX_FRAME),
+            Ok(Frame::BadSubmit {
+                corr: 1,
+                error: WireError::BadRegime(8)
+            })
+        ));
+
+        // empty batch
+        let empty = Frame::BatchSubmit {
+            corr: 1,
+            items: vec![(0, sample_request())],
+        };
+        let mut bytes = empty.encode();
+        // zero the item count
+        bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&0u32.to_le_bytes());
+        bytes.truncate(HEADER_LEN + 4);
+        bytes[16..20].copy_from_slice(&4u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME),
+            Err(WireError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn stray_payload_and_bad_target_are_rejected() {
+        assert!(matches!(
+            inst_from_wire(Inst::Dup.opcode(), 1),
+            Err(WireError::StrayPayload(_))
+        ));
+        assert!(matches!(
+            inst_from_wire(Inst::Branch(0).opcode(), u64::from(u32::MAX) + 1),
+            Err(WireError::BadTarget { .. })
+        ));
+        assert_eq!(inst_from_wire(0, -5i64 as u64), Ok(Inst::Lit(-5)));
+    }
+
+    #[test]
+    fn out_of_range_branch_target_is_bad_program() {
+        // branch target 1000 in a 2-instruction program: builder refuses
+        let mut bytes = Vec::new();
+        bytes.push(1); // baseline
+        bytes.push(0);
+        bytes.extend_from_slice(&[0, 0]);
+        bytes.extend_from_slice(&100u64.to_le_bytes()); // fuel
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // no deadline
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // entry
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // 2 insts
+        bytes.push(Inst::Branch(0).opcode());
+        bytes.extend_from_slice(&1000u64.to_le_bytes());
+        bytes.push(Inst::Halt.opcode());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // stack
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // rstack
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // memory
+        let mut b = Body::new(&bytes);
+        assert!(matches!(
+            decode_request(&mut b),
+            Err(WireError::BadProgram(_))
+        ));
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_close_from_truncation() {
+        let bytes = Frame::Ping { corr: 3 }.encode();
+        let mut cursor = io::Cursor::new(bytes.clone());
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME),
+            Ok(Some((Frame::Ping { corr: 3 }, HEADER_LEN)))
+        ));
+        // now at EOF: clean close
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME),
+            Ok(None)
+        ));
+        // EOF mid-header: truncated
+        let mut partial = io::Cursor::new(bytes[..7].to_vec());
+        assert!(matches!(
+            read_frame(&mut partial, DEFAULT_MAX_FRAME),
+            Err(ReadError::Wire(WireError::Truncated))
+        ));
+        // EOF mid-body: truncated
+        let submit = Frame::Submit {
+            corr: 1,
+            request: sample_request(),
+        }
+        .encode();
+        let mut partial = io::Cursor::new(submit[..submit.len() - 5].to_vec());
+        assert!(matches!(
+            read_frame(&mut partial, DEFAULT_MAX_FRAME),
+            Err(ReadError::Wire(WireError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn fnv_matches_the_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn wire_error_codes_are_distinct() {
+        let errs = [
+            WireError::BadMagic([0; 4]),
+            WireError::UnsupportedVersion(0),
+            WireError::UnknownFrameKind(0),
+            WireError::NonzeroFlags(1),
+            WireError::Truncated,
+            WireError::Oversized { len: 0, max: 0 },
+            WireError::TrailingBytes { extra: 1 },
+            WireError::BadOpcode(0),
+            WireError::StrayPayload(0),
+            WireError::BadTarget {
+                opcode: 0,
+                payload: 0,
+            },
+            WireError::BadRegime(0),
+            WireError::BadStatus(0),
+            WireError::BadProgram(String::new()),
+            WireError::EmptyBatch,
+        ];
+        let mut codes: Vec<u8> = errs.iter().map(WireError::code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len());
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn to_request_rebuilds_the_machine_image() {
+        let mut wr = sample_request();
+        wr.memory[10] = 0xCD;
+        wr.rstack = vec![4, 5];
+        let r = wr.to_request();
+        assert_eq!(r.proto.stack(), &[1, -2]);
+        assert_eq!(r.proto.rstack(), &[4, 5]);
+        assert_eq!(r.proto.memory()[10], 0xCD);
+        assert_eq!(r.fuel, 10_000);
+        assert_eq!(r.regime, EngineRegime::Static(2));
+    }
+}

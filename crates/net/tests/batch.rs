@@ -1,0 +1,65 @@
+//! Batched submission over the wire: a `BatchSubmit` frame produces the
+//! same answers as the equivalent unary submissions, while the service
+//! admits it as one job and amortizes the proto-machine clone.
+
+mod util;
+
+use stackcache_core::EngineRegime;
+use stackcache_net::{Client, NetConfig, NetServer, ReplyStatus, WireRequest};
+use util::{quick_program, reference_outcome, small_service};
+
+#[test]
+fn wire_batches_match_unary_and_amortize_clones() {
+    let server = NetServer::start(small_service(2), NetConfig::default()).expect("bind");
+    let client = Client::connect(server.addr(), 32).expect("connect");
+
+    // one request per regime, each with a distinct program
+    let requests: Vec<WireRequest> = EngineRegime::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &regime)| WireRequest::new(quick_program(i as i64 + 2), regime).fuel(100_000))
+        .collect();
+
+    let unary: Vec<_> = requests
+        .iter()
+        .map(|r| client.call(r).expect("unary reply"))
+        .collect();
+    let after_unary = server.service_metrics();
+
+    let batched: Vec<_> = client
+        .submit_batch(&requests)
+        .expect("batch submit")
+        .into_iter()
+        .map(|p| p.wait().expect("batch reply"))
+        .collect();
+    let after_batch = server.service_metrics();
+
+    // item-by-item, the batch answers exactly what unary answered
+    for ((request, u), b) in requests.iter().zip(&unary).zip(&batched) {
+        assert_eq!(u.status, ReplyStatus::Ok);
+        assert_eq!(b.status, u.status);
+        assert_eq!(b.stack, u.stack);
+        assert_eq!(b.rstack, u.rstack);
+        assert_eq!(b.output, u.output);
+        assert_eq!(b.memory_hash, u.memory_hash);
+        assert_eq!(b.differs_from(&reference_outcome(request)), None);
+    }
+
+    // the batch occupied one queue slot and cloned one proto machine,
+    // where unary cloned once per request
+    let n = requests.len() as u64;
+    assert_eq!(after_unary.batches, 0);
+    assert_eq!(after_unary.proto_clones, n);
+    assert_eq!(after_batch.batches, 1);
+    assert_eq!(after_batch.batch_requests, n);
+    assert_eq!(after_batch.proto_clones, n + 1);
+    assert_eq!(after_batch.proto_clones_saved, n - 1);
+
+    let net = server.metrics();
+    assert_eq!(net.submits, n);
+    assert_eq!(net.batch_submits, 1);
+    assert_eq!(net.batch_items, n);
+
+    client.goodbye().expect("drain");
+    let _ = server.shutdown();
+}

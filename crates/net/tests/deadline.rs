@@ -1,0 +1,156 @@
+//! Deadlines over the wire: a request that expires while queued behind
+//! a slow pipeline returns a typed `DeadlineExpired` reply — not a hang
+//! — and its reply carries the service request id that keys the
+//! server-side flight-recorder trail and incident report.
+
+mod util;
+
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+use stackcache_net::{Client, NetConfig, NetServer, ReplyStatus, WireRequest};
+use stackcache_obs::{EventKind, RejectKind};
+use stackcache_svc::{Service, ServiceConfig, TraceConfig};
+use util::{quick_program, slow_program};
+
+fn traced_single_worker() -> Service {
+    Service::start(
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            ..ServiceConfig::default()
+        }
+        .traced(),
+    )
+}
+
+/// A traced single worker whose ring is deep enough (and whose progress
+/// heartbeats sparse enough) that a multi-millisecond cancelled run
+/// cannot wrap `ExecuteBegin` out of the flight recorder.
+fn traced_single_worker_deep_ring() -> Service {
+    Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        trace: Some(TraceConfig {
+            ring_capacity: 8192,
+            progress_interval: 65_536,
+            ..TraceConfig::default()
+        }),
+        ..ServiceConfig::default()
+    })
+}
+
+#[test]
+fn queued_expiry_returns_typed_reply_with_a_trail() {
+    let server = NetServer::start(
+        traced_single_worker(),
+        NetConfig {
+            trace: true,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let client = Client::connect(server.addr(), 8).expect("connect");
+
+    // occupy the only worker for a long moment...
+    let slow = client
+        .submit(
+            &WireRequest::new(slow_program(6_000_000), EngineRegime::Baseline).fuel(1_000_000_000),
+        )
+        .expect("submit slow");
+    std::thread::sleep(Duration::from_millis(30));
+    // ...then queue a request whose deadline expires while it waits
+    let doomed = client
+        .submit(
+            &WireRequest::new(quick_program(3), EngineRegime::Static(2))
+                .fuel(100_000)
+                .deadline(Duration::from_millis(1)),
+        )
+        .expect("submit doomed");
+
+    let reply = doomed.wait().expect("reply");
+    assert_eq!(reply.status, ReplyStatus::DeadlineExpired);
+    assert!(reply.request_id > 0, "rejections still carry the trail key");
+    assert_eq!(slow.wait().expect("slow reply").status, ReplyStatus::Ok);
+
+    // the reply's request id keys the flight-recorder trail on the
+    // server: Admitted → Dequeued → Rejected(Deadline)
+    let dump = server.service_flight_dump().expect("traced service");
+    let trail = dump.for_request(reply.request_id);
+    assert!(
+        trail
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Admitted { .. })),
+        "trail: {trail:?}"
+    );
+    assert!(
+        trail
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Dequeued { .. })),
+        "trail: {trail:?}"
+    );
+    assert!(
+        trail.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Rejected {
+                reason: RejectKind::Deadline
+            }
+        )),
+        "trail: {trail:?}"
+    );
+
+    // and the rejection filed an incident report
+    let incidents = server.incident_reports();
+    assert!(
+        incidents
+            .iter()
+            .any(|r| r.contains("deadline expired in queue")),
+        "incidents: {incidents:?}"
+    );
+
+    client.goodbye().expect("drain");
+    let _ = server.shutdown();
+}
+
+#[test]
+fn midrun_expiry_cancels_the_reference_engine() {
+    let server =
+        NetServer::start(traced_single_worker_deep_ring(), NetConfig::default()).expect("bind");
+    let client = Client::connect(server.addr(), 4).expect("connect");
+
+    // the cancellable reference engine starts immediately and is
+    // cancelled mid-run when the deadline passes
+    let reply = client
+        .call(
+            &WireRequest::new(slow_program(200_000_000), EngineRegime::Reference)
+                .fuel(u64::MAX / 2)
+                .deadline(Duration::from_millis(20)),
+        )
+        .expect("reply");
+    assert_eq!(reply.status, ReplyStatus::DeadlineExpired);
+
+    let dump = server.service_flight_dump().expect("traced service");
+    let trail = dump.for_request(reply.request_id);
+    assert!(
+        trail
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ExecuteBegin)),
+        "the run started before the cancel: {trail:?}"
+    );
+    assert!(
+        trail
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Cancelled { .. })),
+        "trail: {trail:?}"
+    );
+    let incidents = server.incident_reports();
+    assert!(
+        incidents
+            .iter()
+            .any(|r| r.contains("deadline expired mid-run")),
+        "incidents: {incidents:?}"
+    );
+
+    client.goodbye().expect("drain");
+    let _ = server.shutdown();
+}

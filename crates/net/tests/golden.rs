@@ -1,0 +1,287 @@
+//! Golden wire-format tests: the exact byte images of representative
+//! frames, written out literally. If any of these change, the protocol
+//! changed — bump [`PROTOCOL_VERSION`] rather than editing the
+//! expectations.
+
+use std::sync::Arc;
+
+use stackcache_core::EngineRegime;
+use stackcache_net::{
+    decode_frame, Frame, FrameKind, ReplyStatus, WireError, WireReply, WireRequest,
+    DEFAULT_MAX_FRAME, ERR_EXPECTED_HELLO, ERR_UNEXPECTED_FRAME, HEADER_LEN, MAGIC,
+    PROTOCOL_VERSION,
+};
+use stackcache_vm::{program_of, Inst};
+
+#[test]
+fn protocol_constants_are_pinned() {
+    assert_eq!(MAGIC, *b"STKC");
+    assert_eq!(PROTOCOL_VERSION, 1);
+    assert_eq!(HEADER_LEN, 20);
+    assert_eq!(DEFAULT_MAX_FRAME, 1 << 20);
+    assert_eq!(ERR_EXPECTED_HELLO, 100);
+    assert_eq!(ERR_UNEXPECTED_FRAME, 101);
+}
+
+#[test]
+fn frame_kind_bytes_are_pinned() {
+    let kinds = [
+        (FrameKind::Hello, 1u8),
+        (FrameKind::HelloOk, 2),
+        (FrameKind::Ping, 3),
+        (FrameKind::Pong, 4),
+        (FrameKind::Goodbye, 5),
+        (FrameKind::GoodbyeOk, 6),
+        (FrameKind::Submit, 7),
+        (FrameKind::BatchSubmit, 8),
+        (FrameKind::Reply, 9),
+        (FrameKind::ProtoError, 10),
+    ];
+    for (kind, byte) in kinds {
+        assert_eq!(kind as u8, byte);
+        assert_eq!(FrameKind::from_u8(byte), Some(kind));
+    }
+}
+
+#[test]
+fn reply_status_bytes_are_pinned() {
+    let statuses = [
+        (ReplyStatus::Ok, 0u8),
+        (ReplyStatus::Trap, 1),
+        (ReplyStatus::DeadlineExpired, 2),
+        (ReplyStatus::FuelExhausted, 3),
+        (ReplyStatus::ShutDown, 4),
+        (ReplyStatus::AnalysisRejected, 5),
+        (ReplyStatus::Busy, 6),
+        (ReplyStatus::BadRequest, 7),
+    ];
+    for (status, byte) in statuses {
+        assert_eq!(status as u8, byte);
+        assert_eq!(ReplyStatus::from_u8(byte), Some(status));
+    }
+}
+
+#[test]
+fn wire_error_codes_are_pinned() {
+    assert_eq!(WireError::BadMagic([0; 4]).code(), 1);
+    assert_eq!(WireError::UnsupportedVersion(0).code(), 2);
+    assert_eq!(WireError::UnknownFrameKind(0).code(), 3);
+    assert_eq!(WireError::NonzeroFlags(1).code(), 4);
+    assert_eq!(WireError::Truncated.code(), 5);
+    assert_eq!(WireError::Oversized { len: 0, max: 0 }.code(), 6);
+    assert_eq!(WireError::TrailingBytes { extra: 1 }.code(), 7);
+    assert_eq!(WireError::BadOpcode(0).code(), 8);
+    assert_eq!(WireError::StrayPayload(0).code(), 9);
+    assert_eq!(
+        WireError::BadTarget {
+            opcode: 0,
+            payload: 0
+        }
+        .code(),
+        10
+    );
+    assert_eq!(WireError::BadRegime(0).code(), 11);
+    assert_eq!(WireError::BadStatus(0).code(), 12);
+    assert_eq!(WireError::BadProgram(String::new()).code(), 13);
+    assert_eq!(WireError::EmptyBatch.code(), 14);
+}
+
+#[test]
+fn ping_header_image_is_pinned() {
+    let bytes = Frame::Ping {
+        corr: 0x0102_0304_0506_0708,
+    }
+    .encode();
+    let expected: &[u8] = &[
+        b'S', b'T', b'K', b'C', // magic
+        0x01, 0x00, // version 1, little-endian
+        0x03, // kind: Ping
+        0x00, // flags, reserved
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // corr, little-endian
+        0x00, 0x00, 0x00, 0x00, // body length 0
+    ];
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn handshake_frame_images_are_pinned() {
+    let hello = Frame::Hello { window: 9 }.encode();
+    let expected: &[u8] = &[
+        b'S', b'T', b'K', b'C', 0x01, 0x00, 0x01, 0x00, // header: kind Hello
+        0, 0, 0, 0, 0, 0, 0, 0, // corr 0
+        0x04, 0x00, 0x00, 0x00, // body length 4
+        0x09, 0x00, 0x00, 0x00, // requested window
+    ];
+    assert_eq!(hello, expected);
+
+    let hello_ok = Frame::HelloOk {
+        window: 8,
+        max_frame: 1 << 20,
+    }
+    .encode();
+    let expected: &[u8] = &[
+        b'S', b'T', b'K', b'C', 0x01, 0x00, 0x02, 0x00, // header: kind HelloOk
+        0, 0, 0, 0, 0, 0, 0, 0, // corr 0
+        0x08, 0x00, 0x00, 0x00, // body length 8
+        0x08, 0x00, 0x00, 0x00, // granted window
+        0x00, 0x00, 0x10, 0x00, // max frame 1<<20
+    ];
+    assert_eq!(hello_ok, expected);
+}
+
+/// The request used by the submit and batch golden images: program
+/// `Lit(-2) Dup Mul Dot`, regime `Static(2)`, peephole on, fuel 0x1234,
+/// no deadline, stack `[7]`, empty return stack, 2 bytes of memory.
+fn golden_request() -> WireRequest {
+    let mut req = WireRequest::new(
+        Arc::new(program_of(&[
+            Inst::Lit(-2),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Dot,
+        ])),
+        EngineRegime::Static(2),
+    )
+    .fuel(0x1234)
+    .peephole(true)
+    .with_stack(vec![7]);
+    req.memory = vec![0xAA, 0xBB];
+    req
+}
+
+/// The golden request's body image. The opcode bytes (`Lit` = 0,
+/// `Dup` = 0x23, `Mul` = 3, `Dot` = 0x4C) pin the dense opcode table's
+/// assignments as seen on the wire.
+fn golden_request_body() -> Vec<u8> {
+    // the regime byte is the dense regime index; pin the mapping first
+    assert_eq!(EngineRegime::Static(2).index(), 6);
+    assert_eq!(Inst::Lit(0).opcode(), 0x00);
+    assert_eq!(Inst::Dup.opcode(), 0x23);
+    assert_eq!(Inst::Mul.opcode(), 0x03);
+    assert_eq!(Inst::Dot.opcode(), 0x4C);
+    assert_eq!(Inst::Halt.opcode(), 0x42);
+    let mut b = Vec::new();
+    b.extend_from_slice(&[
+        0x06, // regime: Static(2)
+        0x01, // peephole on
+        0x00, 0x00, // reserved
+        0x34, 0x12, 0, 0, 0, 0, 0, 0, // fuel 0x1234
+        0, 0, 0, 0, 0, 0, 0, 0, // deadline: none
+        0, 0, 0, 0, // entry 0
+        0x05, 0, 0, 0, // 5 instructions (program_of appends a Halt)
+    ]);
+    // Lit(-2): payload is the i64 reinterpreted as u64
+    b.push(0x00);
+    b.extend_from_slice(&[0xFE, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF]);
+    // payload-less opcodes carry payload 0
+    for op in [0x23, 0x03, 0x4C, 0x42] {
+        b.push(op);
+        b.extend_from_slice(&[0; 8]);
+    }
+    // stack [7]
+    b.extend_from_slice(&[0x01, 0, 0, 0]);
+    b.extend_from_slice(&[0x07, 0, 0, 0, 0, 0, 0, 0]);
+    // empty return stack
+    b.extend_from_slice(&[0, 0, 0, 0]);
+    // memory [0xAA, 0xBB]
+    b.extend_from_slice(&[0x02, 0, 0, 0, 0xAA, 0xBB]);
+    b
+}
+
+#[test]
+fn submit_frame_image_is_pinned() {
+    let bytes = Frame::Submit {
+        corr: 42,
+        request: golden_request(),
+    }
+    .encode();
+    let body = golden_request_body();
+    let mut expected = vec![
+        b'S', b'T', b'K', b'C', 0x01, 0x00, 0x07, 0x00, // header: kind Submit
+        0x2A, 0, 0, 0, 0, 0, 0, 0, // corr 42
+    ];
+    expected.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    expected.extend_from_slice(&body);
+    assert_eq!(bytes, expected);
+
+    // and the image decodes back to the same frame
+    let back = decode_frame(&bytes, DEFAULT_MAX_FRAME).expect("decode");
+    assert_eq!(back.encode(), bytes);
+}
+
+#[test]
+fn batch_submit_frame_image_is_pinned() {
+    let bytes = Frame::BatchSubmit {
+        corr: 1,
+        items: vec![(0x11, golden_request())],
+    }
+    .encode();
+    let item_body = golden_request_body();
+    let mut expected = vec![
+        b'S', b'T', b'K', b'C', 0x01, 0x00, 0x08, 0x00, // header: kind BatchSubmit
+        0x01, 0, 0, 0, 0, 0, 0, 0, // corr 1
+    ];
+    // body: item count, then per item corr + length-prefixed request body
+    expected.extend_from_slice(&((4 + 8 + 4 + item_body.len()) as u32).to_le_bytes());
+    expected.extend_from_slice(&[0x01, 0, 0, 0]);
+    expected.extend_from_slice(&[0x11, 0, 0, 0, 0, 0, 0, 0]);
+    expected.extend_from_slice(&(item_body.len() as u32).to_le_bytes());
+    expected.extend_from_slice(&item_body);
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn reply_frame_image_is_pinned() {
+    let reply = WireReply {
+        status: ReplyStatus::Trap,
+        trap_code: 6,
+        cache_hit: true,
+        request_id: 5,
+        latency_nanos: 1000,
+        executed: Some(0x2A),
+        memory_hash: 0xCBF2_9CE4_8422_2325,
+        stack: vec![-1],
+        rstack: vec![],
+        output: b"ok".to_vec(),
+        message: String::new(),
+    };
+    let bytes = Frame::Reply { corr: 3, reply }.encode();
+    let expected: &[u8] = &[
+        b'S', b'T', b'K', b'C', 0x01, 0x00, 0x09, 0x00, // header: kind Reply
+        0x03, 0, 0, 0, 0, 0, 0, 0, // corr 3
+        0x3E, 0, 0, 0,    // body length 62
+        0x01, // status: Trap
+        0x06, // trap code: division by zero
+        0x01, // cache hit
+        0x00, // reserved
+        0x05, 0, 0, 0, 0, 0, 0, 0, // request id
+        0xE8, 0x03, 0, 0, 0, 0, 0, 0, // latency 1000ns
+        0x2A, 0, 0, 0, 0, 0, 0, 0, // executed 42 (u64::MAX = None)
+        0x25, 0x23, 0x22, 0x84, 0xE4, 0x9C, 0xF2, 0xCB, // memory hash
+        0x01, 0, 0, 0, // stack: 1 cell
+        0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, // -1
+        0, 0, 0, 0, // empty return stack
+        0x02, 0, 0, 0, b'o', b'k', // output
+        0, 0, 0, 0, // empty message
+    ];
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn proto_error_frame_image_is_pinned() {
+    let bytes = Frame::ProtoError {
+        corr: 0,
+        code: WireError::Truncated.code(),
+        message: "frame truncated".into(),
+    }
+    .encode();
+    let mut expected = vec![
+        b'S', b'T', b'K', b'C', 0x01, 0x00, 0x0A, 0x00, // header: kind ProtoError
+        0, 0, 0, 0, 0, 0, 0, 0, // corr 0
+        0x14, 0, 0, 0,    // body length 20
+        0x05, // code: Truncated
+        0x0F, 0, 0, 0, // message length 15
+    ];
+    expected.extend_from_slice(b"frame truncated");
+    assert_eq!(bytes, expected);
+}

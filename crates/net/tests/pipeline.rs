@@ -1,0 +1,240 @@
+//! Pipelining and backpressure over a live loopback connection:
+//! out-of-order completion under a window, typed `Busy` for over-window
+//! and queue-full submissions, and the handshake's protocol-error
+//! paths.
+
+mod util;
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+use stackcache_net::{
+    read_frame, Client, Frame, NetConfig, NetServer, ReplyStatus, WireRequest, DEFAULT_MAX_FRAME,
+    ERR_EXPECTED_HELLO, ERR_UNEXPECTED_FRAME,
+};
+use stackcache_svc::{Service, ServiceConfig};
+use util::{quick_program, reference_outcome, slow_program, small_service};
+
+#[test]
+fn pipelined_submissions_demultiplex_and_verify() {
+    let server = NetServer::start(small_service(4), NetConfig::default()).expect("bind");
+    let client = Client::connect(server.addr(), 8).expect("connect");
+    assert_eq!(client.window(), 8);
+
+    // fill the window several times over, cycling every regime; the mix
+    // of engines on four workers completes out of submission order, and
+    // the correlation ids must still route every reply to its waiter
+    let requests: Vec<WireRequest> = (0..32)
+        .map(|i| {
+            let regime = EngineRegime::ALL[i % EngineRegime::ALL.len()];
+            WireRequest::new(quick_program(i as i64 + 2), regime)
+                .fuel(100_000)
+                .peephole(i % 2 == 0)
+        })
+        .collect();
+    let pending: Vec<_> = requests
+        .iter()
+        .map(|r| client.submit(r).expect("submit"))
+        .collect();
+    for (request, p) in requests.iter().zip(pending) {
+        let reply = p.wait().expect("reply");
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        assert!(reply.request_id > 0, "completions carry the service id");
+        assert_eq!(reply.differs_from(&reference_outcome(request)), None);
+    }
+
+    let net = server.metrics();
+    assert_eq!(net.submits, 32);
+    assert_eq!(net.replies, 32);
+    assert_eq!(net.busy_replies, 0, "the client's gate respects the window");
+    client.goodbye().expect("drain");
+    let _ = server.shutdown();
+}
+
+#[test]
+fn over_window_submissions_earn_busy_without_a_slot() {
+    // one worker and a window of 2: raw frames can overrun the window
+    // (the bundled client would block instead), and the overrun must be
+    // answered Busy immediately while the slow requests keep their slots
+    let server = NetServer::start(
+        small_service(1),
+        NetConfig {
+            max_window: 2,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    let mut r = BufReader::new(stream);
+    w.write_all(&Frame::Hello { window: 64 }.encode())
+        .expect("hello");
+    let Ok(Some((Frame::HelloOk { window, .. }, _))) = read_frame(&mut r, DEFAULT_MAX_FRAME) else {
+        panic!("expected HelloOk");
+    };
+    assert_eq!(window, 2, "the grant is clamped to the server's cap");
+
+    let slow =
+        WireRequest::new(slow_program(4_000_000), EngineRegime::Reference).fuel(1_000_000_000);
+    for corr in 1..=4u64 {
+        w.write_all(
+            &Frame::Submit {
+                corr,
+                request: slow.clone(),
+            }
+            .encode(),
+        )
+        .expect("submit");
+    }
+    w.flush().expect("flush");
+
+    // corr 1 and 2 hold the window; 3 and 4 must bounce as Busy long
+    // before the slow pair completes
+    for expect_corr in [3u64, 4] {
+        let Ok(Some((Frame::Reply { corr, reply }, _))) = read_frame(&mut r, DEFAULT_MAX_FRAME)
+        else {
+            panic!("expected a Busy reply");
+        };
+        assert_eq!(corr, expect_corr);
+        assert_eq!(reply.status, ReplyStatus::Busy);
+        assert!(
+            reply.message.contains("window"),
+            "message: {}",
+            reply.message
+        );
+    }
+    // then the in-window pair completes, in order on one worker
+    for expect_corr in [1u64, 2] {
+        let Ok(Some((Frame::Reply { corr, reply }, _))) = read_frame(&mut r, DEFAULT_MAX_FRAME)
+        else {
+            panic!("expected a real reply");
+        };
+        assert_eq!(corr, expect_corr);
+        assert_eq!(reply.status, ReplyStatus::Ok);
+    }
+
+    w.write_all(&Frame::Goodbye.encode()).expect("goodbye");
+    w.flush().expect("flush");
+    assert!(matches!(
+        read_frame(&mut r, DEFAULT_MAX_FRAME),
+        Ok(Some((Frame::GoodbyeOk, _)))
+    ));
+
+    assert_eq!(server.metrics().busy_replies, 2);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn queue_full_submissions_earn_busy() {
+    // one worker, a queue of one: the first slow job executes, the
+    // second waits in the queue, and further submissions are refused
+    // with the wire form of SubmitError::QueueFull
+    let server = NetServer::start(
+        Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        }),
+        NetConfig::default(),
+    )
+    .expect("bind");
+    let client = Client::connect(server.addr(), 16).expect("connect");
+
+    let slow =
+        WireRequest::new(slow_program(4_000_000), EngineRegime::Reference).fuel(1_000_000_000);
+    let first = client.submit(&slow).expect("submit");
+    // let the worker dequeue the first job so the queue is empty
+    std::thread::sleep(Duration::from_millis(30));
+    let second = client.submit(&slow).expect("submit");
+    std::thread::sleep(Duration::from_millis(10));
+    // the queue now holds the second job; these two have no room
+    let third = client.submit(&slow).expect("submit");
+    let fourth = client.submit(&slow).expect("submit");
+
+    for p in [third, fourth] {
+        let reply = p.wait().expect("reply");
+        assert_eq!(reply.status, ReplyStatus::Busy);
+        assert!(
+            reply.message.contains("queue"),
+            "message: {}",
+            reply.message
+        );
+    }
+    for p in [first, second] {
+        assert_eq!(p.wait().expect("reply").status, ReplyStatus::Ok);
+    }
+
+    assert_eq!(server.metrics().busy_replies, 2);
+    assert_eq!(server.service_metrics().rejected_queue_full, 2);
+    client.goodbye().expect("drain");
+    let _ = server.shutdown();
+}
+
+/// Open a raw connection, send `bytes`, and expect a `ProtoError` with
+/// `code` followed by a close.
+fn expect_proto_error(server: &NetServer, bytes: &[u8], code: u8) {
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    let mut r = BufReader::new(stream);
+    w.write_all(bytes).expect("write");
+    w.flush().expect("flush");
+    loop {
+        match read_frame(&mut r, DEFAULT_MAX_FRAME) {
+            Ok(Some((Frame::ProtoError { code: got, .. }, _))) => {
+                assert_eq!(got, code);
+                break;
+            }
+            // skip handshake answers that precede the violation
+            Ok(Some((Frame::HelloOk { .. }, _))) => (),
+            other => panic!("expected ProtoError {code}, got {other:?}"),
+        }
+    }
+    // and the server closes the connection after the error frame
+    assert!(matches!(read_frame(&mut r, DEFAULT_MAX_FRAME), Ok(None)));
+}
+
+#[test]
+fn handshake_violations_are_typed() {
+    let server = NetServer::start(small_service(1), NetConfig::default()).expect("bind");
+
+    // the first frame must be Hello
+    expect_proto_error(
+        &server,
+        &Frame::Ping { corr: 1 }.encode(),
+        ERR_EXPECTED_HELLO,
+    );
+
+    // a second Hello is a violation too
+    let mut twice = Frame::Hello { window: 4 }.encode();
+    twice.extend_from_slice(&Frame::Hello { window: 4 }.encode());
+    expect_proto_error(&server, &twice, ERR_EXPECTED_HELLO);
+
+    // server-to-client kinds may not arrive from a client
+    let mut upstream_pong = Frame::Hello { window: 4 }.encode();
+    upstream_pong.extend_from_slice(&Frame::Pong { corr: 9 }.encode());
+    expect_proto_error(&server, &upstream_pong, ERR_UNEXPECTED_FRAME);
+
+    assert_eq!(server.metrics().protocol_errors, 3);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn window_grant_is_clamped_and_ping_round_trips() {
+    let server = NetServer::start(small_service(1), NetConfig::default()).expect("bind");
+
+    // a zero request still grants one slot; an absurd request is capped
+    let tiny = Client::connect(server.addr(), 0).expect("connect");
+    assert_eq!(tiny.window(), 1);
+    tiny.ping().expect("pong");
+    tiny.goodbye().expect("drain");
+
+    let greedy = Client::connect(server.addr(), u32::MAX).expect("connect");
+    assert_eq!(greedy.window(), NetConfig::default().max_window);
+    greedy.goodbye().expect("drain");
+
+    assert_eq!(server.metrics().pings, 1);
+    let _ = server.shutdown();
+}

@@ -1,0 +1,51 @@
+//! Helpers shared by the network integration tests.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use std::sync::Arc;
+
+use stackcache_harness::{all_engines, Outcome};
+use stackcache_net::WireRequest;
+use stackcache_svc::{Service, ServiceConfig};
+use stackcache_vm::{program_of, Inst, Machine, Program};
+
+/// `Lit(k) Dup Mul Dot`: prints `k*k` and halts with an empty stack.
+pub fn quick_program(k: i64) -> Arc<Program> {
+    Arc::new(program_of(&[Inst::Lit(k), Inst::Dup, Inst::Mul, Inst::Dot]))
+}
+
+/// A countdown loop of `iters` iterations (~5 instructions each),
+/// halting with an empty stack. Slow enough to keep a worker busy while
+/// a test lines up queued or over-window submissions behind it.
+pub fn slow_program(iters: i64) -> Arc<Program> {
+    Arc::new(program_of(&[
+        Inst::Lit(iters),
+        Inst::Lit(1),
+        Inst::Sub,
+        Inst::Dup,
+        Inst::BranchIfZero(6),
+        Inst::Branch(1),
+        Inst::Drop,
+        Inst::Halt,
+    ]))
+}
+
+/// Run the plain reference interpreter on the request's machine image —
+/// the oracle every wire reply is verified against.
+pub fn reference_outcome(req: &WireRequest) -> Outcome {
+    let reference = all_engines().into_iter().next().expect("engine registry");
+    let mut proto = Machine::with_memory(req.memory.len());
+    proto.memory_mut().copy_from_slice(&req.memory);
+    proto.set_stack(&req.stack);
+    proto.set_rstack(&req.rstack);
+    reference.run_on(&req.program, &proto, req.fuel)
+}
+
+/// A small service for loopback tests.
+pub fn small_service(workers: usize) -> Service {
+    Service::start(ServiceConfig {
+        workers,
+        queue_capacity: 256,
+        ..ServiceConfig::default()
+    })
+}

@@ -93,6 +93,43 @@ pub enum EventKind {
         /// Whether the outcomes agreed.
         ok: bool,
     },
+    /// A network connection was accepted (the request field carries the
+    /// connection id on connection-lifecycle events).
+    ConnOpened {
+        /// Peer port (loopback benches distinguish connections by port).
+        peer_port: u16,
+    },
+    /// A network connection closed.
+    ConnClosed {
+        /// Frames served on the connection over its lifetime.
+        frames: u32,
+    },
+    /// A wire frame arrived on a connection.
+    FrameIn {
+        /// The frame-kind discriminant (wire value).
+        frame: u8,
+        /// Total frame length in bytes (header + payload).
+        bytes: u32,
+    },
+    /// A wire frame was sent on a connection.
+    FrameOut {
+        /// The frame-kind discriminant (wire value).
+        frame: u8,
+        /// Total frame length in bytes (header + payload).
+        bytes: u32,
+    },
+    /// A connection violated the wire protocol and was answered with a
+    /// typed protocol error (and then closed).
+    ProtocolError {
+        /// The protocol-error code sent back to the peer.
+        code: u8,
+    },
+    /// A batch of requests was admitted (or dequeued) as one unit; the
+    /// per-item events follow under the items' own request ids.
+    BatchBegin {
+        /// Requests in the batch.
+        size: u32,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -116,6 +153,16 @@ impl fmt::Display for EventKind {
             EventKind::Cancelled { cause } => write!(f, "cancelled ({cause:?})"),
             EventKind::Rejected { reason } => write!(f, "rejected ({reason:?})"),
             EventKind::Verified { ok } => write!(f, "verified ok={ok}"),
+            EventKind::ConnOpened { peer_port } => {
+                write!(f, "connection opened (peer port {peer_port})")
+            }
+            EventKind::ConnClosed { frames } => {
+                write!(f, "connection closed after {frames} frames")
+            }
+            EventKind::FrameIn { frame, bytes } => write!(f, "frame in kind#{frame} {bytes}B"),
+            EventKind::FrameOut { frame, bytes } => write!(f, "frame out kind#{frame} {bytes}B"),
+            EventKind::ProtocolError { code } => write!(f, "protocol error #{code}"),
+            EventKind::BatchBegin { size } => write!(f, "batch of {size}"),
         }
     }
 }
@@ -138,6 +185,12 @@ const TAG_TRAP: u64 = 9;
 const TAG_CANCELLED: u64 = 10;
 const TAG_REJECTED: u64 = 11;
 const TAG_VERIFIED: u64 = 12;
+const TAG_CONN_OPENED: u64 = 13;
+const TAG_CONN_CLOSED: u64 = 14;
+const TAG_FRAME_IN: u64 = 15;
+const TAG_FRAME_OUT: u64 = 16;
+const TAG_PROTOCOL_ERROR: u64 = 17;
+const TAG_BATCH_BEGIN: u64 = 18;
 
 /// Encode `(t_nanos, request, kind)` into its wire form.
 #[must_use]
@@ -175,6 +228,12 @@ pub fn encode(t_nanos: u64, request: u64, kind: EventKind) -> RawEvent {
             0,
         ),
         EventKind::Verified { ok } => (TAG_VERIFIED, u64::from(ok), 0),
+        EventKind::ConnOpened { peer_port } => (TAG_CONN_OPENED, u64::from(peer_port), 0),
+        EventKind::ConnClosed { frames } => (TAG_CONN_CLOSED, 0, u64::from(frames)),
+        EventKind::FrameIn { frame, bytes } => (TAG_FRAME_IN, u64::from(frame), u64::from(bytes)),
+        EventKind::FrameOut { frame, bytes } => (TAG_FRAME_OUT, u64::from(frame), u64::from(bytes)),
+        EventKind::ProtocolError { code } => (TAG_PROTOCOL_ERROR, u64::from(code), 0),
+        EventKind::BatchBegin { size } => (TAG_BATCH_BEGIN, 0, u64::from(size)),
     };
     [t_nanos, request, tag | (hi << 8), payload]
 }
@@ -224,6 +283,26 @@ pub fn decode(raw: &RawEvent) -> Option<(u64, u64, EventKind)> {
             },
         },
         TAG_VERIFIED => EventKind::Verified { ok: hi & 1 == 1 },
+        TAG_CONN_OPENED => EventKind::ConnOpened {
+            peer_port: (hi & 0xFFFF) as u16,
+        },
+        TAG_CONN_CLOSED => EventKind::ConnClosed {
+            frames: (payload & 0xFFFF_FFFF) as u32,
+        },
+        TAG_FRAME_IN => EventKind::FrameIn {
+            frame: (hi & 0xFF) as u8,
+            bytes: (payload & 0xFFFF_FFFF) as u32,
+        },
+        TAG_FRAME_OUT => EventKind::FrameOut {
+            frame: (hi & 0xFF) as u8,
+            bytes: (payload & 0xFFFF_FFFF) as u32,
+        },
+        TAG_PROTOCOL_ERROR => EventKind::ProtocolError {
+            code: (hi & 0xFF) as u8,
+        },
+        TAG_BATCH_BEGIN => EventKind::BatchBegin {
+            size: (payload & 0xFFFF_FFFF) as u32,
+        },
         _ => return None,
     };
     Some((t_nanos, request, kind))
@@ -278,6 +357,15 @@ mod tests {
             },
             EventKind::Verified { ok: true },
             EventKind::Verified { ok: false },
+            EventKind::ConnOpened { peer_port: 54321 },
+            EventKind::ConnClosed { frames: 1_000_000 },
+            EventKind::FrameIn {
+                frame: 7,
+                bytes: u32::MAX,
+            },
+            EventKind::FrameOut { frame: 9, bytes: 0 },
+            EventKind::ProtocolError { code: 3 },
+            EventKind::BatchBegin { size: 64 },
         ]
     }
 

@@ -46,6 +46,32 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         snap.rejected_shutdown,
     );
 
+    p.help(
+        "svc_batches_total",
+        "Batches admitted as one unit (one queue slot each).",
+    );
+    p.typ("svc_batches_total", "counter");
+    p.sample_u64("svc_batches_total", &[], snap.batches);
+    p.help(
+        "svc_batch_requests_total",
+        "Requests that arrived inside a batch.",
+    );
+    p.typ("svc_batch_requests_total", "counter");
+    p.sample_u64("svc_batch_requests_total", &[], snap.batch_requests);
+
+    p.help(
+        "svc_proto_clones_total",
+        "Proto-machine allocation-clones performed (one per job).",
+    );
+    p.typ("svc_proto_clones_total", "counter");
+    p.sample_u64("svc_proto_clones_total", &[], snap.proto_clones);
+    p.help(
+        "svc_proto_clones_saved_total",
+        "Proto-machine clones avoided by in-place batch scratch resets.",
+    );
+    p.typ("svc_proto_clones_saved_total", "counter");
+    p.sample_u64("svc_proto_clones_saved_total", &[], snap.proto_clones_saved);
+
     p.help("svc_queue_depth", "Jobs waiting in the queue.");
     p.typ("svc_queue_depth", "gauge");
     p.sample_u64("svc_queue_depth", &[], snap.queue_depth);
@@ -232,6 +258,10 @@ pub fn json(snap: &MetricsSnapshot) -> String {
     o.field_u64("submitted", snap.submitted)
         .field_u64("rejected_queue_full", snap.rejected_queue_full)
         .field_u64("rejected_shutdown", snap.rejected_shutdown)
+        .field_u64("batches", snap.batches)
+        .field_u64("batch_requests", snap.batch_requests)
+        .field_u64("proto_clones", snap.proto_clones)
+        .field_u64("proto_clones_saved", snap.proto_clones_saved)
         .field_u64("queue_depth", snap.queue_depth)
         .field_raw("cache", &cache)
         .field_raw("workers", &json_array(&workers))
@@ -267,6 +297,11 @@ mod tests {
         );
         m.on_fuel_exhausted(EngineRegime::Reference);
         m.on_analysis_rejected(EngineRegime::Reference);
+        m.on_batch(8);
+        m.on_proto_clone();
+        for _ in 0..7 {
+            m.on_proto_clone_saved();
+        }
         let mut s = m.snapshot();
         s.queue_depth = 3;
         s.cache_size = 1;
@@ -299,6 +334,10 @@ mod tests {
         prometheus_lint(&page).unwrap();
         assert!(page.contains("svc_requests_submitted_total 2\n"));
         assert!(page.contains("svc_cache_evictions_total 7\n"));
+        assert!(page.contains("svc_batches_total 1\n"));
+        assert!(page.contains("svc_batch_requests_total 8\n"));
+        assert!(page.contains("svc_proto_clones_total 1\n"));
+        assert!(page.contains("svc_proto_clones_saved_total 7\n"));
         assert!(page.contains("svc_completions_total{regime=\"tos\"} 2"));
         assert!(page.contains("svc_served_total{regime=\"tos\",checks=\"none\"} 1"));
         assert!(page.contains("svc_served_total{regime=\"tos\",checks=\"full\"} 1"));
@@ -315,6 +354,8 @@ mod tests {
         assert!(doc.starts_with('{') && doc.ends_with('}'));
         assert!(doc.contains("\"submitted\":2"));
         assert!(doc.contains("\"queue_depth\":3"));
+        assert!(doc.contains("\"batches\":1"));
+        assert!(doc.contains("\"proto_clones_saved\":7"));
         assert!(doc.contains("\"evictions\":7"));
         assert!(doc.contains("\"regime\":\"tos\""));
         assert!(doc.contains("\"served_unchecked\":1"));

@@ -83,7 +83,7 @@ use crate::cache::ProgramCache;
 use crate::health::WorkerHealth;
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
-use crate::worker::{worker_loop, Job, Shared, Tracing};
+use crate::worker::{worker_loop, Job, JobItem, ReplySink, Shared, Tracing};
 
 pub use crate::cache::{CacheStats, VerifiedArtifact};
 pub use crate::health::WorkerSnapshot;
@@ -201,6 +201,22 @@ pub enum SubmitError {
     QueueFull,
     /// The service is shutting down; no further work is accepted.
     ShuttingDown,
+}
+
+/// Where routed replies go: implementors fan many requests' replies into
+/// one consumer — a network connection's writer thread, for example —
+/// instead of one channel per request.
+///
+/// Registered per request via [`Service::submit_routed`] (or per batch
+/// via [`Service::submit_batch_routed`]) together with a caller-chosen
+/// correlation `token`; the service calls [`deliver`](ReplyRoute::deliver)
+/// exactly once per admitted request, from a worker thread, in completion
+/// order (which under pipelining need not be submission order).
+pub trait ReplyRoute: Send + Sync {
+    /// Deliver the reply for the request registered under `token`.
+    /// `request_id` is the service-assigned id — the flight-recorder
+    /// correlation key, which a network front end echoes to its client.
+    fn deliver(&self, token: u64, request_id: u64, reply: Reply);
 }
 
 /// A handle to one submitted request's eventual [`Reply`].
@@ -339,7 +355,9 @@ impl Service {
             metrics: Metrics::new(),
             health: WorkerHealth::new(config.workers, config.heartbeat_period, config.stall_beats),
             abort: Arc::new(AtomicBool::new(false)),
-            next_request: AtomicU64::new(0),
+            // ids start at 1: the network front end reserves id 0 for
+            // replies that never reached the service
+            next_request: AtomicU64::new(1),
             tracing,
         });
         let workers = (0..config.workers)
@@ -363,37 +381,154 @@ impl Service {
     /// enter the queue and may be retried. [`SubmitError::ShuttingDown`]
     /// after shutdown began.
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
-        let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed);
-        let regime = request.regime;
-        let peephole = request.peephole;
-        let deadline = request.deadline.map(|d| Instant::now() + d);
         let (tx, rx) = mpsc::channel();
-        let job = Job {
-            id,
+        let item = self.item(request, ReplySink::Direct(tx));
+        let request_id = item.id;
+        self.enqueue(vec![item])?;
+        Ok(Ticket { rx, request_id })
+    }
+
+    /// Submit a request whose reply is delivered through `route` under
+    /// the caller's correlation `token` instead of a per-request
+    /// [`Ticket`] — the fan-in shape a pipelined network connection
+    /// needs. Returns the service-assigned request id (the
+    /// flight-recorder correlation key).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under backpressure,
+    /// [`SubmitError::ShuttingDown`] after shutdown began; `route` is not
+    /// called in either case.
+    pub fn submit_routed(
+        &self,
+        request: Request,
+        token: u64,
+        route: Arc<dyn ReplyRoute>,
+    ) -> Result<u64, SubmitError> {
+        let item = self.item(request, ReplySink::Routed { token, route });
+        let id = item.id;
+        self.enqueue(vec![item])?;
+        Ok(id)
+    }
+
+    /// Submit a batch of requests admitted as **one unit**: the batch
+    /// occupies a single queue slot, is executed by a single worker, and
+    /// shares one proto-machine clone across its items (later items reset
+    /// the scratch machine in place; see the `proto_clones_saved`
+    /// metric). Replies arrive on the returned tickets in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`]/[`SubmitError::ShuttingDown`] refuse
+    /// the whole batch; no ticket resolves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty (an empty batch has no replies to
+    /// wait for).
+    pub fn submit_batch(&self, requests: Vec<Request>) -> Result<Vec<Ticket>, SubmitError> {
+        assert!(!requests.is_empty(), "an empty batch cannot be admitted");
+        let mut items = Vec::with_capacity(requests.len());
+        let mut tickets = Vec::with_capacity(requests.len());
+        let mut receivers = Vec::with_capacity(requests.len());
+        for request in requests {
+            let (tx, rx) = mpsc::channel();
+            let item = self.item(request, ReplySink::Direct(tx));
+            receivers.push((rx, item.id));
+            items.push(item);
+        }
+        self.enqueue(items)?;
+        for (rx, request_id) in receivers {
+            tickets.push(Ticket { rx, request_id });
+        }
+        Ok(tickets)
+    }
+
+    /// [`submit_batch`](Service::submit_batch) with replies delivered
+    /// through `route` under the given per-request correlation tokens.
+    /// Returns the service-assigned request ids, in batch order.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`]/[`SubmitError::ShuttingDown`] refuse
+    /// the whole batch; `route` is not called for any item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty.
+    pub fn submit_batch_routed(
+        &self,
+        requests: Vec<(u64, Request)>,
+        route: &Arc<dyn ReplyRoute>,
+    ) -> Result<Vec<u64>, SubmitError> {
+        assert!(!requests.is_empty(), "an empty batch cannot be admitted");
+        let mut items = Vec::with_capacity(requests.len());
+        for (token, request) in requests {
+            items.push(self.item(
+                request,
+                ReplySink::Routed {
+                    token,
+                    route: Arc::clone(route),
+                },
+            ));
+        }
+        let ids = items.iter().map(|i| i.id).collect();
+        self.enqueue(items)?;
+        Ok(ids)
+    }
+
+    /// Assign an id and resolve the deadline for one request.
+    fn item(&self, request: Request, sink: ReplySink) -> JobItem {
+        JobItem {
+            id: self.shared.next_request.fetch_add(1, Ordering::Relaxed),
+            deadline: request.deadline.map(|d| Instant::now() + d),
             request,
+            sink,
+        }
+    }
+
+    /// Push one admission unit; on success, count and trace every item.
+    fn enqueue(&self, items: Vec<JobItem>) -> Result<(), SubmitError> {
+        // capture the admission metadata before the job moves into the
+        // queue (a racing worker may start serving it immediately)
+        let admitted: Vec<(u64, u8, bool)> = items
+            .iter()
+            .map(|i| {
+                (
+                    i.id,
+                    i.request.regime.index().min(u8::MAX as usize) as u8,
+                    i.request.peephole,
+                )
+            })
+            .collect();
+        let job = Job {
             submitted: Instant::now(),
-            deadline,
-            reply: tx,
+            items,
         };
         match self.shared.queue.push(job) {
-            Ok(()) => {
-                self.shared.metrics.on_submitted();
-                self.shared.trace(
-                    0,
-                    id,
-                    EventKind::Admitted {
-                        regime: regime.index().min(u8::MAX as usize) as u8,
-                        peephole,
-                    },
-                );
-                Ok(Ticket { rx, request_id: id })
-            }
+            Ok(()) => (),
             Err((_, PushError::Full)) => {
                 self.shared.metrics.on_queue_full();
-                Err(SubmitError::QueueFull)
+                return Err(SubmitError::QueueFull);
             }
-            Err((_, PushError::Closed)) => Err(SubmitError::ShuttingDown),
+            Err((_, PushError::Closed)) => return Err(SubmitError::ShuttingDown),
         }
+        if admitted.len() > 1 {
+            self.shared.metrics.on_batch(admitted.len() as u64);
+            self.shared.trace(
+                0,
+                admitted[0].0,
+                EventKind::BatchBegin {
+                    size: admitted.len().min(u32::MAX as usize) as u32,
+                },
+            );
+        }
+        for (id, regime, peephole) in admitted {
+            self.shared.metrics.on_submitted();
+            self.shared
+                .trace(0, id, EventKind::Admitted { regime, peephole });
+        }
+        Ok(())
     }
 
     /// A point-in-time snapshot of every counter, gauge, and latency

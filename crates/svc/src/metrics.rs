@@ -120,6 +120,10 @@ pub struct Metrics {
     submitted: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_shutdown: AtomicU64,
+    batches: AtomicU64,
+    batch_requests: AtomicU64,
+    proto_clones: AtomicU64,
+    proto_clones_saved: AtomicU64,
     regimes: Vec<RegimeMetrics>,
 }
 
@@ -129,6 +133,10 @@ impl Metrics {
             submitted: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            proto_clones: AtomicU64::new(0),
+            proto_clones_saved: AtomicU64::new(0),
             regimes: (0..EngineRegime::ALL.len())
                 .map(|_| RegimeMetrics::new())
                 .collect(),
@@ -149,6 +157,19 @@ impl Metrics {
 
     pub(crate) fn on_shutdown_rejection(&self) {
         self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_batch(&self, requests: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_requests.fetch_add(requests, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_proto_clone(&self) {
+        self.proto_clones.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_proto_clone_saved(&self) {
+        self.proto_clones_saved.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_cache_hit(&self, regime: EngineRegime) {
@@ -200,6 +221,10 @@ impl Metrics {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            proto_clones: self.proto_clones.load(Ordering::Relaxed),
+            proto_clones_saved: self.proto_clones_saved.load(Ordering::Relaxed),
             // occupancy gauges live outside the registry; the service
             // fills them in from the queue and cache when snapshotting
             queue_depth: 0,
@@ -280,6 +305,16 @@ pub struct MetricsSnapshot {
     pub rejected_queue_full: u64,
     /// Requests answered `ShutDown` without executing.
     pub rejected_shutdown: u64,
+    /// Batches admitted as a unit (each occupies one queue slot).
+    pub batches: u64,
+    /// Requests that arrived inside a batch.
+    pub batch_requests: u64,
+    /// Proto-machine allocation-clones performed (one per job: a unary
+    /// request, or the first item of a batch).
+    pub proto_clones: u64,
+    /// Proto-machine clones *avoided* by resetting the batch scratch
+    /// machine in place — the batching amortization, made visible.
+    pub proto_clones_saved: u64,
     /// Jobs waiting in the queue when the snapshot was taken.
     pub queue_depth: u64,
     /// Compiled artifacts cached when the snapshot was taken.

@@ -1,0 +1,210 @@
+//! Batched submission: a batch is admitted as one unit, executed on one
+//! amortized scratch machine, and its results are byte-equal to the same
+//! requests submitted one at a time.
+
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+use stackcache_harness::MEMORY_BYTES;
+use stackcache_svc::{Reply, ReplyRoute, Request, Service, ServiceConfig};
+use stackcache_vm::{program_of, Inst, Machine, Program};
+
+fn single_worker() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        cache_shards: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+/// A small program that touches stack, memory, and output, so byte
+/// equality exercises every Outcome field.
+fn busy_program(n: i64) -> Arc<Program> {
+    Arc::new(program_of(&[
+        Inst::Lit(n),
+        Inst::Dup,
+        Inst::Mul,
+        Inst::Dup,
+        Inst::Lit(8),
+        Inst::Store,
+        Inst::Dot,
+        Inst::Lit(n),
+    ]))
+}
+
+/// A prototype with preset stack and memory, so the in-place scratch
+/// reset has real state to restore between batch items.
+fn seeded_proto() -> Arc<Machine> {
+    let mut m = Machine::with_memory(MEMORY_BYTES);
+    m.push(11);
+    m.store_cell(0, -7);
+    Arc::new(m)
+}
+
+#[test]
+fn batch_results_are_byte_equal_to_unary_submissions() {
+    let programs: Vec<Arc<Program>> = (1..=6).map(busy_program).collect();
+    let proto = seeded_proto();
+    let build = |p: &Arc<Program>, regime| {
+        Request::new(Arc::clone(p), regime)
+            .on(Arc::clone(&proto))
+            .fuel(100_000)
+    };
+
+    // unary reference results, one clone per request
+    let unary_svc = Service::start(single_worker());
+    let mut unary = Vec::new();
+    for (i, p) in programs.iter().enumerate() {
+        let regime = EngineRegime::ALL[i % EngineRegime::ALL.len()];
+        let t = unary_svc.submit(build(p, regime)).expect("admitted");
+        match t.wait() {
+            Reply::Completed(c) => unary.push(c.outcome),
+            Reply::Rejected(r) => panic!("unary rejection: {r:?}"),
+        }
+    }
+    let unary_snap = unary_svc.shutdown();
+    assert_eq!(unary_snap.batches, 0);
+    assert_eq!(unary_snap.proto_clones, programs.len() as u64);
+    assert_eq!(unary_snap.proto_clones_saved, 0);
+
+    // the same requests as one batch: one clone, N-1 in-place resets
+    let batch_svc = Service::start(single_worker());
+    let requests: Vec<Request> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| build(p, EngineRegime::ALL[i % EngineRegime::ALL.len()]))
+        .collect();
+    let tickets = batch_svc.submit_batch(requests).expect("batch admitted");
+    assert_eq!(tickets.len(), programs.len());
+    for (i, t) in tickets.into_iter().enumerate() {
+        match t.wait() {
+            Reply::Completed(c) => assert_eq!(
+                c.outcome, unary[i],
+                "batch item {i} diverged from its unary run"
+            ),
+            Reply::Rejected(r) => panic!("batch rejection on item {i}: {r:?}"),
+        }
+    }
+    let snap = batch_svc.shutdown();
+    assert_eq!(snap.batches, 1);
+    assert_eq!(snap.batch_requests, programs.len() as u64);
+    assert_eq!(snap.proto_clones, 1, "a batch clones the proto once");
+    assert_eq!(snap.proto_clones_saved, programs.len() as u64 - 1);
+}
+
+#[test]
+fn batch_items_with_different_prototypes_stay_isolated() {
+    // each item's proto differs; the scratch reset must restore the
+    // *item's* prototype, not leak the previous item's final state
+    let svc = Service::start(single_worker());
+    let program = Arc::new(program_of(&[Inst::Lit(0), Inst::Fetch]));
+    let mut requests = Vec::new();
+    let mut want = Vec::new();
+    for i in 0..5i64 {
+        let mut m = Machine::with_memory(64);
+        m.store_cell(0, 100 + i);
+        requests.push(
+            Request::new(Arc::clone(&program), EngineRegime::Baseline)
+                .on(Arc::new(m))
+                .fuel(1_000),
+        );
+        want.push(100 + i);
+    }
+    let tickets = svc.submit_batch(requests).expect("admitted");
+    for (t, want) in tickets.into_iter().zip(want) {
+        match t.wait() {
+            Reply::Completed(c) => assert_eq!(c.outcome.stack, vec![want]),
+            Reply::Rejected(r) => panic!("rejected: {r:?}"),
+        }
+    }
+    svc.shutdown();
+}
+
+/// A route that records (token, reply) pairs.
+#[derive(Debug, Default)]
+struct Recorder {
+    tx: Mutex<Option<mpsc::Sender<(u64, Reply)>>>,
+}
+
+impl ReplyRoute for Recorder {
+    fn deliver(&self, token: u64, _request_id: u64, reply: Reply) {
+        if let Some(tx) = &*self.tx.lock().expect("recorder lock") {
+            let _ = tx.send((token, reply));
+        }
+    }
+}
+
+#[test]
+fn routed_replies_fan_into_one_channel() {
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        cache_shards: 2,
+        ..ServiceConfig::default()
+    });
+    let (tx, rx) = mpsc::channel();
+    let route: Arc<dyn ReplyRoute> = Arc::new(Recorder {
+        tx: Mutex::new(Some(tx)),
+    });
+
+    let mut ids = Vec::new();
+    for token in 0..8u64 {
+        let id = svc
+            .submit_routed(
+                Request::new(busy_program(token as i64 + 1), EngineRegime::Tos).fuel(100_000),
+                token,
+                Arc::clone(&route),
+            )
+            .expect("admitted");
+        ids.push(id);
+    }
+    // every token answers exactly once, on the shared channel
+    let mut seen = Vec::new();
+    for _ in 0..8 {
+        let (token, reply) = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("routed reply");
+        assert!(matches!(reply, Reply::Completed(_)), "token {token}");
+        seen.push(token);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    let snap = svc.shutdown();
+    assert_eq!(snap.submitted, 8);
+}
+
+#[test]
+fn batch_routed_replies_carry_their_tokens() {
+    let svc = Service::start(single_worker());
+    let (tx, rx) = mpsc::channel();
+    let route: Arc<dyn ReplyRoute> = Arc::new(Recorder {
+        tx: Mutex::new(Some(tx)),
+    });
+    let requests: Vec<(u64, Request)> = (0..4u64)
+        .map(|token| {
+            (
+                1_000 + token,
+                Request::new(busy_program(token as i64 + 2), EngineRegime::Dyncache).fuel(100_000),
+            )
+        })
+        .collect();
+    let ids = svc
+        .submit_batch_routed(requests, &route)
+        .expect("batch admitted");
+    assert_eq!(ids.len(), 4);
+    let mut tokens = Vec::new();
+    for _ in 0..4 {
+        let (token, reply) = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("routed reply");
+        assert!(matches!(reply, Reply::Completed(_)));
+        tokens.push(token);
+    }
+    tokens.sort_unstable();
+    assert_eq!(tokens, vec![1_000, 1_001, 1_002, 1_003]);
+    let snap = svc.shutdown();
+    assert_eq!(snap.batches, 1);
+    assert_eq!(snap.proto_clones_saved, 3);
+}

@@ -159,6 +159,23 @@ impl Machine {
         self.out.clear();
     }
 
+    /// Make this machine state-identical to `proto`, reusing this
+    /// machine's existing buffers instead of allocating fresh ones.
+    ///
+    /// Semantically equivalent to `*self = proto.clone()`, but the
+    /// memory image, stacks, and output buffer are overwritten in place
+    /// (`Vec::clone_from`), so a serving layer that runs many requests
+    /// from the same prototype pays the allocation once and only the
+    /// copies thereafter.
+    pub fn reset_from(&mut self, proto: &Machine) {
+        self.stack.clone_from(&proto.stack);
+        self.rstack.clone_from(&proto.rstack);
+        self.mem.clone_from(&proto.mem);
+        self.out.clone_from(&proto.out);
+        self.stack_limit = proto.stack_limit;
+        self.rstack_limit = proto.rstack_limit;
+    }
+
     /// Read the cell at byte address `addr`, or `None` when out of bounds.
     ///
     /// Cells are stored little-endian; `addr` need not be aligned.
@@ -270,5 +287,33 @@ mod tests {
         assert!(m.rstack().is_empty());
         assert!(m.output().is_empty());
         assert_eq!(m.load_cell(0), Some(42));
+    }
+
+    #[test]
+    fn reset_from_restores_the_prototype_exactly() {
+        let mut proto = Machine::with_memory(32);
+        proto.push(7);
+        proto.rpush(9);
+        proto.store_cell(8, -1);
+
+        let mut m = Machine::with_memory(16);
+        m.push(100);
+        m.out.extend_from_slice(b"dirty");
+        m.store_cell(0, 5);
+
+        m.reset_from(&proto);
+        assert_eq!(m.stack(), proto.stack());
+        assert_eq!(m.rstack(), proto.rstack());
+        assert_eq!(m.memory(), proto.memory());
+        assert_eq!(m.output(), proto.output());
+        assert_eq!(m.stack_limit(), proto.stack_limit());
+        assert_eq!(m.rstack_limit(), proto.rstack_limit());
+
+        // and again after running: still byte-identical to the prototype
+        m.push(1);
+        m.store_byte(0, 0xEE);
+        m.reset_from(&proto);
+        assert_eq!(m.memory(), proto.memory());
+        assert_eq!(m.stack(), proto.stack());
     }
 }
