@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! figures [--full] [fig7 fig18 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//!          speedup randomwalk rstack ablation serving analysis network | all]
+//!          speedup randomwalk rstack ablation fusion serving analysis
+//!          network | all]
 //! ```
 //!
 //! By default the small workload inputs are used; `--full` switches to the
@@ -12,8 +13,8 @@
 //! minutes in total).
 
 use stackcache_bench::{
-    ablation, fig07, fig18, fig20, fig21, fig22, fig24, fig26, freq, orgs, prefetch, randomwalk,
-    rstack, semantic, speedup, twostacks, verified,
+    ablation, fig07, fig18, fig20, fig21, fig22, fig24, fig26, freq, fusion, orgs, prefetch,
+    randomwalk, rstack, semantic, speedup, twostacks, verified,
 };
 use stackcache_core::CostModel;
 use stackcache_workloads::Scale;
@@ -44,6 +45,7 @@ fn main() {
             "twostacks",
             "prefetch",
             "semantic",
+            "fusion",
             "serving",
             "analysis",
             "network",
@@ -199,6 +201,19 @@ fn main() {
     if want("semantic") {
         println!("## Section 2.2 extension — increasing semantic content (peephole)\n");
         println!("{}", semantic::table(&semantic::run(scale)));
+    }
+    if want("fusion") {
+        println!("## Section 2.2 extension — profile-guided superinstructions\n");
+        println!("{}", fusion::table(&fusion::run(scale)));
+        let cycle = fusion::readmission_cycle(scale);
+        println!(
+            "profile -> fuse -> re-admit cycle: {} workloads, {} compile misses, \
+             {} warm re-admissions, {} divergences\n",
+            cycle.workloads,
+            cycle.misses,
+            cycle.hits,
+            cycle.divergences.len()
+        );
     }
     if want("ablation") {
         println!("## Section 5 ablation — static code generation variants\n");

@@ -1,0 +1,294 @@
+//! Section 2.2 extension — profile-guided superinstructions.
+//!
+//! The peephole experiment ([`crate::semantic`]) showed that *removing*
+//! instructions from hand-written Forth finds almost nothing. Fusion
+//! attacks the other term of the interpretation cost: it leaves the
+//! program text untouched and collapses hot straight-line sequences into
+//! single-dispatch superinstructions, so the per-instruction work stays
+//! identical while the dispatch count drops.
+//!
+//! Each workload is measured three ways: profiled (one reference run
+//! under [`SeqProfiler`] mines its hot opcode n-grams), fused under the
+//! deterministic static-default plan, and fused under the profile-guided
+//! plan built from its own dump. A quickened run under the profiled plan
+//! reports how many sites the warm-up pass rewrote in place. Because the
+//! program text is unchanged, outputs are asserted equal to the
+//! reference on every run.
+//!
+//! The same module drives the service-level cycle the plans exist for:
+//! profile, fuse, submit under the plan, then re-admit from the cache —
+//! see [`readmission_cycle`].
+
+use std::sync::Arc;
+
+use stackcache_core::EngineRegime;
+use stackcache_obs::SeqProfiler;
+use stackcache_svc::{Reply, Request, Service, ServiceConfig};
+use stackcache_vm::fusion::{fuse, run_fused, run_quickened, Quickened, DEFAULT_TOP_K};
+use stackcache_vm::{exec, ExecObserver, FusionPlan, Machine, Program};
+use stackcache_workloads::Scale;
+
+use crate::table::{f2, Table};
+use crate::workloads;
+
+/// Fusion measurements for one workload.
+#[derive(Debug, Clone)]
+pub struct FusionRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Executed original instructions (identical across all runs).
+    pub insts: u64,
+    /// Dispatches under the static-default plan.
+    pub static_dispatches: u64,
+    /// Dispatches under the profile-guided plan.
+    pub profiled_dispatches: u64,
+    /// Static fusion sites the profiled plan placed in the program text.
+    pub fused_sites: usize,
+    /// Sites the quickened interpreter rewrote in place on first touch.
+    pub quickened_sites: usize,
+    /// Distinct hot sequences the profiler mined.
+    pub distinct_sequences: usize,
+}
+
+impl FusionRow {
+    /// Fraction of dispatches the profile-guided plan removes, `0.0..=1.0`.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.profiled_dispatches as f64 / self.insts as f64
+    }
+
+    /// Same, for the static-default plan.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn static_reduction(&self) -> f64 {
+        1.0 - self.static_dispatches as f64 / self.insts as f64
+    }
+}
+
+/// Profile every workload, fuse it under the static-default and its own
+/// profile-guided plan, and measure the dispatch reduction.
+///
+/// # Panics
+///
+/// Panics if a workload traps or a fused/quickened run disagrees with
+/// the reference interpreter (a bug — fusion must preserve behaviour).
+#[must_use]
+pub fn run(scale: Scale) -> Vec<FusionRow> {
+    workloads(scale)
+        .iter()
+        .map(|w| {
+            let p = &w.image.program;
+            // profile on the reference interpreter
+            let mut prof = SeqProfiler::new();
+            let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut prof];
+            let mut m_ref = w.image.machine();
+            let out = exec::run_with_observer(p, &mut m_ref, w.fuel(), &mut obs).expect("runs");
+
+            let run_plan = |plan: &FusionPlan| {
+                let fused = fuse(p, plan);
+                let mut m = w.image.machine();
+                let stats = run_fused(&fused, &mut m, w.fuel()).expect("fused runs");
+                assert_eq!(
+                    m.output(),
+                    m_ref.output(),
+                    "{}: behaviour preserved",
+                    w.name
+                );
+                assert_eq!(stats.executed, out.executed, "{}: same inst count", w.name);
+                (fused, stats)
+            };
+            let (_, static_stats) = run_plan(&FusionPlan::static_default(p, DEFAULT_TOP_K));
+            let profiled =
+                FusionPlan::from_hot_sequences(&prof.hot_sequences(DEFAULT_TOP_K), DEFAULT_TOP_K);
+            let (fused, prof_stats) = run_plan(&profiled);
+            let fused_sites = fused.fused_sites();
+
+            // the quickened interpreter converges to the same dispatch map
+            let quick = Quickened::new(fused);
+            let mut m_q = w.image.machine();
+            let q_stats = run_quickened(&quick, &mut m_q, w.fuel()).expect("quickened runs");
+            assert_eq!(m_q.output(), m_ref.output(), "{}: quickened agrees", w.name);
+            assert_eq!(q_stats.executed, out.executed);
+
+            FusionRow {
+                workload: w.name,
+                insts: out.executed,
+                static_dispatches: static_stats.dispatches,
+                profiled_dispatches: prof_stats.dispatches,
+                fused_sites,
+                quickened_sites: quick.quickened_sites(),
+                distinct_sequences: prof.distinct_sequences(),
+            }
+        })
+        .collect()
+}
+
+/// Render the comparison.
+#[must_use]
+pub fn table(rows: &[FusionRow]) -> Table {
+    let mut t = Table::new(&[
+        "workload",
+        "insts",
+        "dispatches (static plan)",
+        "dispatches (profiled)",
+        "reduction %",
+        "fused sites",
+        "quickened sites",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.workload.to_string(),
+            r.insts.to_string(),
+            r.static_dispatches.to_string(),
+            r.profiled_dispatches.to_string(),
+            f2(100.0 * r.reduction()),
+            r.fused_sites.to_string(),
+            r.quickened_sites.to_string(),
+        ]);
+    }
+    t
+}
+
+/// What one profile → fuse → re-admit cycle through the service observed.
+#[derive(Debug, Clone)]
+pub struct ReadmissionReport {
+    /// Workloads driven through the cycle.
+    pub workloads: usize,
+    /// Cache misses (first admission under each profiled plan).
+    pub misses: usize,
+    /// Cache hits (re-admissions of the warm quickened artifact).
+    pub hits: usize,
+    /// Responses that disagreed with the reference interpreter.
+    pub divergences: Vec<String>,
+}
+
+/// Drive the cycle the plans exist for, through the real service: run
+/// each workload once to collect a profile, submit it under the
+/// quickened regime with its profile-guided plan (a miss that compiles
+/// and warms the artifact), then re-submit under the same plan and
+/// require a cache hit with an identical verified answer.
+///
+/// # Panics
+///
+/// Panics if the service refuses a submission (the queue is sized for
+/// the load).
+#[must_use]
+pub fn readmission_cycle(scale: Scale) -> ReadmissionReport {
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        cache_shards: 4,
+        ..ServiceConfig::default()
+    });
+    let mut report = ReadmissionReport {
+        workloads: 0,
+        misses: 0,
+        hits: 0,
+        divergences: Vec::new(),
+    };
+    for w in workloads(scale) {
+        let p = Arc::new(w.image.program.clone());
+        let proto = Arc::new(w.image.machine());
+        let expected = reference_output(&p, &proto, w.fuel());
+
+        let mut prof = SeqProfiler::new();
+        let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut prof];
+        let mut m = proto.as_ref().clone();
+        exec::run_with_observer(&p, &mut m, w.fuel(), &mut obs).expect("profile run");
+        let plan = Arc::new(FusionPlan::from_hot_sequences(
+            &prof.hot_sequences(DEFAULT_TOP_K),
+            DEFAULT_TOP_K,
+        ));
+
+        report.workloads += 1;
+        for round in 0..2 {
+            let req = Request::new(Arc::clone(&p), EngineRegime::Quickened)
+                .on(Arc::clone(&proto))
+                .fuel(w.fuel())
+                .fusion_plan(Arc::clone(&plan));
+            match svc.submit(req).expect("admitted").wait() {
+                Reply::Completed(c) => {
+                    if c.cache_hit {
+                        report.hits += 1;
+                    } else {
+                        report.misses += 1;
+                    }
+                    if c.outcome.output != expected {
+                        report
+                            .divergences
+                            .push(format!("{} round {round}: output diverged", w.name));
+                    }
+                }
+                Reply::Rejected(r) => report
+                    .divergences
+                    .push(format!("{} round {round}: rejected {r:?}", w.name)),
+            }
+        }
+    }
+    svc.shutdown();
+    report
+}
+
+fn reference_output(p: &Program, proto: &Machine, fuel: u64) -> Vec<u8> {
+    let mut m = proto.clone();
+    exec::run(p, &mut m, fuel).expect("reference runs");
+    m.output().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_plans_cut_dispatches_by_a_third_on_hot_workloads() {
+        let rows = run(Scale::Small);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.profiled_dispatches <= r.insts, "{}", r.workload);
+            assert!(r.fused_sites > 0, "{}: plan found nothing", r.workload);
+            assert!(
+                r.quickened_sites <= r.fused_sites,
+                "{}: quickened more sites than exist",
+                r.workload
+            );
+        }
+        // the acceptance bar: >= 30% dynamic dispatch reduction on at
+        // least two workloads under their own profile-guided plans
+        let big: Vec<_> = rows.iter().filter(|r| r.reduction() >= 0.30).collect();
+        assert!(
+            big.len() >= 2,
+            "only {}/{} workloads reached 30% dispatch reduction: {:?}",
+            big.len(),
+            rows.len(),
+            rows.iter()
+                .map(|r| (r.workload, r.reduction()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn profiled_plans_beat_or_match_the_static_default() {
+        for r in run(Scale::Small) {
+            assert!(
+                r.profiled_dispatches <= r.static_dispatches,
+                "{}: profile-guided plan lost to the static default",
+                r.workload
+            );
+        }
+    }
+
+    #[test]
+    fn the_readmission_cycle_is_clean() {
+        let report = readmission_cycle(Scale::Small);
+        assert_eq!(report.workloads, 4);
+        assert_eq!(report.misses, 4, "first admission compiles");
+        assert_eq!(report.hits, 4, "re-admission hits the warm artifact");
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+    }
+
+    #[test]
+    fn table_renders() {
+        assert_eq!(table(&run(Scale::Small)).len(), 4);
+    }
+}

@@ -17,6 +17,7 @@ pub mod fig22;
 pub mod fig24;
 pub mod fig26;
 pub mod freq;
+pub mod fusion;
 pub mod netload;
 pub mod orgs;
 pub mod prefetch;

@@ -10,6 +10,10 @@
 
 use std::sync::Arc;
 
+use stackcache_vm::fusion::{
+    fuse, run_fused_with_checks, run_quickened_with_checks, FusedProgram, FusionPlan, Quickened,
+    DEFAULT_TOP_K,
+};
 use stackcache_vm::interp::{run_baseline_with_checks, run_tos_with_checks};
 use stackcache_vm::{exec, peephole, Checks, ExecObserver, Machine, Program, VmError};
 
@@ -36,12 +40,18 @@ pub enum EngineRegime {
     /// The statically stack-cached interpreter at canonical depth
     /// `0..=3` (Section 5).
     Static(u8),
+    /// The superinstruction interpreter: one dispatch per fused group,
+    /// under a plan derived statically or from a profile (ISSUE 6).
+    Fused,
+    /// The quickening interpreter: starts unfused and rewrites its
+    /// dispatch map in place after first execution of each hot site.
+    Quickened,
 }
 
 impl EngineRegime {
-    /// Every regime, in ladder order (the eight engines of the paper's
-    /// wall-clock comparison).
-    pub const ALL: [EngineRegime; 8] = [
+    /// Every regime, in ladder order: the eight engines of the paper's
+    /// wall-clock comparison plus the two superinstruction tiers.
+    pub const ALL: [EngineRegime; 10] = [
         EngineRegime::Reference,
         EngineRegime::Baseline,
         EngineRegime::Tos,
@@ -50,6 +60,8 @@ impl EngineRegime {
         EngineRegime::Static(1),
         EngineRegime::Static(2),
         EngineRegime::Static(3),
+        EngineRegime::Fused,
+        EngineRegime::Quickened,
     ];
 
     /// A dense index in `0..EngineRegime::ALL.len()` (metrics slots).
@@ -61,6 +73,8 @@ impl EngineRegime {
             EngineRegime::Tos => 2,
             EngineRegime::Dyncache => 3,
             EngineRegime::Static(c) => 4 + usize::from(c.min(3)),
+            EngineRegime::Fused => 8,
+            EngineRegime::Quickened => 9,
         }
     }
 
@@ -73,6 +87,8 @@ impl EngineRegime {
             EngineRegime::Tos => "tos".to_string(),
             EngineRegime::Dyncache => "dyncache".to_string(),
             EngineRegime::Static(c) => format!("static(c={c})"),
+            EngineRegime::Fused => "fused".to_string(),
+            EngineRegime::Quickened => "quickened".to_string(),
         }
     }
 
@@ -97,13 +113,34 @@ pub struct CompiledArtifact {
     peephole: bool,
     program: Arc<Program>,
     exe: Option<Arc<StaticExecutable>>,
+    fused: Option<Arc<FusedProgram>>,
+    quick: Option<Arc<Quickened>>,
 }
 
 impl CompiledArtifact {
     /// Translate `program` for `regime`, peephole-optimizing first when
     /// `peephole` is set. This is the expensive step a cache amortizes.
+    ///
+    /// The fused and quickened regimes derive their fusion plan
+    /// statically ([`FusionPlan::static_default`]) here; use
+    /// [`compile_with_plan`](CompiledArtifact::compile_with_plan) to
+    /// supply a profile-guided plan instead.
     #[must_use]
     pub fn compile(program: &Program, regime: EngineRegime, peephole: bool) -> Self {
+        CompiledArtifact::compile_with_plan(program, regime, peephole, None)
+    }
+
+    /// [`compile`](CompiledArtifact::compile) with an explicit fusion
+    /// plan for the fused/quickened regimes (ignored by the others).
+    /// `None` falls back to the deterministic static-default plan, so
+    /// identical inputs always produce identical artifacts.
+    #[must_use]
+    pub fn compile_with_plan(
+        program: &Program,
+        regime: EngineRegime,
+        peephole: bool,
+        plan: Option<&FusionPlan>,
+    ) -> Self {
         let program = if peephole {
             Arc::new(peephole::optimize(program).0)
         } else {
@@ -113,12 +150,41 @@ impl CompiledArtifact {
             EngineRegime::Static(c) => Some(Arc::new(compile_static(&program, c))),
             _ => None,
         };
+        // fusion plans apply to the program as executed (post-peephole)
+        let fuse_now = || match plan {
+            Some(plan) => fuse(&program, plan),
+            None => fuse(
+                &program,
+                &FusionPlan::static_default(&program, DEFAULT_TOP_K),
+            ),
+        };
+        let (fused, quick) = match regime {
+            EngineRegime::Fused => (Some(Arc::new(fuse_now())), None),
+            EngineRegime::Quickened => (None, Some(Arc::new(Quickened::new(fuse_now())))),
+            _ => (None, None),
+        };
         CompiledArtifact {
             regime,
             peephole,
             program,
             exe,
+            fused,
+            quick,
         }
+    }
+
+    /// The fused dispatch map, for [`EngineRegime::Fused`] artifacts.
+    #[must_use]
+    pub fn fused(&self) -> Option<&Arc<FusedProgram>> {
+        self.fused.as_ref()
+    }
+
+    /// The quickening state, for [`EngineRegime::Quickened`] artifacts.
+    /// Shared across clones: quickening performed by one execution
+    /// persists for every holder of the artifact.
+    #[must_use]
+    pub fn quickened(&self) -> Option<&Arc<Quickened>> {
+        self.quick.as_ref()
     }
 
     /// The regime this artifact was compiled for.
@@ -219,6 +285,17 @@ impl CompiledArtifact {
             EngineRegime::Static(_) => {
                 let exe = self.exe.as_ref().expect("static artifacts carry an exe");
                 run_staticcache_with_checks(exe, machine, fuel, checks).map(|s| s.executed)
+            }
+            EngineRegime::Fused => {
+                let fp = self.fused.as_ref().expect("fused artifacts carry a map");
+                run_fused_with_checks(fp, machine, fuel, checks).map(|s| s.executed)
+            }
+            EngineRegime::Quickened => {
+                let q = self
+                    .quick
+                    .as_ref()
+                    .expect("quickened artifacts carry state");
+                run_quickened_with_checks(q, machine, fuel, checks).map(|s| s.executed)
             }
         }
     }

@@ -764,6 +764,200 @@ mod two_stacks_tests {
     }
 }
 
+/// Section 6 counting under superinstruction fusion: the full dynamic
+/// stack-caching accounting of [`CachedRegime`], with `dispatches`
+/// counted per *fused group* instead of per instruction.
+///
+/// Fusion leaves the program text (and therefore every per-instruction
+/// cache transition) unchanged — only the dispatch count collapses. This
+/// regime models that exactly: it replays the reference interpreter's
+/// event stream through an inner [`CachedRegime`] and cancels the
+/// dispatch increment for every instruction that executes as the
+/// continuation of a fused group, mirroring the group loop in
+/// `stackcache_vm::fusion::run_fused`. With `quicken` set it instead
+/// mirrors `run_quickened`: the first visit to each fused site dispatches
+/// per instruction (the site is still rewriting itself), later visits
+/// dispatch per group.
+#[derive(Debug, Clone)]
+pub struct FusedRegime {
+    inner: CachedRegime,
+    group_len: Vec<u8>,
+    quicken: bool,
+    /// per-site: has this fused site executed (and thus quickened) yet?
+    warm: Vec<bool>,
+    /// continuation instructions left in the currently dispatched group
+    remaining: u8,
+    /// ip the next continuation must have (groups are straight-line)
+    expected_ip: usize,
+}
+
+impl FusedRegime {
+    /// Count `fused`'s dispatch collapse over `org` with the given
+    /// overflow followup depth. `quicken` selects the quickening model
+    /// (first visit per site dispatches unfused).
+    #[must_use]
+    pub fn new(
+        fused: &stackcache_vm::FusedProgram,
+        org: &Org,
+        overflow_depth: u8,
+        quicken: bool,
+    ) -> Self {
+        let group_len = fused.group_len().to_vec();
+        let warm = vec![false; group_len.len()];
+        FusedRegime {
+            inner: CachedRegime::new(org, overflow_depth),
+            group_len,
+            quicken,
+            warm,
+            remaining: 0,
+            expected_ip: 0,
+        }
+    }
+
+    /// The accumulated counts (`dispatches` is per fused group; every
+    /// other field is identical to the unfused [`CachedRegime`]).
+    #[must_use]
+    pub fn counts(&self) -> &Counts {
+        &self.inner.counts
+    }
+
+    /// Whether this regime models quickening (first visit unfused).
+    #[must_use]
+    pub fn quicken(&self) -> bool {
+        self.quicken
+    }
+
+    /// Fused sites visited (and therefore quickened) so far.
+    #[must_use]
+    pub fn warm_sites(&self) -> usize {
+        self.warm
+            .iter()
+            .zip(&self.group_len)
+            .filter(|(&w, &l)| w && l > 1)
+            .count()
+    }
+
+    /// Reset the cache state and group tracking (e.g. between
+    /// workloads); quickening warmth persists, like the real dispatch
+    /// map.
+    pub fn reset_state(&mut self) {
+        self.inner.reset_state();
+        self.remaining = 0;
+        self.expected_ip = 0;
+    }
+}
+
+impl ExecObserver for FusedRegime {
+    fn event(&mut self, ev: &ExecEvent) {
+        self.inner.event(ev);
+        if self.remaining > 0 && ev.ip == self.expected_ip {
+            // continuation of the dispatched group: no handler dispatch
+            self.inner.counts.dispatches -= 1;
+            self.remaining -= 1;
+            self.expected_ip += 1;
+            return;
+        }
+        // a dispatch: how much of a group does this one handler cover?
+        let mut glen = self.group_len.get(ev.ip).copied().unwrap_or(1);
+        if self.quicken {
+            if let Some(w) = self.warm.get_mut(ev.ip) {
+                if !*w {
+                    *w = true;
+                    glen = 1; // first visit runs unfused while it quickens
+                }
+            }
+        }
+        self.remaining = glen.saturating_sub(1);
+        self.expected_ip = ev.ip + 1;
+    }
+}
+
+#[cfg(test)]
+mod fused_tests {
+    use super::*;
+    use stackcache_vm::fusion::{fuse, run_fused, run_quickened, FusionPlan, Quickened};
+    use stackcache_vm::{exec, Inst, Machine, ProgramBuilder};
+
+    fn fused_loop_program() -> stackcache_vm::Program {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Lit(20));
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::OneMinus);
+        b.push(Inst::Dup);
+        b.push(Inst::ZeroEq);
+        b.branch_if_zero(top);
+        b.push(Inst::Drop);
+        b.push(Inst::Halt);
+        b.finish().unwrap()
+    }
+
+    fn body_plan() -> FusionPlan {
+        let seq: Vec<u8> = [Inst::OneMinus, Inst::Dup, Inst::ZeroEq]
+            .iter()
+            .map(Inst::opcode)
+            .collect();
+        FusionPlan::from_hot_sequences(&[(seq, 20)], 4)
+    }
+
+    #[test]
+    fn dispatch_count_matches_the_fused_executor() {
+        let p = fused_loop_program();
+        let fused = fuse(&p, &body_plan());
+        let org = Org::minimal(2);
+        let mut regime = FusedRegime::new(&fused, &org, 2, false);
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 1_000_000, &mut regime).unwrap();
+
+        let mut m2 = Machine::with_memory(64);
+        let stats = run_fused(&fused, &mut m2, 1_000_000).unwrap();
+        assert_eq!(regime.counts().insts, stats.executed);
+        assert_eq!(regime.counts().dispatches, stats.dispatches);
+        assert!(stats.dispatches < stats.executed);
+    }
+
+    #[test]
+    fn quicken_model_matches_the_quickened_executor() {
+        let p = fused_loop_program();
+        let fused = fuse(&p, &body_plan());
+        let org = Org::minimal(2);
+        let mut regime = FusedRegime::new(&fused, &org, 2, true);
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 1_000_000, &mut regime).unwrap();
+
+        let quick = Quickened::new(fuse(&p, &body_plan()));
+        let mut m2 = Machine::with_memory(64);
+        let stats = run_quickened(&quick, &mut m2, 1_000_000).unwrap();
+        assert_eq!(regime.counts().dispatches, stats.dispatches);
+        assert_eq!(regime.warm_sites(), quick.quickened_sites());
+    }
+
+    #[test]
+    fn every_other_count_is_unchanged_by_fusion() {
+        let p = fused_loop_program();
+        let fused = fuse(&p, &body_plan());
+        let org = Org::minimal(2);
+        let mut plain = CachedRegime::new(&org, 2);
+        let mut under_fusion = FusedRegime::new(&fused, &org, 2, false);
+        let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut plain, &mut under_fusion];
+        let mut m = Machine::with_memory(64);
+        exec::run_with_observer(&p, &mut m, 1_000_000, &mut obs).unwrap();
+
+        let (a, b) = (&plain.counts, under_fusion.counts());
+        assert_eq!(a.insts, b.insts);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.stores, b.stores);
+        assert_eq!(a.moves, b.moves);
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.overflows, b.overflows);
+        assert_eq!(a.underflows, b.underflows);
+        assert_eq!(a.rloads, b.rloads);
+        assert_eq!(a.rstores, b.rstores);
+        assert_eq!(a.calls, b.calls);
+        assert!(b.dispatches < a.dispatches);
+    }
+}
+
 /// Prefetching stack cache (Section 3.6): on-demand caching over the
 /// minimal organization, but states with fewer than `min_items` cached
 /// are forbidden — the cache eagerly refills from memory after popping

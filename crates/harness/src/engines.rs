@@ -8,6 +8,7 @@
 //! [`Outcome`]; the oracle in [`crate::check`] asserts pairwise agreement.
 
 use stackcache_core::interp::{compile_static, run_dyncache, run_staticcache};
+use stackcache_vm::fusion::{fuse, run_fused, run_quickened, FusionPlan, Quickened, DEFAULT_TOP_K};
 use stackcache_vm::interp::{run_baseline, run_tos};
 use stackcache_vm::{exec, peephole, Machine, Program};
 
@@ -23,6 +24,8 @@ enum Kind {
     Tos,
     Dyncache,
     Static(u8),
+    Fused,
+    Quickened,
 }
 
 /// One executable engine configuration.
@@ -51,6 +54,8 @@ impl Engine {
             Kind::Tos => "tos".to_string(),
             Kind::Dyncache => "dyncache".to_string(),
             Kind::Static(c) => format!("staticcache(c={c})"),
+            Kind::Fused => "fused".to_string(),
+            Kind::Quickened => "quickened".to_string(),
         };
         let name = if peephole {
             format!("{base}+peephole")
@@ -94,15 +99,26 @@ impl Engine {
                 let exe = compile_static(p, c);
                 run_staticcache(&exe, &mut m, fuel).map(|s| s.executed)
             }
+            Kind::Fused => {
+                let plan = FusionPlan::static_default(p, DEFAULT_TOP_K);
+                run_fused(&fuse(p, &plan), &mut m, fuel).map(|s| s.executed)
+            }
+            Kind::Quickened => {
+                let plan = FusionPlan::static_default(p, DEFAULT_TOP_K);
+                let quick = Quickened::new(fuse(p, &plan));
+                run_quickened(&quick, &mut m, fuel).map(|s| s.executed)
+            }
         };
         Outcome::capture(&m, result)
     }
 }
 
-/// Every wall-clock engine configuration: 8 engines × {plain, peephole}.
+/// Every wall-clock engine configuration: 10 engines × {plain, peephole}.
 ///
 /// The first entry is always the plain reference interpreter, which the
-/// oracle uses as the comparison baseline.
+/// oracle uses as the comparison baseline. The fused and quickened
+/// engines run under their deterministic static-default plan, so every
+/// fuzzed program exercises superinstruction dispatch too.
 #[must_use]
 pub fn all_engines() -> Vec<Engine> {
     let kinds = [
@@ -114,6 +130,8 @@ pub fn all_engines() -> Vec<Engine> {
         Kind::Static(1),
         Kind::Static(2),
         Kind::Static(3),
+        Kind::Fused,
+        Kind::Quickened,
     ];
     let mut out = Vec::with_capacity(kinds.len() * 2);
     for &k in &kinds {

@@ -4,10 +4,11 @@
 //! per-state attribution — and its per-state dispatch totals must sum to
 //! the aggregate dispatch count.
 
-use stackcache_core::regime::CachedRegime;
+use stackcache_core::regime::{CachedRegime, FusedRegime};
 use stackcache_core::Org;
 use stackcache_harness::{corpus, gen, MEMORY_BYTES};
 use stackcache_obs::CacheProfiler;
+use stackcache_vm::fusion::{fuse, run_fused, FusionPlan, DEFAULT_TOP_K};
 use stackcache_vm::{exec, ExecObserver, Machine, Program, Rng};
 
 const FUEL: u64 = 2_000_000;
@@ -68,6 +69,49 @@ fn generated_programs_profile_to_counting_regime_totals() {
         let mut rng = Rng::new(0xC0FFEE ^ seed);
         let program = gen::structured_program(&mut rng);
         assert_profile_matches(&format!("gen-{seed}"), &program);
+    }
+}
+
+/// Fusion must be invisible to cache-state profiling: a fused program is
+/// the same program text, so the profiler's counts equal the Section 6
+/// counting regime's on every field — only `dispatches` collapses, and
+/// the collapsed total must equal what the fused executor actually
+/// dispatched.
+#[test]
+fn fused_corpus_programs_profile_to_counting_regime_totals() {
+    let programs = corpus::load_all();
+    assert!(!programs.is_empty(), "corpus is empty");
+    for (name, program) in &programs {
+        let plan = FusionPlan::static_default(program, DEFAULT_TOP_K);
+        let fused = fuse(program, &plan);
+        for (org, depth) in orgs() {
+            let mut profiler = CacheProfiler::new(&org, depth);
+            let mut regime = FusedRegime::new(&fused, &org, depth, false);
+            {
+                let mut obs: Vec<&mut dyn ExecObserver> = vec![&mut profiler, &mut regime];
+                let mut m = Machine::with_memory(MEMORY_BYTES);
+                let _ = exec::run_with_observer(program, &mut m, FUEL, &mut obs);
+            }
+            // every count but the dispatch total is untouched by fusion
+            let mut expected = *regime.counts();
+            expected.dispatches = profiler.counts().dispatches;
+            assert_eq!(
+                profiler.counts(),
+                &expected,
+                "{name} under {}: fusion changed a non-dispatch count",
+                org.name()
+            );
+            // and the collapsed dispatch total is the executor's
+            let mut m = Machine::with_memory(MEMORY_BYTES);
+            if let Ok(stats) = run_fused(&fused, &mut m, FUEL) {
+                assert_eq!(
+                    regime.counts().dispatches,
+                    stats.dispatches,
+                    "{name} under {}: counting model disagrees with the fused executor",
+                    org.name()
+                );
+            }
+        }
     }
 }
 

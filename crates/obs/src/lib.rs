@@ -29,10 +29,12 @@ pub mod event;
 pub mod expo;
 pub mod profile;
 pub mod ring;
+pub mod seqprof;
 pub mod tracer;
 
 pub use event::{decode, encode, CancelKind, EventKind, RawEvent, RejectKind};
 pub use expo::{json_array, json_string, prometheus_lint, JsonObj, PromText};
 pub use profile::{CacheProfiler, StateTally, StaticProfiler, StaticStateTally};
 pub use ring::{EventRing, FlightDump, FlightRecorder, TimedEvent};
+pub use seqprof::SeqProfiler;
 pub use tracer::RingTracer;

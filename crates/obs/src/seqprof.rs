@@ -1,0 +1,224 @@
+//! Dynamic opcode-sequence profiling: the input side of the
+//! profile→fuse feedback loop.
+//!
+//! The [`CacheProfiler`](crate::CacheProfiler) answers "which (cache
+//! state × opcode) pairs are hot"; superinstruction selection needs one
+//! level more context — which *runs* of opcodes execute back to back.
+//! [`SeqProfiler`] is an [`ExecObserver`] that mines exactly that: it
+//! follows the dynamic instruction stream, tracks maximal straight-line
+//! runs of fusable instructions (a control transfer, a non-fusable
+//! instruction, or an ip discontinuity ends a run), and tallies every
+//! n-gram of length `2..=MAX_SEQ` inside each run.
+//!
+//! [`SeqProfiler::hot_sequences`] then ranks the n-grams by the dispatch
+//! saving fusing them would buy (`count × (len − 1)`) — precisely the
+//! shape `stackcache_vm::FusionPlan::from_hot_sequences` consumes, so a
+//! profile dump converts into a fusion plan with no glue.
+
+use std::collections::HashMap;
+
+use stackcache_vm::exec::{ExecEvent, ExecObserver};
+use stackcache_vm::fusion::{self, MAX_SEQ};
+
+/// Mines hot fusable opcode sequences from the dynamic instruction
+/// stream. Feed it to `run_with_observer`, then convert the dump with
+/// `FusionPlan::from_hot_sequences(&profiler.hot_sequences(k), k)`.
+#[derive(Debug, Default)]
+pub struct SeqProfiler {
+    /// The current straight-line run of fusable opcodes.
+    window: Vec<u8>,
+    /// ip expected next if the run continues without a control transfer.
+    expected_ip: usize,
+    /// n-gram tallies over all completed and in-progress runs.
+    counts: HashMap<Vec<u8>, u64>,
+    /// Total events seen (fusable or not).
+    events: u64,
+}
+
+impl SeqProfiler {
+    /// A fresh profiler with no recorded sequences.
+    #[must_use]
+    pub fn new() -> Self {
+        SeqProfiler::default()
+    }
+
+    /// Total instructions observed.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Distinct sequences tallied so far.
+    #[must_use]
+    pub fn distinct_sequences(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The top `k` sequences by dispatch saving (`count × (len − 1)`),
+    /// as `(opcodes, dynamic occurrence count)` pairs — the exact input
+    /// shape of `FusionPlan::from_hot_sequences`. Ties break on the
+    /// opcode bytes so the ranking is deterministic.
+    #[must_use]
+    pub fn hot_sequences(&self, k: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut ranked: Vec<(Vec<u8>, u64)> = self
+            .counts
+            .iter()
+            .map(|(seq, &count)| (seq.clone(), count))
+            .collect();
+        ranked.sort_by(|a, b| {
+            let save_a = a.1 * (a.0.len() as u64 - 1);
+            let save_b = b.1 * (b.0.len() as u64 - 1);
+            save_b.cmp(&save_a).then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Forget everything (the current run and all tallies).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.counts.clear();
+        self.expected_ip = 0;
+        self.events = 0;
+    }
+
+    /// Close the current run: a control transfer, block boundary, or
+    /// non-fusable instruction ends the straight line.
+    fn break_run(&mut self) {
+        self.window.clear();
+    }
+
+    /// Tally every n-gram that *ends* at the newly appended opcode.
+    /// Counting suffix-grams incrementally visits each n-gram of each
+    /// run exactly once.
+    fn tally_suffixes(&mut self) {
+        let len = self.window.len();
+        for n in 2..=MAX_SEQ.min(len) {
+            let seq = self.window[len - n..].to_vec();
+            *self.counts.entry(seq).or_insert(0) += 1;
+        }
+    }
+}
+
+impl ExecObserver for SeqProfiler {
+    fn event(&mut self, ev: &ExecEvent) {
+        self.events += 1;
+        // an ip discontinuity means a control transfer landed here —
+        // the run (if any) ended at the transfer instruction
+        if !self.window.is_empty() && ev.ip != self.expected_ip {
+            self.break_run();
+        }
+        if !fusion::fusable(&ev.inst) {
+            self.break_run();
+            self.expected_ip = ev.ip + 1;
+            return;
+        }
+        self.window.push(ev.inst.opcode());
+        if self.window.len() > MAX_SEQ {
+            self.window.remove(0);
+        }
+        self.tally_suffixes();
+        self.expected_ip = ev.ip + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::fusion::FusionPlan;
+    use stackcache_vm::{exec, program_of, Inst, Machine};
+
+    fn profile(p: &stackcache_vm::Program) -> SeqProfiler {
+        let mut prof = SeqProfiler::new();
+        let mut m = Machine::with_memory(256);
+        exec::run_with_observer(p, &mut m, 1_000_000, &mut prof).expect("program runs");
+        prof
+    }
+
+    #[test]
+    fn straight_line_runs_tally_their_ngrams() {
+        let p = program_of(&[
+            Inst::Lit(6),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Lit(6),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Add,
+            Inst::Dot,
+        ]);
+        let prof = profile(&p);
+        let hot = prof.hot_sequences(64);
+        let triple = vec![
+            Inst::Lit(0).opcode(),
+            Inst::Dup.opcode(),
+            Inst::Mul.opcode(),
+        ];
+        let count = hot.iter().find(|(s, _)| *s == triple).map(|(_, c)| *c);
+        assert_eq!(count, Some(2), "lit+dup+* executed twice: {hot:?}");
+    }
+
+    #[test]
+    fn control_transfers_break_runs() {
+        use stackcache_vm::ProgramBuilder;
+        // loop body [one-minus, dup, 0=] — the back edge must stop any
+        // n-gram from spanning the branch_if_zero or the loop head
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Lit(3));
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.push(Inst::OneMinus);
+        b.push(Inst::Dup);
+        b.push(Inst::ZeroEq);
+        b.branch_if_zero(top); // loop back while the counter is nonzero
+        b.push(Inst::Drop);
+        b.push(Inst::Halt);
+        let p = b.finish().unwrap();
+        let prof = profile(&p);
+        let body = vec![
+            Inst::OneMinus.opcode(),
+            Inst::Dup.opcode(),
+            Inst::ZeroEq.opcode(),
+        ];
+        let hot = prof.hot_sequences(64);
+        assert!(hot.iter().any(|(s, c)| *s == body && *c == 3), "{hot:?}");
+        // nothing spans the conditional branch
+        let bad = Inst::BranchIfZero(0).opcode();
+        assert!(hot.iter().all(|(s, _)| !s.contains(&bad)));
+    }
+
+    #[test]
+    fn a_profile_dump_becomes_a_fusion_plan() {
+        let p = program_of(&[
+            Inst::Lit(2),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Lit(3),
+            Inst::Dup,
+            Inst::Mul,
+            Inst::Add,
+            Inst::Dot,
+        ]);
+        let prof = profile(&p);
+        let plan = FusionPlan::from_hot_sequences(&prof.hot_sequences(8), 8);
+        assert!(!plan.is_empty());
+        let fused = stackcache_vm::fuse(&p, &plan);
+        // the whole straight line is one hot run: it fuses maximally
+        assert!(fused.fused_sites() >= 1, "{:?}", fused.group_len());
+        assert!(
+            fused.dispatch_sites() <= p.len() / 2,
+            "{:?}",
+            fused.group_len()
+        );
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let p = program_of(&[Inst::Lit(1), Inst::Dup, Inst::Add, Inst::Dot]);
+        let mut prof = profile(&p);
+        assert!(prof.distinct_sequences() > 0);
+        prof.reset();
+        assert_eq!(prof.distinct_sequences(), 0);
+        assert_eq!(prof.events(), 0);
+    }
+}

@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex};
 
 use stackcache_analysis::{analyze, Analysis, SafetyProof};
 use stackcache_core::{CompiledArtifact, EngineRegime};
-use stackcache_vm::{Machine, Program};
+use stackcache_vm::{FusionPlan, Machine, Program};
 
 /// A compiled translation paired with the abstract interpreter's verdict
 /// for its program — the unit the cache stores and workers execute.
@@ -52,8 +52,25 @@ impl VerifiedArtifact {
         peephole: bool,
         proto: Option<&Machine>,
     ) -> Self {
+        VerifiedArtifact::build_with_plan(program, regime, peephole, proto, None)
+    }
+
+    /// [`build`](VerifiedArtifact::build) with an explicit fusion plan
+    /// for the fused/quickened regimes (ignored by the others).
+    ///
+    /// The analysis runs on the *program*, which fusion does not alter —
+    /// a plan changes only the dispatch map — so the safety proof is
+    /// valid for any plan, including one swapped in by a profile cycle.
+    #[must_use]
+    pub fn build_with_plan(
+        program: &Program,
+        regime: EngineRegime,
+        peephole: bool,
+        proto: Option<&Machine>,
+        plan: Option<&FusionPlan>,
+    ) -> Self {
         VerifiedArtifact {
-            artifact: CompiledArtifact::compile(program, regime, peephole),
+            artifact: CompiledArtifact::compile_with_plan(program, regime, peephole, plan),
             analysis: analyze(program, proto),
         }
     }
@@ -78,12 +95,27 @@ impl VerifiedArtifact {
 }
 
 /// A cache key: program identity (by content hash) plus the compilation
-/// configuration.
+/// configuration, including the fusion plan for the fused/quickened
+/// regimes (a re-fused program under a new profile-guided plan is a new
+/// translation; the same program under the same plan re-admits to the
+/// cached — possibly already quickened — artifact).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Key {
     program: u64,
     regime: EngineRegime,
     peephole: bool,
+    plan: u64,
+}
+
+/// The plan component of a [`Key`]: zero unless the regime fuses.
+/// `None` for a fusing regime means the deterministic static-default
+/// plan, which is a pure function of the program — so keying it on a
+/// constant marker stays sound.
+fn plan_hash(regime: EngineRegime, plan: Option<&FusionPlan>) -> u64 {
+    match regime {
+        EngineRegime::Fused | EngineRegime::Quickened => plan.map_or(1, FusionPlan::hash64),
+        _ => 0,
+    }
 }
 
 /// Content hash of a program: entry point and instruction sequence.
@@ -220,10 +252,27 @@ impl ProgramCache {
         peephole: bool,
         proto: Option<&Machine>,
     ) -> (Arc<VerifiedArtifact>, Lookup) {
+        self.get_or_compile_with_plan(program, regime, peephole, proto, None)
+    }
+
+    /// [`get_or_compile`](ProgramCache::get_or_compile) with an explicit
+    /// fusion plan for the fused/quickened regimes. Distinct plans are
+    /// distinct cache entries; re-submitting under the same plan hits the
+    /// cached artifact, whose quickening state is shared — re-admission
+    /// never rewrites an already quickened site again.
+    pub fn get_or_compile_with_plan(
+        &self,
+        program: &Program,
+        regime: EngineRegime,
+        peephole: bool,
+        proto: Option<&Machine>,
+        plan: Option<&FusionPlan>,
+    ) -> (Arc<VerifiedArtifact>, Lookup) {
         let key = Key {
             program: program_hash(program),
             regime,
             peephole,
+            plan: plan_hash(regime, plan),
         };
         let shard = self.shard(&key);
         if let Some(e) = shard.lock().expect("cache shard lock").map.get_mut(&key) {
@@ -232,7 +281,9 @@ impl ProgramCache {
         }
         // compile and analyze outside the lock: a racing worker may also
         // compile this key, and the first insert wins
-        let compiled = Arc::new(VerifiedArtifact::build(program, regime, peephole, proto));
+        let compiled = Arc::new(VerifiedArtifact::build_with_plan(
+            program, regime, peephole, proto, plan,
+        ));
         let mut guard = shard.lock().expect("cache shard lock");
         if let Some(e) = guard.map.get_mut(&key) {
             e.referenced = true;
@@ -384,6 +435,82 @@ mod tests {
         let (v, _) = cache.get_or_compile(&p1(), EngineRegime::Tos, false, None);
         assert_eq!(v.proof().verdict, Verdict::Proven);
         assert_eq!(v.proof().admit(&Machine::with_memory(64)), Checks::None);
+    }
+
+    /// Quickening survives cache re-admission without re-rewriting: the
+    /// second lookup hands back the *same* quickened artifact (hot sites
+    /// already rewritten, so the warm-up pass does not run again) and
+    /// the safety proof attached at first admission is untouched.
+    #[test]
+    fn quickened_readmission_is_idempotent_and_proof_preserving() {
+        use stackcache_analysis::Verdict;
+        use stackcache_vm::fusion::run_quickened;
+
+        // a straight line long enough for the static-default plan to fuse
+        let p = program_of(&[
+            Inst::Lit(1),
+            Inst::Lit(2),
+            Inst::Add,
+            Inst::Lit(3),
+            Inst::Mul,
+            Inst::Dot,
+            Inst::Halt,
+        ]);
+        let cache = ProgramCache::new(2);
+        let (v1, l1) = cache.get_or_compile(&p, EngineRegime::Quickened, false, None);
+        assert_eq!(l1, Lookup::Miss);
+        let verdict = v1.proof().verdict;
+        assert_eq!(verdict, Verdict::Proven);
+        let quick = v1.artifact().quickened().expect("quickened artifact");
+        assert_eq!(quick.quickened_sites(), 0, "fresh artifact is cold");
+
+        // first execution warms the dispatch map in place
+        let mut m = Machine::with_memory(64);
+        let s1 = run_quickened(quick, &mut m, 1 << 20).expect("clean run");
+        assert!(s1.quickened > 0, "no site was quickened; plan is vacuous");
+        let warmed = quick.quickened_sites();
+        assert_eq!(s1.quickened as usize, warmed);
+
+        // re-admission: same key hits, and the artifact *is* the warm one
+        let (v2, l2) = cache.get_or_compile(&p, EngineRegime::Quickened, false, None);
+        assert_eq!(l2, Lookup::Hit);
+        assert!(Arc::ptr_eq(&v1, &v2));
+        let quick2 = v2.artifact().quickened().expect("quickened artifact");
+        assert_eq!(quick2.quickened_sites(), warmed);
+
+        // the warm artifact never rewrites again, results agree, and the
+        // proof admitted at first admission still stands
+        let mut m2 = Machine::with_memory(64);
+        let s2 = run_quickened(quick2, &mut m2, 1 << 20).expect("clean run");
+        assert_eq!(s2.quickened, 0, "re-admitted artifact re-quickened");
+        assert_eq!(quick2.quickened_sites(), warmed);
+        assert_eq!(m.output(), m2.output());
+        assert_eq!(v2.proof().verdict, verdict);
+    }
+
+    /// A profile-guided plan is part of the cache key for the fusing
+    /// regimes (a re-fuse under a new plan is a new translation), and is
+    /// ignored — keyed as zero — everywhere else.
+    #[test]
+    fn fusion_plans_key_the_fusing_regimes_only() {
+        let p = p1();
+        let profiled = FusionPlan::from_hot_sequences(
+            &[(vec![p.insts()[0].opcode(), p.insts()[1].opcode()], 10)],
+            4,
+        );
+        let cache = ProgramCache::new(2);
+        let (_, l1) = cache.get_or_compile(&p, EngineRegime::Fused, false, None);
+        let (_, l2) =
+            cache.get_or_compile_with_plan(&p, EngineRegime::Fused, false, None, Some(&profiled));
+        assert_eq!((l1, l2), (Lookup::Miss, Lookup::Miss), "plans share a key");
+        let (_, l3) =
+            cache.get_or_compile_with_plan(&p, EngineRegime::Fused, false, None, Some(&profiled));
+        assert_eq!(l3, Lookup::Hit);
+        // a non-fusing regime collapses every plan onto one entry
+        let (_, l4) = cache.get_or_compile(&p, EngineRegime::Tos, false, None);
+        let (_, l5) =
+            cache.get_or_compile_with_plan(&p, EngineRegime::Tos, false, None, Some(&profiled));
+        assert_eq!((l4, l5), (Lookup::Miss, Lookup::Hit));
     }
 
     #[test]

@@ -77,7 +77,7 @@ use std::time::{Duration, Instant};
 use stackcache_core::EngineRegime;
 use stackcache_harness::{Outcome, MEMORY_BYTES};
 use stackcache_obs::{EventKind, FlightDump, FlightRecorder};
-use stackcache_vm::{Machine, Program};
+use stackcache_vm::{FusionPlan, Machine, Program};
 
 use crate::cache::ProgramCache;
 use crate::health::WorkerHealth;
@@ -107,6 +107,10 @@ pub struct Request {
     /// Wall-clock budget, measured from submission; `None` means
     /// fuel-bounded only.
     pub deadline: Option<Duration>,
+    /// Superinstruction plan for the fused/quickened regimes; `None`
+    /// means the deterministic static-default plan. Ignored by the
+    /// other regimes. Distinct plans translate (and cache) separately.
+    pub fusion_plan: Option<Arc<FusionPlan>>,
 }
 
 impl Request {
@@ -122,6 +126,7 @@ impl Request {
             peephole: false,
             fuel: 1_000_000_000,
             deadline: None,
+            fusion_plan: None,
         }
     }
 
@@ -150,6 +155,14 @@ impl Request {
     #[must_use]
     pub fn deadline(mut self, d: Duration) -> Self {
         self.deadline = Some(d);
+        self
+    }
+
+    /// Run the fused/quickened regimes under this profile-guided plan
+    /// instead of the static default.
+    #[must_use]
+    pub fn fusion_plan(mut self, plan: Arc<FusionPlan>) -> Self {
+        self.fusion_plan = Some(plan);
         self
     }
 }

@@ -290,11 +290,12 @@ fn serve_item(
     }
 
     let lookup_start = Instant::now();
-    let (verified, lookup) = shared.cache.get_or_compile(
+    let (verified, lookup) = shared.cache.get_or_compile_with_plan(
         &item.request.program,
         regime,
         item.request.peephole,
         Some(&item.request.proto),
+        item.request.fusion_plan.as_deref(),
     );
     let cache_hit = lookup == Lookup::Hit;
     if cache_hit {

@@ -63,7 +63,7 @@ fn every_regime_answers_with_the_same_output() {
         }
     }
     let m = svc.shutdown();
-    assert_eq!(m.completed(), 16);
+    assert_eq!(m.completed(), 2 * EngineRegime::ALL.len() as u64);
 }
 
 #[test]

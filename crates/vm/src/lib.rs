@@ -38,6 +38,7 @@ pub mod depth;
 pub mod dispatch;
 mod error;
 pub mod exec;
+pub mod fusion;
 mod inst;
 pub mod interp;
 mod machine;
@@ -49,6 +50,7 @@ mod verify;
 pub use checks::Checks;
 pub use error::VmError;
 pub use exec::{ExecEvent, ExecObserver, Outcome, ResolvedEffect};
+pub use fusion::{fuse, FusedProgram, FusedStats, FusionPlan, Quickened};
 pub use inst::{perm, Cell, Effect, EffectKind, Inst, CELL_BYTES, FALSE, TRUE};
 pub use machine::{Machine, DEFAULT_MEMORY, DEFAULT_RSTACK_LIMIT, DEFAULT_STACK_LIMIT};
 pub use program::{program_of, BuildError, Label, Program, ProgramBuilder};

