@@ -1,7 +1,15 @@
 //! Load-test the network front end over loopback and print its
 //! per-mode throughput/latency table.
 //!
-//! Usage: `netbench [--quick] [--trace]`
+//! Usage: `netbench [--quick] [--trace] [--cluster]`
+//!
+//! With `--cluster`, runs the cluster tier instead: two (or more)
+//! in-process `NetServer` nodes behind a consistent-hash `NetProxy`
+//! router, driven through a routed phase (every regime, every reply
+//! verified), an identical-burst coalescing phase, and a
+//! thousand-connection flood — gating on zero divergences, byte-
+//! identical fanned replies, saved executions, and the flood staying
+//! under budget.
 //!
 //! Starts a [`stackcache_net::NetServer`] on a loopback port, drives it
 //! from several concurrent client connections in three submission modes
@@ -17,12 +25,16 @@
 
 use std::process::ExitCode;
 
+use stackcache_bench::clusterload::{run_clusterload, ClusterLoadConfig};
 use stackcache_bench::netload::{run_netload, Mode, NetLoadConfig};
 use stackcache_obs::prometheus_lint;
 
 fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
+    if std::env::args().any(|a| a == "--cluster") {
+        return run_cluster(quick);
+    }
     let mut cfg = NetLoadConfig {
         trace,
         ..NetLoadConfig::default()
@@ -151,6 +163,132 @@ fn main() -> ExitCode {
     } else {
         eprintln!("{} DIVERGENCES:", report.divergences.len());
         for d in report.divergences.iter().take(20) {
+            eprintln!("  {d}");
+        }
+        code = ExitCode::FAILURE;
+    }
+    if !failures.is_empty() {
+        eprintln!("{} SELF-CHECK FAILURES:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        code = ExitCode::FAILURE;
+    }
+    code
+}
+
+/// The cluster run: nodes + router over loopback, three phases, and
+/// the self-checks that gate the cluster tier's claims.
+fn run_cluster(quick: bool) -> ExitCode {
+    let mut cfg = ClusterLoadConfig::default();
+    if quick {
+        cfg.requests_per_conn = 300;
+        cfg.programs = 4;
+        cfg.flood_probes = 10;
+    }
+    println!(
+        "netbench --cluster: {} nodes x {} workers, {} connections, window {}, \
+         {} routed requests across {} regimes, {}-wide identical burst, {}-connection flood",
+        cfg.nodes,
+        cfg.workers_per_node,
+        cfg.connections,
+        cfg.window,
+        cfg.connections * cfg.requests_per_conn,
+        stackcache_core::EngineRegime::ALL.len(),
+        cfg.connections * cfg.coalesce_burst,
+        cfg.flood_connections,
+    );
+    let report = run_clusterload(&cfg);
+
+    println!("{}", report.table());
+    println!(
+        "router: {} forwarded ({:?} per node), {} replies, {} busy, {} upstream errors, \
+         peak {} live connections ({} over budget)",
+        report.proxy.forwarded_total(),
+        report.proxy.forwarded,
+        report.proxy.replies,
+        report.proxy.busy_replies,
+        report.proxy.upstream_errors,
+        report.flood_peak_live,
+        report.proxy.over_budget,
+    );
+    println!(
+        "nodes: {:?} submits, {:?} replies, {} coalesced joins, {} executions saved",
+        report
+            .node_net
+            .iter()
+            .map(|n| n.submits)
+            .collect::<Vec<_>>(),
+        report
+            .node_net
+            .iter()
+            .map(|n| n.replies)
+            .collect::<Vec<_>>(),
+        report
+            .node_svc
+            .iter()
+            .map(|s| s.coalesced_joins)
+            .sum::<u64>(),
+        report.coalesced_executions_saved(),
+    );
+
+    // self-checks: the claims the cluster tier makes must hold
+    let mut failures = Vec::new();
+    let routed_requests: usize = report.phases.iter().map(|p| p.requests).sum();
+    if !quick && routed_requests < 10_000 {
+        failures.push(format!(
+            "only {routed_requests} verified requests — the full run must drive at least 10000"
+        ));
+    }
+    if report.proxy.forwarded.contains(&0) {
+        failures.push(format!(
+            "the ring left a node idle: {:?}",
+            report.proxy.forwarded
+        ));
+    }
+    let node_submits: u64 = report
+        .node_net
+        .iter()
+        .map(|n| n.submits + n.batch_items)
+        .sum();
+    if node_submits != report.proxy.forwarded_total() {
+        failures.push(format!(
+            "router claims {} forwarded but nodes saw {node_submits}",
+            report.proxy.forwarded_total()
+        ));
+    }
+    if report.coalesced_executions_saved() == 0 {
+        failures.push("identical burst saved zero executions".to_string());
+    }
+    if report.fanout_mismatches > 0 {
+        failures.push(format!(
+            "{} fanned replies were not byte-identical",
+            report.fanout_mismatches
+        ));
+    }
+    if !quick && report.flood_peak_live < 1024 {
+        failures.push(format!(
+            "flood held only {} live connections — the budget must sustain at least 1024",
+            report.flood_peak_live
+        ));
+    }
+    if report.proxy.over_budget > 0 {
+        failures.push(format!(
+            "{} flood connections were refused under budget",
+            report.proxy.over_budget
+        ));
+    }
+    if let Err(e) = prometheus_lint(&report.prometheus()) {
+        failures.push(format!("cluster prometheus page fails lint: {e}"));
+    }
+
+    let mut code = ExitCode::SUCCESS;
+    let divergences = report.divergences();
+    if divergences.is_empty() {
+        println!("no divergences");
+    } else {
+        eprintln!("{} DIVERGENCES:", divergences.len());
+        for d in divergences.iter().take(20) {
             eprintln!("  {d}");
         }
         code = ExitCode::FAILURE;

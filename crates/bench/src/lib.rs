@@ -9,6 +9,7 @@
 #![warn(clippy::all)]
 
 pub mod ablation;
+pub mod clusterload;
 pub mod fig07;
 pub mod fig18;
 pub mod fig20;

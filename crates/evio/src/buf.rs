@@ -1,0 +1,298 @@
+//! Per-connection buffer state machines. A [`ReadBuf`] accumulates
+//! inbound bytes until the protocol layer can consume whole frames; a
+//! [`WriteBuf`] queues outbound bytes and flushes as far as the socket
+//! allows. Both keep a start offset so consuming from the front is O(1)
+//! and compaction is amortized.
+
+use std::io::{self, Read, Write};
+
+/// How many consumed bytes may pile up at the front of a buffer before
+/// it is compacted.
+const COMPACT_THRESHOLD: usize = 16 * 1024;
+
+/// Inbound byte accumulator with budgeted nonblocking fills.
+#[derive(Default)]
+pub struct ReadBuf {
+    data: Vec<u8>,
+    start: usize,
+}
+
+/// What a nonblocking fill observed on the socket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Bytes were appended (count), and the socket may hold more.
+    Read(usize),
+    /// The socket is drained for now (`EWOULDBLOCK`).
+    WouldBlock,
+    /// The peer closed its write half.
+    Eof,
+}
+
+impl ReadBuf {
+    /// Fresh, empty buffer.
+    pub fn new() -> ReadBuf {
+        ReadBuf::default()
+    }
+
+    /// The unconsumed bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    /// Unconsumed byte count.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether everything has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop `n` bytes from the front (they have been parsed).
+    ///
+    /// # Panics
+    ///
+    /// If `n` exceeds [`ReadBuf::len`].
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len(), "consume past end of buffer");
+        self.start += n;
+        if self.start >= COMPACT_THRESHOLD || self.start == self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Pull up to `budget` bytes from a nonblocking `source`. Stops at
+    /// the budget even if more is pending — the poller is
+    /// level-triggered, so the remainder re-arms on the next wakeup and
+    /// one greedy peer cannot starve its neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Real socket errors; `WouldBlock`/`Interrupted` are folded into
+    /// the outcome.
+    pub fn fill_from(&mut self, source: &mut impl Read, budget: usize) -> io::Result<FillOutcome> {
+        let mut total = 0usize;
+        let mut chunk = [0u8; 4096];
+        while total < budget {
+            let want = chunk.len().min(budget - total);
+            match source.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Ok(if total > 0 {
+                        FillOutcome::Read(total)
+                    } else {
+                        FillOutcome::Eof
+                    });
+                }
+                Ok(n) => {
+                    self.data.extend_from_slice(&chunk[..n]);
+                    total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(if total > 0 {
+                        FillOutcome::Read(total)
+                    } else {
+                        FillOutcome::WouldBlock
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(FillOutcome::Read(total))
+    }
+}
+
+/// Outbound byte queue with nonblocking flushes.
+#[derive(Default)]
+pub struct WriteBuf {
+    data: Vec<u8>,
+    start: usize,
+}
+
+/// What a nonblocking flush achieved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Everything queued has reached the socket.
+    Done,
+    /// The socket filled up; bytes remain queued.
+    Partial,
+}
+
+impl WriteBuf {
+    /// Fresh, empty buffer.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Bytes still waiting to reach the socket.
+    pub fn pending(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Queue `bytes` for transmission.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Push queued bytes into a nonblocking `sink` until drained or the
+    /// socket refuses more.
+    ///
+    /// # Errors
+    ///
+    /// Real socket errors; `WouldBlock`/`Interrupted` are folded into
+    /// the outcome.
+    pub fn flush_to(&mut self, sink: &mut impl Write) -> io::Result<FlushOutcome> {
+        while self.start < self.data.len() {
+            match sink.write(&self.data[self.start..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.start += n;
+                    if self.start >= COMPACT_THRESHOLD {
+                        self.data.drain(..self.start);
+                        self.start = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(FlushOutcome::Partial)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.data.clear();
+        self.start = 0;
+        Ok(FlushOutcome::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Read source yielding fixed-size chunks, then WouldBlock.
+    struct Chunks {
+        bytes: Vec<u8>,
+        at: usize,
+        chunk: usize,
+    }
+
+    impl Read for Chunks {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.at >= self.bytes.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "dry"));
+            }
+            let n = buf.len().min(self.chunk).min(self.bytes.len() - self.at);
+            buf[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    /// A Write sink accepting `cap` bytes per call, then WouldBlock.
+    struct Throttle {
+        got: Vec<u8>,
+        cap: usize,
+        calls_left: usize,
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.calls_left == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            self.calls_left -= 1;
+            let n = buf.len().min(self.cap);
+            self.got.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn read_buf_respects_budget_and_resumes() {
+        let mut src = Chunks {
+            bytes: (0..100u8).collect(),
+            at: 0,
+            chunk: 7,
+        };
+        let mut buf = ReadBuf::new();
+        // budget smaller than available: stops at the budget
+        match buf.fill_from(&mut src, 10).unwrap() {
+            FillOutcome::Read(n) => assert!((10..=14).contains(&n), "{n}"),
+            other => panic!("{other:?}"),
+        }
+        let first = buf.len();
+        // resume picks up where it left off, then hits WouldBlock
+        match buf.fill_from(&mut src, 1000).unwrap() {
+            FillOutcome::Read(n) => assert_eq!(first + n, 100),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(buf.bytes(), (0..100u8).collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            buf.fill_from(&mut src, 1000).unwrap(),
+            FillOutcome::WouldBlock
+        );
+    }
+
+    #[test]
+    fn read_buf_consume_keeps_remainder_aligned() {
+        let mut src = Chunks {
+            bytes: (0..50u8).collect(),
+            at: 0,
+            chunk: 64,
+        };
+        let mut buf = ReadBuf::new();
+        buf.fill_from(&mut src, 64).unwrap();
+        buf.consume(20);
+        assert_eq!(buf.len(), 30);
+        assert_eq!(buf.bytes()[0], 20);
+        buf.consume(30);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn read_buf_reports_eof_only_when_nothing_was_read() {
+        struct Closed;
+        impl Read for Closed {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+        }
+        let mut buf = ReadBuf::new();
+        assert_eq!(buf.fill_from(&mut Closed, 64).unwrap(), FillOutcome::Eof);
+    }
+
+    #[test]
+    fn write_buf_flushes_across_partial_writes() {
+        let mut buf = WriteBuf::new();
+        buf.queue(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut sink = Throttle {
+            got: Vec::new(),
+            cap: 3,
+            calls_left: 2,
+        };
+        assert_eq!(buf.flush_to(&mut sink).unwrap(), FlushOutcome::Partial);
+        assert_eq!(sink.got, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(buf.pending(), 2);
+
+        buf.queue(&[9]);
+        sink.calls_left = 10;
+        assert_eq!(buf.flush_to(&mut sink).unwrap(), FlushOutcome::Done);
+        assert_eq!(sink.got, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert!(buf.is_empty());
+    }
+}

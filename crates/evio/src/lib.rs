@@ -1,0 +1,40 @@
+//! # stackcache-evio — readiness-driven connection engine
+//!
+//! A std-only evented serving core: one poller thread multiplexes
+//! every TCP connection through nonblocking reads and writes, with the
+//! application protocol plugged in as a [`Protocol`] implementation
+//! whose callbacks never block. Built for the stack-caching execution
+//! service's front end, but protocol-agnostic.
+//!
+//! The layers, bottom up:
+//!
+//! * [`sys`] — the only unsafe code: raw `epoll` (Linux) / `poll`
+//!   (other Unixes) and `rlimit` via direct `extern "C"` declarations;
+//!   no `libc` crate.
+//! * [`poll`] — a safe level-triggered [`Poller`] over raw fds, plus a
+//!   socketpair [`Waker`] for cross-thread wakeups.
+//! * [`buf`] — per-connection [`ReadBuf`]/[`WriteBuf`] state machines
+//!   with budgeted fills and partial-flush tracking.
+//! * [`wheel`] — a hashed [`DeadlineWheel`] driving lazy idle and
+//!   write-stall eviction.
+//! * [`engine`] — the [`Engine`]: accept loop, connection budget,
+//!   readiness dispatch, [`Handle`] mailbox for worker→poller reply
+//!   delivery, and the eviction contract.
+//!
+//! Blocking work (executing a request) happens on other threads; they
+//! answer through [`Handle::send`], which parks the message in a
+//! mailbox and wakes the poller to write the reply bytes.
+
+pub mod buf;
+pub mod engine;
+pub mod poll;
+pub mod sys;
+pub mod wheel;
+
+pub use buf::{FillOutcome, FlushOutcome, ReadBuf, WriteBuf};
+pub use engine::{
+    Action, CloseReason, ConnIo, Engine, EngineConfig, EngineStats, Handle, Protocol,
+};
+pub use poll::{Event, Interest, Poller, WakeReceiver, Waker};
+pub use sys::raise_nofile_limit;
+pub use wheel::DeadlineWheel;

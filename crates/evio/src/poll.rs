@@ -1,0 +1,458 @@
+//! The readiness poller: a thin, safe wrapper over the [`sys`] shim
+//! that registers raw fds with interest sets and reports
+//! [`Event`]s. Level-triggered on both backends — if a socket stays
+//! readable, the next `wait` reports it again — which keeps the
+//! engine's state machine simple: it never has to drain to `WouldBlock`
+//! inside a single wakeup to stay correct.
+//!
+//! A [`Waker`] (a loopback socketpair registered like any other
+//! connection) lets other threads interrupt a blocking `wait`.
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+
+use crate::sys;
+
+/// What a registration wants to be woken for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Neither direction: stay registered (errors and hangups are still
+    /// reported) but request no readiness wakeups. Used for half-open
+    /// connections whose write buffer is momentarily empty.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token supplied at registration.
+    pub token: u64,
+    /// The fd has bytes (or EOF) to read.
+    pub readable: bool,
+    /// The fd can accept bytes.
+    pub writable: bool,
+    /// The fd is in an error or hang-up state; the connection should be
+    /// read to EOF and torn down.
+    pub error: bool,
+}
+
+/// A level-triggered readiness poller over raw fds.
+///
+/// Linux uses `epoll`; other Unixes fall back to `poll(2)` over a
+/// registration table kept in userspace. Registrations are keyed by fd;
+/// the token travels with the fd and comes back in each [`Event`].
+pub struct Poller {
+    backend: Backend,
+}
+
+#[cfg(target_os = "linux")]
+struct Backend {
+    epfd: RawFd,
+    scratch: Vec<sys::EpollEvent>,
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+struct Backend {
+    // (fd, token, interest), linear-scanned; fine for the fallback.
+    table: Vec<(RawFd, u64, Interest)>,
+    scratch: Vec<sys::PollFd>,
+}
+
+impl Poller {
+    /// Open a poller.
+    ///
+    /// # Errors
+    ///
+    /// If the kernel refuses an epoll instance.
+    #[cfg(target_os = "linux")]
+    pub fn new() -> io::Result<Poller> {
+        let epfd = sys::sys_epoll_create()?;
+        Ok(Poller {
+            backend: Backend {
+                epfd,
+                scratch: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+            },
+        })
+    }
+
+    /// Open a poller (poll(2) fallback).
+    ///
+    /// # Errors
+    ///
+    /// Never on this backend; kept for signature parity.
+    #[cfg(all(unix, not(target_os = "linux")))]
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            backend: Backend {
+                table: Vec::new(),
+                scratch: Vec::new(),
+            },
+        })
+    }
+
+    /// Start watching `fd` with `interest`, tagging events with `token`.
+    ///
+    /// # Errors
+    ///
+    /// If the kernel rejects the registration.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::sys_epoll_ctl(
+                self.backend.epfd,
+                sys::EPOLL_CTL_ADD,
+                fd,
+                epoll_mask(interest),
+                token,
+            )
+        }
+        #[cfg(all(unix, not(target_os = "linux")))]
+        {
+            self.backend.table.push((fd, token, interest));
+            Ok(())
+        }
+    }
+
+    /// Change the interest set for an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// If the fd is not registered.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::sys_epoll_ctl(
+                self.backend.epfd,
+                sys::EPOLL_CTL_MOD,
+                fd,
+                epoll_mask(interest),
+                token,
+            )
+        }
+        #[cfg(all(unix, not(target_os = "linux")))]
+        {
+            for slot in &mut self.backend.table {
+                if slot.0 == fd {
+                    slot.1 = token;
+                    slot.2 = interest;
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+    }
+
+    /// Stop watching `fd`. Must be called before the fd is closed.
+    ///
+    /// # Errors
+    ///
+    /// If the fd is not registered.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::sys_epoll_ctl(self.backend.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+        }
+        #[cfg(all(unix, not(target_os = "linux")))]
+        {
+            let before = self.backend.table.len();
+            self.backend.table.retain(|slot| slot.0 != fd);
+            if self.backend.table.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+    }
+
+    /// Block up to `timeout_ms` (`None` = forever) and append readiness
+    /// reports to `events`. Returns the number appended; `EINTR` is
+    /// retried internally.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's, for anything other than `EINTR`.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: Option<i32>) -> io::Result<usize> {
+        let timeout = timeout_ms.unwrap_or(-1);
+        #[cfg(target_os = "linux")]
+        {
+            let n = loop {
+                match sys::sys_epoll_wait(self.backend.epfd, &mut self.backend.scratch, timeout) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &self.backend.scratch[..n] {
+                // copy packed fields by value
+                let bits = { ev.events };
+                let token = { ev.data };
+                events.push(Event {
+                    token,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    error: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+        #[cfg(all(unix, not(target_os = "linux")))]
+        {
+            self.backend.scratch.clear();
+            for &(fd, _, interest) in &self.backend.table {
+                let mut mask = 0i16;
+                if interest.readable {
+                    mask |= sys::POLLIN;
+                }
+                if interest.writable {
+                    mask |= sys::POLLOUT;
+                }
+                self.backend.scratch.push(sys::PollFd {
+                    fd,
+                    events: mask,
+                    revents: 0,
+                });
+            }
+            let n = loop {
+                match sys::sys_poll(&mut self.backend.scratch, timeout) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for (slot, &(_, token, _)) in self.backend.scratch.iter().zip(&self.backend.table) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: slot.revents & (sys::POLLIN | sys::POLLHUP) != 0,
+                    writable: slot.revents & sys::POLLOUT != 0,
+                    error: slot.revents & (sys::POLLERR | sys::POLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::sys_close(self.backend.epfd);
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = sys::EPOLLRDHUP;
+    if interest.readable {
+        mask |= sys::EPOLLIN;
+    }
+    if interest.writable {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}
+
+/// Cross-thread wakeup for a poller blocked in [`Poller::wait`]: a
+/// loopback socketpair whose read half is registered on the poller with
+/// a reserved token. `wake` writes one byte; the poller thread calls
+/// `drain` when it sees the token.
+pub struct Waker {
+    tx: UnixStream,
+}
+
+/// The poller-side half of a [`Waker`] pair.
+pub struct WakeReceiver {
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Build a waker pair. Register [`WakeReceiver::raw_fd`] with the
+    /// poller under a reserved token.
+    ///
+    /// # Errors
+    ///
+    /// If the socketpair cannot be created.
+    pub fn pair() -> io::Result<(Waker, WakeReceiver)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Waker { tx }, WakeReceiver { rx }))
+    }
+
+    /// Interrupt the poller. Safe from any thread; a full pipe counts
+    /// as success (the poller is already due to wake).
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+impl Clone for Waker {
+    fn clone(&self) -> Waker {
+        Waker {
+            tx: self.tx.try_clone().expect("clone waker socket"),
+        }
+    }
+}
+
+impl WakeReceiver {
+    /// The fd to register with the poller (readable interest).
+    pub fn raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consume any pending wake bytes so level-triggered polling quiets
+    /// down until the next `wake`.
+    pub fn drain(&mut self) {
+        let mut sink = [0u8; 64];
+        while let Ok(n) = self.rx.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    const WAKE: u64 = u64::MAX;
+
+    #[test]
+    fn waker_interrupts_a_blocking_wait() {
+        let mut poller = Poller::new().expect("poller");
+        let (waker, mut rx) = Waker::pair().expect("waker");
+        poller
+            .register(rx.raw_fd(), WAKE, Interest::READABLE)
+            .expect("register waker");
+
+        // keep `waker` alive in the test: dropping the last sender
+        // closes the pair and the HUP would read as a permanent wake
+        let remote = waker.clone();
+        let hand = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            remote.wake();
+        });
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(5_000)).expect("wait");
+        assert!(
+            events.iter().any(|e| e.token == WAKE && e.readable),
+            "expected the waker token, got {events:?}"
+        );
+        rx.drain();
+        hand.join().unwrap();
+
+        // after draining, a short wait sees nothing
+        events.clear();
+        poller.wait(&mut events, Some(20)).expect("wait");
+        assert!(events.iter().all(|e| e.token != WAKE));
+    }
+
+    #[test]
+    fn readable_and_writable_readiness_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register(server.as_raw_fd(), 7, Interest::BOTH)
+            .expect("register");
+
+        // a fresh socket is writable but not yet readable
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(2_000)).expect("wait");
+        let ev = events.iter().find(|e| e.token == 7).expect("event");
+        assert!(ev.writable);
+        assert!(!ev.readable);
+
+        // send bytes → readable
+        use std::io::Write as _;
+        (&client).write_all(b"ping").expect("write");
+        events.clear();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, Some(100)).expect("wait");
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "never became readable"
+            );
+            events.clear();
+        }
+
+        // interest can be narrowed: writable-only masks the pending read
+        poller
+            .modify(server.as_raw_fd(), 7, Interest::WRITABLE)
+            .expect("modify");
+        events.clear();
+        poller.wait(&mut events, Some(500)).expect("wait");
+        let ev = events.iter().find(|e| e.token == 7).expect("event");
+        assert!(ev.writable);
+        assert!(!ev.readable, "readable interest was masked: {ev:?}");
+
+        poller.deregister(server.as_raw_fd()).expect("deregister");
+        events.clear();
+        poller.wait(&mut events, Some(50)).expect("wait");
+        assert!(events.iter().all(|e| e.token != 7));
+    }
+
+    #[test]
+    fn hangup_reports_readable_for_eof_harvest() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register(server.as_raw_fd(), 9, Interest::READABLE)
+            .expect("register");
+        drop(client);
+
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, Some(100)).expect("wait");
+            if let Some(ev) = events.iter().find(|e| e.token == 9) {
+                assert!(ev.readable, "hangup must surface as readable: {ev:?}");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never saw hangup");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The minimal FFI shim under the poller: raw `epoll` (Linux) or
+//! `poll` (other Unixes) plus `rlimit`, declared directly as `extern
+//! "C"` symbols — no `libc` crate, no bindings generator. The standard
+//! library already links the C runtime, so these symbols resolve; this
+//! module is the only unsafe surface of the crate, and every call site
+//! converts failures into [`io::Error`] via `last_os_error`.
+
+use std::ffi::c_int;
+use std::io;
+
+/// One epoll readiness record (`struct epoll_event`). The kernel packs
+/// this on x86-64, so field reads must stay by-value (copy out, never
+/// borrow).
+#[cfg(target_os = "linux")]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// `EPOLLIN | EPOLLOUT | …` readiness bits.
+    pub events: u32,
+    /// The caller's token, returned verbatim with each event.
+    pub data: u64,
+}
+
+#[cfg(target_os = "linux")]
+pub const EPOLLIN: u32 = 0x001;
+#[cfg(target_os = "linux")]
+pub const EPOLLOUT: u32 = 0x004;
+#[cfg(target_os = "linux")]
+pub const EPOLLERR: u32 = 0x008;
+#[cfg(target_os = "linux")]
+pub const EPOLLHUP: u32 = 0x010;
+#[cfg(target_os = "linux")]
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_ADD: c_int = 1;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_DEL: c_int = 2;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// `EPOLL_CLOEXEC`: the poller fd must not leak across `exec`.
+#[cfg(target_os = "linux")]
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+}
+
+/// One `poll(2)` descriptor record (`struct pollfd`), the fallback
+/// backend on non-Linux Unixes.
+#[cfg(all(unix, not(target_os = "linux")))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: c_int,
+    /// Requested readiness (`POLLIN | POLLOUT`).
+    pub events: i16,
+    /// Returned readiness.
+    pub revents: i16,
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub const POLLIN: i16 = 0x001;
+#[cfg(all(unix, not(target_os = "linux")))]
+pub const POLLOUT: i16 = 0x004;
+#[cfg(all(unix, not(target_os = "linux")))]
+pub const POLLERR: i16 = 0x008;
+#[cfg(all(unix, not(target_os = "linux")))]
+pub const POLLHUP: i16 = 0x010;
+
+#[cfg(all(unix, not(target_os = "linux")))]
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+}
+
+extern "C" {
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+/// `struct rlimit` for [`raise_nofile_limit`].
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+/// `RLIMIT_NOFILE` on Linux and the BSDs.
+const RLIMIT_NOFILE: c_int = 7;
+
+/// Create an epoll instance, returning its fd.
+///
+/// # Errors
+///
+/// The kernel's, via `last_os_error`.
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_create() -> io::Result<c_int> {
+    // SAFETY: no pointers cross the boundary.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Add/modify/delete interest in `fd` on epoll instance `epfd`.
+///
+/// # Errors
+///
+/// The kernel's, via `last_os_error`.
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_ctl(epfd: c_int, op: c_int, fd: c_int, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `ev` outlives the call; the kernel copies it.
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Wait for readiness on `epfd`, filling `events`; `timeout_ms < 0`
+/// blocks indefinitely. Returns the number of events.
+///
+/// # Errors
+///
+/// The kernel's, via `last_os_error` (`EINTR` is retried by the caller).
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_wait(
+    epfd: c_int,
+    events: &mut [EpollEvent],
+    timeout_ms: c_int,
+) -> io::Result<usize> {
+    // SAFETY: the slice's pointer/length pair is valid for writes.
+    let rc = unsafe {
+        epoll_wait(
+            epfd,
+            events.as_mut_ptr(),
+            events.len().min(c_int::MAX as usize) as c_int,
+            timeout_ms,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Wait for readiness on the given descriptor set (`poll(2)` fallback).
+///
+/// # Errors
+///
+/// The kernel's, via `last_os_error`.
+#[cfg(all(unix, not(target_os = "linux")))]
+pub fn sys_poll(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+    // SAFETY: the slice's pointer/length pair is valid for writes.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Close a raw descriptor owned by the poller.
+pub fn sys_close(fd: c_int) {
+    // SAFETY: the caller owns `fd`; double-close is excluded by move
+    // semantics in the Poller.
+    let _ = unsafe { close(fd) };
+}
+
+/// Raise `RLIMIT_NOFILE` toward `want` (clamped to the hard limit) and
+/// return the resulting soft limit. A no-op when the soft limit already
+/// covers `want`.
+///
+/// # Errors
+///
+/// The kernel's, if the limit cannot be read or raised.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` outlives the call.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    let new = Rlimit {
+        cur: want.min(lim.max),
+        max: lim.max,
+    };
+    // SAFETY: `new` outlives the call.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &new) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(new.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofile_limit_is_readable_and_monotone() {
+        let cur = raise_nofile_limit(64).expect("read limit");
+        assert!(cur >= 64);
+        // asking again for less never lowers it
+        let again = raise_nofile_limit(1).expect("read limit");
+        assert!(again >= cur.min(64));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_instance_opens_and_closes() {
+        let fd = sys_epoll_create().expect("epoll_create1");
+        assert!(fd >= 0);
+        sys_close(fd);
+    }
+}

@@ -1,0 +1,191 @@
+//! A hashed timing wheel for connection deadlines (idle timeout, write
+//! stall). Insertion and expiry are O(1) amortized; precision is one
+//! tick (10 ms by default), which is far finer than the second-scale
+//! timeouts it guards.
+//!
+//! The wheel stores opaque tokens. It does **not** try to cancel
+//! entries when a connection becomes active again — cancellation is
+//! lazy: the engine checks the connection's actual last-activity time
+//! when a token expires and re-arms it if the connection earned more
+//! time. That keeps the hot path (bytes moving) free of timer
+//! bookkeeping.
+
+use std::time::{Duration, Instant};
+
+/// Default tick width.
+const TICK: Duration = Duration::from_millis(10);
+
+/// Default slot count (a power of two; spans `TICK * SLOTS` = 5.12 s
+/// per revolution, with overflow entries parked on their slot until
+/// their revolution arrives).
+const SLOTS: usize = 512;
+
+/// One parked entry: the absolute tick it fires on, plus the token.
+struct Entry<T> {
+    fires_at: u64,
+    token: T,
+}
+
+/// A hashed timing wheel over opaque tokens.
+pub struct DeadlineWheel<T> {
+    slots: Vec<Vec<Entry<T>>>,
+    origin: Instant,
+    tick: Duration,
+    /// The last tick fully expired.
+    cursor: u64,
+    len: usize,
+}
+
+impl<T> DeadlineWheel<T> {
+    /// A wheel anchored at `now` with default geometry.
+    pub fn new(now: Instant) -> DeadlineWheel<T> {
+        DeadlineWheel::with_geometry(now, TICK, SLOTS)
+    }
+
+    /// A wheel with explicit tick width and slot count (tests use a
+    /// coarse wheel to avoid sleeping).
+    pub fn with_geometry(now: Instant, tick: Duration, slots: usize) -> DeadlineWheel<T> {
+        assert!(slots.is_power_of_two(), "slot count must be a power of two");
+        DeadlineWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            origin: now,
+            tick,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of parked entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_for(&self, when: Instant) -> u64 {
+        let nanos = when.saturating_duration_since(self.origin).as_nanos();
+        let ticks = (nanos / self.tick.as_nanos().max(1)) as u64;
+        // never schedule into a tick that has already expired
+        ticks.max(self.cursor + 1)
+    }
+
+    /// Park `token` to fire at `when` (clamped to the next unexpired
+    /// tick if `when` is in the past).
+    pub fn insert(&mut self, when: Instant, token: T) {
+        let fires_at = self.tick_for(when);
+        let slot = (fires_at as usize) & (self.slots.len() - 1);
+        self.slots[slot].push(Entry { fires_at, token });
+        self.len += 1;
+    }
+
+    /// Advance to `now`, appending every token whose tick has passed to
+    /// `expired`. Returns the number expired.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<T>) -> usize {
+        let target = {
+            let nanos = now.saturating_duration_since(self.origin).as_nanos();
+            (nanos / self.tick.as_nanos().max(1)) as u64
+        };
+        if target <= self.cursor {
+            return 0;
+        }
+        let mut fired = 0usize;
+        // if a whole revolution (or more) passed, visiting each slot
+        // once suffices — entries filter on their absolute tick.
+        let steps = (target - self.cursor).min(self.slots.len() as u64);
+        let base = self.cursor;
+        for step in 1..=steps {
+            let slot = ((base + step) as usize) & (self.slots.len() - 1);
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].fires_at <= target {
+                    let entry = bucket.swap_remove(i);
+                    expired.push(entry.token);
+                    fired += 1;
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = target;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> (DeadlineWheel<u32>, Instant) {
+        let origin = Instant::now();
+        (
+            DeadlineWheel::with_geometry(origin, Duration::from_millis(10), 8),
+            origin,
+        )
+    }
+
+    #[test]
+    fn entries_fire_in_their_tick_not_before() {
+        let (mut w, t0) = wheel();
+        w.insert(t0 + Duration::from_millis(35), 1);
+        w.insert(t0 + Duration::from_millis(95), 2);
+
+        let mut out = Vec::new();
+        w.advance(t0 + Duration::from_millis(20), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        w.advance(t0 + Duration::from_millis(40), &mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(w.len(), 1);
+
+        out.clear();
+        w.advance(t0 + Duration::from_millis(200), &mut out);
+        assert_eq!(out, vec![2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_entries_wait_their_revolution() {
+        // 8 slots × 10ms = 80ms per revolution; 250ms is 3 revolutions out
+        let (mut w, t0) = wheel();
+        w.insert(t0 + Duration::from_millis(250), 7);
+
+        let mut out = Vec::new();
+        // a full revolution later it still must not fire
+        w.advance(t0 + Duration::from_millis(120), &mut out);
+        assert!(out.is_empty(), "fired a revolution early: {out:?}");
+
+        w.advance(t0 + Duration::from_millis(260), &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn past_deadlines_clamp_to_the_next_tick() {
+        let (mut w, t0) = wheel();
+        let mut out = Vec::new();
+        w.advance(t0 + Duration::from_millis(50), &mut out);
+
+        // "already due" parks on the next unexpired tick
+        w.insert(t0 + Duration::from_millis(10), 3);
+        w.advance(t0 + Duration::from_millis(70), &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn a_long_stall_expires_everything_once() {
+        let (mut w, t0) = wheel();
+        for i in 0..100u32 {
+            w.insert(t0 + Duration::from_millis(10 + u64::from(i)), i);
+        }
+        let mut out = Vec::new();
+        // jump far past every deadline and several revolutions
+        w.advance(t0 + Duration::from_secs(10), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Engine-level integration tests: a small line-echo protocol driven
+//! over real loopback sockets exercises readiness dispatch, the worker
+//! mailbox, connection budgets, and both eviction clocks.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use stackcache_evio::{Action, CloseReason, ConnIo, Engine, EngineConfig, Protocol};
+
+/// Echo each `\n`-terminated line back, uppercased. A line "BYE"
+/// requests a clean close-after-flush; a line "DROP" closes
+/// immediately. A line "ASYNC <text>" is answered via the mailbox from
+/// a worker thread instead of inline; a peer that half-closes with
+/// async replies outstanding is served half-open until they fan out.
+struct Upper {
+    closes: Arc<Mutex<Vec<(u64, CloseReason)>>>,
+    async_requests: Arc<Mutex<Vec<(u64, String)>>>,
+    opened: Arc<AtomicU64>,
+}
+
+#[derive(Default)]
+struct UpperConn {
+    /// ASYNC requests handed to the worker and not yet answered.
+    pending_async: u32,
+    /// The peer closed its write half.
+    eof: bool,
+}
+
+impl Protocol for Upper {
+    type Conn = UpperConn;
+    type Msg = String;
+
+    fn on_open(&self, _conn_id: u64, _peer: SocketAddr, io: &mut ConnIo) -> UpperConn {
+        self.opened.fetch_add(1, Ordering::SeqCst);
+        io.send(b"HELLO\n");
+        UpperConn::default()
+    }
+
+    fn on_data(&self, conn_id: u64, conn: &mut UpperConn, io: &mut ConnIo) -> Action {
+        loop {
+            let bytes = io.rx_bytes();
+            let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
+                return Action::Continue;
+            };
+            let line = String::from_utf8_lossy(&bytes[..nl]).into_owned();
+            io.rx_consume(nl + 1);
+            if line == "BYE" {
+                io.send(b"GOODBYE\n");
+                return Action::CloseAfterFlush;
+            }
+            if line == "DROP" {
+                return Action::Close;
+            }
+            if line == "FLOOD" {
+                // amplification for the stall tests: tiny request, huge
+                // reply, so kernel socket buffers can't hide the backlog
+                io.send(&vec![b'F'; 1 << 20]);
+                continue;
+            }
+            if let Some(text) = line.strip_prefix("ASYNC ") {
+                conn.pending_async += 1;
+                self.async_requests
+                    .lock()
+                    .unwrap()
+                    .push((conn_id, text.to_string()));
+                continue;
+            }
+            io.send(line.to_uppercase().as_bytes());
+            io.send(b"\n");
+        }
+    }
+
+    fn on_eof(&self, _conn_id: u64, conn: &mut UpperConn, _io: &mut ConnIo) -> Action {
+        conn.eof = true;
+        if conn.pending_async > 0 {
+            // drain: stay half-open until the worker's replies arrive
+            Action::Continue
+        } else {
+            Action::CloseAfterFlush
+        }
+    }
+
+    fn on_msg(&self, _conn_id: u64, conn: &mut UpperConn, io: &mut ConnIo, msg: String) -> Action {
+        conn.pending_async = conn.pending_async.saturating_sub(1);
+        io.send(msg.as_bytes());
+        io.send(b"\n");
+        if conn.eof && conn.pending_async == 0 {
+            Action::CloseAfterFlush
+        } else {
+            Action::Continue
+        }
+    }
+
+    fn on_close(&self, conn_id: u64, _conn: UpperConn, reason: CloseReason) {
+        self.closes.lock().unwrap().push((conn_id, reason));
+    }
+}
+
+struct Fixture {
+    engine: Engine<Upper>,
+    closes: Arc<Mutex<Vec<(u64, CloseReason)>>>,
+    async_requests: Arc<Mutex<Vec<(u64, String)>>>,
+}
+
+fn start(config: EngineConfig) -> Fixture {
+    let closes = Arc::new(Mutex::new(Vec::new()));
+    let async_requests = Arc::new(Mutex::new(Vec::new()));
+    let protocol = Upper {
+        closes: Arc::clone(&closes),
+        async_requests: Arc::clone(&async_requests),
+        opened: Arc::new(AtomicU64::new(0)),
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let engine = Engine::start(listener, protocol, config).expect("engine");
+    Fixture {
+        engine,
+        closes,
+        async_requests,
+    }
+}
+
+fn read_line(stream: &mut TcpStream) -> String {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => panic!("read_line: {e}"),
+        }
+    }
+    String::from_utf8(line).expect("utf8 line")
+}
+
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn echo_roundtrip_and_clean_goodbye() {
+    let fx = start(EngineConfig::default());
+    let mut c = TcpStream::connect(fx.engine.addr()).expect("connect");
+    assert_eq!(read_line(&mut c), "HELLO");
+
+    c.write_all(b"ping\nsecond line\n").expect("write");
+    assert_eq!(read_line(&mut c), "PING");
+    assert_eq!(read_line(&mut c), "SECOND LINE");
+
+    c.write_all(b"BYE\n").expect("write");
+    assert_eq!(read_line(&mut c), "GOODBYE");
+    // server closes after the flush
+    let mut rest = Vec::new();
+    c.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty());
+
+    wait_until("close record", || !fx.closes.lock().unwrap().is_empty());
+    assert_eq!(fx.closes.lock().unwrap()[0].1, CloseReason::Requested);
+    fx.engine.shutdown();
+}
+
+#[test]
+fn protocol_close_drops_immediately() {
+    let fx = start(EngineConfig::default());
+    let mut c = TcpStream::connect(fx.engine.addr()).expect("connect");
+    assert_eq!(read_line(&mut c), "HELLO");
+    c.write_all(b"DROP\n").expect("write");
+    let mut rest = Vec::new();
+    c.read_to_end(&mut rest).expect("eof");
+    wait_until("close record", || !fx.closes.lock().unwrap().is_empty());
+    assert_eq!(fx.closes.lock().unwrap()[0].1, CloseReason::Protocol);
+    fx.engine.shutdown();
+}
+
+#[test]
+fn mailbox_replies_reach_the_right_connection() {
+    let fx = start(EngineConfig::default());
+    let handle = fx.engine.handle();
+
+    // a worker thread answering ASYNC requests out-of-band
+    let requests = Arc::clone(&fx.async_requests);
+    let worker = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut served = 0usize;
+        while served < 2 {
+            assert!(Instant::now() < deadline, "worker starved");
+            let batch: Vec<(u64, String)> = requests.lock().unwrap().drain(..).collect();
+            for (conn_id, text) in batch {
+                handle.send(conn_id, format!("async:{text}"));
+                served += 1;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+
+    let mut a = TcpStream::connect(fx.engine.addr()).expect("connect a");
+    let mut b = TcpStream::connect(fx.engine.addr()).expect("connect b");
+    assert_eq!(read_line(&mut a), "HELLO");
+    assert_eq!(read_line(&mut b), "HELLO");
+
+    a.write_all(b"ASYNC alpha\n").expect("write");
+    b.write_all(b"ASYNC beta\n").expect("write");
+    assert_eq!(read_line(&mut a), "async:alpha");
+    assert_eq!(read_line(&mut b), "async:beta");
+    worker.join().unwrap();
+
+    let stats = fx.engine.stats();
+    assert_eq!(stats.msgs_delivered.load(Ordering::SeqCst), 2);
+    assert_eq!(stats.msgs_dropped.load(Ordering::SeqCst), 0);
+    fx.engine.shutdown();
+}
+
+#[test]
+fn mailbox_message_for_a_dead_connection_is_dropped_not_fatal() {
+    let fx = start(EngineConfig::default());
+    let handle = fx.engine.handle();
+    let mut c = TcpStream::connect(fx.engine.addr()).expect("connect");
+    assert_eq!(read_line(&mut c), "HELLO");
+    drop(c);
+    wait_until("close record", || !fx.closes.lock().unwrap().is_empty());
+    let conn_id = fx.closes.lock().unwrap()[0].0;
+
+    handle.send(conn_id, "too late".to_string());
+    wait_until("drop count", || {
+        fx.engine.stats().msgs_dropped.load(Ordering::SeqCst) == 1
+    });
+
+    // the engine still serves new connections afterwards
+    let mut c2 = TcpStream::connect(fx.engine.addr()).expect("connect 2");
+    assert_eq!(read_line(&mut c2), "HELLO");
+    c2.write_all(b"still alive\n").expect("write");
+    assert_eq!(read_line(&mut c2), "STILL ALIVE");
+    fx.engine.shutdown();
+}
+
+#[test]
+fn connection_budget_refuses_excess_accepts() {
+    let fx = start(EngineConfig {
+        max_connections: 2,
+        ..EngineConfig::default()
+    });
+    let mut a = TcpStream::connect(fx.engine.addr()).expect("connect a");
+    let mut b = TcpStream::connect(fx.engine.addr()).expect("connect b");
+    assert_eq!(read_line(&mut a), "HELLO");
+    assert_eq!(read_line(&mut b), "HELLO");
+
+    // the third connection is closed on sight
+    let mut c = TcpStream::connect(fx.engine.addr()).expect("connect c");
+    let mut rest = Vec::new();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let got = c.read_to_end(&mut rest);
+    // either clean EOF or a reset — both mean "refused", never HELLO
+    if got.is_ok() {
+        assert!(rest.is_empty(), "budget leak: got {rest:?}");
+    }
+    wait_until("over_budget stat", || {
+        fx.engine.stats().over_budget.load(Ordering::SeqCst) == 1
+    });
+
+    // existing connections are unaffected
+    a.write_all(b"one\n").expect("write");
+    b.write_all(b"two\n").expect("write");
+    assert_eq!(read_line(&mut a), "ONE");
+    assert_eq!(read_line(&mut b), "TWO");
+
+    // freeing a slot lets a new peer in
+    drop(a);
+    wait_until("slot freed", || {
+        fx.engine.stats().live.load(Ordering::SeqCst) < 2
+    });
+    let mut d = TcpStream::connect(fx.engine.addr()).expect("connect d");
+    assert_eq!(read_line(&mut d), "HELLO");
+    fx.engine.shutdown();
+}
+
+#[test]
+fn idle_connection_is_evicted_but_active_neighbour_survives() {
+    let fx = start(EngineConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..EngineConfig::default()
+    });
+    let mut idle = TcpStream::connect(fx.engine.addr()).expect("connect idle");
+    let mut busy = TcpStream::connect(fx.engine.addr()).expect("connect busy");
+    assert_eq!(read_line(&mut idle), "HELLO");
+    assert_eq!(read_line(&mut busy), "HELLO");
+
+    // keep one connection chatty well past the idle window
+    let start_t = Instant::now();
+    while start_t.elapsed() < Duration::from_millis(500) {
+        busy.write_all(b"tick\n").expect("write");
+        assert_eq!(read_line(&mut busy), "TICK");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // the silent one got evicted…
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut rest = Vec::new();
+    let _ = idle.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "evicted conn produced bytes: {rest:?}");
+    assert_eq!(fx.engine.stats().evicted_idle.load(Ordering::SeqCst), 1);
+    {
+        let closes = fx.closes.lock().unwrap();
+        assert!(closes
+            .iter()
+            .any(|&(_, reason)| reason == CloseReason::IdleTimeout));
+    }
+
+    // …while the chatty one still works
+    busy.write_all(b"still here\n").expect("write");
+    assert_eq!(read_line(&mut busy), "STILL HERE");
+    fx.engine.shutdown();
+}
+
+#[test]
+fn write_buffer_overflow_evicts_the_slow_reader() {
+    let fx = start(EngineConfig {
+        // tiny ceiling so a non-draining peer trips it fast
+        max_buffered_write: 32 * 1024,
+        write_stall_timeout: Some(Duration::from_secs(30)),
+        ..EngineConfig::default()
+    });
+    let mut slow = TcpStream::connect(fx.engine.addr()).expect("connect");
+    assert_eq!(read_line(&mut slow), "HELLO");
+
+    // ask for ~64 MiB of output and never read it; kernel buffers
+    // absorb a few MiB at most, the rest lands in the engine's WriteBuf
+    for _ in 0..64 {
+        if slow.write_all(b"FLOOD\n").is_err() {
+            break; // server already hung up on us
+        }
+    }
+    wait_until("stall eviction", || {
+        fx.engine.stats().evicted_stall.load(Ordering::SeqCst) >= 1
+    });
+    {
+        let closes = fx.closes.lock().unwrap();
+        assert!(closes
+            .iter()
+            .any(|&(_, reason)| reason == CloseReason::WriteStall));
+    }
+    fx.engine.shutdown();
+}
+
+#[test]
+fn half_open_peer_still_receives_outstanding_async_replies() {
+    let fx = start(EngineConfig::default());
+    let handle = fx.engine.handle();
+    let requests = Arc::clone(&fx.async_requests);
+    let worker = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            assert!(Instant::now() < deadline, "worker starved");
+            let batch: Vec<(u64, String)> = requests.lock().unwrap().drain(..).collect();
+            if let Some((conn_id, text)) = batch.into_iter().next() {
+                // answer well after the peer's write half is gone
+                std::thread::sleep(Duration::from_millis(100));
+                handle.send(conn_id, format!("late:{text}"));
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+
+    let mut c = TcpStream::connect(fx.engine.addr()).expect("connect");
+    assert_eq!(read_line(&mut c), "HELLO");
+    c.write_all(b"ASYNC drain\n").expect("write");
+    c.shutdown(std::net::Shutdown::Write).expect("half-close");
+
+    // the reply still arrives over the half-open connection…
+    assert_eq!(read_line(&mut c), "late:drain");
+    // …and only then does the server close, attributing it to the peer
+    let mut rest = Vec::new();
+    c.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty());
+    worker.join().unwrap();
+    wait_until("close record", || !fx.closes.lock().unwrap().is_empty());
+    assert_eq!(fx.closes.lock().unwrap()[0].1, CloseReason::PeerClosed);
+    fx.engine.shutdown();
+}
+
+#[test]
+fn shutdown_force_closes_live_connections() {
+    let fx = start(EngineConfig::default());
+    let mut c = TcpStream::connect(fx.engine.addr()).expect("connect");
+    assert_eq!(read_line(&mut c), "HELLO");
+    let closes = Arc::clone(&fx.closes);
+    fx.engine.shutdown();
+    let records = closes.lock().unwrap();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].1, CloseReason::ServerShutdown);
+}

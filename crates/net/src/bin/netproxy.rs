@@ -1,0 +1,96 @@
+//! The standalone cluster router: a consistent-hash front end over
+//! running `netserve` nodes.
+//!
+//! Usage: `netproxy --node HOST:PORT [--node HOST:PORT ...]
+//! [--bind ADDR] [--max-window N] [--upstream-window N] [--vnodes N]`
+//!
+//! Connects to every `--node`, prints the bound address (`routing on
+//! HOST:PORT`) on stdout, then reads control lines from stdin:
+//! `metrics` prints the Prometheus page (per-node `proxy_forwarded_total`
+//! carries a `node` label), `json` the JSON document, `stop` drains and
+//! exits. EOF on stdin leaves the router running until killed.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use stackcache_net::{NetProxy, ProxyConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn arg_values(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next() {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let nodes = arg_values("--node");
+    if nodes.is_empty() {
+        eprintln!("netproxy: at least one --node HOST:PORT is required");
+        return ExitCode::FAILURE;
+    }
+    let mut config = ProxyConfig {
+        nodes,
+        ..ProxyConfig::default()
+    };
+    if let Some(bind) = arg_value("--bind") {
+        config.bind = bind;
+    }
+    if let Some(v) = arg_value("--max-window").and_then(|v| v.parse().ok()) {
+        config.max_window = v;
+    }
+    if let Some(v) = arg_value("--upstream-window").and_then(|v| v.parse().ok()) {
+        config.upstream_window = v;
+    }
+    if let Some(v) = arg_value("--vnodes").and_then(|v| v.parse().ok()) {
+        config.vnodes = v;
+    }
+
+    let proxy = match NetProxy::start(config) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("netproxy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("routing on {}", proxy.addr());
+
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        match line.trim() {
+            "metrics" => print!("{}", proxy.prometheus()),
+            "json" => println!("{}", proxy.json()),
+            "stop" => {
+                let snap = proxy.shutdown();
+                println!(
+                    "routed {} submissions across {} nodes ({} replies, {} upstream errors)",
+                    snap.forwarded_total(),
+                    snap.forwarded.len(),
+                    snap.replies,
+                    snap.upstream_errors
+                );
+                return ExitCode::SUCCESS;
+            }
+            "" => {}
+            other => eprintln!("netproxy: unknown command {other:?} (metrics|json|stop)"),
+        }
+    }
+    loop {
+        std::thread::park();
+    }
+}

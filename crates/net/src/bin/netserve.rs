@@ -1,0 +1,87 @@
+//! A standalone execution-service node: one evented `NetServer` over a
+//! worker-pool service, driven until told to stop.
+//!
+//! Usage: `netserve [--bind ADDR] [--workers N] [--queue N]
+//! [--max-window N] [--coalesce]`
+//!
+//! Prints the bound address (`listening on HOST:PORT`) on stdout, then
+//! reads control lines from stdin: `metrics` prints the Prometheus
+//! page, `json` the JSON document, `stop` drains and exits. EOF on
+//! stdin leaves the node serving until the process is killed — so
+//! `netserve ... < /dev/null &` runs a fire-and-forget node.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use stackcache_net::{NetConfig, NetServer};
+use stackcache_svc::{Service, ServiceConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let bind = arg_value("--bind").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let workers = arg_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let queue = arg_value("--queue")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let max_window = arg_value("--max-window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let coalesce = std::env::args().any(|a| a == "--coalesce");
+
+    let mut svc = ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        ..ServiceConfig::default()
+    };
+    if coalesce {
+        svc = svc.coalescing();
+    }
+    let server = match NetServer::start(
+        Service::start(svc),
+        NetConfig {
+            bind,
+            max_window,
+            ..NetConfig::default()
+        },
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("netserve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        match line.trim() {
+            "metrics" => print!("{}", server.prometheus()),
+            "json" => println!("{}", server.json()),
+            "stop" => {
+                let (svc_snap, net_snap) = server.shutdown();
+                println!(
+                    "served {} replies over {} connections ({} submissions accepted)",
+                    net_snap.replies, net_snap.connections_opened, svc_snap.submitted
+                );
+                return ExitCode::SUCCESS;
+            }
+            "" => {}
+            other => eprintln!("netserve: unknown command {other:?} (metrics|json|stop)"),
+        }
+    }
+    // stdin closed without `stop`: keep serving until killed
+    loop {
+        std::thread::park();
+    }
+}

@@ -365,8 +365,17 @@ impl Client {
     pub fn goodbye(self) -> Result<(), ClientError> {
         let (tx, rx) = mpsc::channel();
         *self.router.goodbye.lock().expect("goodbye lock") = Some(tx);
-        self.write(&Frame::Goodbye)?;
-        let acked = rx.recv().is_ok();
+        // Register-then-check closes the hang-up race: a reader that
+        // died *before* the store above already set `closed` (checked
+        // here, fail fast); one that dies after drops the waiter out of
+        // the slot, so `recv` errors instead of blocking forever. Late
+        // replies keep flowing to their own waiters until the server's
+        // `GoodbyeOk` — a drain, not an abort.
+        let acked = if self.router.closed.load(Ordering::Acquire) {
+            false
+        } else {
+            self.write(&Frame::Goodbye).is_ok() && rx.recv().is_ok()
+        };
         let _ = self.stream.shutdown(Shutdown::Both);
         if let Some(h) = self.reader.lock().expect("reader lock").take() {
             let _ = h.join();

@@ -58,13 +58,17 @@
 
 pub mod client;
 pub mod metrics;
+pub mod proxy;
+pub mod ring;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, PendingReply};
 pub use metrics::{NetMetrics, NetSnapshot};
+pub use proxy::{NetProxy, ProxyConfig, ProxySnapshot};
+pub use ring::{program_key, HashRing};
 pub use server::{NetConfig, NetServer, ERR_EXPECTED_HELLO, ERR_UNEXPECTED_FRAME};
 pub use wire::{
-    decode_frame, fnv1a64, read_frame, Frame, FrameKind, ReadError, ReplyStatus, WireError,
-    WireReply, WireRequest, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, PROTOCOL_VERSION,
+    decode_frame, fnv1a64, read_frame, try_decode_frame, Frame, FrameKind, ReadError, ReplyStatus,
+    WireError, WireReply, WireRequest, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, PROTOCOL_VERSION,
 };

@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use stackcache_obs::{JsonObj, PromText};
 
-/// The front end's counter registry, shared by the accept loop and every
-/// connection thread.
+/// The front end's counter registry, updated from the poller thread and
+/// snapshotted from anywhere.
 #[derive(Debug, Default)]
 pub struct NetMetrics {
     connections_opened: AtomicU64,
@@ -98,6 +98,10 @@ impl NetMetrics {
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             pings: self.pings.load(Ordering::Relaxed),
+            connections_live: 0,
+            evicted_idle: 0,
+            evicted_stall: 0,
+            over_budget: 0,
         }
     }
 }
@@ -107,7 +111,7 @@ impl NetMetrics {
 pub struct NetSnapshot {
     /// Connections accepted.
     pub connections_opened: u64,
-    /// Connections fully torn down (reader and writer exited).
+    /// Connections fully torn down.
     pub connections_closed: u64,
     /// Frames received (well-formed headers, any kind).
     pub frames_in: u64,
@@ -133,6 +137,15 @@ pub struct NetSnapshot {
     pub protocol_errors: u64,
     /// `Ping` frames answered.
     pub pings: u64,
+    /// Currently live connections (engine gauge, filled at snapshot
+    /// time).
+    pub connections_live: u64,
+    /// Connections evicted by the idle timeout.
+    pub evicted_idle: u64,
+    /// Connections evicted for not draining replies (write stall).
+    pub evicted_stall: u64,
+    /// Accepts refused because the connection budget was full.
+    pub over_budget: u64,
 }
 
 /// Render `snap` as a Prometheus text-format page fragment (lint-clean
@@ -140,7 +153,7 @@ pub struct NetSnapshot {
 #[must_use]
 pub fn prometheus(snap: &NetSnapshot) -> String {
     let mut p = PromText::new();
-    let counters: [(&str, &str, u64); 14] = [
+    let counters: [(&str, &str, u64); 17] = [
         (
             "net_connections_opened_total",
             "Connections accepted.",
@@ -187,12 +200,30 @@ pub fn prometheus(snap: &NetSnapshot) -> String {
             snap.protocol_errors,
         ),
         ("net_pings_total", "Ping frames answered.", snap.pings),
+        (
+            "net_evicted_idle_total",
+            "Connections evicted by the idle timeout.",
+            snap.evicted_idle,
+        ),
+        (
+            "net_evicted_stall_total",
+            "Connections evicted for not draining replies.",
+            snap.evicted_stall,
+        ),
+        (
+            "net_over_budget_total",
+            "Accepts refused because the connection budget was full.",
+            snap.over_budget,
+        ),
     ];
     for (name, help, value) in counters {
         p.help(name, help);
         p.typ(name, "counter");
         p.sample_u64(name, &[], value);
     }
+    p.help("net_connections_live", "Currently live connections.");
+    p.typ("net_connections_live", "gauge");
+    p.sample_u64("net_connections_live", &[], snap.connections_live);
     p.finish()
 }
 
@@ -213,7 +244,11 @@ pub fn json(snap: &NetSnapshot) -> String {
         .field_u64("busy_replies", snap.busy_replies)
         .field_u64("bad_requests", snap.bad_requests)
         .field_u64("protocol_errors", snap.protocol_errors)
-        .field_u64("pings", snap.pings);
+        .field_u64("pings", snap.pings)
+        .field_u64("connections_live", snap.connections_live)
+        .field_u64("evicted_idle", snap.evicted_idle)
+        .field_u64("evicted_stall", snap.evicted_stall)
+        .field_u64("over_budget", snap.over_budget);
     o.finish()
 }
 

@@ -1,0 +1,835 @@
+//! The cluster tier: a thin consistent-hash router in front of several
+//! [`NetServer`](crate::NetServer) nodes.
+//!
+//! The proxy speaks the same frozen wire protocol on both sides. Client
+//! connections land on its own evented engine (one poller thread, same
+//! eviction contract as the server); every `Submit` is routed by
+//! [`program_key`] over a [`HashRing`], so all submissions of one
+//! program — whatever their regime, peephole setting, or machine image
+//! — land on the same node and keep that node's compiled/verified/
+//! quickened artifact cache hot. Replies pass through byte-identically
+//! (the reply body re-encodes to the same bytes the node produced),
+//! under the client's own correlation id.
+//!
+//! Per node the proxy keeps one pipelined [`Client`](crate::Client)
+//! connection and two forwarder threads: a submit thread that claims
+//! upstream window slots (blocking *there*, never on the poller) and a
+//! completion thread that waits replies in submission order and mails
+//! them back to the owning connection. A lost node answers its
+//! in-flight requests with typed `ShutDown` replies instead of
+//! stranding them.
+//!
+//! `BatchSubmit` frames are unbundled: items route independently (two
+//! items of one batch may belong to different nodes), each answering
+//! under its own correlation id exactly as the protocol promises. The
+//! batch-economics optimization stays a single-node concern.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use stackcache_evio::{Action, CloseReason, ConnIo, Engine, EngineConfig, Handle, Protocol};
+use stackcache_obs::{JsonObj, PromText};
+
+use crate::client::Client;
+use crate::ring::{program_key, HashRing};
+use crate::server::{ERR_EXPECTED_HELLO, ERR_UNEXPECTED_FRAME};
+use crate::wire::{
+    try_decode_frame, Frame, ReplyStatus, WireReply, WireRequest, DEFAULT_MAX_FRAME,
+};
+
+/// Router sizing.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Address to bind; port 0 picks a free port.
+    pub bind: String,
+    /// Node addresses to route across (at least one).
+    pub nodes: Vec<String>,
+    /// Per-client-connection in-flight cap (clamped `Hello` grant).
+    pub max_window: u32,
+    /// Frame-body cap announced in `HelloOk`.
+    pub max_frame: u32,
+    /// Pipelining window the proxy requests from each node.
+    pub upstream_window: u32,
+    /// Virtual nodes per ring member.
+    pub vnodes: usize,
+    /// Hard cap on simultaneously live client connections.
+    pub max_connections: usize,
+    /// Client-side engine eviction knobs (see
+    /// [`NetConfig`](crate::NetConfig)).
+    pub idle_timeout: Option<std::time::Duration>,
+    /// Evict a client that stops draining replies for this long.
+    pub write_stall_timeout: Option<std::time::Duration>,
+    /// Max bytes pulled from one socket per readiness wakeup.
+    pub read_budget: usize,
+    /// Buffered-reply size that trips an immediate stall eviction.
+    pub max_buffered_write: usize,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        let engine = EngineConfig::default();
+        ProxyConfig {
+            bind: "127.0.0.1:0".to_string(),
+            nodes: Vec::new(),
+            max_window: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            upstream_window: 64,
+            vnodes: 64,
+            max_connections: engine.max_connections,
+            idle_timeout: engine.idle_timeout,
+            write_stall_timeout: engine.write_stall_timeout,
+            read_budget: engine.read_budget,
+            max_buffered_write: engine.max_buffered_write,
+        }
+    }
+}
+
+/// The router's counters.
+#[derive(Debug)]
+pub struct ProxyMetrics {
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    /// Submissions routed to each node, indexed like `config.nodes`.
+    forwarded: Vec<AtomicU64>,
+    replies: AtomicU64,
+    busy_replies: AtomicU64,
+    /// Requests answered `ShutDown` because their node was lost.
+    upstream_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    pings: AtomicU64,
+}
+
+impl ProxyMetrics {
+    fn new(nodes: usize) -> ProxyMetrics {
+        ProxyMetrics {
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            forwarded: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            replies: AtomicU64::new(0),
+            busy_replies: AtomicU64::new(0),
+            upstream_errors: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            pings: AtomicU64::new(0),
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> ProxySnapshot {
+        ProxySnapshot {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            forwarded: self
+                .forwarded
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            replies: self.replies.load(Ordering::Relaxed),
+            busy_replies: self.busy_replies.load(Ordering::Relaxed),
+            upstream_errors: self.upstream_errors.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            pings: self.pings.load(Ordering::Relaxed),
+            connections_live: 0,
+            over_budget: 0,
+            evicted_idle: 0,
+            evicted_stall: 0,
+        }
+    }
+}
+
+/// A point-in-time copy of the router's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProxySnapshot {
+    /// Client connections accepted.
+    pub connections_opened: u64,
+    /// Client connections torn down.
+    pub connections_closed: u64,
+    /// Frames received from clients.
+    pub frames_in: u64,
+    /// Frames sent to clients.
+    pub frames_out: u64,
+    /// Submissions routed to each node, indexed like the node list.
+    pub forwarded: Vec<u64>,
+    /// Replies relayed back to clients.
+    pub replies: u64,
+    /// Submissions refused with `Busy` at the proxy's own window.
+    pub busy_replies: u64,
+    /// Requests answered `ShutDown` because their node was lost.
+    pub upstream_errors: u64,
+    /// Client connections ended by a protocol violation.
+    pub protocol_errors: u64,
+    /// Pings answered locally.
+    pub pings: u64,
+    /// Currently live client connections (engine gauge, filled at
+    /// snapshot time).
+    pub connections_live: u64,
+    /// Accepts refused because the connection budget was full (engine
+    /// counter, filled at snapshot time).
+    pub over_budget: u64,
+    /// Client connections evicted for idleness (engine counter, filled
+    /// at snapshot time).
+    pub evicted_idle: u64,
+    /// Client connections evicted for a write stall (engine counter,
+    /// filled at snapshot time).
+    pub evicted_stall: u64,
+}
+
+impl ProxySnapshot {
+    /// Total submissions routed across all nodes.
+    #[must_use]
+    pub fn forwarded_total(&self) -> u64 {
+        self.forwarded.iter().sum()
+    }
+}
+
+/// Render `snap` as a Prometheus page fragment; per-node routing counts
+/// carry a `node` label.
+#[must_use]
+pub fn prometheus(snap: &ProxySnapshot) -> String {
+    let mut p = PromText::new();
+    let counters: [(&str, &str, u64); 12] = [
+        (
+            "proxy_connections_opened_total",
+            "Client connections accepted.",
+            snap.connections_opened,
+        ),
+        (
+            "proxy_connections_closed_total",
+            "Client connections torn down.",
+            snap.connections_closed,
+        ),
+        (
+            "proxy_frames_in_total",
+            "Frames received from clients.",
+            snap.frames_in,
+        ),
+        (
+            "proxy_frames_out_total",
+            "Frames sent to clients.",
+            snap.frames_out,
+        ),
+        (
+            "proxy_replies_total",
+            "Replies relayed back to clients.",
+            snap.replies,
+        ),
+        (
+            "proxy_busy_replies_total",
+            "Submissions refused at the proxy window.",
+            snap.busy_replies,
+        ),
+        (
+            "proxy_upstream_errors_total",
+            "Requests answered ShutDown because their node was lost.",
+            snap.upstream_errors,
+        ),
+        (
+            "proxy_protocol_errors_total",
+            "Client connections ended by a protocol violation.",
+            snap.protocol_errors,
+        ),
+        ("proxy_pings_total", "Pings answered locally.", snap.pings),
+        (
+            "proxy_over_budget_total",
+            "Accepts refused because the connection budget was full.",
+            snap.over_budget,
+        ),
+        (
+            "proxy_evicted_idle_total",
+            "Client connections evicted for idleness.",
+            snap.evicted_idle,
+        ),
+        (
+            "proxy_evicted_stall_total",
+            "Client connections evicted for a write stall.",
+            snap.evicted_stall,
+        ),
+    ];
+    for (name, help, value) in counters {
+        p.help(name, help);
+        p.typ(name, "counter");
+        p.sample_u64(name, &[], value);
+    }
+    p.help(
+        "proxy_forwarded_total",
+        "Submissions routed to each node by the consistent-hash ring.",
+    );
+    p.typ("proxy_forwarded_total", "counter");
+    for (node, &count) in snap.forwarded.iter().enumerate() {
+        let label = node.to_string();
+        p.sample_u64("proxy_forwarded_total", &[("node", &label)], count);
+    }
+    p.help(
+        "proxy_connections_live",
+        "Currently live client connections.",
+    );
+    p.typ("proxy_connections_live", "gauge");
+    p.sample_u64("proxy_connections_live", &[], snap.connections_live);
+    p.finish()
+}
+
+/// Render `snap` as a JSON object; `forwarded` is an array indexed like
+/// the node list.
+#[must_use]
+pub fn json(snap: &ProxySnapshot) -> String {
+    let forwarded: Vec<String> = snap.forwarded.iter().map(u64::to_string).collect();
+    let mut o = JsonObj::new();
+    o.field_u64("connections_opened", snap.connections_opened)
+        .field_u64("connections_closed", snap.connections_closed)
+        .field_u64("frames_in", snap.frames_in)
+        .field_u64("frames_out", snap.frames_out)
+        .field_raw("forwarded", &stackcache_obs::json_array(&forwarded))
+        .field_u64("replies", snap.replies)
+        .field_u64("busy_replies", snap.busy_replies)
+        .field_u64("upstream_errors", snap.upstream_errors)
+        .field_u64("protocol_errors", snap.protocol_errors)
+        .field_u64("pings", snap.pings)
+        .field_u64("connections_live", snap.connections_live)
+        .field_u64("over_budget", snap.over_budget)
+        .field_u64("evicted_idle", snap.evicted_idle)
+        .field_u64("evicted_stall", snap.evicted_stall);
+    o.finish()
+}
+
+/// A submission on its way to a node.
+struct Forward {
+    conn_id: u64,
+    corr: u64,
+    request: WireRequest,
+}
+
+/// What forwarder threads mail back to a client connection.
+enum ProxyMsg {
+    /// The node's reply (or a synthesized failure), ready to relay.
+    Answer { corr: u64, reply: WireReply },
+}
+
+struct PInner {
+    metrics: ProxyMetrics,
+    config: ProxyConfig,
+    ring: HashRing,
+    /// One submit-thread channel per node; emptied at shutdown so the
+    /// submit threads' `recv` disconnects and they can be joined.
+    forwards: Mutex<Vec<mpsc::Sender<Forward>>>,
+    stop: AtomicBool,
+}
+
+/// Per-client-connection state (same lifecycle as the server's).
+struct ProxyConn {
+    window: Option<u32>,
+    inflight: u32,
+    goodbye: bool,
+    eof: bool,
+}
+
+struct ProxyProto {
+    inner: Arc<PInner>,
+}
+
+impl ProxyProto {
+    fn send_frame(&self, io: &mut ConnIo, frame: &Frame) {
+        self.inner
+            .metrics
+            .frames_out
+            .fetch_add(1, Ordering::Relaxed);
+        io.send(&frame.encode());
+    }
+
+    fn proto_error(&self, io: &mut ConnIo, code: u8, message: &str) -> Action {
+        self.inner
+            .metrics
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        self.send_frame(
+            io,
+            &Frame::ProtoError {
+                corr: 0,
+                code,
+                message: message.to_string(),
+            },
+        );
+        Action::CloseAfterFlush
+    }
+
+    fn reply_status(&self, io: &mut ConnIo, corr: u64, status: ReplyStatus, why: &str) {
+        if status == ReplyStatus::Busy {
+            self.inner
+                .metrics
+                .busy_replies
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.send_frame(
+            io,
+            &Frame::Reply {
+                corr,
+                reply: WireReply::status_only(status, 0, why.to_string()),
+            },
+        );
+    }
+
+    /// Route one admitted submission to its node's submit thread.
+    fn forward(
+        &self,
+        conn: &mut ProxyConn,
+        io: &mut ConnIo,
+        conn_id: u64,
+        corr: u64,
+        request: WireRequest,
+    ) {
+        let node = self.inner.ring.route(program_key(&request.program));
+        conn.inflight += 1;
+        self.inner.metrics.forwarded[node].fetch_add(1, Ordering::Relaxed);
+        let sent = {
+            let forwards = self.inner.forwards.lock().expect("forwards lock");
+            forwards.get(node).is_some_and(|tx| {
+                tx.send(Forward {
+                    conn_id,
+                    corr,
+                    request,
+                })
+                .is_ok()
+            })
+        };
+        if !sent {
+            // the node's forwarder is gone (shutdown unplugged it)
+            conn.inflight -= 1;
+            self.inner
+                .metrics
+                .upstream_errors
+                .fetch_add(1, Ordering::Relaxed);
+            self.reply_status(io, corr, ReplyStatus::ShutDown, "node unavailable");
+        }
+    }
+
+    /// Handle one well-formed frame; `Some` ends the connection.
+    fn on_frame(
+        &self,
+        conn_id: u64,
+        conn: &mut ProxyConn,
+        io: &mut ConnIo,
+        frame: Frame,
+    ) -> Option<Action> {
+        let Some(granted) = conn.window else {
+            if let Frame::Hello { window: requested } = frame {
+                let granted = requested.clamp(1, self.inner.config.max_window);
+                conn.window = Some(granted);
+                self.send_frame(
+                    io,
+                    &Frame::HelloOk {
+                        window: granted,
+                        max_frame: self.inner.config.max_frame,
+                    },
+                );
+                return None;
+            }
+            return Some(self.proto_error(
+                io,
+                ERR_EXPECTED_HELLO,
+                "the first frame on a connection must be Hello",
+            ));
+        };
+
+        match frame {
+            Frame::Hello { .. } => {
+                Some(self.proto_error(io, ERR_EXPECTED_HELLO, "duplicate Hello"))
+            }
+            Frame::Ping { corr } => {
+                self.inner.metrics.pings.fetch_add(1, Ordering::Relaxed);
+                self.send_frame(io, &Frame::Pong { corr });
+                None
+            }
+            Frame::Goodbye => {
+                conn.goodbye = true;
+                if conn.inflight == 0 {
+                    self.send_frame(io, &Frame::GoodbyeOk);
+                    return Some(Action::CloseAfterFlush);
+                }
+                None
+            }
+            Frame::Submit { corr, request } => {
+                if conn.inflight >= granted {
+                    self.reply_status(io, corr, ReplyStatus::Busy, "pipelining window full");
+                    return None;
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    self.reply_status(io, corr, ReplyStatus::ShutDown, "router shutting down");
+                    return None;
+                }
+                self.forward(conn, io, conn_id, corr, request);
+                None
+            }
+            Frame::BadSubmit { corr, error } => {
+                self.reply_status(io, corr, ReplyStatus::BadRequest, &error.to_string());
+                None
+            }
+            Frame::BatchSubmit { corr: _, items } => {
+                let n = items.len() as u32;
+                if conn.inflight.saturating_add(n) > granted {
+                    for (item_corr, _) in &items {
+                        self.reply_status(
+                            io,
+                            *item_corr,
+                            ReplyStatus::Busy,
+                            "pipelining window full",
+                        );
+                    }
+                    return None;
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    for (item_corr, _) in &items {
+                        self.reply_status(
+                            io,
+                            *item_corr,
+                            ReplyStatus::ShutDown,
+                            "router shutting down",
+                        );
+                    }
+                    return None;
+                }
+                // unbundled: each item routes to its own node and
+                // answers under its own correlation id
+                for (item_corr, request) in items {
+                    self.forward(conn, io, conn_id, item_corr, request);
+                }
+                None
+            }
+            Frame::HelloOk { .. }
+            | Frame::Pong { .. }
+            | Frame::GoodbyeOk
+            | Frame::Reply { .. }
+            | Frame::ProtoError { .. } => Some(self.proto_error(
+                io,
+                ERR_UNEXPECTED_FRAME,
+                "frame kind is server-to-client only",
+            )),
+        }
+    }
+}
+
+impl Protocol for ProxyProto {
+    type Conn = ProxyConn;
+    type Msg = ProxyMsg;
+
+    fn on_open(&self, _conn_id: u64, _peer: SocketAddr, _io: &mut ConnIo) -> ProxyConn {
+        self.inner
+            .metrics
+            .connections_opened
+            .fetch_add(1, Ordering::Relaxed);
+        ProxyConn {
+            window: None,
+            inflight: 0,
+            goodbye: false,
+            eof: false,
+        }
+    }
+
+    fn on_data(&self, conn_id: u64, conn: &mut ProxyConn, io: &mut ConnIo) -> Action {
+        loop {
+            if conn.goodbye {
+                let n = io.rx_bytes().len();
+                io.rx_consume(n);
+                return Action::Continue;
+            }
+            match try_decode_frame(io.rx_bytes(), self.inner.config.max_frame) {
+                Ok(None) => return Action::Continue,
+                Ok(Some((frame, consumed))) => {
+                    io.rx_consume(consumed);
+                    self.inner.metrics.frames_in.fetch_add(1, Ordering::Relaxed);
+                    if let Some(action) = self.on_frame(conn_id, conn, io, frame) {
+                        return action;
+                    }
+                }
+                Err(e) => return self.proto_error(io, e.code(), &e.to_string()),
+            }
+        }
+    }
+
+    fn on_eof(&self, _conn_id: u64, conn: &mut ProxyConn, _io: &mut ConnIo) -> Action {
+        conn.eof = true;
+        if conn.inflight == 0 {
+            Action::CloseAfterFlush
+        } else {
+            Action::Continue
+        }
+    }
+
+    fn on_msg(
+        &self,
+        _conn_id: u64,
+        conn: &mut ProxyConn,
+        io: &mut ConnIo,
+        msg: ProxyMsg,
+    ) -> Action {
+        let ProxyMsg::Answer { corr, reply } = msg;
+        conn.inflight = conn.inflight.saturating_sub(1);
+        self.inner.metrics.replies.fetch_add(1, Ordering::Relaxed);
+        self.send_frame(io, &Frame::Reply { corr, reply });
+        if conn.inflight == 0 {
+            if conn.goodbye {
+                self.send_frame(io, &Frame::GoodbyeOk);
+                return Action::CloseAfterFlush;
+            }
+            if conn.eof {
+                return Action::CloseAfterFlush;
+            }
+        }
+        Action::Continue
+    }
+
+    fn on_close(&self, _conn_id: u64, _conn: ProxyConn, _reason: CloseReason) {
+        self.inner
+            .metrics
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running router: the client-facing engine plus one pipelined
+/// upstream connection (and two forwarder threads) per node.
+pub struct NetProxy {
+    inner: Arc<PInner>,
+    addr: SocketAddr,
+    engine: Engine<ProxyProto>,
+    /// Upstream clients, kept alive for the router's lifetime.
+    clients: Vec<Arc<Client>>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl NetProxy {
+    /// Connect to every node, bind the client-facing listener, and
+    /// start routing.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding; a node that refuses its
+    /// connection or handshake surfaces as [`io::ErrorKind::Other`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes` is empty.
+    pub fn start(config: ProxyConfig) -> io::Result<NetProxy> {
+        assert!(!config.nodes.is_empty(), "a router needs at least one node");
+        let mut clients = Vec::with_capacity(config.nodes.len());
+        for node in &config.nodes {
+            let client = Client::connect(node.as_str(), config.upstream_window)
+                .map_err(|e| io::Error::other(format!("node {node}: {e}")))?;
+            clients.push(Arc::new(client));
+        }
+
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let ring = HashRing::new(&config.nodes, config.vnodes);
+        let engine_config = EngineConfig {
+            max_connections: config.max_connections,
+            idle_timeout: config.idle_timeout,
+            write_stall_timeout: config.write_stall_timeout,
+            read_budget: config.read_budget,
+            max_buffered_write: config.max_buffered_write,
+        };
+
+        let mut forwards = Vec::with_capacity(clients.len());
+        let mut submit_rxs = Vec::with_capacity(clients.len());
+        for _ in &clients {
+            let (tx, rx) = mpsc::channel::<Forward>();
+            forwards.push(tx);
+            submit_rxs.push(rx);
+        }
+
+        let inner = Arc::new(PInner {
+            metrics: ProxyMetrics::new(clients.len()),
+            config,
+            ring,
+            forwards: Mutex::new(forwards),
+            stop: AtomicBool::new(false),
+        });
+        let engine = Engine::start(
+            listener,
+            ProxyProto {
+                inner: Arc::clone(&inner),
+            },
+            engine_config,
+        )?;
+        let handle = engine.handle();
+
+        let mut threads = Vec::with_capacity(clients.len() * 2);
+        for (node, rx) in submit_rxs.into_iter().enumerate() {
+            let client = Arc::clone(&clients[node]);
+            let (comp_tx, comp_rx) = mpsc::channel();
+            let submit_handle = handle.clone();
+            let metrics_inner = Arc::clone(&inner);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("netproxy-submit-{node}"))
+                    .spawn(move || {
+                        submit_loop(&client, &rx, &comp_tx, &submit_handle, &metrics_inner);
+                    })
+                    .expect("spawn submit thread"),
+            );
+            let comp_handle = handle.clone();
+            let comp_inner = Arc::clone(&inner);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("netproxy-complete-{node}"))
+                    .spawn(move || {
+                        completion_loop(&comp_rx, &comp_handle, &comp_inner);
+                    })
+                    .expect("spawn completion thread"),
+            );
+        }
+
+        Ok(NetProxy {
+            inner,
+            addr,
+            engine,
+            clients,
+            threads,
+        })
+    }
+
+    /// The bound client-facing address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the router's counters.
+    #[must_use]
+    pub fn metrics(&self) -> ProxySnapshot {
+        let mut snap = self.inner.metrics.snapshot();
+        self.fill_engine_stats(&mut snap);
+        snap
+    }
+
+    fn fill_engine_stats(&self, snap: &mut ProxySnapshot) {
+        let stats = self.engine.stats();
+        snap.connections_live = stats.live.load(Ordering::Relaxed);
+        snap.over_budget = stats.over_budget.load(Ordering::Relaxed);
+        snap.evicted_idle = stats.evicted_idle.load(Ordering::Relaxed);
+        snap.evicted_stall = stats.evicted_stall.load(Ordering::Relaxed);
+    }
+
+    /// The router's Prometheus page.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        prometheus(&self.metrics())
+    }
+
+    /// The router's JSON document.
+    #[must_use]
+    pub fn json(&self) -> String {
+        json(&self.metrics())
+    }
+
+    /// Drain and stop: refuse new submissions, relay every in-flight
+    /// reply, then close the engine, the forwarders, and the upstream
+    /// connections. Returns the final counters.
+    #[must_use]
+    pub fn shutdown(mut self) -> ProxySnapshot {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // wait (bounded) for the in-flight window to drain: every
+        // forwarded submission is answered exactly once
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let snap = self.inner.metrics.snapshot();
+            if snap.forwarded_total() <= snap.replies + snap.upstream_errors
+                || std::time::Instant::now() >= deadline
+            {
+                break;
+            }
+            thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut snap = self.inner.metrics.snapshot();
+        self.fill_engine_stats(&mut snap);
+        self.engine.shutdown();
+        // disconnect the submit threads (their `recv` unblocks), which
+        // drop their completion senders in turn — both forwarder
+        // threads per node exit and can be joined
+        self.inner.forwards.lock().expect("forwards lock").clear();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // upstream connections close on drop (EOF after a drained
+        // window reads as a clean peer close on the node)
+        self.clients.clear();
+        snap
+    }
+}
+
+impl std::fmt::Debug for NetProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetProxy")
+            .field("addr", &self.addr)
+            .field("nodes", &self.inner.config.nodes)
+            .finish()
+    }
+}
+
+/// Pull submissions off the node's channel, claim upstream window
+/// slots (blocking here keeps the poller thread nonblocking), and hand
+/// the pending replies to the completion thread in submission order.
+fn submit_loop(
+    client: &Client,
+    rx: &mpsc::Receiver<Forward>,
+    comp_tx: &mpsc::Sender<(u64, u64, crate::client::PendingReply)>,
+    handle: &Handle<ProxyMsg>,
+    inner: &Arc<PInner>,
+) {
+    while let Ok(fwd) = rx.recv() {
+        match client.submit(&fwd.request) {
+            Ok(pending) => {
+                if comp_tx.send((fwd.conn_id, fwd.corr, pending)).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                inner
+                    .metrics
+                    .upstream_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                handle.send(
+                    fwd.conn_id,
+                    ProxyMsg::Answer {
+                        corr: fwd.corr,
+                        reply: WireReply::status_only(
+                            ReplyStatus::ShutDown,
+                            0,
+                            "upstream node lost".to_string(),
+                        ),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Wait each pending reply (in submission order — upstream completion
+/// order is already serialized per correlation id by the client's
+/// demux) and mail it back to the owning connection.
+fn completion_loop(
+    rx: &mpsc::Receiver<(u64, u64, crate::client::PendingReply)>,
+    handle: &Handle<ProxyMsg>,
+    inner: &Arc<PInner>,
+) {
+    while let Ok((conn_id, corr, pending)) = rx.recv() {
+        let reply = match pending.wait() {
+            Ok(reply) => reply,
+            Err(_) => {
+                inner
+                    .metrics
+                    .upstream_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                WireReply::status_only(ReplyStatus::ShutDown, 0, "upstream node lost".to_string())
+            }
+        };
+        handle.send(conn_id, ProxyMsg::Answer { corr, reply });
+    }
+}

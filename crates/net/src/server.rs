@@ -1,35 +1,45 @@
-//! The TCP front end: an accept loop, per-connection reader/writer
-//! threads, and the translation between wire frames and service
+//! The TCP front end: a readiness-driven connection engine
+//! ([`stackcache_evio`]) multiplexing every connection on one poller
+//! thread, and the translation between wire frames and service
 //! requests.
 //!
 //! Each connection opens with a `Hello`/`HelloOk` handshake that grants
 //! a pipelining window — the number of requests the client may have in
-//! flight at once. Inside the window, submissions flow without waiting
-//! for replies; replies come back in *completion* order, matched by the
-//! client's correlation ids. A submission past the window (or past the
-//! service queue) earns an immediate `Busy` reply: backpressure is a
-//! typed answer, never a stall.
+//! flight at once, clamped to the server's configured
+//! [`NetConfig::max_window`]. Inside the window, submissions flow
+//! without waiting for replies; replies come back in *completion*
+//! order, matched by the client's correlation ids. A submission past
+//! the window (or past the service queue) earns an immediate `Busy`
+//! reply: backpressure is a typed answer, never a stall.
 //!
 //! Protocol violations (bad magic, unknown kinds, truncated or
 //! oversized frames) are answered with one `ProtoError` frame and a
 //! close; malformed request *bodies* (bad opcode, bad regime, invalid
 //! branch target) earn a `BadRequest` reply and the connection lives on.
 //!
-//! Shutdown drains: the listener stops, each connection's read half is
-//! shut down, every in-flight request runs to its reply, the writers
-//! flush, and only then does the service itself shut down.
+//! The engine owns liveness: idle connections, peers that stop
+//! draining replies, and accepts past the connection budget are
+//! evicted on the engine's deadline wheel (see the [`stackcache_evio`]
+//! eviction contract), surfaced in [`NetSnapshot`]'s gauges.
+//!
+//! Shutdown drains: new submissions are refused with a typed
+//! `ShutDown` reply, every in-flight request runs to its reply and is
+//! flushed, then the engine and the service close behind it.
 
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
+use stackcache_evio::{
+    Action, CloseReason, ConnIo, Engine, EngineConfig, EngineStats, Handle, Protocol,
+};
 use stackcache_obs::{EventKind, FlightDump, FlightRecorder};
 use stackcache_svc::{MetricsSnapshot, Reply, ReplyRoute, Service, SubmitError};
 
 use crate::metrics::{self, NetMetrics, NetSnapshot};
-use crate::wire::{read_frame, Frame, ReadError, ReplyStatus, WireReply, DEFAULT_MAX_FRAME};
+use crate::wire::{try_decode_frame, Frame, ReplyStatus, WireReply, DEFAULT_MAX_FRAME};
 
 /// `ProtoError` code: the first frame on a connection was not `Hello`
 /// (or a second `Hello` arrived). Codes below 100 belong to
@@ -45,8 +55,8 @@ pub struct NetConfig {
     /// Address to bind; port 0 picks a free port (see
     /// [`NetServer::addr`]).
     pub bind: String,
-    /// Per-connection in-flight cap; a `Hello` requesting more is
-    /// granted this much.
+    /// Per-connection in-flight cap; a `Hello` requesting more (or an
+    /// absurd window like `u32::MAX`) is granted this much, never more.
     pub max_window: u32,
     /// Frame-body size cap, announced in `HelloOk` and enforced on
     /// every received frame.
@@ -56,70 +66,80 @@ pub struct NetConfig {
     pub trace: bool,
     /// Events the trace ring retains.
     pub trace_capacity: usize,
+    /// Hard cap on simultaneously live connections; accepts past it
+    /// are closed on sight.
+    pub max_connections: usize,
+    /// Evict a connection with no inbound bytes for this long
+    /// (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Evict a connection whose replies it has not drained for this
+    /// long (`None` = never).
+    pub write_stall_timeout: Option<Duration>,
+    /// Max bytes pulled from one socket per readiness wakeup.
+    pub read_budget: usize,
+    /// Buffered-reply size that trips an immediate stall eviction.
+    pub max_buffered_write: usize,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
+        let engine = EngineConfig::default();
         NetConfig {
             bind: "127.0.0.1:0".to_string(),
             max_window: 64,
             max_frame: DEFAULT_MAX_FRAME,
             trace: false,
             trace_capacity: 1024,
+            max_connections: engine.max_connections,
+            idle_timeout: engine.idle_timeout,
+            write_stall_timeout: engine.write_stall_timeout,
+            read_budget: engine.read_budget,
+            max_buffered_write: engine.max_buffered_write,
         }
     }
 }
 
-/// What travels from the reader (and the service's workers) to a
-/// connection's writer thread.
-enum WriterMsg {
-    /// Write a frame as-is (handshake answers, pongs, busy replies,
-    /// protocol errors).
-    Frame(Box<Frame>),
-    /// Write the reply for an in-flight request; frees a window slot.
+impl NetConfig {
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            max_connections: self.max_connections,
+            idle_timeout: self.idle_timeout,
+            write_stall_timeout: self.write_stall_timeout,
+            read_budget: self.read_budget,
+            max_buffered_write: self.max_buffered_write,
+        }
+    }
+}
+
+/// What service workers deliver to a connection through the engine
+/// mailbox.
+enum ConnMsg {
+    /// The reply for an in-flight request; frees a window slot.
     Answer {
         corr: u64,
         request_id: u64,
         reply: Reply,
     },
-    /// Stop accepting new work; once the window is empty, optionally
-    /// acknowledge with `GoodbyeOk`, then exit.
-    Drain { goodbye_ok: bool },
-    /// Exit now; in-flight replies are abandoned (broken transport).
-    Close,
 }
 
-/// State shared between a connection's reader, its writer, and the
-/// service workers delivering its replies.
-struct ConnShared {
-    /// Requests submitted but not yet answered on the wire.
-    inflight: AtomicU32,
-    /// The writer's inbox. A `Mutex` because service workers deliver
-    /// concurrently.
-    tx: Mutex<mpsc::Sender<WriterMsg>>,
-}
-
-impl ConnShared {
-    fn send(&self, msg: WriterMsg) {
-        // the writer may already be gone (broken connection); dropping
-        // the reply is then correct
-        let _ = self.tx.lock().expect("writer inbox lock").send(msg);
-    }
-}
-
-/// The fan-in route: every reply of one connection lands in its
-/// writer's inbox, tagged with the client's correlation id.
+/// The fan-in route: every reply of one connection lands in the engine
+/// mailbox, tagged with the client's correlation id. If the connection
+/// is gone by delivery time the engine drops (and counts) the message.
 struct ConnRoute {
-    shared: Arc<ConnShared>,
+    handle: Handle<ConnMsg>,
+    conn_id: u64,
 }
 
 impl ReplyRoute for ConnRoute {
     fn deliver(&self, token: u64, request_id: u64, reply: Reply) {
-        self.shared.send(WriterMsg::Answer {
-            corr: token,
-            request_id,
-            reply,
-        });
+        self.handle.send(
+            self.conn_id,
+            ConnMsg::Answer {
+                corr: token,
+                request_id,
+                reply,
+            },
+        );
     }
 }
 
@@ -128,8 +148,11 @@ struct Inner {
     metrics: NetMetrics,
     config: NetConfig,
     recorder: Option<Arc<FlightRecorder>>,
+    /// Set once shutdown begins: new submissions get `ShutDown` replies
+    /// while in-flight ones drain.
     stop: AtomicBool,
-    next_conn: AtomicU64,
+    /// The engine mailbox handle, set right after the engine starts.
+    handle: OnceLock<Handle<ConnMsg>>,
 }
 
 impl Inner {
@@ -138,19 +161,363 @@ impl Inner {
             r.record(0, conn, kind);
         }
     }
+
+    /// The mailbox handle. `start` sets it immediately after
+    /// `Engine::start` returns; a connection racing that window spins
+    /// for the few nanoseconds it takes.
+    fn handle(&self) -> &Handle<ConnMsg> {
+        loop {
+            if let Some(h) = self.handle.get() {
+                return h;
+            }
+            std::thread::yield_now();
+        }
+    }
 }
 
-/// The live connections: each entry pairs the stream (for shutdown) with
-/// its reader-thread handle (for joining).
-type ConnRegistry = Arc<Mutex<Vec<(TcpStream, thread::JoinHandle<()>)>>>;
+/// Per-connection protocol state.
+struct NetConn {
+    /// `Some(granted)` once the `Hello` handshake is done.
+    window: Option<u32>,
+    /// Requests submitted but not yet answered on the wire.
+    inflight: u32,
+    frames_seen: u32,
+    /// A `Goodbye` arrived: acknowledge with `GoodbyeOk` once the
+    /// window drains, then close. Inbound bytes are discarded.
+    goodbye: bool,
+    /// The peer closed its write half; close (without `GoodbyeOk`)
+    /// once the window drains.
+    eof: bool,
+    /// The reply route for this connection, built at first use.
+    route: Option<Arc<dyn ReplyRoute>>,
+}
 
-/// The network front end: owns the [`Service`], the listener, and every
-/// connection thread. See the module docs for the connection lifecycle.
+/// The wire protocol plugged into the connection engine. All methods
+/// run on the poller thread.
+struct NetProto {
+    inner: Arc<Inner>,
+}
+
+impl NetProto {
+    fn send_frame(&self, conn_id: u64, io: &mut ConnIo, frame: &Frame) {
+        let bytes = frame.encode();
+        self.inner.metrics.on_frame_out(bytes.len() as u64);
+        self.inner.trace(
+            conn_id,
+            EventKind::FrameOut {
+                frame: frame.kind() as u8,
+                bytes: bytes.len().min(u32::MAX as usize) as u32,
+            },
+        );
+        io.send(&bytes);
+    }
+
+    fn proto_error(&self, conn_id: u64, io: &mut ConnIo, code: u8, message: &str) -> Action {
+        self.inner.metrics.on_protocol_error();
+        self.inner.trace(conn_id, EventKind::ProtocolError { code });
+        self.send_frame(
+            conn_id,
+            io,
+            &Frame::ProtoError {
+                corr: 0,
+                code,
+                message: message.to_string(),
+            },
+        );
+        Action::CloseAfterFlush
+    }
+
+    fn busy(&self, conn_id: u64, io: &mut ConnIo, corr: u64, why: &str) {
+        self.inner.metrics.on_busy();
+        self.send_frame(
+            conn_id,
+            io,
+            &Frame::Reply {
+                corr,
+                reply: WireReply::status_only(ReplyStatus::Busy, 0, why.to_string()),
+            },
+        );
+    }
+
+    /// Refuse one submission with the status its [`SubmitError`] maps to.
+    fn refuse_submit(&self, conn_id: u64, io: &mut ConnIo, corr: u64, e: SubmitError) {
+        match e {
+            SubmitError::QueueFull => self.busy(conn_id, io, corr, "service queue full"),
+            SubmitError::ShuttingDown => {
+                self.send_frame(
+                    conn_id,
+                    io,
+                    &Frame::Reply {
+                        corr,
+                        reply: WireReply::status_only(
+                            ReplyStatus::ShutDown,
+                            0,
+                            "service shutting down".to_string(),
+                        ),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The connection's reply route, building it on first use.
+    fn route(&self, conn_id: u64, conn: &mut NetConn) -> Arc<dyn ReplyRoute> {
+        Arc::clone(conn.route.get_or_insert_with(|| {
+            Arc::new(ConnRoute {
+                handle: self.inner.handle().clone(),
+                conn_id,
+            })
+        }))
+    }
+
+    /// Handle one well-formed frame; `Some` ends the connection.
+    #[allow(clippy::too_many_lines)]
+    fn on_frame(
+        &self,
+        conn_id: u64,
+        conn: &mut NetConn,
+        io: &mut ConnIo,
+        frame: Frame,
+    ) -> Option<Action> {
+        let Some(granted) = conn.window else {
+            // the handshake: the first frame must be Hello
+            if let Frame::Hello { window: requested } = frame {
+                let granted = requested.clamp(1, self.inner.config.max_window);
+                conn.window = Some(granted);
+                self.send_frame(
+                    conn_id,
+                    io,
+                    &Frame::HelloOk {
+                        window: granted,
+                        max_frame: self.inner.config.max_frame,
+                    },
+                );
+                return None;
+            }
+            return Some(self.proto_error(
+                conn_id,
+                io,
+                ERR_EXPECTED_HELLO,
+                "the first frame on a connection must be Hello",
+            ));
+        };
+
+        match frame {
+            Frame::Hello { .. } => {
+                Some(self.proto_error(conn_id, io, ERR_EXPECTED_HELLO, "duplicate Hello"))
+            }
+            Frame::Ping { corr } => {
+                self.inner.metrics.on_ping();
+                self.send_frame(conn_id, io, &Frame::Pong { corr });
+                None
+            }
+            Frame::Goodbye => {
+                conn.goodbye = true;
+                if conn.inflight == 0 {
+                    self.send_frame(conn_id, io, &Frame::GoodbyeOk);
+                    return Some(Action::CloseAfterFlush);
+                }
+                // keep serving replies; on_msg acknowledges when the
+                // window drains
+                None
+            }
+            Frame::Submit { corr, request } => {
+                if conn.inflight >= granted {
+                    self.busy(conn_id, io, corr, "pipelining window full");
+                    return None;
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    self.refuse_submit(conn_id, io, corr, SubmitError::ShuttingDown);
+                    return None;
+                }
+                let route = self.route(conn_id, conn);
+                conn.inflight += 1;
+                match self
+                    .inner
+                    .service
+                    .submit_routed(request.to_request(), corr, route)
+                {
+                    Ok(_id) => self.inner.metrics.on_submit(),
+                    Err(e) => {
+                        conn.inflight -= 1;
+                        self.refuse_submit(conn_id, io, corr, e);
+                    }
+                }
+                None
+            }
+            Frame::BadSubmit { corr, error } => {
+                // sound framing, invalid request content: a typed
+                // BadRequest reply, and the connection lives on
+                self.inner.metrics.on_bad_request();
+                self.send_frame(
+                    conn_id,
+                    io,
+                    &Frame::Reply {
+                        corr,
+                        reply: WireReply::status_only(
+                            ReplyStatus::BadRequest,
+                            0,
+                            error.to_string(),
+                        ),
+                    },
+                );
+                None
+            }
+            Frame::BatchSubmit { corr: _, items } => {
+                let n = items.len() as u32;
+                if conn.inflight.saturating_add(n) > granted {
+                    for (item_corr, _) in &items {
+                        self.busy(conn_id, io, *item_corr, "pipelining window full");
+                    }
+                    return None;
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    for (item_corr, _) in &items {
+                        self.refuse_submit(conn_id, io, *item_corr, SubmitError::ShuttingDown);
+                    }
+                    return None;
+                }
+                let route = self.route(conn_id, conn);
+                conn.inflight += n;
+                let batch: Vec<_> = items
+                    .iter()
+                    .map(|(item_corr, request)| (*item_corr, request.to_request()))
+                    .collect();
+                match self.inner.service.submit_batch_routed(batch, &route) {
+                    Ok(_ids) => self.inner.metrics.on_batch_submit(u64::from(n)),
+                    Err(e) => {
+                        conn.inflight -= n;
+                        for (item_corr, _) in &items {
+                            self.refuse_submit(conn_id, io, *item_corr, e);
+                        }
+                    }
+                }
+                None
+            }
+            Frame::HelloOk { .. }
+            | Frame::Pong { .. }
+            | Frame::GoodbyeOk
+            | Frame::Reply { .. }
+            | Frame::ProtoError { .. } => Some(self.proto_error(
+                conn_id,
+                io,
+                ERR_UNEXPECTED_FRAME,
+                "frame kind is server-to-client only",
+            )),
+        }
+    }
+}
+
+impl Protocol for NetProto {
+    type Conn = NetConn;
+    type Msg = ConnMsg;
+
+    fn on_open(&self, conn_id: u64, peer: SocketAddr, _io: &mut ConnIo) -> NetConn {
+        self.inner.metrics.on_conn_opened();
+        self.inner.trace(
+            conn_id,
+            EventKind::ConnOpened {
+                peer_port: peer.port(),
+            },
+        );
+        NetConn {
+            window: None,
+            inflight: 0,
+            frames_seen: 0,
+            goodbye: false,
+            eof: false,
+            route: None,
+        }
+    }
+
+    fn on_data(&self, conn_id: u64, conn: &mut NetConn, io: &mut ConnIo) -> Action {
+        loop {
+            if conn.goodbye {
+                // after Goodbye the client owes us nothing; discard
+                let n = io.rx_bytes().len();
+                io.rx_consume(n);
+                return Action::Continue;
+            }
+            match try_decode_frame(io.rx_bytes(), self.inner.config.max_frame) {
+                Ok(None) => return Action::Continue,
+                Ok(Some((frame, consumed))) => {
+                    io.rx_consume(consumed);
+                    conn.frames_seen = conn.frames_seen.saturating_add(1);
+                    self.inner.metrics.on_frame_in(consumed as u64);
+                    self.inner.trace(
+                        conn_id,
+                        EventKind::FrameIn {
+                            frame: frame.kind() as u8,
+                            bytes: consumed.min(u32::MAX as usize) as u32,
+                        },
+                    );
+                    if let Some(action) = self.on_frame(conn_id, conn, io, frame) {
+                        return action;
+                    }
+                }
+                Err(e) => {
+                    return self.proto_error(conn_id, io, e.code(), &e.to_string());
+                }
+            }
+        }
+    }
+
+    fn on_eof(&self, _conn_id: u64, conn: &mut NetConn, _io: &mut ConnIo) -> Action {
+        conn.eof = true;
+        if conn.inflight == 0 {
+            // clean close: nothing owed, no GoodbyeOk
+            Action::CloseAfterFlush
+        } else {
+            // drain: serve the in-flight replies half-open first
+            Action::Continue
+        }
+    }
+
+    fn on_msg(&self, conn_id: u64, conn: &mut NetConn, io: &mut ConnIo, msg: ConnMsg) -> Action {
+        let ConnMsg::Answer {
+            corr,
+            request_id,
+            reply,
+        } = msg;
+        conn.inflight = conn.inflight.saturating_sub(1);
+        self.inner.metrics.on_reply();
+        self.send_frame(
+            conn_id,
+            io,
+            &Frame::Reply {
+                corr,
+                reply: WireReply::from_reply(request_id, &reply),
+            },
+        );
+        if conn.inflight == 0 {
+            if conn.goodbye {
+                self.send_frame(conn_id, io, &Frame::GoodbyeOk);
+                return Action::CloseAfterFlush;
+            }
+            if conn.eof {
+                return Action::CloseAfterFlush;
+            }
+        }
+        Action::Continue
+    }
+
+    fn on_close(&self, conn_id: u64, conn: NetConn, _reason: CloseReason) {
+        self.inner.metrics.on_conn_closed();
+        self.inner.trace(
+            conn_id,
+            EventKind::ConnClosed {
+                frames: conn.frames_seen,
+            },
+        );
+    }
+}
+
+/// The network front end: owns the [`Service`] and the connection
+/// engine. See the module docs for the connection lifecycle.
 pub struct NetServer {
     inner: Arc<Inner>,
     addr: SocketAddr,
-    accept: Option<thread::JoinHandle<()>>,
-    conns: ConnRegistry,
+    engine: Engine<NetProto>,
 }
 
 impl NetServer {
@@ -159,35 +526,35 @@ impl NetServer {
     ///
     /// # Errors
     ///
-    /// Any [`io::Error`] from binding the listener.
+    /// Any [`io::Error`] from binding the listener or starting the
+    /// engine.
     pub fn start(service: Service, config: NetConfig) -> io::Result<NetServer> {
         let listener = TcpListener::bind(&config.bind)?;
         let addr = listener.local_addr()?;
         let recorder = config
             .trace
             .then(|| Arc::new(FlightRecorder::new(1, config.trace_capacity)));
+        let engine_config = config.engine_config();
         let inner = Arc::new(Inner {
             service,
             metrics: NetMetrics::new(),
             config,
             recorder,
             stop: AtomicBool::new(false),
-            next_conn: AtomicU64::new(1),
+            handle: OnceLock::new(),
         });
-        let conns = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let inner = Arc::clone(&inner);
-            let conns = Arc::clone(&conns);
-            thread::Builder::new()
-                .name("net-accept".to_string())
-                .spawn(move || accept_loop(&listener, &inner, &conns))
-                .expect("spawn accept loop")
-        };
+        let engine = Engine::start(
+            listener,
+            NetProto {
+                inner: Arc::clone(&inner),
+            },
+            engine_config,
+        )?;
+        let _ = inner.handle.set(engine.handle());
         Ok(NetServer {
             inner,
             addr,
-            accept: Some(accept),
-            conns,
+            engine,
         })
     }
 
@@ -197,10 +564,14 @@ impl NetServer {
         self.addr
     }
 
-    /// A point-in-time copy of the front end's counters.
+    /// A point-in-time copy of the front end's counters, including the
+    /// engine's liveness gauges (live connections, evictions, budget
+    /// refusals).
     #[must_use]
     pub fn metrics(&self) -> NetSnapshot {
-        self.inner.metrics.snapshot()
+        let mut snap = self.inner.metrics.snapshot();
+        fill_engine_stats(&mut snap, self.engine.stats());
+        snap
     }
 
     /// The underlying service's metrics snapshot.
@@ -247,34 +618,45 @@ impl NetServer {
         self.inner.service.incident_reports()
     }
 
-    /// Graceful drain: stop accepting, shut down every connection's
-    /// read half, run all in-flight requests to their replies, flush
-    /// the writers, then shut the service down. Returns both final
-    /// snapshots.
+    /// Graceful drain: refuse new submissions with `ShutDown` replies,
+    /// run every in-flight request to its reply and flush it, then shut
+    /// the engine and the service down. Returns both final snapshots.
     ///
     /// # Panics
     ///
-    /// Panics if a connection thread panicked.
+    /// Panics if the engine's poller thread panicked or an inner handle
+    /// leaked.
     #[must_use]
-    pub fn shutdown(mut self) -> (MetricsSnapshot, NetSnapshot) {
-        self.inner.stop.store(true, Ordering::Relaxed);
-        // unblock the accept loop with a throwaway connection
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
-            h.join().expect("accept loop");
+    pub fn shutdown(self) -> (MetricsSnapshot, NetSnapshot) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // every admitted submission produces exactly one reply; wait
+        // (bounded) for the counters to meet, so in-flight work drains
+        // before the engine force-closes the connections
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let snap = self.inner.metrics.snapshot();
+            if snap.submits + snap.batch_items <= snap.replies || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
         }
-        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
-        for (stream, _) in &conns {
-            // readers see EOF, stop taking new frames, and drain
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        for (_, handle) in conns {
-            handle.join().expect("connection thread");
-        }
-        let inner = Arc::into_inner(self.inner).expect("all connection threads joined");
+        let mut net_snap = self.inner.metrics.snapshot();
+        fill_engine_stats(&mut net_snap, self.engine.stats());
+        // the engine's teardown delivers straggler mailbox replies and
+        // flushes each connection before closing it
+        self.engine.shutdown();
+        let inner = Arc::into_inner(self.inner).expect("engine released its handle");
         let svc_snap = inner.service.shutdown();
-        (svc_snap, inner.metrics.snapshot())
+        (svc_snap, net_snap)
     }
+}
+
+/// Copy the engine's liveness gauges into a [`NetSnapshot`].
+fn fill_engine_stats(snap: &mut NetSnapshot, stats: &EngineStats) {
+    snap.connections_live = stats.live.load(Ordering::Relaxed);
+    snap.evicted_idle = stats.evicted_idle.load(Ordering::Relaxed);
+    snap.evicted_stall = stats.evicted_stall.load(Ordering::Relaxed);
+    snap.over_budget = stats.over_budget.load(Ordering::Relaxed);
 }
 
 impl std::fmt::Debug for NetServer {
@@ -283,331 +665,4 @@ impl std::fmt::Debug for NetServer {
             .field("addr", &self.addr)
             .finish()
     }
-}
-
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>, conns: &ConnRegistry) {
-    loop {
-        let (stream, peer) = match listener.accept() {
-            Ok(x) => x,
-            Err(_) => break,
-        };
-        if inner.stop.load(Ordering::Relaxed) {
-            break;
-        }
-        let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
-        inner.metrics.on_conn_opened();
-        inner.trace(
-            conn_id,
-            EventKind::ConnOpened {
-                peer_port: peer.port(),
-            },
-        );
-        let reader_stream = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let handle = {
-            let inner = Arc::clone(inner);
-            thread::Builder::new()
-                .name(format!("net-conn-{conn_id}"))
-                .spawn(move || serve_conn(&inner, reader_stream, conn_id))
-                .expect("spawn connection thread")
-        };
-        conns.lock().expect("conns lock").push((stream, handle));
-    }
-}
-
-/// One connection's reader loop: handshake, then frames until EOF,
-/// `Goodbye`, or a protocol violation. Owns the writer thread.
-#[allow(clippy::too_many_lines)]
-fn serve_conn(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
-    let writer_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let (tx, rx) = mpsc::channel();
-    let shared = Arc::new(ConnShared {
-        inflight: AtomicU32::new(0),
-        tx: Mutex::new(tx),
-    });
-    let writer = {
-        let inner = Arc::clone(inner);
-        let shared = Arc::clone(&shared);
-        thread::Builder::new()
-            .name(format!("net-conn-{conn_id}-writer"))
-            .spawn(move || writer_loop(&inner, &shared, writer_stream, conn_id, &rx))
-            .expect("spawn connection writer")
-    };
-    let route: Arc<dyn ReplyRoute> = Arc::new(ConnRoute {
-        shared: Arc::clone(&shared),
-    });
-
-    let mut reader = BufReader::new(stream);
-    let mut window: Option<u32> = None; // Some(granted) once Hello is done
-    let mut frames_seen: u32 = 0;
-    loop {
-        let frame = match read_frame(&mut reader, inner.config.max_frame) {
-            Ok(Some((frame, bytes))) => {
-                frames_seen = frames_seen.saturating_add(1);
-                inner.metrics.on_frame_in(bytes as u64);
-                inner.trace(
-                    conn_id,
-                    EventKind::FrameIn {
-                        frame: frame.kind() as u8,
-                        bytes: bytes.min(u32::MAX as usize) as u32,
-                    },
-                );
-                frame
-            }
-            Ok(None) => {
-                // clean close: drain in-flight replies, no GoodbyeOk
-                shared.send(WriterMsg::Drain { goodbye_ok: false });
-                break;
-            }
-            Err(ReadError::Io(_)) => {
-                shared.send(WriterMsg::Close);
-                break;
-            }
-            Err(ReadError::Wire(e)) => {
-                proto_error(inner, &shared, conn_id, e.code(), &e.to_string());
-                break;
-            }
-        };
-
-        let Some(granted) = window else {
-            // the handshake: the first frame must be Hello
-            if let Frame::Hello { window: requested } = frame {
-                let granted = requested.clamp(1, inner.config.max_window);
-                window = Some(granted);
-                shared.send(WriterMsg::Frame(Box::new(Frame::HelloOk {
-                    window: granted,
-                    max_frame: inner.config.max_frame,
-                })));
-                continue;
-            }
-            proto_error(
-                inner,
-                &shared,
-                conn_id,
-                ERR_EXPECTED_HELLO,
-                "the first frame on a connection must be Hello",
-            );
-            break;
-        };
-
-        match frame {
-            Frame::Hello { .. } => {
-                proto_error(
-                    inner,
-                    &shared,
-                    conn_id,
-                    ERR_EXPECTED_HELLO,
-                    "duplicate Hello",
-                );
-                break;
-            }
-            Frame::Ping { corr } => {
-                inner.metrics.on_ping();
-                shared.send(WriterMsg::Frame(Box::new(Frame::Pong { corr })));
-            }
-            Frame::Goodbye => {
-                shared.send(WriterMsg::Drain { goodbye_ok: true });
-                break;
-            }
-            Frame::Submit { corr, request } => {
-                if shared.inflight.load(Ordering::Acquire) >= granted {
-                    busy(inner, &shared, corr, "pipelining window full");
-                    continue;
-                }
-                shared.inflight.fetch_add(1, Ordering::AcqRel);
-                match inner
-                    .service
-                    .submit_routed(request.to_request(), corr, Arc::clone(&route))
-                {
-                    Ok(_id) => inner.metrics.on_submit(),
-                    Err(e) => {
-                        shared.inflight.fetch_sub(1, Ordering::AcqRel);
-                        refuse_submit(inner, &shared, corr, e);
-                    }
-                }
-            }
-            Frame::BadSubmit { corr, error } => {
-                // sound framing, invalid request content: a typed
-                // BadRequest reply, and the connection lives on
-                inner.metrics.on_bad_request();
-                shared.send(WriterMsg::Frame(Box::new(Frame::Reply {
-                    corr,
-                    reply: WireReply::status_only(ReplyStatus::BadRequest, 0, error.to_string()),
-                })));
-            }
-            Frame::BatchSubmit { corr: _, items } => {
-                let n = items.len() as u32;
-                if shared.inflight.load(Ordering::Acquire).saturating_add(n) > granted {
-                    for (item_corr, _) in &items {
-                        busy(inner, &shared, *item_corr, "pipelining window full");
-                    }
-                    continue;
-                }
-                shared.inflight.fetch_add(n, Ordering::AcqRel);
-                let batch: Vec<_> = items
-                    .iter()
-                    .map(|(item_corr, request)| (*item_corr, request.to_request()))
-                    .collect();
-                match inner.service.submit_batch_routed(batch, &route) {
-                    Ok(_ids) => inner.metrics.on_batch_submit(u64::from(n)),
-                    Err(e) => {
-                        shared.inflight.fetch_sub(n, Ordering::AcqRel);
-                        for (item_corr, _) in &items {
-                            refuse_submit(inner, &shared, *item_corr, e);
-                        }
-                    }
-                }
-            }
-            Frame::HelloOk { .. }
-            | Frame::Pong { .. }
-            | Frame::GoodbyeOk
-            | Frame::Reply { .. }
-            | Frame::ProtoError { .. } => {
-                proto_error(
-                    inner,
-                    &shared,
-                    conn_id,
-                    ERR_UNEXPECTED_FRAME,
-                    "frame kind is server-to-client only",
-                );
-                break;
-            }
-        }
-    }
-    writer.join().expect("connection writer");
-    inner.metrics.on_conn_closed();
-    inner.trace(
-        conn_id,
-        EventKind::ConnClosed {
-            frames: frames_seen,
-        },
-    );
-}
-
-/// Refuse one submission with the status its [`SubmitError`] maps to.
-fn refuse_submit(inner: &Arc<Inner>, shared: &ConnShared, corr: u64, e: SubmitError) {
-    match e {
-        SubmitError::QueueFull => busy(inner, shared, corr, "service queue full"),
-        SubmitError::ShuttingDown => {
-            shared.send(WriterMsg::Frame(Box::new(Frame::Reply {
-                corr,
-                reply: WireReply::status_only(
-                    ReplyStatus::ShutDown,
-                    0,
-                    "service shutting down".to_string(),
-                ),
-            })));
-        }
-    }
-}
-
-fn busy(inner: &Arc<Inner>, shared: &ConnShared, corr: u64, why: &str) {
-    inner.metrics.on_busy();
-    shared.send(WriterMsg::Frame(Box::new(Frame::Reply {
-        corr,
-        reply: WireReply::status_only(ReplyStatus::Busy, 0, why.to_string()),
-    })));
-}
-
-fn proto_error(inner: &Arc<Inner>, shared: &ConnShared, conn_id: u64, code: u8, message: &str) {
-    inner.metrics.on_protocol_error();
-    inner.trace(conn_id, EventKind::ProtocolError { code });
-    shared.send(WriterMsg::Frame(Box::new(Frame::ProtoError {
-        corr: 0,
-        code,
-        message: message.to_string(),
-    })));
-    shared.send(WriterMsg::Close);
-}
-
-/// A connection's writer loop: the only thread that touches the write
-/// half. Serializes frames, frees window slots, and implements the
-/// drain handshake.
-fn writer_loop(
-    inner: &Arc<Inner>,
-    shared: &ConnShared,
-    stream: TcpStream,
-    conn_id: u64,
-    rx: &mpsc::Receiver<WriterMsg>,
-) {
-    let mut w = BufWriter::new(stream);
-    let mut draining: Option<bool> = None; // Some(goodbye_ok) once draining
-
-    // the loop ends when the reader and all reply routes are gone
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            WriterMsg::Frame(frame) => {
-                if write_frame(inner, &mut w, conn_id, &frame).is_err() {
-                    break;
-                }
-            }
-            WriterMsg::Answer {
-                corr,
-                request_id,
-                reply,
-            } => {
-                let frame = Frame::Reply {
-                    corr,
-                    reply: WireReply::from_reply(request_id, &reply),
-                };
-                // free the window slot *before* the reply bytes can
-                // reach the client: a client that reacts to the reply
-                // instantly must find the slot already open, or its
-                // next pipelined submit earns a spurious Busy
-                let left = shared.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
-                inner.metrics.on_reply();
-                if write_frame(inner, &mut w, conn_id, &frame).is_err() {
-                    break;
-                }
-                if left == 0 {
-                    if let Some(goodbye_ok) = draining {
-                        finish_drain(inner, &mut w, conn_id, goodbye_ok);
-                        break;
-                    }
-                }
-            }
-            WriterMsg::Drain { goodbye_ok } => {
-                draining = Some(goodbye_ok);
-                if shared.inflight.load(Ordering::Acquire) == 0 {
-                    finish_drain(inner, &mut w, conn_id, goodbye_ok);
-                    break;
-                }
-            }
-            WriterMsg::Close => break,
-        }
-    }
-    let _ = w.flush();
-    if let Ok(stream) = w.into_inner() {
-        let _ = stream.shutdown(Shutdown::Both);
-    }
-}
-
-fn finish_drain(inner: &Arc<Inner>, w: &mut BufWriter<TcpStream>, conn_id: u64, goodbye_ok: bool) {
-    if goodbye_ok {
-        let _ = write_frame(inner, w, conn_id, &Frame::GoodbyeOk);
-    }
-}
-
-fn write_frame(
-    inner: &Arc<Inner>,
-    w: &mut BufWriter<TcpStream>,
-    conn_id: u64,
-    frame: &Frame,
-) -> io::Result<()> {
-    let bytes = frame.encode();
-    inner.metrics.on_frame_out(bytes.len() as u64);
-    inner.trace(
-        conn_id,
-        EventKind::FrameOut {
-            frame: frame.kind() as u8,
-            bytes: bytes.len().min(u32::MAX as usize) as u32,
-        },
-    );
-    w.write_all(&bytes)?;
-    w.flush()
 }

@@ -988,6 +988,32 @@ pub fn decode_frame(bytes: &[u8], max_frame: u32) -> Result<Frame, WireError> {
     decode_body(kind, corr, body)
 }
 
+/// Decode one frame from the front of a (possibly partial) byte
+/// stream, returning it with the byte count consumed — the
+/// incremental counterpart of [`read_frame`] for readiness-driven
+/// servers that buffer inbound bytes. `Ok(None)` means the buffer does
+/// not yet hold a complete frame; read more and try again. Trailing
+/// bytes after the frame are *not* an error here: they are the next
+/// frame.
+///
+/// # Errors
+///
+/// Any [`WireError`] the leading bytes earn (bad magic, unknown kind,
+/// oversized length, malformed body).
+pub fn try_decode_frame(bytes: &[u8], max_frame: u32) -> Result<Option<(Frame, usize)>, WireError> {
+    let Some(header) = bytes.get(..HEADER_LEN) else {
+        return Ok(None);
+    };
+    let header: &[u8; HEADER_LEN] = header.try_into().expect("HEADER_LEN");
+    let (kind, corr, len) = check_header(header, max_frame)?;
+    let total = HEADER_LEN + len as usize;
+    let Some(body) = bytes.get(HEADER_LEN..total) else {
+        return Ok(None);
+    };
+    let frame = decode_body(kind, corr, body)?;
+    Ok(Some((frame, total)))
+}
+
 /// Validate a header, returning `(kind, corr, body_len)`.
 fn check_header(h: &[u8; HEADER_LEN], max_frame: u32) -> Result<(FrameKind, u64, u32), WireError> {
     let magic: [u8; 4] = h[0..4].try_into().expect("4");

@@ -130,6 +130,21 @@ pub enum EventKind {
         /// Requests in the batch.
         size: u32,
     },
+    /// The request was identical to one already in flight and joined its
+    /// waiter list instead of executing (the event's request field is
+    /// the joining request's id).
+    CoalesceJoin {
+        /// The request id of the in-flight leader whose result this
+        /// request will share.
+        leader: u64,
+    },
+    /// A leader's single execution fanned its result out to its waiters
+    /// (the event's request field is the leader's id).
+    CoalesceFanout {
+        /// Waiters answered with the leader's result (excluding the
+        /// leader itself).
+        waiters: u32,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -163,6 +178,12 @@ impl fmt::Display for EventKind {
             EventKind::FrameOut { frame, bytes } => write!(f, "frame out kind#{frame} {bytes}B"),
             EventKind::ProtocolError { code } => write!(f, "protocol error #{code}"),
             EventKind::BatchBegin { size } => write!(f, "batch of {size}"),
+            EventKind::CoalesceJoin { leader } => {
+                write!(f, "coalesced onto in-flight request {leader}")
+            }
+            EventKind::CoalesceFanout { waiters } => {
+                write!(f, "fanned result out to {waiters} coalesced waiters")
+            }
         }
     }
 }
@@ -191,6 +212,8 @@ const TAG_FRAME_IN: u64 = 15;
 const TAG_FRAME_OUT: u64 = 16;
 const TAG_PROTOCOL_ERROR: u64 = 17;
 const TAG_BATCH_BEGIN: u64 = 18;
+const TAG_COALESCE_JOIN: u64 = 19;
+const TAG_COALESCE_FANOUT: u64 = 20;
 
 /// Encode `(t_nanos, request, kind)` into its wire form.
 #[must_use]
@@ -234,6 +257,8 @@ pub fn encode(t_nanos: u64, request: u64, kind: EventKind) -> RawEvent {
         EventKind::FrameOut { frame, bytes } => (TAG_FRAME_OUT, u64::from(frame), u64::from(bytes)),
         EventKind::ProtocolError { code } => (TAG_PROTOCOL_ERROR, u64::from(code), 0),
         EventKind::BatchBegin { size } => (TAG_BATCH_BEGIN, 0, u64::from(size)),
+        EventKind::CoalesceJoin { leader } => (TAG_COALESCE_JOIN, 0, leader),
+        EventKind::CoalesceFanout { waiters } => (TAG_COALESCE_FANOUT, 0, u64::from(waiters)),
     };
     [t_nanos, request, tag | (hi << 8), payload]
 }
@@ -303,6 +328,10 @@ pub fn decode(raw: &RawEvent) -> Option<(u64, u64, EventKind)> {
         TAG_BATCH_BEGIN => EventKind::BatchBegin {
             size: (payload & 0xFFFF_FFFF) as u32,
         },
+        TAG_COALESCE_JOIN => EventKind::CoalesceJoin { leader: payload },
+        TAG_COALESCE_FANOUT => EventKind::CoalesceFanout {
+            waiters: (payload & 0xFFFF_FFFF) as u32,
+        },
         _ => return None,
     };
     Some((t_nanos, request, kind))
@@ -366,6 +395,10 @@ mod tests {
             EventKind::FrameOut { frame: 9, bytes: 0 },
             EventKind::ProtocolError { code: 3 },
             EventKind::BatchBegin { size: 64 },
+            EventKind::CoalesceJoin {
+                leader: u64::MAX / 7,
+            },
+            EventKind::CoalesceFanout { waiters: 12 },
         ]
     }
 

@@ -72,6 +72,23 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
     p.typ("svc_proto_clones_saved_total", "counter");
     p.sample_u64("svc_proto_clones_saved_total", &[], snap.proto_clones_saved);
 
+    p.help(
+        "svc_coalesced_joins_total",
+        "Submissions that joined an identical in-flight execution.",
+    );
+    p.typ("svc_coalesced_joins_total", "counter");
+    p.sample_u64("svc_coalesced_joins_total", &[], snap.coalesced_joins);
+    p.help(
+        "svc_coalesced_executions_saved_total",
+        "Executions avoided by fanning one result out to coalesced waiters.",
+    );
+    p.typ("svc_coalesced_executions_saved_total", "counter");
+    p.sample_u64(
+        "svc_coalesced_executions_saved_total",
+        &[],
+        snap.coalesced_executions_saved,
+    );
+
     p.help("svc_queue_depth", "Jobs waiting in the queue.");
     p.typ("svc_queue_depth", "gauge");
     p.sample_u64("svc_queue_depth", &[], snap.queue_depth);
@@ -262,6 +279,11 @@ pub fn json(snap: &MetricsSnapshot) -> String {
         .field_u64("batch_requests", snap.batch_requests)
         .field_u64("proto_clones", snap.proto_clones)
         .field_u64("proto_clones_saved", snap.proto_clones_saved)
+        .field_u64("coalesced_joins", snap.coalesced_joins)
+        .field_u64(
+            "coalesced_executions_saved",
+            snap.coalesced_executions_saved,
+        )
         .field_u64("queue_depth", snap.queue_depth)
         .field_raw("cache", &cache)
         .field_raw("workers", &json_array(&workers))
@@ -302,6 +324,8 @@ mod tests {
         for _ in 0..7 {
             m.on_proto_clone_saved();
         }
+        m.on_coalesced_join();
+        m.on_coalesce_saved(1);
         let mut s = m.snapshot();
         s.queue_depth = 3;
         s.cache_size = 1;
@@ -338,6 +362,8 @@ mod tests {
         assert!(page.contains("svc_batch_requests_total 8\n"));
         assert!(page.contains("svc_proto_clones_total 1\n"));
         assert!(page.contains("svc_proto_clones_saved_total 7\n"));
+        assert!(page.contains("svc_coalesced_joins_total 1\n"));
+        assert!(page.contains("svc_coalesced_executions_saved_total 1\n"));
         assert!(page.contains("svc_completions_total{regime=\"tos\"} 2"));
         assert!(page.contains("svc_served_total{regime=\"tos\",checks=\"none\"} 1"));
         assert!(page.contains("svc_served_total{regime=\"tos\",checks=\"full\"} 1"));
@@ -356,6 +382,7 @@ mod tests {
         assert!(doc.contains("\"queue_depth\":3"));
         assert!(doc.contains("\"batches\":1"));
         assert!(doc.contains("\"proto_clones_saved\":7"));
+        assert!(doc.contains("\"coalesced_joins\":1"));
         assert!(doc.contains("\"evictions\":7"));
         assert!(doc.contains("\"regime\":\"tos\""));
         assert!(doc.contains("\"served_unchecked\":1"));

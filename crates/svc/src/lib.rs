@@ -61,6 +61,7 @@
 #![warn(clippy::all)]
 
 pub mod cache;
+pub mod coalesce;
 pub mod deadline;
 pub mod expose;
 pub mod health;
@@ -80,6 +81,7 @@ use stackcache_obs::{EventKind, FlightDump, FlightRecorder};
 use stackcache_vm::{FusionPlan, Machine, Program};
 
 use crate::cache::ProgramCache;
+use crate::coalesce::{CoalesceMap, Waiter};
 use crate::health::WorkerHealth;
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
@@ -308,6 +310,12 @@ pub struct ServiceConfig {
     /// Heartbeats a busy worker may miss before it is flagged stalled in
     /// the metrics snapshot and on the Prometheus page.
     pub stall_beats: u32,
+    /// Coalesce identical in-flight submissions: a request whose
+    /// [`coalesce::coalesce_key`] matches one already executing joins
+    /// its waiter list instead of entering the queue, and the one
+    /// result fans out to every waiter. Off by default — coalescing
+    /// changes execution counts, which deterministic benches assert on.
+    pub coalesce: bool,
 }
 
 impl Default for ServiceConfig {
@@ -321,6 +329,7 @@ impl Default for ServiceConfig {
             trace: None,
             heartbeat_period: Duration::from_millis(250),
             stall_beats: 4,
+            coalesce: false,
         }
     }
 }
@@ -330,6 +339,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn traced(mut self) -> Self {
         self.trace = Some(TraceConfig::default());
+        self
+    }
+
+    /// This configuration with in-flight request coalescing switched on.
+    #[must_use]
+    pub fn coalescing(mut self) -> Self {
+        self.coalesce = true;
         self
     }
 }
@@ -372,6 +388,7 @@ impl Service {
             // replies that never reached the service
             next_request: AtomicU64::new(1),
             tracing,
+            coalesce: config.coalesce.then(CoalesceMap::default),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -497,14 +514,66 @@ impl Service {
             deadline: request.deadline.map(|d| Instant::now() + d),
             request,
             sink,
+            coalesce: None,
         }
     }
 
     /// Push one admission unit; on success, count and trace every item.
     fn enqueue(&self, items: Vec<JobItem>) -> Result<(), SubmitError> {
+        let first_id = items.first().map_or(0, |i| i.id);
+        let total = items.len();
+        // One joined submission: (key, the joiner's admission metadata,
+        // the leader it joined). Recorded for tracing after the push
+        // succeeds and for rollback if it does not.
+        let mut joins: Vec<(u64, (u64, u8, bool), u64)> = Vec::new();
+        let mut leaders: Vec<JobItem> = Vec::with_capacity(items.len());
+
+        // Admission transaction. When coalescing is on the registry lock
+        // is held across the queue push: a failed push rolls back every
+        // registration this admission made before any foreign join or a
+        // worker's fanout can observe the half-admitted state.
+        let mut guard = self.shared.coalesce.as_ref().map(CoalesceMap::lock);
+        match guard.as_mut() {
+            Some(g) => {
+                for item in items {
+                    let JobItem {
+                        id,
+                        request,
+                        deadline,
+                        sink,
+                        coalesce: _,
+                    } = item;
+                    let meta = (
+                        id,
+                        request.regime.index().min(u8::MAX as usize) as u8,
+                        request.peephole,
+                    );
+                    let key = coalesce::coalesce_key(&request);
+                    let mut parked = Some(sink);
+                    match g.try_join(key, || Waiter {
+                        id,
+                        sink: parked.take().expect("sink parked once"),
+                    }) {
+                        Some(leader) => joins.push((key, meta, leader)),
+                        None => {
+                            g.register_leader(key, id);
+                            leaders.push(JobItem {
+                                id,
+                                request,
+                                deadline,
+                                sink: parked.take().expect("sink unmoved on lead"),
+                                coalesce: Some(key),
+                            });
+                        }
+                    }
+                }
+            }
+            None => leaders = items,
+        }
+
         // capture the admission metadata before the job moves into the
         // queue (a racing worker may start serving it immediately)
-        let admitted: Vec<(u64, u8, bool)> = items
+        let admitted: Vec<(u64, u8, bool)> = leaders
             .iter()
             .map(|i| {
                 (
@@ -514,25 +583,46 @@ impl Service {
                 )
             })
             .collect();
-        let job = Job {
-            submitted: Instant::now(),
-            items,
-        };
-        match self.shared.queue.push(job) {
-            Ok(()) => (),
-            Err((_, PushError::Full)) => {
-                self.shared.metrics.on_queue_full();
-                return Err(SubmitError::QueueFull);
+        if !leaders.is_empty() {
+            let job = Job {
+                submitted: Instant::now(),
+                items: leaders,
+            };
+            match self.shared.queue.push(job) {
+                Ok(()) => (),
+                Err((job, err)) => {
+                    // the push refused the whole batch: dissolve every
+                    // registration it made (still under the lock)
+                    if let Some(g) = guard.as_mut() {
+                        for item in &job.items {
+                            if let Some(key) = item.coalesce {
+                                g.withdraw_leader(key, item.id);
+                            }
+                        }
+                        for &(key, (id, _, _), _) in &joins {
+                            g.unjoin(key, id);
+                        }
+                    }
+                    drop(guard);
+                    return Err(match err {
+                        PushError::Full => {
+                            self.shared.metrics.on_queue_full();
+                            SubmitError::QueueFull
+                        }
+                        PushError::Closed => SubmitError::ShuttingDown,
+                    });
+                }
             }
-            Err((_, PushError::Closed)) => return Err(SubmitError::ShuttingDown),
         }
-        if admitted.len() > 1 {
-            self.shared.metrics.on_batch(admitted.len() as u64);
+        drop(guard);
+
+        if total > 1 {
+            self.shared.metrics.on_batch(total as u64);
             self.shared.trace(
                 0,
-                admitted[0].0,
+                first_id,
                 EventKind::BatchBegin {
-                    size: admitted.len().min(u32::MAX as usize) as u32,
+                    size: total.min(u32::MAX as usize) as u32,
                 },
             );
         }
@@ -540,6 +630,13 @@ impl Service {
             self.shared.metrics.on_submitted();
             self.shared
                 .trace(0, id, EventKind::Admitted { regime, peephole });
+        }
+        for (_, (id, regime, peephole), leader) in joins {
+            self.shared.metrics.on_submitted();
+            self.shared.metrics.on_coalesced_join();
+            self.shared
+                .trace(0, id, EventKind::Admitted { regime, peephole });
+            self.shared.trace(0, id, EventKind::CoalesceJoin { leader });
         }
         Ok(())
     }
@@ -629,7 +726,7 @@ impl Service {
         if abort {
             self.shared.abort.store(true, Ordering::Relaxed);
             for job in self.shared.queue.close_and_take() {
-                job.refuse(&self.shared.metrics);
+                job.refuse(&self.shared);
             }
         } else {
             self.shared.queue.close();

@@ -124,6 +124,8 @@ pub struct Metrics {
     batch_requests: AtomicU64,
     proto_clones: AtomicU64,
     proto_clones_saved: AtomicU64,
+    coalesced_joins: AtomicU64,
+    coalesced_executions_saved: AtomicU64,
     regimes: Vec<RegimeMetrics>,
 }
 
@@ -137,6 +139,8 @@ impl Metrics {
             batch_requests: AtomicU64::new(0),
             proto_clones: AtomicU64::new(0),
             proto_clones_saved: AtomicU64::new(0),
+            coalesced_joins: AtomicU64::new(0),
+            coalesced_executions_saved: AtomicU64::new(0),
             regimes: (0..EngineRegime::ALL.len())
                 .map(|_| RegimeMetrics::new())
                 .collect(),
@@ -170,6 +174,15 @@ impl Metrics {
 
     pub(crate) fn on_proto_clone_saved(&self) {
         self.proto_clones_saved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_coalesced_join(&self) {
+        self.coalesced_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_coalesce_saved(&self, waiters: u64) {
+        self.coalesced_executions_saved
+            .fetch_add(waiters, Ordering::Relaxed);
     }
 
     pub(crate) fn on_cache_hit(&self, regime: EngineRegime) {
@@ -225,6 +238,8 @@ impl Metrics {
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             proto_clones: self.proto_clones.load(Ordering::Relaxed),
             proto_clones_saved: self.proto_clones_saved.load(Ordering::Relaxed),
+            coalesced_joins: self.coalesced_joins.load(Ordering::Relaxed),
+            coalesced_executions_saved: self.coalesced_executions_saved.load(Ordering::Relaxed),
             // occupancy gauges live outside the registry; the service
             // fills them in from the queue and cache when snapshotting
             queue_depth: 0,
@@ -315,6 +330,12 @@ pub struct MetricsSnapshot {
     /// Proto-machine clones *avoided* by resetting the batch scratch
     /// machine in place — the batching amortization, made visible.
     pub proto_clones_saved: u64,
+    /// Submissions that joined an identical in-flight execution instead
+    /// of entering the queue (coalescing must be enabled).
+    pub coalesced_joins: u64,
+    /// Executions avoided by fanning one in-flight result out to its
+    /// coalesced waiters: incremented per waiter at reply time.
+    pub coalesced_executions_saved: u64,
     /// Jobs waiting in the queue when the snapshot was taken.
     pub queue_depth: u64,
     /// Compiled artifacts cached when the snapshot was taken.

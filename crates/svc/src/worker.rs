@@ -34,6 +34,7 @@ use stackcache_obs::{CancelKind, EventKind, FlightRecorder, RejectKind, RingTrac
 use stackcache_vm::{ExecEvent, ExecObserver, Machine, VmError};
 
 use crate::cache::{Lookup, ProgramCache};
+use crate::coalesce::CoalesceMap;
 use crate::deadline::{CancelCause, DeadlineObserver};
 use crate::health::{WorkerHealth, DEFAULT_PULSE_INSTRUCTIONS};
 use crate::metrics::Metrics;
@@ -62,6 +63,22 @@ impl fmt::Debug for ReplySink {
     }
 }
 
+impl ReplySink {
+    /// Deliver a reply under the given request id. Coalesced waiters are
+    /// delivered under their *leader's* id, so the reply bodies a network
+    /// front end encodes are byte-identical across the fanout.
+    pub(crate) fn deliver(self, request_id: u64, reply: Reply) {
+        match self {
+            // the submitter may have dropped its ticket (or hung up its
+            // connection); that is its right
+            ReplySink::Direct(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Routed { token, route } => route.deliver(token, request_id, reply),
+        }
+    }
+}
+
 /// One accepted request inside a job.
 #[derive(Debug)]
 pub(crate) struct JobItem {
@@ -71,25 +88,43 @@ pub(crate) struct JobItem {
     /// Absolute deadline, resolved at submission.
     pub(crate) deadline: Option<Instant>,
     pub(crate) sink: ReplySink,
+    /// The coalesce key this item leads, when the service coalesces:
+    /// its reply fans out to the key's waiter list.
+    pub(crate) coalesce: Option<u64>,
 }
 
 impl JobItem {
-    fn answer(self, reply: Reply) {
-        let id = self.id;
-        match self.sink {
-            // the submitter may have dropped its ticket (or hung up its
-            // connection); that is its right
-            ReplySink::Direct(tx) => {
-                let _ = tx.send(reply);
+    /// Answer this item — and, when it leads a coalesce key, every
+    /// waiter that joined it — with one reply. The waiter list is taken
+    /// *before* anyone is answered, so a racing identical submission
+    /// either joins in time to be fanned out here or finds the key
+    /// vacant and executes as a fresh leader.
+    fn finish(self, shared: &Shared, ring: usize, reply: Reply) {
+        let leader = self.id;
+        let waiters = match (&shared.coalesce, self.coalesce) {
+            (Some(co), Some(key)) => co.take_waiters(key, leader),
+            _ => Vec::new(),
+        };
+        if !waiters.is_empty() {
+            shared.metrics.on_coalesce_saved(waiters.len() as u64);
+            shared.trace(
+                ring,
+                leader,
+                EventKind::CoalesceFanout {
+                    waiters: waiters.len().min(u32::MAX as usize) as u32,
+                },
+            );
+            for w in waiters {
+                w.sink.deliver(leader, reply.clone());
             }
-            ReplySink::Routed { token, route } => route.deliver(token, id, reply),
         }
+        self.sink.deliver(leader, reply);
     }
 
     /// Answer without executing (service shutdown/abort).
-    fn refuse(self, metrics: &Metrics) {
-        metrics.on_shutdown_rejection();
-        self.answer(Reply::Rejected(Rejection::ShutDown));
+    fn refuse(self, shared: &Shared, ring: usize) {
+        shared.metrics.on_shutdown_rejection();
+        self.finish(shared, ring, Reply::Rejected(Rejection::ShutDown));
     }
 }
 
@@ -104,9 +139,11 @@ pub(crate) struct Job {
 
 impl Job {
     /// Answer every item without executing (service shutdown/abort).
-    pub(crate) fn refuse(self, metrics: &Metrics) {
+    /// Ring 0 (the submitter ring) takes the trace events: no worker
+    /// ever dequeued this job.
+    pub(crate) fn refuse(self, shared: &Shared) {
         for item in self.items {
-            item.refuse(metrics);
+            item.refuse(shared, 0);
         }
     }
 }
@@ -152,6 +189,9 @@ pub(crate) struct Shared {
     pub(crate) abort: Arc<AtomicBool>,
     pub(crate) next_request: AtomicU64,
     pub(crate) tracing: Option<Tracing>,
+    /// The in-flight coalescing registry; `None` when coalescing is off
+    /// (the default), in which case admission never touches it.
+    pub(crate) coalesce: Option<CoalesceMap>,
 }
 
 impl Shared {
@@ -268,7 +308,7 @@ fn serve_item(
                 reason: RejectKind::Shutdown,
             },
         );
-        item.refuse(&shared.metrics);
+        item.refuse(shared, ring);
         return;
     }
     if let Some(d) = item.deadline {
@@ -284,7 +324,7 @@ fn serve_item(
             if let Some(t) = &shared.tracing {
                 t.file_incident(id, "deadline expired in queue");
             }
-            item.answer(Reply::Rejected(Rejection::DeadlineExpired));
+            item.finish(shared, ring, Reply::Rejected(Rejection::DeadlineExpired));
             return;
         }
     }
@@ -337,7 +377,11 @@ fn serve_item(
         if let Some(t) = &shared.tracing {
             t.file_incident(id, &format!("analysis rejected: {diagnostic}"));
         }
-        item.answer(Reply::Rejected(Rejection::AnalysisRejected { diagnostic }));
+        item.finish(
+            shared,
+            ring,
+            Reply::Rejected(Rejection::AnalysisRejected { diagnostic }),
+        );
         return;
     }
     let checks = proof.admit(&item.request.proto);
@@ -395,7 +439,7 @@ fn serve_item(
             if let Some(t) = &shared.tracing {
                 t.file_incident(id, "fuel exhausted");
             }
-            item.answer(Reply::Rejected(Rejection::FuelExhausted));
+            item.finish(shared, ring, Reply::Rejected(Rejection::FuelExhausted));
         }
         Err(VmError::Cancelled { .. }) => {
             if observer.cause() == Some(CancelCause::Abort) {
@@ -406,7 +450,7 @@ fn serve_item(
                         cause: CancelKind::Abort,
                     },
                 );
-                item.refuse(&shared.metrics);
+                item.refuse(shared, ring);
             } else {
                 shared.metrics.on_deadline_expired(regime);
                 shared.trace(
@@ -419,7 +463,7 @@ fn serve_item(
                 if let Some(t) = &shared.tracing {
                     t.file_incident(id, "deadline expired mid-run");
                 }
-                item.answer(Reply::Rejected(Rejection::DeadlineExpired));
+                item.finish(shared, ring, Reply::Rejected(Rejection::DeadlineExpired));
             }
         }
         other => {
@@ -445,11 +489,15 @@ fn serve_item(
             shared
                 .metrics
                 .on_completed(regime, trapped, latency, checks);
-            item.answer(Reply::Completed(Completion {
-                outcome,
-                cache_hit,
-                latency,
-            }));
+            item.finish(
+                shared,
+                ring,
+                Reply::Completed(Completion {
+                    outcome,
+                    cache_hit,
+                    latency,
+                }),
+            );
         }
     }
 }

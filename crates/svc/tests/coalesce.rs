@@ -1,0 +1,250 @@
+//! In-flight request coalescing: N identical concurrent submissions run
+//! once, and the one result — completion, trap, or deadline rejection —
+//! fans out identically to every waiter under its own correlation id.
+
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+use stackcache_harness::MEMORY_BYTES;
+use stackcache_svc::{Rejection, Reply, ReplyRoute, Request, Service, ServiceConfig};
+use stackcache_vm::{program_of, Inst, Machine, Program};
+
+fn coalescing_single_worker() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        cache_shards: 2,
+        ..ServiceConfig::default()
+    }
+    .coalescing()
+}
+
+/// A program that touches stack, memory, and output, so reply equality
+/// exercises every observable field.
+fn busy_program() -> Arc<Program> {
+    Arc::new(program_of(&[
+        Inst::Lit(6),
+        Inst::Dup,
+        Inst::Mul,
+        Inst::Dup,
+        Inst::Lit(8),
+        Inst::Store,
+        Inst::Dot,
+        Inst::Halt,
+    ]))
+}
+
+/// A prototype with preset state, so fanned-out outcomes carry real
+/// stack/memory images.
+fn seeded_proto() -> Arc<Machine> {
+    let mut m = Machine::with_memory(MEMORY_BYTES);
+    m.push(11);
+    m.store_cell(0, -7);
+    Arc::new(m)
+}
+
+fn identical_request() -> Request {
+    Request::new(busy_program(), EngineRegime::Tos)
+        .on(seeded_proto())
+        .fuel(100_000)
+}
+
+/// A long-running request that pins the single worker so everything
+/// submitted behind it coalesces deterministically while queued. The
+/// spin loop burns its whole fuel budget (the blocker's own reply is a
+/// `FuelExhausted` rejection, which is irrelevant to the test).
+fn blocker() -> Request {
+    let spin = Arc::new(program_of(&[
+        Inst::Lit(1),
+        Inst::Drop,
+        Inst::Branch(0),
+        Inst::Halt,
+    ]));
+    Request::new(spin, EngineRegime::Reference).fuel(20_000_000)
+}
+
+#[test]
+fn identical_batch_coalesces_to_one_execution() {
+    let svc = Service::start(coalescing_single_worker());
+    let n = 5;
+    let tickets = svc
+        .submit_batch((0..n).map(|_| identical_request()).collect())
+        .expect("admitted");
+    assert_eq!(tickets.len(), n);
+
+    let mut outcomes = Vec::new();
+    for t in tickets {
+        match t.wait() {
+            Reply::Completed(c) => outcomes.push(c.outcome),
+            Reply::Rejected(r) => panic!("rejected: {r:?}"),
+        }
+    }
+    for o in &outcomes[1..] {
+        assert_eq!(o, &outcomes[0], "fanned-out outcome diverged");
+    }
+
+    let snap = svc.shutdown();
+    assert_eq!(snap.submitted, n as u64);
+    assert_eq!(snap.coalesced_joins, n as u64 - 1);
+    assert_eq!(snap.coalesced_executions_saved, n as u64 - 1);
+    assert_eq!(snap.completed(), 1, "exactly one execution ran");
+    assert_eq!(snap.proto_clones, 1);
+}
+
+#[test]
+fn unary_submissions_behind_a_busy_worker_coalesce() {
+    let svc = Service::start(coalescing_single_worker());
+    // pin the worker; everything below is admitted while it spins
+    let block = svc.submit(blocker()).expect("blocker admitted");
+
+    let tickets: Vec<_> = (0..4)
+        .map(|_| svc.submit(identical_request()).expect("admitted"))
+        .collect();
+    let mut outcomes = Vec::new();
+    for t in tickets {
+        match t.wait() {
+            Reply::Completed(c) => outcomes.push(c.outcome),
+            Reply::Rejected(r) => panic!("rejected: {r:?}"),
+        }
+    }
+    for o in &outcomes[1..] {
+        assert_eq!(o, &outcomes[0]);
+    }
+    assert!(matches!(
+        block.wait(),
+        Reply::Rejected(Rejection::FuelExhausted)
+    ));
+
+    let snap = svc.shutdown();
+    assert_eq!(snap.coalesced_joins, 3);
+    assert_eq!(snap.coalesced_executions_saved, 3);
+    assert_eq!(snap.completed(), 1);
+}
+
+/// A route that records (token, request_id, reply) triples.
+#[derive(Debug)]
+struct Recorder {
+    tx: Mutex<mpsc::Sender<(u64, u64, Reply)>>,
+}
+
+impl ReplyRoute for Recorder {
+    fn deliver(&self, token: u64, request_id: u64, reply: Reply) {
+        let _ = self
+            .tx
+            .lock()
+            .expect("recorder lock")
+            .send((token, request_id, reply));
+    }
+}
+
+#[test]
+fn fanned_replies_keep_their_own_correlation_tokens() {
+    let svc = Service::start(coalescing_single_worker());
+    let (tx, rx) = mpsc::channel();
+    let route: Arc<dyn ReplyRoute> = Arc::new(Recorder { tx: Mutex::new(tx) });
+    let n = 4u64;
+    let requests: Vec<(u64, Request)> = (0..n).map(|t| (700 + t, identical_request())).collect();
+    svc.submit_batch_routed(requests, &route).expect("admitted");
+
+    // every token answers exactly once; every reply body is identical;
+    // fanned replies are delivered under the leader's request id, so the
+    // wire bodies (which carry the service id) are byte-identical too
+    let mut seen = Vec::new();
+    let mut request_ids = Vec::new();
+    let mut replies: Vec<Reply> = Vec::new();
+    for _ in 0..n {
+        let (token, request_id, reply) = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("fanned reply");
+        seen.push(token);
+        request_ids.push(request_id);
+        replies.push(reply);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (700..700 + n).collect::<Vec<_>>());
+    assert!(
+        request_ids.iter().all(|&id| id == request_ids[0]),
+        "fanout must reuse the leader's request id: {request_ids:?}"
+    );
+    for r in &replies {
+        match (r, &replies[0]) {
+            (Reply::Completed(a), Reply::Completed(b)) => assert_eq!(a.outcome, b.outcome),
+            other => panic!("non-completion in fanout: {other:?}"),
+        }
+    }
+    let snap = svc.shutdown();
+    assert_eq!(snap.coalesced_executions_saved, n - 1);
+}
+
+#[test]
+fn trap_outcomes_fan_out_identically() {
+    let svc = Service::start(coalescing_single_worker());
+    let trapper = Arc::new(program_of(&[Inst::Lit(1), Inst::Lit(0), Inst::Div]));
+    let make = || Request::new(Arc::clone(&trapper), EngineRegime::Dyncache).fuel(1_000);
+    let tickets = svc
+        .submit_batch((0..4).map(|_| make()).collect())
+        .expect("admitted");
+    let mut outcomes = Vec::new();
+    for t in tickets {
+        match t.wait() {
+            Reply::Completed(c) => outcomes.push(c.outcome),
+            Reply::Rejected(r) => panic!("a trap is an outcome, not a rejection: {r:?}"),
+        }
+    }
+    assert!(outcomes[0].trap.is_some(), "division by zero must trap");
+    for o in &outcomes[1..] {
+        assert_eq!(o, &outcomes[0], "fanned-out trap diverged");
+    }
+    let snap = svc.shutdown();
+    assert_eq!(snap.completed(), 1);
+    assert_eq!(snap.coalesced_executions_saved, 3);
+}
+
+#[test]
+fn deadline_rejections_fan_out_identically() {
+    let svc = Service::start(coalescing_single_worker());
+    // the blocker spins far past the batch's deadline, so the coalesced
+    // job deterministically expires while still queued
+    let block = svc.submit(blocker()).expect("blocker admitted");
+    let make = || identical_request().deadline(Duration::from_millis(5));
+    let tickets = svc
+        .submit_batch((0..3).map(|_| make()).collect())
+        .expect("admitted");
+    for t in tickets {
+        assert!(matches!(
+            t.wait(),
+            Reply::Rejected(Rejection::DeadlineExpired)
+        ));
+    }
+    assert!(matches!(
+        block.wait(),
+        Reply::Rejected(Rejection::FuelExhausted)
+    ));
+    let snap = svc.shutdown();
+    assert_eq!(snap.coalesced_joins, 2);
+    assert_eq!(snap.coalesced_executions_saved, 2);
+    assert_eq!(snap.completed(), 0, "nothing executed");
+    let expired: u64 = snap.regimes.iter().map(|r| r.deadline_expired).sum();
+    assert_eq!(expired, 1, "only the leader is counted as expired");
+}
+
+#[test]
+fn coalescing_off_by_default_runs_every_submission() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        cache_shards: 2,
+        ..ServiceConfig::default()
+    });
+    let tickets = svc
+        .submit_batch((0..3).map(|_| identical_request()).collect())
+        .expect("admitted");
+    for t in tickets {
+        assert!(matches!(t.wait(), Reply::Completed(_)));
+    }
+    let snap = svc.shutdown();
+    assert_eq!(snap.coalesced_joins, 0);
+    assert_eq!(snap.coalesced_executions_saved, 0);
+    assert_eq!(snap.completed(), 3);
+}
