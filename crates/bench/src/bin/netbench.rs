@@ -1,7 +1,7 @@
 //! Load-test the network front end over loopback and print its
 //! per-mode throughput/latency table.
 //!
-//! Usage: `netbench [--quick] [--trace] [--cluster]`
+//! Usage: `netbench [--quick] [--trace] [--cluster] [--trace-cluster]`
 //!
 //! With `--cluster`, runs the cluster tier instead: two (or more)
 //! in-process `NetServer` nodes behind a consistent-hash `NetProxy`
@@ -10,6 +10,15 @@
 //! thousand-connection flood — gating on zero divergences, byte-
 //! identical fanned replies, saved executions, and the flood staying
 //! under budget.
+//!
+//! With `--trace-cluster`, runs the distributed-tracing audit instead:
+//! two traced nodes behind the router with the tail-sampling threshold
+//! at zero, so every routed and coalesced request must land in the
+//! slow-trace store as one rooted tree (proxy root, forward hop, node
+//! stage spans — zero orphans), plus a tail phase proving healthy
+//! requests are *not* captured while traps are. The sampled trees and
+//! both scrape pages are fetched in-protocol, and the pages must pass
+//! lint.
 //!
 //! Starts a [`stackcache_net::NetServer`] on a loopback port, drives it
 //! from several concurrent client connections in three submission modes
@@ -27,11 +36,15 @@ use std::process::ExitCode;
 
 use stackcache_bench::clusterload::{run_clusterload, ClusterLoadConfig};
 use stackcache_bench::netload::{run_netload, Mode, NetLoadConfig};
+use stackcache_bench::traceload::{run_traceload, TraceLoadConfig};
 use stackcache_obs::prometheus_lint;
 
 fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
+    if std::env::args().any(|a| a == "--trace-cluster") {
+        return run_trace_cluster(quick);
+    }
     if std::env::args().any(|a| a == "--cluster") {
         return run_cluster(quick);
     }
@@ -280,6 +293,118 @@ fn run_cluster(quick: bool) -> ExitCode {
     }
     if let Err(e) = prometheus_lint(&report.prometheus()) {
         failures.push(format!("cluster prometheus page fails lint: {e}"));
+    }
+
+    let mut code = ExitCode::SUCCESS;
+    let divergences = report.divergences();
+    if divergences.is_empty() {
+        println!("no divergences");
+    } else {
+        eprintln!("{} DIVERGENCES:", divergences.len());
+        for d in divergences.iter().take(20) {
+            eprintln!("  {d}");
+        }
+        code = ExitCode::FAILURE;
+    }
+    if !failures.is_empty() {
+        eprintln!("{} SELF-CHECK FAILURES:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        code = ExitCode::FAILURE;
+    }
+    code
+}
+
+/// The traced-cluster run: every tail-sampling trigger fired, every
+/// sampled tree audited span by span, every scrape page linted.
+fn run_trace_cluster(quick: bool) -> ExitCode {
+    let mut cfg = TraceLoadConfig::default();
+    if quick {
+        cfg.requests_per_conn = 60;
+        cfg.programs = 3;
+        cfg.tail_ok_probes = 8;
+        cfg.tail_trap_probes = 4;
+    }
+    println!(
+        "netbench --trace-cluster: {} nodes x {} workers, {} connections, window {}, \
+         {} routed requests across {} regimes, {}-wide identical burst, \
+         {}+{} tail probes",
+        cfg.nodes,
+        cfg.workers_per_node,
+        cfg.connections,
+        cfg.window,
+        cfg.connections * cfg.requests_per_conn,
+        stackcache_core::EngineRegime::ALL.len(),
+        cfg.connections * cfg.coalesce_burst,
+        cfg.tail_ok_probes,
+        cfg.tail_trap_probes,
+    );
+    let report = run_traceload(&cfg);
+
+    println!("{}", report.table());
+    println!(
+        "tracing: {} sampled trees ({} audited clean), {} with coalesced fanout, \
+         {} assembly failures, {} traced submits at the nodes",
+        report.trees,
+        report.trees - report.tree_errors.len(),
+        report.coalesced_trees,
+        report.assembly_failures,
+        report.node_traced_submits,
+    );
+    println!(
+        "tail: {} sampled of {} trapping probes (healthy probes left no trace)",
+        report.tail_sampled, report.tail_expected,
+    );
+
+    // self-checks: the claims the tracing tier makes must hold
+    let sampled_target = (cfg.connections * (cfg.requests_per_conn + cfg.coalesce_burst)) as u64;
+    let mut failures = Vec::new();
+    if report.proxy.sampled_traces != sampled_target {
+        failures.push(format!(
+            "threshold zero sampled {} of {sampled_target} requests",
+            report.proxy.sampled_traces
+        ));
+    }
+    if report.trees as u64 != report.proxy.sampled_traces {
+        failures.push(format!(
+            "store holds {} trees but {} were sampled — the store lost traces",
+            report.trees, report.proxy.sampled_traces
+        ));
+    }
+    if report.assembly_failures > 0 {
+        failures.push(format!(
+            "{} sampled traces failed to assemble into a rooted tree",
+            report.assembly_failures
+        ));
+    }
+    for e in report.tree_errors.iter().take(10) {
+        failures.push(format!("malformed tree: {e}"));
+    }
+    if report.coalesced_trees == 0 {
+        failures.push("no sampled tree records a coalesced fanout".to_string());
+    }
+    if report.node_traced_submits < report.proxy.sampled_traces {
+        failures.push(format!(
+            "nodes saw only {} traced submits for {} sampled traces — \
+             the proxy is not propagating context upstream",
+            report.node_traced_submits, report.proxy.sampled_traces
+        ));
+    }
+    if report.tail_sampled != report.tail_expected as u64 {
+        failures.push(format!(
+            "tail phase sampled {} traces, expected exactly the {} traps",
+            report.tail_sampled, report.tail_expected
+        ));
+    }
+    if let Err(e) = prometheus_lint(&report.proxy_page) {
+        failures.push(format!("proxy scrape page fails lint: {e}"));
+    }
+    if let Err(e) = prometheus_lint(&report.node_page) {
+        failures.push(format!("node scrape page fails lint: {e}"));
+    }
+    if !report.trace_json.starts_with('[') || !report.trace_json.contains("\"root\"") {
+        failures.push("in-protocol trace dump is not a tree array".to_string());
     }
 
     let mut code = ExitCode::SUCCESS;

@@ -29,6 +29,7 @@ pub mod speedup;
 pub mod svcload;
 pub mod table;
 pub mod timing;
+pub mod traceload;
 pub mod twostacks;
 pub mod verified;
 

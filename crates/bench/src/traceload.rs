@@ -1,0 +1,558 @@
+//! Load generator for cluster-wide distributed tracing: two traced
+//! [`NetServer`] nodes behind a [`NetProxy`] over real loopback TCP,
+//! driven so that every tail-sampling trigger fires, then audited span
+//! by span.
+//!
+//! 1. **Routed** — concurrent plain-v1 clients pipeline generated
+//!    programs across every engine regime through the router. The
+//!    proxy originates a trace at ingress for each; with the slow
+//!    threshold at zero every request is tail-sampled, so the store
+//!    must hold one *rooted* tree per request: a proxy `root` span,
+//!    one `forward` hop whose attribute names the ring node, and that
+//!    node's queue/cache/admit/exec stage spans — zero orphans.
+//! 2. **Coalesce** — every connection floods one identical slow
+//!    program; the fanned trees must carry `exec` spans whose
+//!    attribute records the coalesced fanout.
+//! 3. **Tail** — a second cluster with an unreachable slow threshold
+//!    proves the *tail* in tail-sampling: healthy quick requests leave
+//!    no trace behind, trapping requests are all captured.
+//!
+//! Like [`crate::clusterload`], the generator is an oracle: any reply
+//! that disagrees with the reference interpreter is a divergence and
+//! fails the run.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stackcache_core::EngineRegime;
+use stackcache_harness::{gen, Outcome, MEMORY_BYTES};
+use stackcache_net::{
+    Client, NetConfig, NetProxy, NetServer, ProxyConfig, ProxySnapshot, ReplyStatus, WireRequest,
+    METRICS_FORMAT_PROMETHEUS,
+};
+use stackcache_obs::{SpanKind, TraceTree};
+use stackcache_svc::{Service, ServiceConfig};
+use stackcache_vm::{exec, program_of, Inst, Machine, Program, Rng};
+
+use crate::table::{f2, Table};
+
+/// Trace load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct TraceLoadConfig {
+    /// `NetServer` nodes behind the router.
+    pub nodes: usize,
+    /// Worker threads in each node's service.
+    pub workers_per_node: usize,
+    /// Each node's service queue capacity.
+    pub queue_capacity: usize,
+    /// Concurrent client connections in the routed phase.
+    pub connections: usize,
+    /// Pipelining window each connection requests.
+    pub window: u32,
+    /// Requests per connection in the routed phase.
+    pub requests_per_conn: usize,
+    /// Distinct generated programs.
+    pub programs: usize,
+    /// Identical in-flight submissions per connection in the coalesce
+    /// phase.
+    pub coalesce_burst: usize,
+    /// Healthy quick requests in the tail phase (must NOT be sampled).
+    pub tail_ok_probes: usize,
+    /// Trapping requests in the tail phase (must ALL be sampled).
+    pub tail_trap_probes: usize,
+    /// Seed for the program generators.
+    pub seed: u64,
+    /// Fuel per request.
+    pub fuel: u64,
+}
+
+impl Default for TraceLoadConfig {
+    fn default() -> Self {
+        TraceLoadConfig {
+            nodes: 2,
+            workers_per_node: 2,
+            queue_capacity: 512,
+            connections: 4,
+            window: 16,
+            // 4 x 240 = 960 verified, tail-sampled requests
+            requests_per_conn: 240,
+            programs: 6,
+            coalesce_burst: 8,
+            tail_ok_probes: 32,
+            tail_trap_probes: 8,
+            seed: 0x7ACE_5EED,
+            fuel: 1_000_000,
+        }
+    }
+}
+
+/// One generated program with the reference interpreter's verdict.
+struct Case {
+    name: String,
+    request: WireRequest,
+    expected: Outcome,
+}
+
+/// What one phase measured.
+#[derive(Debug)]
+pub struct TracePhase {
+    /// Display name.
+    pub name: &'static str,
+    /// Requests submitted and answered.
+    pub requests: usize,
+    /// Wall-clock duration across all connections.
+    pub elapsed: Duration,
+    /// Replies that disagreed with the reference interpreter.
+    pub divergences: Vec<String>,
+}
+
+impl TracePhase {
+    /// Requests per second over the phase.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn throughput(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Everything a trace-cluster run measured and audited.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// The phases in run order.
+    pub phases: Vec<TracePhase>,
+    /// Tail-sampled trees pulled from the main proxy's store.
+    pub trees: usize,
+    /// Structural violations found auditing those trees.
+    pub tree_errors: Vec<String>,
+    /// Trees whose `exec` span records a coalesced fanout.
+    pub coalesced_trees: usize,
+    /// The main router's final counters.
+    pub proxy: ProxySnapshot,
+    /// Traced submissions the nodes' front ends accepted, summed.
+    pub node_traced_submits: u64,
+    /// Requests the tail-phase proxy sampled (must equal the trap
+    /// probes — healthy quick requests must not appear).
+    pub tail_sampled: u64,
+    /// Trap probes the tail phase drove.
+    pub tail_expected: usize,
+    /// Assembly failures across both proxies (must be zero).
+    pub assembly_failures: u64,
+    /// The proxy's scrape page, fetched in-protocol over `MetricsFetch`.
+    pub proxy_page: String,
+    /// One node's scrape page, fetched in-protocol.
+    pub node_page: String,
+    /// The sampled trees as JSON, fetched in-protocol over `TraceFetch`.
+    pub trace_json: String,
+}
+
+impl TraceReport {
+    /// All divergences across phases.
+    #[must_use]
+    pub fn divergences(&self) -> Vec<&String> {
+        self.phases.iter().flat_map(|p| &p.divergences).collect()
+    }
+
+    /// True when every reply verified and every sampled trace
+    /// assembled into a well-formed rooted tree.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.divergences().is_empty()
+            && self.tree_errors.is_empty()
+            && self.assembly_failures == 0
+            && self.tail_sampled == self.tail_expected as u64
+    }
+
+    /// The per-phase table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&["phase", "requests", "req/s", "divergences"]);
+        for p in &self.phases {
+            t.row(&[
+                p.name.to_string(),
+                p.requests.to_string(),
+                f2(p.throughput()),
+                p.divergences.len().to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+fn reference_outcome(program: &Program, fuel: u64) -> Outcome {
+    let mut m = Machine::with_memory(MEMORY_BYTES);
+    let result = exec::run(program, &mut m, fuel).map(|o| o.executed);
+    Outcome::capture(&m, result)
+}
+
+fn build_cases(cfg: &TraceLoadConfig) -> Vec<Case> {
+    (0..cfg.programs)
+        .map(|i| {
+            let mut rng = Rng::new((cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1);
+            let program = gen::structured_program(&mut rng);
+            let expected = reference_outcome(&program, cfg.fuel);
+            Case {
+                name: format!("structured#{i}"),
+                request: WireRequest::new(Arc::new(program), EngineRegime::Reference)
+                    .fuel(cfg.fuel),
+                expected,
+            }
+        })
+        .collect()
+}
+
+/// A countdown loop slow enough that an identical burst is still in
+/// flight together when the coalescer sees it.
+fn slow_program(iters: i64) -> Arc<Program> {
+    Arc::new(program_of(&[
+        Inst::Lit(iters),
+        Inst::Lit(1),
+        Inst::Sub,
+        Inst::Dup,
+        Inst::BranchIfZero(6),
+        Inst::Branch(1),
+        Inst::Drop,
+        Inst::Halt,
+    ]))
+}
+
+fn start_node(cfg: &TraceLoadConfig, label: &str, coalescing: bool) -> NetServer {
+    let mut svc = ServiceConfig {
+        workers: cfg.workers_per_node,
+        queue_capacity: cfg.queue_capacity,
+        node: label.to_string(),
+        ..ServiceConfig::default()
+    };
+    if coalescing {
+        svc = svc.coalescing();
+    }
+    NetServer::start(
+        Service::start(svc),
+        NetConfig {
+            node: label.to_string(),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind node")
+}
+
+/// Audit one tail-sampled tree: proxy root, one forward hop whose
+/// attribute names a real ring node, and that node's stage spans
+/// parented under the hop — the "zero orphans" contract made concrete.
+fn check_tree(tree: &TraceTree, nodes: usize) -> Result<(), String> {
+    let root = &tree.root;
+    if root.span.kind != SpanKind::Root || root.span.parent_span_id != 0 {
+        return Err(format!("root span is {:?}", root.span.kind));
+    }
+    if root.span.node_str() != "proxy" {
+        return Err(format!(
+            "root stamped by {:?}, not the proxy",
+            root.span.node_str()
+        ));
+    }
+    if root.children.len() != 1 {
+        return Err(format!(
+            "{} forward hops under the root",
+            root.children.len()
+        ));
+    }
+    let fwd = &root.children[0];
+    if fwd.span.kind != SpanKind::Forward {
+        return Err(format!("hop span is {:?}", fwd.span.kind));
+    }
+    let node_idx = fwd.span.attr as usize;
+    if node_idx >= nodes {
+        return Err(format!("forward names node {node_idx} of {nodes}"));
+    }
+    if fwd.children.is_empty() {
+        return Err("forward hop has no node spans — the node's spans orphaned".to_string());
+    }
+    let label = format!("node{node_idx}");
+    for child in &fwd.children {
+        if child.span.node_str() != label {
+            return Err(format!(
+                "span {:?} stamped by {:?} hangs under the {label} hop",
+                child.span.kind,
+                child.span.node_str()
+            ));
+        }
+    }
+    for want in [SpanKind::Queue, SpanKind::Exec] {
+        if !fwd.children.iter().any(|c| c.span.kind == want) {
+            return Err(format!("{want:?} stage span missing under the hop"));
+        }
+    }
+    let counted = 2 + fwd
+        .children
+        .iter()
+        .map(|c| 1 + c.children.len())
+        .sum::<usize>();
+    if tree.span_count != counted {
+        return Err(format!(
+            "span_count {} but {} spans reachable from the root",
+            tree.span_count, counted
+        ));
+    }
+    Ok(())
+}
+
+/// The routed phase: plain-v1 clients pipeline the case × regime space
+/// through the router, verifying each reply; the proxy originates and
+/// samples every trace.
+fn run_routed(
+    proxy_addr: std::net::SocketAddr,
+    cfg: &TraceLoadConfig,
+    cases: &Arc<Vec<Case>>,
+) -> TracePhase {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..cfg.connections)
+        .map(|conn| {
+            let cases = Arc::clone(cases);
+            let cfg = cfg.clone();
+            thread::spawn(move || {
+                let client = Client::connect(proxy_addr, cfg.window).expect("connect");
+                let mut divergences = Vec::new();
+                let mut inflight = std::collections::VecDeque::new();
+                let drain =
+                    |(case_idx, regime, p): (usize, EngineRegime, stackcache_net::PendingReply),
+                     divergences: &mut Vec<String>| {
+                        let reply = p.wait().expect("reply");
+                        let case: &Case = &cases[case_idx];
+                        if let Some(diff) = reply.differs_from(&case.expected) {
+                            divergences.push(format!(
+                                "routed {} on {}: {diff}",
+                                case.name,
+                                regime.name()
+                            ));
+                        }
+                    };
+                for i in 0..cfg.requests_per_conn {
+                    let n = conn * cfg.requests_per_conn + i;
+                    let case_idx = n % cases.len();
+                    let mut request = cases[case_idx].request.clone();
+                    request.regime = EngineRegime::ALL[(n / cases.len()) % EngineRegime::ALL.len()];
+                    let pending = client.submit(&request).expect("submit");
+                    inflight.push_back((case_idx, request.regime, pending));
+                    if inflight.len() >= cfg.window as usize {
+                        let item = inflight.pop_front().expect("nonempty");
+                        drain(item, &mut divergences);
+                    }
+                }
+                for item in inflight {
+                    drain(item, &mut divergences);
+                }
+                client.goodbye().expect("drain");
+                divergences
+            })
+        })
+        .collect();
+    let divergences = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("connection thread"))
+        .collect();
+    TracePhase {
+        name: "routed",
+        requests: cfg.connections * cfg.requests_per_conn,
+        elapsed: start.elapsed(),
+        divergences,
+    }
+}
+
+/// The coalesce phase: every connection floods one identical slow
+/// program; sampled trees must record the fanout on their exec spans.
+fn run_coalesce(proxy_addr: std::net::SocketAddr, cfg: &TraceLoadConfig) -> TracePhase {
+    let program = slow_program(150_000);
+    let request = WireRequest::new(Arc::clone(&program), EngineRegime::Reference).fuel(cfg.fuel);
+    let expected = reference_outcome(&program, cfg.fuel);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..cfg.connections)
+        .map(|_| {
+            let request = request.clone();
+            let expected = expected.clone();
+            let burst = cfg.coalesce_burst;
+            let window = cfg.window;
+            thread::spawn(move || {
+                let client = Client::connect(proxy_addr, window).expect("connect");
+                let pending: Vec<_> = (0..burst)
+                    .map(|_| client.submit(&request).expect("submit"))
+                    .collect();
+                let mut divergences = Vec::new();
+                for p in pending {
+                    let reply = p.wait().expect("reply");
+                    if let Some(diff) = reply.differs_from(&expected) {
+                        divergences.push(format!("coalesce burst: {diff}"));
+                    }
+                }
+                divergences
+            })
+        })
+        .collect();
+    let divergences = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("burst thread"))
+        .collect();
+    TracePhase {
+        name: "coalesce",
+        requests: cfg.connections * cfg.coalesce_burst,
+        elapsed: start.elapsed(),
+        divergences,
+    }
+}
+
+/// The tail phase: its own node + proxy with an unreachable slow
+/// threshold. Healthy quick requests must leave nothing in the store;
+/// trapping requests must all be captured. Returns the phase and the
+/// tail proxy's (sampled, `assembly_failures`) counters.
+fn run_tail(cfg: &TraceLoadConfig) -> (TracePhase, u64, u64) {
+    let node = start_node(cfg, "node0", false);
+    let proxy = NetProxy::start(ProxyConfig {
+        nodes: vec![node.addr().to_string()],
+        node: "proxy".to_string(),
+        slow_threshold: Duration::from_secs(3600),
+        trace_store_capacity: cfg.tail_trap_probes + cfg.tail_ok_probes,
+        ..ProxyConfig::default()
+    })
+    .expect("start tail proxy");
+
+    let start = Instant::now();
+    let client = Client::connect(proxy.addr(), cfg.window).expect("connect");
+    let mut divergences = Vec::new();
+    let quick = Arc::new(program_of(&[
+        Inst::Lit(6),
+        Inst::Dup,
+        Inst::Mul,
+        Inst::Dot,
+        Inst::Halt,
+    ]));
+    for _ in 0..cfg.tail_ok_probes {
+        let reply = client
+            .call(&WireRequest::new(Arc::clone(&quick), EngineRegime::Tos).fuel(cfg.fuel))
+            .expect("reply");
+        if reply.status != ReplyStatus::Ok {
+            divergences.push(format!("tail ok probe answered {:?}", reply.status));
+        }
+    }
+    // a fetch far past the memory image passes static analysis but
+    // traps at runtime inside a worker — the unhappy-status sampling
+    // trigger, with real stage spans behind it
+    let trap = Arc::new(program_of(&[Inst::Lit(1 << 40), Inst::Fetch, Inst::Halt]));
+    for _ in 0..cfg.tail_trap_probes {
+        let reply = client
+            .call(&WireRequest::new(Arc::clone(&trap), EngineRegime::Tos).fuel(cfg.fuel))
+            .expect("reply");
+        if reply.status != ReplyStatus::Trap {
+            divergences.push(format!("tail trap probe answered {:?}", reply.status));
+        }
+    }
+    client.goodbye().expect("drain");
+
+    let sampled_trees = proxy.sampled_traces();
+    for tree in &sampled_trees {
+        if let Err(e) = check_tree(tree, 1) {
+            divergences.push(format!("tail tree: {e}"));
+        }
+    }
+    let snap = proxy.shutdown();
+    let _ = node.shutdown();
+    (
+        TracePhase {
+            name: "tail",
+            requests: cfg.tail_ok_probes + cfg.tail_trap_probes,
+            elapsed: start.elapsed(),
+            divergences,
+        },
+        snap.sampled_traces,
+        snap.assembly_failures,
+    )
+}
+
+/// Run the whole traced cluster load: nodes + router up, the routed and
+/// coalesce phases against a sample-everything proxy, the in-protocol
+/// fetches, a full audit of every sampled tree, then the tail phase on
+/// its own cluster.
+#[must_use]
+pub fn run_traceload(cfg: &TraceLoadConfig) -> TraceReport {
+    assert!(cfg.nodes >= 2, "a traced cluster needs at least two nodes");
+    let mut nodes = Vec::with_capacity(cfg.nodes);
+    let mut addrs = Vec::with_capacity(cfg.nodes);
+    for i in 0..cfg.nodes {
+        let node = start_node(cfg, &format!("node{i}"), true);
+        addrs.push(node.addr().to_string());
+        nodes.push(node);
+    }
+    let sampled_capacity =
+        cfg.connections * (cfg.requests_per_conn + cfg.coalesce_burst) + cfg.window as usize;
+    let proxy = NetProxy::start(ProxyConfig {
+        nodes: addrs,
+        node: "proxy".to_string(),
+        max_window: cfg.window.max(64),
+        upstream_window: 256,
+        // threshold zero: every request is "slow", every trace sampled
+        slow_threshold: Duration::ZERO,
+        trace_store_capacity: sampled_capacity,
+        ..ProxyConfig::default()
+    })
+    .expect("start proxy");
+
+    let cases = Arc::new(build_cases(cfg));
+    let routed = run_routed(proxy.addr(), cfg, &cases);
+    let coalesce = run_coalesce(proxy.addr(), cfg);
+
+    // the in-protocol fetches, before teardown
+    let fetcher = Client::connect_traced(proxy.addr(), 4).expect("connect traced");
+    let trace_json = fetcher.fetch_trace().expect("trace fetch");
+    let proxy_page = fetcher
+        .fetch_metrics(METRICS_FORMAT_PROMETHEUS)
+        .expect("proxy metrics fetch");
+    fetcher.goodbye().expect("drain");
+    let node_fetcher = Client::connect_traced(nodes[0].addr(), 4).expect("connect node");
+    let node_page = node_fetcher
+        .fetch_metrics(METRICS_FORMAT_PROMETHEUS)
+        .expect("node metrics fetch");
+    node_fetcher.goodbye().expect("drain");
+
+    // audit every sampled tree
+    let trees = proxy.sampled_traces();
+    let mut tree_errors = Vec::new();
+    let mut coalesced_trees = 0usize;
+    for tree in &trees {
+        if let Err(e) = check_tree(tree, cfg.nodes) {
+            tree_errors.push(e);
+        }
+        let fwd = tree.root.children.first();
+        if fwd.is_some_and(|f| {
+            f.children
+                .iter()
+                .any(|c| c.span.kind == SpanKind::Exec && c.span.attr > 0)
+        }) {
+            coalesced_trees += 1;
+        }
+    }
+
+    let proxy_snap = proxy.shutdown();
+    let node_traced_submits = nodes
+        .iter()
+        .map(|n| n.metrics().traced_submits)
+        .sum::<u64>();
+    for node in nodes {
+        let _ = node.shutdown();
+    }
+
+    let (tail, tail_sampled, tail_failures) = run_tail(cfg);
+    let assembly_failures = proxy_snap.assembly_failures + tail_failures;
+
+    TraceReport {
+        phases: vec![routed, coalesce, tail],
+        trees: trees.len(),
+        tree_errors,
+        coalesced_trees,
+        proxy: proxy_snap,
+        node_traced_submits,
+        tail_sampled,
+        tail_expected: cfg.tail_trap_probes,
+        assembly_failures,
+        proxy_page,
+        node_page,
+        trace_json,
+    }
+}

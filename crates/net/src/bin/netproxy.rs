@@ -2,13 +2,20 @@
 //! running `netserve` nodes.
 //!
 //! Usage: `netproxy --node HOST:PORT [--node HOST:PORT ...]
-//! [--bind ADDR] [--max-window N] [--upstream-window N] [--vnodes N]`
+//! [--bind ADDR] [--max-window N] [--upstream-window N] [--vnodes N]
+//! [--label NAME] [--slow-ms N] [--trace-capacity N]`
+//!
+//! `--label` names the router on the spans it stamps; `--slow-ms` sets
+//! the tail-sampling threshold (a request slower than this is captured
+//! into the slow-trace store, alongside every trap and coalesced
+//! fanout); `--trace-capacity` bounds that store.
 //!
 //! Connects to every `--node`, prints the bound address (`routing on
 //! HOST:PORT`) on stdout, then reads control lines from stdin:
 //! `metrics` prints the Prometheus page (per-node `proxy_forwarded_total`
-//! carries a `node` label), `json` the JSON document, `stop` drains and
-//! exits. EOF on stdin leaves the router running until killed.
+//! carries a `node` label), `json` the JSON document, `trace` the
+//! tail-sampled trace trees as JSON, `stop` drains and exits. EOF on
+//! stdin leaves the router running until killed.
 
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -60,6 +67,15 @@ fn main() -> ExitCode {
     if let Some(v) = arg_value("--vnodes").and_then(|v| v.parse().ok()) {
         config.vnodes = v;
     }
+    if let Some(v) = arg_value("--label") {
+        config.node = v;
+    }
+    if let Some(v) = arg_value("--slow-ms").and_then(|v| v.parse().ok()) {
+        config.slow_threshold = std::time::Duration::from_millis(v);
+    }
+    if let Some(v) = arg_value("--trace-capacity").and_then(|v| v.parse().ok()) {
+        config.trace_store_capacity = v;
+    }
 
     let proxy = match NetProxy::start(config) {
         Ok(proxy) => proxy,
@@ -75,6 +91,7 @@ fn main() -> ExitCode {
         match line.trim() {
             "metrics" => print!("{}", proxy.prometheus()),
             "json" => println!("{}", proxy.json()),
+            "trace" => println!("{}", proxy.trace_json()),
             "stop" => {
                 let snap = proxy.shutdown();
                 println!(
@@ -87,7 +104,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "" => {}
-            other => eprintln!("netproxy: unknown command {other:?} (metrics|json|stop)"),
+            other => eprintln!("netproxy: unknown command {other:?} (metrics|json|trace|stop)"),
         }
     }
     loop {

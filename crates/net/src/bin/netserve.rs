@@ -2,13 +2,17 @@
 //! worker-pool service, driven until told to stop.
 //!
 //! Usage: `netserve [--bind ADDR] [--workers N] [--queue N]
-//! [--max-window N] [--coalesce]`
+//! [--max-window N] [--coalesce] [--label NAME]`
+//!
+//! `--label` names the node on every span it stamps (give each node in
+//! a cluster a distinct label so assembled traces read well).
 //!
 //! Prints the bound address (`listening on HOST:PORT`) on stdout, then
 //! reads control lines from stdin: `metrics` prints the Prometheus
-//! page, `json` the JSON document, `stop` drains and exits. EOF on
-//! stdin leaves the node serving until the process is killed — so
-//! `netserve ... < /dev/null &` runs a fire-and-forget node.
+//! page, `json` the JSON document, `trace` the span rings as JSON,
+//! `stop` drains and exits. EOF on stdin leaves the node serving until
+//! the process is killed — so `netserve ... < /dev/null &` runs a
+//! fire-and-forget node.
 
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -38,10 +42,12 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
     let coalesce = std::env::args().any(|a| a == "--coalesce");
+    let label = arg_value("--label").unwrap_or_else(|| "node".to_string());
 
     let mut svc = ServiceConfig {
         workers,
         queue_capacity: queue,
+        node: label.clone(),
         ..ServiceConfig::default()
     };
     if coalesce {
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
         NetConfig {
             bind,
             max_window,
+            node: label,
             ..NetConfig::default()
         },
     ) {
@@ -68,6 +75,7 @@ fn main() -> ExitCode {
         match line.trim() {
             "metrics" => print!("{}", server.prometheus()),
             "json" => println!("{}", server.json()),
+            "trace" => println!("{}", server.trace_json()),
             "stop" => {
                 let (svc_snap, net_snap) = server.shutdown();
                 println!(
@@ -77,7 +85,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "" => {}
-            other => eprintln!("netserve: unknown command {other:?} (metrics|json|stop)"),
+            other => eprintln!("netserve: unknown command {other:?} (metrics|json|trace|stop)"),
         }
     }
     // stdin closed without `stop`: keep serving until killed

@@ -12,9 +12,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 
+use stackcache_obs::SpanRecord;
+
 use crate::wire::{
     read_frame, Frame, ReadError, WireError, WireReply, WireRequest, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    FEATURE_TRACE, PROTOCOL_VERSION,
 };
 
 /// Why a client call failed.
@@ -60,10 +62,29 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// The span summary riding a `ReplyTraced` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedReply {
+    /// Time the request waited in the node's queue, in nanoseconds.
+    pub queue_wait_nanos: u64,
+    /// The node's spans for this request, re-stamped into the caller's
+    /// trace by the answering server.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// What the reader thread hands a submit waiter.
+struct Answer {
+    reply: WireReply,
+    trace: Option<TracedReply>,
+}
+
 /// Reply-routing state shared with the reader thread.
 struct Router {
     /// Correlation id → the waiter's channel.
-    pending: Mutex<HashMap<u64, mpsc::Sender<WireReply>>>,
+    pending: Mutex<HashMap<u64, mpsc::Sender<Answer>>>,
+    /// `TraceFetch`/`MetricsFetch` correlation id → the waiter's
+    /// channel (the payload is the page/document text).
+    fetches: Mutex<HashMap<u64, mpsc::Sender<String>>>,
     /// Ping correlation id → the waiter's channel.
     pongs: Mutex<HashMap<u64, mpsc::Sender<()>>>,
     /// The goodbye waiter, if a drain is in progress.
@@ -82,6 +103,7 @@ impl Router {
     fn hang_up(&self) {
         self.closed.store(true, Ordering::Release);
         self.pending.lock().expect("pending lock").clear();
+        self.fetches.lock().expect("fetches lock").clear();
         self.pongs.lock().expect("pongs lock").clear();
         *self.goodbye.lock().expect("goodbye lock") = None;
         // waiters blocked on the window must also wake and observe
@@ -95,7 +117,7 @@ impl Router {
 #[derive(Debug)]
 pub struct PendingReply {
     corr: u64,
-    rx: mpsc::Receiver<WireReply>,
+    rx: mpsc::Receiver<Answer>,
 }
 
 impl PendingReply {
@@ -111,13 +133,29 @@ impl PendingReply {
     ///
     /// [`ClientError::ConnectionLost`] if the connection dies first.
     pub fn wait(self) -> Result<WireReply, ClientError> {
-        self.rx.recv().map_err(|_| ClientError::ConnectionLost)
+        self.rx
+            .recv()
+            .map(|a| a.reply)
+            .map_err(|_| ClientError::ConnectionLost)
+    }
+
+    /// Block until the reply arrives, keeping the span summary when the
+    /// server answered with `ReplyTraced` (`None` on a plain `Reply`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ConnectionLost`] if the connection dies first.
+    pub fn wait_traced(self) -> Result<(WireReply, Option<TracedReply>), ClientError> {
+        self.rx
+            .recv()
+            .map(|a| (a.reply, a.trace))
+            .map_err(|_| ClientError::ConnectionLost)
     }
 
     /// The reply, if it has already arrived.
     #[must_use]
     pub fn try_wait(&self) -> Option<WireReply> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv().ok().map(|a| a.reply)
     }
 }
 
@@ -133,11 +171,14 @@ pub struct Client {
     next_corr: AtomicU64,
     window: u32,
     max_frame: u32,
+    features: u32,
 }
 
 impl Client {
     /// Connect and complete the `Hello`/`HelloOk` handshake, requesting
-    /// a pipelining window of `want_window`.
+    /// a pipelining window of `want_window`. The handshake is the
+    /// legacy v1 exchange, byte-for-byte: no features are negotiated
+    /// (use [`Client::connect_traced`] for that).
     ///
     /// # Errors
     ///
@@ -146,18 +187,51 @@ impl Client {
     /// `HelloOk` (a `ProtoError` surfaces as
     /// [`ClientError::Protocol`]).
     pub fn connect<A: ToSocketAddrs>(addr: A, want_window: u32) -> Result<Client, ClientError> {
+        Client::handshake(
+            addr,
+            Frame::Hello {
+                window: want_window,
+            },
+        )
+    }
+
+    /// Connect with an extended `Hello` requesting [`FEATURE_TRACE`].
+    /// The granted feature bits land in [`Client::features`]; a legacy
+    /// server (answering a plain `HelloOk`) grants none, and the client
+    /// degrades to pure-v1 behaviour.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_traced<A: ToSocketAddrs>(
+        addr: A,
+        want_window: u32,
+    ) -> Result<Client, ClientError> {
+        Client::handshake(
+            addr,
+            Frame::HelloFeatures {
+                window: want_window,
+                features: FEATURE_TRACE,
+            },
+        )
+    }
+
+    fn handshake<A: ToSocketAddrs>(addr: A, hello: Frame) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let mut writer = BufWriter::new(stream.try_clone()?);
-        writer.write_all(
-            &Frame::Hello {
-                window: want_window,
-            }
-            .encode(),
-        )?;
+        writer.write_all(&hello.encode())?;
         writer.flush()?;
         let mut reader = BufReader::new(stream.try_clone()?);
-        let (window, max_frame) = match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
-            Ok(Some((Frame::HelloOk { window, max_frame }, _))) => (window, max_frame),
+        let (window, max_frame, features) = match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
+            Ok(Some((Frame::HelloOk { window, max_frame }, _))) => (window, max_frame, 0),
+            Ok(Some((
+                Frame::HelloOkFeatures {
+                    window,
+                    max_frame,
+                    features,
+                },
+                _,
+            ))) => (window, max_frame, features),
             Ok(Some((Frame::ProtoError { code, message, .. }, _))) => {
                 return Err(ClientError::Protocol { code, message })
             }
@@ -177,6 +251,7 @@ impl Client {
         };
         let router = Arc::new(Router {
             pending: Mutex::new(HashMap::new()),
+            fetches: Mutex::new(HashMap::new()),
             pongs: Mutex::new(HashMap::new()),
             goodbye: Mutex::new(None),
             inflight: Mutex::new(0),
@@ -199,6 +274,7 @@ impl Client {
             next_corr: AtomicU64::new(1),
             window,
             max_frame,
+            features,
         })
     }
 
@@ -206,6 +282,13 @@ impl Client {
     #[must_use]
     pub fn window(&self) -> u32 {
         self.window
+    }
+
+    /// The feature bits the server granted (0 after a legacy
+    /// handshake).
+    #[must_use]
+    pub fn features(&self) -> u32 {
+        self.features
     }
 
     /// The server's frame-body cap.
@@ -280,6 +363,147 @@ impl Client {
             return Err(e);
         }
         Ok(PendingReply { corr, rx })
+    }
+
+    /// Submit one request carrying a trace context: the reply comes
+    /// back as `ReplyTraced` with the node's span summary
+    /// ([`PendingReply::wait_traced`]). Falls back to a plain
+    /// [`Client::submit`] when the server did not grant
+    /// [`FEATURE_TRACE`], so mixed clusters degrade instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn submit_traced(
+        &self,
+        request: &WireRequest,
+        trace_id: u64,
+        parent_span_id: u64,
+    ) -> Result<PendingReply, ClientError> {
+        if self.features & FEATURE_TRACE == 0 {
+            return self.submit(request);
+        }
+        self.claim_window(1)?;
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.router
+            .pending
+            .lock()
+            .expect("pending lock")
+            .insert(corr, tx);
+        if let Err(e) = self.write(&Frame::SubmitTraced {
+            corr,
+            trace_id,
+            parent_span_id,
+            request: request.clone(),
+        }) {
+            self.router
+                .pending
+                .lock()
+                .expect("pending lock")
+                .remove(&corr);
+            self.release_window(1);
+            return Err(e);
+        }
+        Ok(PendingReply { corr, rx })
+    }
+
+    /// Submit several traced requests as one batch frame, each item
+    /// carrying its own `(trace id, parent span id)` context. Falls
+    /// back to a plain [`Client::submit_batch`] when the server did not
+    /// grant [`FEATURE_TRACE`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty.
+    pub fn submit_batch_traced(
+        &self,
+        requests: &[(WireRequest, u64, u64)],
+    ) -> Result<Vec<PendingReply>, ClientError> {
+        assert!(!requests.is_empty(), "an empty batch has no replies");
+        if self.features & FEATURE_TRACE == 0 {
+            let plain: Vec<WireRequest> = requests.iter().map(|(r, _, _)| r.clone()).collect();
+            return self.submit_batch(&plain);
+        }
+        let n = requests.len() as u32;
+        self.claim_window(n)?;
+        let mut items = Vec::with_capacity(requests.len());
+        let mut replies = Vec::with_capacity(requests.len());
+        {
+            let mut pending = self.router.pending.lock().expect("pending lock");
+            for (request, trace_id, parent_span_id) in requests {
+                let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+                let (tx, rx) = mpsc::channel();
+                pending.insert(corr, tx);
+                items.push((corr, *trace_id, *parent_span_id, request.clone()));
+                replies.push(PendingReply { corr, rx });
+            }
+        }
+        let corr = items.first().map_or(0, |(c, _, _, _)| *c);
+        if let Err(e) = self.write(&Frame::BatchSubmitTraced { corr, items }) {
+            let mut pending = self.router.pending.lock().expect("pending lock");
+            for r in &replies {
+                pending.remove(&r.corr);
+            }
+            drop(pending);
+            self.release_window(n);
+            return Err(e);
+        }
+        Ok(replies)
+    }
+
+    /// Fetch the responder's span dump (server) or sampled trace trees
+    /// (proxy) as a JSON document, in-protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Handshake`] when the server granted no
+    /// [`FEATURE_TRACE`]; [`ClientError::ConnectionLost`] / transport
+    /// errors otherwise.
+    pub fn fetch_trace(&self) -> Result<String, ClientError> {
+        self.fetch(|corr| Frame::TraceFetch { corr })
+    }
+
+    /// Fetch the responder's metrics page in-protocol.
+    /// `format` is [`METRICS_FORMAT_PROMETHEUS`] or
+    /// [`METRICS_FORMAT_JSON`].
+    ///
+    /// [`METRICS_FORMAT_PROMETHEUS`]: crate::wire::METRICS_FORMAT_PROMETHEUS
+    /// [`METRICS_FORMAT_JSON`]: crate::wire::METRICS_FORMAT_JSON
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::fetch_trace`].
+    pub fn fetch_metrics(&self, format: u8) -> Result<String, ClientError> {
+        self.fetch(|corr| Frame::MetricsFetch { corr, format })
+    }
+
+    fn fetch(&self, make: impl FnOnce(u64) -> Frame) -> Result<String, ClientError> {
+        if self.features & FEATURE_TRACE == 0 {
+            return Err(ClientError::Handshake(
+                "server granted no trace feature".to_string(),
+            ));
+        }
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.router
+            .fetches
+            .lock()
+            .expect("fetches lock")
+            .insert(corr, tx);
+        if let Err(e) = self.write(&make(corr)) {
+            self.router
+                .fetches
+                .lock()
+                .expect("fetches lock")
+                .remove(&corr);
+            return Err(e);
+        }
+        rx.recv().map_err(|_| ClientError::ConnectionLost)
     }
 
     /// Submit several requests as one batch frame (one service queue
@@ -413,12 +637,45 @@ fn reader_loop(reader: &mut BufReader<TcpStream>, router: &Arc<Router>, max_fram
             Ok(Some((Frame::Reply { corr, reply }, _))) => {
                 let waiter = router.pending.lock().expect("pending lock").remove(&corr);
                 if let Some(tx) = waiter {
-                    let _ = tx.send(reply);
+                    let _ = tx.send(Answer { reply, trace: None });
                 }
                 let mut inflight = router.inflight.lock().expect("inflight lock");
                 *inflight = inflight.saturating_sub(1);
                 drop(inflight);
                 router.window_free.notify_all();
+            }
+            Ok(Some((
+                Frame::ReplyTraced {
+                    corr,
+                    reply,
+                    queue_wait_nanos,
+                    spans,
+                },
+                _,
+            ))) => {
+                let waiter = router.pending.lock().expect("pending lock").remove(&corr);
+                if let Some(tx) = waiter {
+                    let _ = tx.send(Answer {
+                        reply,
+                        trace: Some(TracedReply {
+                            queue_wait_nanos,
+                            spans,
+                        }),
+                    });
+                }
+                let mut inflight = router.inflight.lock().expect("inflight lock");
+                *inflight = inflight.saturating_sub(1);
+                drop(inflight);
+                router.window_free.notify_all();
+            }
+            Ok(Some((
+                Frame::TraceData { corr, json: text } | Frame::MetricsData { corr, text, .. },
+                _,
+            ))) => {
+                let waiter = router.fetches.lock().expect("fetches lock").remove(&corr);
+                if let Some(tx) = waiter {
+                    let _ = tx.send(text);
+                }
             }
             Ok(Some((Frame::Pong { corr }, _))) => {
                 let waiter = router.pongs.lock().expect("pongs lock").remove(&corr);

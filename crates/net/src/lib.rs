@@ -63,12 +63,13 @@ pub mod ring;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, PendingReply};
+pub use client::{Client, ClientError, PendingReply, TracedReply};
 pub use metrics::{NetMetrics, NetSnapshot};
 pub use proxy::{NetProxy, ProxyConfig, ProxySnapshot};
 pub use ring::{program_key, HashRing};
 pub use server::{NetConfig, NetServer, ERR_EXPECTED_HELLO, ERR_UNEXPECTED_FRAME};
 pub use wire::{
     decode_frame, fnv1a64, read_frame, try_decode_frame, Frame, FrameKind, ReadError, ReplyStatus,
-    WireError, WireReply, WireRequest, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, PROTOCOL_VERSION,
+    WireError, WireReply, WireRequest, DEFAULT_MAX_FRAME, FEATURE_TRACE, HEADER_LEN, MAGIC,
+    METRICS_FORMAT_JSON, METRICS_FORMAT_PROMETHEUS, PROTOCOL_VERSION,
 };

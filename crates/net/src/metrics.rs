@@ -24,6 +24,9 @@ pub struct NetMetrics {
     bad_requests: AtomicU64,
     protocol_errors: AtomicU64,
     pings: AtomicU64,
+    traced_submits: AtomicU64,
+    trace_fetches: AtomicU64,
+    metrics_fetches: AtomicU64,
 }
 
 impl NetMetrics {
@@ -80,6 +83,18 @@ impl NetMetrics {
         self.pings.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_traced_submit(&self, items: u64) {
+        self.traced_submits.fetch_add(items, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_trace_fetch(&self) {
+        self.trace_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_metrics_fetch(&self) {
+        self.metrics_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter.
     #[must_use]
     pub fn snapshot(&self) -> NetSnapshot {
@@ -98,6 +113,9 @@ impl NetMetrics {
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             pings: self.pings.load(Ordering::Relaxed),
+            traced_submits: self.traced_submits.load(Ordering::Relaxed),
+            trace_fetches: self.trace_fetches.load(Ordering::Relaxed),
+            metrics_fetches: self.metrics_fetches.load(Ordering::Relaxed),
             connections_live: 0,
             evicted_idle: 0,
             evicted_stall: 0,
@@ -137,6 +155,13 @@ pub struct NetSnapshot {
     pub protocol_errors: u64,
     /// `Ping` frames answered.
     pub pings: u64,
+    /// Requests admitted with a trace context (`SubmitTraced` frames
+    /// plus `BatchSubmitTraced` items).
+    pub traced_submits: u64,
+    /// `TraceFetch` frames answered.
+    pub trace_fetches: u64,
+    /// `MetricsFetch` frames answered (the in-protocol scrape path).
+    pub metrics_fetches: u64,
     /// Currently live connections (engine gauge, filled at snapshot
     /// time).
     pub connections_live: u64,
@@ -153,7 +178,7 @@ pub struct NetSnapshot {
 #[must_use]
 pub fn prometheus(snap: &NetSnapshot) -> String {
     let mut p = PromText::new();
-    let counters: [(&str, &str, u64); 17] = [
+    let counters: [(&str, &str, u64); 20] = [
         (
             "net_connections_opened_total",
             "Connections accepted.",
@@ -201,6 +226,21 @@ pub fn prometheus(snap: &NetSnapshot) -> String {
         ),
         ("net_pings_total", "Ping frames answered.", snap.pings),
         (
+            "net_traced_submits_total",
+            "Requests admitted with a trace context.",
+            snap.traced_submits,
+        ),
+        (
+            "net_trace_fetches_total",
+            "TraceFetch frames answered.",
+            snap.trace_fetches,
+        ),
+        (
+            "net_metrics_fetches_total",
+            "MetricsFetch frames answered (in-protocol scrape).",
+            snap.metrics_fetches,
+        ),
+        (
             "net_evicted_idle_total",
             "Connections evicted by the idle timeout.",
             snap.evicted_idle,
@@ -245,6 +285,9 @@ pub fn json(snap: &NetSnapshot) -> String {
         .field_u64("bad_requests", snap.bad_requests)
         .field_u64("protocol_errors", snap.protocol_errors)
         .field_u64("pings", snap.pings)
+        .field_u64("traced_submits", snap.traced_submits)
+        .field_u64("trace_fetches", snap.trace_fetches)
+        .field_u64("metrics_fetches", snap.metrics_fetches)
         .field_u64("connections_live", snap.connections_live)
         .field_u64("evicted_idle", snap.evicted_idle)
         .field_u64("evicted_stall", snap.evicted_stall)

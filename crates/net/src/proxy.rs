@@ -24,20 +24,26 @@
 //! under its own correlation id exactly as the protocol promises. The
 //! batch-economics optimization stays a single-node concern.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use stackcache_evio::{Action, CloseReason, ConnIo, Engine, EngineConfig, Handle, Protocol};
-use stackcache_obs::{JsonObj, PromText};
+use stackcache_obs::{
+    node_label, traces_json, JsonObj, PromText, SpanIdGen, SpanKind, SpanRecord, TraceAssembler,
+    TraceTree,
+};
 
-use crate::client::Client;
+use crate::client::{Client, TracedReply};
 use crate::ring::{program_key, HashRing};
 use crate::server::{ERR_EXPECTED_HELLO, ERR_UNEXPECTED_FRAME};
 use crate::wire::{
-    try_decode_frame, Frame, ReplyStatus, WireReply, WireRequest, DEFAULT_MAX_FRAME,
+    try_decode_frame, Frame, ReplyStatus, WireReply, WireRequest, DEFAULT_MAX_FRAME, FEATURE_TRACE,
+    METRICS_FORMAT_PROMETHEUS,
 };
 
 /// Router sizing.
@@ -66,6 +72,17 @@ pub struct ProxyConfig {
     pub read_budget: usize,
     /// Buffered-reply size that trips an immediate stall eviction.
     pub max_buffered_write: usize,
+    /// Feature bits offered to downstream clients in the handshake.
+    pub features: u32,
+    /// The proxy's node label on the spans it stamps (must differ from
+    /// every upstream node's label).
+    pub node: String,
+    /// Tail-sampling threshold: a request whose ingress-to-reply time
+    /// reaches this is captured into the slow-trace store. Traps,
+    /// refusals, and coalesced executions are captured regardless.
+    pub slow_threshold: Duration,
+    /// Sampled trace trees retained; the oldest is evicted first.
+    pub trace_store_capacity: usize,
 }
 
 impl Default for ProxyConfig {
@@ -83,6 +100,10 @@ impl Default for ProxyConfig {
             write_stall_timeout: engine.write_stall_timeout,
             read_budget: engine.read_budget,
             max_buffered_write: engine.max_buffered_write,
+            features: FEATURE_TRACE,
+            node: "proxy".to_string(),
+            slow_threshold: Duration::from_millis(1),
+            trace_store_capacity: 64,
         }
     }
 }
@@ -102,6 +123,11 @@ pub struct ProxyMetrics {
     upstream_errors: AtomicU64,
     protocol_errors: AtomicU64,
     pings: AtomicU64,
+    traced_submits: AtomicU64,
+    trace_fetches: AtomicU64,
+    metrics_fetches: AtomicU64,
+    sampled_traces: AtomicU64,
+    assembly_failures: AtomicU64,
 }
 
 impl ProxyMetrics {
@@ -117,6 +143,11 @@ impl ProxyMetrics {
             upstream_errors: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             pings: AtomicU64::new(0),
+            traced_submits: AtomicU64::new(0),
+            trace_fetches: AtomicU64::new(0),
+            metrics_fetches: AtomicU64::new(0),
+            sampled_traces: AtomicU64::new(0),
+            assembly_failures: AtomicU64::new(0),
         }
     }
 
@@ -138,6 +169,11 @@ impl ProxyMetrics {
             upstream_errors: self.upstream_errors.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             pings: self.pings.load(Ordering::Relaxed),
+            traced_submits: self.traced_submits.load(Ordering::Relaxed),
+            trace_fetches: self.trace_fetches.load(Ordering::Relaxed),
+            metrics_fetches: self.metrics_fetches.load(Ordering::Relaxed),
+            sampled_traces: self.sampled_traces.load(Ordering::Relaxed),
+            assembly_failures: self.assembly_failures.load(Ordering::Relaxed),
             connections_live: 0,
             over_budget: 0,
             evicted_idle: 0,
@@ -169,6 +205,17 @@ pub struct ProxySnapshot {
     pub protocol_errors: u64,
     /// Pings answered locally.
     pub pings: u64,
+    /// Submissions that arrived with a caller-supplied trace context.
+    pub traced_submits: u64,
+    /// `TraceFetch` frames answered.
+    pub trace_fetches: u64,
+    /// `MetricsFetch` frames answered.
+    pub metrics_fetches: u64,
+    /// Requests tail-sampled into the slow-trace store.
+    pub sampled_traces: u64,
+    /// Sampled traces that failed to assemble into a rooted tree
+    /// (orphaned or rootless spans — should stay zero).
+    pub assembly_failures: u64,
     /// Currently live client connections (engine gauge, filled at
     /// snapshot time).
     pub connections_live: u64,
@@ -196,7 +243,7 @@ impl ProxySnapshot {
 #[must_use]
 pub fn prometheus(snap: &ProxySnapshot) -> String {
     let mut p = PromText::new();
-    let counters: [(&str, &str, u64); 12] = [
+    let counters: [(&str, &str, u64); 17] = [
         (
             "proxy_connections_opened_total",
             "Client connections accepted.",
@@ -238,6 +285,31 @@ pub fn prometheus(snap: &ProxySnapshot) -> String {
             snap.protocol_errors,
         ),
         ("proxy_pings_total", "Pings answered locally.", snap.pings),
+        (
+            "proxy_traced_submits_total",
+            "Submissions with a caller-supplied trace context.",
+            snap.traced_submits,
+        ),
+        (
+            "proxy_trace_fetches_total",
+            "TraceFetch frames answered.",
+            snap.trace_fetches,
+        ),
+        (
+            "proxy_metrics_fetches_total",
+            "MetricsFetch frames answered.",
+            snap.metrics_fetches,
+        ),
+        (
+            "proxy_sampled_traces_total",
+            "Requests tail-sampled into the slow-trace store.",
+            snap.sampled_traces,
+        ),
+        (
+            "proxy_trace_assembly_failures_total",
+            "Sampled traces that failed to assemble into a rooted tree.",
+            snap.assembly_failures,
+        ),
         (
             "proxy_over_budget_total",
             "Accepts refused because the connection budget was full.",
@@ -293,6 +365,11 @@ pub fn json(snap: &ProxySnapshot) -> String {
         .field_u64("upstream_errors", snap.upstream_errors)
         .field_u64("protocol_errors", snap.protocol_errors)
         .field_u64("pings", snap.pings)
+        .field_u64("traced_submits", snap.traced_submits)
+        .field_u64("trace_fetches", snap.trace_fetches)
+        .field_u64("metrics_fetches", snap.metrics_fetches)
+        .field_u64("sampled_traces", snap.sampled_traces)
+        .field_u64("assembly_failures", snap.assembly_failures)
         .field_u64("connections_live", snap.connections_live)
         .field_u64("over_budget", snap.over_budget)
         .field_u64("evicted_idle", snap.evicted_idle)
@@ -305,12 +382,38 @@ struct Forward {
     conn_id: u64,
     corr: u64,
     request: WireRequest,
+    trace: TraceInfo,
+}
+
+/// The trace context stamped on every submission at ingress.
+struct TraceInfo {
+    /// The trace id: the caller's when it sent `SubmitTraced`, fresh
+    /// otherwise (the proxy is then the trace's origin).
+    trace_id: u64,
+    /// The caller's parent span id (0 when the proxy originates).
+    parent_span_id: u64,
+    /// The proxy's span covering the whole request (`Root` kind when
+    /// the proxy originates the trace).
+    root_span_id: u64,
+    /// The proxy's forward span; the node's spans parent to this.
+    forward_span_id: u64,
+    /// Ingress time on the proxy clock.
+    ingress_nanos: u64,
+    /// Ring index of the node the request routed to.
+    node: usize,
+    /// Answer downstream as `ReplyTraced`.
+    traced_reply: bool,
 }
 
 /// What forwarder threads mail back to a client connection.
 enum ProxyMsg {
-    /// The node's reply (or a synthesized failure), ready to relay.
-    Answer { corr: u64, reply: WireReply },
+    /// The node's reply (or a synthesized failure), ready to relay,
+    /// with the assembled span summary when the caller traced.
+    Answer {
+        corr: u64,
+        reply: WireReply,
+        trace: Option<TracedReply>,
+    },
 }
 
 struct PInner {
@@ -320,12 +423,77 @@ struct PInner {
     /// One submit-thread channel per node; emptied at shutdown so the
     /// submit threads' `recv` disconnects and they can be joined.
     forwards: Mutex<Vec<mpsc::Sender<Forward>>>,
+    /// Trace and span ids for everything the proxy stamps.
+    span_ids: SpanIdGen,
+    /// The proxy clock's epoch for span timestamps.
+    epoch: Instant,
+    /// The proxy's packed node label.
+    node: [u8; 8],
+    /// Tail-sampled trace trees, oldest first, bounded by
+    /// `config.trace_store_capacity`.
+    store: Mutex<VecDeque<TraceTree>>,
     stop: AtomicBool,
+}
+
+impl PInner {
+    fn nanos(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Tail-sampling: keep a finished request's trace when it was slow,
+    /// refused or trapped, or fanned out to coalesced waiters. Only
+    /// proxy-originated traces are captured — a caller-traced request's
+    /// root lives downstream, so the caller assembles that one.
+    fn maybe_sample(
+        &self,
+        trace: &TraceInfo,
+        reply: &WireReply,
+        spans: &[SpanRecord],
+        end_nanos: u64,
+    ) {
+        if trace.parent_span_id != 0 {
+            return;
+        }
+        let slow_nanos = self
+            .config
+            .slow_threshold
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let slow = end_nanos.saturating_sub(trace.ingress_nanos) >= slow_nanos;
+        let unhappy = reply.status != ReplyStatus::Ok;
+        let coalesced = spans.iter().any(|s| s.kind == SpanKind::Exec && s.attr > 0);
+        if !(slow || unhappy || coalesced) {
+            return;
+        }
+        self.metrics.sampled_traces.fetch_add(1, Ordering::Relaxed);
+        let mut asm = TraceAssembler::new();
+        for s in spans {
+            asm.add(*s);
+        }
+        match asm.assemble(trace.trace_id) {
+            Ok(tree) => {
+                let mut store = self.store.lock().expect("trace store lock");
+                while store.len() >= self.config.trace_store_capacity.max(1) {
+                    store.pop_front();
+                }
+                store.push_back(tree);
+            }
+            Err(_) => {
+                self.metrics
+                    .assembly_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Per-client-connection state (same lifecycle as the server's).
 struct ProxyConn {
     window: Option<u32>,
+    /// Feature bits granted in the handshake (0 on a legacy Hello).
+    features: u32,
     inflight: u32,
     goodbye: bool,
     eof: bool,
@@ -376,7 +544,10 @@ impl ProxyProto {
         );
     }
 
-    /// Route one admitted submission to its node's submit thread.
+    /// Route one admitted submission to its node's submit thread,
+    /// stamping its trace context at ingress. `ctx` is the caller's
+    /// `(trace id, parent span id)` when it sent `SubmitTraced`; plain
+    /// submissions get a fresh proxy-originated trace.
     fn forward(
         &self,
         conn: &mut ProxyConn,
@@ -384,8 +555,18 @@ impl ProxyProto {
         conn_id: u64,
         corr: u64,
         request: WireRequest,
+        ctx: Option<(u64, u64)>,
     ) {
         let node = self.inner.ring.route(program_key(&request.program));
+        let trace = TraceInfo {
+            trace_id: ctx.map_or_else(|| self.inner.span_ids.next_id(), |(t, _)| t),
+            parent_span_id: ctx.map_or(0, |(_, p)| p),
+            root_span_id: self.inner.span_ids.next_id(),
+            forward_span_id: self.inner.span_ids.next_id(),
+            ingress_nanos: self.inner.nanos(Instant::now()),
+            node,
+            traced_reply: ctx.is_some(),
+        };
         conn.inflight += 1;
         self.inner.metrics.forwarded[node].fetch_add(1, Ordering::Relaxed);
         let sent = {
@@ -395,6 +576,7 @@ impl ProxyProto {
                     conn_id,
                     corr,
                     request,
+                    trace,
                 })
                 .is_ok()
             })
@@ -411,6 +593,7 @@ impl ProxyProto {
     }
 
     /// Handle one well-formed frame; `Some` ends the connection.
+    #[allow(clippy::too_many_lines)]
     fn on_frame(
         &self,
         conn_id: u64,
@@ -419,17 +602,37 @@ impl ProxyProto {
         frame: Frame,
     ) -> Option<Action> {
         let Some(granted) = conn.window else {
-            if let Frame::Hello { window: requested } = frame {
-                let granted = requested.clamp(1, self.inner.config.max_window);
-                conn.window = Some(granted);
-                self.send_frame(
-                    io,
-                    &Frame::HelloOk {
-                        window: granted,
-                        max_frame: self.inner.config.max_frame,
-                    },
-                );
-                return None;
+            match frame {
+                Frame::Hello { window: requested } => {
+                    let granted = requested.clamp(1, self.inner.config.max_window);
+                    conn.window = Some(granted);
+                    self.send_frame(
+                        io,
+                        &Frame::HelloOk {
+                            window: granted,
+                            max_frame: self.inner.config.max_frame,
+                        },
+                    );
+                    return None;
+                }
+                Frame::HelloFeatures {
+                    window: requested,
+                    features,
+                } => {
+                    let granted = requested.clamp(1, self.inner.config.max_window);
+                    conn.window = Some(granted);
+                    conn.features = features & self.inner.config.features;
+                    self.send_frame(
+                        io,
+                        &Frame::HelloOkFeatures {
+                            window: granted,
+                            max_frame: self.inner.config.max_frame,
+                            features: conn.features,
+                        },
+                    );
+                    return None;
+                }
+                _ => {}
             }
             return Some(self.proto_error(
                 io,
@@ -439,7 +642,7 @@ impl ProxyProto {
         };
 
         match frame {
-            Frame::Hello { .. } => {
+            Frame::Hello { .. } | Frame::HelloFeatures { .. } => {
                 Some(self.proto_error(io, ERR_EXPECTED_HELLO, "duplicate Hello"))
             }
             Frame::Ping { corr } => {
@@ -464,7 +667,7 @@ impl ProxyProto {
                     self.reply_status(io, corr, ReplyStatus::ShutDown, "router shutting down");
                     return None;
                 }
-                self.forward(conn, io, conn_id, corr, request);
+                self.forward(conn, io, conn_id, corr, request, None);
                 None
             }
             Frame::BadSubmit { corr, error } => {
@@ -498,14 +701,153 @@ impl ProxyProto {
                 // unbundled: each item routes to its own node and
                 // answers under its own correlation id
                 for (item_corr, request) in items {
-                    self.forward(conn, io, conn_id, item_corr, request);
+                    self.forward(conn, io, conn_id, item_corr, request, None);
                 }
                 None
             }
+            Frame::SubmitTraced {
+                corr,
+                trace_id,
+                parent_span_id,
+                request,
+            } => {
+                if conn.features & FEATURE_TRACE == 0 {
+                    return Some(self.proto_error(
+                        io,
+                        ERR_UNEXPECTED_FRAME,
+                        "SubmitTraced on a connection that did not negotiate tracing",
+                    ));
+                }
+                if conn.inflight >= granted {
+                    self.reply_status(io, corr, ReplyStatus::Busy, "pipelining window full");
+                    return None;
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    self.reply_status(io, corr, ReplyStatus::ShutDown, "router shutting down");
+                    return None;
+                }
+                self.inner
+                    .metrics
+                    .traced_submits
+                    .fetch_add(1, Ordering::Relaxed);
+                self.forward(
+                    conn,
+                    io,
+                    conn_id,
+                    corr,
+                    request,
+                    Some((trace_id, parent_span_id)),
+                );
+                None
+            }
+            Frame::BatchSubmitTraced { corr: _, items } => {
+                if conn.features & FEATURE_TRACE == 0 {
+                    return Some(self.proto_error(
+                        io,
+                        ERR_UNEXPECTED_FRAME,
+                        "BatchSubmitTraced on a connection that did not negotiate tracing",
+                    ));
+                }
+                let n = items.len() as u32;
+                if conn.inflight.saturating_add(n) > granted {
+                    for (item_corr, _, _, _) in &items {
+                        self.reply_status(
+                            io,
+                            *item_corr,
+                            ReplyStatus::Busy,
+                            "pipelining window full",
+                        );
+                    }
+                    return None;
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    for (item_corr, _, _, _) in &items {
+                        self.reply_status(
+                            io,
+                            *item_corr,
+                            ReplyStatus::ShutDown,
+                            "router shutting down",
+                        );
+                    }
+                    return None;
+                }
+                self.inner
+                    .metrics
+                    .traced_submits
+                    .fetch_add(u64::from(n), Ordering::Relaxed);
+                for (item_corr, trace_id, parent_span_id, request) in items {
+                    self.forward(
+                        conn,
+                        io,
+                        conn_id,
+                        item_corr,
+                        request,
+                        Some((trace_id, parent_span_id)),
+                    );
+                }
+                None
+            }
+            Frame::TraceFetch { corr } => {
+                if conn.features & FEATURE_TRACE == 0 {
+                    return Some(self.proto_error(
+                        io,
+                        ERR_UNEXPECTED_FRAME,
+                        "TraceFetch on a connection that did not negotiate tracing",
+                    ));
+                }
+                self.inner
+                    .metrics
+                    .trace_fetches
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut trees: Vec<TraceTree> = self
+                    .inner
+                    .store
+                    .lock()
+                    .expect("trace store lock")
+                    .iter()
+                    .cloned()
+                    .collect();
+                // the dump must fit the announced frame cap: shed
+                // oldest trees until it does
+                let budget = (self.inner.config.max_frame as usize).saturating_sub(64);
+                let mut json = traces_json(&trees);
+                while json.len() > budget && !trees.is_empty() {
+                    let drop = (trees.len() / 2).max(1);
+                    trees.drain(..drop);
+                    json = traces_json(&trees);
+                }
+                self.send_frame(io, &Frame::TraceData { corr, json });
+                None
+            }
+            Frame::MetricsFetch { corr, format } => {
+                if conn.features & FEATURE_TRACE == 0 {
+                    return Some(self.proto_error(
+                        io,
+                        ERR_UNEXPECTED_FRAME,
+                        "MetricsFetch on a connection that did not negotiate tracing",
+                    ));
+                }
+                self.inner
+                    .metrics
+                    .metrics_fetches
+                    .fetch_add(1, Ordering::Relaxed);
+                let snap = self.inner.metrics.snapshot();
+                let text = if format == METRICS_FORMAT_PROMETHEUS {
+                    prometheus(&snap)
+                } else {
+                    json(&snap)
+                };
+                self.send_frame(io, &Frame::MetricsData { corr, format, text });
+                None
+            }
             Frame::HelloOk { .. }
+            | Frame::HelloOkFeatures { .. }
             | Frame::Pong { .. }
             | Frame::GoodbyeOk
             | Frame::Reply { .. }
+            | Frame::ReplyTraced { .. }
+            | Frame::TraceData { .. }
+            | Frame::MetricsData { .. }
             | Frame::ProtoError { .. } => Some(self.proto_error(
                 io,
                 ERR_UNEXPECTED_FRAME,
@@ -526,6 +868,7 @@ impl Protocol for ProxyProto {
             .fetch_add(1, Ordering::Relaxed);
         ProxyConn {
             window: None,
+            features: 0,
             inflight: 0,
             goodbye: false,
             eof: false,
@@ -569,10 +912,19 @@ impl Protocol for ProxyProto {
         io: &mut ConnIo,
         msg: ProxyMsg,
     ) -> Action {
-        let ProxyMsg::Answer { corr, reply } = msg;
+        let ProxyMsg::Answer { corr, reply, trace } = msg;
         conn.inflight = conn.inflight.saturating_sub(1);
         self.inner.metrics.replies.fetch_add(1, Ordering::Relaxed);
-        self.send_frame(io, &Frame::Reply { corr, reply });
+        let frame = match trace {
+            Some(t) if conn.features & FEATURE_TRACE != 0 => Frame::ReplyTraced {
+                corr,
+                reply,
+                queue_wait_nanos: t.queue_wait_nanos,
+                spans: t.spans,
+            },
+            _ => Frame::Reply { corr, reply },
+        };
+        self.send_frame(io, &frame);
         if conn.inflight == 0 {
             if conn.goodbye {
                 self.send_frame(io, &Frame::GoodbyeOk);
@@ -620,7 +972,9 @@ impl NetProxy {
         assert!(!config.nodes.is_empty(), "a router needs at least one node");
         let mut clients = Vec::with_capacity(config.nodes.len());
         for node in &config.nodes {
-            let client = Client::connect(node.as_str(), config.upstream_window)
+            // negotiate tracing upstream; a legacy node grants nothing
+            // and its submissions degrade to plain Submit frames
+            let client = Client::connect_traced(node.as_str(), config.upstream_window)
                 .map_err(|e| io::Error::other(format!("node {node}: {e}")))?;
             clients.push(Arc::new(client));
         }
@@ -644,11 +998,17 @@ impl NetProxy {
             submit_rxs.push(rx);
         }
 
+        let span_ids = SpanIdGen::new(&config.node);
+        let node = node_label(&config.node);
         let inner = Arc::new(PInner {
             metrics: ProxyMetrics::new(clients.len()),
             config,
             ring,
             forwards: Mutex::new(forwards),
+            span_ids,
+            epoch: Instant::now(),
+            node,
+            store: Mutex::new(VecDeque::new()),
             stop: AtomicBool::new(false),
         });
         let engine = Engine::start(
@@ -729,6 +1089,25 @@ impl NetProxy {
         json(&self.metrics())
     }
 
+    /// The tail-sampled trace trees, oldest first.
+    #[must_use]
+    pub fn sampled_traces(&self) -> Vec<TraceTree> {
+        self.inner
+            .store
+            .lock()
+            .expect("trace store lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The tail-sampled trace trees as JSON — the same dump a
+    /// `TraceFetch` frame answers with, unbounded.
+    #[must_use]
+    pub fn trace_json(&self) -> String {
+        traces_json(&self.sampled_traces())
+    }
+
     /// Drain and stop: refuse new submissions, relay every in-flight
     /// reply, then close the engine, the forwarders, and the upstream
     /// connections. Returns the final counters.
@@ -776,17 +1155,20 @@ impl std::fmt::Debug for NetProxy {
 /// Pull submissions off the node's channel, claim upstream window
 /// slots (blocking here keeps the poller thread nonblocking), and hand
 /// the pending replies to the completion thread in submission order.
+/// Every forward goes upstream traced (when the node negotiated),
+/// parented to the proxy's forward span.
 fn submit_loop(
     client: &Client,
     rx: &mpsc::Receiver<Forward>,
-    comp_tx: &mpsc::Sender<(u64, u64, crate::client::PendingReply)>,
+    comp_tx: &mpsc::Sender<(Forward, u64, crate::client::PendingReply)>,
     handle: &Handle<ProxyMsg>,
     inner: &Arc<PInner>,
 ) {
     while let Ok(fwd) = rx.recv() {
-        match client.submit(&fwd.request) {
+        let forward_nanos = inner.nanos(Instant::now());
+        match client.submit_traced(&fwd.request, fwd.trace.trace_id, fwd.trace.forward_span_id) {
             Ok(pending) => {
-                if comp_tx.send((fwd.conn_id, fwd.corr, pending)).is_err() {
+                if comp_tx.send((fwd, forward_nanos, pending)).is_err() {
                     return;
                 }
             }
@@ -804,6 +1186,7 @@ fn submit_loop(
                             0,
                             "upstream node lost".to_string(),
                         ),
+                        trace: None,
                     },
                 );
             }
@@ -813,23 +1196,78 @@ fn submit_loop(
 
 /// Wait each pending reply (in submission order — upstream completion
 /// order is already serialized per correlation id by the client's
-/// demux) and mail it back to the owning connection.
+/// demux), finish the proxy's own spans, tail-sample the trace, and
+/// mail the answer back to the owning connection.
 fn completion_loop(
-    rx: &mpsc::Receiver<(u64, u64, crate::client::PendingReply)>,
+    rx: &mpsc::Receiver<(Forward, u64, crate::client::PendingReply)>,
     handle: &Handle<ProxyMsg>,
     inner: &Arc<PInner>,
 ) {
-    while let Ok((conn_id, corr, pending)) = rx.recv() {
-        let reply = match pending.wait() {
-            Ok(reply) => reply,
+    while let Ok((fwd, forward_nanos, pending)) = rx.recv() {
+        let (reply, node_trace) = match pending.wait_traced() {
+            Ok(answer) => answer,
             Err(_) => {
                 inner
                     .metrics
                     .upstream_errors
                     .fetch_add(1, Ordering::Relaxed);
-                WireReply::status_only(ReplyStatus::ShutDown, 0, "upstream node lost".to_string())
+                (
+                    WireReply::status_only(
+                        ReplyStatus::ShutDown,
+                        0,
+                        "upstream node lost".to_string(),
+                    ),
+                    None,
+                )
             }
         };
-        handle.send(conn_id, ProxyMsg::Answer { corr, reply });
+        let end_nanos = inner.nanos(Instant::now());
+        let t = &fwd.trace;
+        let mut spans = Vec::with_capacity(2 + node_trace.as_ref().map_or(0, |n| n.spans.len()));
+        spans.push(SpanRecord {
+            trace_id: t.trace_id,
+            span_id: t.root_span_id,
+            parent_span_id: t.parent_span_id,
+            // when the caller traced, its span is the root and the
+            // proxy's whole-request span is one more forward hop
+            kind: if t.parent_span_id == 0 {
+                SpanKind::Root
+            } else {
+                SpanKind::Forward
+            },
+            start_nanos: t.ingress_nanos,
+            end_nanos,
+            node: inner.node,
+            attr: 0,
+            request: fwd.corr,
+        });
+        spans.push(SpanRecord {
+            trace_id: t.trace_id,
+            span_id: t.forward_span_id,
+            parent_span_id: t.root_span_id,
+            kind: SpanKind::Forward,
+            start_nanos: forward_nanos,
+            end_nanos,
+            node: inner.node,
+            attr: t.node as u64,
+            request: fwd.corr,
+        });
+        let queue_wait_nanos = node_trace.as_ref().map_or(0, |n| n.queue_wait_nanos);
+        if let Some(n) = &node_trace {
+            spans.extend(n.spans.iter().copied());
+        }
+        inner.maybe_sample(t, &reply, &spans, end_nanos);
+        let trace = fwd.trace.traced_reply.then_some(TracedReply {
+            queue_wait_nanos,
+            spans,
+        });
+        handle.send(
+            fwd.conn_id,
+            ProxyMsg::Answer {
+                corr: fwd.corr,
+                reply,
+                trace,
+            },
+        );
     }
 }

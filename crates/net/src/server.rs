@@ -32,14 +32,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use std::collections::HashMap;
+
 use stackcache_evio::{
     Action, CloseReason, ConnIo, Engine, EngineConfig, EngineStats, Handle, Protocol,
 };
-use stackcache_obs::{EventKind, FlightDump, FlightRecorder};
+use stackcache_obs::{spans_json, EventKind, FlightDump, FlightRecorder, SpanIdGen};
 use stackcache_svc::{MetricsSnapshot, Reply, ReplyRoute, Service, SubmitError};
 
 use crate::metrics::{self, NetMetrics, NetSnapshot};
-use crate::wire::{try_decode_frame, Frame, ReplyStatus, WireReply, DEFAULT_MAX_FRAME};
+use crate::wire::{
+    try_decode_frame, Frame, ReplyStatus, WireReply, DEFAULT_MAX_FRAME, FEATURE_TRACE,
+    METRICS_FORMAT_PROMETHEUS,
+};
 
 /// `ProtoError` code: the first frame on a connection was not `Hello`
 /// (or a second `Hello` arrived). Codes below 100 belong to
@@ -79,6 +84,14 @@ pub struct NetConfig {
     pub read_budget: usize,
     /// Buffered-reply size that trips an immediate stall eviction.
     pub max_buffered_write: usize,
+    /// Optional-feature bits this server offers in the handshake. A
+    /// client's extended Hello is granted the intersection; a legacy
+    /// Hello negotiates nothing and sees pure-v1 behaviour.
+    pub features: u32,
+    /// Node label salting the span ids this server re-stamps onto
+    /// traced replies (two nodes must use distinct labels so their
+    /// span ids never collide inside one assembled trace).
+    pub node: String,
 }
 
 impl Default for NetConfig {
@@ -95,6 +108,8 @@ impl Default for NetConfig {
             write_stall_timeout: engine.write_stall_timeout,
             read_budget: engine.read_budget,
             max_buffered_write: engine.max_buffered_write,
+            features: FEATURE_TRACE,
+            node: "node".to_string(),
         }
     }
 }
@@ -148,6 +163,10 @@ struct Inner {
     metrics: NetMetrics,
     config: NetConfig,
     recorder: Option<Arc<FlightRecorder>>,
+    /// Stamps fresh span ids onto traced replies at answer time, so a
+    /// coalesced waiter's reply (which clones the leader's spans) never
+    /// collides with — or orphans into — another request's trace.
+    span_ids: SpanIdGen,
     /// Set once shutdown begins: new submissions get `ShutDown` replies
     /// while in-flight ones drain.
     stop: AtomicBool,
@@ -173,12 +192,33 @@ impl Inner {
             std::thread::yield_now();
         }
     }
+
+    /// The page a `MetricsFetch` frame scrapes: the service's metrics
+    /// followed by the front end's counters (the engine's liveness
+    /// gauges ride the HTTP-side [`NetServer::metrics`] path only).
+    fn scrape_page(&self, format: u8) -> String {
+        if format == METRICS_FORMAT_PROMETHEUS {
+            let mut page = self.service.prometheus();
+            page.push_str(&metrics::prometheus(&self.metrics.snapshot()));
+            page
+        } else {
+            let mut o = stackcache_obs::JsonObj::new();
+            o.field_raw("svc", &self.service.json())
+                .field_raw("net", &metrics::json(&self.metrics.snapshot()));
+            o.finish()
+        }
+    }
 }
 
 /// Per-connection protocol state.
 struct NetConn {
     /// `Some(granted)` once the `Hello` handshake is done.
     window: Option<u32>,
+    /// Feature bits granted in the handshake (0 on a legacy Hello).
+    features: u32,
+    /// Trace context per in-flight traced corr: the reply for that
+    /// corr goes out as `ReplyTraced` with its spans re-parented here.
+    traced: HashMap<u64, (u64, u64)>,
     /// Requests submitted but not yet answered on the wire.
     inflight: u32,
     frames_seen: u32,
@@ -280,19 +320,42 @@ impl NetProto {
         frame: Frame,
     ) -> Option<Action> {
         let Some(granted) = conn.window else {
-            // the handshake: the first frame must be Hello
-            if let Frame::Hello { window: requested } = frame {
-                let granted = requested.clamp(1, self.inner.config.max_window);
-                conn.window = Some(granted);
-                self.send_frame(
-                    conn_id,
-                    io,
-                    &Frame::HelloOk {
-                        window: granted,
-                        max_frame: self.inner.config.max_frame,
-                    },
-                );
-                return None;
+            // the handshake: the first frame must be Hello. A legacy
+            // Hello gets the legacy HelloOk byte-for-byte; an extended
+            // Hello gets the feature intersection echoed back.
+            match frame {
+                Frame::Hello { window: requested } => {
+                    let granted = requested.clamp(1, self.inner.config.max_window);
+                    conn.window = Some(granted);
+                    self.send_frame(
+                        conn_id,
+                        io,
+                        &Frame::HelloOk {
+                            window: granted,
+                            max_frame: self.inner.config.max_frame,
+                        },
+                    );
+                    return None;
+                }
+                Frame::HelloFeatures {
+                    window: requested,
+                    features,
+                } => {
+                    let granted = requested.clamp(1, self.inner.config.max_window);
+                    conn.window = Some(granted);
+                    conn.features = features & self.inner.config.features;
+                    self.send_frame(
+                        conn_id,
+                        io,
+                        &Frame::HelloOkFeatures {
+                            window: granted,
+                            max_frame: self.inner.config.max_frame,
+                            features: conn.features,
+                        },
+                    );
+                    return None;
+                }
+                _ => {}
             }
             return Some(self.proto_error(
                 conn_id,
@@ -303,7 +366,7 @@ impl NetProto {
         };
 
         match frame {
-            Frame::Hello { .. } => {
+            Frame::Hello { .. } | Frame::HelloFeatures { .. } => {
                 Some(self.proto_error(conn_id, io, ERR_EXPECTED_HELLO, "duplicate Hello"))
             }
             Frame::Ping { corr } => {
@@ -394,10 +457,141 @@ impl NetProto {
                 }
                 None
             }
+            Frame::SubmitTraced {
+                corr,
+                trace_id,
+                parent_span_id,
+                request,
+            } => {
+                if conn.features & FEATURE_TRACE == 0 {
+                    return Some(self.proto_error(
+                        conn_id,
+                        io,
+                        ERR_UNEXPECTED_FRAME,
+                        "SubmitTraced on a connection that did not negotiate tracing",
+                    ));
+                }
+                if conn.inflight >= granted {
+                    self.busy(conn_id, io, corr, "pipelining window full");
+                    return None;
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    self.refuse_submit(conn_id, io, corr, SubmitError::ShuttingDown);
+                    return None;
+                }
+                let route = self.route(conn_id, conn);
+                conn.inflight += 1;
+                let request = request.to_request().trace_context(trace_id, parent_span_id);
+                match self.inner.service.submit_routed(request, corr, route) {
+                    Ok(_id) => {
+                        self.inner.metrics.on_submit();
+                        self.inner.metrics.on_traced_submit(1);
+                        conn.traced.insert(corr, (trace_id, parent_span_id));
+                    }
+                    Err(e) => {
+                        conn.inflight -= 1;
+                        self.refuse_submit(conn_id, io, corr, e);
+                    }
+                }
+                None
+            }
+            Frame::BatchSubmitTraced { corr: _, items } => {
+                if conn.features & FEATURE_TRACE == 0 {
+                    return Some(self.proto_error(
+                        conn_id,
+                        io,
+                        ERR_UNEXPECTED_FRAME,
+                        "BatchSubmitTraced on a connection that did not negotiate tracing",
+                    ));
+                }
+                let n = items.len() as u32;
+                if conn.inflight.saturating_add(n) > granted {
+                    for (item_corr, _, _, _) in &items {
+                        self.busy(conn_id, io, *item_corr, "pipelining window full");
+                    }
+                    return None;
+                }
+                if self.inner.stop.load(Ordering::Relaxed) {
+                    for (item_corr, _, _, _) in &items {
+                        self.refuse_submit(conn_id, io, *item_corr, SubmitError::ShuttingDown);
+                    }
+                    return None;
+                }
+                let route = self.route(conn_id, conn);
+                conn.inflight += n;
+                let batch: Vec<_> = items
+                    .iter()
+                    .map(|(item_corr, trace_id, parent_span_id, request)| {
+                        (
+                            *item_corr,
+                            request
+                                .to_request()
+                                .trace_context(*trace_id, *parent_span_id),
+                        )
+                    })
+                    .collect();
+                match self.inner.service.submit_batch_routed(batch, &route) {
+                    Ok(_ids) => {
+                        self.inner.metrics.on_batch_submit(u64::from(n));
+                        self.inner.metrics.on_traced_submit(u64::from(n));
+                        for (item_corr, trace_id, parent_span_id, _) in &items {
+                            conn.traced.insert(*item_corr, (*trace_id, *parent_span_id));
+                        }
+                    }
+                    Err(e) => {
+                        conn.inflight -= n;
+                        for (item_corr, _, _, _) in &items {
+                            self.refuse_submit(conn_id, io, *item_corr, e);
+                        }
+                    }
+                }
+                None
+            }
+            Frame::TraceFetch { corr } => {
+                if conn.features & FEATURE_TRACE == 0 {
+                    return Some(self.proto_error(
+                        conn_id,
+                        io,
+                        ERR_UNEXPECTED_FRAME,
+                        "TraceFetch on a connection that did not negotiate tracing",
+                    ));
+                }
+                self.inner.metrics.on_trace_fetch();
+                let mut spans = self.inner.service.span_dump();
+                // the dump must fit the announced frame cap: shed
+                // oldest spans until it does
+                let budget = (self.inner.config.max_frame as usize).saturating_sub(64);
+                let mut json = spans_json(&spans);
+                while json.len() > budget && !spans.is_empty() {
+                    let drop = (spans.len() / 2).max(1);
+                    spans.drain(..drop);
+                    json = spans_json(&spans);
+                }
+                self.send_frame(conn_id, io, &Frame::TraceData { corr, json });
+                None
+            }
+            Frame::MetricsFetch { corr, format } => {
+                if conn.features & FEATURE_TRACE == 0 {
+                    return Some(self.proto_error(
+                        conn_id,
+                        io,
+                        ERR_UNEXPECTED_FRAME,
+                        "MetricsFetch on a connection that did not negotiate tracing",
+                    ));
+                }
+                self.inner.metrics.on_metrics_fetch();
+                let text = self.inner.scrape_page(format);
+                self.send_frame(conn_id, io, &Frame::MetricsData { corr, format, text });
+                None
+            }
             Frame::HelloOk { .. }
+            | Frame::HelloOkFeatures { .. }
             | Frame::Pong { .. }
             | Frame::GoodbyeOk
             | Frame::Reply { .. }
+            | Frame::ReplyTraced { .. }
+            | Frame::TraceData { .. }
+            | Frame::MetricsData { .. }
             | Frame::ProtoError { .. } => Some(self.proto_error(
                 conn_id,
                 io,
@@ -422,6 +616,8 @@ impl Protocol for NetProto {
         );
         NetConn {
             window: None,
+            features: 0,
+            traced: HashMap::new(),
             inflight: 0,
             frames_seen: 0,
             goodbye: false,
@@ -481,14 +677,32 @@ impl Protocol for NetProto {
         } = msg;
         conn.inflight = conn.inflight.saturating_sub(1);
         self.inner.metrics.on_reply();
-        self.send_frame(
-            conn_id,
-            io,
-            &Frame::Reply {
+        let frame = if let Some((trace_id, parent_span_id)) = conn.traced.remove(&corr) {
+            // Re-stamp at the wire: the worker spans keep their node
+            // label and timings, but get fresh span ids and the
+            // *caller's* trace/parent ids. A coalesced waiter's reply
+            // clones the leader's spans — possibly from a different
+            // trace — so re-parenting here is what guarantees every
+            // traced reply joins its own trace with zero orphans.
+            let (queue_wait_nanos, mut spans) = WireReply::traced_parts(&reply);
+            for span in &mut spans {
+                span.trace_id = trace_id;
+                span.parent_span_id = parent_span_id;
+                span.span_id = self.inner.span_ids.next_id();
+            }
+            Frame::ReplyTraced {
                 corr,
                 reply: WireReply::from_reply(request_id, &reply),
-            },
-        );
+                queue_wait_nanos,
+                spans,
+            }
+        } else {
+            Frame::Reply {
+                corr,
+                reply: WireReply::from_reply(request_id, &reply),
+            }
+        };
+        self.send_frame(conn_id, io, &frame);
         if conn.inflight == 0 {
             if conn.goodbye {
                 self.send_frame(conn_id, io, &Frame::GoodbyeOk);
@@ -535,11 +749,13 @@ impl NetServer {
             .trace
             .then(|| Arc::new(FlightRecorder::new(1, config.trace_capacity)));
         let engine_config = config.engine_config();
+        let span_ids = SpanIdGen::new(&format!("{}/net", config.node));
         let inner = Arc::new(Inner {
             service,
             metrics: NetMetrics::new(),
             config,
             recorder,
+            span_ids,
             stop: AtomicBool::new(false),
             handle: OnceLock::new(),
         });
@@ -596,6 +812,13 @@ impl NetServer {
         o.field_raw("svc", &self.inner.service.json())
             .field_raw("net", &metrics::json(&self.metrics()));
         o.finish()
+    }
+
+    /// The service's span rings as JSON — the same dump a `TraceFetch`
+    /// frame answers with, unbounded.
+    #[must_use]
+    pub fn trace_json(&self) -> String {
+        spans_json(&self.inner.service.span_dump())
     }
 
     /// The front end's flight-recorder dump (connection lifecycle and

@@ -31,6 +31,7 @@ use std::time::Duration;
 
 use stackcache_core::EngineRegime;
 use stackcache_harness::{Outcome, Trap};
+use stackcache_obs::{RawSpan, SpanRecord, SPAN_WORDS};
 use stackcache_svc::{Completion, Rejection, Reply, Request};
 use stackcache_vm::{Inst, Machine, Program, ProgramBuilder};
 
@@ -45,6 +46,20 @@ pub const HEADER_LEN: usize = 20;
 /// Default cap on a frame body; larger frames are refused as
 /// [`WireError::Oversized`] *before* any allocation.
 pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Feature bit: distributed tracing. A client that sets it in its
+/// extended Hello (and is granted it back) may send the traced submit
+/// variants and the trace/metrics scrape frames, and receives
+/// [`Frame::ReplyTraced`] answers carrying span summaries. Negotiated
+/// through the Hello *body*, never the reserved header flags byte —
+/// v1 frame images stay byte-for-byte frozen.
+pub const FEATURE_TRACE: u32 = 1;
+
+/// Metrics page format byte in [`Frame::MetricsFetch`]/
+/// [`Frame::MetricsData`]: Prometheus text format.
+pub const METRICS_FORMAT_PROMETHEUS: u8 = 0;
+/// Metrics page format byte: JSON.
+pub const METRICS_FORMAT_JSON: u8 = 1;
 
 /// Frame discriminants (header byte 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +85,26 @@ pub enum FrameKind {
     Reply = 9,
     /// A protocol-level failure; the sender closes after this frame.
     ProtoError = 10,
+    /// A [`FrameKind::Submit`] carrying a trace context. Requires the
+    /// negotiated [`FEATURE_TRACE`] bit.
+    SubmitTraced = 11,
+    /// A [`FrameKind::BatchSubmit`] whose items each carry a trace
+    /// context. Requires [`FEATURE_TRACE`].
+    BatchSubmitTraced = 12,
+    /// A [`FrameKind::Reply`] extended with the queue-wait summary and
+    /// the node's span records. Only sent on connections that
+    /// negotiated [`FEATURE_TRACE`], answering traced submits.
+    ReplyTraced = 13,
+    /// Client → server: fetch the tail-sampled slow traces (proxy) or
+    /// the live span rings (node) as JSON. Requires [`FEATURE_TRACE`].
+    TraceFetch = 14,
+    /// Server → client answer to a [`FrameKind::TraceFetch`].
+    TraceData = 15,
+    /// Client → server: fetch the metrics page in-protocol (the scrape
+    /// path; no stdin REPL needed). Requires [`FEATURE_TRACE`].
+    MetricsFetch = 16,
+    /// Server → client answer to a [`FrameKind::MetricsFetch`].
+    MetricsData = 17,
 }
 
 impl FrameKind {
@@ -87,6 +122,13 @@ impl FrameKind {
             8 => Some(FrameKind::BatchSubmit),
             9 => Some(FrameKind::Reply),
             10 => Some(FrameKind::ProtoError),
+            11 => Some(FrameKind::SubmitTraced),
+            12 => Some(FrameKind::BatchSubmitTraced),
+            13 => Some(FrameKind::ReplyTraced),
+            14 => Some(FrameKind::TraceFetch),
+            15 => Some(FrameKind::TraceData),
+            16 => Some(FrameKind::MetricsFetch),
+            17 => Some(FrameKind::MetricsData),
             _ => None,
         }
     }
@@ -181,6 +223,10 @@ pub enum WireError {
     BadProgram(String),
     /// A batch frame declared zero items.
     EmptyBatch,
+    /// A metrics-fetch format byte names no format.
+    BadFormat(u8),
+    /// A span record's kind byte names no span kind.
+    BadSpan(u8),
 }
 
 impl WireError {
@@ -221,6 +267,8 @@ impl WireError {
             WireError::BadStatus(_) => 12,
             WireError::BadProgram(_) => 13,
             WireError::EmptyBatch => 14,
+            WireError::BadFormat(_) => 15,
+            WireError::BadSpan(_) => 16,
         }
     }
 }
@@ -255,6 +303,8 @@ impl fmt::Display for WireError {
             WireError::BadStatus(s) => write!(f, "reply status {s} out of range"),
             WireError::BadProgram(msg) => write!(f, "invalid program: {msg}"),
             WireError::EmptyBatch => write!(f, "batch frame with zero items"),
+            WireError::BadFormat(b) => write!(f, "metrics format {b} names no format"),
+            WireError::BadSpan(b) => write!(f, "span kind {b} names no span kind"),
         }
     }
 }
@@ -450,6 +500,20 @@ impl WireReply {
         }
     }
 
+    /// The traced extras a [`Frame::ReplyTraced`] carries alongside a
+    /// service reply: queue-wait nanoseconds and the node's span
+    /// records. Rejections carry neither (the node never executed).
+    #[must_use]
+    pub fn traced_parts(reply: &Reply) -> (u64, Vec<SpanRecord>) {
+        match reply {
+            Reply::Completed(c) => (
+                c.queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
+                c.spans.clone(),
+            ),
+            Reply::Rejected(_) => (0, Vec::new()),
+        }
+    }
+
     fn from_completion(request_id: u64, c: &Completion) -> Self {
         let (status, trap_code) = match c.outcome.trap {
             None => (ReplyStatus::Ok, 0),
@@ -554,6 +618,28 @@ pub enum Frame {
         /// The server's frame-body cap.
         max_frame: u32,
     },
+    /// A [`Frame::Hello`] with an extended body requesting optional
+    /// features ([`FEATURE_TRACE`]). Same [`FrameKind::Hello`] kind
+    /// byte; a legacy 4-byte body decodes as plain `Hello`, so v1
+    /// handshakes stay byte-identical.
+    HelloFeatures {
+        /// Requested pipelining window.
+        window: u32,
+        /// Requested feature bits.
+        features: u32,
+    },
+    /// A [`Frame::HelloOk`] with an extended body granting feature
+    /// bits (the intersection of requested and supported). Same
+    /// [`FrameKind::HelloOk`] kind byte; only sent in answer to a
+    /// [`Frame::HelloFeatures`].
+    HelloOkFeatures {
+        /// The granted in-flight window.
+        window: u32,
+        /// The server's frame-body cap.
+        max_frame: u32,
+        /// Granted feature bits.
+        features: u32,
+    },
     /// Liveness probe.
     Ping {
         /// Echoed in the `Pong`.
@@ -591,6 +677,66 @@ pub enum Frame {
         /// The answer.
         reply: WireReply,
     },
+    /// A [`Frame::Submit`] carrying its distributed-trace context.
+    SubmitTraced {
+        /// Client-assigned correlation id, echoed in the reply.
+        corr: u64,
+        /// The trace this request belongs to.
+        trace_id: u64,
+        /// The caller's span the node's spans will be parented to.
+        parent_span_id: u64,
+        /// The request.
+        request: WireRequest,
+    },
+    /// A [`Frame::BatchSubmit`] whose items each carry a trace context.
+    BatchSubmitTraced {
+        /// Correlation id of the batch frame itself.
+        corr: u64,
+        /// `(correlation id, trace id, parent span id, request)` per item.
+        items: Vec<(u64, u64, u64, WireRequest)>,
+    },
+    /// A [`Frame::Reply`] extended with the node-side span summary:
+    /// queue wait and the per-stage [`SpanRecord`]s the node emitted
+    /// for this request.
+    ReplyTraced {
+        /// The submitting frame's correlation id.
+        corr: u64,
+        /// The answer.
+        reply: WireReply,
+        /// Time the request waited in the node's queue, in nanoseconds.
+        queue_wait_nanos: u64,
+        /// The node's spans for this request (queue, cache, admit, exec).
+        spans: Vec<SpanRecord>,
+    },
+    /// Fetch the responder's traces as JSON: the tail-sampled slow-trace
+    /// store on a proxy, the live span rings on a node.
+    TraceFetch {
+        /// Echoed in the [`Frame::TraceData`] answer.
+        corr: u64,
+    },
+    /// The traces, as a JSON document.
+    TraceData {
+        /// The fetching frame's correlation id.
+        corr: u64,
+        /// The JSON text.
+        json: String,
+    },
+    /// Fetch the responder's metrics page in-protocol.
+    MetricsFetch {
+        /// Echoed in the [`Frame::MetricsData`] answer.
+        corr: u64,
+        /// [`METRICS_FORMAT_PROMETHEUS`] or [`METRICS_FORMAT_JSON`].
+        format: u8,
+    },
+    /// The metrics page.
+    MetricsData {
+        /// The fetching frame's correlation id.
+        corr: u64,
+        /// The format byte echoed from the fetch.
+        format: u8,
+        /// The page text.
+        text: String,
+    },
     /// Decode-only: a `Submit` (or `BatchSubmit`) frame whose framing
     /// was sound but whose request *content* failed validation
     /// ([`WireError::is_request_content`]). The server answers
@@ -620,8 +766,8 @@ impl Frame {
     #[must_use]
     pub fn kind(&self) -> FrameKind {
         match self {
-            Frame::Hello { .. } => FrameKind::Hello,
-            Frame::HelloOk { .. } => FrameKind::HelloOk,
+            Frame::Hello { .. } | Frame::HelloFeatures { .. } => FrameKind::Hello,
+            Frame::HelloOk { .. } | Frame::HelloOkFeatures { .. } => FrameKind::HelloOk,
             Frame::Ping { .. } => FrameKind::Ping,
             Frame::Pong { .. } => FrameKind::Pong,
             Frame::Goodbye => FrameKind::Goodbye,
@@ -629,6 +775,13 @@ impl Frame {
             Frame::Submit { .. } => FrameKind::Submit,
             Frame::BatchSubmit { .. } => FrameKind::BatchSubmit,
             Frame::Reply { .. } => FrameKind::Reply,
+            Frame::SubmitTraced { .. } => FrameKind::SubmitTraced,
+            Frame::BatchSubmitTraced { .. } => FrameKind::BatchSubmitTraced,
+            Frame::ReplyTraced { .. } => FrameKind::ReplyTraced,
+            Frame::TraceFetch { .. } => FrameKind::TraceFetch,
+            Frame::TraceData { .. } => FrameKind::TraceData,
+            Frame::MetricsFetch { .. } => FrameKind::MetricsFetch,
+            Frame::MetricsData { .. } => FrameKind::MetricsData,
             Frame::ProtoError { .. } | Frame::BadSubmit { .. } => FrameKind::ProtoError,
         }
     }
@@ -642,6 +795,23 @@ impl Frame {
                 let mut b = Vec::with_capacity(8);
                 b.extend_from_slice(&window.to_le_bytes());
                 b.extend_from_slice(&max_frame.to_le_bytes());
+                (0, b)
+            }
+            Frame::HelloFeatures { window, features } => {
+                let mut b = Vec::with_capacity(8);
+                b.extend_from_slice(&window.to_le_bytes());
+                b.extend_from_slice(&features.to_le_bytes());
+                (0, b)
+            }
+            Frame::HelloOkFeatures {
+                window,
+                max_frame,
+                features,
+            } => {
+                let mut b = Vec::with_capacity(12);
+                b.extend_from_slice(&window.to_le_bytes());
+                b.extend_from_slice(&max_frame.to_le_bytes());
+                b.extend_from_slice(&features.to_le_bytes());
                 (0, b)
             }
             Frame::Ping { corr } => (*corr, Vec::new()),
@@ -667,6 +837,64 @@ impl Frame {
             Frame::Reply { corr, reply } => {
                 let mut b = Vec::new();
                 encode_reply(&mut b, reply);
+                (*corr, b)
+            }
+            Frame::SubmitTraced {
+                corr,
+                trace_id,
+                parent_span_id,
+                request,
+            } => {
+                let mut b = Vec::new();
+                b.extend_from_slice(&trace_id.to_le_bytes());
+                b.extend_from_slice(&parent_span_id.to_le_bytes());
+                encode_request(&mut b, request);
+                (*corr, b)
+            }
+            Frame::BatchSubmitTraced { corr, items } => {
+                let mut b = Vec::new();
+                b.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for (item_corr, trace_id, parent_span_id, request) in items {
+                    b.extend_from_slice(&item_corr.to_le_bytes());
+                    b.extend_from_slice(&trace_id.to_le_bytes());
+                    b.extend_from_slice(&parent_span_id.to_le_bytes());
+                    let mut ib = Vec::new();
+                    encode_request(&mut ib, request);
+                    b.extend_from_slice(&(ib.len() as u32).to_le_bytes());
+                    b.extend_from_slice(&ib);
+                }
+                (*corr, b)
+            }
+            Frame::ReplyTraced {
+                corr,
+                reply,
+                queue_wait_nanos,
+                spans,
+            } => {
+                let mut b = Vec::new();
+                encode_reply(&mut b, reply);
+                b.extend_from_slice(&queue_wait_nanos.to_le_bytes());
+                b.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+                for span in spans {
+                    for word in span.encode() {
+                        b.extend_from_slice(&word.to_le_bytes());
+                    }
+                }
+                (*corr, b)
+            }
+            Frame::TraceFetch { corr } => (*corr, Vec::new()),
+            Frame::TraceData { corr, json } => {
+                let mut b = Vec::with_capacity(4 + json.len());
+                b.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                b.extend_from_slice(json.as_bytes());
+                (*corr, b)
+            }
+            Frame::MetricsFetch { corr, format } => (*corr, vec![*format]),
+            Frame::MetricsData { corr, format, text } => {
+                let mut b = Vec::with_capacity(5 + text.len());
+                b.push(*format);
+                b.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                b.extend_from_slice(text.as_bytes());
                 (*corr, b)
             }
             Frame::ProtoError {
@@ -903,7 +1131,18 @@ fn decode_reply(b: &mut Body<'_>) -> Result<WireReply, WireError> {
 fn decode_body(kind: FrameKind, corr: u64, bytes: &[u8]) -> Result<Frame, WireError> {
     let mut b = Body::new(bytes);
     let frame = match kind {
+        // body length disambiguates the legacy and feature-extended
+        // handshake bodies; the legacy images stay byte-for-byte fixed
+        FrameKind::Hello if bytes.len() == 8 => Frame::HelloFeatures {
+            window: b.u32()?,
+            features: b.u32()?,
+        },
         FrameKind::Hello => Frame::Hello { window: b.u32()? },
+        FrameKind::HelloOk if bytes.len() == 12 => Frame::HelloOkFeatures {
+            window: b.u32()?,
+            max_frame: b.u32()?,
+            features: b.u32()?,
+        },
         FrameKind::HelloOk => Frame::HelloOk {
             window: b.u32()?,
             max_frame: b.u32()?,
@@ -953,6 +1192,92 @@ fn decode_body(kind: FrameKind, corr: u64, bytes: &[u8]) -> Result<Frame, WireEr
             corr,
             reply: decode_reply(&mut b)?,
         },
+        FrameKind::SubmitTraced => {
+            let trace_id = b.u64()?;
+            let parent_span_id = b.u64()?;
+            match decode_request(&mut b) {
+                Ok(request) => Frame::SubmitTraced {
+                    corr,
+                    trace_id,
+                    parent_span_id,
+                    request,
+                },
+                Err(e) if e.is_request_content() => return Ok(Frame::BadSubmit { corr, error: e }),
+                Err(e) => return Err(e),
+            }
+        }
+        FrameKind::BatchSubmitTraced => {
+            let n = b.u32()?;
+            if n == 0 {
+                return Err(WireError::EmptyBatch);
+            }
+            let mut items = Vec::new();
+            for _ in 0..n {
+                let item_corr = b.u64()?;
+                let trace_id = b.u64()?;
+                let parent_span_id = b.u64()?;
+                let len = b.u32()? as usize;
+                let mut ib = Body::new(b.take(len)?);
+                match decode_request(&mut ib) {
+                    Ok(request) => {
+                        ib.finish()?;
+                        items.push((item_corr, trace_id, parent_span_id, request));
+                    }
+                    Err(e) if e.is_request_content() => {
+                        return Ok(Frame::BadSubmit {
+                            corr: item_corr,
+                            error: e,
+                        })
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Frame::BatchSubmitTraced { corr, items }
+        }
+        FrameKind::ReplyTraced => {
+            let reply = decode_reply(&mut b)?;
+            let queue_wait_nanos = b.u64()?;
+            let n = b.u32()?;
+            let mut spans = Vec::new();
+            for _ in 0..n {
+                let mut raw: RawSpan = [0; SPAN_WORDS];
+                for word in &mut raw {
+                    *word = b.u64()?;
+                }
+                let span =
+                    SpanRecord::decode(&raw).ok_or(WireError::BadSpan((raw[3] & 0xFF) as u8))?;
+                spans.push(span);
+            }
+            Frame::ReplyTraced {
+                corr,
+                reply,
+                queue_wait_nanos,
+                spans,
+            }
+        }
+        FrameKind::TraceFetch => Frame::TraceFetch { corr },
+        FrameKind::TraceData => Frame::TraceData {
+            corr,
+            json: b.string()?,
+        },
+        FrameKind::MetricsFetch => {
+            let format = b.u8()?;
+            if format > METRICS_FORMAT_JSON {
+                return Err(WireError::BadFormat(format));
+            }
+            Frame::MetricsFetch { corr, format }
+        }
+        FrameKind::MetricsData => {
+            let format = b.u8()?;
+            if format > METRICS_FORMAT_JSON {
+                return Err(WireError::BadFormat(format));
+            }
+            Frame::MetricsData {
+                corr,
+                format,
+                text: b.string()?,
+            }
+        }
         FrameKind::ProtoError => Frame::ProtoError {
             corr,
             code: b.u8()?,
@@ -1378,6 +1703,8 @@ mod tests {
             WireError::BadStatus(0),
             WireError::BadProgram(String::new()),
             WireError::EmptyBatch,
+            WireError::BadFormat(2),
+            WireError::BadSpan(0),
         ];
         let mut codes: Vec<u8> = errs.iter().map(WireError::code).collect();
         codes.sort_unstable();
@@ -1386,6 +1713,200 @@ mod tests {
         for e in &errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    fn sample_span() -> stackcache_obs::SpanRecord {
+        stackcache_obs::SpanRecord {
+            trace_id: 0x7ACE,
+            span_id: (1 << 63) | 7,
+            parent_span_id: (1 << 63) | 1,
+            kind: stackcache_obs::SpanKind::Exec,
+            start_nanos: 1_000,
+            end_nanos: 5_000,
+            node: stackcache_obs::node_label("node-a"),
+            attr: 3,
+            request: 42,
+        }
+    }
+
+    #[test]
+    fn trace_frames_roundtrip() {
+        let frames = vec![
+            Frame::HelloFeatures {
+                window: 16,
+                features: FEATURE_TRACE,
+            },
+            Frame::HelloOkFeatures {
+                window: 8,
+                max_frame: DEFAULT_MAX_FRAME,
+                features: FEATURE_TRACE,
+            },
+            Frame::SubmitTraced {
+                corr: 9,
+                trace_id: 0xABCD,
+                parent_span_id: (1 << 63) | 1,
+                request: sample_request(),
+            },
+            Frame::BatchSubmitTraced {
+                corr: 10,
+                items: vec![
+                    (100, 0xABCD, (1 << 63) | 1, sample_request()),
+                    (101, 0xABCD, (1 << 63) | 2, sample_request()),
+                ],
+            },
+            Frame::ReplyTraced {
+                corr: 9,
+                reply: WireReply::status_only(ReplyStatus::Ok, 3, String::new()),
+                queue_wait_nanos: 12_345,
+                spans: vec![sample_span()],
+            },
+            Frame::TraceFetch { corr: 11 },
+            Frame::TraceData {
+                corr: 11,
+                json: "{\"traces\":[]}".into(),
+            },
+            Frame::MetricsFetch {
+                corr: 12,
+                format: METRICS_FORMAT_JSON,
+            },
+            Frame::MetricsData {
+                corr: 12,
+                format: METRICS_FORMAT_PROMETHEUS,
+                text: "# HELP x\n".into(),
+            },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            let back = decode_frame(&bytes, DEFAULT_MAX_FRAME).expect("decode");
+            assert_eq!(back.kind(), f.kind());
+            assert_eq!(back.encode(), bytes, "re-encode is byte-identical");
+        }
+    }
+
+    #[test]
+    fn legacy_handshake_bodies_stay_frozen_and_disambiguate_by_length() {
+        // the plain Hello/HelloOk images are byte-for-byte the v1 ones
+        let hello = Frame::Hello { window: 9 }.encode();
+        assert_eq!(hello.len(), HEADER_LEN + 4);
+        assert!(matches!(
+            decode_frame(&hello, DEFAULT_MAX_FRAME),
+            Ok(Frame::Hello { window: 9 })
+        ));
+        let ok = Frame::HelloOk {
+            window: 8,
+            max_frame: 1 << 20,
+        }
+        .encode();
+        assert_eq!(ok.len(), HEADER_LEN + 8);
+        assert!(matches!(
+            decode_frame(&ok, DEFAULT_MAX_FRAME),
+            Ok(Frame::HelloOk { window: 8, .. })
+        ));
+        // the extended bodies ride the same kind bytes, longer bodies
+        let hf = Frame::HelloFeatures {
+            window: 9,
+            features: FEATURE_TRACE,
+        }
+        .encode();
+        assert_eq!(hf[6], FrameKind::Hello as u8);
+        assert_eq!(hf.len(), HEADER_LEN + 8);
+        assert!(matches!(
+            decode_frame(&hf, DEFAULT_MAX_FRAME),
+            Ok(Frame::HelloFeatures {
+                window: 9,
+                features: FEATURE_TRACE
+            })
+        ));
+        let hof = Frame::HelloOkFeatures {
+            window: 8,
+            max_frame: 1 << 20,
+            features: FEATURE_TRACE,
+        }
+        .encode();
+        assert_eq!(hof[6], FrameKind::HelloOk as u8);
+        assert_eq!(hof.len(), HEADER_LEN + 12);
+        assert!(matches!(
+            decode_frame(&hof, DEFAULT_MAX_FRAME),
+            Ok(Frame::HelloOkFeatures {
+                features: FEATURE_TRACE,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn traced_reply_span_fields_survive_the_wire() {
+        let span = sample_span();
+        let frame = Frame::ReplyTraced {
+            corr: 1,
+            reply: WireReply::status_only(ReplyStatus::Ok, 2, String::new()),
+            queue_wait_nanos: 777,
+            spans: vec![span],
+        };
+        let Frame::ReplyTraced {
+            queue_wait_nanos,
+            spans,
+            ..
+        } = decode_frame(&frame.encode(), DEFAULT_MAX_FRAME).expect("decode")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(queue_wait_nanos, 777);
+        assert_eq!(spans, vec![span]);
+    }
+
+    #[test]
+    fn bad_span_and_bad_format_are_typed() {
+        // a span whose kind byte names nothing
+        let mut frame = Frame::ReplyTraced {
+            corr: 1,
+            reply: WireReply::status_only(ReplyStatus::Ok, 2, String::new()),
+            queue_wait_nanos: 0,
+            spans: vec![sample_span()],
+        }
+        .encode();
+        // the span block sits at the end: 8 u64 words; word 3 holds the
+        // kind byte in its low 8 bits
+        let kind_at = frame.len() - 8 * 5;
+        frame[kind_at] = 0xEE;
+        assert!(matches!(
+            decode_frame(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::BadSpan(0xEE))
+        ));
+
+        let mut fetch = Frame::MetricsFetch {
+            corr: 1,
+            format: METRICS_FORMAT_JSON,
+        }
+        .encode();
+        fetch[HEADER_LEN] = 9;
+        assert!(matches!(
+            decode_frame(&fetch, DEFAULT_MAX_FRAME),
+            Err(WireError::BadFormat(9))
+        ));
+    }
+
+    #[test]
+    fn traced_parts_come_from_the_completion() {
+        let reply = Reply::Completed(Completion {
+            outcome: Outcome {
+                stack: vec![1],
+                rstack: vec![],
+                memory: vec![0],
+                output: vec![],
+                trap: None,
+                executed: Some(3),
+            },
+            cache_hit: true,
+            latency: Duration::from_nanos(500),
+            queue_wait: Duration::from_nanos(250),
+            spans: vec![sample_span()],
+        });
+        let (wait, spans) = WireReply::traced_parts(&reply);
+        assert_eq!(wait, 250);
+        assert_eq!(spans.len(), 1);
+        let rejected = Reply::Rejected(Rejection::ShutDown);
+        assert_eq!(WireReply::traced_parts(&rejected), (0, Vec::new()));
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Distributed tracing over live loopback sockets: feature
+//! negotiation, traced submissions and their span summaries, the
+//! in-protocol scrape frames, tail-sampling at the cluster tier — and
+//! the golden-compatibility guarantee that a legacy v1 client sees
+//! byte-identical frames from a trace-enabled server.
+
+mod util;
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use stackcache_core::EngineRegime;
+use stackcache_net::{
+    Client, Frame, NetConfig, NetProxy, NetServer, ProxyConfig, ReplyStatus, WireRequest,
+    FEATURE_TRACE, HEADER_LEN, METRICS_FORMAT_JSON, METRICS_FORMAT_PROMETHEUS,
+};
+use stackcache_obs::{prometheus_lint, SpanIdGen, SpanKind, TraceAssembler};
+use stackcache_svc::{Service, ServiceConfig};
+use util::{quick_program, reference_outcome};
+
+fn traced_node(label: &str) -> NetServer {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 256,
+        ..ServiceConfig::default()
+    });
+    NetServer::start(
+        service,
+        NetConfig {
+            node: label.to_string(),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind node")
+}
+
+#[test]
+fn traced_submission_returns_spans_that_assemble() {
+    let node = traced_node("node-a");
+    let client = Client::connect_traced(node.addr(), 8).expect("connect");
+    assert_eq!(client.features() & FEATURE_TRACE, FEATURE_TRACE);
+
+    let ids = SpanIdGen::new("test-root");
+    let trace_id = ids.next_id();
+    let root_id = ids.next_id();
+    let request = WireRequest::new(quick_program(7), EngineRegime::Tos).fuel(100_000);
+    let (reply, trace) = client
+        .submit_traced(&request, trace_id, root_id)
+        .expect("submit")
+        .wait_traced()
+        .expect("reply");
+    assert_eq!(reply.status, ReplyStatus::Ok);
+    assert_eq!(reply.differs_from(&reference_outcome(&request)), None);
+
+    let trace = trace.expect("a negotiated connection answers ReplyTraced");
+    let kinds: Vec<SpanKind> = trace.spans.iter().map(|s| s.kind).collect();
+    for want in [
+        SpanKind::Queue,
+        SpanKind::Cache,
+        SpanKind::Admit,
+        SpanKind::Exec,
+    ] {
+        assert!(kinds.contains(&want), "missing {want:?} in {kinds:?}");
+    }
+    for span in &trace.spans {
+        assert_eq!(span.trace_id, trace_id);
+        assert_eq!(span.parent_span_id, root_id);
+        assert_ne!(span.span_id, 0);
+        assert_eq!(span.node_str(), "svc", "worker spans keep the svc label");
+        assert!(span.end_nanos >= span.start_nanos);
+    }
+    let queue = trace
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Queue)
+        .expect("queue span");
+    assert_eq!(queue.duration_nanos(), trace.queue_wait_nanos);
+
+    // the caller owns the root: with it added, the spans stitch into
+    // exactly one rooted tree
+    let mut asm = TraceAssembler::new();
+    asm.add(stackcache_obs::SpanRecord {
+        trace_id,
+        span_id: root_id,
+        parent_span_id: 0,
+        kind: SpanKind::Root,
+        start_nanos: 0,
+        end_nanos: u64::MAX,
+        node: stackcache_obs::node_label("test-root"),
+        attr: 0,
+        request: 0,
+    });
+    for s in &trace.spans {
+        asm.add(*s);
+    }
+    let tree = asm.assemble(trace_id).expect("one rooted tree");
+    assert_eq!(tree.span_count, 1 + trace.spans.len());
+
+    client.goodbye().expect("drain");
+    let _ = node.shutdown();
+}
+
+#[test]
+fn duplicate_submissions_keep_distinct_span_ids() {
+    let node = traced_node("node-a");
+    let client = Client::connect_traced(node.addr(), 8).expect("connect");
+    let ids = SpanIdGen::new("test-root");
+    let trace_id = ids.next_id();
+    let root_id = ids.next_id();
+    let request = WireRequest::new(quick_program(5), EngineRegime::Static(2)).fuel(100_000);
+
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..4 {
+        let (reply, trace) = client
+            .submit_traced(&request, trace_id, root_id)
+            .expect("submit")
+            .wait_traced()
+            .expect("reply");
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        for span in trace.expect("traced reply").spans {
+            assert!(
+                seen.insert(span.span_id),
+                "span id {:#x} reused across replies",
+                span.span_id
+            );
+        }
+    }
+    client.goodbye().expect("drain");
+    let _ = node.shutdown();
+}
+
+#[test]
+fn trace_and_metrics_fetch_answer_in_protocol() {
+    let node = traced_node("node-a");
+    let client = Client::connect_traced(node.addr(), 8).expect("connect");
+
+    let ids = SpanIdGen::new("test-root");
+    let request = WireRequest::new(quick_program(9), EngineRegime::Tos).fuel(100_000);
+    let (reply, _) = client
+        .submit_traced(&request, ids.next_id(), ids.next_id())
+        .expect("submit")
+        .wait_traced()
+        .expect("reply");
+    assert_eq!(reply.status, ReplyStatus::Ok);
+
+    let spans = client.fetch_trace().expect("trace fetch");
+    assert!(
+        spans.contains("\"spans\":[") && spans.contains("\"exec\""),
+        "span dump must carry the exec span: {spans}"
+    );
+
+    let page = client
+        .fetch_metrics(METRICS_FORMAT_PROMETHEUS)
+        .expect("metrics fetch");
+    prometheus_lint(&page).expect("in-protocol scrape page must lint clean");
+    assert!(page.contains("net_traced_submits_total 1\n"));
+
+    let doc = client
+        .fetch_metrics(METRICS_FORMAT_JSON)
+        .expect("json fetch");
+    assert!(doc.starts_with('{') && doc.contains("\"svc\""));
+
+    client.goodbye().expect("drain");
+    let _ = node.shutdown();
+}
+
+/// The golden-compatibility satellite: a pure-v1 client (raw bytes,
+/// no extended Hello) must see byte-identical v1 frames from a
+/// trace-enabled server — negotiation is opt-in, never ambient.
+#[test]
+fn legacy_client_sees_byte_identical_v1_frames() {
+    let node = traced_node("node-a");
+    let mut sock = TcpStream::connect(node.addr()).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    let read_exact_frame = |sock: &mut TcpStream| -> Vec<u8> {
+        let mut header = [0u8; HEADER_LEN];
+        sock.read_exact(&mut header).expect("frame header");
+        let len = u32::from_le_bytes(header[16..20].try_into().expect("len")) as usize;
+        let mut body = vec![0u8; len];
+        sock.read_exact(&mut body).expect("frame body");
+        let mut all = header.to_vec();
+        all.extend_from_slice(&body);
+        all
+    };
+
+    // legacy Hello: the reply must be the legacy 8-byte HelloOk image,
+    // not the extended 12-byte one
+    sock.write_all(&Frame::Hello { window: 4 }.encode())
+        .expect("hello");
+    let hello_ok = read_exact_frame(&mut sock);
+    assert_eq!(
+        hello_ok,
+        Frame::HelloOk {
+            window: 4,
+            max_frame: 1 << 20,
+        }
+        .encode(),
+        "legacy handshake must stay byte-identical"
+    );
+
+    // legacy Ping: byte-identical Pong
+    sock.write_all(&Frame::Ping { corr: 0xAB }.encode())
+        .expect("ping");
+    assert_eq!(
+        read_exact_frame(&mut sock),
+        Frame::Pong { corr: 0xAB }.encode()
+    );
+
+    // legacy Submit: the reply frame must be kind 9 (Reply), never
+    // ReplyTraced, and decode as plain v1
+    let request = WireRequest::new(quick_program(3), EngineRegime::Tos).fuel(100_000);
+    sock.write_all(&Frame::Submit { corr: 7, request }.encode())
+        .expect("submit");
+    let reply_bytes = read_exact_frame(&mut sock);
+    assert_eq!(reply_bytes[6], 9, "legacy submit must answer kind 9 Reply");
+    match stackcache_net::decode_frame(&reply_bytes, 1 << 20).expect("decode") {
+        Frame::Reply { corr, reply } => {
+            assert_eq!(corr, 7);
+            assert_eq!(reply.status, ReplyStatus::Ok);
+        }
+        other => panic!("expected Reply, got {:?}", other.kind()),
+    }
+
+    drop(sock);
+    let _ = node.shutdown();
+}
+
+#[test]
+fn unnegotiated_trace_frames_end_the_connection_with_a_typed_error() {
+    let node = traced_node("node-a");
+    let mut sock = TcpStream::connect(node.addr()).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    sock.write_all(&Frame::Hello { window: 4 }.encode())
+        .expect("hello");
+    let mut hello_ok = vec![0u8; HEADER_LEN + 8];
+    sock.read_exact(&mut hello_ok).expect("hello ok");
+
+    // TraceFetch without negotiation: one ProtoError frame, then close
+    sock.write_all(&Frame::TraceFetch { corr: 1 }.encode())
+        .expect("trace fetch");
+    let mut header = [0u8; HEADER_LEN];
+    sock.read_exact(&mut header).expect("error header");
+    assert_eq!(header[6], 10, "expected a ProtoError frame");
+    let len = u32::from_le_bytes(header[16..20].try_into().expect("len")) as usize;
+    let mut body = vec![0u8; len];
+    sock.read_exact(&mut body).expect("error body");
+    assert_eq!(
+        body[0],
+        stackcache_net::ERR_UNEXPECTED_FRAME,
+        "un-negotiated trace frames earn ERR_UNEXPECTED_FRAME"
+    );
+
+    let _ = node.shutdown();
+}
+
+#[test]
+fn cluster_tail_sampling_assembles_rooted_trees() {
+    let mut nodes = Vec::new();
+    let mut addrs = Vec::new();
+    for label in ["node-a", "node-b"] {
+        let node = traced_node(label);
+        addrs.push(node.addr().to_string());
+        nodes.push(node);
+    }
+    let proxy = NetProxy::start(ProxyConfig {
+        nodes: addrs,
+        node: "proxy".to_string(),
+        // sample everything: every request is "slow" at threshold zero
+        slow_threshold: Duration::ZERO,
+        trace_store_capacity: 256,
+        ..ProxyConfig::default()
+    })
+    .expect("start proxy");
+
+    // a plain v1 client: the proxy originates every trace at ingress
+    let client = Client::connect(proxy.addr(), 16).expect("connect");
+    let mut submitted = 0usize;
+    for k in 2..14 {
+        for regime in [EngineRegime::Tos, EngineRegime::Static(2)] {
+            let request = WireRequest::new(quick_program(k), regime).fuel(100_000);
+            let reply = client.call(&request).expect("reply");
+            assert_eq!(reply.status, ReplyStatus::Ok);
+            submitted += 1;
+        }
+    }
+    client.goodbye().expect("drain");
+
+    let trees = proxy.sampled_traces();
+    assert_eq!(
+        trees.len(),
+        submitted,
+        "threshold zero must tail-sample every request"
+    );
+    let snap = proxy.metrics();
+    assert_eq!(snap.sampled_traces, submitted as u64);
+    assert_eq!(
+        snap.assembly_failures, 0,
+        "every sampled trace must assemble into one rooted tree"
+    );
+    let mut saw_node = [false, false];
+    for tree in &trees {
+        assert_eq!(tree.root.span.kind, SpanKind::Root);
+        assert_eq!(tree.root.span.node_str(), "proxy");
+        assert_eq!(tree.root.children.len(), 1, "one forward hop per request");
+        let forward = &tree.root.children[0];
+        assert_eq!(forward.span.kind, SpanKind::Forward);
+        saw_node[forward.span.attr as usize] = true;
+        assert_eq!(
+            tree.span_count, 6,
+            "root + forward + the node's four stage spans"
+        );
+        assert_eq!(forward.children.len(), 4);
+        for child in &forward.children {
+            assert_eq!(child.span.node_str(), "svc");
+        }
+        let text = tree.render_text();
+        assert!(text.contains("root") && text.contains("exec"), "{text}");
+    }
+    assert!(
+        saw_node[0] && saw_node[1],
+        "both nodes must appear across the sampled traces"
+    );
+
+    // the sampled trees are fetchable in-protocol
+    let fetcher = Client::connect_traced(proxy.addr(), 4).expect("connect traced");
+    let json = fetcher.fetch_trace().expect("trace fetch");
+    assert!(json.starts_with('[') && json.contains("\"root\""));
+    let page = fetcher
+        .fetch_metrics(METRICS_FORMAT_PROMETHEUS)
+        .expect("metrics fetch");
+    prometheus_lint(&page).expect("proxy scrape page must lint clean");
+    fetcher.goodbye().expect("drain");
+
+    let _ = proxy.shutdown();
+    for node in nodes {
+        let _ = node.shutdown();
+    }
+}
+
+#[test]
+fn caller_traced_requests_pass_their_context_through_the_proxy() {
+    let node = traced_node("node-a");
+    let proxy = NetProxy::start(ProxyConfig {
+        nodes: vec![node.addr().to_string()],
+        node: "proxy".to_string(),
+        slow_threshold: Duration::from_secs(3600),
+        ..ProxyConfig::default()
+    })
+    .expect("start proxy");
+
+    let client = Client::connect_traced(proxy.addr(), 8).expect("connect");
+    let ids = SpanIdGen::new("caller");
+    let trace_id = ids.next_id();
+    let root_id = ids.next_id();
+    let request = WireRequest::new(quick_program(11), EngineRegime::Tos).fuel(100_000);
+    let (reply, trace) = client
+        .submit_traced(&request, trace_id, root_id)
+        .expect("submit")
+        .wait_traced()
+        .expect("reply");
+    assert_eq!(reply.status, ReplyStatus::Ok);
+    let trace = trace.expect("traced reply through the proxy");
+
+    // the caller owns the root: the proxy's spans parent into the
+    // caller's span, the node's spans into the proxy's forward span
+    let mut asm = TraceAssembler::new();
+    asm.add(stackcache_obs::SpanRecord {
+        trace_id,
+        span_id: root_id,
+        parent_span_id: 0,
+        kind: SpanKind::Root,
+        start_nanos: 0,
+        end_nanos: u64::MAX,
+        node: stackcache_obs::node_label("caller"),
+        attr: 0,
+        request: 0,
+    });
+    for s in &trace.spans {
+        assert_eq!(s.trace_id, trace_id);
+        asm.add(*s);
+    }
+    let tree = asm.assemble(trace_id).expect("caller-rooted tree");
+    assert_eq!(tree.span_count, 1 + trace.spans.len());
+    let hops: Vec<String> = trace.spans.iter().map(|s| s.node_str()).collect();
+    assert!(hops.iter().any(|n| n == "proxy"), "{hops:?}");
+    assert!(hops.iter().any(|n| n == "svc"), "{hops:?}");
+
+    // nothing tail-sampled: the caller owns this trace's root
+    assert!(proxy.sampled_traces().is_empty());
+
+    client.goodbye().expect("drain");
+    let _ = proxy.shutdown();
+    let _ = node.shutdown();
+}

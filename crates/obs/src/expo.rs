@@ -115,11 +115,14 @@ fn family_of(name: &str) -> &str {
 ///
 /// Verifies that every line is a well-formed `# HELP`, `# TYPE`, comment,
 /// or sample; that names and label names are legal; that label values are
-/// properly quoted; that sample values parse; and that every sample
-/// belongs to a family declared by an earlier `# TYPE` line. Returns the
-/// first offence as `Err(description)`.
+/// properly quoted; that sample values parse; that every sample belongs
+/// to a family declared by an earlier `# TYPE` line; and that no two
+/// samples share the same name and label set (a scraper would drop such
+/// a page as an ingestion error). Returns the first offence as
+/// `Err(description)`.
 pub fn prometheus_lint(text: &str) -> Result<(), String> {
     let mut typed: Vec<String> = Vec::new();
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut samples = 0usize;
     for (ln, line) in text.lines().enumerate() {
         let n = ln + 1;
@@ -158,12 +161,56 @@ pub fn prometheus_lint(text: &str) -> Result<(), String> {
         if !typed.iter().any(|t| t == family) {
             return Err(format!("line {n}: sample for undeclared family {family:?}"));
         }
+        let identity = series_identity(line);
+        if !seen.insert(identity) {
+            return Err(format!(
+                "line {n}: duplicate sample for series {:?}",
+                &line[..line.rfind('}').map_or(name_end, |c| c + 1)]
+            ));
+        }
         samples += 1;
     }
     if samples == 0 {
         return Err("no sample lines".to_string());
     }
     Ok(())
+}
+
+/// The series identity of a lint-clean sample line: metric name plus its
+/// label pairs sorted by label name (Prometheus series identity is
+/// order-insensitive in the label set).
+fn series_identity(line: &str) -> String {
+    match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').unwrap_or(line.len());
+            let name = &line[..open];
+            let body = &line[open + 1..close.min(line.len())];
+            let mut labels: Vec<&str> = Vec::new();
+            // split on commas outside quotes (the line already linted clean)
+            let mut start = 0usize;
+            let bytes = body.as_bytes();
+            let mut in_quotes = false;
+            let mut i = 0;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' if in_quotes => i += 1,
+                    b'"' => in_quotes = !in_quotes,
+                    b',' if !in_quotes => {
+                        labels.push(&body[start..i]);
+                        start = i + 1;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            if start < body.len() {
+                labels.push(&body[start..]);
+            }
+            labels.sort_unstable();
+            format!("{name}{{{}}}", labels.join(","))
+        }
+        None => line[..line.find(' ').unwrap_or(line.len())].to_string(),
+    }
 }
 
 fn lint_sample_line(line: &str, n: usize) -> Result<(), String> {
@@ -414,6 +461,27 @@ mod tests {
             let err = prometheus_lint(page).unwrap_err();
             assert!(err.contains(want), "{page:?}: {err}");
         }
+    }
+
+    #[test]
+    fn lint_rejects_duplicate_series() {
+        // literal duplicate
+        let page = "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n";
+        let err = prometheus_lint(page).unwrap_err();
+        assert!(err.contains("duplicate sample"), "{err}");
+        // same label set, different order — still the same series
+        let page = "# TYPE x counter\nx{a=\"1\",b=\"2\"} 1\nx{b=\"2\",a=\"1\"} 2\n";
+        let err = prometheus_lint(page).unwrap_err();
+        assert!(err.contains("duplicate sample"), "{err}");
+        // bare name twice
+        let page = "# TYPE x counter\nx 1\nx 2\n";
+        assert!(prometheus_lint(page).is_err());
+        // distinct label values are distinct series
+        let page = "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"2\"} 2\nx 3\n";
+        prometheus_lint(page).unwrap();
+        // a comma inside a quoted value must not split the label set
+        let page = "# TYPE x counter\nx{a=\"p,q\"} 1\nx{a=\"p\",q=\"\"} 2\n";
+        prometheus_lint(page).unwrap();
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Observability for the stack-caching runtime.
 //!
-//! Three pillars, all zero-dependency and all free when switched off:
+//! Four pillars, all zero-dependency and all free when switched off:
 //!
 //! - **Flight recorder** ([`FlightRecorder`], [`EventRing`]): per-worker
 //!   lock-free rings of fixed-size structured events
@@ -13,6 +13,10 @@
 //!   overflow/underflow tallies for any Fig. 18 organization. Its
 //!   aggregate [`Counts`](stackcache_core::Counts) equal the Section 6
 //!   counting regime's by construction.
+//! - **Distributed-trace spans** ([`SpanRecord`], [`SpanRing`],
+//!   [`TraceAssembler`]): fixed-size cross-process spans in the same
+//!   tear-safe seqlock rings, stitched by parent links (never raw
+//!   clocks) into rooted trace trees with text and JSON renderings.
 //! - **Exposition** ([`PromText`], [`JsonObj`], [`prometheus_lint`]):
 //!   Prometheus text-format and JSON rendering helpers the service layer
 //!   uses to publish its metrics snapshot, plus a line-format linter the
@@ -30,6 +34,7 @@ pub mod expo;
 pub mod profile;
 pub mod ring;
 pub mod seqprof;
+pub mod span;
 pub mod tracer;
 
 pub use event::{decode, encode, CancelKind, EventKind, RawEvent, RejectKind};
@@ -37,4 +42,8 @@ pub use expo::{json_array, json_string, prometheus_lint, JsonObj, PromText};
 pub use profile::{CacheProfiler, StateTally, StaticProfiler, StaticStateTally};
 pub use ring::{EventRing, FlightDump, FlightRecorder, TimedEvent};
 pub use seqprof::SeqProfiler;
+pub use span::{
+    node_label, spans_json, traces_json, AssembleError, RawSpan, SpanIdGen, SpanKind, SpanRecord,
+    SpanRing, TraceAssembler, TraceNode, TraceTree, SPAN_WORDS,
+};
 pub use tracer::RingTracer;

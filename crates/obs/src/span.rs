@@ -1,0 +1,725 @@
+//! Distributed-tracing spans: fixed-size records in tear-safe rings,
+//! plus the assembler that stitches spans from several processes into a
+//! rooted trace tree.
+//!
+//! A [`SpanRecord`] is the cross-process sibling of the flight
+//! recorder's [`RawEvent`](crate::RawEvent): eight `u64` words that can
+//! be written into a seqlock ring slot ([`SpanRing`]) with plain atomic
+//! stores, carried over the wire, and re-assembled on the far side. The
+//! [`TraceAssembler`] orders spans by their *parent links*, never by raw
+//! clocks, so a trace whose spans came from machines with skewed clocks
+//! still renders as the tree causality dictates.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::expo::{json_array, json_string, JsonObj};
+
+/// Words per span slot (the raw wire/ring form of one span).
+pub const SPAN_WORDS: usize = 8;
+
+/// The raw form of one span: eight little-endian `u64` words.
+///
+/// Layout: `[trace_id, span_id, parent_span_id, kind | attr << 8,
+/// start_nanos, end_nanos, node_label, request]`.
+pub type RawSpan = [u64; SPAN_WORDS];
+
+/// What stage of a request's life a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// The whole request as seen at the cluster ingress (proxy).
+    Root,
+    /// One upstream forward (proxy → node), child of the root.
+    Forward,
+    /// Admission into the service queue.
+    Admit,
+    /// Time spent waiting in the service queue.
+    Queue,
+    /// Compiled-artifact cache lookup (and translation on a miss).
+    Cache,
+    /// Engine execution.
+    Exec,
+    /// Verification against the reference interpreter.
+    Verify,
+}
+
+impl SpanKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            SpanKind::Root => 1,
+            SpanKind::Forward => 2,
+            SpanKind::Admit => 3,
+            SpanKind::Queue => 4,
+            SpanKind::Cache => 5,
+            SpanKind::Exec => 6,
+            SpanKind::Verify => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<SpanKind> {
+        Some(match v {
+            1 => SpanKind::Root,
+            2 => SpanKind::Forward,
+            3 => SpanKind::Admit,
+            4 => SpanKind::Queue,
+            5 => SpanKind::Cache,
+            6 => SpanKind::Exec,
+            7 => SpanKind::Verify,
+            _ => return None,
+        })
+    }
+
+    /// The stage name used in renderings.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Root => "root",
+            SpanKind::Forward => "forward",
+            SpanKind::Admit => "admit",
+            SpanKind::Queue => "queue",
+            SpanKind::Cache => "cache",
+            SpanKind::Exec => "exec",
+            SpanKind::Verify => "verify",
+        }
+    }
+}
+
+/// One finished span of a distributed trace.
+///
+/// `parent_span_id == 0` marks the root. Timestamps are nanoseconds on
+/// the *recording process's* clock — they are meaningful within one
+/// node but only ordered across nodes through parent links. The
+/// `attr` word carries a kind-specific detail (cache: 1 = hit;
+/// exec: coalesced waiters fanned out; verify: 1 = ok), at most 56 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to (stamped at cluster ingress).
+    pub trace_id: u64,
+    /// This span's id, unique within the trace.
+    pub span_id: u64,
+    /// The id of the parent span (0 for the root).
+    pub parent_span_id: u64,
+    /// The stage this span covers.
+    pub kind: SpanKind,
+    /// Start, nanoseconds on the recording process's clock.
+    pub start_nanos: u64,
+    /// End, nanoseconds on the recording process's clock.
+    pub end_nanos: u64,
+    /// The recording node's label, ASCII packed into 8 bytes.
+    pub node: [u8; 8],
+    /// Kind-specific attribute (low 56 bits are preserved).
+    pub attr: u64,
+    /// The request id on the recording node (0 if unknown).
+    pub request: u64,
+}
+
+impl SpanRecord {
+    /// The span's duration in nanoseconds (0 if the clock ran backwards).
+    #[must_use]
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+
+    /// The node label as a string, trailing NULs stripped.
+    #[must_use]
+    pub fn node_str(&self) -> String {
+        let end = self.node.iter().position(|&b| b == 0).unwrap_or(8);
+        String::from_utf8_lossy(&self.node[..end]).into_owned()
+    }
+
+    /// Encode into the raw eight-word form.
+    #[must_use]
+    pub fn encode(&self) -> RawSpan {
+        [
+            self.trace_id,
+            self.span_id,
+            self.parent_span_id,
+            u64::from(self.kind.to_u8()) | ((self.attr & ((1 << 56) - 1)) << 8),
+            self.start_nanos,
+            self.end_nanos,
+            u64::from_le_bytes(self.node),
+            self.request,
+        ]
+    }
+
+    /// Decode from the raw form. `None` for an unwritten slot (kind 0)
+    /// or an unknown kind byte.
+    #[must_use]
+    pub fn decode(raw: &RawSpan) -> Option<SpanRecord> {
+        let kind = SpanKind::from_u8((raw[3] & 0xFF) as u8)?;
+        Some(SpanRecord {
+            trace_id: raw[0],
+            span_id: raw[1],
+            parent_span_id: raw[2],
+            kind,
+            start_nanos: raw[4],
+            end_nanos: raw[5],
+            node: raw[6].to_le_bytes(),
+            attr: raw[3] >> 8,
+            request: raw[7],
+        })
+    }
+}
+
+/// Pack an ASCII label into the 8-byte node field (truncated, NUL-padded).
+#[must_use]
+pub fn node_label(s: &str) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    for (o, b) in out.iter_mut().zip(s.bytes()) {
+        *o = b;
+    }
+    out
+}
+
+/// Allocates span ids unique across the processes of a cluster: the
+/// node label's FNV-1a hash seeds the high bits, a process-local
+/// counter supplies the low bits. Id 0 is never produced (it means
+/// "no parent").
+#[derive(Debug)]
+pub struct SpanIdGen {
+    base: u64,
+    next: AtomicU64,
+}
+
+impl SpanIdGen {
+    /// A generator for the process labelled `node`.
+    #[must_use]
+    pub fn new(node: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in node.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SpanIdGen {
+            base: h << 24,
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// The next id: never 0, distinct per call within a process, and
+    /// distinct across differently-labelled processes up to 2^24 ids.
+    pub fn next_id(&self) -> u64 {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let id = self.base.wrapping_add(n) | 1 << 63;
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
+}
+
+struct SpanSlot {
+    /// Seqlock version: `2*seq + 1` while writing, `2*seq + 2` done.
+    version: AtomicU64,
+    data: [AtomicU64; SPAN_WORDS],
+}
+
+/// A fixed-capacity, tear-safe ring of the last N spans — the same
+/// seqlock idiom as [`EventRing`](crate::EventRing), widened to the
+/// eight-word span slot.
+pub struct SpanRing {
+    slots: Box<[SpanSlot]>,
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// A ring holding the last `capacity` spans (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            slots: (0..capacity.max(1))
+                .map(|_| SpanSlot {
+                    version: AtomicU64::new(0),
+                    data: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Total spans ever recorded.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one span. Wait-free, no allocation.
+    pub fn record(&self, span: &SpanRecord) {
+        let raw = span.encode();
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        slot.version.store(2 * seq + 1, Ordering::Relaxed);
+        for (w, &v) in slot.data.iter().zip(raw.iter()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.version.store(2 * seq + 2, Ordering::Release);
+    }
+
+    /// Snapshot every readable slot, oldest first; torn slots skipped.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<(u64, SpanRecord)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 % 2 == 1 {
+                continue;
+            }
+            let mut raw = [0u64; SPAN_WORDS];
+            for (out_w, w) in raw.iter_mut().zip(slot.data.iter()) {
+                *out_w = w.load(Ordering::Relaxed);
+            }
+            let v2 = slot.version.load(Ordering::Acquire);
+            if v1 == v2 {
+                if let Some(span) = SpanRecord::decode(&raw) {
+                    out.push(((v1 - 2) / 2, span));
+                }
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+/// One node of an assembled trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceNode {
+    /// The span at this node.
+    pub span: SpanRecord,
+    /// Children, ordered by (start, span id) *within their own node's
+    /// clock* — stable, and correct per-process.
+    pub children: Vec<TraceNode>,
+}
+
+/// A fully stitched trace: one root, every other span reachable from it
+/// through parent links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceTree {
+    /// The trace id all spans share.
+    pub trace_id: u64,
+    /// The root node (`parent_span_id == 0`).
+    pub root: TraceNode,
+    /// Spans in the trace (root included).
+    pub span_count: usize,
+}
+
+impl TraceTree {
+    /// Render as an indented text tree, one line per span.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut s = format!("trace {:016x} ({} spans)\n", self.trace_id, self.span_count);
+        render_node(&self.root, 0, &mut s);
+        s
+    }
+
+    /// Render as a JSON object (`{"trace_id":…,"root":{…}}`).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.field_str("trace_id", &format!("{:016x}", self.trace_id))
+            .field_u64("span_count", self.span_count as u64)
+            .field_raw("root", &node_json(&self.root));
+        o.finish()
+    }
+}
+
+fn render_node(node: &TraceNode, depth: usize, out: &mut String) {
+    let s = &node.span;
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&format!(
+        "{} [{}] {}us req#{}",
+        s.kind.name(),
+        s.node_str(),
+        s.duration_nanos() / 1_000,
+        s.request,
+    ));
+    if s.attr != 0 {
+        out.push_str(&format!(" attr={}", s.attr));
+    }
+    out.push('\n');
+    for c in &node.children {
+        render_node(c, depth + 1, out);
+    }
+}
+
+fn node_json(node: &TraceNode) -> String {
+    let s = &node.span;
+    let mut o = JsonObj::new();
+    o.field_str("kind", s.kind.name())
+        .field_str("node", &s.node_str())
+        .field_u64("span_id", s.span_id)
+        .field_u64("parent_span_id", s.parent_span_id)
+        .field_u64("start_nanos", s.start_nanos)
+        .field_u64("end_nanos", s.end_nanos)
+        .field_u64("duration_nanos", s.duration_nanos())
+        .field_u64("attr", s.attr)
+        .field_u64("request", s.request);
+    let kids: Vec<String> = node.children.iter().map(node_json).collect();
+    o.field_raw("children", &json_array(&kids));
+    o.finish()
+}
+
+/// What went wrong stitching a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// No span with `parent_span_id == 0` was found.
+    NoRoot,
+    /// More than one root span claimed the trace.
+    MultipleRoots,
+    /// Spans whose parent id matches no span in the trace (the ids).
+    Orphans(Vec<u64>),
+    /// The trace id was never seen.
+    UnknownTrace,
+}
+
+impl std::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssembleError::NoRoot => write!(f, "no root span"),
+            AssembleError::MultipleRoots => write!(f, "multiple root spans"),
+            AssembleError::Orphans(ids) => write!(f, "{} orphan span(s)", ids.len()),
+            AssembleError::UnknownTrace => write!(f, "unknown trace id"),
+        }
+    }
+}
+
+/// Stitches spans from any number of processes into rooted trace trees.
+///
+/// Spans are grouped by trace id; within a trace the tree is built
+/// purely from parent links — sibling order uses timestamps (correct
+/// within one process, arbitrary-but-stable across skewed clocks), but
+/// *structure* never does, so cross-node clock skew cannot detach a
+/// child from its parent.
+#[derive(Debug, Default)]
+pub struct TraceAssembler {
+    by_trace: BTreeMap<u64, Vec<SpanRecord>>,
+}
+
+impl TraceAssembler {
+    /// An empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceAssembler::default()
+    }
+
+    /// Add one span. Exact duplicates (same trace and span id) are
+    /// collapsed, keeping the first.
+    pub fn add(&mut self, span: SpanRecord) {
+        let spans = self.by_trace.entry(span.trace_id).or_default();
+        if !spans.iter().any(|s| s.span_id == span.span_id) {
+            spans.push(span);
+        }
+    }
+
+    /// Add every span in `spans`.
+    pub fn extend(&mut self, spans: impl IntoIterator<Item = SpanRecord>) {
+        for s in spans {
+            self.add(s);
+        }
+    }
+
+    /// Trace ids seen so far, ascending.
+    #[must_use]
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.by_trace.keys().copied().collect()
+    }
+
+    /// Number of spans held for `trace_id`.
+    #[must_use]
+    pub fn span_count(&self, trace_id: u64) -> usize {
+        self.by_trace.get(&trace_id).map_or(0, Vec::len)
+    }
+
+    /// Stitch one trace into its rooted tree.
+    pub fn assemble(&self, trace_id: u64) -> Result<TraceTree, AssembleError> {
+        let spans = self
+            .by_trace
+            .get(&trace_id)
+            .ok_or(AssembleError::UnknownTrace)?;
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        let mut ids: BTreeMap<u64, ()> = BTreeMap::new();
+        for s in spans {
+            ids.insert(s.span_id, ());
+            if s.parent_span_id == 0 {
+                roots.push(s);
+            }
+        }
+        if roots.is_empty() {
+            return Err(AssembleError::NoRoot);
+        }
+        if roots.len() > 1 {
+            return Err(AssembleError::MultipleRoots);
+        }
+        let orphans: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.parent_span_id != 0 && !ids.contains_key(&s.parent_span_id))
+            .map(|s| s.span_id)
+            .collect();
+        if !orphans.is_empty() {
+            return Err(AssembleError::Orphans(orphans));
+        }
+        let root = build_node(roots[0], spans);
+        let span_count = count_nodes(&root);
+        // a parent-link cycle would strand spans outside the tree
+        if span_count != spans.len() {
+            let in_tree = collect_ids(&root);
+            let stranded: Vec<u64> = spans
+                .iter()
+                .filter(|s| !in_tree.contains_key(&s.span_id))
+                .map(|s| s.span_id)
+                .collect();
+            return Err(AssembleError::Orphans(stranded));
+        }
+        Ok(TraceTree {
+            trace_id,
+            root,
+            span_count,
+        })
+    }
+
+    /// Stitch every trace; returns `(trees, failures)`.
+    #[must_use]
+    pub fn assemble_all(&self) -> (Vec<TraceTree>, Vec<(u64, AssembleError)>) {
+        let mut trees = Vec::new();
+        let mut failures = Vec::new();
+        for &tid in self.by_trace.keys() {
+            match self.assemble(tid) {
+                Ok(t) => trees.push(t),
+                Err(e) => failures.push((tid, e)),
+            }
+        }
+        (trees, failures)
+    }
+}
+
+fn build_node(span: &SpanRecord, all: &[SpanRecord]) -> TraceNode {
+    let mut kids: Vec<&SpanRecord> = all
+        .iter()
+        .filter(|s| s.parent_span_id == span.span_id && s.span_id != span.span_id)
+        .collect();
+    kids.sort_by_key(|s| (s.start_nanos, s.span_id));
+    TraceNode {
+        span: *span,
+        children: kids.into_iter().map(|k| build_node(k, all)).collect(),
+    }
+}
+
+fn count_nodes(n: &TraceNode) -> usize {
+    1 + n.children.iter().map(count_nodes).sum::<usize>()
+}
+
+fn collect_ids(n: &TraceNode) -> BTreeMap<u64, ()> {
+    let mut out = BTreeMap::new();
+    fn walk(n: &TraceNode, out: &mut BTreeMap<u64, ()>) {
+        out.insert(n.span.span_id, ());
+        for c in &n.children {
+            walk(c, out);
+        }
+    }
+    walk(n, &mut out);
+    out
+}
+
+/// Render a list of trace trees as one JSON array (the in-protocol
+/// `TraceData` payload).
+#[must_use]
+pub fn traces_json(trees: &[TraceTree]) -> String {
+    json_array(&trees.iter().map(TraceTree::render_json).collect::<Vec<_>>())
+}
+
+/// Quote-safe helper for embedding a rendered text tree in JSON.
+#[must_use]
+pub fn text_json(text: &str) -> String {
+    json_string(text)
+}
+
+/// Render a flat span list as one JSON document
+/// (`{"spans":[{…},…]}`) — the node-side `TraceFetch` payload, fed to
+/// a [`TraceAssembler`] on the consuming side.
+#[must_use]
+pub fn spans_json(spans: &[SpanRecord]) -> String {
+    let rendered: Vec<String> = spans
+        .iter()
+        .map(|s| {
+            let mut o = JsonObj::new();
+            o.field_str("trace_id", &format!("{:016x}", s.trace_id))
+                .field_str("kind", s.kind.name())
+                .field_str("node", &s.node_str())
+                .field_u64("span_id", s.span_id)
+                .field_u64("parent_span_id", s.parent_span_id)
+                .field_u64("start_nanos", s.start_nanos)
+                .field_u64("end_nanos", s.end_nanos)
+                .field_u64("attr", s.attr)
+                .field_u64("request", s.request);
+            o.finish()
+        })
+        .collect();
+    let mut o = JsonObj::new();
+    o.field_raw("spans", &json_array(&rendered));
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        trace: u64,
+        id: u64,
+        parent: u64,
+        kind: SpanKind,
+        start: u64,
+        end: u64,
+        node: &str,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_span_id: parent,
+            kind,
+            start_nanos: start,
+            end_nanos: end,
+            node: node_label(node),
+            attr: 0,
+            request: 7,
+        }
+    }
+
+    #[test]
+    fn raw_form_round_trips_every_kind() {
+        for kind in [
+            SpanKind::Root,
+            SpanKind::Forward,
+            SpanKind::Admit,
+            SpanKind::Queue,
+            SpanKind::Cache,
+            SpanKind::Exec,
+            SpanKind::Verify,
+        ] {
+            let s = SpanRecord {
+                trace_id: u64::MAX / 3,
+                span_id: 42,
+                parent_span_id: 41,
+                kind,
+                start_nanos: 1_000,
+                end_nanos: 9_999,
+                node: node_label("node-a"),
+                attr: (1 << 56) - 1,
+                request: u64::MAX,
+            };
+            let back = SpanRecord::decode(&s.encode()).expect("decodes");
+            assert_eq!(back, s);
+        }
+        assert_eq!(SpanRecord::decode(&[0; SPAN_WORDS]), None);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero_across_nodes() {
+        let a = SpanIdGen::new("node-a");
+        let b = SpanIdGen::new("node-b");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            for gen_ in [&a, &b] {
+                let id = gen_.next_id();
+                assert_ne!(id, 0);
+                assert!(seen.insert(id), "duplicate span id {id:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let ring = SpanRing::new(4);
+        for i in 1..=10u64 {
+            ring.record(&span(1, i, 0, SpanKind::Exec, i, i + 1, "n"));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].span_id, 7);
+        assert_eq!(snap[3].span_id, 10);
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn assembler_builds_a_rooted_tree_despite_clock_skew() {
+        let mut asm = TraceAssembler::new();
+        // node clock is *behind* the proxy clock: child timestamps are
+        // smaller than the root's — structure must not care.
+        asm.add(span(
+            9,
+            100,
+            0,
+            SpanKind::Root,
+            5_000_000,
+            9_000_000,
+            "proxy",
+        ));
+        asm.add(span(
+            9,
+            101,
+            100,
+            SpanKind::Forward,
+            5_100_000,
+            8_900_000,
+            "proxy",
+        ));
+        asm.add(span(9, 201, 101, SpanKind::Queue, 10, 40, "node-0"));
+        asm.add(span(9, 202, 101, SpanKind::Cache, 40, 55, "node-0"));
+        asm.add(span(9, 203, 101, SpanKind::Exec, 55, 300, "node-0"));
+        let tree = asm.assemble(9).expect("assembles");
+        assert_eq!(tree.span_count, 5);
+        assert_eq!(tree.root.span.kind, SpanKind::Root);
+        let fwd = &tree.root.children[0];
+        assert_eq!(fwd.span.kind, SpanKind::Forward);
+        let kinds: Vec<SpanKind> = fwd.children.iter().map(|c| c.span.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::Queue, SpanKind::Cache, SpanKind::Exec]
+        );
+        let text = tree.render_text();
+        assert!(text.contains("root [proxy]"), "{text}");
+        assert!(text.contains("  forward"), "{text}");
+        assert!(text.contains("    exec [node-0]"), "{text}");
+        let json = tree.render_json();
+        assert!(json.contains("\"kind\":\"root\""), "{json}");
+        assert!(json.contains("\"children\":[")); // nested
+    }
+
+    #[test]
+    fn assembler_reports_orphans_and_root_problems() {
+        let mut asm = TraceAssembler::new();
+        asm.add(span(1, 10, 999, SpanKind::Exec, 0, 1, "n"));
+        assert_eq!(asm.assemble(1), Err(AssembleError::NoRoot));
+        asm.add(span(1, 11, 0, SpanKind::Root, 0, 1, "p"));
+        assert_eq!(asm.assemble(1), Err(AssembleError::Orphans(vec![10])));
+        asm.add(span(1, 999, 11, SpanKind::Forward, 0, 1, "p"));
+        let tree = asm.assemble(1).expect("now complete");
+        assert_eq!(tree.span_count, 3);
+        let mut asm2 = TraceAssembler::new();
+        asm2.add(span(2, 1, 0, SpanKind::Root, 0, 1, "a"));
+        asm2.add(span(2, 2, 0, SpanKind::Root, 0, 1, "b"));
+        assert_eq!(asm2.assemble(2), Err(AssembleError::MultipleRoots));
+        assert_eq!(asm2.assemble(777), Err(AssembleError::UnknownTrace));
+    }
+
+    #[test]
+    fn duplicate_spans_collapse() {
+        let mut asm = TraceAssembler::new();
+        let s = span(3, 5, 0, SpanKind::Root, 0, 10, "p");
+        asm.add(s);
+        asm.add(s);
+        assert_eq!(asm.span_count(3), 1);
+        let (trees, failures) = asm.assemble_all();
+        assert_eq!(trees.len(), 1);
+        assert!(failures.is_empty());
+    }
+}

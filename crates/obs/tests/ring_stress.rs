@@ -1,0 +1,172 @@
+//! Seqlock ring stress: wraparound bookkeeping and tear safety for
+//! [`EventRing`] (and its widened sibling [`SpanRing`]) under a seeded,
+//! reproducible workload.
+
+use stackcache_obs::span::{SpanRecord, SpanRing};
+use stackcache_obs::{decode, encode, node_label, EventKind, EventRing, SpanKind};
+
+/// Deterministic xorshift64* PRNG so every run replays the same
+/// interleaving schedule and payload stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Seeded single-threaded interleaving of record bursts and snapshots:
+/// after every burst the snapshot must hold exactly the newest
+/// `min(total, capacity)` events, sequence-contiguous and in order.
+#[test]
+fn wraparound_keeps_the_contiguous_newest_suffix() {
+    const CAPACITY: usize = 16;
+    let ring = EventRing::new(CAPACITY);
+    let mut rng = Rng::new(0x5EED_0001);
+    let mut total = 0u64;
+    for _ in 0..200 {
+        let burst = rng.range(1, 3 * CAPACITY as u64);
+        for _ in 0..burst {
+            // timestamp and payload both carry the sequence number, so
+            // ordering and identity are checkable from the decode alone
+            ring.record(encode(
+                total,
+                total,
+                EventKind::ExecuteEnd { executed: total },
+            ));
+            total += 1;
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), (total as usize).min(CAPACITY));
+        let first_expected = total - snap.len() as u64;
+        for (i, raw) in snap.iter().enumerate() {
+            let (t, req, kind) = decode(raw).expect("live slot decodes");
+            let want = first_expected + i as u64;
+            assert_eq!(t, want, "snapshot not contiguous at {i}");
+            assert_eq!(req, want);
+            assert_eq!(kind, EventKind::ExecuteEnd { executed: want });
+        }
+        assert_eq!(ring.recorded(), total);
+    }
+    assert!(total > 10 * CAPACITY as u64, "workload too small to wrap");
+}
+
+/// The same seed must produce the same snapshots — the interleaving is
+/// a pure function of the seed, so a failure here is replayable.
+#[test]
+fn seeded_interleaving_is_reproducible() {
+    let run = |seed: u64| -> Vec<Vec<[u64; 4]>> {
+        let ring = EventRing::new(8);
+        let mut rng = Rng::new(seed);
+        let mut snaps = Vec::new();
+        let mut n = 0u64;
+        for _ in 0..50 {
+            for _ in 0..rng.range(1, 20) {
+                ring.record(encode(n, rng.next(), EventKind::CacheHit));
+                n += 1;
+            }
+            snaps.push(ring.snapshot());
+        }
+        snaps
+    };
+    assert_eq!(run(0xDEAD_BEEF), run(0xDEAD_BEEF));
+    assert_ne!(run(0xDEAD_BEEF), run(0xFEED_FACE));
+}
+
+/// A concurrent writer hammers the ring with a seeded payload stream in
+/// which every word is derived from the request id; any torn read would
+/// surface as a mismatched pair. The reader snapshots throughout,
+/// including across wraparound, and must never observe a tear.
+#[test]
+fn concurrent_writer_never_tears_a_snapshot() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const CAPACITY: usize = 32;
+    let ring = Arc::new(EventRing::new(CAPACITY));
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let ring = Arc::clone(&ring);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut rng = Rng::new(0x5EED_0002);
+            for i in 0..300_000u64 {
+                // request chosen by the seeded stream; executed mirrors it
+                let req = rng.next();
+                ring.record(encode(i, req, EventKind::ExecuteEnd { executed: req }));
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+    let mut observed = 0usize;
+    while !done.load(std::sync::atomic::Ordering::Acquire) {
+        for raw in ring.snapshot() {
+            let (_, req, kind) = decode(&raw).expect("only complete slots decode");
+            assert_eq!(
+                kind,
+                EventKind::ExecuteEnd { executed: req },
+                "torn slot: payload does not match request"
+            );
+            observed += 1;
+        }
+    }
+    writer.join().unwrap();
+    assert!(observed > 0, "reader never observed a slot");
+    assert_eq!(ring.recorded(), 300_000);
+    assert_eq!(ring.snapshot().len(), CAPACITY);
+}
+
+/// The eight-word span ring obeys the same contract: wraparound keeps
+/// the newest suffix and a racing writer never produces a span whose
+/// words disagree.
+#[test]
+fn span_ring_wraps_and_survives_a_concurrent_writer() {
+    use std::sync::Arc;
+
+    let ring = Arc::new(SpanRing::new(16));
+    let writer = {
+        let ring = Arc::clone(&ring);
+        std::thread::spawn(move || {
+            let mut rng = Rng::new(0x5EED_0003);
+            for i in 1..=100_000u64 {
+                let stamp = rng.next() >> 8; // fits the 56-bit attr field
+                ring.record(&SpanRecord {
+                    trace_id: stamp,
+                    span_id: i,
+                    parent_span_id: stamp,
+                    kind: SpanKind::Exec,
+                    start_nanos: stamp,
+                    end_nanos: stamp,
+                    node: node_label("tear"),
+                    attr: stamp,
+                    request: stamp,
+                });
+            }
+        })
+    };
+    for _ in 0..500 {
+        for s in ring.snapshot() {
+            // every field carries the same stamp: one mismatch == tear
+            assert_eq!(s.trace_id, s.parent_span_id, "torn span slot");
+            assert_eq!(s.trace_id, s.start_nanos, "torn span slot");
+            assert_eq!(s.trace_id, s.end_nanos, "torn span slot");
+            assert_eq!(s.trace_id, s.attr, "torn span slot");
+            assert_eq!(s.trace_id, s.request, "torn span slot");
+        }
+    }
+    writer.join().unwrap();
+    let snap = ring.snapshot();
+    assert_eq!(snap.len(), 16);
+    assert_eq!(snap.last().unwrap().span_id, 100_000);
+}

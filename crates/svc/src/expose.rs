@@ -170,10 +170,15 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
     );
     p.typ("svc_analysis_rejections_total", "counter");
     p.help(
-        "svc_latency_seconds",
-        "Completion latency quantiles (power-of-two bucket upper bounds).",
+        "svc_queue_wait_seconds",
+        "Queue-wait quantiles, submission to dequeue (power-of-two bucket upper bounds).",
     );
-    p.typ("svc_latency_seconds", "summary");
+    p.typ("svc_queue_wait_seconds", "summary");
+    p.help(
+        "svc_exec_seconds",
+        "Execution-time quantiles, dequeue to outcome (power-of-two bucket upper bounds).",
+    );
+    p.typ("svc_exec_seconds", "summary");
 
     for r in &snap.regimes {
         let name = r.regime.name();
@@ -217,9 +222,20 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
             &regime,
             r.analysis_rejected,
         );
+        for (q, v) in [
+            ("0.5", r.queue_p50),
+            ("0.9", r.queue_p90),
+            ("0.99", r.queue_p99),
+        ] {
+            p.sample(
+                "svc_queue_wait_seconds",
+                &[("regime", name), ("quantile", q)],
+                secs(v),
+            );
+        }
         for (q, v) in [("0.5", r.p50), ("0.9", r.p90), ("0.99", r.p99)] {
             p.sample(
-                "svc_latency_seconds",
+                "svc_exec_seconds",
                 &[("regime", name), ("quantile", q)],
                 secs(v),
             );
@@ -242,6 +258,9 @@ fn regime_json(r: &RegimeSnapshot) -> String {
         .field_u64("served_guarded", r.served_guarded)
         .field_u64("served_checked", r.served_checked)
         .field_u64("analysis_rejected", r.analysis_rejected)
+        .field_f64("queue_p50_seconds", secs(r.queue_p50))
+        .field_f64("queue_p90_seconds", secs(r.queue_p90))
+        .field_f64("queue_p99_seconds", secs(r.queue_p99))
         .field_f64("p50_seconds", secs(r.p50))
         .field_f64("p90_seconds", secs(r.p90))
         .field_f64("p99_seconds", secs(r.p99));
@@ -308,12 +327,14 @@ mod tests {
         m.on_completed(
             EngineRegime::Tos,
             false,
+            Duration::from_micros(2),
             Duration::from_micros(5),
             Checks::None,
         );
         m.on_completed(
             EngineRegime::Tos,
             true,
+            Duration::from_micros(3),
             Duration::from_micros(9),
             Checks::Full,
         );
@@ -371,7 +392,8 @@ mod tests {
         assert!(page.contains("svc_worker_stalled{worker=\"1\"} 1"));
         assert!(page.contains("svc_worker_stalled{worker=\"0\"} 0"));
         assert!(page.contains("svc_worker_jobs_total{worker=\"0\"} 5"));
-        assert!(page.contains("quantile=\"0.99\""));
+        assert!(page.contains("svc_queue_wait_seconds{regime=\"tos\",quantile=\"0.5\"}"));
+        assert!(page.contains("svc_exec_seconds{regime=\"tos\",quantile=\"0.99\"}"));
     }
 
     #[test]
@@ -391,5 +413,6 @@ mod tests {
         assert!(doc.contains("\"heartbeats\":40"));
         // regimes with no observations report null quantiles, not NaN
         assert!(doc.contains("\"p50_seconds\":null"));
+        assert!(doc.contains("\"queue_p50_seconds\":"));
     }
 }

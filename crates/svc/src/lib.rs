@@ -77,7 +77,7 @@ use std::time::{Duration, Instant};
 
 use stackcache_core::EngineRegime;
 use stackcache_harness::{Outcome, MEMORY_BYTES};
-use stackcache_obs::{EventKind, FlightDump, FlightRecorder};
+use stackcache_obs::{EventKind, FlightDump, FlightRecorder, SpanRecord};
 use stackcache_vm::{FusionPlan, Machine, Program};
 
 use crate::cache::ProgramCache;
@@ -85,11 +85,24 @@ use crate::coalesce::{CoalesceMap, Waiter};
 use crate::health::WorkerHealth;
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
-use crate::worker::{worker_loop, Job, JobItem, ReplySink, Shared, Tracing};
+use crate::worker::{worker_loop, Job, JobItem, ReplySink, Shared, SpanState, Tracing};
 
 pub use crate::cache::{CacheStats, VerifiedArtifact};
 pub use crate::health::WorkerSnapshot;
 pub use crate::metrics::{MetricsSnapshot, RegimeSnapshot};
+
+/// Wire-propagated distributed-trace context: which trace a request
+/// belongs to and which remote span is its parent. A request carrying
+/// one has per-stage [`SpanRecord`]s built for it and attached to its
+/// [`Completion`]; a request without one pays nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace id, stamped at the cluster ingress.
+    pub trace_id: u64,
+    /// The span id the caller opened for this request (the parent of
+    /// every span this service emits for it). 0 means "root here".
+    pub parent_span_id: u64,
+}
 
 /// One execution request: a program, the machine state to start from, and
 /// the execution configuration and limits.
@@ -113,6 +126,8 @@ pub struct Request {
     /// means the deterministic static-default plan. Ignored by the
     /// other regimes. Distinct plans translate (and cache) separately.
     pub fusion_plan: Option<Arc<FusionPlan>>,
+    /// Distributed-trace context; `None` (the default) emits no spans.
+    pub trace: Option<TraceContext>,
 }
 
 impl Request {
@@ -129,6 +144,7 @@ impl Request {
             fuel: 1_000_000_000,
             deadline: None,
             fusion_plan: None,
+            trace: None,
         }
     }
 
@@ -167,6 +183,18 @@ impl Request {
         self.fusion_plan = Some(plan);
         self
     }
+
+    /// Attach a distributed-trace context: the service will emit
+    /// per-stage spans for this request, parented to `parent_span_id`
+    /// in trace `trace_id`, and attach them to the [`Completion`].
+    #[must_use]
+    pub fn trace_context(mut self, trace_id: u64, parent_span_id: u64) -> Self {
+        self.trace = Some(TraceContext {
+            trace_id,
+            parent_span_id,
+        });
+        self
+    }
 }
 
 /// A request that ran to an outcome.
@@ -178,6 +206,12 @@ pub struct Completion {
     pub cache_hit: bool,
     /// Wall-clock execution time (excluding queueing).
     pub latency: Duration,
+    /// Time the request waited in the queue before a worker took it.
+    pub queue_wait: Duration,
+    /// Per-stage spans (queue, cache, admit, exec) when the request
+    /// carried a [`TraceContext`]; empty otherwise. Timestamps are on
+    /// this process's clock.
+    pub spans: Vec<SpanRecord>,
 }
 
 /// Why a request was refused without a (full) execution.
@@ -316,6 +350,14 @@ pub struct ServiceConfig {
     /// result fans out to every waiter. Off by default — coalescing
     /// changes execution counts, which deterministic benches assert on.
     pub coalesce: bool,
+    /// Node label stamped on every distributed-trace span this service
+    /// emits (and salting its span-id generator, so two nodes never
+    /// collide). A network front end sets this to its node name.
+    pub node: String,
+    /// Spans each per-worker span ring retains (oldest overwritten
+    /// first); the rings exist regardless, but only traced requests
+    /// write to them.
+    pub span_ring_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -330,6 +372,8 @@ impl Default for ServiceConfig {
             heartbeat_period: Duration::from_millis(250),
             stall_beats: 4,
             coalesce: false,
+            node: "svc".to_string(),
+            span_ring_capacity: 256,
         }
     }
 }
@@ -346,6 +390,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn coalescing(mut self) -> Self {
         self.coalesce = true;
+        self
+    }
+
+    /// This configuration with the given span node label.
+    #[must_use]
+    pub fn node(mut self, label: &str) -> Self {
+        self.node = label.to_string();
         self
     }
 }
@@ -388,6 +439,7 @@ impl Service {
             // replies that never reached the service
             next_request: AtomicU64::new(1),
             tracing,
+            spans: SpanState::new(&config.node, config.workers, config.span_ring_capacity),
             coalesce: config.coalesce.then(CoalesceMap::default),
         });
         let workers = (0..config.workers)
@@ -693,6 +745,14 @@ impl Service {
     /// interpreter report back through this).
     pub fn record_verified(&self, request_id: u64, ok: bool) {
         self.shared.trace(0, request_id, EventKind::Verified { ok });
+    }
+
+    /// Every distributed-trace span currently live in the per-worker
+    /// span rings (newest `span_ring_capacity` per ring). Empty unless
+    /// requests carrying a [`TraceContext`] have run.
+    #[must_use]
+    pub fn span_dump(&self) -> Vec<SpanRecord> {
+        self.shared.spans.snapshot_all()
     }
 
     /// The current metrics as a Prometheus text-format page.

@@ -85,7 +85,12 @@ struct RegimeMetrics {
     served: [AtomicU64; 3],
     /// Requests refused because the analyzer proved an underflow.
     analysis_rejected: AtomicU64,
-    latency: Histogram,
+    /// Time spent waiting in the queue before a worker picked the
+    /// request up.
+    queue_wait: Histogram,
+    /// Time spent executing (translate + run), measured from dequeue to
+    /// outcome.
+    exec: Histogram,
 }
 
 /// Dense index of a [`Checks`] level in the `served` counters.
@@ -108,7 +113,8 @@ impl RegimeMetrics {
             cache_misses: AtomicU64::new(0),
             served: std::array::from_fn(|_| AtomicU64::new(0)),
             analysis_rejected: AtomicU64::new(0),
-            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+            exec: Histogram::new(),
         }
     }
 }
@@ -197,7 +203,8 @@ impl Metrics {
         &self,
         regime: EngineRegime,
         trapped: bool,
-        latency: Duration,
+        queue_wait: Duration,
+        exec: Duration,
         checks: Checks,
     ) {
         let r = self.of(regime);
@@ -206,7 +213,8 @@ impl Metrics {
             r.traps.fetch_add(1, Ordering::Relaxed);
         }
         r.served[checks_index(checks)].fetch_add(1, Ordering::Relaxed);
-        r.latency.record(latency);
+        r.queue_wait.record(queue_wait);
+        r.exec.record(exec);
     }
 
     pub(crate) fn on_analysis_rejected(&self, regime: EngineRegime) {
@@ -263,9 +271,12 @@ impl Metrics {
                         served_guarded: r.served[1].load(Ordering::Relaxed),
                         served_checked: r.served[2].load(Ordering::Relaxed),
                         analysis_rejected: r.analysis_rejected.load(Ordering::Relaxed),
-                        p50: r.latency.quantile(0.50),
-                        p90: r.latency.quantile(0.90),
-                        p99: r.latency.quantile(0.99),
+                        queue_p50: r.queue_wait.quantile(0.50),
+                        queue_p90: r.queue_wait.quantile(0.90),
+                        queue_p99: r.queue_wait.quantile(0.99),
+                        p50: r.exec.quantile(0.50),
+                        p90: r.exec.quantile(0.90),
+                        p99: r.exec.quantile(0.99),
                     }
                 })
                 .collect(),
@@ -303,11 +314,17 @@ pub struct RegimeSnapshot {
     /// Requests refused at admission because the analyzer proved an
     /// underflow the request's preset stack cannot cover.
     pub analysis_rejected: u64,
-    /// Median completion latency.
+    /// Median queue wait (submission to dequeue).
+    pub queue_p50: Option<Duration>,
+    /// 90th-percentile queue wait.
+    pub queue_p90: Option<Duration>,
+    /// 99th-percentile queue wait.
+    pub queue_p99: Option<Duration>,
+    /// Median execution time (dequeue to outcome).
     pub p50: Option<Duration>,
-    /// 90th-percentile completion latency.
+    /// 90th-percentile execution time.
     pub p90: Option<Duration>,
-    /// 99th-percentile completion latency.
+    /// 99th-percentile execution time.
     pub p99: Option<Duration>,
 }
 
@@ -482,12 +499,14 @@ mod tests {
         m.on_completed(
             EngineRegime::Tos,
             false,
+            Duration::from_micros(2),
             Duration::from_micros(3),
             Checks::None,
         );
         m.on_completed(
             EngineRegime::Tos,
             true,
+            Duration::from_micros(2),
             Duration::from_micros(5),
             Checks::Full,
         );
@@ -509,12 +528,14 @@ mod tests {
                 EngineRegime::Dyncache,
                 false,
                 Duration::from_micros(1),
+                Duration::from_micros(1),
                 checks,
             );
         }
         m.on_completed(
             EngineRegime::Dyncache,
             false,
+            Duration::from_micros(1),
             Duration::from_micros(1),
             Checks::Full,
         );

@@ -30,7 +30,10 @@ use std::time::Instant;
 
 use stackcache_analysis::Verdict;
 use stackcache_harness::Outcome;
-use stackcache_obs::{CancelKind, EventKind, FlightRecorder, RejectKind, RingTracer};
+use stackcache_obs::{
+    node_label, CancelKind, EventKind, FlightRecorder, RejectKind, RingTracer, SpanIdGen, SpanKind,
+    SpanRecord, SpanRing,
+};
 use stackcache_vm::{ExecEvent, ExecObserver, Machine, VmError};
 
 use crate::cache::{Lookup, ProgramCache};
@@ -99,7 +102,7 @@ impl JobItem {
     /// *before* anyone is answered, so a racing identical submission
     /// either joins in time to be fanned out here or finds the key
     /// vacant and executes as a fresh leader.
-    fn finish(self, shared: &Shared, ring: usize, reply: Reply) {
+    fn finish(self, shared: &Shared, ring: usize, mut reply: Reply) {
         let leader = self.id;
         let waiters = match (&shared.coalesce, self.coalesce) {
             (Some(co), Some(key)) => co.take_waiters(key, leader),
@@ -114,6 +117,14 @@ impl JobItem {
                     waiters: waiters.len().min(u32::MAX as usize) as u32,
                 },
             );
+            // A coalesced fanout is one of the proxy's tail-sampling
+            // triggers: the exec span's attr carries the waiter count,
+            // so every reply in the fanout is marked.
+            if let Reply::Completed(c) = &mut reply {
+                if let Some(exec) = c.spans.iter_mut().find(|s| s.kind == SpanKind::Exec) {
+                    exec.attr = waiters.len() as u64;
+                }
+            }
             for w in waiters {
                 w.sink.deliver(leader, reply.clone());
             }
@@ -179,6 +190,49 @@ impl Tracing {
     }
 }
 
+/// Distributed-trace span state: one seqlock ring per worker (plus ring
+/// 0 for submitters, mirroring the flight recorder's layout), a span-id
+/// generator salted by the node label, and the epoch every timestamp is
+/// measured against. Always present — a request without a
+/// [`TraceContext`](crate::TraceContext) never touches it past one
+/// `Option` check.
+#[derive(Debug)]
+pub(crate) struct SpanState {
+    pub(crate) epoch: Instant,
+    pub(crate) node: [u8; 8],
+    pub(crate) ids: SpanIdGen,
+    rings: Vec<SpanRing>,
+}
+
+impl SpanState {
+    pub(crate) fn new(node: &str, workers: usize, capacity: usize) -> Self {
+        SpanState {
+            epoch: Instant::now(),
+            node: node_label(node),
+            ids: SpanIdGen::new(node),
+            rings: (0..=workers).map(|_| SpanRing::new(capacity)).collect(),
+        }
+    }
+
+    /// Nanoseconds since the service epoch (monotone, skew is the
+    /// assembler's problem — it orders by parent links, not clocks).
+    pub(crate) fn nanos(&self, at: Instant) -> u64 {
+        let n = at.saturating_duration_since(self.epoch).as_nanos();
+        n.min(u128::from(u64::MAX)) as u64
+    }
+
+    fn record(&self, ring: usize, span: &SpanRecord) {
+        if let Some(r) = self.rings.get(ring) {
+            r.record(span);
+        }
+    }
+
+    /// Every live span across all rings (the `span_dump` payload).
+    pub(crate) fn snapshot_all(&self) -> Vec<SpanRecord> {
+        self.rings.iter().flat_map(SpanRing::snapshot).collect()
+    }
+}
+
 /// Shared state every worker thread runs against.
 #[derive(Debug)]
 pub(crate) struct Shared {
@@ -189,6 +243,7 @@ pub(crate) struct Shared {
     pub(crate) abort: Arc<AtomicBool>,
     pub(crate) next_request: AtomicU64,
     pub(crate) tracing: Option<Tracing>,
+    pub(crate) spans: SpanState,
     /// The in-flight coalescing registry; `None` when coalescing is off
     /// (the default), in which case admission never touches it.
     pub(crate) coalesce: Option<CoalesceMap>,
@@ -293,11 +348,13 @@ fn serve_item(
 ) {
     let regime = item.request.regime;
     let id = item.id;
+    let dequeued_at = Instant::now();
+    let queue_wait = dequeued_at.saturating_duration_since(submitted);
     shared.trace(
         ring,
         id,
         EventKind::Dequeued {
-            wait_nanos: submitted.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            wait_nanos: queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
         },
     );
     if shared.abort.load(Ordering::Relaxed) {
@@ -337,6 +394,7 @@ fn serve_item(
         Some(&item.request.proto),
         item.request.fusion_plan.as_deref(),
     );
+    let cache_end = Instant::now();
     let cache_hit = lookup == Lookup::Hit;
     if cache_hit {
         shared.metrics.on_cache_hit(regime);
@@ -348,7 +406,10 @@ fn serve_item(
             ring,
             id,
             EventKind::Translate {
-                nanos: lookup_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                nanos: cache_end
+                    .saturating_duration_since(lookup_start)
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64,
             },
         );
     }
@@ -488,7 +549,37 @@ fn serve_item(
             let outcome = Outcome::capture(machine, other);
             shared
                 .metrics
-                .on_completed(regime, trapped, latency, checks);
+                .on_completed(regime, trapped, queue_wait, latency, checks);
+            // Per-stage spans, built only for requests that carry a trace
+            // context. All four are siblings under the caller's parent
+            // span; the assembler orders them by start time.
+            let mut spans = Vec::new();
+            if let Some(ctx) = item.request.trace {
+                let sp = &shared.spans;
+                let mk = |kind, s: Instant, e: Instant, attr| SpanRecord {
+                    trace_id: ctx.trace_id,
+                    span_id: sp.ids.next_id(),
+                    parent_span_id: ctx.parent_span_id,
+                    kind,
+                    start_nanos: sp.nanos(s),
+                    end_nanos: sp.nanos(e),
+                    node: sp.node,
+                    attr,
+                    request: id,
+                };
+                spans.push(mk(SpanKind::Queue, submitted, dequeued_at, 0));
+                spans.push(mk(
+                    SpanKind::Cache,
+                    lookup_start,
+                    cache_end,
+                    u64::from(cache_hit),
+                ));
+                spans.push(mk(SpanKind::Admit, cache_end, start, 0));
+                spans.push(mk(SpanKind::Exec, start, start + latency, 0));
+                for s in &spans {
+                    sp.record(ring, s);
+                }
+            }
             item.finish(
                 shared,
                 ring,
@@ -496,6 +587,8 @@ fn serve_item(
                     outcome,
                     cache_hit,
                     latency,
+                    queue_wait,
+                    spans,
                 }),
             );
         }
