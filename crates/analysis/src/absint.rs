@@ -11,44 +11,112 @@
 //! overflow up to a declared capacity — or the offending instruction is
 //! pinpointed with a clippy-style [`Diagnostic`].
 //!
-//! Three design points matter for precision on real Forth images:
+//! Four design points matter for precision on real Forth images:
 //!
-//! - **Constant tops.** A window of known top-of-stack values lets the
-//!   analysis route `BranchIfZero` deterministically and fold `?dup`,
-//!   which is what keeps flag-returning words (`number?`-style, one
-//!   variant nets −1 with a zero flag, the other nets 0 with a true
-//!   flag) from collapsing into an imprecise interval.
-//! - **Disjunctive frames.** Each point holds a bounded *set* of frames,
-//!   so the two variants above stay separate until the branch consumes
-//!   the flag.
+//! - **Value intervals.** Each tracked stack slot carries an abstract
+//!   value: a constant, a non-zero fact, or a `[lo, hi]` interval.
+//!   Interval transfer functions over the arithmetic/compare ops (backed
+//!   by the concrete [`stackcache_vm::fold`] hooks) let the analysis fold
+//!   `BranchIfZero` on proven-nonzero *arithmetic* — `c@ 1+` is in
+//!   `[1, 256]` and never zero — not just on literals.
+//! - **Disjunctive frames + widening.** Each point holds a bounded *set*
+//!   of frames, so flag-returning words (`number?`-style) keep their
+//!   variants separate until the branch consumes the flag. At loop heads,
+//!   where revisits accumulate, frames with equal return-stack shape are
+//!   merged element-wise and growing interval endpoints are widened to
+//!   ±∞ so the fixpoint terminates.
 //! - **Frozen memory.** `Lit(addr); Fetch; Execute` (deferred-word
 //!   dispatch) resolves through cells that no runtime store can reach;
 //!   the `(addr, value)` pairs used are recorded in the proof and
 //!   re-validated at admission time.
+//! - **Budgets.** All precision knobs live in an [`AnalysisBudget`]:
+//!   [`AnalysisBudget::quick`] bounds admission-path latency, while
+//!   [`AnalysisBudget::deep`] spends more fixpoint rounds and a larger
+//!   fuel exploration so a background pass can re-prove programs the
+//!   quick pass had to widen to `guarded`.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use stackcache_vm::{depth, Cell, Inst, Machine, Program, CELL_BYTES, FALSE, TRUE};
+use stackcache_vm::{depth, fold as vmfold, Cell, Inst, Machine, Program, CELL_BYTES, FALSE, TRUE};
 
-use crate::proof::{Bound, Diagnostic, SafetyProof, Verdict};
+use crate::proof::{Bound, Diagnostic, Lint, LintKind, SafetyProof, Verdict};
 
 /// Saturating "infinity" for depth arithmetic.
 pub(crate) const INF: i64 = i64::MAX / 4;
 const NEG_INF: i64 = -INF;
 /// Known-constant window depth per frame.
 const TOPS_WINDOW: usize = 4;
-/// Maximum disjunctive frames per program point.
-const MAX_FRAMES: usize = 8;
 /// Maximum exact return variants per word summary.
 const MAX_VARIANTS: usize = 4;
-/// Point visits before interval widening kicks in.
-const WIDEN_AFTER: u32 = 12;
-/// Point visits before constant tracking is abandoned at that point.
-const STRIP_AFTER: u32 = 32;
-/// Global summary-fixpoint rounds before declaring divergence.
-const MAX_ROUNDS: usize = 40;
-/// Rounds before growing summary bounds are widened to infinity.
-const WIDEN_ROUNDS: usize = 6;
+
+/// Precision/effort knobs for [`analyze_with`].
+///
+/// The service analyzes at [`AnalysisBudget::quick`] on the admission path
+/// (bounded latency) and re-analyzes cached guarded artifacts at
+/// [`AnalysisBudget::deep`] in the background, where the extra widening
+/// head-room and fuel-exploration budget can turn a widened `guarded`
+/// verdict into a finite — even fuel-bounded — one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisBudget {
+    /// Point visits before depth/value intervals are widened to ±∞.
+    pub widen_after: u32,
+    /// Point visits before constant tracking is abandoned at that point.
+    pub strip_after: u32,
+    /// Maximum disjunctive frames per program point.
+    pub max_frames: usize,
+    /// Point visits before unmatched frames are merged element-wise into
+    /// an existing frame of equal return-stack shape (loop-head interval
+    /// join). Below this, revisits keep exact disjunctive frames — raising
+    /// it lets counted loops unroll exactly.
+    pub value_join_after: u32,
+    /// Global summary-fixpoint rounds before declaring divergence.
+    pub max_rounds: usize,
+    /// Rounds before growing summary bounds are widened to infinity.
+    pub widen_rounds: usize,
+    /// Total abstract steps the fuel-bound exploration may spend.
+    pub fuel_steps: usize,
+    /// Maximum abstract return-stack depth during fuel exploration.
+    pub fuel_calls: usize,
+}
+
+impl AnalysisBudget {
+    /// The admission-path budget: tight widening for bounded latency.
+    #[must_use]
+    pub fn quick() -> Self {
+        AnalysisBudget {
+            widen_after: 12,
+            strip_after: 32,
+            max_frames: 8,
+            value_join_after: 4,
+            max_rounds: 40,
+            widen_rounds: 6,
+            fuel_steps: 20_000,
+            fuel_calls: 64,
+        }
+    }
+
+    /// The background/tooling budget: enough widening head-room to unroll
+    /// counted loops of a few hundred iterations exactly.
+    #[must_use]
+    pub fn deep() -> Self {
+        AnalysisBudget {
+            widen_after: 512,
+            strip_after: 768,
+            max_frames: 64,
+            value_join_after: 48,
+            max_rounds: 160,
+            widen_rounds: 24,
+            fuel_steps: 2_000_000,
+            fuel_calls: 256,
+        }
+    }
+}
+
+impl Default for AnalysisBudget {
+    fn default() -> Self {
+        AnalysisBudget::quick()
+    }
+}
 
 fn sadd(a: i64, b: i64) -> i64 {
     if a >= INF || b >= INF {
@@ -68,23 +136,55 @@ fn bound(v: i64) -> Bound {
     }
 }
 
-fn flag(b: bool) -> Cell {
-    if b {
-        TRUE
-    } else {
-        FALSE
-    }
-}
-
 /// Abstract value for a data-stack cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AVal {
+pub(crate) enum AVal {
     /// Nothing known.
     Any,
-    /// Known to be non-zero (flag routing).
+    /// Known to be non-zero, magnitude unknown (flag routing).
     NonZero,
     /// Known constant.
     Const(Cell),
+    /// Known to lie in the inclusive interval `[lo, hi]`.
+    ///
+    /// Invariant: `lo < hi` and `(lo, hi) != (Cell::MIN, Cell::MAX)` —
+    /// singletons are [`AVal::Const`], the full range is [`AVal::Any`].
+    /// Construct through [`AVal::range`] to maintain this.
+    Range(Cell, Cell),
+}
+
+impl AVal {
+    /// Normalizing interval constructor.
+    pub(crate) fn range(lo: Cell, hi: Cell) -> AVal {
+        if lo > hi {
+            AVal::Any
+        } else if lo == hi {
+            AVal::Const(lo)
+        } else if lo == Cell::MIN && hi == Cell::MAX {
+            AVal::Any
+        } else {
+            AVal::Range(lo, hi)
+        }
+    }
+
+    /// The inclusive bounds, when the value carries any.
+    pub(crate) fn bounds(self) -> Option<(Cell, Cell)> {
+        match self {
+            AVal::Const(c) => Some((c, c)),
+            AVal::Range(lo, hi) => Some((lo, hi)),
+            AVal::Any | AVal::NonZero => None,
+        }
+    }
+
+    /// `true` when the value is proven non-zero.
+    pub(crate) fn nonzero(self) -> bool {
+        match self {
+            AVal::Const(c) => c != 0,
+            AVal::NonZero => true,
+            AVal::Range(lo, hi) => lo > 0 || hi < 0,
+            AVal::Any => false,
+        }
+    }
 }
 
 /// One disjunctive abstract frame at a program point.
@@ -279,12 +379,14 @@ struct WordResult {
     preds: BTreeMap<usize, usize>,
     deps: BTreeSet<(Cell, Cell)>,
     pending: BTreeSet<usize>,
+    lints: Vec<(LintKind, usize, String)>,
 }
 
 /// Analysis context for a single word.
 struct WordCtx<'a> {
     p: &'a Program,
     entry: usize,
+    budget: &'a AnalysisBudget,
     summaries: &'a BTreeMap<usize, Summary>,
     frozen: &'a FrozenMem,
     mem: Option<&'a Machine>,
@@ -299,9 +401,44 @@ struct WordCtx<'a> {
     dd_at: Option<(usize, usize)>,
     deps: BTreeSet<(Cell, Cell)>,
     pending: BTreeSet<usize>,
+    /// Per-branch fold consistency: `Some(true)` = always taken (zero
+    /// condition), `Some(false)` = never taken (non-zero), `None` = mixed.
+    branch_folds: BTreeMap<usize, Option<bool>>,
+    /// Per-instruction constant-fold consistency: `Some(v)` = the result
+    /// is `v` on every abstract path, `None` = imprecise or varying.
+    const_folds: BTreeMap<usize, Option<Cell>>,
+    /// Join points where interval widening saturated an endpoint.
+    widened: BTreeSet<usize>,
 }
 
 impl<'a> WordCtx<'a> {
+    /// Record how a conditional branch resolved on this abstract path.
+    fn note_branch(&mut self, ip: usize, taken: Option<bool>) {
+        self.branch_folds
+            .entry(ip)
+            .and_modify(|e| {
+                if *e != taken {
+                    *e = None;
+                }
+            })
+            .or_insert(taken);
+    }
+
+    /// Record the folded result of a computational instruction.
+    fn note_fold(&mut self, ip: usize, v: AVal) {
+        let c = match v {
+            AVal::Const(c) => Some(c),
+            _ => None,
+        };
+        self.const_folds
+            .entry(ip)
+            .and_modify(|e| {
+                if *e != c {
+                    *e = None;
+                }
+            })
+            .or_insert(c);
+    }
     /// Record a data-stack demand of `n` cells at `ip` given frame `f`.
     fn note_need(&mut self, ip: usize, f: &Frame, n: i64) {
         if n <= 0 {
@@ -398,7 +535,9 @@ impl<'a> WordCtx<'a> {
                 if b == AVal::Const(0) {
                     Vec::new() // definite division-by-zero: path ends
                 } else {
-                    g.push(fold2(inst, a, b));
+                    let v = fold2(inst, a, b);
+                    self.note_fold(ip, v);
+                    g.push(v);
                     vec![(fall, g)]
                 }
             }
@@ -422,7 +561,9 @@ impl<'a> WordCtx<'a> {
             | Inst::UGt => {
                 let b = g.pop();
                 let a = g.pop();
-                g.push(fold2(inst, a, b));
+                let v = fold2(inst, a, b);
+                self.note_fold(ip, v);
+                g.push(v);
                 vec![(fall, g)]
             }
             Inst::Negate
@@ -440,7 +581,9 @@ impl<'a> WordCtx<'a> {
             | Inst::Cells
             | Inst::CharPlus => {
                 let a = g.pop();
-                g.push(fold1(inst, a));
+                let v = fold1(inst, a);
+                self.note_fold(ip, v);
+                g.push(v);
                 vec![(fall, g)]
             }
             Inst::Dup => {
@@ -550,17 +693,24 @@ impl<'a> WordCtx<'a> {
                         g.push(AVal::Const(v));
                         vec![(fall, g)]
                     }
-                    AVal::NonZero => {
-                        g.push(AVal::NonZero);
-                        g.push(AVal::NonZero);
+                    v if v.nonzero() => {
+                        g.push(v);
+                        g.push(v);
                         vec![(fall, g)]
                     }
-                    AVal::Any => {
-                        // Fork: the no-dup outcome pins the top to zero.
+                    v => {
+                        // Fork: the no-dup outcome pins the top to zero,
+                        // the dup outcome refines the value as non-zero.
                         let mut z = g.clone();
                         z.push(AVal::Const(0));
-                        g.push(AVal::NonZero);
-                        g.push(AVal::NonZero);
+                        let nz = match v {
+                            AVal::Any => AVal::NonZero,
+                            AVal::Range(0, h) => AVal::range(1, h),
+                            AVal::Range(l, 0) => AVal::range(l, -1),
+                            other => other,
+                        };
+                        g.push(nz);
+                        g.push(nz);
                         vec![(fall, z), (fall, g)]
                     }
                 }
@@ -646,8 +796,9 @@ impl<'a> WordCtx<'a> {
                 vec![(fall, g)]
             }
             Inst::CFetch => {
+                // Byte loads are zero-extended: the result is in [0, 255].
                 g.pop();
-                g.push(AVal::Any);
+                g.push(AVal::range(0, 255));
                 vec![(fall, g)]
             }
             Inst::Store | Inst::CStore | Inst::PlusStore => {
@@ -658,10 +809,15 @@ impl<'a> WordCtx<'a> {
             Inst::Branch(t) => vec![(t as usize, g)],
             Inst::BranchIfZero(t) => {
                 let c = g.pop();
-                match c {
-                    AVal::Const(0) => vec![(t as usize, g)],
-                    AVal::Const(_) | AVal::NonZero => vec![(fall, g)],
-                    AVal::Any => vec![(t as usize, g.clone()), (fall, g)],
+                if c == AVal::Const(0) {
+                    self.note_branch(ip, Some(true));
+                    vec![(t as usize, g)]
+                } else if c.nonzero() {
+                    self.note_branch(ip, Some(false));
+                    vec![(fall, g)]
+                } else {
+                    self.note_branch(ip, None);
+                    vec![(t as usize, g.clone()), (fall, g)]
                 }
             }
             Inst::Call(t) => self.do_call(ip, t as usize, f)?,
@@ -772,21 +928,53 @@ impl<'a> WordCtx<'a> {
     fn join(&mut self, ip: usize, from: usize, mut f: Frame) -> bool {
         f.canon();
         let visits = *self.visits.get(&ip).unwrap_or(&0);
-        if visits > STRIP_AFTER {
+        if visits > self.budget.strip_after {
             f.tops.clear();
         }
+        let widen = visits > self.budget.widen_after;
         let set = self.frames.entry(ip).or_default();
         let mut changed = false;
+        let mut saturated = false;
         if let Some(g) = set.iter_mut().find(|g| g.r == f.r && g.tops == f.tops) {
             if f.dlo < g.dlo {
-                g.dlo = if visits > WIDEN_AFTER { NEG_INF } else { f.dlo };
+                g.dlo = if widen { NEG_INF } else { f.dlo };
                 changed = true;
             }
             if f.dhi > g.dhi {
-                g.dhi = if visits > WIDEN_AFTER { INF } else { f.dhi };
+                g.dhi = if widen { INF } else { f.dhi };
                 changed = true;
             }
-        } else if set.len() >= MAX_FRAMES {
+        } else if visits >= self.budget.value_join_after && set.iter().any(|g| g.r == f.r) {
+            // Loop-head value join: revisits are accumulating, so instead
+            // of growing the frame set merge element-wise (aligned at the
+            // top of stack) into a frame of equal return-stack shape, and
+            // widen interval endpoints that keep growing.
+            let g = set.iter_mut().find(|g| g.r == f.r).unwrap();
+            let n = g.tops.len().min(f.tops.len());
+            let mut tops: Vec<AVal> = Vec::with_capacity(n);
+            for k in 0..n {
+                let ga = g.tops[g.tops.len() - n + k];
+                let fa = f.tops[f.tops.len() - n + k];
+                let (j, sat) = join_aval(ga, fa, widen);
+                saturated |= sat;
+                tops.push(j);
+            }
+            while tops.first() == Some(&AVal::Any) {
+                tops.remove(0);
+            }
+            if g.tops != tops {
+                g.tops = tops;
+                changed = true;
+            }
+            if f.dlo < g.dlo {
+                g.dlo = if widen { NEG_INF } else { f.dlo };
+                changed = true;
+            }
+            if f.dhi > g.dhi {
+                g.dhi = if widen { INF } else { f.dhi };
+                changed = true;
+            }
+        } else if set.len() >= self.budget.max_frames {
             // Collapse: abandon constant tracking, merge per r-frame.
             let mut merged: Vec<Frame> = Vec::new();
             f.tops.clear();
@@ -804,6 +992,9 @@ impl<'a> WordCtx<'a> {
         } else {
             set.push(f);
             changed = true;
+        }
+        if saturated {
+            self.widened.insert(ip);
         }
         if changed {
             *self.visits.entry(ip).or_insert(0) += 1;
@@ -893,12 +1084,82 @@ impl<'a> WordCtx<'a> {
             r_grow,
             unknown: None,
         };
+        let mut lints: Vec<(LintKind, usize, String)> = Vec::new();
+        for (&ip, &state) in &self.branch_folds {
+            match (state, self.p.insts().get(ip)) {
+                (Some(true), Some(Inst::BranchIfZero(_))) => lints.push((
+                    LintKind::DeadArm,
+                    ip,
+                    format!(
+                        "condition is always zero: the fall-through arm at {} is unreachable",
+                        ip + 1
+                    ),
+                )),
+                (Some(false), Some(&Inst::BranchIfZero(t))) => lints.push((
+                    LintKind::NonzeroBranchFold,
+                    ip,
+                    format!("condition proven nonzero: the branch to {t} is never taken"),
+                )),
+                _ => {}
+            }
+        }
+        for (&ip, &v) in &self.const_folds {
+            if let Some(v) = v {
+                lints.push((
+                    LintKind::ConstFoldable,
+                    ip,
+                    format!("constant-foldable: always evaluates to {v}"),
+                ));
+            }
+        }
+        for &ip in &self.widened {
+            lints.push((
+                LintKind::WideningLoopHead,
+                ip,
+                "value interval widened at loop head".to_string(),
+            ));
+        }
         WordResult {
             summary,
             points: self.points,
             preds: self.preds,
             deps: self.deps,
             pending: self.pending,
+            lints,
+        }
+    }
+}
+
+/// Join two abstract values; with `widen`, saturate endpoints that grew
+/// relative to the existing value `a`. Returns the join and whether an
+/// endpoint was widened away.
+fn join_aval(a: AVal, b: AVal, widen: bool) -> (AVal, bool) {
+    if a == b {
+        return (a, false);
+    }
+    match (a.bounds(), b.bounds()) {
+        (Some((la, ha)), Some((lb, hb))) => {
+            let mut lo = la.min(lb);
+            let mut hi = ha.max(hb);
+            let mut sat = false;
+            if widen {
+                if lb < la {
+                    lo = Cell::MIN;
+                    sat = true;
+                }
+                if hb > ha {
+                    hi = Cell::MAX;
+                    sat = true;
+                }
+            }
+            (AVal::range(lo, hi), sat)
+        }
+        _ => {
+            if a.nonzero() && b.nonzero() {
+                (AVal::NonZero, false)
+            } else {
+                (AVal::Any, false)
+            }
         }
     }
 }
@@ -927,89 +1188,150 @@ fn apply_call_effect(g: &mut Frame, consumes: i64, net_lo: i64, net_hi: i64, top
     }
 }
 
-/// Fold a binary operation over abstract operands.
-fn fold2(inst: Inst, a: AVal, b: AVal) -> AVal {
-    let (AVal::Const(a), AVal::Const(b)) = (a, b) else {
-        return AVal::Any;
-    };
-    let v = match inst {
-        Inst::Add => a.wrapping_add(b),
-        Inst::Sub => a.wrapping_sub(b),
-        Inst::Mul => a.wrapping_mul(b),
-        Inst::Div => {
-            if b == 0 {
-                return AVal::Any;
-            }
-            wrapping_div_euclid(a, b)
-        }
-        Inst::Mod => {
-            if b == 0 {
-                return AVal::Any;
-            }
-            wrapping_rem_euclid(a, b)
-        }
-        Inst::And => a & b,
-        Inst::Or => a | b,
-        Inst::Xor => a ^ b,
-        Inst::Lshift => ((a as u64) << (b as u64 & 63)) as Cell,
-        Inst::Rshift => ((a as u64) >> (b as u64 & 63)) as Cell,
-        Inst::Min => a.min(b),
-        Inst::Max => a.max(b),
-        Inst::Eq => flag(a == b),
-        Inst::Ne => flag(a != b),
-        Inst::Lt => flag(a < b),
-        Inst::Gt => flag(a > b),
-        Inst::Le => flag(a <= b),
-        Inst::Ge => flag(a >= b),
-        Inst::ULt => flag((a as u64) < (b as u64)),
-        Inst::UGt => flag((a as u64) > (b as u64)),
-        _ => return AVal::Any,
-    };
-    AVal::Const(v)
-}
-
-fn wrapping_div_euclid(a: Cell, b: Cell) -> Cell {
-    if a == Cell::MIN && b == -1 {
-        a
+/// Interval from `i128` endpoints, degrading to [`AVal::Any`] on overflow.
+fn wide(lo: i128, hi: i128) -> AVal {
+    if lo >= Cell::MIN as i128 && hi <= Cell::MAX as i128 {
+        AVal::range(lo as Cell, hi as Cell)
     } else {
-        a.div_euclid(b)
+        AVal::Any
     }
 }
 
-fn wrapping_rem_euclid(a: Cell, b: Cell) -> Cell {
-    if a == Cell::MIN && b == -1 {
-        0
+/// Fold a comparison that is decided when `always` or `never` holds.
+fn cmp_fold(always: bool, never: bool) -> AVal {
+    if always {
+        AVal::Const(TRUE)
+    } else if never {
+        AVal::Const(FALSE)
     } else {
-        a.rem_euclid(b)
+        AVal::Any
+    }
+}
+
+/// Smallest all-ones mask covering a non-negative value.
+fn ones_cover(v: Cell) -> Cell {
+    let mut m = v;
+    m |= m >> 1;
+    m |= m >> 2;
+    m |= m >> 4;
+    m |= m >> 8;
+    m |= m >> 16;
+    m |= m >> 32;
+    m
+}
+
+/// Fold a binary operation over abstract operands: concrete folding via
+/// the shared [`stackcache_vm::fold`] hooks, then interval transfer.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn fold2(inst: Inst, a: AVal, b: AVal) -> AVal {
+    if let (AVal::Const(x), AVal::Const(y)) = (a, b) {
+        // Division by zero is routed by the caller before folding.
+        return vmfold::fold2(inst, x, y).map_or(AVal::Any, AVal::Const);
+    }
+    match (inst, a.bounds(), b.bounds()) {
+        (Inst::Add, Some((la, ha)), Some((lb, hb))) => {
+            wide(la as i128 + lb as i128, ha as i128 + hb as i128)
+        }
+        (Inst::Sub, Some((la, ha)), Some((lb, hb))) => {
+            wide(la as i128 - hb as i128, ha as i128 - lb as i128)
+        }
+        (Inst::Mul, Some((la, ha)), Some((lb, hb))) => {
+            let ps = [
+                la as i128 * lb as i128,
+                la as i128 * hb as i128,
+                ha as i128 * lb as i128,
+                ha as i128 * hb as i128,
+            ];
+            wide(*ps.iter().min().unwrap(), *ps.iter().max().unwrap())
+        }
+        (Inst::Min, Some((la, ha)), Some((lb, hb))) => AVal::range(la.min(lb), ha.min(hb)),
+        (Inst::Max, Some((la, ha)), Some((lb, hb))) => AVal::range(la.max(lb), ha.max(hb)),
+        (Inst::Div, Some((la, ha)), Some((d, d2))) if d == d2 && d > 0 => {
+            AVal::range(la.div_euclid(d), ha.div_euclid(d))
+        }
+        // Divisor proven positive: floored remainder lies in [0, b-1].
+        (Inst::Mod, _, Some((lb, hb))) if lb > 0 => AVal::range(0, hb - 1),
+        (Inst::And, _, Some((lb, hb))) if lb >= 0 => AVal::range(0, hb),
+        (Inst::And, Some((la, ha)), _) if la >= 0 => AVal::range(0, ha),
+        (Inst::Or, Some((la, ha)), Some((lb, hb))) if la >= 0 && lb >= 0 => {
+            AVal::range(la.max(lb), ones_cover(ha | hb))
+        }
+        (Inst::Xor, Some((la, ha)), Some((lb, hb))) if la >= 0 && lb >= 0 => {
+            AVal::range(0, ones_cover(ha | hb))
+        }
+        (Inst::Rshift, _, Some((k, k2))) if k == k2 => {
+            let k = (k as u64) & 63;
+            if k == 0 {
+                a
+            } else {
+                AVal::range(0, (u64::MAX >> k) as Cell)
+            }
+        }
+        (Inst::Lshift, Some((la, ha)), Some((k, k2))) if k == k2 && la >= 0 => {
+            let k = (k as u64) & 63;
+            if k < 63 && (ha as i128) << k <= Cell::MAX as i128 {
+                AVal::range(la << k, ha << k)
+            } else {
+                AVal::Any
+            }
+        }
+        (Inst::Eq, Some((la, ha)), Some((lb, hb))) => cmp_fold(false, ha < lb || hb < la),
+        (Inst::Ne, Some((la, ha)), Some((lb, hb))) => cmp_fold(ha < lb || hb < la, false),
+        (Inst::Lt, Some((la, ha)), Some((lb, hb))) => cmp_fold(ha < lb, la >= hb),
+        (Inst::Gt, Some((la, ha)), Some((lb, hb))) => cmp_fold(la > hb, ha <= lb),
+        (Inst::Le, Some((la, ha)), Some((lb, hb))) => cmp_fold(ha <= lb, la > hb),
+        (Inst::Ge, Some((la, ha)), Some((lb, hb))) => cmp_fold(la >= hb, ha < lb),
+        (Inst::ULt, Some((la, ha)), Some((lb, hb))) if la >= 0 && lb >= 0 => {
+            cmp_fold(ha < lb, la >= hb)
+        }
+        (Inst::UGt, Some((la, ha)), Some((lb, hb))) if la >= 0 && lb >= 0 => {
+            cmp_fold(la > hb, ha <= lb)
+        }
+        _ => AVal::Any,
     }
 }
 
 /// Fold a unary operation over an abstract operand.
-fn fold1(inst: Inst, a: AVal) -> AVal {
+pub(crate) fn fold1(inst: Inst, a: AVal) -> AVal {
+    if let AVal::Const(x) = a {
+        return vmfold::fold1(inst, x).map_or(AVal::Any, AVal::Const);
+    }
     match (inst, a) {
-        (Inst::ZeroEq, AVal::NonZero) => AVal::Const(FALSE),
-        (Inst::ZeroNe, AVal::NonZero) => AVal::Const(TRUE),
-        (Inst::Negate | Inst::Abs, AVal::NonZero) => AVal::NonZero,
-        (_, AVal::Const(a)) => {
-            let v = match inst {
-                Inst::Negate => a.wrapping_neg(),
-                Inst::Invert => !a,
-                Inst::Abs => a.wrapping_abs(),
-                Inst::OnePlus => a.wrapping_add(1),
-                Inst::OneMinus => a.wrapping_sub(1),
-                Inst::TwoStar => a.wrapping_mul(2),
-                Inst::TwoSlash => a >> 1,
-                Inst::ZeroEq => flag(a == 0),
-                Inst::ZeroNe => flag(a != 0),
-                Inst::ZeroLt => flag(a < 0),
-                Inst::ZeroGt => flag(a > 0),
-                Inst::CellPlus => a.wrapping_add(CELL_BYTES as Cell),
-                Inst::Cells => a.wrapping_mul(CELL_BYTES as Cell),
-                Inst::CharPlus => a.wrapping_add(1),
-                _ => return AVal::Any,
-            };
-            AVal::Const(v)
+        (Inst::ZeroEq, v) if v.nonzero() => return AVal::Const(FALSE),
+        (Inst::ZeroNe, v) if v.nonzero() => return AVal::Const(TRUE),
+        (Inst::Negate | Inst::Abs, AVal::NonZero) => return AVal::NonZero,
+        _ => {}
+    }
+    let Some((l, h)) = a.bounds() else {
+        return AVal::Any;
+    };
+    match inst {
+        Inst::Negate | Inst::Abs if l == Cell::MIN => AVal::Any, // wraps
+        Inst::Negate => AVal::range(-h, -l),
+        Inst::Abs => {
+            if l >= 0 {
+                a
+            } else if h <= 0 {
+                AVal::range(-h, -l)
+            } else {
+                AVal::range(0, h.max(-l))
+            }
         }
+        Inst::Invert => AVal::range(!h, !l),
+        Inst::OnePlus | Inst::CharPlus => wide(l as i128 + 1, h as i128 + 1),
+        Inst::OneMinus => wide(l as i128 - 1, h as i128 - 1),
+        Inst::TwoStar => wide(l as i128 * 2, h as i128 * 2),
+        Inst::TwoSlash => AVal::range(l >> 1, h >> 1),
+        Inst::CellPlus => wide(
+            l as i128 + CELL_BYTES as i128,
+            h as i128 + CELL_BYTES as i128,
+        ),
+        Inst::Cells => wide(
+            l as i128 * CELL_BYTES as i128,
+            h as i128 * CELL_BYTES as i128,
+        ),
+        Inst::ZeroLt => cmp_fold(h < 0, l >= 0),
+        Inst::ZeroGt => cmp_fold(l > 0, h <= 0),
         _ => AVal::Any,
     }
 }
@@ -1091,8 +1413,24 @@ fn witness_path(preds: &BTreeMap<usize, usize>, entry: usize, ip: usize) -> Vec<
 /// `None` to analyze without memory knowledge — deferred dispatch then
 /// yields [`Verdict::Unknown`].
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
+    analyze_with(program, initial, &AnalysisBudget::quick())
+}
+
+/// Run whole-program abstract interpretation under an explicit
+/// [`AnalysisBudget`].
+///
+/// [`AnalysisBudget::quick`] is what the serving path uses;
+/// [`AnalysisBudget::deep`] spends more rounds and frames (and unrolls
+/// counted loops further) in exchange for tighter verdicts — it is what the
+/// background re-admission pass and `stklint` run.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn analyze_with(
+    program: &Program,
+    initial: Option<&Machine>,
+    budget: &AnalysisBudget,
+) -> Analysis {
     let frozen = FrozenMem::compute(program);
     let depth_info = depth::analyze(program);
     let mut words: BTreeSet<usize> = BTreeSet::new();
@@ -1100,7 +1438,7 @@ pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
     let mut summaries: BTreeMap<usize, Summary> = BTreeMap::new();
     let mut results: BTreeMap<usize, WordResult> = BTreeMap::new();
     let mut converged = false;
-    for round in 0..MAX_ROUNDS {
+    for round in 0..budget.max_rounds {
         let mut changed = false;
         for &w in &words.clone() {
             let mut ctx = WordCtx {
@@ -1109,6 +1447,7 @@ pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
                 summaries: &summaries,
                 frozen: &frozen,
                 mem: initial,
+                budget,
                 frames: BTreeMap::new(),
                 visits: BTreeMap::new(),
                 points: BTreeMap::new(),
@@ -1120,6 +1459,9 @@ pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
                 dd_at: None,
                 deps: BTreeSet::new(),
                 pending: BTreeSet::new(),
+                branch_folds: BTreeMap::new(),
+                const_folds: BTreeMap::new(),
+                widened: BTreeSet::new(),
             };
             let res = match ctx.run() {
                 Ok(()) => ctx.finalize(),
@@ -1134,6 +1476,7 @@ pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
                         preds,
                         deps,
                         pending,
+                        lints: Vec::new(),
                     }
                 }
             };
@@ -1146,7 +1489,7 @@ pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
                 }
             }
             let mut new = res.summary.clone();
-            if round >= WIDEN_ROUNDS {
+            if round >= budget.widen_rounds {
                 if let Some(old) = summaries.get(&w) {
                     if new != *old && new.unknown.is_none() && old.unknown.is_none() {
                         if new.grow > old.grow {
@@ -1196,7 +1539,7 @@ pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
         frozen_deps.extend(res.deps.iter().copied());
     }
 
-    let verdict;
+    let mut verdict;
     let data_needed;
     let data_max;
     let rstack_max;
@@ -1304,6 +1647,55 @@ pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
         };
     }
 
+    // Assemble value-range lints from the per-word passes, then try to
+    // strengthen a depth proof into a termination proof with the fuel pass.
+    let mut lints: Vec<Lint> = Vec::new();
+    for (&w, res) in &results {
+        for (kind, ip, reason) in &res.lints {
+            lints.push(Lint {
+                kind: *kind,
+                diag: diagnostic_at(program, &results, w, *ip, reason.clone()),
+            });
+        }
+    }
+    if converged {
+        for (&w, s) in &summaries {
+            if s.unknown.is_none() && s.r_grow >= INF {
+                lints.push(Lint {
+                    kind: LintKind::UnboundedRecursion,
+                    diag: diagnostic_at(
+                        program,
+                        &results,
+                        w,
+                        w,
+                        "return-stack growth is unbounded: possible unbounded recursion"
+                            .to_string(),
+                    ),
+                });
+            }
+        }
+    }
+    let mut fuel_bound = Bound::Unbounded;
+    if verdict == Verdict::Proven {
+        if let Some(n) = crate::fuel::fuel_bound(program, budget) {
+            if let Ok(b) = i64::try_from(n) {
+                fuel_bound = Bound::Finite(b);
+                verdict = Verdict::Total;
+                lints.push(Lint {
+                    kind: LintKind::FuelBound,
+                    diag: diagnostic_at(
+                        program,
+                        &results,
+                        entry,
+                        entry,
+                        format!("terminates within {n} instruction dispatch(es) from entry"),
+                    ),
+                });
+            }
+        }
+    }
+    lints.sort_by_key(|l| (l.diag.word, l.diag.ip));
+
     let words_report: Vec<WordReport> = words
         .iter()
         .filter_map(|&w| {
@@ -1336,6 +1728,8 @@ pub fn analyze(program: &Program, initial: Option<&Machine>) -> Analysis {
             frozen_deps: frozen_deps.into_iter().collect(),
             diagnostics,
             words_analyzed: words.len(),
+            fuel_bound,
+            lints,
         },
         words: words_report,
     }

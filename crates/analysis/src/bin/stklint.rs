@@ -1,0 +1,120 @@
+//! `stklint` — clippy-style static diagnostics for stack-machine
+//! assembly programs.
+//!
+//! Runs the whole-program abstract interpreter (deep budget by default)
+//! over each `vm::asm` file and reports everything the interval pass can
+//! see: definite-underflow witnesses, proven-dead branch arms, branches
+//! folded on proven-nonzero arithmetic, constant-foldable regions,
+//! widened loop heads, possible unbounded-recursion sites, and proven
+//! fuel bounds.
+//!
+//! Exit codes, clippy-style:
+//!
+//! * `0` — every file analyzed; no definite underflow, no denied lint;
+//! * `1` — at least one file was rejected (definite underflow) or fired
+//!   a lint escalated by `--deny`;
+//! * `2` — usage, I/O, or assembly error.
+
+use std::process::ExitCode;
+
+use stackcache_analysis::{analyze_with, render_analysis, AnalysisBudget, LintKind, Verdict};
+
+const USAGE: &str = "\
+usage: stklint [options] <file.asm>...
+
+options:
+  --quick         analyze under the admission-path (quick) budget
+                  instead of the deep tooling budget
+  --deny <slug>   escalate a lint kind to an error (repeatable);
+                  `--deny all` denies every kind except `fuel-bound`
+                  (a fuel bound is a certificate, not a smell)
+  -h, --help      print this help
+
+lint slugs:
+  nonzero-branch-fold  dead-arm  const-foldable  widening-loop-head
+  unbounded-recursion  fuel-bound
+
+exit codes: 0 clean; 1 definite underflow or denied lint; 2 usage error";
+
+fn slug_to_kind(slug: &str) -> Option<LintKind> {
+    LintKind::all().iter().copied().find(|k| k.slug() == slug)
+}
+
+fn main() -> ExitCode {
+    let mut budget = AnalysisBudget::deep();
+    let mut denied: Vec<LintKind> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--quick" => budget = AnalysisBudget::quick(),
+            "--deny" => {
+                let Some(slug) = args.next() else {
+                    eprintln!("stklint: --deny needs a lint slug\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if slug == "all" {
+                    denied.extend(
+                        LintKind::all()
+                            .iter()
+                            .copied()
+                            .filter(|k| *k != LintKind::FuelBound),
+                    );
+                } else if let Some(kind) = slug_to_kind(&slug) {
+                    denied.push(kind);
+                } else {
+                    eprintln!("stklint: unknown lint slug `{slug}`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("stklint: unknown option `{arg}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("stklint: no input files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut errors = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("stklint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let program = match stackcache_vm::asm::assemble(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("stklint: {file}: assembly error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let analysis = analyze_with(&program, None, &budget);
+        print!("{}", render_analysis(file, &analysis));
+        if analysis.proof.verdict == Verdict::Rejected {
+            println!("error: {file}: definite stack underflow");
+            errors += 1;
+        }
+        for lint in &analysis.proof.lints {
+            if denied.contains(&lint.kind) {
+                println!("error: {file}: denied lint {lint}");
+                errors += 1;
+            }
+        }
+    }
+    if errors > 0 {
+        println!("stklint: {errors} error(s) across {} file(s)", files.len());
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

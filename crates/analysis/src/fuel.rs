@@ -1,0 +1,585 @@
+//! The fuel-bound pass: proves an upper bound on instruction dispatches.
+//!
+//! This runs only on programs whose depth proof came back
+//! [`Verdict::Proven`](crate::Verdict::Proven): both stacks are finitely
+//! bounded and no preset-stack cell is consumed. The pass abstractly
+//! executes the program over the same value domain as `absint`
+//! ([`AVal`]), but path-sensitively: conditional branches with undecided
+//! conditions *fork* the exploration, counted loops with constant bounds
+//! are unrolled exactly, and the result is the maximum dispatch count over
+//! every completed path — `None` if any path escapes the abstraction (an
+//! unresolvable `Execute`/`Return`, an unbounded loop that keeps spinning,
+//! or an exploration that exceeds the [`AnalysisBudget`] fuel knobs).
+//!
+//! # Soundness argument
+//!
+//! The claim encoded in [`Bound::Finite`](crate::Bound)\(`n`\) is: *every*
+//! run of the program, from *any* starting machine, on *any* engine and
+//! checks level, executes at most `n` instruction dispatches before
+//! halting or trapping. The argument:
+//!
+//! - **Counting mirrors the interpreter.** `exec` checks
+//!   `InstructionOutOfBounds` *before* incrementing its dispatch counter,
+//!   counts the trapping instruction on every other trap, and counts
+//!   `Halt`. The abstract walk does exactly the same: falling off the
+//!   program ends a path without counting, everything else counts first.
+//! - **Unknowns never shorten a path.** Where a trap is merely possible
+//!   (a maybe-zero divisor, a maybe-invalid memory address) the walk takes
+//!   the *continuing* path with the result widened — the trapping run is a
+//!   strict prefix of the continuing abstract path, so the max covers it.
+//!   Only *definite* traps (constant zero divisor, constant bad token) end
+//!   a path early.
+//! - **No environment knowledge is assumed.** Loads (`Fetch`, `LoopI`
+//!   reads of host cells, `Depth`, `Pick`) produce `Any`/interval values
+//!   unless the program itself wrote the cell being read; frozen-memory
+//!   facts are deliberately *not* used, so the bound needs no revalidation
+//!   against the admitted machine image.
+//! - **Preset stacks cannot extend paths.** A `Proven` verdict guarantees
+//!   the program never pops below its entry depth and never returns into a
+//!   host-owned return stack, so the abstract walk starting from empty
+//!   stacks covers runs on machines with preset stacks; defensive
+//!   give-ups (`None`) back the guarantee where the walk would need a
+//!   host-owned cell anyway.
+//!
+//! When the walk cannot decide a loop bound, the looping path revisits the
+//! same abstract state until the step budget runs out and the pass returns
+//! `None` — the program keeps its plain `Proven` verdict and deadline
+//! timers stay in place.
+
+use stackcache_vm::{Cell, Inst, Program};
+
+use crate::absint::{fold1, fold2, AVal, AnalysisBudget};
+
+/// One abstract execution path.
+#[derive(Debug, Clone)]
+struct Path {
+    ip: usize,
+    count: u64,
+    data: Vec<AVal>,
+    rstack: Vec<AVal>,
+}
+
+impl Path {
+    fn pop(&mut self) -> AVal {
+        // `Proven` rules out pops below the entry depth; the fallback
+        // models a preset-stack cell, about which nothing is known.
+        self.data.pop().unwrap_or(AVal::Any)
+    }
+
+    fn push(&mut self, v: AVal) {
+        self.data.push(v);
+    }
+}
+
+/// Compute the maximum dispatch count over all paths, or `None` when the
+/// program escapes the abstraction or the budget.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub(crate) fn fuel_bound(program: &Program, budget: &AnalysisBudget) -> Option<u64> {
+    let insts = program.insts();
+    let mut steps: usize = 0;
+    let mut best: u64 = 0;
+    let mut work: Vec<Path> = vec![Path {
+        ip: program.entry(),
+        count: 0,
+        data: Vec::new(),
+        rstack: Vec::new(),
+    }];
+    while let Some(mut s) = work.pop() {
+        loop {
+            steps += 1;
+            if steps > budget.fuel_steps {
+                return None;
+            }
+            let Some(&inst) = insts.get(s.ip) else {
+                // InstructionOutOfBounds traps before the dispatch counter
+                // moves: the path ends without counting this slot.
+                best = best.max(s.count);
+                break;
+            };
+            s.count += 1;
+            let fall = s.ip + 1;
+            s.ip = fall;
+            match inst {
+                Inst::Halt => {
+                    best = best.max(s.count);
+                    break;
+                }
+                Inst::Lit(n) => s.push(AVal::Const(n)),
+                Inst::Div | Inst::Mod => {
+                    let b = s.pop();
+                    let a = s.pop();
+                    if b == AVal::Const(0) {
+                        // Definite division-by-zero trap; it was counted.
+                        best = best.max(s.count);
+                        break;
+                    }
+                    s.push(fold2(inst, a, b));
+                }
+                Inst::Add
+                | Inst::Sub
+                | Inst::Mul
+                | Inst::And
+                | Inst::Or
+                | Inst::Xor
+                | Inst::Lshift
+                | Inst::Rshift
+                | Inst::Min
+                | Inst::Max
+                | Inst::Eq
+                | Inst::Ne
+                | Inst::Lt
+                | Inst::Gt
+                | Inst::Le
+                | Inst::Ge
+                | Inst::ULt
+                | Inst::UGt => {
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(fold2(inst, a, b));
+                }
+                Inst::Negate
+                | Inst::Invert
+                | Inst::Abs
+                | Inst::OnePlus
+                | Inst::OneMinus
+                | Inst::TwoStar
+                | Inst::TwoSlash
+                | Inst::ZeroEq
+                | Inst::ZeroNe
+                | Inst::ZeroLt
+                | Inst::ZeroGt
+                | Inst::CellPlus
+                | Inst::Cells
+                | Inst::CharPlus => {
+                    let a = s.pop();
+                    s.push(fold1(inst, a));
+                }
+                Inst::Dup => {
+                    let a = s.pop();
+                    s.push(a);
+                    s.push(a);
+                }
+                Inst::Drop => {
+                    s.pop();
+                }
+                Inst::Swap => {
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(b);
+                    s.push(a);
+                }
+                Inst::Over => {
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(a);
+                    s.push(b);
+                    s.push(a);
+                }
+                Inst::Rot => {
+                    let c = s.pop();
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(b);
+                    s.push(c);
+                    s.push(a);
+                }
+                Inst::MinusRot => {
+                    let c = s.pop();
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(c);
+                    s.push(a);
+                    s.push(b);
+                }
+                Inst::Nip => {
+                    let b = s.pop();
+                    let _ = s.pop();
+                    s.push(b);
+                }
+                Inst::Tuck => {
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(b);
+                    s.push(a);
+                    s.push(b);
+                }
+                Inst::TwoDup => {
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(a);
+                    s.push(b);
+                    s.push(a);
+                    s.push(b);
+                }
+                Inst::TwoDrop => {
+                    s.pop();
+                    s.pop();
+                }
+                Inst::TwoSwap => {
+                    let d = s.pop();
+                    let c = s.pop();
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(c);
+                    s.push(d);
+                    s.push(a);
+                    s.push(b);
+                }
+                Inst::TwoOver => {
+                    let d = s.pop();
+                    let c = s.pop();
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.push(a);
+                    s.push(b);
+                    s.push(c);
+                    s.push(d);
+                    s.push(a);
+                    s.push(b);
+                }
+                Inst::QDup => {
+                    let a = s.pop();
+                    match a {
+                        AVal::Const(0) => s.push(a),
+                        v if v.nonzero() => {
+                            s.push(v);
+                            s.push(v);
+                        }
+                        v => {
+                            let mut z = s.clone();
+                            z.push(AVal::Const(0));
+                            work.push(z);
+                            let nz = match v {
+                                AVal::Any => AVal::NonZero,
+                                AVal::Range(0, h) => AVal::range(1, h),
+                                AVal::Range(l, 0) => AVal::range(l, -1),
+                                other => other,
+                            };
+                            s.push(nz);
+                            s.push(nz);
+                        }
+                    }
+                }
+                Inst::Pick => {
+                    let u = s.pop();
+                    if matches!(u, AVal::Const(n) if n < 0) {
+                        best = best.max(s.count);
+                        break;
+                    }
+                    s.push(AVal::Any);
+                }
+                Inst::Depth => s.push(AVal::Any),
+                Inst::ToR => {
+                    let a = s.pop();
+                    s.rstack.push(a);
+                    if s.rstack.len() > budget.fuel_calls {
+                        return None;
+                    }
+                }
+                Inst::FromR => {
+                    let a = s.rstack.pop()?;
+                    s.push(a);
+                }
+                Inst::RFetch => {
+                    let &a = s.rstack.last()?;
+                    s.push(a);
+                }
+                Inst::TwoToR => {
+                    let b = s.pop();
+                    let a = s.pop();
+                    s.rstack.push(a);
+                    s.rstack.push(b);
+                    if s.rstack.len() > budget.fuel_calls {
+                        return None;
+                    }
+                }
+                Inst::TwoFromR => {
+                    let b = s.rstack.pop()?;
+                    let a = s.rstack.pop()?;
+                    s.push(a);
+                    s.push(b);
+                }
+                Inst::TwoRFetch => {
+                    let n = s.rstack.len();
+                    if n < 2 {
+                        return None;
+                    }
+                    let (a, b) = (s.rstack[n - 2], s.rstack[n - 1]);
+                    s.push(a);
+                    s.push(b);
+                }
+                Inst::Fetch => {
+                    // Deliberately ignore frozen memory: the bound must
+                    // hold with no machine-image revalidation.
+                    s.pop();
+                    s.push(AVal::Any);
+                }
+                Inst::CFetch => {
+                    s.pop();
+                    s.push(AVal::range(0, 255));
+                }
+                Inst::Store | Inst::CStore | Inst::PlusStore => {
+                    s.pop();
+                    s.pop();
+                }
+                Inst::Branch(t) => s.ip = t as usize,
+                Inst::BranchIfZero(t) => {
+                    let c = s.pop();
+                    if c == AVal::Const(0) {
+                        s.ip = t as usize;
+                    } else if !c.nonzero() {
+                        let mut taken = s.clone();
+                        taken.ip = t as usize;
+                        work.push(taken);
+                    }
+                }
+                Inst::Call(t) => {
+                    s.rstack.push(AVal::Const(fall as Cell));
+                    if s.rstack.len() > budget.fuel_calls {
+                        return None;
+                    }
+                    s.ip = t as usize;
+                }
+                Inst::Execute => {
+                    let tok = s.pop();
+                    match tok {
+                        AVal::Const(c) if c < 0 || c as usize >= insts.len() => {
+                            best = best.max(s.count);
+                            break;
+                        }
+                        AVal::Const(c) => {
+                            s.rstack.push(AVal::Const(fall as Cell));
+                            if s.rstack.len() > budget.fuel_calls {
+                                return None;
+                            }
+                            s.ip = c as usize;
+                        }
+                        _ => return None,
+                    }
+                }
+                Inst::Return => {
+                    let r = s.rstack.pop()?;
+                    match r {
+                        AVal::Const(c) if c < 0 || c as usize > insts.len() => {
+                            best = best.max(s.count);
+                            break;
+                        }
+                        AVal::Const(c) => s.ip = c as usize,
+                        _ => return None,
+                    }
+                }
+                Inst::Nop | Inst::Cr => {}
+                Inst::DoSetup => {
+                    let start = s.pop();
+                    let limit = s.pop();
+                    s.rstack.push(limit);
+                    s.rstack.push(start);
+                    if s.rstack.len() > budget.fuel_calls {
+                        return None;
+                    }
+                }
+                Inst::QDoSetup(t) => {
+                    let start = s.pop();
+                    let limit = s.pop();
+                    let decided = match (limit, start) {
+                        (AVal::Const(l), AVal::Const(st)) => Some(l == st),
+                        _ => None,
+                    };
+                    if decided.is_none() {
+                        let mut skip = s.clone();
+                        skip.ip = t as usize;
+                        work.push(skip);
+                    }
+                    if decided == Some(true) {
+                        s.ip = t as usize;
+                    } else {
+                        s.rstack.push(limit);
+                        s.rstack.push(start);
+                        if s.rstack.len() > budget.fuel_calls {
+                            return None;
+                        }
+                    }
+                }
+                Inst::LoopInc(t) => {
+                    let n = s.rstack.len();
+                    if n < 2 {
+                        return None;
+                    }
+                    match (s.rstack[n - 2], s.rstack[n - 1]) {
+                        (AVal::Const(l), AVal::Const(i)) => {
+                            let next = i.wrapping_add(1);
+                            if next == l {
+                                s.rstack.truncate(n - 2);
+                            } else {
+                                s.rstack[n - 1] = AVal::Const(next);
+                                s.ip = t as usize;
+                            }
+                        }
+                        _ => {
+                            let mut exit = s.clone();
+                            exit.rstack.truncate(n - 2);
+                            work.push(exit);
+                            s.rstack[n - 1] = AVal::Any;
+                            s.ip = t as usize;
+                        }
+                    }
+                }
+                Inst::PlusLoopInc(t) => {
+                    let step = s.pop();
+                    let n = s.rstack.len();
+                    if n < 2 {
+                        return None;
+                    }
+                    match (step, s.rstack[n - 2], s.rstack[n - 1]) {
+                        (AVal::Const(st), AVal::Const(l), AVal::Const(o)) => {
+                            let new = o.wrapping_add(st);
+                            let crossed = if st >= 0 {
+                                o < l && new >= l
+                            } else {
+                                o >= l && new < l
+                            };
+                            if crossed {
+                                s.rstack.truncate(n - 2);
+                            } else {
+                                s.rstack[n - 1] = AVal::Const(new);
+                                s.ip = t as usize;
+                            }
+                        }
+                        _ => {
+                            let mut exit = s.clone();
+                            exit.rstack.truncate(n - 2);
+                            work.push(exit);
+                            s.rstack[n - 1] = AVal::Any;
+                            s.ip = t as usize;
+                        }
+                    }
+                }
+                Inst::LoopI => {
+                    let &i = s.rstack.last()?;
+                    s.push(i);
+                }
+                Inst::LoopJ => {
+                    let n = s.rstack.len();
+                    if n < 4 {
+                        return None;
+                    }
+                    let j = s.rstack[n - 3];
+                    s.push(j);
+                }
+                Inst::Unloop => {
+                    let n = s.rstack.len();
+                    if n < 2 {
+                        return None;
+                    }
+                    s.rstack.truncate(n - 2);
+                }
+                Inst::Emit | Inst::Dot => {
+                    s.pop();
+                }
+                Inst::Type => {
+                    s.pop();
+                    s.pop();
+                }
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::{exec, program_of, Machine};
+
+    fn measured(p: &Program) -> u64 {
+        let mut m = Machine::new();
+        exec::run(p, &mut m, 1 << 20).unwrap().executed
+    }
+
+    #[test]
+    fn straight_line_bound_is_exact() {
+        let p = program_of(&[Inst::Lit(2), Inst::Lit(3), Inst::Add, Inst::Dot, Inst::Halt]);
+        let bound = fuel_bound(&p, &AnalysisBudget::quick()).unwrap();
+        assert_eq!(bound, measured(&p));
+        assert_eq!(bound, 5);
+    }
+
+    #[test]
+    fn constant_countdown_loop_unrolls_exactly() {
+        // lit 10; L: 1-; dup; ?branch exit; branch L; exit: drop; halt
+        let p = program_of(&[
+            Inst::Lit(10),
+            Inst::OneMinus,
+            Inst::Dup,
+            Inst::BranchIfZero(5),
+            Inst::Branch(1),
+            Inst::Drop,
+            Inst::Halt,
+        ]);
+        let bound = fuel_bound(&p, &AnalysisBudget::quick()).unwrap();
+        assert_eq!(bound, measured(&p));
+    }
+
+    #[test]
+    fn counted_do_loop_unrolls_exactly() {
+        // 5 0 ?do i . loop ; halt
+        let p = program_of(&[
+            Inst::Lit(5),
+            Inst::Lit(0),
+            Inst::QDoSetup(6),
+            Inst::LoopI,
+            Inst::Dot,
+            Inst::LoopInc(3),
+            Inst::Halt,
+        ]);
+        let bound = fuel_bound(&p, &AnalysisBudget::quick()).unwrap();
+        assert_eq!(bound, measured(&p));
+    }
+
+    #[test]
+    fn unknown_branch_takes_the_longer_arm() {
+        // depth ?branch 4; lit 1; dot; halt  /  4: halt
+        let p = program_of(&[
+            Inst::Depth,
+            Inst::BranchIfZero(4),
+            Inst::Lit(1),
+            Inst::Dot,
+            Inst::Halt,
+        ]);
+        let bound = fuel_bound(&p, &AnalysisBudget::quick()).unwrap();
+        assert_eq!(bound, 5);
+    }
+
+    #[test]
+    fn unbounded_loops_get_no_bound() {
+        let p = program_of(&[Inst::Branch(0)]);
+        assert_eq!(fuel_bound(&p, &AnalysisBudget::quick()), None);
+        // Data-driven loop: the trip count is not a compile-time constant.
+        let p = program_of(&[
+            Inst::Depth,
+            Inst::Dup,
+            Inst::BranchIfZero(5),
+            Inst::OneMinus,
+            Inst::Branch(1),
+            Inst::Drop,
+            Inst::Halt,
+        ]);
+        assert_eq!(fuel_bound(&p, &AnalysisBudget::quick()), None);
+    }
+
+    #[test]
+    fn calls_count_their_returns() {
+        // call f; halt; f: lit 1; dot; return
+        let p = program_of(&[
+            Inst::Call(2),
+            Inst::Halt,
+            Inst::Lit(1),
+            Inst::Dot,
+            Inst::Return,
+        ]);
+        let bound = fuel_bound(&p, &AnalysisBudget::quick()).unwrap();
+        assert_eq!(bound, measured(&p));
+        assert_eq!(bound, 5);
+    }
+}

@@ -23,12 +23,14 @@
 //! # Examples
 //!
 //! ```
-//! use stackcache_analysis::{analyze, Verdict};
+//! use stackcache_analysis::{analyze, Bound, Verdict};
 //! use stackcache_vm::{program_of, Inst, Machine};
 //!
 //! let p = program_of(&[Inst::Lit(6), Inst::Dup, Inst::Mul, Inst::Dot, Inst::Halt]);
 //! let a = analyze(&p, None);
-//! assert_eq!(a.proof.verdict, Verdict::Proven);
+//! // Loop-free and depth-safe: proven *total* with a finite fuel bound.
+//! assert_eq!(a.proof.verdict, Verdict::Total);
+//! assert_eq!(a.proof.fuel_bound, Bound::Finite(5));
 //! let m = Machine::new();
 //! assert_eq!(a.proof.admit(&m), stackcache_vm::Checks::None);
 //! ```
@@ -38,10 +40,11 @@
 
 pub mod absint;
 pub mod fsm;
+mod fuel;
 pub mod proof;
 pub mod report;
 
-pub use absint::{analyze, Analysis, WordReport};
+pub use absint::{analyze, analyze_with, Analysis, AnalysisBudget, WordReport};
 pub use fsm::{check_fig18, check_org, FsmReport};
-pub use proof::{Bound, Diagnostic, SafetyProof, Verdict};
+pub use proof::{Bound, Diagnostic, Lint, LintKind, SafetyProof, Verdict};
 pub use report::{render_analysis, render_fsm};

@@ -45,6 +45,11 @@ impl fmt::Display for Bound {
 /// The overall verdict for a program started on empty stacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verdict {
+    /// [`Verdict::Proven`], *and* the fuel pass established a finite
+    /// dispatch bound ([`SafetyProof::fuel_bound`]): the program provably
+    /// terminates, so a server granting at least that much fuel needs no
+    /// deadline timer.
+    Total,
     /// Every program point has finite depth bounds and no underflow is
     /// possible: all depth checks may be elided ([`Checks::None`]) on a
     /// machine whose capacity covers [`SafetyProof::data_max`].
@@ -63,15 +68,84 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    /// Short lower-case name (`proven`, `guarded`, `rejected`, `unknown`).
+    /// Short lower-case name (`total`, `proven`, `guarded`, `rejected`,
+    /// `unknown`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
+            Verdict::Total => "total",
             Verdict::Proven => "proven",
             Verdict::Guarded => "guarded",
             Verdict::Rejected => "rejected",
             Verdict::Unknown => "unknown",
         }
+    }
+}
+
+/// The category of a [`Lint`] — informational findings from the interval
+/// pass, reported separately from the admission-relevant
+/// [`SafetyProof::diagnostics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A `?branch` whose condition is proven non-zero: never taken.
+    NonzeroBranchFold,
+    /// A `?branch` whose condition is always zero: the fall-through arm
+    /// is unreachable.
+    DeadArm,
+    /// A computational instruction whose result is the same constant on
+    /// every abstract path.
+    ConstFoldable,
+    /// A loop head where interval widening saturated an endpoint —
+    /// precision was lost; a deeper budget may do better.
+    WideningLoopHead,
+    /// A word whose return-stack growth is unbounded: a possible
+    /// unbounded-recursion site.
+    UnboundedRecursion,
+    /// The fuel pass proved a finite dispatch bound from the entry.
+    FuelBound,
+}
+
+impl LintKind {
+    /// The `stklint --deny` slug (`nonzero-branch-fold`, `dead-arm`, ...).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            LintKind::NonzeroBranchFold => "nonzero-branch-fold",
+            LintKind::DeadArm => "dead-arm",
+            LintKind::ConstFoldable => "const-foldable",
+            LintKind::WideningLoopHead => "widening-loop-head",
+            LintKind::UnboundedRecursion => "unbounded-recursion",
+            LintKind::FuelBound => "fuel-bound",
+        }
+    }
+
+    /// All lint kinds, for CLI enumeration.
+    #[must_use]
+    pub fn all() -> &'static [LintKind] {
+        &[
+            LintKind::NonzeroBranchFold,
+            LintKind::DeadArm,
+            LintKind::ConstFoldable,
+            LintKind::WideningLoopHead,
+            LintKind::UnboundedRecursion,
+            LintKind::FuelBound,
+        ]
+    }
+}
+
+/// An informational finding from the interval/fuel passes, anchored to an
+/// instruction with the same witness machinery as a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// The category (drives `stklint --deny`).
+    pub kind: LintKind,
+    /// Location, reason, and witness path.
+    pub diag: Diagnostic,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind.slug(), self.diag)
     }
 }
 
@@ -136,6 +210,13 @@ pub struct SafetyProof {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of words (entry points) analyzed.
     pub words_analyzed: usize,
+    /// Upper bound on instruction dispatches for any run of the program
+    /// (finite only with [`Verdict::Total`]).
+    pub fuel_bound: Bound,
+    /// Informational value-range findings: branch folds, dead arms,
+    /// constant-foldable regions, widening sites, recursion sites, and
+    /// the fuel bound itself.
+    pub lints: Vec<Lint>,
 }
 
 impl SafetyProof {
@@ -192,7 +273,18 @@ mod tests {
             frozen_deps: Vec::new(),
             diagnostics: Vec::new(),
             words_analyzed: 1,
+            fuel_bound: Bound::Unbounded,
+            lints: Vec::new(),
         }
+    }
+
+    #[test]
+    fn total_admits_like_proven() {
+        let mut p = proven();
+        p.verdict = Verdict::Total;
+        p.fuel_bound = Bound::Finite(12);
+        let m = Machine::with_memory(64);
+        assert_eq!(p.admit(&m), Checks::None);
     }
 
     #[test]

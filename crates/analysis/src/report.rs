@@ -15,12 +15,14 @@ pub fn render_analysis(title: &str, analysis: &Analysis) -> String {
     let _ = writeln!(out, "{title}: {}", p.verdict.name());
     let _ = writeln!(
         out,
-        "  needs {} cell(s) on entry; data growth {}; rstack growth {}; {} word(s); {} frozen dep(s)",
+        "  needs {} cell(s) on entry; data growth {}; rstack growth {}; fuel bound {}; {} word(s); {} frozen dep(s); {} lint(s)",
         p.data_needed,
         p.data_max,
         p.rstack_max,
+        p.fuel_bound,
         p.words_analyzed,
-        p.frozen_deps.len()
+        p.frozen_deps.len(),
+        p.lints.len()
     );
     let _ = writeln!(
         out,
@@ -48,6 +50,9 @@ pub fn render_analysis(title: &str, analysis: &Analysis) -> String {
     }
     for d in &p.diagnostics {
         let _ = writeln!(out, "  warning: {d}");
+    }
+    for l in &p.lints {
+        let _ = writeln!(out, "  lint: {l}");
     }
     out
 }
@@ -112,7 +117,8 @@ mod tests {
         let p = program_of(&[Inst::Lit(2), Inst::Lit(3), Inst::Add, Inst::Dot, Inst::Halt]);
         let a = analyze(&p, None);
         let text = render_analysis("demo", &a);
-        assert!(text.contains("demo: proven"), "{text}");
+        assert!(text.contains("demo: total"), "{text}");
+        assert!(text.contains("fuel bound 5"), "{text}");
         assert!(text.contains("entry"), "{text}");
     }
 

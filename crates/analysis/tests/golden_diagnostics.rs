@@ -3,7 +3,7 @@
 //! offending instruction index, the containing word (with its name when
 //! the program carries one), and the witness path from the word's entry.
 
-use stackcache_analysis::{analyze, Bound, Verdict};
+use stackcache_analysis::{analyze, AnalysisBudget, Bound, LintKind, Verdict};
 use stackcache_vm::{program_of, Checks, Inst, Machine, ProgramBuilder};
 
 #[test]
@@ -167,9 +167,187 @@ fn unbounded_growth_is_guarded_with_overflow_checks_kept() {
 fn bounded_programs_prove_with_exact_growth() {
     let p = program_of(&[Inst::Lit(6), Inst::Dup, Inst::Mul, Inst::Dot, Inst::Halt]);
     let a = analyze(&p, None);
-    assert_eq!(a.proof.verdict, Verdict::Proven);
+    assert_eq!(a.proof.verdict, Verdict::Total, "loop-free: total");
+    assert_eq!(a.proof.fuel_bound, Bound::Finite(5));
     assert_eq!(a.proof.data_needed, 0);
     assert_eq!(a.proof.data_max, Bound::Finite(2));
     assert!(a.proof.diagnostics.is_empty());
     assert_eq!(a.proof.admit(&Machine::with_memory(64)), Checks::None);
+}
+
+#[test]
+fn nonzero_arithmetic_folds_the_branch_and_lints_it() {
+    // the condition is *computed* — a byte load (in [0, 255]) plus one is
+    // in [1, 256], proven non-zero — so the ?branch can never be taken
+    let p = program_of(&[
+        Inst::Lit(0),          // 0: address
+        Inst::CFetch,          // 1: [0, 255]
+        Inst::OnePlus,         // 2: [1, 256] — non-zero
+        Inst::BranchIfZero(5), // 3: never taken
+        Inst::Halt,            // 4: the only reachable exit
+        Inst::Halt,            // 5: unreachable branch target
+    ]);
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Total);
+    assert_eq!(a.proof.fuel_bound, Bound::Finite(5), "ips 0..=4 dispatch");
+    let l = a
+        .proof
+        .lints
+        .iter()
+        .find(|l| l.kind == LintKind::NonzeroBranchFold)
+        .expect("nonzero-branch-fold lint");
+    assert_eq!(l.diag.ip, 3);
+    assert_eq!(l.diag.inst, "?branch");
+    assert_eq!(l.diag.witness, vec![0, 1, 2, 3]);
+    assert_eq!(
+        l.diag.reason,
+        "condition proven nonzero: the branch to 5 is never taken"
+    );
+}
+
+#[test]
+fn dead_arm_is_linted_and_its_growth_is_eliminated() {
+    // `5 dup -` is always zero: the branch is always taken and the
+    // fall-through arm (which would push three more cells) is unreachable,
+    // so the proven growth bound shrinks to the live path's peak of 2
+    let p = program_of(&[
+        Inst::Lit(5),          // 0
+        Inst::Dup,             // 1: peak depth 2
+        Inst::Sub,             // 2: always 0
+        Inst::BranchIfZero(8), // 3: always taken
+        Inst::Lit(9),          // 4: dead arm...
+        Inst::Lit(9),          // 5
+        Inst::Lit(9),          // 6: ...would peak at depth 3
+        Inst::Halt,            // 7
+        Inst::Halt,            // 8: the live exit
+    ]);
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Total);
+    assert_eq!(a.proof.fuel_bound, Bound::Finite(5), "ips 0,1,2,3,8");
+    assert_eq!(
+        a.proof.data_max,
+        Bound::Finite(2),
+        "the dead arm's pushes do not count"
+    );
+    let l = a
+        .proof
+        .lints
+        .iter()
+        .find(|l| l.kind == LintKind::DeadArm)
+        .expect("dead-arm lint");
+    assert_eq!(l.diag.ip, 3);
+    assert_eq!(l.diag.witness, vec![0, 1, 2, 3]);
+    assert_eq!(
+        l.diag.reason,
+        "condition is always zero: the fall-through arm at 4 is unreachable"
+    );
+    let c = a
+        .proof
+        .lints
+        .iter()
+        .find(|l| l.kind == LintKind::ConstFoldable)
+        .expect("const-foldable lint");
+    assert_eq!(c.diag.ip, 2);
+    assert_eq!(c.diag.reason, "constant-foldable: always evaluates to 0");
+}
+
+#[test]
+fn constant_countdown_loop_gets_a_proven_fuel_bound() {
+    // lit 3; L: 1-; dup; ?branch X; branch L; X: drop; halt
+    let p = program_of(&[
+        Inst::Lit(3),          // 0
+        Inst::OneMinus,        // 1: loop head
+        Inst::Dup,             // 2
+        Inst::BranchIfZero(5), // 3
+        Inst::Branch(1),       // 4
+        Inst::Drop,            // 5
+        Inst::Halt,            // 6
+    ]);
+    let a = analyze(&p, None);
+    assert_eq!(a.proof.verdict, Verdict::Total);
+    // 1 (lit) + 4 + 4 (two full iterations) + 3 (exit iteration)
+    // + 2 (drop; halt) = 14, matching the interpreter exactly.
+    let mut m = Machine::new();
+    let measured = stackcache_vm::exec::run(&p, &mut m, 1 << 16)
+        .unwrap()
+        .executed;
+    assert_eq!(a.proof.fuel_bound, Bound::Finite(14));
+    assert_eq!(measured, 14);
+    let l = a
+        .proof
+        .lints
+        .iter()
+        .find(|l| l.kind == LintKind::FuelBound)
+        .expect("fuel-bound lint");
+    assert_eq!(l.diag.ip, 0, "anchored at the entry");
+    assert_eq!(
+        l.diag.reason,
+        "terminates within 14 instruction dispatch(es) from entry"
+    );
+}
+
+#[test]
+fn long_countdown_widens_at_the_loop_head_but_stays_total() {
+    // the quick budget cannot unroll 100 iterations: the counter interval
+    // is widened at the loop head (and linted), yet the depth proof holds
+    // and the path-sensitive fuel pass still unrolls the constant bound
+    let p = program_of(&[
+        Inst::Lit(100),        // 0
+        Inst::OneMinus,        // 1: loop head — widening point
+        Inst::Dup,             // 2
+        Inst::BranchIfZero(5), // 3
+        Inst::Branch(1),       // 4
+        Inst::Drop,            // 5
+        Inst::Halt,            // 6
+    ]);
+    let a = analyze(&p, None);
+    let w = a
+        .proof
+        .lints
+        .iter()
+        .find(|l| l.kind == LintKind::WideningLoopHead)
+        .expect("widening-loop-head lint");
+    assert_eq!(w.diag.ip, 1);
+    assert_eq!(w.diag.reason, "value interval widened at loop head");
+    assert_eq!(a.proof.verdict, Verdict::Total);
+    let mut m = Machine::new();
+    let measured = stackcache_vm::exec::run(&p, &mut m, 1 << 16)
+        .unwrap()
+        .executed;
+    assert_eq!(a.proof.fuel_bound, Bound::Finite(measured as i64));
+}
+
+#[test]
+fn deep_budget_proves_what_quick_must_guard() {
+    // a push-per-iteration counted loop: quick widens the growing depth
+    // to ∞ (guarded), deep unrolls all 20 iterations exactly (total)
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let out = b.new_label();
+    b.entry_here();
+    b.push(Inst::Lit(20));
+    b.bind(top).unwrap();
+    b.push(Inst::Dup); // keep the counter, grow the stack
+    b.push(Inst::OneMinus);
+    b.push(Inst::Dup);
+    b.push(Inst::ZeroGt);
+    b.branch_if_zero(out);
+    b.branch(top);
+    b.bind(out).unwrap();
+    b.push(Inst::Halt);
+    let p = b.finish().unwrap();
+
+    let quick = stackcache_analysis::analyze_with(&p, None, &AnalysisBudget::quick());
+    assert_eq!(quick.proof.verdict, Verdict::Guarded);
+    assert_eq!(quick.proof.data_max, Bound::Unbounded);
+
+    let deep = stackcache_analysis::analyze_with(&p, None, &AnalysisBudget::deep());
+    assert_eq!(deep.proof.verdict, Verdict::Total, "{:?}", deep.proof);
+    let mut m = Machine::new();
+    let out = stackcache_vm::exec::run(&p, &mut m, 1 << 16).unwrap();
+    assert_eq!(deep.proof.fuel_bound, Bound::Finite(out.executed as i64));
+    match deep.proof.data_max {
+        Bound::Finite(d) => assert!(d >= 21, "covers the 20 pushed cells: {d}"),
+        Bound::Unbounded => panic!("deep budget must bound the growth"),
+    }
 }

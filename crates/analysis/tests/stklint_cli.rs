@@ -1,0 +1,113 @@
+//! End-to-end tests for the `stklint` binary: exit codes and output for
+//! the shipped fixtures under `tests/lint/`, and the `--deny` escalation
+//! path.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lint_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint")
+}
+
+fn stklint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stklint"))
+}
+
+#[test]
+fn clean_fixture_exits_zero_and_reports_total() {
+    let out = stklint()
+        .arg(lint_dir().join("lint-clean.asm"))
+        .output()
+        .expect("run stklint");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(": total"), "{text}");
+    assert!(text.contains("fuel bound 5"), "{text}");
+    assert!(text.contains("[fuel-bound]"), "{text}");
+}
+
+#[test]
+fn definite_underflow_exits_nonzero_with_a_witness() {
+    let out = stklint()
+        .arg(lint_dir().join("lint-underflow.asm"))
+        .output()
+        .expect("run stklint");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(": rejected"), "{text}");
+    assert!(text.contains("definite stack underflow"), "{text}");
+    assert!(text.contains("witness:"), "{text}");
+}
+
+#[test]
+fn deny_escalates_an_informational_lint_to_an_error() {
+    // the clean fixture is exit-0 by default but carries a
+    // const-foldable lint; denying it flips the exit code
+    let out = stklint()
+        .arg("--deny")
+        .arg("const-foldable")
+        .arg(lint_dir().join("lint-clean.asm"))
+        .output()
+        .expect("run stklint");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("denied lint [const-foldable]"), "{text}");
+}
+
+#[test]
+fn deny_all_spares_the_fuel_bound_certificate() {
+    // `--deny all` escalates the smell lints but not the fuel-bound
+    // certificate: a program whose only lint is its fuel bound stays 0
+    let dir = std::env::temp_dir().join("stklint-test-deny-all");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("bound-only.asm");
+    std::fs::write(&file, "entry:\n    lit 1\n    .\n    halt\n").unwrap();
+    let out = stklint()
+        .arg("--deny")
+        .arg("all")
+        .arg(&file)
+        .output()
+        .expect("run stklint");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[fuel-bound]"), "{text}");
+}
+
+#[test]
+fn unknown_slugs_and_missing_files_are_usage_errors() {
+    let out = stklint()
+        .arg("--deny")
+        .arg("no-such-lint")
+        .arg(lint_dir().join("lint-clean.asm"))
+        .output()
+        .expect("run stklint");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = stklint()
+        .arg(lint_dir().join("no-such-file.asm"))
+        .output()
+        .expect("run stklint");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = stklint().output().expect("run stklint");
+    assert_eq!(out.status.code(), Some(2), "no input files: {out:?}");
+}
+
+#[test]
+fn recorded_corpus_stays_clean_under_the_recursion_deny() {
+    // the recorded corpus is proven depth-safe; denying the
+    // unbounded-recursion lint over it must stay exit-0 (the CI
+    // self-check runs the same invocation)
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut cmd = stklint();
+    cmd.arg("--deny").arg("unbounded-recursion");
+    let mut any = false;
+    for e in std::fs::read_dir(corpus).expect("corpus dir") {
+        let p = e.expect("entry").path();
+        if p.extension().is_some_and(|x| x == "asm") {
+            cmd.arg(p);
+            any = true;
+        }
+    }
+    assert!(any, "corpus must not be empty");
+    let out = cmd.output().expect("run stklint");
+    assert!(out.status.success(), "{out:?}");
+}

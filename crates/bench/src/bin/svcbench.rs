@@ -16,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use stackcache_bench::svcload::{run_load, LoadConfig};
+use stackcache_bench::svcload::{run_load, run_upgrade_demo, LoadConfig};
 use stackcache_obs::prometheus_lint;
 
 fn main() -> ExitCode {
@@ -108,7 +108,19 @@ fn main() -> ExitCode {
         }
     }
 
+    // the re-admission demonstration: a guarded program is upgraded to
+    // the unchecked tier by the deep pass, with byte-identical outcomes
+    let demo = run_upgrade_demo(cfg.workers.min(4), if quick { 20 } else { 60 });
+    println!("{}", demo.summary());
+
     let mut code = ExitCode::SUCCESS;
+    if !demo.clean() {
+        eprintln!("RE-ADMISSION DEMO FAILED: {}", demo.summary());
+        for d in demo.divergences.iter().take(20) {
+            eprintln!("  {d}");
+        }
+        code = ExitCode::FAILURE;
+    }
     if report.clean() {
         println!("no divergences");
     } else {

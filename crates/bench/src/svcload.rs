@@ -19,7 +19,7 @@ use stackcache_core::EngineRegime;
 use stackcache_harness::{gen, Outcome, MEMORY_BYTES};
 use stackcache_svc::{
     MetricsSnapshot, Rejection, Reply, Request, Service, ServiceConfig, SubmitError, Ticket,
-    TraceConfig,
+    TraceConfig, UpgradeStats,
 };
 use stackcache_vm::{exec, Inst, Machine, Program, ProgramBuilder, Rng};
 use stackcache_workloads::Scale;
@@ -199,6 +199,141 @@ fn fmt_latency(d: Option<Duration>) -> String {
         None => "-".to_string(),
         Some(d) if d < Duration::from_millis(1) => format!("{}us", d.as_micros()),
         Some(d) => format!("{:.1}ms", d.as_secs_f64() * 1e3),
+    }
+}
+
+/// What the guarded→unchecked re-admission demonstration measured.
+#[derive(Debug)]
+pub struct UpgradeDemoReport {
+    /// Verified completions while the program was guarded (phase 1).
+    pub guarded_runs: u64,
+    /// Verified completions after the upgrade pass (phase 2).
+    pub unchecked_runs: u64,
+    /// The first (upgrading) re-admission pass.
+    pub stats: UpgradeStats,
+    /// The second pass, which must find nothing left to scan.
+    pub rescan: UpgradeStats,
+    /// Outcome mismatches against the reference interpreter; empty on a
+    /// clean run.
+    pub divergences: Vec<String>,
+    /// The service's own metrics at shutdown.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl UpgradeDemoReport {
+    /// Whether the demonstration upgraded the program and every run
+    /// (before and after) matched the reference interpreter.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+            && self.stats.upgraded >= 1
+            && self.stats.upgraded == self.stats.scanned
+            && self.rescan.scanned == 0
+            && self.snapshot.analysis_upgrades == self.stats.upgraded as u64
+    }
+
+    /// One line summarizing the demonstration.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "re-admission: {} guarded completions, deep pass upgraded {}/{} cached \
+             artifacts ({} fuel proofs), rescan found {}, then {} unchecked completions; \
+             metrics: {} guarded / {} unchecked admissions, {} upgrades",
+            self.guarded_runs,
+            self.stats.upgraded,
+            self.stats.scanned,
+            self.stats.fuel_proofs,
+            self.rescan.scanned,
+            self.unchecked_runs,
+            self.snapshot.admitted_guarded,
+            self.snapshot.admitted_unchecked,
+            self.snapshot.analysis_upgrades,
+        )
+    }
+}
+
+/// A counted loop the quick admission budget can only guard (its
+/// interval join loses the counter) but the deep budget proves total.
+fn guarded_counted_loop() -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let out = b.new_label();
+    b.entry_here();
+    b.push(Inst::Lit(20));
+    b.bind(top).unwrap();
+    b.push(Inst::Dup);
+    b.push(Inst::OneMinus);
+    b.push(Inst::Dup);
+    b.push(Inst::ZeroGt);
+    b.branch_if_zero(out);
+    b.branch(top);
+    b.bind(out).unwrap();
+    b.push(Inst::Halt);
+    Arc::new(b.finish().expect("guarded loop program"))
+}
+
+/// Demonstrate the re-admission loop end to end: drive a program the
+/// quick budget can only guard across every regime, run the deep
+/// re-admission pass, then drive the same load again on the unchecked
+/// tier — verifying every completion against the reference interpreter
+/// in both phases.
+///
+/// # Panics
+///
+/// Panics if the service rejects the probe program's submission shape
+/// (it cannot: the load generator owns the service).
+#[must_use]
+pub fn run_upgrade_demo(workers: usize, repeats: usize) -> UpgradeDemoReport {
+    let svc = Service::start(ServiceConfig {
+        workers,
+        queue_capacity: 128,
+        cache_shards: 4,
+        ..ServiceConfig::default()
+    });
+    let program = guarded_counted_loop();
+    let proto = Arc::new(Machine::with_memory(MEMORY_BYTES));
+    let fuel = 10_000u64;
+    let expected = reference_outcome(&program, &proto, fuel);
+    let mut divergences = Vec::new();
+
+    let drive = |svc: &Service, phase: &str, divergences: &mut Vec<String>| -> u64 {
+        let mut retries = 0u64;
+        let tickets: Vec<Ticket> = (0..repeats)
+            .map(|i| {
+                let regime = EngineRegime::ALL[i % EngineRegime::ALL.len()];
+                let req = Request::new(Arc::clone(&program), regime)
+                    .on(Arc::clone(&proto))
+                    .fuel(fuel);
+                submit_with_backpressure(svc, req, &mut retries)
+            })
+            .collect();
+        let mut ok = 0u64;
+        for t in tickets {
+            match t.wait() {
+                Reply::Completed(c) => match expected.first_difference(&c.outcome, false) {
+                    None => ok += 1,
+                    Some(diff) => divergences.push(format!("{phase}: {diff}")),
+                },
+                Reply::Rejected(r) => {
+                    divergences.push(format!("{phase}: unexpected rejection {r:?}"));
+                }
+            }
+        }
+        ok
+    };
+
+    let guarded_runs = drive(&svc, "guarded phase", &mut divergences);
+    let stats = svc.upgrade_pass();
+    let rescan = svc.upgrade_pass();
+    let unchecked_runs = drive(&svc, "unchecked phase", &mut divergences);
+    let snapshot = svc.shutdown();
+    UpgradeDemoReport {
+        guarded_runs,
+        unchecked_runs,
+        stats,
+        rescan,
+        divergences,
+        snapshot,
     }
 }
 

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use stackcache_analysis::{analyze, check_fig18, Analysis};
+use stackcache_analysis::{analyze, check_fig18, Analysis, LintKind};
 use stackcache_core::{CompiledArtifact, EngineRegime};
 use stackcache_vm::Checks;
 use stackcache_workloads::Scale;
@@ -107,6 +107,50 @@ pub fn run(scale: Scale) -> VerifiedReport {
     VerifiedReport { proofs, deltas }
 }
 
+/// Render the per-workload proof summary: verdict, admitted checks
+/// level, the proven fuel bound, and the interval domain's precision —
+/// value facts the intervals proved (folded branches, dead arms,
+/// constant regions) vs. loop heads the analyzer had to widen to ±∞.
+#[must_use]
+pub fn proof_table(report: &VerifiedReport) -> Table {
+    let mut t = Table::new(&[
+        "workload",
+        "verdict",
+        "admitted",
+        "fuel bound",
+        "interval facts",
+        "widened heads",
+    ]);
+    for (name, a, admitted) in &report.proofs {
+        let facts = a
+            .proof
+            .lints
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l.kind,
+                    LintKind::NonzeroBranchFold | LintKind::DeadArm | LintKind::ConstFoldable
+                )
+            })
+            .count();
+        let widened = a
+            .proof
+            .lints
+            .iter()
+            .filter(|l| l.kind == LintKind::WideningLoopHead)
+            .count();
+        t.row(&[
+            (*name).to_string(),
+            a.proof.verdict.name().to_string(),
+            admitted.name().to_string(),
+            a.proof.fuel_bound.to_string(),
+            facts.to_string(),
+            widened.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Render the checked-vs-unchecked timing matrix.
 #[must_use]
 pub fn delta_table(report: &VerifiedReport) -> Table {
@@ -139,6 +183,7 @@ pub fn render(report: &VerifiedReport) -> String {
         stackcache_analysis::fsm::CHECKED_REGISTERS,
     )));
     let _ = writeln!(out, "\n### Workload safety proofs\n");
+    let _ = writeln!(out, "{}", proof_table(report));
     for (name, a, admitted) in &report.proofs {
         out.push_str(&stackcache_analysis::render_analysis(name, a));
         let _ = writeln!(out, "  admitted checks level: {}\n", admitted.name());
@@ -162,7 +207,10 @@ mod tests {
         assert_eq!(report.proofs.len(), 4);
         for (name, a, admitted) in &report.proofs {
             assert!(
-                matches!(a.proof.verdict, Verdict::Proven | Verdict::Guarded),
+                matches!(
+                    a.proof.verdict,
+                    Verdict::Total | Verdict::Proven | Verdict::Guarded
+                ),
                 "{name}: {}",
                 a.proof.verdict.name()
             );
@@ -171,5 +219,8 @@ mod tests {
         assert_eq!(report.deltas.len(), 4 * EngineRegime::ALL.len());
         let text = render(&report);
         assert!(text.contains("admitted checks level"), "{text}");
+        assert!(text.contains("fuel bound"), "{text}");
+        assert!(text.contains("interval facts"), "{text}");
+        assert!(text.contains("widened heads"), "{text}");
     }
 }

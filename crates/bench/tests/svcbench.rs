@@ -3,7 +3,7 @@
 //! reference interpreter, observed cache hits, and structured rejections
 //! on the deadline/fuel probe paths.
 
-use stackcache_bench::svcload::{run_load, LoadConfig};
+use stackcache_bench::svcload::{run_load, run_upgrade_demo, LoadConfig};
 use stackcache_core::EngineRegime;
 use stackcache_workloads::Scale;
 
@@ -77,4 +77,42 @@ fn service_sustains_ten_thousand_verified_requests() {
     );
     assert_eq!(report.snapshot.analysis_rejected(), 0);
     assert_eq!(report.snapshot.stalled_workers(), 0);
+}
+
+/// The re-admission acceptance run: a program the quick admission budget
+/// can only guard serves a load phase on the guarded tier, the deep
+/// background pass upgrades its cached artifact, and the same load then
+/// runs fully unchecked — with zero divergences from the reference
+/// interpreter in either phase, and the upgrade visible in the service's
+/// own metrics.
+#[test]
+fn re_admission_moves_guarded_load_to_the_unchecked_tier() {
+    let repeats = 40;
+    let demo = run_upgrade_demo(4, repeats);
+
+    assert!(
+        demo.divergences.is_empty(),
+        "{} divergences, first: {}",
+        demo.divergences.len(),
+        demo.divergences.first().map_or("", String::as_str)
+    );
+    assert_eq!(demo.guarded_runs, repeats as u64);
+    assert_eq!(demo.unchecked_runs, repeats as u64);
+    // the deep pass upgraded every guarded cache entry, each with a
+    // proven finite fuel bound, and a rescan finds nothing left
+    assert!(demo.stats.upgraded >= 1, "{:?}", demo.stats);
+    assert_eq!(demo.stats.upgraded, demo.stats.scanned, "{:?}", demo.stats);
+    assert_eq!(
+        demo.stats.fuel_proofs, demo.stats.upgraded,
+        "{:?}",
+        demo.stats
+    );
+    assert_eq!(demo.rescan.scanned, 0, "{:?}", demo.rescan);
+    // the tier move is visible in the service metrics: phase 1 admitted
+    // guarded, phase 2 admitted unchecked, and the upgrades counter
+    // matches the pass's own accounting
+    assert_eq!(demo.snapshot.admitted_guarded, repeats as u64);
+    assert_eq!(demo.snapshot.admitted_unchecked, repeats as u64);
+    assert_eq!(demo.snapshot.analysis_upgrades, demo.stats.upgraded as u64);
+    assert!(demo.clean(), "{}", demo.summary());
 }

@@ -11,12 +11,16 @@
 //! 2. **Checked/unchecked agreement**: running the same artifact at the
 //!    admitted checks level produces an [`Outcome`](crate::Outcome)
 //!    identical to running it with full checks.
+//! 3. **Fuel-bound soundness**: a [`Verdict::Total`] program terminates,
+//!    and the reference interpreter dispatches at most
+//!    `proof.fuel_bound` instructions doing so — running out of fuel at
+//!    or past the proven bound is a broken proof, not a slow program.
 //!
-//! [`cross_validate_proof`] tests both promises empirically on every
-//! execution regime, returning a first-divergence report on any breach —
-//! the same report format the engine oracle in [`crate::check`] uses, so
-//! fuzzing harnesses can treat a broken proof exactly like a broken
-//! engine.
+//! [`cross_validate_proof`] tests all three promises empirically on
+//! every execution regime, returning a first-divergence report on any
+//! breach — the same report format the engine oracle in [`crate::check`]
+//! uses, so fuzzing harnesses can treat a broken proof exactly like a
+//! broken engine.
 
 use stackcache_analysis::{analyze, Verdict};
 use stackcache_core::{CompiledArtifact, EngineRegime};
@@ -38,6 +42,10 @@ pub struct ProofAgreement {
     /// promises. Zero when the proof admits nothing (checked execution
     /// needs no validation).
     pub configs: usize,
+    /// The proven fuel bound validated against the reference
+    /// interpreter's dispatch count, when the verdict was
+    /// [`Verdict::Total`] with a finite bound.
+    pub fuel_bound: Option<i64>,
 }
 
 /// Traps the respective checks level promises are impossible.
@@ -85,12 +93,57 @@ pub fn cross_validate_proof_on(
     let analysis = analyze(program, Some(proto));
     let verdict = analysis.proof.verdict;
     let admitted = analysis.proof.admit(proto);
+
+    // Promise 3: a `Total` verdict's fuel bound is a hard ceiling on the
+    // reference interpreter's dispatch count. A clean halt must have
+    // executed at most `bound` instructions; exhausting fuel at or past
+    // the bound means the "terminating" program outlived its proof.
+    let mut fuel_bound = None;
+    if verdict == Verdict::Total {
+        if let Some(bound) = analysis.proof.fuel_bound.finite() {
+            let mut m = proto.clone();
+            let result = stackcache_vm::exec::run(program, &mut m, fuel);
+            let reference = Outcome::capture(&m, result.map(|o| o.executed));
+            let breach = match (reference.executed, reference.trap) {
+                (Some(n), _) => i64::try_from(n).map_or(true, |n| n > bound),
+                (None, Some(Trap::FuelExhausted)) => {
+                    i64::try_from(fuel).map_or(true, |f| f >= bound)
+                }
+                // another trap ended the run even earlier — but Total
+                // also promises no depth trap; `forbidden` catches that
+                // per config below
+                _ => false,
+            };
+            if breach {
+                return Err(Box::new(Divergence {
+                    engines: (format!("proof:{}", verdict.name()), "reference".to_string()),
+                    index: None,
+                    ip: None,
+                    cache_state: None,
+                    detail: match reference.executed {
+                        Some(n) => format!(
+                            "the proof bounds fuel at {bound} but the reference run \
+                             executed {n} instructions"
+                        ),
+                        None => format!(
+                            "the proof bounds fuel at {bound} but the reference run \
+                             exhausted {fuel} fuel without halting"
+                        ),
+                    },
+                    flight: None,
+                }));
+            }
+            fuel_bound = Some(bound);
+        }
+    }
+
     if admitted == Checks::Full {
-        // nothing was promised: checked execution validates itself
+        // nothing else was promised: checked execution validates itself
         return Ok(ProofAgreement {
             verdict,
             admitted,
             configs: 0,
+            fuel_bound,
         });
     }
 
@@ -143,6 +196,7 @@ pub fn cross_validate_proof_on(
         verdict,
         admitted,
         configs,
+        fuel_bound,
     })
 }
 

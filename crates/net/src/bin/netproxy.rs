@@ -3,12 +3,15 @@
 //!
 //! Usage: `netproxy --node HOST:PORT [--node HOST:PORT ...]
 //! [--bind ADDR] [--max-window N] [--upstream-window N] [--vnodes N]
-//! [--label NAME] [--slow-ms N] [--trace-capacity N]`
+//! [--label NAME] [--slow-ms N] [--sample-ppm N] [--trace-capacity N]`
 //!
 //! `--label` names the router on the spans it stamps; `--slow-ms` sets
 //! the tail-sampling threshold (a request slower than this is captured
 //! into the slow-trace store, alongside every trap and coalesced
-//! fanout); `--trace-capacity` bounds that store.
+//! fanout); `--sample-ppm` head-samples about N in every million
+//! requests at ingress regardless of the tail triggers, keeping healthy
+//! traffic visible (0, the default, disables it); `--trace-capacity`
+//! bounds that store.
 //!
 //! Connects to every `--node`, prints the bound address (`routing on
 //! HOST:PORT`) on stdout, then reads control lines from stdin:
@@ -72,6 +75,9 @@ fn main() -> ExitCode {
     }
     if let Some(v) = arg_value("--slow-ms").and_then(|v| v.parse().ok()) {
         config.slow_threshold = std::time::Duration::from_millis(v);
+    }
+    if let Some(v) = arg_value("--sample-ppm").and_then(|v| v.parse().ok()) {
+        config.sample_ppm = v;
     }
     if let Some(v) = arg_value("--trace-capacity").and_then(|v| v.parse().ok()) {
         config.trace_store_capacity = v;

@@ -37,6 +37,7 @@ use stackcache_obs::{
     node_label, traces_json, JsonObj, PromText, SpanIdGen, SpanKind, SpanRecord, TraceAssembler,
     TraceTree,
 };
+use stackcache_vm::Rng;
 
 use crate::client::{Client, TracedReply};
 use crate::ring::{program_key, HashRing};
@@ -81,9 +82,22 @@ pub struct ProxyConfig {
     /// reaches this is captured into the slow-trace store. Traps,
     /// refusals, and coalesced executions are captured regardless.
     pub slow_threshold: Duration,
+    /// Head-sampling rate in parts per million: each proxy-originated
+    /// request is marked for capture at ingress with this probability,
+    /// regardless of how it later fares — the unconditional baseline
+    /// that keeps *healthy* traffic visible next to the tail triggers.
+    /// `0` (the default) disables head sampling. The decision stream is
+    /// a deterministic [`Rng`] seeded with [`SAMPLER_SEED`], so a seeded
+    /// run's accept pattern is reproducible.
+    pub sample_ppm: u32,
     /// Sampled trace trees retained; the oldest is evicted first.
     pub trace_store_capacity: usize,
 }
+
+/// The fixed seed of the head-sampling [`Rng`]: requests on one proxy
+/// draw from this stream in ingress order, so a single-connection test
+/// can predict exactly which requests are head-sampled.
+pub const SAMPLER_SEED: u64 = 0x9EAD_5A3F_F00D_5EED;
 
 impl Default for ProxyConfig {
     fn default() -> Self {
@@ -103,6 +117,7 @@ impl Default for ProxyConfig {
             features: FEATURE_TRACE,
             node: "proxy".to_string(),
             slow_threshold: Duration::from_millis(1),
+            sample_ppm: 0,
             trace_store_capacity: 64,
         }
     }
@@ -127,6 +142,7 @@ pub struct ProxyMetrics {
     trace_fetches: AtomicU64,
     metrics_fetches: AtomicU64,
     sampled_traces: AtomicU64,
+    head_sampled: AtomicU64,
     assembly_failures: AtomicU64,
 }
 
@@ -147,6 +163,7 @@ impl ProxyMetrics {
             trace_fetches: AtomicU64::new(0),
             metrics_fetches: AtomicU64::new(0),
             sampled_traces: AtomicU64::new(0),
+            head_sampled: AtomicU64::new(0),
             assembly_failures: AtomicU64::new(0),
         }
     }
@@ -173,6 +190,7 @@ impl ProxyMetrics {
             trace_fetches: self.trace_fetches.load(Ordering::Relaxed),
             metrics_fetches: self.metrics_fetches.load(Ordering::Relaxed),
             sampled_traces: self.sampled_traces.load(Ordering::Relaxed),
+            head_sampled: self.head_sampled.load(Ordering::Relaxed),
             assembly_failures: self.assembly_failures.load(Ordering::Relaxed),
             connections_live: 0,
             over_budget: 0,
@@ -213,6 +231,9 @@ pub struct ProxySnapshot {
     pub metrics_fetches: u64,
     /// Requests tail-sampled into the slow-trace store.
     pub sampled_traces: u64,
+    /// Finished requests head sampling marked at ingress; each is
+    /// stored, so this is a subset of `sampled_traces`.
+    pub head_sampled: u64,
     /// Sampled traces that failed to assemble into a rooted tree
     /// (orphaned or rootless spans — should stay zero).
     pub assembly_failures: u64,
@@ -243,7 +264,7 @@ impl ProxySnapshot {
 #[must_use]
 pub fn prometheus(snap: &ProxySnapshot) -> String {
     let mut p = PromText::new();
-    let counters: [(&str, &str, u64); 17] = [
+    let counters: [(&str, &str, u64); 18] = [
         (
             "proxy_connections_opened_total",
             "Client connections accepted.",
@@ -304,6 +325,11 @@ pub fn prometheus(snap: &ProxySnapshot) -> String {
             "proxy_sampled_traces_total",
             "Requests tail-sampled into the slow-trace store.",
             snap.sampled_traces,
+        ),
+        (
+            "proxy_head_sampled_total",
+            "Finished requests head sampling marked at ingress.",
+            snap.head_sampled,
         ),
         (
             "proxy_trace_assembly_failures_total",
@@ -369,6 +395,7 @@ pub fn json(snap: &ProxySnapshot) -> String {
         .field_u64("trace_fetches", snap.trace_fetches)
         .field_u64("metrics_fetches", snap.metrics_fetches)
         .field_u64("sampled_traces", snap.sampled_traces)
+        .field_u64("head_sampled", snap.head_sampled)
         .field_u64("assembly_failures", snap.assembly_failures)
         .field_u64("connections_live", snap.connections_live)
         .field_u64("over_budget", snap.over_budget)
@@ -403,6 +430,9 @@ struct TraceInfo {
     node: usize,
     /// Answer downstream as `ReplyTraced`.
     traced_reply: bool,
+    /// Marked for capture by head sampling at ingress: the finished
+    /// trace is stored even if no tail trigger fires.
+    head_sampled: bool,
 }
 
 /// What forwarder threads mail back to a client connection.
@@ -432,6 +462,8 @@ struct PInner {
     /// Tail-sampled trace trees, oldest first, bounded by
     /// `config.trace_store_capacity`.
     store: Mutex<VecDeque<TraceTree>>,
+    /// The head-sampling decision stream ([`SAMPLER_SEED`]).
+    sampler: Mutex<Rng>,
     stop: AtomicBool,
 }
 
@@ -440,6 +472,19 @@ impl PInner {
         at.saturating_duration_since(self.epoch)
             .as_nanos()
             .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// The head-sampling decision for one ingressing request: true for
+    /// about `sample_ppm` in every million, drawn from the deterministic
+    /// sampler stream (no draw at all when head sampling is off, so the
+    /// stream position is a pure function of the decisions made).
+    fn head_sample(&self) -> bool {
+        let ppm = self.config.sample_ppm;
+        if ppm == 0 {
+            return false;
+        }
+        let mut rng = self.sampler.lock().expect("sampler lock");
+        rng.below(1_000_000) < u64::from(ppm)
     }
 
     /// Tail-sampling: keep a finished request's trace when it was slow,
@@ -464,8 +509,11 @@ impl PInner {
         let slow = end_nanos.saturating_sub(trace.ingress_nanos) >= slow_nanos;
         let unhappy = reply.status != ReplyStatus::Ok;
         let coalesced = spans.iter().any(|s| s.kind == SpanKind::Exec && s.attr > 0);
-        if !(slow || unhappy || coalesced) {
+        if !(slow || unhappy || coalesced || trace.head_sampled) {
             return;
+        }
+        if trace.head_sampled {
+            self.metrics.head_sampled.fetch_add(1, Ordering::Relaxed);
         }
         self.metrics.sampled_traces.fetch_add(1, Ordering::Relaxed);
         let mut asm = TraceAssembler::new();
@@ -566,6 +614,9 @@ impl ProxyProto {
             ingress_nanos: self.inner.nanos(Instant::now()),
             node,
             traced_reply: ctx.is_some(),
+            // only proxy-originated traces can be captured here, so
+            // caller-traced requests never consume a sampler draw
+            head_sampled: ctx.is_none() && self.inner.head_sample(),
         };
         conn.inflight += 1;
         self.inner.metrics.forwarded[node].fetch_add(1, Ordering::Relaxed);
@@ -1009,6 +1060,7 @@ impl NetProxy {
             epoch: Instant::now(),
             node,
             store: Mutex::new(VecDeque::new()),
+            sampler: Mutex::new(Rng::new(SAMPLER_SEED)),
             stop: AtomicBool::new(false),
         });
         let engine = Engine::start(

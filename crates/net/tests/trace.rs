@@ -396,3 +396,63 @@ fn caller_traced_requests_pass_their_context_through_the_proxy() {
     let _ = proxy.shutdown();
     let _ = node.shutdown();
 }
+
+/// Head sampling captures healthy traffic at the requested rate: with
+/// tail triggers out of reach (hour-long slow threshold, all-Ok
+/// replies), a `sample_ppm` proxy stores each request exactly when the
+/// deterministic sampler stream accepts it — so a single-connection run
+/// reproduces the accept count computable from [`SAMPLER_SEED`], and
+/// that count sits near `requests * ppm / 1e6`.
+#[test]
+fn head_sampling_captures_healthy_traffic_at_the_requested_rate() {
+    use stackcache_net::proxy::SAMPLER_SEED;
+    use stackcache_vm::Rng;
+
+    const PPM: u32 = 400_000; // 40%
+    const REQUESTS: usize = 200;
+
+    let node = traced_node("node-a");
+    let proxy = NetProxy::start(ProxyConfig {
+        nodes: vec![node.addr().to_string()],
+        node: "proxy".to_string(),
+        // tail triggers can't fire: nothing is slow, nothing traps
+        slow_threshold: Duration::from_secs(3600),
+        sample_ppm: PPM,
+        trace_store_capacity: REQUESTS,
+        ..ProxyConfig::default()
+    })
+    .expect("start proxy");
+
+    // one synchronous client: ingress order is submission order, so
+    // the proxy's sampler draws line up one-to-one with our requests
+    let client = Client::connect(proxy.addr(), 4).expect("connect");
+    for i in 0..REQUESTS {
+        let k = 2 + (i as i64 % 12);
+        let request = WireRequest::new(quick_program(k), EngineRegime::Tos).fuel(100_000);
+        let reply = client.call(&request).expect("reply");
+        assert_eq!(reply.status, ReplyStatus::Ok, "request {i}");
+    }
+    client.goodbye().expect("drain");
+
+    // replay the decision stream the proxy used
+    let mut rng = Rng::new(SAMPLER_SEED);
+    let expected = (0..REQUESTS)
+        .filter(|_| rng.below(1_000_000) < u64::from(PPM))
+        .count();
+
+    let snap = proxy.metrics();
+    assert_eq!(snap.head_sampled, expected as u64, "deterministic accepts");
+    assert_eq!(snap.sampled_traces, expected as u64);
+    assert_eq!(proxy.sampled_traces().len(), expected);
+
+    // and the deterministic count honours the requested rate
+    let observed = expected as f64 / REQUESTS as f64;
+    let requested = f64::from(PPM) / 1e6;
+    assert!(
+        (observed - requested).abs() < 0.10,
+        "observed rate {observed:.3} vs requested {requested:.3}"
+    );
+
+    let _ = proxy.shutdown();
+    let _ = node.shutdown();
+}

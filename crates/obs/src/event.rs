@@ -145,6 +145,14 @@ pub enum EventKind {
         /// leader itself).
         waiters: u32,
     },
+    /// A background re-admission pass over the cache finished (the
+    /// event's request field is 0: the pass belongs to no request).
+    AnalysisUpgrade {
+        /// Guarded entries upgraded to the unchecked tier this pass.
+        upgraded: u32,
+        /// Guarded entries deep-analyzed this pass.
+        scanned: u32,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -184,6 +192,12 @@ impl fmt::Display for EventKind {
             EventKind::CoalesceFanout { waiters } => {
                 write!(f, "fanned result out to {waiters} coalesced waiters")
             }
+            EventKind::AnalysisUpgrade { upgraded, scanned } => {
+                write!(
+                    f,
+                    "re-admission pass upgraded {upgraded}/{scanned} guarded entries"
+                )
+            }
         }
     }
 }
@@ -214,6 +228,7 @@ const TAG_PROTOCOL_ERROR: u64 = 17;
 const TAG_BATCH_BEGIN: u64 = 18;
 const TAG_COALESCE_JOIN: u64 = 19;
 const TAG_COALESCE_FANOUT: u64 = 20;
+const TAG_ANALYSIS_UPGRADE: u64 = 21;
 
 /// Encode `(t_nanos, request, kind)` into its wire form.
 #[must_use]
@@ -259,6 +274,11 @@ pub fn encode(t_nanos: u64, request: u64, kind: EventKind) -> RawEvent {
         EventKind::BatchBegin { size } => (TAG_BATCH_BEGIN, 0, u64::from(size)),
         EventKind::CoalesceJoin { leader } => (TAG_COALESCE_JOIN, 0, leader),
         EventKind::CoalesceFanout { waiters } => (TAG_COALESCE_FANOUT, 0, u64::from(waiters)),
+        EventKind::AnalysisUpgrade { upgraded, scanned } => (
+            TAG_ANALYSIS_UPGRADE,
+            u64::from(scanned),
+            u64::from(upgraded),
+        ),
     };
     [t_nanos, request, tag | (hi << 8), payload]
 }
@@ -332,6 +352,10 @@ pub fn decode(raw: &RawEvent) -> Option<(u64, u64, EventKind)> {
         TAG_COALESCE_FANOUT => EventKind::CoalesceFanout {
             waiters: (payload & 0xFFFF_FFFF) as u32,
         },
+        TAG_ANALYSIS_UPGRADE => EventKind::AnalysisUpgrade {
+            upgraded: (payload & 0xFFFF_FFFF) as u32,
+            scanned: (hi & 0xFFFF_FFFF) as u32,
+        },
         _ => return None,
     };
     Some((t_nanos, request, kind))
@@ -399,6 +423,10 @@ mod tests {
                 leader: u64::MAX / 7,
             },
             EventKind::CoalesceFanout { waiters: 12 },
+            EventKind::AnalysisUpgrade {
+                upgraded: 3,
+                scanned: u32::MAX,
+            },
         ]
     }
 

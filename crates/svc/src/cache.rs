@@ -30,7 +30,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use stackcache_analysis::{analyze, Analysis, SafetyProof};
+use stackcache_analysis::{analyze, analyze_with, Analysis, AnalysisBudget, SafetyProof, Verdict};
 use stackcache_core::{CompiledArtifact, EngineRegime};
 use stackcache_vm::{FusionPlan, Machine, Program};
 
@@ -40,6 +40,11 @@ use stackcache_vm::{FusionPlan, Machine, Program};
 pub struct VerifiedArtifact {
     artifact: CompiledArtifact,
     analysis: Analysis,
+    /// Whether the deep (re-admission) analysis budget has already been
+    /// spent on this entry — set by [`ProgramCache::upgrade_guarded`]
+    /// whether or not the deep pass improved the verdict, so the
+    /// background upgrader never re-analyzes the same artifact twice.
+    deep: bool,
 }
 
 impl VerifiedArtifact {
@@ -72,6 +77,7 @@ impl VerifiedArtifact {
         VerifiedArtifact {
             artifact: CompiledArtifact::compile_with_plan(program, regime, peephole, plan),
             analysis: analyze(program, proto),
+            deep: false,
         }
     }
 
@@ -91,6 +97,13 @@ impl VerifiedArtifact {
     #[must_use]
     pub fn proof(&self) -> &SafetyProof {
         &self.analysis.proof
+    }
+
+    /// Whether the deep re-admission analysis has already run on this
+    /// entry (upgraded or not).
+    #[must_use]
+    pub fn deep(&self) -> bool {
+        self.deep
     }
 }
 
@@ -205,6 +218,18 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// What one background re-admission pass over the cache did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpgradeStats {
+    /// Guarded entries the pass deep-analyzed this time.
+    pub scanned: usize,
+    /// Entries whose verdict improved to proven/total — their artifact
+    /// was atomically swapped for one that admits unchecked execution.
+    pub upgraded: usize,
+    /// Upgraded entries that additionally carry a finite fuel bound.
+    pub fuel_proofs: usize,
+}
+
 /// Default total capacity when none is given.
 pub const DEFAULT_CAPACITY: usize = 4096;
 
@@ -295,6 +320,70 @@ impl ProgramCache {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         (compiled, Lookup::Miss)
+    }
+
+    /// One background re-admission pass: re-analyze every cached
+    /// *guarded* artifact under the deep [`AnalysisBudget`] and, where
+    /// the wider budget proves what the admission-path quick budget
+    /// could only guard, atomically swap in a replacement whose proof
+    /// admits the unchecked tier.
+    ///
+    /// The swap preserves the compiled translation by construction — the
+    /// replacement clones the `CompiledArtifact` and changes only the
+    /// attached analysis — so replies before and after an upgrade are
+    /// byte-identical; only the elided-checks level changes.
+    ///
+    /// Deep analysis runs *outside* the shard lock (it is orders of
+    /// magnitude slower than a hit), and the swap-back is guarded by
+    /// pointer identity: if the entry was evicted or replaced while the
+    /// pass analyzed, the stale result is discarded. Every scanned entry
+    /// is marked [`deep`](VerifiedArtifact::deep) whether or not it
+    /// improved, so the pass is idempotent — a second call scans nothing.
+    pub fn upgrade_guarded(&self, proto: Option<&Machine>) -> UpgradeStats {
+        let budget = AnalysisBudget::deep();
+        let mut stats = UpgradeStats::default();
+        for shard in &self.shards {
+            // snapshot candidates under the lock; analyze outside it
+            let candidates: Vec<(Key, Arc<VerifiedArtifact>)> = {
+                let guard = shard.lock().expect("cache shard lock");
+                guard
+                    .map
+                    .iter()
+                    .filter(|(_, e)| {
+                        !e.artifact.deep && e.artifact.proof().verdict == Verdict::Guarded
+                    })
+                    .map(|(k, e)| (*k, Arc::clone(&e.artifact)))
+                    .collect()
+            };
+            for (key, old) in candidates {
+                stats.scanned += 1;
+                let deep = analyze_with(old.artifact().program(), proto, &budget);
+                let improved = matches!(deep.proof.verdict, Verdict::Total | Verdict::Proven);
+                if improved {
+                    stats.upgraded += 1;
+                    if deep.proof.verdict == Verdict::Total {
+                        stats.fuel_proofs += 1;
+                    }
+                }
+                let replacement = Arc::new(VerifiedArtifact {
+                    artifact: old.artifact().clone(),
+                    analysis: if improved {
+                        deep
+                    } else {
+                        old.analysis().clone()
+                    },
+                    deep: true,
+                });
+                let mut guard = shard.lock().expect("cache shard lock");
+                if let Some(e) = guard.map.get_mut(&key) {
+                    // swap only if the entry is still the one we analyzed
+                    if Arc::ptr_eq(&e.artifact, &old) {
+                        e.artifact = replacement;
+                    }
+                }
+            }
+        }
+        stats
     }
 
     /// Total cached artifacts across shards.
@@ -429,11 +518,10 @@ mod tests {
 
     #[test]
     fn cached_entries_carry_their_safety_proof() {
-        use stackcache_analysis::Verdict;
         use stackcache_vm::Checks;
         let cache = ProgramCache::new(2);
         let (v, _) = cache.get_or_compile(&p1(), EngineRegime::Tos, false, None);
-        assert_eq!(v.proof().verdict, Verdict::Proven);
+        assert_eq!(v.proof().verdict, Verdict::Total);
         assert_eq!(v.proof().admit(&Machine::with_memory(64)), Checks::None);
     }
 
@@ -443,7 +531,6 @@ mod tests {
     /// the safety proof attached at first admission is untouched.
     #[test]
     fn quickened_readmission_is_idempotent_and_proof_preserving() {
-        use stackcache_analysis::Verdict;
         use stackcache_vm::fusion::run_quickened;
 
         // a straight line long enough for the static-default plan to fuse
@@ -460,7 +547,7 @@ mod tests {
         let (v1, l1) = cache.get_or_compile(&p, EngineRegime::Quickened, false, None);
         assert_eq!(l1, Lookup::Miss);
         let verdict = v1.proof().verdict;
-        assert_eq!(verdict, Verdict::Proven);
+        assert_eq!(verdict, Verdict::Total);
         let quick = v1.artifact().quickened().expect("quickened artifact");
         assert_eq!(quick.quickened_sites(), 0, "fresh artifact is cold");
 
@@ -511,6 +598,146 @@ mod tests {
         let (_, l5) =
             cache.get_or_compile_with_plan(&p, EngineRegime::Tos, false, None, Some(&profiled));
         assert_eq!((l4, l5), (Lookup::Miss, Lookup::Hit));
+    }
+
+    /// A push-per-iteration counted loop: the quick admission budget
+    /// widens the growing depth to ∞ (guarded); the deep budget unrolls
+    /// all 20 iterations exactly (total, with a fuel bound).
+    fn guarded_at_first_sight() -> Program {
+        use stackcache_vm::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        let out = b.new_label();
+        b.entry_here();
+        b.push(Inst::Lit(20));
+        b.bind(top).unwrap();
+        b.push(Inst::Dup);
+        b.push(Inst::OneMinus);
+        b.push(Inst::Dup);
+        b.push(Inst::ZeroGt);
+        b.branch_if_zero(out);
+        b.branch(top);
+        b.bind(out).unwrap();
+        b.push(Inst::Halt);
+        b.finish().unwrap()
+    }
+
+    /// The re-admission loop end to end: a program the quick budget can
+    /// only guard is admitted, the background pass deep-analyzes it and
+    /// atomically swaps in a proof that admits the unchecked tier, the
+    /// swap changes no reply bytes, a second pass scans nothing (the
+    /// deep bit makes upgrading idempotent), and concurrent hits during
+    /// and after the upgrade never trigger re-analysis.
+    #[test]
+    fn guarded_readmission_upgrades_once_and_preserves_proof() {
+        use stackcache_vm::Checks;
+        let p = guarded_at_first_sight();
+        let cache = ProgramCache::new(2);
+        let (v1, l1) = cache.get_or_compile(&p, EngineRegime::Tos, false, None);
+        assert_eq!(l1, Lookup::Miss);
+        assert_eq!(v1.proof().verdict, Verdict::Guarded);
+        assert!(!v1.deep());
+        let m0 = Machine::with_memory(64);
+        assert_eq!(v1.proof().admit(&m0), Checks::NoUnderflow);
+
+        // reply bytes before the upgrade
+        let mut before = m0.clone();
+        let executed_before = v1
+            .artifact()
+            .run_with_checks(&mut before, 1 << 20, v1.proof().admit(&m0))
+            .expect("clean run");
+
+        // first pass: exactly this entry is scanned and upgraded, and
+        // the deep pass also proves a fuel bound
+        let s1 = cache.upgrade_guarded(None);
+        assert_eq!(
+            s1,
+            UpgradeStats {
+                scanned: 1,
+                upgraded: 1,
+                fuel_proofs: 1
+            }
+        );
+
+        // a hit now sees the swapped artifact: same translation, a
+        // proof that admits the unchecked tier, no recompilation
+        let (v2, l2) = cache.get_or_compile(&p, EngineRegime::Tos, false, None);
+        assert_eq!(l2, Lookup::Hit);
+        assert!(!Arc::ptr_eq(&v1, &v2), "upgrade must swap the Arc");
+        assert!(v2.deep());
+        assert_eq!(v2.proof().verdict, Verdict::Total);
+        assert_eq!(v2.proof().admit(&m0), Checks::None);
+        let bound = v2.proof().fuel_bound.finite().expect("fuel bound");
+
+        // reply bytes after the upgrade are identical, within the bound
+        let mut after = m0.clone();
+        let executed_after = v2
+            .artifact()
+            .run_with_checks(&mut after, 1 << 20, v2.proof().admit(&m0))
+            .expect("clean run");
+        assert_eq!(executed_before, executed_after);
+        assert_eq!(before.output(), after.output());
+        assert_eq!(before.stack(), after.stack());
+        assert!(executed_after <= bound as u64);
+
+        // second pass: the deep bit is set, nothing is scanned again
+        let s2 = cache.upgrade_guarded(None);
+        assert_eq!(s2, UpgradeStats::default());
+        let (v3, l3) = cache.get_or_compile(&p, EngineRegime::Tos, false, None);
+        assert_eq!(l3, Lookup::Hit);
+        assert!(Arc::ptr_eq(&v2, &v3), "idempotent: no further swap");
+
+        // concurrent hits during an upgrade pass never re-analyze: every
+        // lookup is a hit on either the old or the new artifact
+        let cache = Arc::new(ProgramCache::new(2));
+        let (_, l) = cache.get_or_compile(&p, EngineRegime::Tos, false, None);
+        assert_eq!(l, Lookup::Miss);
+        let upgrader = {
+            let cache = Arc::clone(&cache);
+            let p = p.clone();
+            std::thread::spawn(move || {
+                let mut total = UpgradeStats::default();
+                for _ in 0..4 {
+                    let s = cache.upgrade_guarded(None);
+                    total.scanned += s.scanned;
+                    total.upgraded += s.upgraded;
+                    total.fuel_proofs += s.fuel_proofs;
+                    let (_, l) = cache.get_or_compile(&p, EngineRegime::Tos, false, None);
+                    assert_eq!(l, Lookup::Hit);
+                }
+                total
+            })
+        };
+        let hitters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let (v, l) = cache.get_or_compile(&p, EngineRegime::Tos, false, None);
+                        assert_eq!(l, Lookup::Hit);
+                        assert!(matches!(
+                            v.proof().verdict,
+                            Verdict::Guarded | Verdict::Total
+                        ));
+                    }
+                })
+            })
+            .collect();
+        for h in hitters {
+            h.join().unwrap();
+        }
+        let total = upgrader.join().unwrap();
+        assert_eq!(
+            total,
+            UpgradeStats {
+                scanned: 1,
+                upgraded: 1,
+                fuel_proofs: 1
+            },
+            "one deep analysis ever, despite repeated passes and hits"
+        );
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

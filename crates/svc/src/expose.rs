@@ -89,6 +89,35 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         snap.coalesced_executions_saved,
     );
 
+    p.help(
+        "svc_analysis_admitted",
+        "Admissions by checks level (none, no_underflow, full).",
+    );
+    p.typ("svc_analysis_admitted", "gauge");
+    for (level, count) in [
+        ("none", snap.admitted_unchecked),
+        ("no_underflow", snap.admitted_guarded),
+        ("full", snap.admitted_checked),
+    ] {
+        p.sample_u64("svc_analysis_admitted", &[("level", level)], count);
+    }
+    p.help(
+        "svc_analysis_upgrades_total",
+        "Cached guarded artifacts upgraded to the unchecked tier by the background re-admission pass.",
+    );
+    p.typ("svc_analysis_upgrades_total", "counter");
+    p.sample_u64("svc_analysis_upgrades_total", &[], snap.analysis_upgrades);
+    p.help(
+        "svc_analysis_fuel_proofs_total",
+        "Requests served without a deadline timer on a proven fuel bound.",
+    );
+    p.typ("svc_analysis_fuel_proofs_total", "counter");
+    p.sample_u64(
+        "svc_analysis_fuel_proofs_total",
+        &[],
+        snap.analysis_fuel_proofs,
+    );
+
     p.help("svc_queue_depth", "Jobs waiting in the queue.");
     p.typ("svc_queue_depth", "gauge");
     p.sample_u64("svc_queue_depth", &[], snap.queue_depth);
@@ -303,6 +332,11 @@ pub fn json(snap: &MetricsSnapshot) -> String {
             "coalesced_executions_saved",
             snap.coalesced_executions_saved,
         )
+        .field_u64("admitted_unchecked", snap.admitted_unchecked)
+        .field_u64("admitted_guarded", snap.admitted_guarded)
+        .field_u64("admitted_checked", snap.admitted_checked)
+        .field_u64("analysis_upgrades", snap.analysis_upgrades)
+        .field_u64("analysis_fuel_proofs", snap.analysis_fuel_proofs)
         .field_u64("queue_depth", snap.queue_depth)
         .field_raw("cache", &cache)
         .field_raw("workers", &json_array(&workers))
@@ -347,6 +381,12 @@ mod tests {
         }
         m.on_coalesced_join();
         m.on_coalesce_saved(1);
+        m.on_admitted(Checks::None);
+        m.on_admitted(Checks::NoUnderflow);
+        m.on_admitted(Checks::Full);
+        m.on_admitted(Checks::Full);
+        m.on_analysis_upgrades(4);
+        m.on_fuel_proof();
         let mut s = m.snapshot();
         s.queue_depth = 3;
         s.cache_size = 1;
@@ -394,6 +434,26 @@ mod tests {
         assert!(page.contains("svc_worker_jobs_total{worker=\"0\"} 5"));
         assert!(page.contains("svc_queue_wait_seconds{regime=\"tos\",quantile=\"0.5\"}"));
         assert!(page.contains("svc_exec_seconds{regime=\"tos\",quantile=\"0.99\"}"));
+    }
+
+    /// Satellite regression for the re-admission metrics: the labeled
+    /// admission gauge and both analysis counters render, and the page
+    /// still passes the Prometheus lint.
+    #[test]
+    fn analysis_admission_metrics_render_and_lint() {
+        let page = prometheus(&sample_snapshot());
+        prometheus_lint(&page).unwrap();
+        assert!(page.contains("svc_analysis_admitted{level=\"none\"} 1\n"));
+        assert!(page.contains("svc_analysis_admitted{level=\"no_underflow\"} 1\n"));
+        assert!(page.contains("svc_analysis_admitted{level=\"full\"} 2\n"));
+        assert!(page.contains("svc_analysis_upgrades_total 4\n"));
+        assert!(page.contains("svc_analysis_fuel_proofs_total 1\n"));
+        let doc = json(&sample_snapshot());
+        assert!(doc.contains("\"admitted_unchecked\":1"));
+        assert!(doc.contains("\"admitted_guarded\":1"));
+        assert!(doc.contains("\"admitted_checked\":2"));
+        assert!(doc.contains("\"analysis_upgrades\":4"));
+        assert!(doc.contains("\"analysis_fuel_proofs\":1"));
     }
 
     #[test]

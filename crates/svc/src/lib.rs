@@ -71,7 +71,7 @@ mod worker;
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -87,7 +87,7 @@ use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
 use crate::worker::{worker_loop, Job, JobItem, ReplySink, Shared, SpanState, Tracing};
 
-pub use crate::cache::{CacheStats, VerifiedArtifact};
+pub use crate::cache::{CacheStats, UpgradeStats, VerifiedArtifact};
 pub use crate::health::WorkerSnapshot;
 pub use crate::metrics::{MetricsSnapshot, RegimeSnapshot};
 
@@ -358,6 +358,13 @@ pub struct ServiceConfig {
     /// first); the rings exist regardless, but only traced requests
     /// write to them.
     pub span_ring_capacity: usize,
+    /// Run the background re-admission pass every so often: cached
+    /// artifacts the quick admission-path analysis could only *guard*
+    /// are re-analyzed under the deep budget, and the ones it proves are
+    /// atomically upgraded to the unchecked tier. `None` (the default)
+    /// runs no background pass; [`Service::upgrade_pass`] is always
+    /// available for a synchronous sweep.
+    pub upgrade_interval: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -374,6 +381,7 @@ impl Default for ServiceConfig {
             coalesce: false,
             node: "svc".to_string(),
             span_ring_capacity: 256,
+            upgrade_interval: None,
         }
     }
 }
@@ -399,6 +407,14 @@ impl ServiceConfig {
         self.node = label.to_string();
         self
     }
+
+    /// This configuration with the background re-admission pass running
+    /// every `interval`.
+    #[must_use]
+    pub fn upgrade_every(mut self, interval: Duration) -> Self {
+        self.upgrade_interval = Some(interval);
+        self
+    }
 }
 
 /// The execution service: a worker pool over a bounded queue, a shared
@@ -410,6 +426,14 @@ impl ServiceConfig {
 pub struct Service {
     shared: Arc<Shared>,
     workers: Vec<thread::JoinHandle<()>>,
+    upgrader: Option<Upgrader>,
+}
+
+/// The background re-admission thread and its stop latch.
+#[derive(Debug)]
+struct Upgrader {
+    handle: thread::JoinHandle<()>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl Service {
@@ -451,7 +475,49 @@ impl Service {
                     .expect("spawn worker")
             })
             .collect();
-        Service { shared, workers }
+        let upgrader = config.upgrade_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let latch = Arc::clone(&stop);
+            let handle = thread::Builder::new()
+                .name("svc-upgrader".to_string())
+                .spawn(move || {
+                    let (lock, cv) = &*latch;
+                    let mut stopped = lock.lock().expect("upgrader stop lock");
+                    loop {
+                        let (guard, timeout) = cv
+                            .wait_timeout(stopped, interval)
+                            .expect("upgrader stop lock");
+                        stopped = guard;
+                        if *stopped {
+                            return;
+                        }
+                        if timeout.timed_out() {
+                            // deep analysis runs with the latch released,
+                            // so shutdown never waits on a sweep to start
+                            drop(stopped);
+                            run_upgrade_pass(&shared);
+                            stopped = lock.lock().expect("upgrader stop lock");
+                        }
+                    }
+                })
+                .expect("spawn upgrader");
+            Upgrader { handle, stop }
+        });
+        Service {
+            shared,
+            workers,
+            upgrader,
+        }
+    }
+
+    /// Run one re-admission pass right now: re-analyze cached guarded
+    /// artifacts under the deep budget, atomically swap in upgraded
+    /// proofs, bump the `analysis_upgrades` counter, and drop an
+    /// [`EventKind::AnalysisUpgrade`] on the flight recorder. The same
+    /// pass the background thread runs on its interval.
+    pub fn upgrade_pass(&self) -> UpgradeStats {
+        run_upgrade_pass(&self.shared)
     }
 
     /// Submit a request; returns a [`Ticket`] for its reply, or an
@@ -791,6 +857,14 @@ impl Service {
         } else {
             self.shared.queue.close();
         }
+        if let Some(u) = self.upgrader.take() {
+            let (lock, cv) = &*u.stop;
+            *lock.lock().expect("upgrader stop lock") = true;
+            cv.notify_all();
+            if let Err(e) = u.handle.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
         for w in self.workers.drain(..) {
             // a worker that panicked already poisoned nothing we read
             // after the join; surface the panic here
@@ -799,6 +873,30 @@ impl Service {
             }
         }
     }
+}
+
+/// One sweep of the background re-admission loop over `shared`'s cache.
+///
+/// The deep pass analyzes against the service's default prototype
+/// machine; a proof's frozen-memory dependencies are revalidated against
+/// each request's actual machine at admission, so this stays sound for
+/// requests running on different prototypes.
+fn run_upgrade_pass(shared: &Shared) -> UpgradeStats {
+    let proto = Machine::with_memory(MEMORY_BYTES);
+    let stats = shared.cache.upgrade_guarded(Some(&proto));
+    if stats.scanned > 0 {
+        shared.metrics.on_analysis_upgrades(stats.upgraded as u64);
+        // request 0 is reserved for no-request events; the pass is one
+        shared.trace(
+            0,
+            0,
+            EventKind::AnalysisUpgrade {
+                upgraded: stats.upgraded.min(u32::MAX as usize) as u32,
+                scanned: stats.scanned.min(u32::MAX as usize) as u32,
+            },
+        );
+    }
+    stats
 }
 
 impl Drop for Service {

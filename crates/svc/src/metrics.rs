@@ -132,6 +132,15 @@ pub struct Metrics {
     proto_clones_saved: AtomicU64,
     coalesced_joins: AtomicU64,
     coalesced_executions_saved: AtomicU64,
+    /// Admissions by checks level `[None, NoUnderflow, Full]`, across
+    /// regimes — the `analysis_admitted{level=...}` distribution.
+    admitted: [AtomicU64; 3],
+    /// Cached guarded artifacts upgraded to the unchecked tier by the
+    /// background re-admission pass.
+    analysis_upgrades: AtomicU64,
+    /// Requests whose deadline timer was elided because the proof's
+    /// fuel bound fits inside the request's fuel budget.
+    analysis_fuel_proofs: AtomicU64,
     regimes: Vec<RegimeMetrics>,
 }
 
@@ -147,6 +156,9 @@ impl Metrics {
             proto_clones_saved: AtomicU64::new(0),
             coalesced_joins: AtomicU64::new(0),
             coalesced_executions_saved: AtomicU64::new(0),
+            admitted: std::array::from_fn(|_| AtomicU64::new(0)),
+            analysis_upgrades: AtomicU64::new(0),
+            analysis_fuel_proofs: AtomicU64::new(0),
             regimes: (0..EngineRegime::ALL.len())
                 .map(|_| RegimeMetrics::new())
                 .collect(),
@@ -189,6 +201,19 @@ impl Metrics {
     pub(crate) fn on_coalesce_saved(&self, waiters: u64) {
         self.coalesced_executions_saved
             .fetch_add(waiters, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_admitted(&self, checks: Checks) {
+        self.admitted[checks_index(checks)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_analysis_upgrades(&self, upgraded: u64) {
+        self.analysis_upgrades
+            .fetch_add(upgraded, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_fuel_proof(&self) {
+        self.analysis_fuel_proofs.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_cache_hit(&self, regime: EngineRegime) {
@@ -248,6 +273,11 @@ impl Metrics {
             proto_clones_saved: self.proto_clones_saved.load(Ordering::Relaxed),
             coalesced_joins: self.coalesced_joins.load(Ordering::Relaxed),
             coalesced_executions_saved: self.coalesced_executions_saved.load(Ordering::Relaxed),
+            admitted_unchecked: self.admitted[0].load(Ordering::Relaxed),
+            admitted_guarded: self.admitted[1].load(Ordering::Relaxed),
+            admitted_checked: self.admitted[2].load(Ordering::Relaxed),
+            analysis_upgrades: self.analysis_upgrades.load(Ordering::Relaxed),
+            analysis_fuel_proofs: self.analysis_fuel_proofs.load(Ordering::Relaxed),
             // occupancy gauges live outside the registry; the service
             // fills them in from the queue and cache when snapshotting
             queue_depth: 0,
@@ -353,6 +383,21 @@ pub struct MetricsSnapshot {
     /// Executions avoided by fanning one in-flight result out to its
     /// coalesced waiters: incremented per waiter at reply time.
     pub coalesced_executions_saved: u64,
+    /// Admissions at [`Checks::None`] — the proof covered the request's
+    /// machine completely (`analysis_admitted{level="none"}`).
+    pub admitted_unchecked: u64,
+    /// Admissions at [`Checks::NoUnderflow`]
+    /// (`analysis_admitted{level="no_underflow"}`).
+    pub admitted_guarded: u64,
+    /// Admissions at [`Checks::Full`]
+    /// (`analysis_admitted{level="full"}`).
+    pub admitted_checked: u64,
+    /// Cached guarded artifacts upgraded to the unchecked tier by the
+    /// background re-admission pass.
+    pub analysis_upgrades: u64,
+    /// Requests served without a deadline timer because the proof's fuel
+    /// bound fits inside the request's fuel budget.
+    pub analysis_fuel_proofs: u64,
     /// Jobs waiting in the queue when the snapshot was taken.
     pub queue_depth: u64,
     /// Compiled artifacts cached when the snapshot was taken.
@@ -518,6 +563,29 @@ mod tests {
         assert_eq!((tos.completed, tos.traps), (2, 1));
         assert_eq!((tos.served_unchecked, tos.served_checked), (1, 1));
         assert!(tos.p50.is_some() && tos.p99.is_some());
+    }
+
+    #[test]
+    fn admission_distribution_and_upgrade_counters_snapshot() {
+        let m = Metrics::new();
+        for checks in [
+            Checks::None,
+            Checks::None,
+            Checks::NoUnderflow,
+            Checks::Full,
+        ] {
+            m.on_admitted(checks);
+        }
+        m.on_analysis_upgrades(3);
+        m.on_fuel_proof();
+        m.on_fuel_proof();
+        let s = m.snapshot();
+        assert_eq!(
+            (s.admitted_unchecked, s.admitted_guarded, s.admitted_checked),
+            (2, 1, 1)
+        );
+        assert_eq!(s.analysis_upgrades, 3);
+        assert_eq!(s.analysis_fuel_proofs, 2);
     }
 
     #[test]

@@ -258,6 +258,12 @@ impl Shared {
     }
 }
 
+/// Largest proven fuel bound the deadline-elision path accepts: a bound
+/// this small is microseconds of dispatch, far below any plausible
+/// deadline, so skipping the timer cannot turn a late answer into a
+/// never-cancelled one.
+pub(crate) const FUEL_ELISION_MAX: u64 = 1 << 16;
+
 /// A stable diagnostic code for each trap kind (flight-recorder payload).
 fn trap_code(err: &VmError) -> u8 {
     match err {
@@ -446,7 +452,23 @@ fn serve_item(
         return;
     }
     let checks = proof.admit(&item.request.proto);
+    shared.metrics.on_admitted(checks);
     let artifact = verified.artifact();
+
+    // A proven-total program whose fuel bound fits inside this request's
+    // fuel budget cannot outlive any deadline by more than the bound's
+    // worth of dispatches: elide the mid-run deadline timer and let the
+    // bound stand in for it (the abort flag still cancels, and the
+    // at-dequeue expiry check above already ran).
+    let deadline = match (item.deadline, proof.fuel_bound.finite()) {
+        (Some(_), Some(b))
+            if u64::try_from(b).is_ok_and(|b| b <= item.request.fuel && b <= FUEL_ELISION_MAX) =>
+        {
+            shared.metrics.on_fuel_proof();
+            None
+        }
+        (d, _) => d,
+    };
 
     // One allocation-clone per job; later items reset the scratch machine
     // in place (the batch amortization the metrics make visible).
@@ -461,7 +483,7 @@ fn serve_item(
             scratch.insert((*item.request.proto).clone())
         }
     };
-    let mut observer = DeadlineObserver::new(item.deadline, Arc::clone(&shared.abort));
+    let mut observer = DeadlineObserver::new(deadline, Arc::clone(&shared.abort));
     shared.trace(ring, id, EventKind::ExecuteBegin);
     let start = Instant::now();
     let pulse_interval = shared

@@ -253,3 +253,125 @@ fn abort_refuses_pending_jobs_and_cancels_in_flight_reference_runs() {
     }
     assert!(m.rejected_shutdown >= 9);
 }
+
+/// A push-per-iteration counted loop: the quick admission-path budget
+/// can only guard it; the deep re-admission budget proves it total.
+fn guarded_at_first_sight() -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let out = b.new_label();
+    b.entry_here();
+    b.push(Inst::Lit(20));
+    b.bind(top).unwrap();
+    b.push(Inst::Dup);
+    b.push(Inst::OneMinus);
+    b.push(Inst::Dup);
+    b.push(Inst::ZeroGt);
+    b.branch_if_zero(out);
+    b.branch(top);
+    b.bind(out).unwrap();
+    b.push(Inst::Halt);
+    Arc::new(b.finish().unwrap())
+}
+
+/// The re-admission loop through the service: a guarded-at-first-sight
+/// workload runs with underflow checks elided only; one upgrade pass
+/// re-proves it under the deep budget; afterwards the same requests run
+/// fully unchecked with byte-identical replies, and the whole story is
+/// visible in the metrics (admission distribution and upgrade counter).
+#[test]
+fn upgrade_pass_moves_a_guarded_workload_to_the_unchecked_tier() {
+    let svc = Service::start(config(2, 64));
+    let program = guarded_at_first_sight();
+    let before: Vec<_> = (0..4)
+        .map(|_| {
+            svc.submit(Request::new(Arc::clone(&program), EngineRegime::Tos))
+                .expect("admitted")
+                .wait()
+        })
+        .collect();
+    let m = svc.metrics();
+    assert_eq!(m.admitted_guarded, 4, "quick analysis can only guard");
+    assert_eq!(m.admitted_unchecked, 0);
+    assert_eq!(m.analysis_upgrades, 0);
+
+    let stats = svc.upgrade_pass();
+    assert_eq!(
+        (stats.scanned, stats.upgraded, stats.fuel_proofs),
+        (1, 1, 1)
+    );
+    let again = svc.upgrade_pass();
+    assert_eq!(again.scanned, 0, "second pass finds nothing to do");
+
+    let after: Vec<_> = (0..4)
+        .map(|_| {
+            svc.submit(Request::new(Arc::clone(&program), EngineRegime::Tos))
+                .expect("admitted")
+                .wait()
+        })
+        .collect();
+    for (b, a) in before.iter().zip(&after) {
+        match (b, a) {
+            (Reply::Completed(b), Reply::Completed(a)) => {
+                assert_eq!(b.outcome.output, a.outcome.output);
+                assert_eq!(b.outcome.stack, a.outcome.stack);
+                assert_eq!(b.outcome.trap, None);
+                assert_eq!(a.outcome.trap, None);
+            }
+            other => panic!("rejected: {other:?}"),
+        }
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.analysis_upgrades, 1);
+    assert_eq!(
+        m.admitted_unchecked, 4,
+        "post-upgrade requests run unchecked"
+    );
+    assert_eq!(m.admitted_guarded, 4);
+    let tos = &m.regimes[EngineRegime::Tos.index()];
+    assert_eq!(tos.traps, 0, "zero divergences across the swap");
+    assert_eq!(tos.completed, 8);
+}
+
+/// The background upgrader thread performs the same swap on its own:
+/// submit a guarded program, wait for the interval to elapse, and watch
+/// the upgrade counter move without any synchronous pass.
+#[test]
+fn background_upgrader_thread_upgrades_on_its_interval() {
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        cache_shards: 4,
+        upgrade_interval: Some(Duration::from_millis(10)),
+        ..ServiceConfig::default()
+    });
+    let program = guarded_at_first_sight();
+    match svc
+        .submit(Request::new(Arc::clone(&program), EngineRegime::Tos))
+        .expect("admitted")
+        .wait()
+    {
+        Reply::Completed(c) => assert_eq!(c.outcome.trap, None),
+        other => panic!("rejected: {other:?}"),
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while svc.metrics().analysis_upgrades == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background pass never ran"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    match svc
+        .submit(Request::new(program, EngineRegime::Tos))
+        .expect("admitted")
+        .wait()
+    {
+        Reply::Completed(c) => assert_eq!(c.outcome.trap, None),
+        other => panic!("rejected: {other:?}"),
+    }
+    let m = svc.shutdown();
+    assert_eq!(m.analysis_upgrades, 1);
+    assert_eq!(m.admitted_unchecked, 1);
+    assert_eq!(m.admitted_guarded, 1);
+}

@@ -38,6 +38,7 @@ pub mod depth;
 pub mod dispatch;
 mod error;
 pub mod exec;
+pub mod fold;
 pub mod fusion;
 mod inst;
 pub mod interp;

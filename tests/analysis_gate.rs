@@ -31,7 +31,10 @@ fn workload_programs_are_proven_safe() {
         let a = analyze(&w.image.program, Some(&machine));
         let text = render_analysis(w.name, &a);
         assert!(
-            matches!(a.proof.verdict, Verdict::Proven | Verdict::Guarded),
+            matches!(
+                a.proof.verdict,
+                Verdict::Total | Verdict::Proven | Verdict::Guarded
+            ),
             "{text}"
         );
         assert!(a.proof.diagnostics.is_empty(), "{text}");
@@ -51,7 +54,10 @@ fn corpus_programs_are_proven_safe() {
         let a = analyze(&program, None);
         let text = render_analysis(&name, &a);
         assert!(
-            matches!(a.proof.verdict, Verdict::Proven | Verdict::Guarded),
+            matches!(
+                a.proof.verdict,
+                Verdict::Total | Verdict::Proven | Verdict::Guarded
+            ),
             "{text}"
         );
         assert!(a.proof.diagnostics.is_empty(), "{text}");

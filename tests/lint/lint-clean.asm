@@ -1,0 +1,8 @@
+; stklint fixture: a loop-free, depth-safe program the analyzer proves
+; total — stklint must exit zero on this file.
+entry:
+    lit 6
+    dup
+    *
+    .
+    halt

@@ -1,0 +1,5 @@
+; stklint fixture: `+` on an empty stack is a definite underflow on
+; every path — stklint must exit nonzero on this file.
+entry:
+    +
+    halt

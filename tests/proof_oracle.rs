@@ -9,7 +9,9 @@
 //! programs to a fast path).
 
 use stackcache_harness::gen;
-use stackcache_harness::{assert_proof_agreement, cross_validate_proof_on, MEMORY_BYTES};
+use stackcache_harness::{
+    assert_agreement, assert_proof_agreement, cross_validate_proof_on, MEMORY_BYTES,
+};
 use stackcache_vm::{Checks, Machine, Rng};
 
 const FUEL: u64 = 10_000_000;
@@ -74,6 +76,61 @@ fn call_nests_honour_their_proofs() {
         }
     }
     assert!(admitted >= 24, "only {admitted}/48 admitted");
+}
+
+/// The soundness campaign behind the interval tentpole: 300+ generated
+/// programs from every family, each cross-validated twice —
+///
+/// * the proof oracle (20 regime × peephole configurations) checks that
+///   no elided check would have fired and that the admitted-level
+///   outcome is byte-identical to full checks, and that any proven fuel
+///   bound ceilings the reference interpreter's dispatch count;
+/// * the engine oracle (all 36 engine/org/two-stacks/static
+///   configurations) checks that every execution strategy agrees on the
+///   outcome regardless of the proof.
+///
+/// The tallies at the end keep the campaign honest: a healthy share of
+/// programs must be admitted past full checks, and a healthy share of
+/// those must carry a finite, *validated* fuel bound.
+#[test]
+fn soundness_campaign_proofs_hold_across_every_config() {
+    let mut rounds = 0usize;
+    let mut admitted = 0usize;
+    let mut fuel_proofs = 0usize;
+    for seed in 0..100u64 {
+        let mut rng = Rng::new(0x50F7_0000 + seed);
+        let structured = gen::structured_program(&mut rng);
+        let line = gen::straight_line(&gen::random_choices(&mut rng, 32, 64));
+        let nest = gen::call_nest_program(&mut rng, 5);
+        for p in [&structured, &line, &nest] {
+            let proof = assert_proof_agreement(p, FUEL);
+            let engines = assert_agreement(p, FUEL);
+            assert_eq!(
+                engines.configs, 36,
+                "seed {seed}: the engine oracle must span all 36 configurations"
+            );
+            rounds += 1;
+            if proof.admitted != Checks::Full {
+                admitted += 1;
+            }
+            if proof.fuel_bound.is_some() {
+                fuel_proofs += 1;
+            }
+        }
+    }
+    assert!(
+        rounds >= 300,
+        "only {rounds} rounds: the campaign is too small"
+    );
+    assert!(
+        admitted >= rounds / 2,
+        "only {admitted}/{rounds} admitted a fast path; the campaign is vacuous"
+    );
+    assert!(
+        fuel_proofs >= rounds / 10,
+        "only {fuel_proofs}/{rounds} carried a validated fuel bound; \
+         the total-verdict path is under-exercised"
+    );
 }
 
 /// Proofs are relative to the entry: starting from a machine with a
