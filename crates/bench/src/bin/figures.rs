@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--full] [fig7 fig18 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//!          speedup randomwalk rstack ablation fusion serving analysis
+//!          speedup randomwalk rstack ablation fusion jit serving analysis
 //!          network | all]
 //! ```
 //!
@@ -13,8 +13,8 @@
 //! minutes in total).
 
 use stackcache_bench::{
-    ablation, fig07, fig18, fig20, fig21, fig22, fig24, fig26, freq, fusion, orgs, prefetch,
-    randomwalk, rstack, semantic, speedup, twostacks, verified,
+    ablation, fig07, fig18, fig20, fig21, fig22, fig24, fig26, freq, fusion, jitbench, orgs,
+    prefetch, randomwalk, rstack, semantic, speedup, twostacks, verified,
 };
 use stackcache_core::CostModel;
 use stackcache_workloads::Scale;
@@ -46,6 +46,7 @@ fn main() {
             "prefetch",
             "semantic",
             "fusion",
+            "jit",
             "serving",
             "analysis",
             "network",
@@ -223,6 +224,12 @@ fn main() {
         println!("## Static analysis — safety proofs and the verified fast path\n");
         println!("{}", verified::render(&verified::run(scale)));
     }
+    if want("jit") {
+        println!("## Template JIT — wall-clock vs the interpreter ladder\n");
+        let rows = jitbench::run(scale);
+        println!("{}", jitbench::table(&rows));
+        println!("{}\n", jitbench::summary_line(&rows));
+    }
     if want("serving") {
         use stackcache_bench::svcload::{run_load, LoadConfig};
         println!("## Serving — per-regime throughput/latency under service load\n");
@@ -244,6 +251,19 @@ fn main() {
             report.divergences.len()
         );
         println!("{}\n", report.fast_path_line());
+
+        use stackcache_bench::traceload::latency_breakdown;
+        println!("### Latency breakdown per regime (tail-sampled trace trees)\n");
+        let probes = if full { 8 } else { 4 };
+        let breakdown = latency_breakdown(probes, 1_000_000);
+        println!("{}", breakdown.table());
+        println!(
+            "{} trees sampled, {} unmatched, {} divergences; wire = root span \
+             minus node-side stage spans\n",
+            breakdown.trees,
+            breakdown.unmatched,
+            breakdown.divergences.len()
+        );
     }
     if want("network") {
         use stackcache_bench::netload::{run_netload, NetLoadConfig};

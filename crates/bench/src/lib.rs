@@ -19,6 +19,7 @@ pub mod fig24;
 pub mod fig26;
 pub mod freq;
 pub mod fusion;
+pub mod jitbench;
 pub mod netload;
 pub mod orgs;
 pub mod prefetch;

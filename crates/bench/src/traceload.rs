@@ -556,3 +556,192 @@ pub fn run_traceload(cfg: &TraceLoadConfig) -> TraceReport {
         trace_json,
     }
 }
+
+/// Mean latency decomposition for one engine regime, in microseconds,
+/// computed from tail-sampled trace trees (see [`latency_breakdown`]).
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Engine regime name.
+    pub regime: String,
+    /// Sampled trees attributed to this regime.
+    pub trees: usize,
+    /// Mean end-to-end latency (the proxy root span).
+    pub total_us: f64,
+    /// Mean time waiting in the node's service queue.
+    pub queue_us: f64,
+    /// Mean engine execution time.
+    pub exec_us: f64,
+    /// Mean remaining node-side stage time (admit, cache, verify).
+    pub other_us: f64,
+    /// Mean wire + routing time: the root span minus every node-side
+    /// stage span. Covers both loopback hops and the proxy's own
+    /// forwarding machinery.
+    pub wire_us: f64,
+}
+
+/// What a latency-breakdown run measured.
+#[derive(Debug)]
+pub struct BreakdownReport {
+    /// One row per regime, in [`EngineRegime::ALL`] order.
+    pub rows: Vec<BreakdownRow>,
+    /// Replies that disagreed with the reference interpreter.
+    pub divergences: Vec<String>,
+    /// Tail-sampled trees pulled from the proxy.
+    pub trees: usize,
+    /// Trees whose correlation id matched no submission (must be 0).
+    pub unmatched: usize,
+}
+
+impl BreakdownReport {
+    /// Render the per-regime decomposition.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&[
+            "regime", "trees", "total us", "queue us", "exec us", "other us", "wire us",
+        ]);
+        for r in &self.rows {
+            t.row(&[
+                r.regime.clone(),
+                r.trees.to_string(),
+                f2(r.total_us),
+                f2(r.queue_us),
+                f2(r.exec_us),
+                f2(r.other_us),
+                f2(r.wire_us),
+            ]);
+        }
+        t
+    }
+}
+
+/// Decompose request latency per engine regime from tail-sampled trace
+/// trees: one node behind a sample-everything proxy, `probes` copies of
+/// the same countdown loop submitted under every [`EngineRegime`], then
+/// each captured tree is split into queue-wait, engine execution, the
+/// remaining node-side stages, and the wire/routing remainder (root
+/// span minus all node-side spans).
+///
+/// Trees are attributed to regimes by the correlation id the proxy
+/// stamps into every span's `request` field, so no side channel is
+/// needed. Every reply is verified against the reference interpreter.
+///
+/// # Panics
+///
+/// Panics on connection failures (a bug in the loopback stack).
+#[must_use]
+pub fn latency_breakdown(probes: usize, fuel: u64) -> BreakdownReport {
+    let cfg = TraceLoadConfig::default();
+    let node = start_node(&cfg, "node0", false);
+    let capacity = EngineRegime::ALL.len() * probes + 8;
+    let proxy = NetProxy::start(ProxyConfig {
+        nodes: vec![node.addr().to_string()],
+        node: "proxy".to_string(),
+        max_window: 64,
+        // threshold zero: every request is "slow", every trace sampled
+        slow_threshold: Duration::ZERO,
+        trace_store_capacity: capacity,
+        ..ProxyConfig::default()
+    })
+    .expect("start breakdown proxy");
+
+    let program = slow_program(30_000);
+    let expected = reference_outcome(&program, fuel);
+    let window = 16u32;
+    let client = Client::connect(proxy.addr(), window).expect("connect");
+
+    let mut divergences = Vec::new();
+    let mut regime_of = std::collections::HashMap::new();
+    let mut inflight = std::collections::VecDeque::new();
+    let drain = |(regime, p): (EngineRegime, stackcache_net::PendingReply),
+                 divergences: &mut Vec<String>| {
+        let reply = p.wait().expect("reply");
+        if let Some(diff) = reply.differs_from(&expected) {
+            divergences.push(format!("breakdown on {}: {diff}", regime.name()));
+        }
+    };
+    for regime in EngineRegime::ALL {
+        for _ in 0..probes {
+            let request = WireRequest::new(Arc::clone(&program), regime).fuel(fuel);
+            let pending = client.submit(&request).expect("submit");
+            regime_of.insert(pending.corr(), regime);
+            inflight.push_back((regime, pending));
+            if inflight.len() >= window as usize {
+                let item = inflight.pop_front().expect("nonempty");
+                drain(item, &mut divergences);
+            }
+        }
+    }
+    for item in inflight {
+        drain(item, &mut divergences);
+    }
+    client.goodbye().expect("drain");
+
+    let trees = proxy.sampled_traces();
+    let mut unmatched = 0usize;
+    // per-regime accumulators: (trees, total, queue, exec, other) nanos
+    let mut acc = vec![(0usize, 0u64, 0u64, 0u64, 0u64); EngineRegime::ALL.len()];
+    for tree in &trees {
+        let Some(regime) = regime_of.get(&tree.root.span.request) else {
+            unmatched += 1;
+            continue;
+        };
+        let total = tree.root.span.duration_nanos();
+        let mut queue = 0u64;
+        let mut exec_ns = 0u64;
+        let mut other = 0u64;
+        // node-side stage spans are the forward hop's direct children;
+        // their own children (if any) are contained in them, so only
+        // the top level is summed to avoid double counting
+        if let Some(fwd) = tree.root.children.first() {
+            for stage in &fwd.children {
+                let d = stage.span.duration_nanos();
+                match stage.span.kind {
+                    SpanKind::Queue => queue += d,
+                    SpanKind::Exec => exec_ns += d,
+                    _ => other += d,
+                }
+            }
+        }
+        let a = &mut acc[regime.index()];
+        a.0 += 1;
+        a.1 += total;
+        a.2 += queue;
+        a.3 += exec_ns;
+        a.4 += other;
+    }
+
+    let _ = proxy.shutdown();
+    let _ = node.shutdown();
+
+    #[allow(clippy::cast_precision_loss)]
+    let rows = EngineRegime::ALL
+        .iter()
+        .map(|regime| {
+            let (n, total, queue, exec_ns, other) = acc[regime.index()];
+            let mean_us = |sum: u64| {
+                if n == 0 {
+                    0.0
+                } else {
+                    sum as f64 / n as f64 / 1e3
+                }
+            };
+            let node_side = queue + exec_ns + other;
+            BreakdownRow {
+                regime: regime.name(),
+                trees: n,
+                total_us: mean_us(total),
+                queue_us: mean_us(queue),
+                exec_us: mean_us(exec_ns),
+                other_us: mean_us(other),
+                wire_us: mean_us(total.saturating_sub(node_side)),
+            }
+        })
+        .collect();
+
+    BreakdownReport {
+        rows,
+        divergences,
+        trees: trees.len(),
+        unmatched,
+    }
+}

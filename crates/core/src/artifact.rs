@@ -46,12 +46,18 @@ pub enum EngineRegime {
     /// The quickening interpreter: starts unfused and rewrites its
     /// dispatch map in place after first execution of each hot site.
     Quickened,
+    /// The template JIT: per-block native code with static cache states
+    /// held in machine registers, deoptimizing to the interpreter on any
+    /// guard (ISSUE 10). Degrades to the baseline interpreter on hosts
+    /// without an x86-64 native backend.
+    Jit,
 }
 
 impl EngineRegime {
     /// Every regime, in ladder order: the eight engines of the paper's
-    /// wall-clock comparison plus the two superinstruction tiers.
-    pub const ALL: [EngineRegime; 10] = [
+    /// wall-clock comparison, the two superinstruction tiers, and the
+    /// template-JIT native tier.
+    pub const ALL: [EngineRegime; 11] = [
         EngineRegime::Reference,
         EngineRegime::Baseline,
         EngineRegime::Tos,
@@ -62,6 +68,7 @@ impl EngineRegime {
         EngineRegime::Static(3),
         EngineRegime::Fused,
         EngineRegime::Quickened,
+        EngineRegime::Jit,
     ];
 
     /// A dense index in `0..EngineRegime::ALL.len()` (metrics slots).
@@ -75,6 +82,7 @@ impl EngineRegime {
             EngineRegime::Static(c) => 4 + usize::from(c.min(3)),
             EngineRegime::Fused => 8,
             EngineRegime::Quickened => 9,
+            EngineRegime::Jit => 10,
         }
     }
 
@@ -89,6 +97,7 @@ impl EngineRegime {
             EngineRegime::Static(c) => format!("static(c={c})"),
             EngineRegime::Fused => "fused".to_string(),
             EngineRegime::Quickened => "quickened".to_string(),
+            EngineRegime::Jit => "jit".to_string(),
         }
     }
 
@@ -296,6 +305,10 @@ impl CompiledArtifact {
                     .as_ref()
                     .expect("quickened artifacts carry state");
                 run_quickened_with_checks(q, machine, fuel, checks).map(|s| s.executed)
+            }
+            EngineRegime::Jit => {
+                stackcache_jit::run_jit_with_checks(&self.program, machine, fuel, checks)
+                    .map(|s| s.executed)
             }
         }
     }

@@ -26,6 +26,7 @@ enum Kind {
     Static(u8),
     Fused,
     Quickened,
+    Jit,
 }
 
 /// One executable engine configuration.
@@ -56,6 +57,7 @@ impl Engine {
             Kind::Static(c) => format!("staticcache(c={c})"),
             Kind::Fused => "fused".to_string(),
             Kind::Quickened => "quickened".to_string(),
+            Kind::Jit => "jit".to_string(),
         };
         let name = if peephole {
             format!("{base}+peephole")
@@ -108,17 +110,21 @@ impl Engine {
                 let quick = Quickened::new(fuse(p, &plan));
                 run_quickened(&quick, &mut m, fuel).map(|s| s.executed)
             }
+            Kind::Jit => stackcache_jit::run_jit(p, &mut m, fuel).map(|s| s.executed),
         };
         Outcome::capture(&m, result)
     }
 }
 
-/// Every wall-clock engine configuration: 10 engines × {plain, peephole}.
+/// Every wall-clock engine configuration: 11 engines × {plain, peephole}.
 ///
 /// The first entry is always the plain reference interpreter, which the
 /// oracle uses as the comparison baseline. The fused and quickened
 /// engines run under their deterministic static-default plan, so every
-/// fuzzed program exercises superinstruction dispatch too.
+/// fuzzed program exercises superinstruction dispatch too; the jit
+/// engine exercises native block execution with interpreter deopts (and
+/// degrades to the pure interpreter on hosts without a native backend,
+/// still producing identical outcomes).
 #[must_use]
 pub fn all_engines() -> Vec<Engine> {
     let kinds = [
@@ -132,6 +138,7 @@ pub fn all_engines() -> Vec<Engine> {
         Kind::Static(3),
         Kind::Fused,
         Kind::Quickened,
+        Kind::Jit,
     ];
     let mut out = Vec::with_capacity(kinds.len() * 2);
     for &k in &kinds {

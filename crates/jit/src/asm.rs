@@ -1,0 +1,763 @@
+//! A byte-buffer x86-64 assembler.
+//!
+//! Just enough of the instruction set for the stack-machine templates:
+//! 64-bit moves and ALU ops between registers and `[base + disp]` /
+//! `[base + index*8 + disp]` memory operands, `setcc`/`cmovcc`, shifts,
+//! signed division, and rel32 branches with a two-pass [`Label`] fixup.
+//! Encodings follow the Intel SDM; every public method carries an
+//! encoding unit test, and the golden byte-image suite in
+//! `tests/golden.rs` pins whole compiled blocks.
+//!
+//! Nothing here allocates registers or knows about the VM — this module
+//! is purely "append these instruction bytes".
+
+/// A 64-bit general-purpose register, numbered as in ModRM encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    #[inline]
+    fn num(self) -> u8 {
+        self as u8
+    }
+    #[inline]
+    fn low3(self) -> u8 {
+        self.num() & 7
+    }
+    #[inline]
+    fn ext(self) -> bool {
+        self.num() >= 8
+    }
+}
+
+/// Condition codes for `jcc` / `setcc` / `cmovcc` (the low opcode nibble).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cc {
+    /// overflow-free below (unsigned <)
+    B = 0x2,
+    /// above-or-equal (unsigned >=)
+    Ae = 0x3,
+    E = 0x4,
+    Ne = 0x5,
+    /// below-or-equal (unsigned <=)
+    Be = 0x6,
+    /// above (unsigned >)
+    A = 0x7,
+    /// sign set (negative)
+    S = 0x8,
+    /// sign clear (non-negative)
+    Ns = 0x9,
+    L = 0xC,
+    Ge = 0xD,
+    Le = 0xE,
+    G = 0xF,
+}
+
+/// A branch target: created with [`Asm::new_label`], bound once with
+/// [`Asm::bind`], referenced any number of times before or after binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// A memory operand: `[base + index*8 + disp]` (index optional).
+///
+/// The only scale the templates need is 8 (cells); byte addressing uses
+/// an explicit scale of 1 via [`Mem::base_index1`].
+#[derive(Debug, Clone, Copy)]
+pub struct Mem {
+    base: Reg,
+    index: Option<(Reg, u8)>, // (register, scale log2)
+    disp: i32,
+}
+
+impl Mem {
+    /// `[base + disp]`
+    #[must_use]
+    pub fn base(base: Reg, disp: i32) -> Mem {
+        Mem {
+            base,
+            index: None,
+            disp,
+        }
+    }
+
+    /// `[base + index*8 + disp]` — cell addressing.
+    #[must_use]
+    pub fn base_index8(base: Reg, index: Reg, disp: i32) -> Mem {
+        assert!(index != Reg::Rsp, "rsp cannot be an index register");
+        Mem {
+            base,
+            index: Some((index, 3)),
+            disp,
+        }
+    }
+
+    /// `[base + index + disp]` — byte addressing.
+    #[must_use]
+    pub fn base_index1(base: Reg, index: Reg, disp: i32) -> Mem {
+        assert!(index != Reg::Rsp, "rsp cannot be an index register");
+        Mem {
+            base,
+            index: Some((index, 0)),
+            disp,
+        }
+    }
+
+    /// `[base + index*4 + disp]` — u32 table addressing.
+    #[must_use]
+    pub fn base_index4(base: Reg, index: Reg, disp: i32) -> Mem {
+        assert!(index != Reg::Rsp, "rsp cannot be an index register");
+        Mem {
+            base,
+            index: Some((index, 2)),
+            disp,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    /// rel32 displacement: `target - (at + 4)` (jumps, rip-relative lea).
+    Rel32,
+    /// The label's absolute buffer offset as a little-endian u32 (chain
+    /// dispatch tables).
+    Abs32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    /// Offset of the 4-byte field in the buffer.
+    at: usize,
+    label: Label,
+    kind: FixupKind,
+}
+
+/// The append-only code buffer.
+#[derive(Debug, Default)]
+pub struct Asm {
+    buf: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Fresh empty buffer.
+    #[must_use]
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current offset — the address the next emitted byte will occupy.
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finalize: patch every label reference and return the code bytes.
+    ///
+    /// # Panics
+    /// If any referenced label was never bound.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        for f in &self.fixups {
+            let target = self.labels[f.label.0].expect("unbound label at finish");
+            let word = match f.kind {
+                FixupKind::Rel32 => {
+                    let rel = (target as i64) - (f.at as i64 + 4);
+                    i32::try_from(rel).expect("rel32 overflow").to_le_bytes()
+                }
+                FixupKind::Abs32 => u32::try_from(target).expect("abs32 overflow").to_le_bytes(),
+            };
+            self.buf[f.at..f.at + 4].copy_from_slice(&word);
+        }
+        self.buf
+    }
+
+    /// Allocate an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current offset.
+    ///
+    /// # Panics
+    /// If the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.buf.len());
+    }
+
+    #[inline]
+    fn u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+    #[inline]
+    fn i32_(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// REX prefix. `w`: 64-bit operand; `r`: ModRM.reg extension;
+    /// `x`: SIB.index extension; `b`: ModRM.rm / SIB.base extension.
+    #[inline]
+    fn rex(&mut self, w: bool, r: bool, x: bool, b: bool) {
+        let byte =
+            0x40 | (u8::from(w) << 3) | (u8::from(r) << 2) | (u8::from(x) << 1) | u8::from(b);
+        self.u8(byte);
+    }
+
+    /// REX for a reg/reg form where it is only needed conditionally
+    /// (8-bit ops touching sil/dil/spl/bpl or r8b..r15b).
+    #[inline]
+    fn rex_opt8(&mut self, r: Reg, rm: Reg) {
+        if r.ext() || rm.ext() || r.num() >= 4 || rm.num() >= 4 {
+            self.rex(false, r.ext(), false, rm.ext());
+        }
+    }
+
+    #[inline]
+    fn modrm(&mut self, md: u8, reg: u8, rm: u8) {
+        self.u8((md << 6) | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    /// Emit ModRM (+ SIB + disp) for `reg_field` against memory operand `m`.
+    fn mem_operand(&mut self, reg_field: u8, m: Mem) {
+        let need_disp8 = m.disp == 0 && m.base.low3() == 5; // rbp/r13 base needs disp
+        let (md, disp_kind) = if m.disp == 0 && !need_disp8 {
+            (0b00, 0)
+        } else if i8::try_from(m.disp).is_ok() {
+            (0b01, 1)
+        } else {
+            (0b10, 4)
+        };
+        match m.index {
+            None => {
+                if m.base.low3() == 4 {
+                    // rsp/r12 base requires a SIB byte
+                    self.modrm(md, reg_field, 4);
+                    self.u8(0x24); // scale=0, index=100 (none), base=100
+                } else {
+                    self.modrm(md, reg_field, m.base.low3());
+                }
+            }
+            Some((index, scale)) => {
+                self.modrm(md, reg_field, 4);
+                self.u8((scale << 6) | (index.low3() << 3) | m.base.low3());
+            }
+        }
+        match disp_kind {
+            0 => {}
+            1 => self.u8(m.disp as u8),
+            _ => self.i32_(m.disp),
+        }
+    }
+
+    fn rex_mem(&mut self, w: bool, reg: Reg, m: Mem) {
+        let x = m.index.is_some_and(|(i, _)| i.ext());
+        self.rex(w, reg.ext(), x, m.base.ext());
+    }
+
+    // ---- moves ----
+
+    /// `mov dst, src` (64-bit).
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, src.ext(), false, dst.ext());
+        self.u8(0x89);
+        self.modrm(0b11, src.low3(), dst.low3());
+    }
+
+    /// `mov dst, imm` — `C7 /0 imm32` when the value sign-extends,
+    /// otherwise `movabs` (`B8+r imm64`).
+    pub fn mov_ri(&mut self, dst: Reg, imm: i64) {
+        if let Ok(v) = i32::try_from(imm) {
+            self.rex(true, false, false, dst.ext());
+            self.u8(0xC7);
+            self.modrm(0b11, 0, dst.low3());
+            self.i32_(v);
+        } else {
+            self.rex(true, false, false, dst.ext());
+            self.u8(0xB8 + dst.low3());
+            self.buf.extend_from_slice(&imm.to_le_bytes());
+        }
+    }
+
+    /// `mov dst, [m]` (64-bit load).
+    pub fn mov_rm(&mut self, dst: Reg, m: Mem) {
+        self.rex_mem(true, dst, m);
+        self.u8(0x8B);
+        self.mem_operand(dst.low3(), m);
+    }
+
+    /// `mov [m], src` (64-bit store).
+    pub fn mov_mr(&mut self, m: Mem, src: Reg) {
+        self.rex_mem(true, src, m);
+        self.u8(0x89);
+        self.mem_operand(src.low3(), m);
+    }
+
+    /// `movzx dst, byte [m]` (zero-extending byte load).
+    pub fn movzx_rm8(&mut self, dst: Reg, m: Mem) {
+        self.rex_mem(true, dst, m);
+        self.u8(0x0F);
+        self.u8(0xB6);
+        self.mem_operand(dst.low3(), m);
+    }
+
+    /// `movzx dst, src_low8` (zero-extend a byte register to 64 bits).
+    pub fn movzx_rr8(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, dst.ext(), false, src.ext());
+        self.u8(0x0F);
+        self.u8(0xB6);
+        self.modrm(0b11, dst.low3(), src.low3());
+    }
+
+    /// `mov byte [m], src_low8`.
+    pub fn mov_m8r(&mut self, m: Mem, src: Reg) {
+        let x = m.index.is_some_and(|(i, _)| i.ext());
+        if src.ext() || src.num() >= 4 || m.base.ext() || x {
+            self.rex(false, src.ext(), x, m.base.ext());
+        }
+        self.u8(0x88);
+        self.mem_operand(src.low3(), m);
+    }
+
+    /// `mov byte [m], imm8`.
+    pub fn mov_m8i(&mut self, m: Mem, imm: u8) {
+        let x = m.index.is_some_and(|(i, _)| i.ext());
+        if m.base.ext() || x {
+            self.rex(false, false, x, m.base.ext());
+        }
+        self.u8(0xC6);
+        self.mem_operand(0, m);
+        self.u8(imm);
+    }
+
+    // ---- ALU reg/reg ----
+
+    fn alu_rr(&mut self, op: u8, dst: Reg, src: Reg) {
+        self.rex(true, src.ext(), false, dst.ext());
+        self.u8(op);
+        self.modrm(0b11, src.low3(), dst.low3());
+    }
+
+    /// `add dst, src`
+    pub fn add_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x01, dst, src);
+    }
+    /// `sub dst, src`
+    pub fn sub_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x29, dst, src);
+    }
+    /// `and dst, src`
+    pub fn and_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x21, dst, src);
+    }
+    /// `or dst, src`
+    pub fn or_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x09, dst, src);
+    }
+    /// `xor dst, src`
+    pub fn xor_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x31, dst, src);
+    }
+    /// `cmp dst, src`
+    pub fn cmp_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x39, dst, src);
+    }
+    /// `test dst, src`
+    pub fn test_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x85, dst, src);
+    }
+
+    /// `imul dst, src` (two-operand signed multiply; wraps like the VM).
+    pub fn imul_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, dst.ext(), false, src.ext());
+        self.u8(0x0F);
+        self.u8(0xAF);
+        self.modrm(0b11, dst.low3(), src.low3());
+    }
+
+    // ---- ALU reg/imm ----
+
+    fn alu_ri(&mut self, ext: u8, dst: Reg, imm: i32) {
+        self.rex(true, false, false, dst.ext());
+        if let Ok(v) = i8::try_from(imm) {
+            self.u8(0x83);
+            self.modrm(0b11, ext, dst.low3());
+            self.u8(v as u8);
+        } else {
+            self.u8(0x81);
+            self.modrm(0b11, ext, dst.low3());
+            self.i32_(imm);
+        }
+    }
+
+    /// `add dst, imm`
+    pub fn add_ri(&mut self, dst: Reg, imm: i32) {
+        self.alu_ri(0, dst, imm);
+    }
+    /// `sub dst, imm`
+    pub fn sub_ri(&mut self, dst: Reg, imm: i32) {
+        self.alu_ri(5, dst, imm);
+    }
+    /// `cmp dst, imm`
+    pub fn cmp_ri(&mut self, dst: Reg, imm: i32) {
+        self.alu_ri(7, dst, imm);
+    }
+
+    /// `cmp dst, [m]`
+    pub fn cmp_rm(&mut self, dst: Reg, m: Mem) {
+        self.rex_mem(true, dst, m);
+        self.u8(0x3B);
+        self.mem_operand(dst.low3(), m);
+    }
+
+    // ---- unary / shifts / division ----
+
+    /// `neg dst`
+    pub fn neg(&mut self, dst: Reg) {
+        self.rex(true, false, false, dst.ext());
+        self.u8(0xF7);
+        self.modrm(0b11, 3, dst.low3());
+    }
+
+    /// `not dst`
+    pub fn not(&mut self, dst: Reg) {
+        self.rex(true, false, false, dst.ext());
+        self.u8(0xF7);
+        self.modrm(0b11, 2, dst.low3());
+    }
+
+    /// `cqo` — sign-extend rax into rdx:rax.
+    pub fn cqo(&mut self) {
+        self.u8(0x48);
+        self.u8(0x99);
+    }
+
+    /// `idiv src` — rdx:rax / src → quotient rax, remainder rdx.
+    pub fn idiv(&mut self, src: Reg) {
+        self.rex(true, false, false, src.ext());
+        self.u8(0xF7);
+        self.modrm(0b11, 7, src.low3());
+    }
+
+    fn shift_cl(&mut self, ext: u8, dst: Reg) {
+        self.rex(true, false, false, dst.ext());
+        self.u8(0xD3);
+        self.modrm(0b11, ext, dst.low3());
+    }
+
+    /// `shl dst, cl`
+    pub fn shl_cl(&mut self, dst: Reg) {
+        self.shift_cl(4, dst);
+    }
+    /// `shr dst, cl`
+    pub fn shr_cl(&mut self, dst: Reg) {
+        self.shift_cl(5, dst);
+    }
+
+    /// `sar dst, imm8` / `shl dst, imm8`
+    pub fn sar_i(&mut self, dst: Reg, imm: u8) {
+        self.rex(true, false, false, dst.ext());
+        self.u8(0xC1);
+        self.modrm(0b11, 7, dst.low3());
+        self.u8(imm);
+    }
+
+    /// `shl dst, imm8`
+    pub fn shl_i(&mut self, dst: Reg, imm: u8) {
+        self.rex(true, false, false, dst.ext());
+        self.u8(0xC1);
+        self.modrm(0b11, 4, dst.low3());
+        self.u8(imm);
+    }
+
+    /// `lea dst, [m]`
+    pub fn lea(&mut self, dst: Reg, m: Mem) {
+        self.rex_mem(true, dst, m);
+        self.u8(0x8D);
+        self.mem_operand(dst.low3(), m);
+    }
+
+    // ---- conditionals ----
+
+    /// `setcc dst_low8`.
+    pub fn setcc(&mut self, cc: Cc, dst: Reg) {
+        self.rex_opt8(Reg::Rax, dst); // reg field unused; only rm ext matters
+        self.u8(0x0F);
+        self.u8(0x90 | cc as u8);
+        self.modrm(0b11, 0, dst.low3());
+    }
+
+    /// `cmovcc dst, src` (64-bit).
+    pub fn cmovcc(&mut self, cc: Cc, dst: Reg, src: Reg) {
+        self.rex(true, dst.ext(), false, src.ext());
+        self.u8(0x0F);
+        self.u8(0x40 | cc as u8);
+        self.modrm(0b11, dst.low3(), src.low3());
+    }
+
+    // ---- control flow ----
+
+    /// `jmp label` (rel32).
+    pub fn jmp(&mut self, label: Label) {
+        self.u8(0xE9);
+        self.label_fixup(label, FixupKind::Rel32);
+    }
+
+    /// `jcc label` (rel32).
+    pub fn jcc(&mut self, cc: Cc, label: Label) {
+        self.u8(0x0F);
+        self.u8(0x80 | cc as u8);
+        self.label_fixup(label, FixupKind::Rel32);
+    }
+
+    /// `jmp r64` — indirect through a register.
+    pub fn jmp_r(&mut self, r: Reg) {
+        if r.ext() {
+            self.u8(0x41);
+        }
+        self.u8(0xFF);
+        self.modrm(0b11, 4, r.low3());
+    }
+
+    /// `lea dst, [rip + label]` — materialize a code address.
+    pub fn lea_rip(&mut self, dst: Reg, label: Label) {
+        self.rex(true, dst.ext(), false, false);
+        self.u8(0x8D);
+        self.modrm(0b00, dst.low3(), 0b101);
+        self.label_fixup(label, FixupKind::Rel32);
+    }
+
+    /// `mov dst32, m32` — 32-bit load, zero-extending into the full
+    /// register (chain-table entries).
+    pub fn mov_r32m(&mut self, dst: Reg, m: Mem) {
+        let x = m.index.is_some_and(|(i, _)| i.ext());
+        if dst.ext() || x || m.base.ext() {
+            self.rex(false, dst.ext(), x, m.base.ext());
+        }
+        self.u8(0x8B);
+        self.mem_operand(dst.low3(), m);
+    }
+
+    /// Emit a 4-byte slot holding `label`'s absolute buffer offset
+    /// (patched at `finish`) — dispatch-table data, not code.
+    pub fn label_offset_u32(&mut self, label: Label) {
+        self.label_fixup(label, FixupKind::Abs32);
+    }
+
+    /// Emit 4 zero bytes (an empty dispatch-table slot).
+    pub fn zero_u32(&mut self) {
+        self.i32_(0);
+    }
+
+    fn label_fixup(&mut self, label: Label, kind: FixupKind) {
+        let at = self.buf.len();
+        self.i32_(0);
+        self.fixups.push(Fixup { at, label, kind });
+    }
+
+    /// `push r64`
+    pub fn push(&mut self, r: Reg) {
+        if r.ext() {
+            self.u8(0x41);
+        }
+        self.u8(0x50 + r.low3());
+    }
+
+    /// `pop r64`
+    pub fn pop(&mut self, r: Reg) {
+        if r.ext() {
+            self.u8(0x41);
+        }
+        self.u8(0x58 + r.low3());
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) {
+        self.u8(0xC3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Reg::{Rax, Rbx, Rcx, Rdi, Rdx, Rsi, R10, R11, R12, R13, R14, R15, R8, R9};
+
+    fn bytes(f: impl FnOnce(&mut Asm)) -> Vec<u8> {
+        let mut a = Asm::new();
+        f(&mut a);
+        a.finish()
+    }
+
+    #[test]
+    fn mov_rr_encodings() {
+        assert_eq!(bytes(|a| a.mov_rr(Rax, Rbx)), [0x48, 0x89, 0xD8]);
+        assert_eq!(bytes(|a| a.mov_rr(R8, Rsi)), [0x49, 0x89, 0xF0]);
+        assert_eq!(bytes(|a| a.mov_rr(Rcx, R9)), [0x4C, 0x89, 0xC9]);
+    }
+
+    #[test]
+    fn mov_ri_small_and_movabs() {
+        assert_eq!(bytes(|a| a.mov_ri(Rax, 1)), [0x48, 0xC7, 0xC0, 1, 0, 0, 0]);
+        assert_eq!(
+            bytes(|a| a.mov_ri(R9, -2)),
+            [0x49, 0xC7, 0xC1, 0xFE, 0xFF, 0xFF, 0xFF]
+        );
+        let b = bytes(|a| a.mov_ri(Rdx, i64::MIN));
+        assert_eq!(&b[..2], &[0x48, 0xBA]);
+        assert_eq!(&b[2..], &i64::MIN.to_le_bytes());
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        // mov rax, [rdi+8]
+        assert_eq!(
+            bytes(|a| a.mov_rm(Rax, Mem::base(Rdi, 8))),
+            [0x48, 0x8B, 0x47, 0x08]
+        );
+        // mov rax, [rdi] — no disp byte
+        assert_eq!(
+            bytes(|a| a.mov_rm(Rax, Mem::base(Rdi, 0))),
+            [0x48, 0x8B, 0x07]
+        );
+        // r12 base forces SIB; r13 base forces disp8
+        assert_eq!(
+            bytes(|a| a.mov_rm(Rax, Mem::base(R12, 0))),
+            [0x49, 0x8B, 0x04, 0x24]
+        );
+        assert_eq!(
+            bytes(|a| a.mov_rm(Rax, Mem::base(R13, 0))),
+            [0x49, 0x8B, 0x45, 0x00]
+        );
+        // mov r10, [rbx+rsi*8-8]
+        assert_eq!(
+            bytes(|a| a.mov_rm(R10, Mem::base_index8(Rbx, Rsi, -8))),
+            [0x4C, 0x8B, 0x54, 0xF3, 0xF8]
+        );
+        // mov [rbx+rsi*8], r8
+        assert_eq!(
+            bytes(|a| a.mov_mr(Mem::base_index8(Rbx, Rsi, 0), R8)),
+            [0x4C, 0x89, 0x04, 0xF3]
+        );
+        // movzx rax, byte [r14+rax]
+        assert_eq!(
+            bytes(|a| a.movzx_rm8(Rax, Mem::base_index1(R14, Rax, 0))),
+            [0x49, 0x0F, 0xB6, 0x04, 0x06]
+        );
+        // mov byte [r14+rax], r8b
+        assert_eq!(
+            bytes(|a| a.mov_m8r(Mem::base_index1(R14, Rax, 0), R8)),
+            [0x45, 0x88, 0x04, 0x06]
+        );
+        // mov byte [rcx+rax], 10
+        assert_eq!(
+            bytes(|a| a.mov_m8i(Mem::base_index1(Rcx, Rax, 0), 10)),
+            [0xC6, 0x04, 0x01, 0x0A]
+        );
+    }
+
+    #[test]
+    fn alu_and_shifts() {
+        assert_eq!(bytes(|a| a.add_rr(R8, R9)), [0x4D, 0x01, 0xC8]);
+        assert_eq!(bytes(|a| a.sub_rr(Rax, Rcx)), [0x48, 0x29, 0xC8]);
+        assert_eq!(bytes(|a| a.imul_rr(R8, R9)), [0x4D, 0x0F, 0xAF, 0xC1]);
+        assert_eq!(bytes(|a| a.cmp_rr(Rsi, Rax)), [0x48, 0x39, 0xC6]);
+        assert_eq!(bytes(|a| a.test_rr(Rsi, Rsi)), [0x48, 0x85, 0xF6]);
+        assert_eq!(bytes(|a| a.add_ri(Rsi, 1)), [0x48, 0x83, 0xC6, 0x01]);
+        assert_eq!(
+            bytes(|a| a.add_ri(Rsi, 1000)),
+            [0x48, 0x81, 0xC6, 0xE8, 0x03, 0x00, 0x00]
+        );
+        assert_eq!(bytes(|a| a.cmp_ri(R13, 2)), [0x49, 0x83, 0xFD, 0x02]);
+        assert_eq!(bytes(|a| a.shl_cl(R8)), [0x49, 0xD3, 0xE0]);
+        assert_eq!(bytes(|a| a.shr_cl(Rax)), [0x48, 0xD3, 0xE8]);
+        assert_eq!(bytes(|a| a.sar_i(R9, 1)), [0x49, 0xC1, 0xF9, 0x01]);
+        assert_eq!(bytes(|a| a.sar_i(Rax, 63)), [0x48, 0xC1, 0xF8, 0x3F]);
+        assert_eq!(bytes(|a| a.shl_i(R10, 3)), [0x49, 0xC1, 0xE2, 0x03]);
+        assert_eq!(bytes(|a| a.neg(R8)), [0x49, 0xF7, 0xD8]);
+        assert_eq!(bytes(|a| a.not(Rax)), [0x48, 0xF7, 0xD0]);
+        assert_eq!(bytes(|a| a.cqo()), [0x48, 0x99]);
+        assert_eq!(bytes(|a| a.idiv(R9)), [0x49, 0xF7, 0xF9]);
+        assert_eq!(
+            bytes(|a| a.lea(Rax, Mem::base(Rsi, 2))),
+            [0x48, 0x8D, 0x46, 0x02]
+        );
+        assert_eq!(
+            bytes(|a| a.cmp_rm(Rax, Mem::base(Rdi, 16))),
+            [0x48, 0x3B, 0x47, 0x10]
+        );
+    }
+
+    #[test]
+    fn conditionals() {
+        assert_eq!(bytes(|a| a.setcc(Cc::E, R11)), [0x41, 0x0F, 0x94, 0xC3]);
+        assert_eq!(bytes(|a| a.movzx_rr8(R11, R11)), [0x4D, 0x0F, 0xB6, 0xDB]);
+        assert_eq!(bytes(|a| a.cmovcc(Cc::G, R8, R9)), [0x4D, 0x0F, 0x4F, 0xC1]);
+        assert_eq!(
+            bytes(|a| a.cmovcc(Cc::L, Rax, Rcx)),
+            [0x48, 0x0F, 0x4C, 0xC1]
+        );
+    }
+
+    #[test]
+    fn push_pop_ret() {
+        assert_eq!(bytes(|a| a.push(Rbx)), [0x53]);
+        assert_eq!(bytes(|a| a.push(R12)), [0x41, 0x54]);
+        assert_eq!(bytes(|a| a.pop(R15)), [0x41, 0x5F]);
+        assert_eq!(bytes(|a| a.ret()), [0xC3]);
+    }
+
+    #[test]
+    fn labels_forward_and_backward() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        let out = a.new_label();
+        a.bind(top);
+        a.test_rr(Rax, Rax); // 3 bytes
+        a.jcc(Cc::E, out); // 6 bytes
+        a.jmp(top); // 5 bytes
+        a.bind(out);
+        a.ret();
+        let b = a.finish();
+        // jcc target: offset 14 (ret), rel = 14 - 9 = 5
+        assert_eq!(&b[5..9], &5i32.to_le_bytes());
+        // jmp target: offset 0, rel = 0 - 14 = -14
+        assert_eq!(&b[10..14], &(-14i32).to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.jmp(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    fn r15_byte_index_gets_rex_x() {
+        assert_eq!(
+            bytes(|a| a.movzx_rm8(Rdx, Mem::base_index1(R14, R15, 0))),
+            [0x4B, 0x0F, 0xB6, 0x14, 0x3E]
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! The compiled-block cache and JIT metrics.
+//!
+//! Keyed like the svc artifact cache: program identity (the full
+//! instruction vector — never a lossy hash) plus the [`Checks`] level
+//! the code was emitted for, with a generation counter per program so
+//! [`invalidate`] (called on quickening rewrites or any other in-place
+//! program mutation) atomically retires stale native code: live runs
+//! holding an `Arc` finish on the old code against the old text,
+//! new runs recompile.
+//!
+//! Metrics are process-global atomics exposed through [`stats`] so the
+//! serving layer can merge them into its Prometheus exposition.
+
+use crate::compile::JitProgram;
+use stackcache_vm::{Checks, Inst, Program};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One global JIT counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stat {
+    /// Programs compiled to native code.
+    Compiled,
+    /// Cache lookups served without compiling.
+    CacheHits,
+    /// Explicit invalidations (quickening rewrites etc.).
+    Invalidations,
+    /// Whole runs degraded to the interpreter (no native backend).
+    Fallbacks,
+    /// Per-instruction deoptimization events (guard fired mid-block).
+    Deopts,
+}
+
+static COMPILED: AtomicU64 = AtomicU64::new(0);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
+static FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static DEOPTS: AtomicU64 = AtomicU64::new(0);
+
+/// The live counter behind a [`Stat`].
+pub fn stats_counter(stat: Stat) -> &'static AtomicU64 {
+    match stat {
+        Stat::Compiled => &COMPILED,
+        Stat::CacheHits => &CACHE_HITS,
+        Stat::Invalidations => &INVALIDATIONS,
+        Stat::Fallbacks => &FALLBACKS,
+        Stat::Deopts => &DEOPTS,
+    }
+}
+
+/// Snapshot of the JIT counters (for Prometheus merging in svc).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JitStats {
+    /// `jit_compiled_total`
+    pub compiled: u64,
+    /// `jit_cache_hits_total`
+    pub cache_hits: u64,
+    /// `jit_invalidations_total`
+    pub invalidations: u64,
+    /// `jit_fallbacks_total`
+    pub fallbacks: u64,
+    /// `jit_deopts_total`
+    pub deopts: u64,
+}
+
+/// Read all counters at once.
+#[must_use]
+pub fn stats() -> JitStats {
+    JitStats {
+        compiled: COMPILED.load(Ordering::Relaxed),
+        cache_hits: CACHE_HITS.load(Ordering::Relaxed),
+        invalidations: INVALIDATIONS.load(Ordering::Relaxed),
+        fallbacks: FALLBACKS.load(Ordering::Relaxed),
+        deopts: DEOPTS.load(Ordering::Relaxed),
+    }
+}
+
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct Key {
+    insts: Arc<[Inst]>,
+    entry: usize,
+    checks: Checks,
+    generation: u64,
+}
+
+/// Entries beyond this are dropped wholesale — native blocks are cheap
+/// to re-emit and the differential harness churns many tiny programs.
+const CAPACITY: usize = 256;
+
+/// Process-wide compiled-block cache.
+pub struct BlockCache {
+    map: Mutex<HashMap<Key, Arc<JitProgram>>>,
+    generation: AtomicU64,
+}
+
+impl BlockCache {
+    fn new() -> BlockCache {
+        BlockCache {
+            map: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch or compile native code for `program` at `checks`.
+    /// Returns `None` when native execution is unavailable on this
+    /// host (the caller degrades to the interpreter).
+    pub fn get_or_compile(&self, program: &Program, checks: Checks) -> Option<Arc<JitProgram>> {
+        let key = Key {
+            insts: program.insts().into(),
+            entry: program.entry(),
+            checks,
+            generation: self.generation.load(Ordering::Acquire),
+        };
+        {
+            let map = self.map.lock().expect("jit cache poisoned");
+            if let Some(jp) = map.get(&key) {
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(jp));
+            }
+        }
+        // Compile outside the lock; a racing duplicate is harmless.
+        let jp = Arc::new(JitProgram::compile(program, checks).ok()?);
+        COMPILED.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("jit cache poisoned");
+        if map.len() >= CAPACITY {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&jp));
+        Some(jp)
+    }
+
+    /// Retire every cached compilation. Called when program text is
+    /// rewritten in place (quickening): the old machine code encodes
+    /// the old instructions, so it must never be dispatched again.
+    pub fn invalidate_all(&self) {
+        INVALIDATIONS.fetch_add(1, Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::Release);
+        self.map.lock().expect("jit cache poisoned").clear();
+    }
+
+    /// Number of live cached compilations (for tests/metrics).
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("jit cache poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-global cache used by [`crate::run::run_jit_with_checks`].
+pub fn global() -> &'static BlockCache {
+    static GLOBAL: OnceLock<BlockCache> = OnceLock::new();
+    GLOBAL.get_or_init(BlockCache::new)
+}
+
+/// Invalidate the global cache (quickening rewrite hook).
+pub fn invalidate() {
+    global().invalidate_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackcache_vm::program_of;
+
+    #[test]
+    #[cfg(all(target_arch = "x86_64", unix))]
+    fn hit_miss_and_invalidate() {
+        let cache = BlockCache::new();
+        let p = program_of(&[Inst::Lit(1), Inst::Lit(2), Inst::Add, Inst::Halt]);
+        let before = stats();
+        let a = cache.get_or_compile(&p, Checks::Full).unwrap();
+        let b = cache.get_or_compile(&p, Checks::Full).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different checks level is a different compilation.
+        let c = cache.get_or_compile(&p, Checks::None).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        let d = cache.get_or_compile(&p, Checks::Full).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        let after = stats();
+        assert!(after.compiled >= before.compiled + 3);
+        assert!(after.cache_hits > before.cache_hits);
+        assert!(after.invalidations > before.invalidations);
+    }
+}

@@ -1,0 +1,211 @@
+//! Executable memory with W^X discipline.
+//!
+//! [`ExecBuf`] owns one anonymous private mapping. Code bytes are
+//! copied in while the pages are read-write, then the mapping is
+//! flipped to read-execute with `mprotect` — at no point is a page both
+//! writable and executable. The raw `mmap`/`mprotect`/`munmap`
+//! declarations follow `crates/evio`'s libc-free shim idiom: bare
+//! `extern "C"` prototypes against the platform C runtime, no external
+//! crates.
+//!
+//! On non-x86-64 targets (or non-unix hosts) the constructor always
+//! returns [`MapError::Unsupported`]; callers degrade to the
+//! interpreter. [`force_unavailable`] lets tests exercise that same
+//! degradation path on hosts where the real mapping would succeed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Why executable memory could not be obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// Host is not x86-64 unix — there is no template backend for it.
+    Unsupported,
+    /// `mmap` or `mprotect` failed (errno value), or the test hook
+    /// forced failure.
+    SyscallFailed(i32),
+}
+
+static FORCE_UNAVAILABLE: AtomicBool = AtomicBool::new(false);
+
+/// Test hook: when set, every [`ExecBuf::new`] fails as if `mmap` had
+/// returned `ENOMEM`, forcing the interpreter-degradation path.
+pub fn force_unavailable(on: bool) {
+    FORCE_UNAVAILABLE.store(on, Ordering::SeqCst);
+}
+
+#[cfg(all(target_arch = "x86_64", unix))]
+mod sys {
+    use super::MapError;
+
+    // Shared-library C runtime entry points, declared directly in the
+    // style of `crates/evio/src/sys.rs` — no libc crate.
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn mprotect(addr: *mut u8, len: usize, prot: i32) -> i32;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const PROT_EXEC: i32 = 4;
+    const MAP_PRIVATE: i32 = 2;
+    #[cfg(target_os = "linux")]
+    const MAP_ANONYMOUS: i32 = 0x20;
+    #[cfg(not(target_os = "linux"))]
+    const MAP_ANONYMOUS: i32 = 0x1000; // BSD/macOS MAP_ANON
+
+    fn errno() -> i32 {
+        std::io::Error::last_os_error().raw_os_error().unwrap_or(-1)
+    }
+
+    /// Map `len` bytes read-write. Returns the page-aligned base.
+    pub(super) fn map_rw(len: usize) -> Result<*mut u8, MapError> {
+        // SAFETY: anonymous private mapping with a null hint; the
+        // kernel picks the address. fd/offset are ignored for
+        // MAP_ANONYMOUS.
+        let p = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if p as isize == -1 {
+            return Err(MapError::SyscallFailed(errno()));
+        }
+        Ok(p)
+    }
+
+    /// Flip a mapping to read-execute (the X side of W^X).
+    pub(super) fn protect_rx(p: *mut u8, len: usize) -> Result<(), MapError> {
+        // SAFETY: `p` is a live mapping of `len` bytes from map_rw.
+        if unsafe { mprotect(p, len, PROT_READ | PROT_EXEC) } != 0 {
+            return Err(MapError::SyscallFailed(errno()));
+        }
+        Ok(())
+    }
+
+    pub(super) fn unmap(p: *mut u8, len: usize) {
+        // SAFETY: `p`/`len` exactly describe a mapping we own.
+        unsafe {
+            munmap(p, len);
+        }
+    }
+}
+
+/// An immutable, executable code buffer.
+///
+/// After construction the pages are read-execute only and never change,
+/// so sharing across threads is sound.
+#[derive(Debug)]
+pub struct ExecBuf {
+    #[cfg(all(target_arch = "x86_64", unix))]
+    base: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (RX) for the life of the value and
+// freed only in Drop, which takes `self` by unique reference.
+unsafe impl Send for ExecBuf {}
+// SAFETY: no interior mutability; all access is to immutable pages.
+unsafe impl Sync for ExecBuf {}
+
+impl ExecBuf {
+    /// Copy `code` into fresh executable memory.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Unsupported`] off x86-64 unix; otherwise any `mmap`
+    /// or `mprotect` failure (also simulated by [`force_unavailable`]).
+    pub fn new(code: &[u8]) -> Result<ExecBuf, MapError> {
+        if FORCE_UNAVAILABLE.load(Ordering::SeqCst) {
+            return Err(MapError::SyscallFailed(12)); // ENOMEM
+        }
+        Self::new_inner(code)
+    }
+
+    #[cfg(all(target_arch = "x86_64", unix))]
+    fn new_inner(code: &[u8]) -> Result<ExecBuf, MapError> {
+        let len = code.len().max(1).div_ceil(4096) * 4096;
+        let base = sys::map_rw(len)?;
+        // SAFETY: base..base+len is a fresh private RW mapping; code
+        // fits because len was rounded up from code.len().
+        unsafe {
+            std::ptr::copy_nonoverlapping(code.as_ptr(), base, code.len());
+        }
+        if let Err(e) = sys::protect_rx(base, len) {
+            sys::unmap(base, len);
+            return Err(e);
+        }
+        Ok(ExecBuf { base, len })
+    }
+
+    #[cfg(not(all(target_arch = "x86_64", unix)))]
+    fn new_inner(_code: &[u8]) -> Result<ExecBuf, MapError> {
+        Err(MapError::Unsupported)
+    }
+
+    /// Entry address at byte `offset` into the buffer, as a sysv64
+    /// function taking the JIT context and returning the packed exit
+    /// word.
+    ///
+    /// # Safety contract (for callers)
+    ///
+    /// The bytes at `offset` must be the start of a function emitted by
+    /// this crate's compiler for the matching context layout.
+    #[cfg(all(target_arch = "x86_64", unix))]
+    #[must_use]
+    pub fn entry(&self, offset: usize) -> extern "sysv64" fn(*mut crate::run::JitCtx) -> u64 {
+        assert!(offset < self.len);
+        // SAFETY: the mapping is executable and immutable; the compiler
+        // emitted a well-formed sysv64 function at this offset.
+        unsafe { std::mem::transmute(self.base.add(offset)) }
+    }
+
+    /// Mapping length in bytes (page-rounded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty (never the case for a live buffer).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", unix))]
+impl Drop for ExecBuf {
+    fn drop(&mut self) {
+        sys::unmap(self.base, self.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not two: force_unavailable is process-global state and
+    // the harness runs tests concurrently.
+    #[test]
+    fn maps_executes_and_honors_force_unavailable() {
+        force_unavailable(true);
+        let r = ExecBuf::new(&[0xC3]);
+        force_unavailable(false);
+        assert_eq!(r.err(), Some(MapError::SyscallFailed(12)));
+
+        #[cfg(all(target_arch = "x86_64", unix))]
+        {
+            // mov eax, 7; ret — minimal sanity that the pages execute.
+            let code = [0xB8, 7, 0, 0, 0, 0xC3];
+            let buf = ExecBuf::new(&code).expect("mmap should work on this host");
+            let f = buf.entry(0);
+            let r = f(std::ptr::null_mut());
+            assert_eq!(r & 0xFFFF_FFFF, 7);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Compile-time stack-cache state: which top-of-stack cells currently
+//! live in machine registers.
+//!
+//! This is the paper's static cache-state FSM made physical. A
+//! [`CacheState`] lists, bottom first, the registers holding the
+//! topmost cells of the data stack; the remaining (deeper) cells live
+//! in the in-memory stack buffer indexed by the `rsi` depth counter.
+//! The invariant every template preserves:
+//!
+//! ```text
+//! logical stack = stack_mem[0 .. rsi] ++ regs      (bottom → top)
+//! ```
+//!
+//! *Fill* moves the deepest cached cell boundary down (memory → new
+//! bottom register); *spill* moves it up (bottom register → memory).
+//! Both preserve the invariant, which is what lets a deoptimization
+//! stub restore the interpreter-visible stack by a plain flush of
+//! whatever state is current at the guard site.
+
+use crate::asm::Reg;
+
+/// Registers available for caching stack cells, in canonical order.
+///
+/// These are exactly the caller-context registers the block prologue
+/// does *not* dedicate to VM state (`rbx`, `rsi`, `r12`–`r15` are
+/// pinned; `rax`, `rcx`, `rdx`, `r11` are template scratch).
+pub const CACHE_REGS: [Reg; 3] = [Reg::R8, Reg::R9, Reg::R10];
+
+/// Maximum number of stack cells cached in registers.
+pub const MAX_CACHED: usize = CACHE_REGS.len();
+
+/// An ordered multiset-free list of cache registers, bottom → top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheState {
+    regs: Vec<Reg>,
+}
+
+impl CacheState {
+    /// State 0: everything in memory.
+    #[must_use]
+    pub fn empty() -> CacheState {
+        CacheState { regs: Vec::new() }
+    }
+
+    /// The canonical state with `n` cells cached (`n <= MAX_CACHED`):
+    /// `[r8]`, `[r8, r9]`, `[r8, r9, r10]`.
+    ///
+    /// # Panics
+    /// If `n > MAX_CACHED`.
+    #[must_use]
+    pub fn canonical(n: usize) -> CacheState {
+        assert!(n <= MAX_CACHED);
+        CacheState {
+            regs: CACHE_REGS[..n].to_vec(),
+        }
+    }
+
+    /// Number of cells currently cached.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Registers bottom → top.
+    #[must_use]
+    pub fn regs(&self) -> &[Reg] {
+        &self.regs
+    }
+
+    /// The register holding the cell `i` from the top (0 = TOS).
+    ///
+    /// # Panics
+    /// If fewer than `i + 1` cells are cached.
+    #[must_use]
+    pub fn from_top(&self, i: usize) -> Reg {
+        self.regs[self.regs.len() - 1 - i]
+    }
+
+    /// A register not currently holding a stack cell, if any.
+    #[must_use]
+    pub fn free_reg(&self) -> Option<Reg> {
+        CACHE_REGS.iter().copied().find(|r| !self.regs.contains(r))
+    }
+
+    /// Record a push of `reg` (caller has ensured it is free).
+    pub fn push(&mut self, reg: Reg) {
+        debug_assert!(!self.regs.contains(&reg));
+        self.regs.push(reg);
+    }
+
+    /// Record a pop; returns the register that held TOS.
+    ///
+    /// # Panics
+    /// If no cells are cached.
+    pub fn pop(&mut self) -> Reg {
+        self.regs.pop().expect("pop from empty cache state")
+    }
+
+    /// Remove the cell `i` from the top (`nip` is `remove_from_top(1)`);
+    /// emits no code. Returns the freed register.
+    ///
+    /// # Panics
+    /// If fewer than `i + 1` cells are cached.
+    pub fn remove_from_top(&mut self, i: usize) -> Reg {
+        let pos = self.regs.len() - 1 - i;
+        self.regs.remove(pos)
+    }
+
+    /// Record a spill: the *bottom* cached cell moved to memory.
+    ///
+    /// # Panics
+    /// If no cells are cached.
+    pub fn spill_bottom(&mut self) -> Reg {
+        assert!(!self.regs.is_empty());
+        self.regs.remove(0)
+    }
+
+    /// Record a fill: `reg` became the new *bottom* cached cell.
+    pub fn fill_bottom(&mut self, reg: Reg) {
+        debug_assert!(!self.regs.contains(&reg));
+        self.regs.insert(0, reg);
+    }
+
+    /// Apply a pure permutation of the top `n` cells: `perm[i]` says
+    /// which old position-from-top now sits at position-from-top `i`.
+    /// Swap is `[1, 0]`, rot (`[a b c] -> [b c a]`) is `[2, 0, 1]`.
+    ///
+    /// This emits no code — the stack shuffle compiles to *nothing*,
+    /// the paper's headline property, carried over to native blocks.
+    ///
+    /// # Panics
+    /// If fewer than `perm.len()` cells are cached.
+    pub fn permute_top(&mut self, perm: &[usize]) {
+        let n = perm.len();
+        assert!(self.regs.len() >= n);
+        let top: Vec<Reg> = (0..n).map(|i| self.from_top(i)).collect();
+        for (i, &src) in perm.iter().enumerate() {
+            let pos = self.regs.len() - 1 - i;
+            self.regs[pos] = top[src];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_states() {
+        assert_eq!(CacheState::canonical(0), CacheState::empty());
+        assert_eq!(CacheState::canonical(2).regs(), &[Reg::R8, Reg::R9]);
+        assert_eq!(CacheState::canonical(3).from_top(0), Reg::R10);
+        assert_eq!(CacheState::canonical(3).from_top(2), Reg::R8);
+    }
+
+    #[test]
+    fn fill_spill_roundtrip() {
+        let mut s = CacheState::canonical(2); // [r8, r9]
+        s.fill_bottom(Reg::R10); // [r10, r8, r9]
+        assert_eq!(s.regs(), &[Reg::R10, Reg::R8, Reg::R9]);
+        assert_eq!(s.free_reg(), None);
+        assert_eq!(s.spill_bottom(), Reg::R10);
+        assert_eq!(s.regs(), &[Reg::R8, Reg::R9]);
+        assert_eq!(s.free_reg(), Some(Reg::R10));
+    }
+
+    #[test]
+    fn swap_and_rot_are_free() {
+        let mut s = CacheState::canonical(3); // [r8, r9, r10] bottom→top
+        s.permute_top(&[1, 0]); // swap
+        assert_eq!(s.regs(), &[Reg::R8, Reg::R10, Reg::R9]);
+        let mut s = CacheState::canonical(3);
+        s.permute_top(&[2, 0, 1]); // rot: [a b c] -> [b c a], TOS=a
+                                   // old: a=r10(top), b=r9, c=r8 → new top=a? no: new TOS is old pos 2 = c=r8
+        assert_eq!(s.from_top(0), Reg::R8);
+        assert_eq!(s.from_top(1), Reg::R10);
+        assert_eq!(s.from_top(2), Reg::R9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Golden byte-image tests: the exact machine code emitted for
+//! representative blocks at each entry cache state, mirroring the
+//! frozen wire-format suite in `crates/net`.
+//!
+//! These bytes are a contract. If a template, the register map, the
+//! prologue/epilogue, or stub layout changes *intentionally*, regenerate
+//! with `cargo run -p stackcache-jit --example golden_gen` and update —
+//! and expect the differential campaign to re-vet every change.
+
+use stackcache_jit::{block_bytes, CacheState};
+use stackcache_vm::{program_of, Checks, Inst, Program};
+
+fn hex(b: &[u8]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+fn image(p: &Program, end: usize, state: usize, checks: Checks) -> String {
+    hex(&block_bytes(
+        p,
+        0,
+        end,
+        CacheState::canonical(state),
+        checks,
+    ))
+}
+
+/// `lit 2; add` at every entry cache state: state 0 fills from memory,
+/// deeper states use progressively more registers, state 3 must spill
+/// for the literal.
+#[test]
+fn add_block_at_each_entry_state() {
+    use Inst::*;
+    let p = program_of(&[Lit(2), Add, Halt]);
+    let expect = [
+        // state 0: fuel gate + fill guard + fill + add
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4503483b47580f875b0000004889c5488d4601483b47100f875600000049c7c0020000004885f60f84590000004c8b4cf3f84883ee014d01c14c890cf34883c60148b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc348c7c000000000e9ddffffff4883ed0348b80000000001000000e9caffffff4c8904f34883c6014883ed0248b80100000001000000e9afffffff",
+        // state 1: TOS already in r8 — no fill needed
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4503483b47580f87490000004889c5488d4602483b47100f874c00000049c7c1020000004d01c84c8904f34883c60148b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc34c8904f34883c60148c7c000000000e9d5ffffff4c8904f34883c6014883ed0348b80000000001000000e9baffffff",
+        // state 2
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4503483b47580f874e0000004889c5488d4603483b47100f875600000049c7c2020000004d01d14c8904f34c894cf3084883c60248b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc34c8904f34c894cf3084883c60248c7c000000000e9d0ffffff4c8904f34c894cf3084883c6024883ed0348b80000000001000000e9b0ffffff",
+        // state 3: pool full — the literal spills the bottom cell
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4503483b47580f87560000004889c5488d4604483b47100f87630000004c8904f34883c60149c7c0020000004d01c24c890cf34c8954f3084883c60248b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc34c8904f34c894cf3084c8954f3104883c60348c7c000000000e9cbffffff4c8904f34c894cf3084c8954f3104883c6034883ed0348b80000000001000000e9a6ffffff",
+    ];
+    for (n, want) in expect.iter().enumerate() {
+        assert_eq!(&image(&p, 3, n, Checks::Full), want, "entry state {n}");
+    }
+}
+
+/// Pure shuffles compile to zero instructions: at entry state 3 the
+/// whole `swap; rot; nip` body is just prologue, fuel gate, flush,
+/// exit.
+#[test]
+fn shuffles_emit_no_code() {
+    use Inst::*;
+    let p = program_of(&[Swap, Rot, Nip, Halt]);
+    assert_eq!(
+        image(&p, 4, 3, Checks::Full),
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4504483b47580f87360000004889c54c8914f34c8944f3084883c60248b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc34c8904f34c894cf3084c8954f3104883c60348c7c000000000e9cbffffff",
+    );
+    // The paper's property as a length identity: adding a swap to a
+    // block changes nothing but the flush order.
+    let swap_halt = block_bytes(
+        &program_of(&[Swap, Halt]),
+        0,
+        2,
+        CacheState::canonical(2),
+        Checks::Full,
+    );
+    let halt_only = block_bytes(
+        &program_of(&[Halt]),
+        0,
+        1,
+        CacheState::canonical(2),
+        Checks::Full,
+    );
+    assert_eq!(swap_halt.len(), halt_only.len());
+}
+
+/// Memory loads carry their two-sided bounds guard at every state.
+#[test]
+fn fetch_block_images() {
+    use Inst::*;
+    let p = program_of(&[Fetch, Halt]);
+    assert_eq!(
+        image(&p, 2, 0, Checks::Full),
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4502483b47580f875d0000004889c54885f60f845d0000004c8b44f3f84883ee014d39f80f835e000000498d40084c39f80f87510000004f8b04064c8904f34883c60148b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc348c7c000000000e9ddffffff4883ed0248b80000000001000000e9caffffff4c8904f34883c6014883ed0248b80000000001000000e9afffffff",
+    );
+    assert_eq!(
+        image(&p, 2, 1, Checks::Full),
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4502483b47580f874b0000004889c54d39f80f8353000000498d40084c39f80f87460000004f8b04064c8904f34883c60148b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc34c8904f34883c60148c7c000000000e9d5ffffff4c8904f34883c6014883ed0248b80000000001000000e9baffffff",
+    );
+}
+
+/// Division: zero guard, MIN/-1 guard, idiv, euclidean fixup.
+#[test]
+fn div_block_image() {
+    use Inst::*;
+    let p = program_of(&[Div, Halt]);
+    assert_eq!(
+        image(&p, 2, 2, Checks::Full),
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4502483b47580f87810000004889c54d85c90f848e00000049bb00000000000000804d39d80f850a0000004983f9ff0f84910000004c89c0489949f7f94885d20f89160000004d85c90f88090000004883e801e9040000004883c0014989c04c8904f34883c60148b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc34c8904f34c894cf3084883c60248c7c000000000e9d0ffffff4c8904f34c894cf3084883c6024883ed0248b80000000001000000e9b0ffffff4c8904f34c894cf3084883c6024883ed0248b80000000001000000e990ffffff",
+    );
+}
+
+/// Conditional branch: both exits carry their own packed exit word.
+#[test]
+fn branch_if_zero_image() {
+    use Inst::*;
+    let p = program_of(&[BranchIfZero(0)]);
+    assert_eq!(
+        image(&p, 1, 1, Checks::Full),
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4501483b47580f873b0000004889c54d85c00f850c00000048c7c000000000e90c00000048c7c001000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc34c8904f34883c60148c7c000000000e9d5ffffff",
+    );
+}
+
+/// Loop back-edge: underflow guard, wrapping increment, limit compare.
+#[test]
+fn loop_inc_image() {
+    use Inst::*;
+    let p = program_of(&[LoopInc(0)]);
+    assert_eq!(
+        image(&p, 1, 0, Checks::Full),
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4501483b47580f875c0000004889c54983fd020f825b0000004b8b44ecf84883c0014b8b4cecf04839c80f84110000004b8944ecf848c7c000000000e9100000004983ed0248c7c001000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc348c7c000000000e9ddffffff4883ed0148b80000000001000000e9caffffff",
+    );
+}
+
+/// The three checks levels shed guards monotonically: Full carries the
+/// underflow guard, NoUnderflow drops it, None drops the overflow
+/// guard too (proof-gated admission only).
+#[test]
+fn checks_levels_shed_guards() {
+    use Inst::*;
+    let p = program_of(&[Lit(2), Add, Halt]);
+    let full = image(&p, 3, 0, Checks::Full);
+    let nou = image(&p, 3, 0, Checks::NoUnderflow);
+    let none = image(&p, 3, 0, Checks::None);
+    assert_eq!(
+        nou,
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4503483b47580f87520000004889c5488d4601483b47100f874d00000049c7c0020000004c8b4cf3f84883ee014d01c14c890cf34883c60148b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc348c7c000000000e9ddffffff4883ed0348b80000000001000000e9caffffff",
+    );
+    assert_eq!(
+        none,
+        "53554154415541564157488b1f488b77084c8b67184c8b6f204c8b77304c8b7f38488b6f60488d4503483b47580f87440000004889c549c7c0020000004c8b4cf3f84883ee014d01c14c890cf34883c60148b80000000002000000e900000000488977084c896f2048896f60415f415e415d415c5d5bc348c7c000000000e9ddffffff",
+    );
+    assert!(full.len() > nou.len());
+    assert!(nou.len() > none.len());
+}

@@ -433,6 +433,24 @@ struct TraceInfo {
     /// Marked for capture by head sampling at ingress: the finished
     /// trace is stored even if no tail trigger fires.
     head_sampled: bool,
+    /// When this submission arrived inside a traced batch: the shared
+    /// batch parent span every item's forward chain hangs from.
+    batch: Option<Arc<BatchCtx>>,
+}
+
+/// One traced batch's shared span context, allocated once when the
+/// router unbundles a `BatchSubmitTraced` frame. Every item holds an
+/// `Arc`: at completion each item emits a copy of the batch span into
+/// its own trace (same span id; the assembler's keep-first dedup
+/// collapses duplicates within a trace) and parents its root to it, so
+/// sibling items are recognizably one batch across trace trees.
+struct BatchCtx {
+    /// The batch parent span's id, shared by every item.
+    span_id: u64,
+    /// Batch ingress time on the proxy clock.
+    start_nanos: u64,
+    /// Number of items unbundled from the batch (span `attr`).
+    items: u64,
 }
 
 /// What forwarder threads mail back to a client connection.
@@ -596,6 +614,7 @@ impl ProxyProto {
     /// stamping its trace context at ingress. `ctx` is the caller's
     /// `(trace id, parent span id)` when it sent `SubmitTraced`; plain
     /// submissions get a fresh proxy-originated trace.
+    #[allow(clippy::too_many_arguments)]
     fn forward(
         &self,
         conn: &mut ProxyConn,
@@ -604,6 +623,7 @@ impl ProxyProto {
         corr: u64,
         request: WireRequest,
         ctx: Option<(u64, u64)>,
+        batch: Option<Arc<BatchCtx>>,
     ) {
         let node = self.inner.ring.route(program_key(&request.program));
         let trace = TraceInfo {
@@ -617,6 +637,7 @@ impl ProxyProto {
             // only proxy-originated traces can be captured here, so
             // caller-traced requests never consume a sampler draw
             head_sampled: ctx.is_none() && self.inner.head_sample(),
+            batch,
         };
         conn.inflight += 1;
         self.inner.metrics.forwarded[node].fetch_add(1, Ordering::Relaxed);
@@ -718,7 +739,7 @@ impl ProxyProto {
                     self.reply_status(io, corr, ReplyStatus::ShutDown, "router shutting down");
                     return None;
                 }
-                self.forward(conn, io, conn_id, corr, request, None);
+                self.forward(conn, io, conn_id, corr, request, None, None);
                 None
             }
             Frame::BadSubmit { corr, error } => {
@@ -752,7 +773,7 @@ impl ProxyProto {
                 // unbundled: each item routes to its own node and
                 // answers under its own correlation id
                 for (item_corr, request) in items {
-                    self.forward(conn, io, conn_id, item_corr, request, None);
+                    self.forward(conn, io, conn_id, item_corr, request, None, None);
                 }
                 None
             }
@@ -788,6 +809,7 @@ impl ProxyProto {
                     corr,
                     request,
                     Some((trace_id, parent_span_id)),
+                    None,
                 );
                 None
             }
@@ -826,6 +848,15 @@ impl ProxyProto {
                     .metrics
                     .traced_submits
                     .fetch_add(u64::from(n), Ordering::Relaxed);
+                // one batch parent span for the whole frame: every
+                // item's forward chain hangs from it, so the trace
+                // shows the batch as a unit even though items route
+                // (and answer) independently
+                let batch = Arc::new(BatchCtx {
+                    span_id: self.inner.span_ids.next_id(),
+                    start_nanos: self.inner.nanos(Instant::now()),
+                    items: u64::from(n),
+                });
                 for (item_corr, trace_id, parent_span_id, request) in items {
                     self.forward(
                         conn,
@@ -834,6 +865,7 @@ impl ProxyProto {
                         item_corr,
                         request,
                         Some((trace_id, parent_span_id)),
+                        Some(Arc::clone(&batch)),
                     );
                 }
                 None
@@ -1275,11 +1307,29 @@ fn completion_loop(
         };
         let end_nanos = inner.nanos(Instant::now());
         let t = &fwd.trace;
-        let mut spans = Vec::with_capacity(2 + node_trace.as_ref().map_or(0, |n| n.spans.len()));
+        let mut spans = Vec::with_capacity(3 + node_trace.as_ref().map_or(0, |n| n.spans.len()));
+        // for batch items, one shared batch parent span slots between
+        // the caller's span and this item's whole-request span; every
+        // sibling emits a copy into its own trace (same span id — the
+        // assembler's keep-first dedup collapses them within a trace)
+        if let Some(b) = &t.batch {
+            spans.push(SpanRecord {
+                trace_id: t.trace_id,
+                span_id: b.span_id,
+                parent_span_id: t.parent_span_id,
+                kind: SpanKind::Batch,
+                start_nanos: b.start_nanos,
+                end_nanos,
+                node: inner.node,
+                attr: b.items,
+                request: fwd.corr,
+            });
+        }
+        let item_parent = t.batch.as_ref().map_or(t.parent_span_id, |b| b.span_id);
         spans.push(SpanRecord {
             trace_id: t.trace_id,
             span_id: t.root_span_id,
-            parent_span_id: t.parent_span_id,
+            parent_span_id: item_parent,
             // when the caller traced, its span is the root and the
             // proxy's whole-request span is one more forward hop
             kind: if t.parent_span_id == 0 {

@@ -456,3 +456,128 @@ fn head_sampling_captures_healthy_traffic_at_the_requested_rate() {
     let _ = proxy.shutdown();
     let _ = node.shutdown();
 }
+
+/// Satellite: traced batch unbundling stamps one shared batch parent
+/// span. Every item's reply carries a copy of the batch span (same span
+/// id, `attr` = batch size), the item's whole-request span parents to
+/// it, and each item's trace still assembles into one caller-rooted
+/// tree with the batch span on the path.
+#[test]
+fn traced_batches_share_one_batch_parent_span() {
+    let node = traced_node("node-a");
+    let proxy = NetProxy::start(ProxyConfig {
+        nodes: vec![node.addr().to_string()],
+        node: "proxy".to_string(),
+        slow_threshold: Duration::from_secs(3600),
+        ..ProxyConfig::default()
+    })
+    .expect("start proxy");
+
+    let client = Client::connect_traced(proxy.addr(), 8).expect("connect");
+    let ids = SpanIdGen::new("caller");
+    let items: Vec<(WireRequest, u64, u64)> = (0..3)
+        .map(|i| {
+            (
+                WireRequest::new(quick_program(3 + i), EngineRegime::Tos).fuel(100_000),
+                ids.next_id(),
+                ids.next_id(),
+            )
+        })
+        .collect();
+    let replies: Vec<_> = client
+        .submit_batch_traced(&items)
+        .expect("batch submit")
+        .into_iter()
+        .map(|p| p.wait_traced().expect("reply"))
+        .collect();
+
+    let mut batch_span_ids = Vec::new();
+    for ((request, trace_id, parent_id), (reply, trace)) in items.iter().zip(&replies) {
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        assert_eq!(reply.differs_from(&reference_outcome(request)), None);
+        let trace = trace.as_ref().expect("traced reply");
+
+        let batch: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Batch)
+            .collect();
+        assert_eq!(batch.len(), 1, "exactly one batch span per item reply");
+        let batch = batch[0];
+        assert_eq!(batch.trace_id, *trace_id);
+        assert_eq!(batch.parent_span_id, *parent_id);
+        assert_eq!(batch.attr, items.len() as u64);
+        assert_eq!(batch.node_str(), "proxy");
+        batch_span_ids.push(batch.span_id);
+
+        // the item's whole-request span hangs off the batch span, and
+        // the forward chain hangs off the item span
+        let item_span = trace
+            .spans
+            .iter()
+            .find(|s| s.parent_span_id == batch.span_id)
+            .expect("item span parented to the batch span");
+        assert_eq!(item_span.kind, SpanKind::Forward);
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|s| s.parent_span_id == item_span.span_id),
+            "forward chain hangs off the item span"
+        );
+
+        // with the caller's root added, the spans are one rooted tree
+        let mut asm = TraceAssembler::new();
+        asm.add(stackcache_obs::SpanRecord {
+            trace_id: *trace_id,
+            span_id: *parent_id,
+            parent_span_id: 0,
+            kind: SpanKind::Root,
+            start_nanos: 0,
+            end_nanos: u64::MAX,
+            node: stackcache_obs::node_label("caller"),
+            attr: 0,
+            request: 0,
+        });
+        for s in &trace.spans {
+            assert_eq!(s.trace_id, *trace_id);
+            asm.add(*s);
+        }
+        let tree = asm.assemble(*trace_id).expect("caller-rooted tree");
+        assert_eq!(tree.span_count, 1 + trace.spans.len());
+    }
+
+    // one batch: every sibling saw the *same* batch span id
+    batch_span_ids.dedup();
+    assert_eq!(batch_span_ids.len(), 1, "siblings share one batch span");
+
+    // a second batch gets a fresh batch span
+    let again: Vec<(WireRequest, u64, u64)> = (0..2)
+        .map(|i| {
+            (
+                WireRequest::new(quick_program(9 + i), EngineRegime::Tos).fuel(100_000),
+                ids.next_id(),
+                ids.next_id(),
+            )
+        })
+        .collect();
+    let reply = client.submit_batch_traced(&again).expect("batch submit");
+    let (_, trace) = reply
+        .into_iter()
+        .next()
+        .expect("first reply")
+        .wait_traced()
+        .expect("reply");
+    let second = trace
+        .expect("traced reply")
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Batch)
+        .map(|s| s.span_id)
+        .expect("batch span");
+    assert_ne!(second, batch_span_ids[0]);
+
+    client.goodbye().expect("drain");
+    let _ = proxy.shutdown();
+    let _ = node.shutdown();
+}

@@ -41,6 +41,10 @@ pub enum SpanKind {
     Exec,
     /// Verification against the reference interpreter.
     Verify,
+    /// One traced batch submission at the router: the parent of every
+    /// item's forward chain, shared (same span id) across the items'
+    /// traces. `attr` carries the number of items in the batch.
+    Batch,
 }
 
 impl SpanKind {
@@ -53,6 +57,7 @@ impl SpanKind {
             SpanKind::Cache => 5,
             SpanKind::Exec => 6,
             SpanKind::Verify => 7,
+            SpanKind::Batch => 8,
         }
     }
 
@@ -65,6 +70,7 @@ impl SpanKind {
             5 => SpanKind::Cache,
             6 => SpanKind::Exec,
             7 => SpanKind::Verify,
+            8 => SpanKind::Batch,
             _ => return None,
         })
     }
@@ -80,6 +86,7 @@ impl SpanKind {
             SpanKind::Cache => "cache",
             SpanKind::Exec => "exec",
             SpanKind::Verify => "verify",
+            SpanKind::Batch => "batch",
         }
     }
 }

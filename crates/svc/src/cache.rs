@@ -319,6 +319,16 @@ impl ProgramCache {
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
+        // A profile cycle introducing an explicit fusion plan is the
+        // serving layer's quickening-rewrite event: retire the template
+        // JIT's block cache so no run can pair new dispatch decisions
+        // with native code compiled against the old generation. The JIT
+        // cache is small and cheap to refill; correctness is already
+        // guaranteed by its full-text keys, so this is belt-and-braces
+        // (and makes `jit_invalidations_total` observable in serving).
+        if plan.is_some() && matches!(regime, EngineRegime::Fused | EngineRegime::Quickened) {
+            stackcache_jit::invalidate();
+        }
         (compiled, Lookup::Miss)
     }
 

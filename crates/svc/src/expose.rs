@@ -118,6 +118,37 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         snap.analysis_fuel_proofs,
     );
 
+    p.help(
+        "jit_compiled_total",
+        "Programs compiled to native code by the template JIT.",
+    );
+    p.typ("jit_compiled_total", "counter");
+    p.sample_u64("jit_compiled_total", &[], snap.jit.compiled);
+    p.help(
+        "jit_cache_hits_total",
+        "JIT block-cache lookups served without compiling.",
+    );
+    p.typ("jit_cache_hits_total", "counter");
+    p.sample_u64("jit_cache_hits_total", &[], snap.jit.cache_hits);
+    p.help(
+        "jit_invalidations_total",
+        "JIT block-cache invalidations (quickening rewrites, plan re-admissions).",
+    );
+    p.typ("jit_invalidations_total", "counter");
+    p.sample_u64("jit_invalidations_total", &[], snap.jit.invalidations);
+    p.help(
+        "jit_fallbacks_total",
+        "Whole runs degraded to the interpreter (no native backend on this host).",
+    );
+    p.typ("jit_fallbacks_total", "counter");
+    p.sample_u64("jit_fallbacks_total", &[], snap.jit.fallbacks);
+    p.help(
+        "jit_deopts_total",
+        "Mid-block deoptimizations into the interpreter (a guard fired).",
+    );
+    p.typ("jit_deopts_total", "counter");
+    p.sample_u64("jit_deopts_total", &[], snap.jit.deopts);
+
     p.help("svc_queue_depth", "Jobs waiting in the queue.");
     p.typ("svc_queue_depth", "gauge");
     p.sample_u64("svc_queue_depth", &[], snap.queue_depth);
@@ -319,6 +350,15 @@ pub fn json(snap: &MetricsSnapshot) -> String {
             .field_u64("evictions", snap.cache_evictions);
         o.finish()
     };
+    let jit = {
+        let mut o = JsonObj::new();
+        o.field_u64("compiled", snap.jit.compiled)
+            .field_u64("cache_hits", snap.jit.cache_hits)
+            .field_u64("invalidations", snap.jit.invalidations)
+            .field_u64("fallbacks", snap.jit.fallbacks)
+            .field_u64("deopts", snap.jit.deopts);
+        o.finish()
+    };
     let mut o = JsonObj::new();
     o.field_u64("submitted", snap.submitted)
         .field_u64("rejected_queue_full", snap.rejected_queue_full)
@@ -339,6 +379,7 @@ pub fn json(snap: &MetricsSnapshot) -> String {
         .field_u64("analysis_fuel_proofs", snap.analysis_fuel_proofs)
         .field_u64("queue_depth", snap.queue_depth)
         .field_raw("cache", &cache)
+        .field_raw("jit", &jit)
         .field_raw("workers", &json_array(&workers))
         .field_raw("regimes", &json_array(&regimes));
     o.finish()
@@ -434,6 +475,28 @@ mod tests {
         assert!(page.contains("svc_worker_jobs_total{worker=\"0\"} 5"));
         assert!(page.contains("svc_queue_wait_seconds{regime=\"tos\",quantile=\"0.5\"}"));
         assert!(page.contains("svc_exec_seconds{regime=\"tos\",quantile=\"0.99\"}"));
+    }
+
+    /// Satellite regression for the template-JIT tier: the five jit
+    /// counters render on the Prometheus page and in the JSON document
+    /// (values are process-global, so only presence is asserted), and
+    /// the page still passes the lint.
+    #[test]
+    fn jit_metrics_render_and_lint() {
+        let page = prometheus(&sample_snapshot());
+        prometheus_lint(&page).unwrap();
+        for name in [
+            "jit_compiled_total",
+            "jit_cache_hits_total",
+            "jit_invalidations_total",
+            "jit_fallbacks_total",
+            "jit_deopts_total",
+        ] {
+            assert!(page.contains(&format!("\n{name} ")), "missing {name}");
+        }
+        let doc = json(&sample_snapshot());
+        assert!(doc.contains("\"jit\":{\"compiled\":"));
+        assert!(doc.contains("\"deopts\":"));
     }
 
     /// Satellite regression for the re-admission metrics: the labeled

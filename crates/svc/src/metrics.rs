@@ -310,6 +310,7 @@ impl Metrics {
                     }
                 })
                 .collect(),
+            jit: stackcache_jit::stats(),
         }
     }
 }
@@ -411,6 +412,10 @@ pub struct MetricsSnapshot {
     pub workers: Vec<WorkerSnapshot>,
     /// Per-regime counters, in [`EngineRegime::ALL`] order.
     pub regimes: Vec<RegimeSnapshot>,
+    /// The template JIT's process-global counters (compiles, cache hits,
+    /// invalidations, interpreter fallbacks, deopts), merged into the
+    /// exposition as `jit_*_total`.
+    pub jit: stackcache_jit::JitStats,
 }
 
 impl MetricsSnapshot {

@@ -46,6 +46,7 @@ mod machine;
 pub mod peephole;
 mod program;
 pub mod rng;
+pub mod stepper;
 mod verify;
 
 pub use checks::Checks;

@@ -128,6 +128,17 @@ impl Machine {
         self.rstack_limit
     }
 
+    /// Override the maximum data-stack depth (tests exercising
+    /// overflow behavior with small limits).
+    pub fn set_stack_limit(&mut self, limit: usize) {
+        self.stack_limit = limit;
+    }
+
+    /// Override the maximum return-stack depth.
+    pub fn set_rstack_limit(&mut self, limit: usize) {
+        self.rstack_limit = limit;
+    }
+
     /// Replace the data-stack contents (bottom-first). Used by alternative
     /// interpreters to publish their final stack.
     pub fn set_stack(&mut self, items: &[Cell]) {
@@ -150,6 +161,22 @@ impl Machine {
     pub fn push_output_number(&mut self, n: Cell) {
         self.out.extend_from_slice(n.to_string().as_bytes());
         self.out.push(b' ');
+    }
+
+    /// Raw parts of the output buffer `(ptr, len, capacity)` for native
+    /// code that appends bytes in place (the template JIT's `emit`).
+    pub fn output_raw_parts(&mut self) -> (*mut u8, usize, usize) {
+        (self.out.as_mut_ptr(), self.out.len(), self.out.capacity())
+    }
+
+    /// Set the output length after native code appended bytes in place.
+    ///
+    /// # Safety
+    ///
+    /// `len` must not exceed the buffer's capacity and every byte below
+    /// `len` must have been written.
+    pub unsafe fn set_output_len(&mut self, len: usize) {
+        self.out.set_len(len);
     }
 
     /// Clear stacks and output, keep memory contents.

@@ -30,16 +30,16 @@ fn all_engines_agree_on_straight_line_programs() {
 }
 
 /// The oracle sweeps at least the advertised configuration matrix:
-/// 20 wall-clock engines (including the fused and quickened
-/// superinstruction engines), 8 cache organizations, 3 two-stacks
+/// 22 wall-clock engines (including the fused, quickened, and jit
+/// engines), 8 cache organizations, 3 two-stacks
 /// register files, 5 static regimes.
 #[test]
 fn oracle_configuration_matrix_is_complete() {
     let p = gen::straight_line(&[(0, 1), (0, 2), (2, 0)]);
     let a = assert_agreement(&p, FUEL);
-    assert_eq!(a.engine_configs, 20);
+    assert_eq!(a.engine_configs, 22);
     assert_eq!(a.org_configs, 8);
     assert_eq!(a.twostacks_configs, 3);
     assert_eq!(a.static_configs, 5);
-    assert_eq!(a.configs, 36);
+    assert_eq!(a.configs, 38);
 }

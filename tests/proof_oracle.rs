@@ -24,7 +24,7 @@ fn structured_programs_honour_their_proofs() {
         let p = gen::structured_program(&mut rng);
         let a = assert_proof_agreement(&p, FUEL);
         if a.admitted != Checks::Full {
-            assert_eq!(a.configs, 20, "seed {seed}: 10 regimes x plain/peephole");
+            assert_eq!(a.configs, 22, "seed {seed}: 11 regimes x plain/peephole");
             admitted += 1;
         }
     }
@@ -81,11 +81,11 @@ fn call_nests_honour_their_proofs() {
 /// The soundness campaign behind the interval tentpole: 300+ generated
 /// programs from every family, each cross-validated twice —
 ///
-/// * the proof oracle (20 regime × peephole configurations) checks that
+/// * the proof oracle (22 regime × peephole configurations) checks that
 ///   no elided check would have fired and that the admitted-level
 ///   outcome is byte-identical to full checks, and that any proven fuel
 ///   bound ceilings the reference interpreter's dispatch count;
-/// * the engine oracle (all 36 engine/org/two-stacks/static
+/// * the engine oracle (all 38 engine/org/two-stacks/static
 ///   configurations) checks that every execution strategy agrees on the
 ///   outcome regardless of the proof.
 ///
@@ -106,8 +106,8 @@ fn soundness_campaign_proofs_hold_across_every_config() {
             let proof = assert_proof_agreement(p, FUEL);
             let engines = assert_agreement(p, FUEL);
             assert_eq!(
-                engines.configs, 36,
-                "seed {seed}: the engine oracle must span all 36 configurations"
+                engines.configs, 38,
+                "seed {seed}: the engine oracle must span all 38 configurations"
             );
             rounds += 1;
             if proof.admitted != Checks::Full {
